@@ -1,0 +1,77 @@
+// Ablation A5: broadcast-based vs pairwise file download at system level.
+//
+// Section V's motivation, measured end-to-end rather than analytically: the
+// same MBT discovery stack runs with (a) the paper's broadcast download
+// (one sender, whole clique receives) and (b) the prior-work pairwise
+// baseline (disjoint pairs, one receiver per transmission) on the NUS trace
+// whose classroom cliques are where broadcast pays off, and, for contrast,
+// on the strictly pairwise DieselNet trace where the two coincide at
+// two-member contacts.
+#include <iostream>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "src/core/protocol.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+
+int main() {
+  using namespace hdtn;
+  std::cout << "=== broadcast_pairwise: Sec.-V download modes, full system "
+               "(MBT) ===\n\n";
+
+  const std::vector<double> fractions = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const int seeds = 3;
+
+  struct Family {
+    const char* name;
+    bool diesel;
+  };
+  for (const Family& family :
+       {Family{"nus (classroom cliques)", false},
+        Family{"dieselnet (pairwise contacts)", true}}) {
+    Table table({"access_fraction", "broadcast file", "pairwise file",
+                 "broadcast md", "pairwise md"});
+    std::vector<double> broadcastSeries, pairwiseSeries;
+    for (double fraction : fractions) {
+      double sums[4] = {0, 0, 0, 0};
+      for (int seed = 1; seed <= seeds; ++seed) {
+        const auto trace =
+            family.diesel
+                ? bench::defaultDieselNet(static_cast<std::uint64_t>(seed))
+                : bench::defaultNus(static_cast<std::uint64_t>(seed));
+        for (int mode = 0; mode < 2; ++mode) {
+          core::EngineParams params = family.diesel
+                                          ? bench::dieselNetBaseParams()
+                                          : bench::nusBaseParams();
+          params.protocol.kind = core::ProtocolKind::kMbt;
+          params.downloadMode = mode == 0 ? core::DownloadMode::kBroadcast
+                                          : core::DownloadMode::kPairwise;
+          params.internetAccessFraction = fraction;
+          params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
+          const auto result = core::runSimulation(trace, params);
+          sums[2 * mode + 0] += result.delivery.fileRatio;
+          sums[2 * mode + 1] += result.delivery.metadataRatio;
+        }
+      }
+      for (double& s : sums) s /= seeds;
+      table.addRow({fraction, sums[0], sums[2], sums[1], sums[3]});
+      broadcastSeries.push_back(sums[0]);
+      pairwiseSeries.push_back(sums[2]);
+    }
+    std::cout << "--- " << family.name << " ---\n";
+    table.writeAligned(std::cout);
+    std::cout << "\nCSV:\n";
+    table.writeCsv(std::cout);
+    std::cout << "\n";
+    AsciiChart chart(std::string("file delivery, ") + family.name,
+                     fractions);
+    chart.addSeries({"broadcast (paper)", '*', broadcastSeries});
+    chart.addSeries({"pairwise baseline", 'o', pairwiseSeries});
+    std::cout << chart.render() << "\n";
+  }
+  std::cout << "expected: broadcast >= pairwise on the clique trace, with "
+               "the gap largest at\nlow access fractions; near-identical on "
+               "the pairwise-only trace.\n";
+  return 0;
+}

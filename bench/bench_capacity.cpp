@@ -1,0 +1,56 @@
+// Section V capacity analysis: per-node transmission capacity of
+// broadcast-based vs pairwise file download as clique size (node density)
+// grows. Reproduces the paper's claim that broadcast capacity *increases*
+// with density toward 1 while pairwise capacity decays as 1/n, both in
+// closed form and with the slotted contention simulator.
+#include <iostream>
+#include <vector>
+
+#include "src/core/capacity.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+
+int main() {
+  using namespace hdtn;
+  std::cout << "=== capacity: per-node capacity vs clique size (Sec. V) ===\n"
+            << "broadcast: scheduled, one sender per slot, n-1 receivers\n"
+            << "pairwise:  slotted random access at the optimal attempt "
+               "probability 1/n, one receiver per success\n\n";
+
+  const std::vector<int> sizes = {2,  3,  4,  5,  6,  8, 10,
+                                  15, 20, 30, 40, 50};
+  Table table({"clique_size", "broadcast_analytic", "broadcast_sim",
+               "pairwise_analytic", "pairwise_sim", "pairwise_collisions"});
+  std::vector<double> xs;
+  std::vector<double> broadcastSeries, pairwiseSeries;
+  for (int n : sizes) {
+    core::ContentionParams params;
+    params.nodes = n;
+    params.slots = 200000;
+    params.attemptProbability = core::optimalAttemptProbability(n);
+    params.seed = 7;
+    const auto pairwise = core::simulatePairwiseContention(params);
+    const auto broadcast = core::simulateBroadcastSchedule(params);
+    table.addRow({static_cast<double>(n), core::analyticBroadcastCapacity(n),
+                  broadcast.perNodeGoodput, core::analyticPairwiseCapacity(n),
+                  pairwise.perNodeGoodput, pairwise.collisionFraction});
+    xs.push_back(n);
+    broadcastSeries.push_back(broadcast.perNodeGoodput);
+    pairwiseSeries.push_back(pairwise.perNodeGoodput);
+  }
+  table.writeAligned(std::cout);
+  std::cout << "\nCSV:\n";
+  table.writeCsv(std::cout);
+  std::cout << "\n";
+
+  AsciiChart chart("per-node capacity (fraction of channel rate W)", xs);
+  chart.addSeries({"broadcast", '*', broadcastSeries});
+  chart.addSeries({"pairwise", 'o', pairwiseSeries});
+  chart.setYRange(0.0, 1.05);
+  std::cout << chart.render() << std::endl;
+
+  // Note: the random-access pairwise simulation pays an extra contention
+  // factor (~1/e at the optimal attempt rate) on top of the 1/n analytic
+  // bound — the paper's point, only stronger.
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 2(a): delivery ratios vs percentage of Internet-access nodes,
+// UMassDieselNet-style trace.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig2a";
+  spec.title = "DieselNet: delivery ratio vs % Internet-access nodes";
+  spec.xLabel = "access_fraction";
+  spec.xs = bench::accessFractionSweep();
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultDieselNet(seed);
+  };
+  spec.base = bench::dieselNetBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.internetAccessFraction = x;
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

@@ -1,0 +1,19 @@
+// fig2b: DieselNet: delivery ratio vs new files per day.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig2b";
+  spec.title = "DieselNet: delivery ratio vs new files per day";
+  spec.xLabel = "files_per_day";
+  spec.xs = {10, 20, 40, 60, 80, 100};
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultDieselNet(seed);
+  };
+  spec.base = bench::dieselNetBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.newFilesPerDay = static_cast<int>(x);
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

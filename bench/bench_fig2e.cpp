@@ -1,0 +1,19 @@
+// fig2e: DieselNet: delivery ratio vs files per contact.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig2e";
+  spec.title = "DieselNet: delivery ratio vs files per contact";
+  spec.xLabel = "files_per_contact";
+  spec.xs = {1, 2, 3, 5, 7, 10};
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultDieselNet(seed);
+  };
+  spec.base = bench::dieselNetBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.filesPerContact = static_cast<int>(x);
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

@@ -1,0 +1,19 @@
+// fig3a: NUS: delivery ratio vs % Internet-access nodes.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig3a";
+  spec.title = "NUS: delivery ratio vs % Internet-access nodes";
+  spec.xLabel = "access_fraction";
+  spec.xs = bench::accessFractionSweep();
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultNus(seed);
+  };
+  spec.base = bench::nusBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.internetAccessFraction = x;
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

@@ -1,0 +1,19 @@
+// fig3c: NUS: delivery ratio vs file TTL (days).
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig3c";
+  spec.title = "NUS: delivery ratio vs file TTL (days)";
+  spec.xLabel = "ttl_days";
+  spec.xs = {1, 2, 3, 4, 5};
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultNus(seed);
+  };
+  spec.base = bench::nusBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.fileTtlDays = static_cast<int>(x);
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

@@ -1,0 +1,19 @@
+// fig3d: NUS: delivery ratio vs metadata per contact.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig3d";
+  spec.title = "NUS: delivery ratio vs metadata per contact";
+  spec.xLabel = "metadata_per_contact";
+  spec.xs = {1, 2, 3, 5, 7, 10};
+  spec.makeTrace = [](double, std::uint64_t seed) {
+    return bench::defaultNus(seed);
+  };
+  spec.base = bench::nusBaseParams();
+  spec.apply = [](core::EngineParams& p, double x) {
+    p.metadataPerContact = static_cast<int>(x);
+  };
+  return bench::runFigure(std::move(spec), argc, argv);
+}

@@ -1,0 +1,20 @@
+// fig3f: NUS: delivery ratio vs class attendance rate. The trace itself
+// changes with x: lower attendance means smaller classroom cliques and
+// fewer contact opportunities.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdtn;
+  bench::FigureSpec spec;
+  spec.id = "fig3f";
+  spec.title = "NUS: delivery ratio vs attendance rate";
+  spec.xLabel = "attendance_rate";
+  spec.xs = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  spec.traceDependsOnX = true;
+  spec.makeTrace = [](double x, std::uint64_t seed) {
+    return bench::defaultNus(seed, x);
+  };
+  spec.base = bench::nusBaseParams();
+  spec.apply = [](core::EngineParams&, double) {};
+  return bench::runFigure(std::move(spec), argc, argv);
+}

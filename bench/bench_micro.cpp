@@ -1,0 +1,177 @@
+// Microbenchmarks of the library's hot paths (google-benchmark): SHA-1
+// hashing, maximal-clique enumeration, query matching, and the discovery /
+// download planners at contact-window scale.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/discovery.hpp"
+#include "src/core/download.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/file_catalog.hpp"
+#include "src/core/internet.hpp"
+#include "src/core/query.hpp"
+#include "src/graph/clique.hpp"
+#include "src/net/codec.hpp"
+#include "src/trace/nus.hpp"
+#include "src/util/bloom.hpp"
+#include "src/util/random.hpp"
+#include "src/util/sha1.hpp"
+
+namespace {
+
+using namespace hdtn;
+using namespace hdtn::core;
+
+void BM_Sha1_256KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(256 * 1024);
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha1_256KiB);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(42);
+  AdjacencyGraph graph;
+  for (std::uint32_t i = 0; i < n; ++i) graph.addNode(NodeId(i));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (rng.chance(0.5)) graph.addEdge(NodeId(i), NodeId(j));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximalCliques(graph));
+  }
+}
+BENCHMARK(BM_MaximalCliques)->Arg(8)->Arg(16)->Arg(24);
+
+InternetServices makeCatalog(int files) {
+  InternetServices internet;
+  SyntheticBatchParams batch;
+  batch.count = files;
+  batch.publishedAt = 0;
+  batch.ttl = 3 * kDay;
+  batch.lambda = files / 2.0;
+  Rng rng(7);
+  publishSyntheticBatch(internet, batch, rng);
+  return internet;
+}
+
+void BM_QueryMatch(benchmark::State& state) {
+  InternetServices internet = makeCatalog(200);
+  const Metadata& md = internet.catalog().metadataFor(FileId(100));
+  const std::string query =
+      canonicalQueryText(*internet.catalog().find(FileId(100)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queryMatches(query, md));
+  }
+}
+BENCHMARK(BM_QueryMatch);
+
+void BM_PlanDiscovery(benchmark::State& state) {
+  const auto members = static_cast<std::size_t>(state.range(0));
+  InternetServices internet = makeCatalog(150);
+  Rng rng(9);
+  std::vector<MetadataStore> stores(members);
+  std::vector<CreditLedger> ledgers(members);
+  std::vector<DiscoveryPeer> peers;
+  for (std::size_t i = 0; i < members; ++i) {
+    for (FileId f : internet.catalog().allFiles()) {
+      if (rng.chance(0.4)) stores[i].add(internet.catalog().metadataFor(f));
+    }
+    DiscoveryPeer peer;
+    peer.id = NodeId(static_cast<std::uint32_t>(i));
+    peer.store = &stores[i];
+    const FileId wanted(static_cast<std::uint32_t>(rng.pickIndex(150)));
+    peer.queries = {
+        canonicalQueryText(*internet.catalog().find(wanted))};
+    peer.credits = &ledgers[i];
+    peers.push_back(std::move(peer));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planDiscovery(peers, 10,
+                                           Scheduling::kCooperative));
+  }
+}
+BENCHMARK(BM_PlanDiscovery)->Arg(2)->Arg(8)->Arg(20);
+
+void BM_PlanDownload(benchmark::State& state) {
+  const auto members = static_cast<std::size_t>(state.range(0));
+  InternetServices internet = makeCatalog(150);
+  Rng rng(11);
+  std::vector<PieceStore> stores(members);
+  std::vector<CreditLedger> ledgers(members);
+  std::vector<DownloadPeer> peers;
+  for (std::size_t i = 0; i < members; ++i) {
+    for (FileId f : internet.catalog().allFiles()) {
+      if (!rng.chance(0.3)) continue;
+      stores[i].registerFile(f, 1);
+      stores[i].addPiece(f, 0);
+    }
+    DownloadPeer peer;
+    peer.id = NodeId(static_cast<std::uint32_t>(i));
+    peer.pieces = &stores[i];
+    peer.wanted = {FileId(static_cast<std::uint32_t>(rng.pickIndex(150)))};
+    peer.credits = &ledgers[i];
+    peers.push_back(std::move(peer));
+  }
+  const auto popularityOf = [&internet](FileId f) {
+    return internet.catalog().find(f)->popularity;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        planDownload(peers, popularityOf, 10, Scheduling::kCooperative));
+  }
+}
+BENCHMARK(BM_PlanDownload)->Arg(2)->Arg(8)->Arg(20);
+
+void BM_CodecMetadataRoundTrip(benchmark::State& state) {
+  InternetServices internet = makeCatalog(1);
+  const Metadata& md = internet.catalog().metadataFor(FileId(0));
+  for (auto _ : state) {
+    const auto frame = net::encodeMetadata(md);
+    benchmark::DoNotOptimize(net::decodeMetadata(frame));
+  }
+}
+BENCHMARK(BM_CodecMetadataRoundTrip);
+
+void BM_BloomFilterInsertQuery(benchmark::State& state) {
+  BloomFilter filter = BloomFilter::forCapacity(10000, 0.01);
+  Rng rng(3);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    filter.insert(key);
+    benchmark::DoNotOptimize(filter.mayContain(key ^ 1));
+    ++key;
+  }
+}
+BENCHMARK(BM_BloomFilterInsertQuery);
+
+void BM_EngineNusRun(benchmark::State& state) {
+  trace::NusParams tp;
+  tp.students = 80;
+  tp.courses = 16;
+  tp.coursesPerStudent = 3;
+  tp.days = 6;
+  tp.seed = 2;
+  const auto trace = trace::generateNus(tp);
+  for (auto _ : state) {
+    EngineParams params;
+    params.protocol.kind = ProtocolKind::kMbt;
+    params.frequentContactPeriod = kDay;
+    params.seed = 5;
+    benchmark::DoNotOptimize(runSimulation(trace, params));
+  }
+}
+BENCHMARK(BM_EngineNusRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+#include "bench/harness.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string_view>
+
+#include "src/core/protocol.hpp"
+#include "src/trace/dieselnet.hpp"
+#include "src/trace/nus.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/string_util.hpp"
+
+namespace hdtn::bench {
+
+using core::EngineParams;
+using core::EngineResult;
+using core::ProtocolKind;
+
+namespace {
+
+constexpr ProtocolKind kProtocols[] = {
+    ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm};
+
+int resolveSeeds(int fallback, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (hdtn::startsWith(arg, "--seeds=")) {
+      return std::max(1, std::atoi(arg.substr(8).data()));
+    }
+  }
+  if (const char* env = std::getenv("HDTN_SEEDS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return fallback;
+}
+
+}  // namespace
+
+trace::ContactTrace defaultDieselNet(std::uint64_t seed) {
+  trace::DieselNetParams params;
+  params.buses = 40;
+  params.routes = 8;
+  params.days = 20;
+  // Thinner than the generator defaults so the delivery curves stay in the
+  // informative (unsaturated) range across the sweeps.
+  params.sameRouteMeetingsPerDay = 1.4;
+  params.connectedRouteMeetingsPerDay = 0.5;
+  params.backgroundMeetingsPerDay = 0.03;
+  params.seed = seed;
+  return trace::generateDieselNet(params);
+}
+
+trace::ContactTrace defaultNus(std::uint64_t seed, double attendanceRate) {
+  trace::NusParams params;
+  params.students = 160;
+  params.courses = 32;
+  params.coursesPerStudent = 4;
+  params.days = 12;
+  params.attendanceRate = attendanceRate;
+  params.seed = seed;
+  return trace::generateNus(params);
+}
+
+EngineParams dieselNetBaseParams() {
+  EngineParams p;
+  p.frequentContactPeriod = trace::kDieselNetFrequentPeriod;
+  return p;
+}
+
+EngineParams nusBaseParams() {
+  EngineParams p;
+  p.frequentContactPeriod = trace::kNusFrequentPeriod;
+  return p;
+}
+
+std::vector<double> accessFractionSweep() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+int runFigure(FigureSpec spec, int argc, char** argv) {
+  const int seeds = resolveSeeds(spec.seeds, argc, argv);
+  std::cout << "=== " << spec.id << ": " << spec.title << " ===\n"
+            << "x-axis: " << spec.xLabel << "; " << seeds
+            << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM\n\n";
+
+  // Traces cached per (seed, x-if-relevant).
+  std::map<std::pair<int, int>, trace::ContactTrace> traceCache;
+  auto traceFor = [&](std::size_t xi, int seed) -> const trace::ContactTrace& {
+    const int xKey = spec.traceDependsOnX ? static_cast<int>(xi) : -1;
+    auto key = std::make_pair(seed, xKey);
+    auto it = traceCache.find(key);
+    if (it == traceCache.end()) {
+      it = traceCache
+               .emplace(key, spec.makeTrace(spec.xs[xi],
+                                            static_cast<std::uint64_t>(seed)))
+               .first;
+    }
+    return it->second;
+  };
+
+  // series[protocol] -> per-x mean ratios.
+  std::vector<std::vector<double>> metadataSeries(3), fileSeries(3);
+
+  Table table({spec.xLabel, "MBT md", "MBT-Q md", "MBT-QM md", "MBT file",
+               "MBT-Q file", "MBT-QM file"});
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    const double x = spec.xs[xi];
+    std::vector<double> mdMeans(3, 0.0), fileMeans(3, 0.0);
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      double mdSum = 0.0, fileSum = 0.0;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        EngineParams params = spec.base;
+        params.protocol.kind = kProtocols[pi];
+        params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
+        spec.apply(params, x);
+        const EngineResult result =
+            core::runSimulation(traceFor(xi, seed), params);
+        mdSum += result.delivery.metadataRatio;
+        fileSum += result.delivery.fileRatio;
+      }
+      mdMeans[pi] = mdSum / seeds;
+      fileMeans[pi] = fileSum / seeds;
+      metadataSeries[pi].push_back(mdMeans[pi]);
+      fileSeries[pi].push_back(fileMeans[pi]);
+    }
+    table.addRow({x, mdMeans[0], mdMeans[1], mdMeans[2], fileMeans[0],
+                  fileMeans[1], fileMeans[2]});
+  }
+
+  table.writeAligned(std::cout);
+  std::cout << "\nCSV:\n";
+  table.writeCsv(std::cout);
+  std::cout << "\n";
+
+  const char glyphs[3] = {'*', 'o', '.'};
+  AsciiChart mdChart(spec.id + ": metadata delivery ratio vs " + spec.xLabel,
+                     spec.xs);
+  AsciiChart fileChart(spec.id + ": file delivery ratio vs " + spec.xLabel,
+                       spec.xs);
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    const char* name = core::protocolName(kProtocols[pi]);
+    mdChart.addSeries({name, glyphs[pi], metadataSeries[pi]});
+    fileChart.addSeries({name, glyphs[pi], fileSeries[pi]});
+  }
+  std::cout << mdChart.render() << "\n" << fileChart.render() << std::endl;
+  return 0;
+}
+
+}  // namespace hdtn::bench

@@ -1,0 +1,56 @@
+// Shared harness for the figure-regeneration benches.
+//
+// Every bench binary regenerates one panel of the paper's evaluation
+// (Figures 2(a)-2(e) on the DieselNet-style trace, 3(a)-3(f) on the NUS
+// style trace): it sweeps one parameter, runs the three protocols (MBT,
+// MBT-Q, MBT-QM) at each point averaged over several seeds, and prints the
+// metadata and file delivery-ratio series as aligned tables, CSV, and ASCII
+// charts — the same rows/series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/trace/contact_trace.hpp"
+
+namespace hdtn::bench {
+
+using TraceFactory =
+    std::function<hdtn::trace::ContactTrace(double x, std::uint64_t seed)>;
+using ParamSetter = std::function<void(hdtn::core::EngineParams&, double x)>;
+
+struct FigureSpec {
+  std::string id;      ///< e.g. "fig2a"
+  std::string title;   ///< chart heading
+  std::string xLabel;  ///< swept parameter
+  std::vector<double> xs;
+  TraceFactory makeTrace;
+  hdtn::core::EngineParams base;
+  ParamSetter apply;
+  /// Seeds averaged per point (override with --seeds=N or HDTN_SEEDS).
+  int seeds = 3;
+  /// True when the trace itself depends on x (Fig 3(f) attendance sweep).
+  bool traceDependsOnX = false;
+};
+
+/// Runs the sweep and prints the report. Returns a process exit code.
+int runFigure(FigureSpec spec, int argc, char** argv);
+
+/// The synthetic stand-ins for the paper's two traces, at the scales used
+/// by all figure benches.
+hdtn::trace::ContactTrace defaultDieselNet(std::uint64_t seed);
+hdtn::trace::ContactTrace defaultNus(std::uint64_t seed,
+                                     double attendanceRate = 0.85);
+
+/// Default engine parameters per trace family (frequent-contact windows per
+/// the paper: 3 days for DieselNet, 1 day for NUS).
+hdtn::core::EngineParams dieselNetBaseParams();
+hdtn::core::EngineParams nusBaseParams();
+
+/// 0.1, 0.2, ..., 0.9 — the Internet-access-fraction sweep.
+std::vector<double> accessFractionSweep();
+
+}  // namespace hdtn::bench

@@ -1,0 +1,68 @@
+// Campus file sharing: the NUS-student-trace scenario (paper Section VI).
+//
+// Students carry phones; contacts happen inside classrooms, where everyone
+// in the room forms one broadcast clique. A fraction of students have
+// Internet access (dorm Wi-Fi); the rest obtain daily media files through
+// cooperative discovery and download. The example runs the three protocols
+// the paper compares and prints their delivery ratios side by side.
+//
+//   ./build/examples/campus_sharing
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/engine.hpp"
+#include "src/trace/nus.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/csv.hpp"
+
+using namespace hdtn;
+
+int main() {
+  trace::NusParams traceParams;
+  traceParams.students = 120;
+  traceParams.courses = 24;
+  traceParams.coursesPerStudent = 4;
+  traceParams.days = 10;
+  traceParams.attendanceRate = 0.85;
+  traceParams.seed = 7;
+  const trace::ContactTrace trace = trace::generateNus(traceParams);
+
+  const trace::TraceSummary summary = trace::summarize(trace);
+  std::printf("campus trace: %zu students, %zu classroom sessions, "
+              "mean clique size %.1f, span %lld days\n",
+              summary.nodeCount, summary.contactCount, summary.meanCliqueSize,
+              static_cast<long long>(summary.span / kDay));
+  std::printf("frequent-contact pairs (>= 1 contact/day): %zu\n\n",
+              trace::frequentContactPairs(trace, trace::kNusFrequentPeriod)
+                  .size());
+
+  Table table({"protocol", "metadata ratio", "file ratio",
+               "mean file delay (h)", "metadata broadcasts",
+               "piece broadcasts"});
+  for (auto kind : {core::ProtocolKind::kMbt, core::ProtocolKind::kMbtQ,
+                    core::ProtocolKind::kMbtQm}) {
+    core::EngineParams params;
+    params.protocol.kind = kind;
+    params.internetAccessFraction = 0.3;
+    params.newFilesPerDay = 40;
+    params.fileTtlDays = 3;
+    params.metadataPerContact = 5;
+    params.filesPerContact = 2;
+    params.frequentContactPeriod = trace::kNusFrequentPeriod;
+    params.seed = 99;
+    const core::EngineResult result = core::runSimulation(trace, params);
+    table.addRow({core::protocolName(kind),
+                  Table::formatDouble(result.delivery.metadataRatio, 3),
+                  Table::formatDouble(result.delivery.fileRatio, 3),
+                  Table::formatDouble(
+                      result.delivery.meanFileDelaySeconds / 3600.0, 1),
+                  std::to_string(result.totals.metadataBroadcasts),
+                  std::to_string(result.totals.pieceBroadcasts)});
+  }
+  table.writeAligned(std::cout);
+  std::printf(
+      "\nMBT distributes queries + metadata + files; MBT-Q drops query\n"
+      "proxying; MBT-QM pushes files by global popularity only. The gap\n"
+      "between the rows is the value of cooperative file discovery.\n");
+  return 0;
+}

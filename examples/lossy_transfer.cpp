@@ -1,0 +1,118 @@
+// Byte-level file transfer over a lossy radio, with encryption-based
+// choking (the paper's future-work extension).
+//
+// Two devices speak the wire protocol across a channel that drops and
+// corrupts frames. The seeder chokes: pieces are broadcast encrypted, and
+// the decryption keys are released only after the leecher has earned
+// credit. SHA-1 checksums catch every corruption; the transfer still
+// completes.
+//
+//   ./build/examples/lossy_transfer
+#include <cstdio>
+
+#include "src/core/choke.hpp"
+#include "src/core/internet.hpp"
+#include "src/net/device.hpp"
+
+using namespace hdtn;
+
+int main() {
+  core::InternetServices internet;
+  core::FileCatalog::PublishRequest req;
+  req.name = "fox science special ep0";
+  req.publisher = "fox";
+  req.description = "deep sea documentary";
+  req.sizeBytes = 32 * 1024;
+  req.pieceSizeBytes = 1024;  // 32 pieces
+  req.popularity = 0.6;
+  req.publishedAt = 0;
+  req.ttl = 10 * kDay;
+  const FileId file = internet.publish(req);
+  const core::Metadata& md = internet.catalog().metadataFor(file);
+
+  net::Device seeder(NodeId(1), {});
+  seeder.node().acceptMetadata(md, 0);
+  for (std::uint32_t p = 0; p < md.pieceCount(); ++p) {
+    seeder.node().acceptPiece(file, p, md.pieceCount(), 0);
+  }
+  net::Device leecher(NodeId(2), {}, &internet.registry());
+
+  net::LossyLink radio(/*dropRate=*/0.2, /*corruptRate=*/0.3, Rng(11));
+  std::printf("radio: 20%% frame loss, 30%% corruption\n");
+
+  // 1. Metadata crosses the radio (verified against the registry).
+  SimTime now = 1;
+  while (!leecher.node().metadata().has(file)) {
+    if (const auto frame = radio.transfer(*seeder.makeMetadataFrame(file))) {
+      leecher.receive(*frame, now);
+    }
+    ++now;
+  }
+  std::printf("metadata delivered and verified after %lld beacons\n",
+              static_cast<long long>(now - 1));
+
+  // 2. Plain piece transfer with naive ARQ for the first half of the file:
+  // drops force retransmission, corruptions are caught by the checksums.
+  const std::uint32_t half = md.pieceCount() / 2;
+  int rounds = 0;
+  while (leecher.node().pieces().piecesHeld(file) < half) {
+    ++rounds;
+    for (std::uint32_t p = 0; p < half; ++p) {
+      if (leecher.node().pieces().hasPiece(file, p)) continue;
+      const auto frame =
+          seeder.makePieceFrame(internet.catalog(), file, p);
+      if (const auto rx = radio.transfer(*frame)) {
+        leecher.receive(*rx, ++now);
+      }
+    }
+  }
+  std::printf(
+      "pieces 0-%u transferred in %d ARQ rounds: %llu frames dropped, "
+      "%llu corrupted (every corruption caught: %llu checksum rejections, "
+      "%llu unparseable)\n",
+      half - 1, rounds, static_cast<unsigned long long>(radio.dropped()),
+      static_cast<unsigned long long>(radio.corrupted()),
+      static_cast<unsigned long long>(
+          leecher.outcomeCount(net::RxOutcome::kPieceCorrupt)),
+      static_cast<unsigned long long>(
+          leecher.outcomeCount(net::RxOutcome::kMalformed)));
+
+  // 3. Choked distribution for the second half: ciphertext is broadcast
+  // freely...
+  core::KeyEscrow escrow("seeder-secret", /*minimumCredit=*/5.0);
+  core::CipherVault vault;
+  core::CreditLedger seederLedger;  // the seeder's view of its peers
+  const core::FileInfo& info = *internet.catalog().find(file);
+  for (std::uint32_t p = half; p < md.pieceCount(); ++p) {
+    vault.storeCiphertext(md.uri, p,
+                          escrow.encrypt(md.uri, p,
+                                         core::makePieceBytes(info, p)));
+  }
+  std::printf("leecher overheard %zu encrypted pieces - none readable yet\n",
+              vault.pendingCiphertexts());
+
+  // ...the leecher contributes (serves a request), earns credit...
+  seederLedger.onReceivedRequested(NodeId(2));
+  std::printf("leecher served a request: credit now %.1f (threshold %.1f)\n",
+              seederLedger.credit(NodeId(2)), escrow.minimumCredit());
+
+  // ...and the keys unlock the vault piece by piece.
+  std::uint32_t decrypted = 0;
+  for (std::uint32_t p = half; p < md.pieceCount(); ++p) {
+    const auto key = escrow.requestKey(NodeId(2), seederLedger, md.uri, p);
+    if (!key) continue;
+    vault.storeKey(md.uri, p, *key);
+    if (const auto plaintext = vault.tryDecrypt(md.uri, p)) {
+      if (internet.catalog().verifyPiece(file, p, *plaintext)) {
+        leecher.node().acceptPiece(file, p, md.pieceCount(), now);
+        ++decrypted;
+      }
+    }
+  }
+  std::printf("keys released: %u/%u choked pieces decrypted, plaintext "
+              "checksums verified\n",
+              decrypted, md.pieceCount() - half);
+  std::printf("file complete: %s\n",
+              leecher.node().pieces().isComplete(file) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Tit-for-tat incentives vs free-riders (paper Sections IV-B and V-B).
+//
+// Some students never transmit (free-riders). Under the tit-for-tat
+// schedulers, peers weigh requests by the requester's credit, so
+// contributors are served earlier and free-riders are starved of targeted
+// service (they can still overhear popular pushes — the paper notes
+// free-riding cannot be fully inhibited over broadcast).
+//
+//   ./build/examples/tft_vs_freeriders
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/engine.hpp"
+#include "src/trace/nus.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/csv.hpp"
+
+using namespace hdtn;
+
+int main() {
+  trace::NusParams traceParams;
+  traceParams.students = 100;
+  traceParams.courses = 20;
+  traceParams.coursesPerStudent = 4;
+  traceParams.days = 10;
+  traceParams.attendanceRate = 0.9;
+  traceParams.seed = 15;
+  const trace::ContactTrace trace = trace::generateNus(traceParams);
+
+  std::printf("campus with free-riders: 100 students, 30%% free-riding\n\n");
+
+  Table table({"scheduler", "contributor file ratio",
+               "free-rider file ratio", "advantage"});
+  for (auto scheduling :
+       {core::Scheduling::kCooperative, core::Scheduling::kTitForTat}) {
+    core::EngineParams params;
+    params.protocol.kind = core::ProtocolKind::kMbt;
+    params.protocol.scheduling = scheduling;
+    params.internetAccessFraction = 0.3;
+    params.freeRiderFraction = 0.3;
+    params.newFilesPerDay = 40;
+    params.fileTtlDays = 3;
+    params.frequentContactPeriod = trace::kNusFrequentPeriod;
+    params.seed = 77;
+    const core::EngineResult result = core::runSimulation(trace, params);
+    const double contributor = result.contributorDelivery.fileRatio;
+    const double freeRider = result.freeRiderDelivery.fileRatio;
+    table.addRow({scheduling == core::Scheduling::kCooperative
+                      ? "cooperative"
+                      : "tit-for-tat",
+                  Table::formatDouble(contributor, 3),
+                  Table::formatDouble(freeRider, 3),
+                  Table::formatDouble(contributor - freeRider, 3)});
+  }
+  table.writeAligned(std::cout);
+
+  // Show the credit mechanism itself: one node's ledger after the run.
+  core::EngineParams params;
+  params.protocol.kind = core::ProtocolKind::kMbt;
+  params.protocol.scheduling = core::Scheduling::kTitForTat;
+  params.internetAccessFraction = 0.3;
+  params.freeRiderFraction = 0.3;
+  params.frequentContactPeriod = trace::kNusFrequentPeriod;
+  params.seed = 77;
+  core::Engine engine(trace, params);
+  engine.run();
+  // Find a non-access contributor and print whom it credits most.
+  for (std::uint32_t i = 0; i < engine.nodeCount(); ++i) {
+    const core::Node& node = engine.node(NodeId(i));
+    if (node.options().internetAccess || node.options().freeRider) continue;
+    const auto ranking = node.credits().ranking();
+    if (ranking.size() < 3) continue;
+    std::printf("\nnode %u's top creditors (peers that served it):\n", i);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const core::Node& peer = engine.node(ranking[k].first);
+      std::printf("  node %u: credit %.1f%s\n", ranking[k].first.value,
+                  ranking[k].second,
+                  peer.options().freeRider ? " (free-rider)" : "");
+    }
+    break;
+  }
+  std::printf(
+      "\nCredit buys priority in both discovery and download, so under\n"
+      "either scheduler free-riders trail contributors; tit-for-tat makes\n"
+      "the priority explicit at some scheduling-efficiency cost. As the\n"
+      "paper notes, broadcast overhearing means free-riding cannot be\n"
+      "fully inhibited - only deprioritized.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Vehicular podcast distribution: the DieselNet-style scenario.
+//
+// Buses on city routes exchange podcast episodes at route meeting points.
+// Episodes are multi-piece files (the paper's 256 KB pieces, scaled down),
+// so a bus may assemble an episode from pieces received in different
+// contacts — the store-carry-forward download path of Section V.
+//
+//   ./build/examples/vehicular_podcast
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/engine.hpp"
+#include "src/trace/dieselnet.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hdtn;
+
+int main() {
+  trace::DieselNetParams traceParams;
+  traceParams.buses = 30;
+  traceParams.routes = 6;
+  traceParams.days = 15;
+  traceParams.seed = 4;
+  const trace::ContactTrace trace = trace::generateDieselNet(traceParams);
+
+  const trace::TraceSummary summary = trace::summarize(trace);
+  std::printf("bus trace: %zu buses, %zu pairwise contacts, "
+              "mean contact %.0f s, mean inter-contact %.1f h\n",
+              summary.nodeCount, summary.contactCount,
+              summary.meanContactDuration,
+              summary.meanInterContactTime / 3600.0);
+
+  // Inter-contact time distribution: the long tail is why DTN delivery
+  // needs TTLs of days.
+  SampleSet gaps = trace::interContactTimes(trace);
+  Histogram hist(0.0, 3.0 * kDay, 12);
+  for (double g : gaps.samples()) hist.add(g);
+  std::printf("\ninter-contact time histogram (seconds):\n%s\n",
+              hist.render(40).c_str());
+
+  core::EngineParams params;
+  params.protocol.kind = core::ProtocolKind::kMbt;
+  params.internetAccessFraction = 0.15;  // buses passing the depot Wi-Fi
+  params.newFilesPerDay = 50;            // daily podcast episodes
+  params.fileTtlDays = 2;
+  params.piecesPerFile = 4;  // multi-piece episodes
+  params.filesPerContact = 1;            // 4-piece budget per contact
+  params.metadataPerContact = 4;
+  params.frequentContactPeriod = trace::kDieselNetFrequentPeriod;
+  params.seed = 21;
+
+  core::Engine engine(trace, params);
+  const core::EngineResult result = engine.run();
+
+  std::printf("episodes published: %llu (4 pieces each)\n",
+              static_cast<unsigned long long>(result.totals.filesPublished));
+  std::printf("piece broadcasts: %llu, receptions: %llu\n",
+              static_cast<unsigned long long>(result.totals.pieceBroadcasts),
+              static_cast<unsigned long long>(result.totals.pieceReceptions));
+  std::printf("non-access buses: metadata ratio %.3f, episode ratio %.3f, "
+              "mean episode delay %.1f h\n",
+              result.delivery.metadataRatio, result.delivery.fileRatio,
+              result.delivery.meanFileDelaySeconds / 3600.0);
+
+  // How fragmented are in-flight downloads? Count partially assembled
+  // episodes across buses at the end of the run.
+  std::size_t partial = 0, complete = 0;
+  for (std::uint32_t i = 0; i < engine.nodeCount(); ++i) {
+    const core::Node& node = engine.node(NodeId(i));
+    for (FileId file : node.pieces().files()) {
+      if (node.pieces().isComplete(file)) {
+        ++complete;
+      } else if (node.pieces().piecesHeld(file) > 0) {
+        ++partial;
+      }
+    }
+  }
+  std::printf("episodes across all buses at end of run: %zu complete, "
+              "%zu partially assembled\n",
+              complete, partial);
+  return 0;
+}

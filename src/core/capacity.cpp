@@ -1,0 +1,66 @@
+#include "src/core/capacity.hpp"
+
+#include <cassert>
+
+namespace hdtn::core {
+
+double analyticBroadcastCapacity(int n) {
+  assert(n >= 1);
+  if (n < 2) return 0.0;
+  return static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+double analyticPairwiseCapacity(int n) {
+  assert(n >= 1);
+  if (n < 2) return 0.0;
+  return 1.0 / static_cast<double>(n);
+}
+
+ContentionResult simulatePairwiseContention(const ContentionParams& params) {
+  assert(params.nodes >= 2);
+  assert(params.slots > 0);
+  Rng rng(params.seed);
+  std::int64_t successes = 0;
+  std::int64_t collisions = 0;
+  std::int64_t idle = 0;
+  for (int slot = 0; slot < params.slots; ++slot) {
+    int transmitters = 0;
+    for (int node = 0; node < params.nodes; ++node) {
+      if (rng.chance(params.attemptProbability)) ++transmitters;
+    }
+    if (transmitters == 0) {
+      ++idle;
+    } else if (transmitters == 1) {
+      ++successes;  // exactly one receiver hears one piece
+    } else {
+      ++collisions;
+    }
+  }
+  ContentionResult result;
+  const auto slots = static_cast<double>(params.slots);
+  result.perNodeGoodput =
+      static_cast<double>(successes) / slots / params.nodes;
+  result.collisionFraction = static_cast<double>(collisions) / slots;
+  result.idleFraction = static_cast<double>(idle) / slots;
+  return result;
+}
+
+ContentionResult simulateBroadcastSchedule(const ContentionParams& params) {
+  assert(params.nodes >= 2);
+  assert(params.slots > 0);
+  // One scheduled sender per slot, n-1 receivers, no collisions: the result
+  // is deterministic, but we keep the same interface for symmetry.
+  ContentionResult result;
+  result.perNodeGoodput =
+      static_cast<double>(params.nodes - 1) / params.nodes;
+  result.collisionFraction = 0.0;
+  result.idleFraction = 0.0;
+  return result;
+}
+
+double optimalAttemptProbability(int n) {
+  assert(n >= 1);
+  return 1.0 / static_cast<double>(n);
+}
+
+}  // namespace hdtn::core

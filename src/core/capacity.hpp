@@ -1,0 +1,63 @@
+// Per-node transmission capacity: broadcast vs pairwise (paper Section V).
+//
+// The paper's argument for broadcast-based download: in a clique of n nodes
+// where one node transmits at a time, each transmission has n-1 receivers,
+// so per-node useful receive capacity is W(n-1)/n and *grows* with density;
+// with pairwise transmission, links contend for the same channel and each
+// transmission has exactly one receiver, so per-node capacity is W/n and
+// *shrinks* with density. We provide both the closed forms and a slotted
+// contention simulator (CSMA-like random access for the pairwise case) that
+// reproduces them empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/random.hpp"
+
+namespace hdtn::core {
+
+/// Per-node useful receive capacity of a perfectly scheduled broadcast
+/// clique of n nodes, as a fraction of the channel rate W: (n-1)/n.
+[[nodiscard]] double analyticBroadcastCapacity(int n);
+
+/// Per-node useful receive capacity of pairwise transmission in a clique of
+/// n nodes (one link active at a time, one receiver per transmission): 1/n.
+[[nodiscard]] double analyticPairwiseCapacity(int n);
+
+struct ContentionParams {
+  int nodes = 10;
+  /// Number of time slots to simulate.
+  int slots = 20000;
+  /// Per-slot transmission attempt probability of each node (pairwise
+  /// random access). A slot succeeds when exactly one node transmits.
+  double attemptProbability = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct ContentionResult {
+  /// Mean useful receptions per node per slot.
+  double perNodeGoodput = 0.0;
+  /// Fraction of slots wasted by collisions (pairwise only; 0 for
+  /// broadcast, which is collision-free by schedule).
+  double collisionFraction = 0.0;
+  /// Fraction of idle slots.
+  double idleFraction = 0.0;
+};
+
+/// Slotted random-access pairwise transmission inside one clique: each slot,
+/// every node independently transmits with attemptProbability to a uniformly
+/// random peer; the slot delivers one piece to one receiver iff exactly one
+/// node transmitted.
+[[nodiscard]] ContentionResult simulatePairwiseContention(
+    const ContentionParams& params);
+
+/// Scheduled broadcast inside one clique: senders rotate; every slot
+/// delivers to all n-1 other members.
+[[nodiscard]] ContentionResult simulateBroadcastSchedule(
+    const ContentionParams& params);
+
+/// The attempt probability maximizing slotted-ALOHA-style success for n
+/// nodes (1/n), used by benches to give the pairwise baseline its best case.
+[[nodiscard]] double optimalAttemptProbability(int n);
+
+}  // namespace hdtn::core

@@ -1,0 +1,84 @@
+#include "src/core/choke.hpp"
+
+#include "src/util/random.hpp"
+
+namespace hdtn::core {
+
+PieceKey derivePieceKey(const std::string& senderSecret, const Uri& fileUri,
+                        std::uint32_t pieceIndex) {
+  Sha1 hasher;
+  hasher.update(senderSecret);
+  hasher.update(std::string_view("\x1f"));
+  hasher.update(fileUri);
+  hasher.update(std::string_view("\x1f"));
+  hasher.update(std::to_string(pieceIndex));
+  return PieceKey{hasher.finish()};
+}
+
+std::vector<std::uint8_t> cryptPiece(const PieceKey& key,
+                                     std::span<const std::uint8_t> data) {
+  // Seed a keystream generator from the key digest.
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    seed = (seed << 8) | key.digest.bytes[static_cast<std::size_t>(i)];
+  }
+  std::uint64_t tweak = 0;
+  for (int i = 8; i < 16; ++i) {
+    tweak = (tweak << 8) | key.digest.bytes[static_cast<std::size_t>(i)];
+  }
+  Rng keystream(seed ^ (tweak * 0x9e3779b97f4a7c15ull));
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = keystream();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] ^= static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> KeyEscrow::encrypt(
+    const Uri& fileUri, std::uint32_t pieceIndex,
+    std::span<const std::uint8_t> plaintext) const {
+  return cryptPiece(derivePieceKey(secret_, fileUri, pieceIndex), plaintext);
+}
+
+std::optional<PieceKey> KeyEscrow::requestKey(NodeId peer,
+                                              const CreditLedger& ledger,
+                                              const Uri& fileUri,
+                                              std::uint32_t pieceIndex) const {
+  if (ledger.credit(peer) < minimumCredit_) return std::nullopt;
+  return derivePieceKey(secret_, fileUri, pieceIndex);
+}
+
+std::string CipherVault::slot(const Uri& fileUri, std::uint32_t pieceIndex) {
+  return fileUri + "#" + std::to_string(pieceIndex);
+}
+
+void CipherVault::storeCiphertext(const Uri& fileUri,
+                                  std::uint32_t pieceIndex,
+                                  std::vector<std::uint8_t> ciphertext) {
+  ciphertexts_[slot(fileUri, pieceIndex)] = std::move(ciphertext);
+}
+
+void CipherVault::storeKey(const Uri& fileUri, std::uint32_t pieceIndex,
+                           const PieceKey& key) {
+  keys_[slot(fileUri, pieceIndex)] = key;
+}
+
+std::optional<std::vector<std::uint8_t>> CipherVault::tryDecrypt(
+    const Uri& fileUri, std::uint32_t pieceIndex) {
+  const std::string key = slot(fileUri, pieceIndex);
+  auto cipherIt = ciphertexts_.find(key);
+  auto keyIt = keys_.find(key);
+  if (cipherIt == ciphertexts_.end() || keyIt == keys_.end()) {
+    return std::nullopt;
+  }
+  auto plaintext = cryptPiece(keyIt->second, cipherIt->second);
+  ciphertexts_.erase(cipherIt);
+  keys_.erase(keyIt);
+  return plaintext;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,100 @@
+// Encryption-based choking (the paper's stated future work, Section IV
+// footnote: "Peers can still be choked if encryption is used").
+//
+// Broadcast transmission means free-riders always *hear* pieces; what a
+// sender can withhold is the ability to decrypt them. Each (file, piece,
+// sender) gets a stream-cipher keystream derived from the sender's secret;
+// the encrypted payload is broadcast to everyone, and the 20-byte piece key
+// is released individually — only to peers whose credit clears the
+// sender's threshold. A free-rider accumulates ciphertext it cannot read
+// until it starts contributing.
+//
+// The keystream is SHA-1-keyed xoshiro output. That is not a vetted AEAD —
+// like the rest of this library it is a faithful protocol-level model, not
+// a production cipher.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/credit.hpp"
+#include "src/util/sha1.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// Key of one encrypted piece.
+struct PieceKey {
+  Sha1Digest digest{};
+  friend bool operator==(const PieceKey&, const PieceKey&) = default;
+};
+
+/// Derives the piece key from a sender secret and the piece identity.
+[[nodiscard]] PieceKey derivePieceKey(const std::string& senderSecret,
+                                      const Uri& fileUri,
+                                      std::uint32_t pieceIndex);
+
+/// XOR stream cipher keyed by a PieceKey; involution, so the same call
+/// encrypts and decrypts.
+[[nodiscard]] std::vector<std::uint8_t> cryptPiece(
+    const PieceKey& key, std::span<const std::uint8_t> data);
+
+/// A sender-side escrow: broadcasts ciphertext freely, releases keys only
+/// to sufficiently credited peers.
+class KeyEscrow {
+ public:
+  /// `secret` is this node's key-derivation secret; `minimumCredit` is the
+  /// credit a peer needs before keys are released to it.
+  KeyEscrow(std::string secret, double minimumCredit)
+      : secret_(std::move(secret)), minimumCredit_(minimumCredit) {}
+
+  [[nodiscard]] double minimumCredit() const { return minimumCredit_; }
+
+  /// Encrypts a piece for broadcast.
+  [[nodiscard]] std::vector<std::uint8_t> encrypt(
+      const Uri& fileUri, std::uint32_t pieceIndex,
+      std::span<const std::uint8_t> plaintext) const;
+
+  /// Releases the key for one piece to `peer` iff `ledger` (the sender's
+  /// view of its peers) credits the peer with at least minimumCredit.
+  [[nodiscard]] std::optional<PieceKey> requestKey(
+      NodeId peer, const CreditLedger& ledger, const Uri& fileUri,
+      std::uint32_t pieceIndex) const;
+
+ private:
+  std::string secret_;
+  double minimumCredit_;
+};
+
+/// Receiver-side vault: stores ciphertext until the matching key arrives.
+class CipherVault {
+ public:
+  /// Stores an overheard encrypted piece.
+  void storeCiphertext(const Uri& fileUri, std::uint32_t pieceIndex,
+                       std::vector<std::uint8_t> ciphertext);
+
+  /// Stores a released key.
+  void storeKey(const Uri& fileUri, std::uint32_t pieceIndex,
+                const PieceKey& key);
+
+  /// Decrypts and removes a piece when both ciphertext and key are present.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> tryDecrypt(
+      const Uri& fileUri, std::uint32_t pieceIndex);
+
+  [[nodiscard]] std::size_t pendingCiphertexts() const {
+    return ciphertexts_.size();
+  }
+  [[nodiscard]] std::size_t heldKeys() const { return keys_.size(); }
+
+ private:
+  static std::string slot(const Uri& fileUri, std::uint32_t pieceIndex);
+
+  std::unordered_map<std::string, std::vector<std::uint8_t>> ciphertexts_;
+  std::unordered_map<std::string, PieceKey> keys_;
+};
+
+}  // namespace hdtn::core

@@ -1,0 +1,38 @@
+#include "src/core/credit.hpp"
+
+#include <algorithm>
+
+namespace hdtn::core {
+
+double CreditLedger::credit(NodeId peer) const {
+  auto it = credits_.find(peer);
+  return it == credits_.end() ? 0.0 : it->second;
+}
+
+void CreditLedger::onReceivedRequested(NodeId peer) {
+  credits_[peer] += kRequestedCredit;
+}
+
+void CreditLedger::onReceivedUnrequested(NodeId peer, Popularity popularity) {
+  credits_[peer] += popularity;
+}
+
+void CreditLedger::addCredit(NodeId peer, double delta) {
+  credits_[peer] += delta;
+}
+
+void CreditLedger::decay(double factor) {
+  for (auto& [_, credit] : credits_) credit *= factor;
+}
+
+std::vector<std::pair<NodeId, double>> CreditLedger::ranking() const {
+  std::vector<std::pair<NodeId, double>> out(credits_.begin(),
+                                             credits_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,189 @@
+#include "src/core/discovery.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/query.hpp"
+#include "src/util/random.hpp"
+#include "src/util/string_util.hpp"
+
+namespace hdtn::core {
+namespace {
+
+// Working view of one candidate record during planning.
+struct Candidate {
+  const Metadata* metadata = nullptr;
+  std::vector<NodeId> holders;     // contributing members that can send it
+  std::vector<NodeId> lackers;     // members that do not hold it
+  std::vector<NodeId> requesters;  // lackers with a matching query
+};
+
+// Collects every record held by at least one contributing member and
+// missing at at least one member.
+std::vector<Candidate> collectCandidates(std::span<const DiscoveryPeer> peers) {
+  std::map<FileId, Candidate> byFile;
+  for (const DiscoveryPeer& peer : peers) {
+    if (peer.store == nullptr) continue;
+    for (const Metadata* md : peer.store->all()) {
+      auto& cand = byFile[md->file];
+      cand.metadata = md;
+      if (peer.contributes) cand.holders.push_back(peer.id);
+    }
+  }
+  // Tokenize every peer's queries once up front.
+  std::vector<std::vector<std::vector<std::string>>> tokenized(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (const std::string& q : peers[i].queries) {
+      tokenized[i].push_back(keywordTokens(q));
+    }
+  }
+  std::vector<Candidate> out;
+  for (auto& [file, cand] : byFile) {
+    if (cand.holders.empty()) continue;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      const DiscoveryPeer& peer = peers[i];
+      if (peer.store != nullptr && peer.store->has(file)) continue;
+      // A record the peer refused counts as held: re-sending it would only
+      // burn broadcast budget on a guaranteed rejection.
+      if (peer.rejected != nullptr && peer.rejected->contains(file)) {
+        continue;
+      }
+      // Likewise when the peer distrusts every node able to send it.
+      if (peer.distrustedSenders != nullptr) {
+        const bool someTrustedHolder = std::any_of(
+            cand.holders.begin(), cand.holders.end(), [&peer](NodeId h) {
+              return !peer.distrustedSenders->contains(h);
+            });
+        if (!someTrustedHolder) continue;
+      }
+      cand.lackers.push_back(peer.id);
+      const bool wants = std::any_of(
+          tokenized[i].begin(), tokenized[i].end(),
+          [&cand](const std::vector<std::string>& tokens) {
+            return queryTokensMatch(tokens, *cand.metadata);
+          });
+      if (wants) cand.requesters.push_back(peer.id);
+    }
+    if (cand.lackers.empty()) continue;
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+std::vector<MetadataBroadcast> planCooperative(
+    std::span<const DiscoveryPeer> peers, int budget, bool useRequestPhase) {
+  std::vector<Candidate> candidates = collectCandidates(peers);
+  // Two-phase order: requested records by (requester count desc, popularity
+  // desc), then unrequested by popularity desc. File id breaks exact ties
+  // deterministically. The popularity-only ablation skips the request phase.
+  std::sort(candidates.begin(), candidates.end(),
+            [useRequestPhase](const Candidate& a, const Candidate& b) {
+              if (useRequestPhase &&
+                  a.requesters.size() != b.requesters.size()) {
+                return a.requesters.size() > b.requesters.size();
+              }
+              if (a.metadata->popularity != b.metadata->popularity) {
+                return a.metadata->popularity > b.metadata->popularity;
+              }
+              return a.metadata->file < b.metadata->file;
+            });
+  std::vector<MetadataBroadcast> plan;
+  for (const Candidate& cand : candidates) {
+    if (static_cast<int>(plan.size()) >= budget) break;
+    MetadataBroadcast b;
+    // The coordinator assigns the lowest-id holder as sender.
+    b.sender = *std::min_element(cand.holders.begin(), cand.holders.end());
+    b.metadata = cand.metadata;
+    b.requesters = cand.requesters;
+    b.phase = cand.requesters.empty() ? 2 : 1;
+    plan.push_back(std::move(b));
+  }
+  return plan;
+}
+
+std::vector<MetadataBroadcast> planTitForTat(
+    std::span<const DiscoveryPeer> peers, int budget) {
+  std::vector<Candidate> candidates = collectCandidates(peers);
+  std::unordered_map<NodeId, const DiscoveryPeer*> peerById;
+  std::vector<NodeId> contributorIds;
+  for (const DiscoveryPeer& peer : peers) {
+    peerById[peer.id] = &peer;
+    if (peer.contributes) contributorIds.push_back(peer.id);
+  }
+  if (contributorIds.empty()) return {};
+  // Agreed-upon cyclic sender order (paper V-B uses the same construction
+  // for downloads; discovery reuses it so no selfish coordinator exists).
+  const std::vector<NodeId> order(
+      cyclicOrder(std::span<const NodeId>(contributorIds)));
+
+  std::vector<MetadataBroadcast> plan;
+  std::unordered_set<FileId> sent;
+  std::size_t turn = 0;
+  int idleTurns = 0;
+  while (static_cast<int>(plan.size()) < budget &&
+         idleTurns < static_cast<int>(order.size())) {
+    const NodeId sender = order[turn % order.size()];
+    ++turn;
+    const DiscoveryPeer& senderPeer = *peerById.at(sender);
+    // The sender picks, among its own records not yet broadcast, the one
+    // with the highest credit-weighted demand.
+    const Candidate* best = nullptr;
+    double bestWeight = -1.0;
+    for (const Candidate& cand : candidates) {
+      if (sent.contains(cand.metadata->file)) continue;
+      if (std::find(cand.holders.begin(), cand.holders.end(), sender) ==
+          cand.holders.end()) {
+        continue;
+      }
+      double weight = 0.0;
+      for (NodeId requester : cand.requesters) {
+        weight += senderPeer.credits != nullptr
+                      ? senderPeer.credits->credit(requester)
+                      : 0.0;
+        // A request is worth at least a popularity unit even from a
+        // zero-credit peer, keeping requested items ahead of pure pushes.
+        weight += 1.0;
+      }
+      weight += cand.metadata->popularity;  // push-phase tiebreak
+      if (best == nullptr || weight > bestWeight ||
+          (weight == bestWeight && cand.metadata->file < best->metadata->file)) {
+        best = &cand;
+        bestWeight = weight;
+      }
+    }
+    if (best == nullptr) {
+      ++idleTurns;
+      continue;
+    }
+    idleTurns = 0;
+    sent.insert(best->metadata->file);
+    MetadataBroadcast b;
+    b.sender = sender;
+    b.metadata = best->metadata;
+    b.requesters = best->requesters;
+    b.phase = best->requesters.empty() ? 2 : 1;
+    plan.push_back(std::move(b));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<MetadataBroadcast> planDiscovery(
+    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling) {
+  if (budget <= 0 || peers.size() < 2) return {};
+  switch (scheduling) {
+    case Scheduling::kCooperative:
+      return planCooperative(peers, budget, /*useRequestPhase=*/true);
+    case Scheduling::kTitForTat:
+      return planTitForTat(peers, budget);
+    case Scheduling::kPopularityOnly:
+      return planCooperative(peers, budget, /*useRequestPhase=*/false);
+  }
+  return {};
+}
+
+}  // namespace hdtn::core

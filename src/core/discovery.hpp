@@ -1,0 +1,73 @@
+// Cooperative and tit-for-tat metadata distribution (paper Section IV).
+//
+// During a contact, the clique members plan an ordered sequence of metadata
+// *broadcasts* (one sender at a time, everyone else receives):
+//
+//   Cooperative (IV-A): phase 1 sends metadata matching the queries of
+//   connected nodes — records matching more nodes' queries first, ties by
+//   decreasing popularity; phase 2 sends the remaining metadata in
+//   decreasing popularity.
+//
+//   Tit-for-tat (IV-B): senders take turns; each weighs a record by the sum
+//   of the credits of the nodes requesting it, so serving contributors is
+//   preferred. Free-riders (contributes == false) never transmit but still
+//   overhear broadcasts — the paper notes they cannot be fully inhibited,
+//   only starved of *targeted* service.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/credit.hpp"
+#include "src/core/metadata_store.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// Scheduling discipline for a contact.
+enum class Scheduling {
+  kCooperative,     ///< altruistic: coordinator orders by request count
+  kTitForTat,       ///< selfish-robust: cyclic senders, credit-weighted picks
+  kPopularityOnly,  ///< ablation: ignore requests, pure popularity push
+};
+
+/// One clique member's state as seen by the discovery planner.
+struct DiscoveryPeer {
+  NodeId id;
+  /// The member's metadata store (source of records it can send).
+  const MetadataStore* store = nullptr;
+  /// Records this member refused (failed authentication); treated as held
+  /// so they are never re-broadcast at it. Optional.
+  const std::unordered_set<FileId>* rejected = nullptr;
+  /// Senders this member ignores entirely (repeat forgery offenders). A
+  /// member is not a lacker of a record when every holder is distrusted.
+  const std::unordered_set<NodeId>* distrustedSenders = nullptr;
+  /// Query strings this member wants served: its own plus, under MBT, the
+  /// stored queries of its frequent contacts.
+  std::vector<std::string> queries;
+  /// The member's credit ledger (used when it is the sender under TFT).
+  const CreditLedger* credits = nullptr;
+  /// Free-riders set this false: they receive but never send.
+  bool contributes = true;
+};
+
+/// One planned metadata broadcast.
+struct MetadataBroadcast {
+  NodeId sender;
+  const Metadata* metadata = nullptr;
+  /// Members that lack the record and have a query matching it.
+  std::vector<NodeId> requesters;
+  /// 1 = requested phase, 2 = popularity push phase.
+  int phase = 1;
+};
+
+/// Plans up to `budget` broadcasts for one contact. Each record is broadcast
+/// at most once (after a broadcast every member holds it). Deterministic in
+/// its inputs.
+[[nodiscard]] std::vector<MetadataBroadcast> planDiscovery(
+    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling);
+
+}  // namespace hdtn::core

@@ -1,0 +1,88 @@
+// Broadcast-based file download (paper Section V).
+//
+// A contact's clique schedules piece *broadcasts*: one sender at a time, all
+// other members silent receivers.
+//
+//   Cooperative (V-A): a coordinator (lowest id) orders pieces: phase 1 —
+//   pieces requested by clique members, more requesters first, ties by
+//   decreasing file popularity; phase 2 — other pieces by decreasing
+//   popularity.
+//
+//   Tit-for-tat (V-B): no coordinator (a selfish one could cheat); members
+//   broadcast in an agreed pseudo-random cyclic order seeded by the sum of
+//   the ids, each weighing pieces by the sum of the requesters' credits.
+//
+// A pairwise baseline (the transmission mode of all prior DTN content
+// distribution per Section II) is provided for comparison: members are
+// matched into disjoint pairs, and each pair exchanges pieces over a
+// unicast link with a per-pair budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/credit.hpp"
+#include "src/core/discovery.hpp"  // Scheduling
+#include "src/core/piece_store.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// One clique member's state as seen by the download planner.
+struct DownloadPeer {
+  NodeId id;
+  const PieceStore* pieces = nullptr;
+  /// Files this member is actively downloading (it holds a matching
+  /// metadata for an unsatisfied query); advertised as URIs in hellos.
+  std::vector<FileId> wanted;
+  const CreditLedger* credits = nullptr;
+  bool contributes = true;
+};
+
+/// Popularity oracle: the engine resolves it from catalog/metadata.
+using PopularityFn = std::function<Popularity(FileId)>;
+
+/// Ordering of the push phase (and of ties inside the requested phase).
+enum class PushOrder {
+  kPopularity,   ///< the paper's rule: decreasing file popularity
+  kRarestFirst,  ///< BitTorrent's rule: fewest holders in the clique first
+};
+
+/// One planned piece broadcast.
+struct PieceBroadcast {
+  NodeId sender;
+  FileId file;
+  std::uint32_t piece = 0;
+  /// Members that want the file and lack this piece.
+  std::vector<NodeId> requesters;
+  /// 1 = requested phase, 2 = popularity push phase.
+  int phase = 1;
+};
+
+/// Plans up to `budgetPieces` broadcasts for one contact. Each (file, piece)
+/// is broadcast at most once. Deterministic in its inputs.
+[[nodiscard]] std::vector<PieceBroadcast> planDownload(
+    std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
+    int budgetPieces, Scheduling scheduling,
+    PushOrder pushOrder = PushOrder::kPopularity);
+
+/// One planned pairwise (unicast) transfer.
+struct PieceTransfer {
+  NodeId sender;
+  NodeId receiver;
+  FileId file;
+  std::uint32_t piece = 0;
+  bool requested = false;
+};
+
+/// Pairwise baseline: members are greedily matched into disjoint pairs
+/// (ascending id order); each pair plans up to `budgetPerPair` transfers,
+/// requested pieces first (then popularity). Models the "exactly one
+/// receiver per transmission" regime the paper argues against.
+[[nodiscard]] std::vector<PieceTransfer> planPairwiseDownload(
+    std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
+    int budgetPerPair);
+
+}  // namespace hdtn::core

@@ -1,0 +1,591 @@
+#include "src/core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "src/core/discovery.hpp"
+#include "src/core/download.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/logging.hpp"
+
+namespace hdtn::core {
+
+// Private per-engine caches keyed by publish epoch (the alive-metadata set
+// only changes at publish instants, since TTLs are whole days anchored at
+// the 2 PM publish time).
+struct EngineCaches {
+  SimTime lastPublishAt = -1;
+  std::vector<const Metadata*> topPopular;
+  /// Per node: query text -> publish time at which it was last searched.
+  std::vector<std::unordered_map<std::string, SimTime>> searchCache;
+};
+
+namespace {
+
+// Forged metadata gets file ids far above any catalog id so the two spaces
+// never collide; catalog lookups on forged ids simply miss.
+constexpr std::uint32_t kForgedIdBase = 1u << 24;
+
+EngineCaches& caches(std::unique_ptr<EngineCaches>& holder,
+                     std::size_t nodeCount) {
+  if (!holder) {
+    holder = std::make_unique<EngineCaches>();
+    holder->searchCache.resize(nodeCount);
+  }
+  return *holder;
+}
+}  // namespace
+
+Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
+    : trace_(trace), params_(params), rng_(params.seed) {
+  assert(params_.internetAccessFraction >= 0.0 &&
+         params_.internetAccessFraction <= 1.0);
+  assert(params_.newFilesPerDay > 0);
+  assert(params_.fileTtlDays > 0);
+  assert(params_.piecesPerFile > 0);
+  setupNodes();
+}
+
+Engine::~Engine() = default;
+
+void Engine::setupNodes() {
+  const std::size_t n = trace_.nodeCount();
+  std::vector<NodeId> ids = trace_.allNodes();
+  rng_.shuffle(ids);
+
+  std::set<NodeId> access;
+  std::set<NodeId> freeRiders;
+  if (!params_.explicitAccessNodes.empty() ||
+      !params_.explicitFreeRiders.empty()) {
+    access.insert(params_.explicitAccessNodes.begin(),
+                  params_.explicitAccessNodes.end());
+    freeRiders.insert(params_.explicitFreeRiders.begin(),
+                      params_.explicitFreeRiders.end());
+  } else {
+    const auto accessCount = static_cast<std::size_t>(std::llround(
+        params_.internetAccessFraction * static_cast<double>(n)));
+    access.insert(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(accessCount, n)));
+    const std::size_t nonAccess = n - access.size();
+    const auto freeRiderCount = static_cast<std::size_t>(std::llround(
+        params_.freeRiderFraction * static_cast<double>(nonAccess)));
+    // Free-riders are drawn from the non-access segment of the shuffle.
+    for (std::size_t i = access.size();
+         i < ids.size() && freeRiders.size() < freeRiderCount; ++i) {
+      freeRiders.insert(ids[i]);
+    }
+  }
+
+  // Forgers are drawn from non-access, non-free-riding nodes (they must
+  // transmit to spread their fakes).
+  std::set<NodeId> forgers;
+  const auto forgerCount = static_cast<std::size_t>(std::llround(
+      params_.forgerFraction * static_cast<double>(n - access.size())));
+  for (std::size_t i = access.size();
+       i < ids.size() && forgers.size() < forgerCount; ++i) {
+    if (!freeRiders.contains(ids[i])) forgers.insert(ids[i]);
+  }
+
+  const auto frequentLists =
+      trace::frequentContactLists(trace_, params_.frequentContactPeriod);
+
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id(i);
+    NodeOptions options;
+    options.internetAccess = access.contains(id);
+    options.freeRider = freeRiders.contains(id);
+    options.pieceCapacity = params_.nodePieceCapacity;
+    options.forger = forgers.contains(id);
+    auto node = std::make_unique<Node>(id, options);
+    if (params_.verifyMetadata && !options.forger) {
+      node->setMetadataVerifier([this](const Metadata& md) {
+        const bool genuine = internet_.registry().verify(md);
+        if (!genuine) ++totals_.forgeriesRejected;
+        return genuine;
+      });
+    }
+    if (i < frequentLists.size()) {
+      node->setFrequentContacts(frequentLists[i]);
+    }
+    node->setCooperativeStateTtl(
+        static_cast<Duration>(params_.fileTtlDays) * kDay);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+const Node& Engine::node(NodeId id) const {
+  assert(id.value < nodes_.size());
+  return *nodes_[id.value];
+}
+
+Node& Engine::node(NodeId id) {
+  assert(id.value < nodes_.size());
+  return *nodes_[id.value];
+}
+
+std::vector<NodeId> Engine::accessNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node->options().internetAccess) out.push_back(node->id());
+  }
+  return out;
+}
+
+EngineResult Engine::run() {
+  assert(!ran_ && "Engine::run may be called once");
+  ran_ = true;
+
+  sim::Simulator sim;
+  const SimTime end = trace_.endTime();
+  // Daily 2 PM publications across the trace span (publishes are scheduled
+  // first so that same-instant contacts observe the day's files).
+  for (SimTime t = kDailyPublishHour; t < end; t += kDay) {
+    sim.at(t, [this, t] { publishDay(t); });
+  }
+  for (const trace::Contact& contact : trace_.contacts()) {
+    sim.at(contact.start, [this, &contact] { processContact(contact); });
+  }
+  sim.run();
+
+  EngineResult result;
+  result.delivery = metrics_.report(MetricScope::kNonAccess);
+  result.accessDelivery = metrics_.report(MetricScope::kAccess);
+  result.contributorDelivery =
+      metrics_.report(MetricScope::kNonAccessContributors);
+  result.freeRiderDelivery =
+      metrics_.report(MetricScope::kNonAccessFreeRiders);
+  result.totals = totals_;
+  return result;
+}
+
+void Engine::publishDay(SimTime now) {
+  SyntheticBatchParams batch;
+  batch.count = params_.newFilesPerDay;
+  batch.publishedAt = now;
+  batch.ttl = static_cast<Duration>(params_.fileTtlDays) * kDay;
+  batch.lambda = popularityLambdaForFilesPerDay(params_.newFilesPerDay);
+  batch.piecesPerFile = params_.piecesPerFile;
+  batch.pieceSizeBytes = params_.pieceSizeBytes;
+  const std::vector<FileId> files =
+      publishSyntheticBatch(internet_, batch, rng_);
+  totals_.filesPublished += files.size();
+
+  // Each node becomes interested in each new file with probability equal to
+  // the file's popularity (Section VI-A).
+  for (FileId fileId : files) {
+    const FileInfo& info = *internet_.catalog().find(fileId);
+    const std::string queryText = canonicalQueryText(info);
+    for (auto& nodePtr : nodes_) {
+      if (!rng_.chance(info.popularity)) continue;
+      Query query;
+      query.owner = nodePtr->id();
+      query.text = queryText;
+      query.target = fileId;
+      query.issuedAt = now;
+      query.ttl = info.ttl;
+      query.id = metrics_.registerQuery(
+          query.owner, fileId, now, info.ttl,
+          nodePtr->options().internetAccess, nodePtr->options().freeRider);
+      nodePtr->addQuery(query);
+      ++totals_.queriesGenerated;
+      if (nodePtr->options().internetAccess) {
+        internet_.popularity().recordRequest(fileId, nodePtr->id(), now);
+      }
+    }
+  }
+
+  // Optionally replace publisher-assigned popularity with the server's
+  // observed estimate (requests by access nodes in the past 24 h). The
+  // estimate is computed after this batch's instant access-node requests,
+  // so new files get a meaningful first estimate.
+  if (params_.useObservedPopularity) {
+    const std::size_t accessCount = accessNodes().size();
+    for (FileId fileId : internet_.catalog().aliveFiles(now)) {
+      internet_.catalog().setPopularity(
+          fileId, internet_.popularity().observed(fileId, now, accessCount));
+    }
+  }
+
+  // The popularity/alive set changed: invalidate epoch caches. The carry
+  // stock scales with the alive population so a longer TTL does not dilute
+  // the coverage access nodes provide.
+  caches(caches_, nodes_.size()).lastPublishAt = now;
+  const std::size_t alive = internet_.catalog().aliveFiles(now).size();
+  const auto stock = std::min(
+      params_.accessMetadataSyncLimit,
+      std::max<std::size_t>(
+          10, static_cast<std::size_t>(params_.accessMetadataSyncFraction *
+                                       static_cast<double>(alive))));
+  caches_->topPopular = internet_.topPopular(now, stock);
+
+  // Access nodes are online: they discover and download instantly.
+  for (auto& nodePtr : nodes_) {
+    if (nodePtr->options().internetAccess) syncAccessNode(*nodePtr, now);
+  }
+
+  // Forgers craft fakes of the day's hottest titles: same searchable name,
+  // inflated popularity (so the push phases favor them), an authentication
+  // tag no registry secret produced, and a URI that resolves to nothing.
+  if (params_.forgerFraction > 0.0) {
+    const auto topToday = internet_.topPopular(
+        now, static_cast<std::size_t>(params_.forgeriesPerForgerPerDay));
+    for (auto& nodePtr : nodes_) {
+      if (!nodePtr->options().forger) continue;
+      for (const Metadata* genuine : topToday) {
+        Metadata forged = *genuine;
+        forged.file = FileId(nextForgedId_++);
+        forged.uri = "dtn://faux/" + std::to_string(forged.file.value);
+        forged.popularity = 0.95;
+        forged.pieceChecksums.assign(1, Sha1::hash("junk"));
+        forged.authTag = Sha1::hash("forged" + forged.uri);
+        forged.rebuildKeywords();
+        nodePtr->metadata().add(forged);
+        ++totals_.forgeriesCrafted;
+      }
+    }
+  }
+}
+
+void Engine::deliverWholeFile(Node& node, FileId file, SimTime now) {
+  const FileInfo* info = internet_.catalog().find(file);
+  if (info == nullptr || !info->alive(now)) return;
+  node.pieces().registerFile(file, info->pieceCount());
+  node.pieces().setPriority(file, info->popularity);
+  for (std::uint32_t p = 0; p < info->pieceCount(); ++p) {
+    node.acceptPiece(file, p, info->pieceCount(), now);
+  }
+  metrics_.onNodeCompletedFile(node.id(), file, now);
+}
+
+void Engine::syncAccessNode(Node& node, SimTime now) {
+  EngineCaches& cache = caches(caches_, nodes_.size());
+  if (cache.lastPublishAt < 0) return;  // nothing published yet
+
+  auto acceptFromServer = [&](const Metadata& md) {
+    if (md.expired(now)) return;
+    const bool isNew = !node.metadata().has(md.file);
+    node.acceptMetadata(md, now);
+    if (isNew) metrics_.onNodeGotMetadata(node.id(), md.file, now);
+  };
+
+  // 1. Search the server for this node's queries (its own, plus the stored
+  //    queries of its frequent contacts under MBT). Cached per publish
+  //    epoch: re-searching between publications cannot find anything new.
+  std::vector<std::string> texts = node.activeQueryTexts(now);
+  if (params_.protocol.distributesQueries()) {
+    for (auto& text : node.proxiedQueryTexts(now)) {
+      texts.push_back(std::move(text));
+    }
+  }
+  auto& searched = cache.searchCache[node.id().value];
+  for (const std::string& text : texts) {
+    auto it = searched.find(text);
+    if (it != searched.end() && it->second >= cache.lastPublishAt) continue;
+    searched[text] = now;
+    const auto matches = internet_.search(text, now);
+    // The user (or the proxy on a peer's behalf) keeps the top matches.
+    const std::size_t take = std::min<std::size_t>(3, matches.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      acceptFromServer(*matches[i].metadata);
+    }
+  }
+
+  // 2. Refresh the popularity-ordered carry stock (pointless under MBT-QM,
+  //    where metadata never leaves the node).
+  if (params_.protocol.distributesMetadata()) {
+    for (const Metadata* md : cache.topPopular) acceptFromServer(*md);
+  }
+
+  // 3. Download files this node selected ("enough bandwidth to download the
+  //    files they need").
+  for (FileId file : node.wantedFiles(now)) {
+    deliverWholeFile(node, file, now);
+  }
+
+  // 4. Fetch files peers advertised as wanted, to carry into the DTN.
+  if (params_.accessFetchesPeerRequests) {
+    for (const Uri& uri : node.peerWantedUris(now)) {
+      const Metadata* md = internet_.metadataForUri(uri);
+      if (md == nullptr || md->expired(now)) continue;
+      acceptFromServer(*md);
+      deliverWholeFile(node, md->file, now);
+    }
+  }
+}
+
+void Engine::expireNodeData(Node& node, SimTime now) {
+  node.expire(now);
+  for (FileId file : node.pieces().files()) {
+    const FileInfo* info = internet_.catalog().find(file);
+    if (info == nullptr || !info->alive(now)) node.pieces().removeFile(file);
+  }
+}
+
+void Engine::processContact(const trace::Contact& contact) {
+  const SimTime now = contact.start;
+  std::vector<Node*> members;
+  members.reserve(contact.members.size());
+  for (NodeId id : contact.members) {
+    if (id.value < nodes_.size()) members.push_back(nodes_[id.value].get());
+  }
+  if (members.size() < 2) return;
+  ++totals_.contactsProcessed;
+
+  for (Node* m : members) expireNodeData(*m, now);
+  // Access members are online; they arrive at the contact synced.
+  for (Node* m : members) {
+    if (m->options().internetAccess) syncAccessNode(*m, now);
+  }
+
+  // --- hello exchange ----------------------------------------------------
+  std::vector<std::vector<std::string>> texts(members.size());
+  std::vector<std::vector<Uri>> wantedUris(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    texts[i] = members[i]->activeQueryTexts(now);
+    for (FileId file : members[i]->wantedFiles(now)) {
+      const FileInfo* info = internet_.catalog().find(file);
+      if (info != nullptr) wantedUris[i].push_back(info->uri);
+    }
+    // Under MBT, stored "requesting URIs" of peers are re-advertised, so a
+    // request can travel multiple hops toward an access node.
+    if (params_.protocol.distributesQueries()) {
+      for (const Uri& uri : members[i]->peerWantedUris(now)) {
+        wantedUris[i].push_back(uri);
+      }
+    }
+  }
+  if (params_.protocol.distributesQueries()) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (i == j || !members[j]->contributes()) continue;
+        members[i]->storePeerQueries(members[j]->id(), texts[j], now);
+      }
+    }
+  }
+  if (params_.protocol.distributesMetadata()) {
+    // Wanted URIs exist only when metadata circulates; they ride on hellos.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        members[i]->storePeerWants(wantedUris[j], now);
+      }
+    }
+  }
+
+  // Optional airtime model: long contacts move proportionally more.
+  int budgetMultiplier = 1;
+  if (params_.scaleBudgetsWithDuration &&
+      params_.referenceContactDuration > 0) {
+    budgetMultiplier = std::max<int>(
+        1, static_cast<int>(contact.duration() /
+                            params_.referenceContactDuration));
+  }
+
+  // --- discovery phase (start of the contact, Section V rationale) -------
+  if (params_.protocol.distributesMetadata()) {
+    runDiscoveryPhase(members, now, budgetMultiplier);
+  }
+  // --- download phase -----------------------------------------------------
+  runDownloadPhase(members, now, budgetMultiplier);
+}
+
+void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
+                               int budgetMultiplier) {
+  std::vector<DiscoveryPeer> peers;
+  peers.reserve(members.size());
+  for (Node* m : members) {
+    DiscoveryPeer peer;
+    peer.id = m->id();
+    peer.store = &m->metadata();
+    peer.rejected = &m->rejectedMetadata();
+    peer.distrustedSenders = &m->distrustedPeers();
+    peer.queries = m->activeQueryTexts(now);
+    if (params_.protocol.distributesQueries()) {
+      for (auto& text : m->proxiedQueryTexts(now)) {
+        peer.queries.push_back(std::move(text));
+      }
+    }
+    peer.credits = &m->credits();
+    peer.contributes = m->contributes();
+    peers.push_back(std::move(peer));
+  }
+
+  const auto plan =
+      planDiscovery(peers, params_.metadataPerContact * budgetMultiplier,
+                    params_.protocol.scheduling);
+  totals_.metadataBroadcasts += plan.size();
+
+  std::unordered_map<NodeId, Node*> byId;
+  for (Node* m : members) byId[m->id()] = m;
+  for (const MetadataBroadcast& b : plan) {
+    const Metadata& md = *b.metadata;
+    for (Node* m : members) {
+      if (m->id() == b.sender || m->metadata().has(md.file) ||
+          m->rejectedMetadata().contains(md.file) ||
+          m->distrusts(b.sender)) {
+        continue;
+      }
+      // Credit the sender before the store flips the query state.
+      const bool requested = m->anyQueryMatches(md, now);
+      m->acceptMetadata(md, now);
+      ++totals_.metadataReceptions;
+      if (m->rejectedMetadata().contains(md.file)) {
+        // Failed verification: remember the offender, no credit.
+        m->noteRejectedFrom(b.sender);
+        continue;
+      }
+      if (md.file.value >= kForgedIdBase && !m->options().forger) {
+        ++totals_.forgeriesAccepted;
+      }
+      if (requested) {
+        m->credits().onReceivedRequested(b.sender);
+      } else {
+        m->credits().onReceivedUnrequested(b.sender, md.popularity);
+      }
+      metrics_.onNodeGotMetadata(m->id(), md.file, now);
+    }
+  }
+}
+
+void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
+                              int budgetMultiplier) {
+  std::vector<DownloadPeer> peers;
+  peers.reserve(members.size());
+  // Gateway behaviour: an access member is online *during* the contact, so
+  // it can fetch any file the clique currently requests straight from the
+  // Internet ("enough bandwidth to download the files they need"); the
+  // per-contact broadcast budget still gates the DTN side.
+  std::vector<FileId> cliqueWants;
+  for (Node* m : members) {
+    for (FileId file : m->wantedFiles(now)) cliqueWants.push_back(file);
+  }
+  for (Node* m : members) {
+    if (!m->options().internetAccess) continue;
+    for (FileId file : cliqueWants) {
+      if (!m->pieces().isComplete(file)) deliverWholeFile(*m, file, now);
+    }
+  }
+
+  for (Node* m : members) {
+    DownloadPeer peer;
+    peer.id = m->id();
+    peer.pieces = &m->pieces();
+    peer.wanted = m->wantedFiles(now);
+    peer.credits = &m->credits();
+    peer.contributes = m->contributes();
+    peers.push_back(std::move(peer));
+  }
+
+  const int budget = params_.filesPerContact *
+                     static_cast<int>(params_.piecesPerFile) *
+                     budgetMultiplier;
+  const auto popularityOf = [this](FileId file) {
+    const FileInfo* info = internet_.catalog().find(file);
+    return info == nullptr ? 0.0 : info->popularity;
+  };
+
+  if (params_.downloadMode == DownloadMode::kPairwise) {
+    // Prior-work baseline: members pair off, each pair exchanges over a
+    // unicast link. The clique is one collision domain, so the per-contact
+    // budget is shared across all pairs (round-robin), and each
+    // transmission serves exactly one receiver — the inefficiency the
+    // paper's broadcast scheme removes.
+    const auto perPair = planPairwiseDownload(peers, popularityOf, budget);
+    std::vector<std::vector<PieceTransfer>> byPair;
+    for (const PieceTransfer& t : perPair) {
+      if (byPair.empty() || byPair.back().front().sender != t.sender ||
+          byPair.back().front().receiver != t.receiver) {
+        // planPairwiseDownload emits transfers grouped by pair; a change of
+        // (sender, receiver) within a pair (reverse direction) still
+        // belongs to the same link.
+        const bool sameLink =
+            !byPair.empty() &&
+            ((byPair.back().front().sender == t.receiver &&
+              byPair.back().front().receiver == t.sender) ||
+             (byPair.back().front().sender == t.sender &&
+              byPair.back().front().receiver == t.receiver));
+        if (!sameLink) byPair.emplace_back();
+      }
+      byPair.back().push_back(t);
+    }
+    std::vector<PieceTransfer> transfers;
+    std::vector<std::size_t> cursor(byPair.size(), 0);
+    while (static_cast<int>(transfers.size()) < budget) {
+      bool any = false;
+      for (std::size_t p = 0;
+           p < byPair.size() &&
+           static_cast<int>(transfers.size()) < budget;
+           ++p) {
+        if (cursor[p] < byPair[p].size()) {
+          transfers.push_back(byPair[p][cursor[p]++]);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+    totals_.pieceBroadcasts += transfers.size();
+    std::unordered_map<NodeId, Node*> byId;
+    for (Node* m : members) byId[m->id()] = m;
+    for (const PieceTransfer& t : transfers) {
+      const FileInfo* info = internet_.catalog().find(t.file);
+      Node* receiver = byId.at(t.receiver);
+      if (info == nullptr ||
+          receiver->pieces().hasPiece(t.file, t.piece)) {
+        continue;
+      }
+      receiver->acceptPiece(t.file, t.piece, info->pieceCount(), now);
+      ++totals_.pieceReceptions;
+      if (t.requested) {
+        receiver->credits().onReceivedRequested(t.sender);
+      } else {
+        receiver->credits().onReceivedUnrequested(t.sender,
+                                                  info->popularity);
+      }
+      if (receiver->pieces().isComplete(t.file)) {
+        metrics_.onNodeCompletedFile(receiver->id(), t.file, now);
+      }
+    }
+    return;
+  }
+
+  const auto plan = planDownload(peers, popularityOf, budget,
+                                 params_.protocol.scheduling,
+                                 params_.pushOrder);
+  totals_.pieceBroadcasts += plan.size();
+
+  for (const PieceBroadcast& b : plan) {
+    const FileInfo* info = internet_.catalog().find(b.file);
+    if (info == nullptr) continue;
+    for (Node* m : members) {
+      if (m->id() == b.sender || m->pieces().hasPiece(b.file, b.piece)) {
+        continue;
+      }
+      const bool requested =
+          std::find(b.requesters.begin(), b.requesters.end(), m->id()) !=
+          b.requesters.end();
+      m->acceptPiece(b.file, b.piece, info->pieceCount(), now);
+      ++totals_.pieceReceptions;
+      if (requested) {
+        m->credits().onReceivedRequested(b.sender);
+      } else {
+        m->credits().onReceivedUnrequested(b.sender, info->popularity);
+      }
+      if (m->pieces().isComplete(b.file)) {
+        metrics_.onNodeCompletedFile(m->id(), b.file, now);
+      }
+    }
+  }
+}
+
+EngineResult runSimulation(const trace::ContactTrace& trace,
+                           const EngineParams& params) {
+  Engine engine(trace, params);
+  return engine.run();
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,176 @@
+// Trace-driven simulation of the full cooperative file-sharing system.
+//
+// Implements the paper's simulation model (Section VI-A): n new files appear
+// on the Internet every day at 2 PM with popularity drawn from the paper's
+// distribution; each node queries each new file with probability equal to
+// its popularity; a configurable fraction of nodes has Internet access and
+// is serviced instantly; all other exchange happens inside trace contacts,
+// with fixed per-contact budgets of metadata and file transmissions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/download.hpp"
+#include "src/core/internet.hpp"
+#include "src/core/metrics.hpp"
+#include "src/core/node.hpp"
+#include "src/core/protocol.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/contact_trace.hpp"
+#include "src/util/random.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+struct EngineCaches;  // internal per-run caches (engine.cpp)
+
+/// How file pieces are transmitted inside a contact.
+enum class DownloadMode {
+  kBroadcast,  ///< the paper's scheme: one sender, all members receive
+  kPairwise,   ///< prior-work baseline: disjoint pairs, one receiver each
+};
+
+struct EngineParams {
+  ProtocolConfig protocol;
+  DownloadMode downloadMode = DownloadMode::kBroadcast;
+
+  /// Fraction of nodes with direct Internet access (paper sweeps 0.1-0.9).
+  double internetAccessFraction = 0.3;
+  /// New files published per day at 2 PM.
+  int newFilesPerDay = 40;
+  /// File (and query) time-to-live in days.
+  int fileTtlDays = 3;
+  /// Metadata broadcasts allowed per contact.
+  int metadataPerContact = 5;
+  /// File transmissions allowed per contact (whole-file units; the piece
+  /// budget is filesPerContact * piecesPerFile).
+  int filesPerContact = 2;
+  /// When true, per-contact budgets scale linearly with contact duration
+  /// relative to referenceContactDuration (min multiplier 1). The paper's
+  /// model is a fixed number per contact; this option models airtime.
+  bool scaleBudgetsWithDuration = false;
+  Duration referenceContactDuration = 10 * kMinute;
+  /// Ordering of the download push phase (paper: popularity;
+  /// rarest-first is the BitTorrent-style alternative, Ablation A7).
+  PushOrder pushOrder = PushOrder::kPopularity;
+  /// Pieces per published file; 1 matches the paper's whole-file exchange.
+  std::uint32_t piecesPerFile = 1;
+  std::uint32_t pieceSizeBytes = 1024;
+  /// Window defining the frequent-contact relation (3 days for DieselNet,
+  /// 1 day for NUS per the paper).
+  Duration frequentContactPeriod = 3 * kDay;
+  /// Fraction of non-access nodes that free-ride (never transmit).
+  double freeRiderFraction = 0.0;
+  /// Access nodes fetch files peers advertised as wanted ("requesting
+  /// URIs"), carrying them into the DTN.
+  bool accessFetchesPeerRequests = true;
+  /// Per-node piece-storage capacity in pieces; 0 = unbounded (the paper's
+  /// model). Bounded nodes evict lowest-popularity incomplete files first.
+  std::size_t nodePieceCapacity = 0;
+  /// Fraction of non-access nodes that are *forgers*: each publication day
+  /// they craft fake metadata mimicking the day's most popular files
+  /// (copied names, inflated popularity, unverifiable authentication tags)
+  /// and push it into the DTN. Models the paper's fake-publisher threat.
+  double forgerFraction = 0.0;
+  /// Fake records crafted per forger per day.
+  int forgeriesPerForgerPerDay = 3;
+  /// When true, nodes verify metadata authentication tags against the
+  /// well-known publisher registry before accepting (paper Section III-B,
+  /// metadata field (f)); forged records are rejected on contact.
+  bool verifyMetadata = false;
+  /// When true, the metadata server replaces publisher-assigned popularity
+  /// with its *observed* estimate — the fraction of access nodes that
+  /// requested the file in the past 24 h (paper Section IV). Query
+  /// generation still uses the ground-truth interest probability; only the
+  /// ranking/push order sees the estimate.
+  bool useObservedPopularity = false;
+  /// When non-empty, exactly these nodes have Internet access and
+  /// internetAccessFraction is ignored (scenario tests, examples).
+  std::vector<NodeId> explicitAccessNodes;
+  /// When non-empty, exactly these nodes free-ride and freeRiderFraction is
+  /// ignored.
+  std::vector<NodeId> explicitFreeRiders;
+  /// Access nodes carry a popularity-ordered metadata "stock" covering this
+  /// fraction of the currently alive files (at least 10 records, at most
+  /// accessMetadataSyncLimit). Deliberately below 1.0: targeted
+  /// (query-driven) collection is what MBT's query proxying adds on top of
+  /// the stock, so full coverage would erase the MBT-vs-MBT-Q distinction.
+  double accessMetadataSyncFraction = 0.25;
+  /// Absolute cap on the carry stock.
+  std::size_t accessMetadataSyncLimit = 500;
+  std::uint64_t seed = 42;
+};
+
+struct EngineTotals {
+  std::uint64_t contactsProcessed = 0;
+  std::uint64_t filesPublished = 0;
+  std::uint64_t queriesGenerated = 0;
+  std::uint64_t metadataBroadcasts = 0;
+  std::uint64_t pieceBroadcasts = 0;
+  std::uint64_t metadataReceptions = 0;
+  std::uint64_t pieceReceptions = 0;
+  std::uint64_t forgeriesCrafted = 0;
+  /// Forged records stored by honest nodes (0 when verification is on).
+  std::uint64_t forgeriesAccepted = 0;
+  /// Forged records dropped at reception by the verifier.
+  std::uint64_t forgeriesRejected = 0;
+};
+
+struct EngineResult {
+  DeliveryReport delivery;             ///< non-access nodes (the paper's metric)
+  DeliveryReport accessDelivery;       ///< access nodes (sanity ~ 1.0)
+  DeliveryReport contributorDelivery;  ///< non-access, non-free-riding
+  DeliveryReport freeRiderDelivery;    ///< non-access free-riders
+  EngineTotals totals;
+};
+
+class Engine {
+ public:
+  Engine(const trace::ContactTrace& trace, EngineParams params);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the whole trace and returns the final metrics. Call once.
+  EngineResult run();
+
+  // Introspection (tests, examples).
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] const InternetServices& internet() const { return internet_; }
+  [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const EngineParams& params() const { return params_; }
+  [[nodiscard]] std::vector<NodeId> accessNodes() const;
+
+ private:
+  void setupNodes();
+  void publishDay(SimTime now);
+  void processContact(const trace::Contact& contact);
+  void syncAccessNode(Node& node, SimTime now);
+  void deliverWholeFile(Node& node, FileId file, SimTime now);
+  void expireNodeData(Node& node, SimTime now);
+  void runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
+                         int budgetMultiplier);
+  void runDownloadPhase(const std::vector<Node*>& members, SimTime now,
+                        int budgetMultiplier);
+
+  const trace::ContactTrace& trace_;
+  EngineParams params_;
+  std::uint32_t nextForgedId_ = 1u << 24;  // kForgedIdBase in engine.cpp
+  Rng rng_;
+  InternetServices internet_;
+  MetricsCollector metrics_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  EngineTotals totals_;
+  std::unique_ptr<EngineCaches> caches_;
+  bool ran_ = false;
+};
+
+/// Convenience: builds, runs, and returns the result in one call.
+EngineResult runSimulation(const trace::ContactTrace& trace,
+                           const EngineParams& params);
+
+}  // namespace hdtn::core

@@ -1,0 +1,124 @@
+#include "src/core/internet.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/string_util.hpp"
+
+namespace hdtn::core {
+namespace {
+
+constexpr const char* kPublishers[] = {"fox", "abc",  "nbc",
+                                       "cnn", "espn", "bbc"};
+constexpr const char* kTopics[] = {"news",  "drama",  "comedy", "sports",
+                                   "music", "travel", "tech",   "science"};
+constexpr const char* kStyles[] = {"daily", "weekly", "special",  "live",
+                                   "prime", "late",   "breaking", "classic"};
+
+}  // namespace
+
+void PopularityTable::recordRequest(FileId file, NodeId requester,
+                                    SimTime now) {
+  events_[file].push_back(Event{now, requester});
+}
+
+double PopularityTable::observed(FileId file, SimTime now,
+                                 std::size_t population) const {
+  if (population == 0) return 0.0;
+  auto it = events_.find(file);
+  if (it == events_.end()) return 0.0;
+  std::set<NodeId> distinct;
+  for (const Event& e : it->second) {
+    if (e.when > now - window_ && e.when <= now) distinct.insert(e.who);
+  }
+  return static_cast<double>(distinct.size()) /
+         static_cast<double>(population);
+}
+
+std::size_t PopularityTable::totalRequests(FileId file) const {
+  auto it = events_.find(file);
+  return it == events_.end() ? 0 : it->second.size();
+}
+
+InternetServices::InternetServices() : catalog_(&registry_) {}
+
+FileId InternetServices::publish(const FileCatalog::PublishRequest& request) {
+  if (!registry_.knows(request.publisher)) {
+    // Well-known organizations register once; the derived secret stands in
+    // for their signing key.
+    registry_.registerPublisher(request.publisher,
+                                "secret::" + request.publisher);
+  }
+  return catalog_.publish(request);
+}
+
+std::vector<RankedMatch> InternetServices::search(
+    const std::string& queryText, SimTime now) const {
+  std::vector<const Metadata*> candidates;
+  for (FileId id : catalog_.aliveFiles(now)) {
+    candidates.push_back(&catalog_.metadataFor(id));
+  }
+  return rankMatches(queryText, candidates);
+}
+
+std::vector<const Metadata*> InternetServices::topPopular(
+    SimTime now, std::size_t limit) const {
+  std::vector<const Metadata*> out;
+  for (FileId id : catalog_.aliveFiles(now)) {
+    out.push_back(&catalog_.metadataFor(id));
+  }
+  std::sort(out.begin(), out.end(), [](const Metadata* a, const Metadata* b) {
+    if (a->popularity != b->popularity) return a->popularity > b->popularity;
+    return a->file < b->file;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+const Metadata* InternetServices::metadataForUri(const Uri& uri) const {
+  const FileInfo* info = catalog_.findByUri(uri);
+  return info == nullptr ? nullptr : &catalog_.metadataFor(info->id);
+}
+
+std::vector<FileId> publishSyntheticBatch(InternetServices& internet,
+                                          const SyntheticBatchParams& params,
+                                          Rng& rng) {
+  std::vector<FileId> out;
+  out.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) {
+    FileCatalog::PublishRequest req;
+    const char* publisher =
+        kPublishers[rng.pickIndex(std::size(kPublishers))];
+    const char* topic = kTopics[rng.pickIndex(std::size(kTopics))];
+    const char* style = kStyles[rng.pickIndex(std::size(kStyles))];
+    // The unique episode token makes the canonical query unambiguous; the
+    // shared topic/style vocabulary makes partial queries ambiguous, as in
+    // real keyword search.
+    const std::string episode =
+        "ep" + std::to_string(internet.catalog().size());
+    req.name = std::string(publisher) + " " + topic + " " + style + " " +
+               episode;
+    req.publisher = publisher;
+    req.description = std::string("poster advertisement for the ") + style +
+                      " " + topic + " show " + episode + " by " + publisher;
+    req.sizeBytes = static_cast<std::uint64_t>(params.piecesPerFile) *
+                    params.pieceSizeBytes;
+    req.pieceSizeBytes = params.pieceSizeBytes;
+    req.popularity = samplePopularity(rng, params.lambda);
+    req.publishedAt = params.publishedAt;
+    req.ttl = params.ttl;
+    out.push_back(internet.publish(req));
+  }
+  return out;
+}
+
+std::string canonicalQueryText(const FileInfo& info) {
+  // "<topic> ep<k>": the topic narrows the category, the episode token
+  // pins the exact file.
+  const auto tokens = keywordTokens(info.name);
+  // name = "<publisher> <topic> <style> <episode>"
+  if (tokens.size() >= 4) return tokens[1] + " " + tokens[3];
+  return info.name;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,66 @@
+#include "src/core/metadata.hpp"
+
+#include <algorithm>
+
+#include "src/util/string_util.hpp"
+
+namespace hdtn::core {
+
+void Metadata::rebuildKeywords() {
+  keywords.clear();
+  for (const std::string& source : {name, publisher, description}) {
+    for (auto& token : keywordTokens(source)) {
+      keywords.push_back(std::move(token));
+    }
+  }
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+}
+
+std::string Metadata::authPayload() const {
+  // Field-separated canonical encoding; '\x1f' cannot occur in the text
+  // fields we generate and keeps fields from running together.
+  std::string payload;
+  payload.reserve(name.size() + publisher.size() + uri.size() +
+                  pieceChecksums.size() * 20 + 64);
+  payload += name;
+  payload += '\x1f';
+  payload += publisher;
+  payload += '\x1f';
+  payload += uri;
+  payload += '\x1f';
+  payload += std::to_string(sizeBytes);
+  payload += '\x1f';
+  payload += std::to_string(pieceSizeBytes);
+  for (const Sha1Digest& d : pieceChecksums) {
+    payload.append(reinterpret_cast<const char*>(d.bytes.data()),
+                   d.bytes.size());
+  }
+  return payload;
+}
+
+void PublisherRegistry::registerPublisher(const std::string& publisher,
+                                          const std::string& secret) {
+  secrets_[publisher] = secret;
+}
+
+bool PublisherRegistry::knows(const std::string& publisher) const {
+  return secrets_.contains(publisher);
+}
+
+std::optional<Sha1Digest> PublisherRegistry::sign(const Metadata& md) const {
+  auto it = secrets_.find(md.publisher);
+  if (it == secrets_.end()) return std::nullopt;
+  Sha1 hasher;
+  hasher.update(it->second);
+  hasher.update(md.authPayload());
+  return hasher.finish();
+}
+
+bool PublisherRegistry::verify(const Metadata& md) const {
+  const auto expected = sign(md);
+  return expected.has_value() && *expected == md.authTag;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,52 @@
+#include "src/core/metadata_store.hpp"
+
+#include <algorithm>
+
+namespace hdtn::core {
+
+bool MetadataStore::add(const Metadata& md) {
+  auto [it, inserted] = records_.try_emplace(md.file, md);
+  if (!inserted && md.popularity > it->second.popularity) {
+    it->second.popularity = md.popularity;
+  }
+  return inserted;
+}
+
+bool MetadataStore::has(FileId file) const { return records_.contains(file); }
+
+const Metadata* MetadataStore::get(FileId file) const {
+  auto it = records_.find(file);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t MetadataStore::expire(SimTime now) {
+  return std::erase_if(records_, [now](const auto& kv) {
+    return kv.second.expired(now);
+  });
+}
+
+void MetadataStore::remove(FileId file) { records_.erase(file); }
+
+std::vector<const Metadata*> MetadataStore::all() const {
+  std::vector<const Metadata*> out;
+  out.reserve(records_.size());
+  for (const auto& [_, md] : records_) out.push_back(&md);
+  std::sort(out.begin(), out.end(), [](const Metadata* a, const Metadata* b) {
+    return a->file < b->file;
+  });
+  return out;
+}
+
+std::vector<const Metadata*> MetadataStore::byPopularity() const {
+  std::vector<const Metadata*> out = all();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Metadata* a, const Metadata* b) {
+                     if (a->popularity != b->popularity) {
+                       return a->popularity > b->popularity;
+                     }
+                     return a->file < b->file;
+                   });
+  return out;
+}
+
+}  // namespace hdtn::core

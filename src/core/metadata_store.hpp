@@ -1,0 +1,44 @@
+// Per-node metadata storage.
+//
+// "The file discovery process collects metadata and stores them in the
+// local storage of the node" (paper Section III-B). Metadata is keyed by
+// FileId (equivalently its URI), expires with its file's TTL, and can be
+// enumerated in popularity order for the push phases of discovery.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/metadata.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+class MetadataStore {
+ public:
+  /// Inserts (or refreshes) a record. A refresh keeps the higher popularity
+  /// snapshot. Returns true when the record was not present before.
+  bool add(const Metadata& md);
+
+  [[nodiscard]] bool has(FileId file) const;
+  [[nodiscard]] const Metadata* get(FileId file) const;
+
+  /// Drops records whose TTL has elapsed at `now`. Returns number dropped.
+  std::size_t expire(SimTime now);
+
+  void remove(FileId file);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// All records, file-id ascending.
+  [[nodiscard]] std::vector<const Metadata*> all() const;
+
+  /// All records, popularity descending (ties by file id ascending).
+  [[nodiscard]] std::vector<const Metadata*> byPopularity() const;
+
+ private:
+  std::unordered_map<FileId, Metadata> records_;
+};
+
+}  // namespace hdtn::core

@@ -1,0 +1,115 @@
+#include "src/core/metrics.hpp"
+
+#include <cassert>
+
+namespace hdtn::core {
+
+QueryId MetricsCollector::registerQuery(NodeId owner, FileId target,
+                                        SimTime issuedAt, Duration ttl,
+                                        bool ownerIsAccess,
+                                        bool ownerIsFreeRider) {
+  QueryRecord r;
+  r.id = QueryId(static_cast<std::uint32_t>(records_.size()));
+  r.owner = owner;
+  r.target = target;
+  r.issuedAt = issuedAt;
+  r.ttl = ttl;
+  r.ownerIsAccess = ownerIsAccess;
+  r.ownerIsFreeRider = ownerIsFreeRider;
+  byOwnerTarget_[key(owner, target)].push_back(records_.size());
+  records_.push_back(r);
+  return records_.back().id;
+}
+
+void MetricsCollector::markMetadataDelivered(QueryId id, SimTime when) {
+  assert(id.value < records_.size());
+  QueryRecord& r = records_[id.value];
+  if (r.metadataAt || when >= r.expiresAt() || when < r.issuedAt) return;
+  r.metadataAt = when;
+}
+
+void MetricsCollector::markFileDelivered(QueryId id, SimTime when) {
+  assert(id.value < records_.size());
+  QueryRecord& r = records_[id.value];
+  if (r.fileAt || when >= r.expiresAt() || when < r.issuedAt) return;
+  r.fileAt = when;
+  // Holding the complete file subsumes knowing its metadata (relevant for
+  // MBT-QM, where no explicit metadata circulates).
+  if (!r.metadataAt) r.metadataAt = when;
+}
+
+void MetricsCollector::onNodeGotMetadata(NodeId owner, FileId target,
+                                         SimTime when) {
+  auto it = byOwnerTarget_.find(key(owner, target));
+  if (it == byOwnerTarget_.end()) return;
+  for (std::size_t idx : it->second) {
+    markMetadataDelivered(records_[idx].id, when);
+  }
+}
+
+void MetricsCollector::onNodeCompletedFile(NodeId owner, FileId target,
+                                           SimTime when) {
+  auto it = byOwnerTarget_.find(key(owner, target));
+  if (it == byOwnerTarget_.end()) return;
+  for (std::size_t idx : it->second) {
+    markFileDelivered(records_[idx].id, when);
+  }
+}
+
+const MetricsCollector::QueryRecord& MetricsCollector::record(
+    QueryId id) const {
+  assert(id.value < records_.size());
+  return records_[id.value];
+}
+
+bool MetricsCollector::inScope(const QueryRecord& r,
+                               MetricScope scope) const {
+  switch (scope) {
+    case MetricScope::kNonAccess:
+      return !r.ownerIsAccess;
+    case MetricScope::kAccess:
+      return r.ownerIsAccess;
+    case MetricScope::kNonAccessContributors:
+      return !r.ownerIsAccess && !r.ownerIsFreeRider;
+    case MetricScope::kNonAccessFreeRiders:
+      return !r.ownerIsAccess && r.ownerIsFreeRider;
+    case MetricScope::kAll:
+      return true;
+  }
+  return false;
+}
+
+DeliveryReport MetricsCollector::report(MetricScope scope) const {
+  DeliveryReport report;
+  double metadataDelaySum = 0.0;
+  double fileDelaySum = 0.0;
+  for (const QueryRecord& r : records_) {
+    if (!inScope(r, scope)) continue;
+    ++report.queries;
+    if (r.metadataAt) {
+      ++report.metadataDelivered;
+      metadataDelaySum += static_cast<double>(*r.metadataAt - r.issuedAt);
+    }
+    if (r.fileAt) {
+      ++report.filesDelivered;
+      fileDelaySum += static_cast<double>(*r.fileAt - r.issuedAt);
+    }
+  }
+  if (report.queries > 0) {
+    report.metadataRatio = static_cast<double>(report.metadataDelivered) /
+                           static_cast<double>(report.queries);
+    report.fileRatio = static_cast<double>(report.filesDelivered) /
+                       static_cast<double>(report.queries);
+  }
+  if (report.metadataDelivered > 0) {
+    report.meanMetadataDelaySeconds =
+        metadataDelaySum / static_cast<double>(report.metadataDelivered);
+  }
+  if (report.filesDelivered > 0) {
+    report.meanFileDelaySeconds =
+        fileDelaySum / static_cast<double>(report.filesDelivered);
+  }
+  return report;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,139 @@
+#include "src/core/node.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hdtn::core {
+
+Node::Node(NodeId id, NodeOptions options)
+    : id_(id),
+      options_(options),
+      pieces_(options.pieceCapacity > 0 ? PieceStore(options.pieceCapacity)
+                                        : PieceStore()) {}
+
+void Node::addQuery(const Query& query) {
+  QueryState state;
+  state.query = query;
+  queries_.push_back(std::move(state));
+}
+
+std::vector<std::string> Node::activeQueryTexts(SimTime now) const {
+  std::vector<std::string> out;
+  for (const QueryState& qs : queries_) {
+    if (qs.metadataFound || qs.query.expired(now)) continue;
+    out.push_back(qs.query.text);
+  }
+  return out;
+}
+
+std::vector<FileId> Node::wantedFiles(SimTime now) const {
+  std::set<FileId> wanted;
+  for (const QueryState& qs : queries_) {
+    if (!qs.metadataFound || qs.fileFound || qs.query.expired(now)) continue;
+    if (pieces_.isComplete(qs.chosenFile)) continue;
+    wanted.insert(qs.chosenFile);
+  }
+  return {wanted.begin(), wanted.end()};
+}
+
+bool Node::anyQueryMatches(const Metadata& md, SimTime now) const {
+  return std::any_of(queries_.begin(), queries_.end(),
+                     [&](const QueryState& qs) {
+                       return !qs.metadataFound && !qs.query.expired(now) &&
+                              queryMatches(qs.query.text, md);
+                     });
+}
+
+std::vector<QueryId> Node::acceptMetadata(const Metadata& md, SimTime now) {
+  std::vector<QueryId> selected;
+  if (md.expired(now)) return selected;
+  if (verifier_ && !verifier_(md)) {
+    rejectedMetadata_.insert(md.file);
+    return selected;
+  }
+  metadata_.add(md);
+  for (QueryState& qs : queries_) {
+    if (qs.metadataFound || qs.query.expired(now)) continue;
+    if (!queryMatches(qs.query.text, md)) continue;
+    // The simulated user examines the match and selects it for download.
+    qs.metadataFound = true;
+    qs.chosenFile = md.file;
+    pieces_.registerFile(md.file, md.pieceCount());
+    pieces_.setPriority(md.file, md.popularity);
+    selected.push_back(qs.query.id);
+  }
+  return selected;
+}
+
+std::vector<QueryId> Node::acceptPiece(FileId file, std::uint32_t piece,
+                                       std::uint32_t pieceCount,
+                                       SimTime now) {
+  std::vector<QueryId> satisfied;
+  pieces_.registerFile(file, pieceCount);
+  pieces_.addPiece(file, piece);
+  if (!pieces_.isComplete(file)) return satisfied;
+  for (QueryState& qs : queries_) {
+    if (!qs.metadataFound || qs.fileFound || qs.chosenFile != file) continue;
+    if (qs.query.expired(now)) continue;
+    qs.fileFound = true;
+    satisfied.push_back(qs.query.id);
+  }
+  return satisfied;
+}
+
+void Node::noteRejectedFrom(NodeId sender) {
+  if (++rejectionsFrom_[sender] >= kDistrustThreshold) {
+    distrustedPeers_.insert(sender);
+  }
+}
+
+void Node::expire(SimTime now) {
+  metadata_.expire(now);
+  std::erase_if(peerQueries_, [&](const auto& kv) {
+    return now - kv.second.storedAt > cooperativeTtl_;
+  });
+  std::erase_if(peerWants_, [&](const auto& kv) {
+    return now - kv.second > cooperativeTtl_;
+  });
+}
+
+void Node::setFrequentContacts(std::vector<NodeId> contacts) {
+  std::sort(contacts.begin(), contacts.end());
+  frequentContacts_ = std::move(contacts);
+}
+
+bool Node::isFrequentContact(NodeId peer) const {
+  return std::binary_search(frequentContacts_.begin(),
+                            frequentContacts_.end(), peer);
+}
+
+void Node::storePeerQueries(NodeId peer, std::vector<std::string> texts,
+                            SimTime now) {
+  if (!isFrequentContact(peer)) return;
+  peerQueries_[peer] = StoredQueries{std::move(texts), now};
+}
+
+std::vector<std::string> Node::proxiedQueryTexts(SimTime now) const {
+  std::set<std::string> out;
+  for (const auto& [peer, stored] : peerQueries_) {
+    if (now - stored.storedAt > cooperativeTtl_) continue;
+    out.insert(stored.texts.begin(), stored.texts.end());
+  }
+  return {out.begin(), out.end()};
+}
+
+void Node::storePeerWants(const std::vector<Uri>& uris, SimTime now) {
+  for (const Uri& uri : uris) peerWants_[uri] = now;
+}
+
+std::vector<Uri> Node::peerWantedUris(SimTime now) const {
+  std::vector<Uri> out;
+  for (const auto& [uri, when] : peerWants_) {
+    if (now - when > cooperativeTtl_) continue;
+    out.push_back(uri);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hdtn::core

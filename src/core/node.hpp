@@ -1,0 +1,179 @@
+// A hybrid-DTN node: the paper's per-device state.
+//
+// Each node runs a file discovery process and a file download process
+// (Section III-B). This class owns the node's stores (metadata, pieces),
+// its credit ledger, its own user queries, and the cooperative state the
+// protocols need: stored query strings of frequent contacts (MBT query
+// proxying, Section IV) and stored "requesting URIs" heard in hellos (so an
+// Internet-access node can fetch files on behalf of peers).
+//
+// Query lifecycle: a query is *advertised* until a matching metadata record
+// is stored (the simulated user then "selects" the best match); from then on
+// the chosen file's URI is advertised as wanted until the file completes or
+// the query expires.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/credit.hpp"
+#include "src/core/metadata_store.hpp"
+#include "src/core/piece_store.hpp"
+#include "src/core/query.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+struct NodeOptions {
+  /// True for Internet-access nodes ("they can download the files they
+  /// need" directly; the metrics exclude them).
+  bool internetAccess = false;
+  /// Free-riders receive but never transmit (tit-for-tat evaluation).
+  bool freeRider = false;
+  /// Piece-storage capacity in pieces; 0 = unbounded (the paper's model).
+  /// Bounded stores evict pieces of the lowest-popularity incomplete file.
+  std::size_t pieceCapacity = 0;
+  /// Forgers inject fake metadata mimicking popular files (threat model).
+  bool forger = false;
+};
+
+class Node {
+ public:
+  Node(NodeId id, NodeOptions options);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const NodeOptions& options() const { return options_; }
+  [[nodiscard]] bool contributes() const { return !options_.freeRider; }
+
+  [[nodiscard]] MetadataStore& metadata() { return metadata_; }
+  [[nodiscard]] const MetadataStore& metadata() const { return metadata_; }
+  [[nodiscard]] PieceStore& pieces() { return pieces_; }
+  [[nodiscard]] const PieceStore& pieces() const { return pieces_; }
+  [[nodiscard]] CreditLedger& credits() { return credits_; }
+  [[nodiscard]] const CreditLedger& credits() const { return credits_; }
+
+  // --- own queries -------------------------------------------------------
+
+  void addQuery(const Query& query);
+
+  /// Texts of queries still searching for metadata at `now` (advertised in
+  /// hellos).
+  [[nodiscard]] std::vector<std::string> activeQueryTexts(SimTime now) const;
+
+  /// Files the node is currently downloading: a metadata was selected for
+  /// an unexpired query and the file is not yet complete.
+  [[nodiscard]] std::vector<FileId> wantedFiles(SimTime now) const;
+
+  /// True if some active (unexpired, metadata-pending) query matches `md`.
+  [[nodiscard]] bool anyQueryMatches(const Metadata& md, SimTime now) const;
+
+  /// Per-query state, for metrics and tests.
+  struct QueryState {
+    Query query;
+    bool metadataFound = false;
+    FileId chosenFile;  ///< valid once metadataFound
+    bool fileFound = false;
+  };
+  [[nodiscard]] const std::vector<QueryState>& queryStates() const {
+    return queries_;
+  }
+
+  // --- store update hooks (called by the engine when data arrives) -------
+
+  /// Optional authenticity check applied before any record is accepted
+  /// (paper Section III-B field (f): "authentication information of the
+  /// metadata against fake publishers"). Unset = accept everything.
+  using MetadataVerifier = std::function<bool(const Metadata&)>;
+  void setMetadataVerifier(MetadataVerifier verifier) {
+    verifier_ = std::move(verifier);
+  }
+
+  /// Stores a metadata record; attaches it to any matching pending queries
+  /// (the user selects it) and registers the file for download. Returns ids
+  /// of queries that selected this record. Records failing the verifier are
+  /// dropped (nothing stored, nothing selected) and remembered in
+  /// rejectedMetadata() so peers stop re-sending them.
+  std::vector<QueryId> acceptMetadata(const Metadata& md, SimTime now);
+
+  /// File ids of records this node refused (failed verification). Exposed
+  /// to the discovery planner: a rejected record counts as "already held"
+  /// so it is never re-broadcast to this node.
+  [[nodiscard]] const std::unordered_set<FileId>& rejectedMetadata() const {
+    return rejectedMetadata_;
+  }
+
+  /// Records that `sender` delivered a record that failed verification.
+  /// After kDistrustThreshold offences the sender is distrusted: this node
+  /// ignores everything it transmits (a forger minting fresh fake ids every
+  /// day would otherwise burn one broadcast slot per id per clique).
+  void noteRejectedFrom(NodeId sender);
+  [[nodiscard]] bool distrusts(NodeId peer) const {
+    return distrustedPeers_.contains(peer);
+  }
+  [[nodiscard]] const std::unordered_set<NodeId>& distrustedPeers() const {
+    return distrustedPeers_;
+  }
+
+  static constexpr int kDistrustThreshold = 2;
+
+  /// Stores one piece (registering the file first when needed). Returns ids
+  /// of queries satisfied because the file just completed.
+  std::vector<QueryId> acceptPiece(FileId file, std::uint32_t piece,
+                                   std::uint32_t pieceCount, SimTime now);
+
+  /// Drops expired metadata and forgets stale cooperative state.
+  void expire(SimTime now);
+
+  // --- cooperative state --------------------------------------------------
+
+  void setFrequentContacts(std::vector<NodeId> contacts);
+  [[nodiscard]] const std::vector<NodeId>& frequentContacts() const {
+    return frequentContacts_;
+  }
+  [[nodiscard]] bool isFrequentContact(NodeId peer) const;
+
+  /// Replaces the stored query strings of a frequent contact (MBT). Calls
+  /// for non-frequent peers are ignored.
+  void storePeerQueries(NodeId peer, std::vector<std::string> texts,
+                        SimTime now);
+
+  /// Stored frequent-contact query texts still fresh at `now` (deduplicated,
+  /// sorted).
+  [[nodiscard]] std::vector<std::string> proxiedQueryTexts(SimTime now) const;
+
+  /// Remembers URIs that peers advertised as wanted ("requesting URIs").
+  void storePeerWants(const std::vector<Uri>& uris, SimTime now);
+
+  /// Peer-wanted URIs still fresh at `now`, sorted.
+  [[nodiscard]] std::vector<Uri> peerWantedUris(SimTime now) const;
+
+  /// Freshness horizon for proxied queries and peer wants.
+  void setCooperativeStateTtl(Duration ttl) { cooperativeTtl_ = ttl; }
+
+ private:
+  NodeId id_;
+  NodeOptions options_;
+  MetadataVerifier verifier_;
+  std::unordered_set<FileId> rejectedMetadata_;
+  std::unordered_map<NodeId, int> rejectionsFrom_;
+  std::unordered_set<NodeId> distrustedPeers_;
+  MetadataStore metadata_;
+  PieceStore pieces_;
+  CreditLedger credits_;
+  std::vector<QueryState> queries_;
+
+  std::vector<NodeId> frequentContacts_;
+  struct StoredQueries {
+    std::vector<std::string> texts;
+    SimTime storedAt = 0;
+  };
+  std::unordered_map<NodeId, StoredQueries> peerQueries_;
+  std::unordered_map<Uri, SimTime> peerWants_;
+  Duration cooperativeTtl_ = 3 * kDay;
+};
+
+}  // namespace hdtn::core

@@ -1,0 +1,147 @@
+#include "src/core/piece_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdtn::core {
+
+bool PieceStore::registerFile(FileId file, std::uint32_t pieceCount) {
+  assert(file.valid());
+  assert(pieceCount > 0);
+  auto [it, inserted] = entries_.try_emplace(file);
+  if (inserted) {
+    it->second.have.assign(pieceCount, false);
+    return true;
+  }
+  return it->second.have.size() == pieceCount;
+}
+
+bool PieceStore::addPiece(FileId file, std::uint32_t piece) {
+  auto it = entries_.find(file);
+  assert(it != entries_.end() && "file must be registered before addPiece");
+  Entry& e = it->second;
+  assert(piece < e.have.size());
+  if (e.have[piece]) return false;
+  if (capacity_ && totalHeld_ >= *capacity_) evictOnePiece();
+  e.have[piece] = true;
+  ++e.held;
+  ++totalHeld_;
+  return true;
+}
+
+std::uint32_t PieceStore::addWholeFile(FileId file) {
+  auto it = entries_.find(file);
+  assert(it != entries_.end());
+  std::uint32_t added = 0;
+  for (std::uint32_t p = 0; p < it->second.have.size(); ++p) {
+    if (addPiece(file, p)) ++added;
+  }
+  return added;
+}
+
+void PieceStore::removeFile(FileId file) {
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return;
+  totalHeld_ -= it->second.held;
+  entries_.erase(it);
+}
+
+bool PieceStore::isRegistered(FileId file) const {
+  return entries_.contains(file);
+}
+
+bool PieceStore::hasPiece(FileId file, std::uint32_t piece) const {
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return false;
+  return piece < it->second.have.size() && it->second.have[piece];
+}
+
+bool PieceStore::isComplete(FileId file) const {
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return false;
+  return it->second.held == it->second.have.size();
+}
+
+std::uint32_t PieceStore::piecesHeld(FileId file) const {
+  auto it = entries_.find(file);
+  return it == entries_.end() ? 0 : it->second.held;
+}
+
+std::uint32_t PieceStore::pieceCount(FileId file) const {
+  auto it = entries_.find(file);
+  return it == entries_.end()
+             ? 0
+             : static_cast<std::uint32_t>(it->second.have.size());
+}
+
+std::vector<std::uint32_t> PieceStore::missingPieces(FileId file) const {
+  std::vector<std::uint32_t> out;
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return out;
+  for (std::uint32_t p = 0; p < it->second.have.size(); ++p) {
+    if (!it->second.have[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<FileId> PieceStore::files() const {
+  std::vector<FileId> out;
+  out.reserve(entries_.size());
+  for (const auto& [file, _] : entries_) out.push_back(file);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<FileId> PieceStore::completeFiles() const {
+  std::vector<FileId> out;
+  for (const auto& [file, e] : entries_) {
+    if (e.held == e.have.size()) out.push_back(file);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PieceStore::setPriority(FileId file, double priority) {
+  auto it = entries_.find(file);
+  if (it != entries_.end()) it->second.priority = priority;
+}
+
+void PieceStore::evictOnePiece() {
+  // Victim: lowest-priority *incomplete* file holding at least one piece;
+  // complete files are preferred survivors since they are servable. Falls
+  // back to the lowest-priority complete file when everything is complete.
+  const Entry* victimEntry = nullptr;
+  FileId victim;
+  auto better = [](const Entry& candidate, const Entry* incumbent) {
+    return incumbent == nullptr || candidate.priority < incumbent->priority;
+  };
+  for (const auto& [file, e] : entries_) {
+    if (e.held == 0 || e.held == e.have.size()) continue;
+    if (better(e, victimEntry)) {
+      victimEntry = &e;
+      victim = file;
+    }
+  }
+  if (victimEntry == nullptr) {
+    for (const auto& [file, e] : entries_) {
+      if (e.held == 0) continue;
+      if (better(e, victimEntry)) {
+        victimEntry = &e;
+        victim = file;
+      }
+    }
+  }
+  if (victimEntry == nullptr) return;
+  Entry& e = entries_[victim];
+  for (std::uint32_t p = static_cast<std::uint32_t>(e.have.size()); p > 0;
+       --p) {
+    if (e.have[p - 1]) {
+      e.have[p - 1] = false;
+      --e.held;
+      --totalHeld_;
+      return;
+    }
+  }
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,79 @@
+// Per-node storage of downloaded file pieces.
+//
+// Pieces of a file "may be downloaded at different times and places" (paper
+// Section III-B); the store tracks, per file, a bitmap of held pieces and
+// reports completion. Storage is unbounded, as in the paper's simulation
+// model; an optional capacity with popularity-aware eviction is provided for
+// constrained deployments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+class PieceStore {
+ public:
+  /// Unbounded store.
+  PieceStore() = default;
+
+  /// Bounded store: at most `capacityPieces` pieces are retained; when full,
+  /// addPiece evicts a piece of the lowest-priority incomplete file.
+  explicit PieceStore(std::size_t capacityPieces)
+      : capacity_(capacityPieces) {}
+
+  /// Registers interest in a file (fixes its piece count). Idempotent;
+  /// returns false if the file was registered with a different count.
+  bool registerFile(FileId file, std::uint32_t pieceCount);
+
+  /// Adds one piece. The file must be registered and `piece` in range.
+  /// Returns true if the piece was newly added.
+  bool addPiece(FileId file, std::uint32_t piece);
+
+  /// Adds every piece of a registered file (e.g. a direct Internet
+  /// download). Returns number of pieces newly added.
+  std::uint32_t addWholeFile(FileId file);
+
+  /// Drops a file and all its pieces.
+  void removeFile(FileId file);
+
+  [[nodiscard]] bool isRegistered(FileId file) const;
+  [[nodiscard]] bool hasPiece(FileId file, std::uint32_t piece) const;
+  [[nodiscard]] bool isComplete(FileId file) const;
+  [[nodiscard]] std::uint32_t piecesHeld(FileId file) const;
+  [[nodiscard]] std::uint32_t pieceCount(FileId file) const;
+
+  /// Indices of pieces of `file` not yet held (empty if unregistered).
+  [[nodiscard]] std::vector<std::uint32_t> missingPieces(FileId file) const;
+
+  /// All registered files, ascending id.
+  [[nodiscard]] std::vector<FileId> files() const;
+
+  /// Registered files with every piece present, ascending id.
+  [[nodiscard]] std::vector<FileId> completeFiles() const;
+
+  [[nodiscard]] std::size_t totalPiecesHeld() const { return totalHeld_; }
+
+  /// Sets the priority used by bounded-store eviction (higher survives
+  /// longer). Typically the file's popularity.
+  void setPriority(FileId file, double priority);
+
+ private:
+  struct Entry {
+    std::vector<bool> have;
+    std::uint32_t held = 0;
+    double priority = 0.0;
+  };
+
+  void evictOnePiece();
+
+  std::unordered_map<FileId, Entry> entries_;
+  std::size_t totalHeld_ = 0;
+  std::optional<std::size_t> capacity_;
+};
+
+}  // namespace hdtn::core

@@ -1,0 +1,42 @@
+// The protocol family evaluated in the paper (Section VI-A).
+//
+//   MBT    — "mobile BitTorrent": queries, metadata, and files are all
+//            distributed in the DTN; nodes store the query strings of their
+//            frequent contacts and collect metadata on their behalf.
+//   MBT-Q  — no query distribution: a node can pull metadata matching its
+//            own queries from peers, but cannot ask frequent contacts to
+//            collect metadata for it.
+//   MBT-QM — neither queries nor metadata are distributed: files propagate
+//            by global popularity push only.
+#pragma once
+
+#include "src/core/discovery.hpp"  // Scheduling
+
+namespace hdtn::core {
+
+enum class ProtocolKind { kMbt, kMbtQ, kMbtQm };
+
+[[nodiscard]] constexpr const char* protocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kMbt: return "MBT";
+    case ProtocolKind::kMbtQ: return "MBT-Q";
+    case ProtocolKind::kMbtQm: return "MBT-QM";
+  }
+  return "?";
+}
+
+struct ProtocolConfig {
+  ProtocolKind kind = ProtocolKind::kMbt;
+  Scheduling scheduling = Scheduling::kCooperative;
+
+  /// MBT only: peers' query strings are stored and proxied.
+  [[nodiscard]] constexpr bool distributesQueries() const {
+    return kind == ProtocolKind::kMbt;
+  }
+  /// MBT and MBT-Q: metadata records travel through the DTN.
+  [[nodiscard]] constexpr bool distributesMetadata() const {
+    return kind != ProtocolKind::kMbtQm;
+  }
+};
+
+}  // namespace hdtn::core

@@ -1,0 +1,77 @@
+#include "src/core/query.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/string_util.hpp"
+
+namespace hdtn::core {
+namespace {
+
+// Uses the precomputed sorted keyword list when present; otherwise builds
+// one on the fly (hand-constructed Metadata in tests).
+bool containsAllTokens(const std::vector<std::string>& queryTokens,
+                       const Metadata& md) {
+  if (queryTokens.empty()) return false;
+  if (!md.keywords.empty()) {
+    return std::all_of(queryTokens.begin(), queryTokens.end(),
+                       [&md](const std::string& kw) {
+                         return std::binary_search(md.keywords.begin(),
+                                                   md.keywords.end(), kw);
+                       });
+  }
+  Metadata scratch = md;
+  scratch.rebuildKeywords();
+  return std::all_of(queryTokens.begin(), queryTokens.end(),
+                     [&scratch](const std::string& kw) {
+                       return std::binary_search(scratch.keywords.begin(),
+                                                 scratch.keywords.end(), kw);
+                     });
+}
+
+std::size_t keywordCountOf(const Metadata& md) {
+  if (!md.keywords.empty()) return md.keywords.size();
+  Metadata scratch = md;
+  scratch.rebuildKeywords();
+  return scratch.keywords.size();
+}
+
+}  // namespace
+
+bool queryMatches(const std::string& queryText, const Metadata& md) {
+  return containsAllTokens(keywordTokens(queryText), md);
+}
+
+bool queryTokensMatch(const std::vector<std::string>& queryTokens,
+                      const Metadata& md) {
+  return containsAllTokens(queryTokens, md);
+}
+
+std::vector<RankedMatch> rankMatches(
+    const std::string& queryText,
+    const std::vector<const Metadata*>& candidates) {
+  std::vector<RankedMatch> out;
+  const auto queryTokens = keywordTokens(queryText);
+  for (const Metadata* md : candidates) {
+    if (md == nullptr || !containsAllTokens(queryTokens, *md)) continue;
+    const double keywordCount = static_cast<double>(keywordCountOf(*md));
+    // Popularity dominates; the specificity bonus only breaks near-ties in
+    // favour of records the query describes more completely.
+    const double score = md->popularity + 0.001 / (1.0 + keywordCount);
+    out.push_back(RankedMatch{md, score});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedMatch& a,
+                                       const RankedMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.metadata->file < b.metadata->file;
+  });
+  return out;
+}
+
+const Metadata* bestMatch(const std::string& queryText,
+                          const MetadataStore& store) {
+  const auto ranked = rankMatches(queryText, store.all());
+  return ranked.empty() ? nullptr : ranked.front().metadata;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,63 @@
+// Keyword queries and metadata matching.
+//
+// A user searching for a file "inputs a query string and the file discovery
+// process ... returns a sorted list of matched metadata ... in a
+// preferential order" (paper Section III-B). A query matches a metadata
+// record when every query keyword appears among the record's keywords (name,
+// publisher, and description). Ranking is by popularity, the paper's proxy
+// for "the right file" among similarly named ones.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/metadata.hpp"
+#include "src/core/metadata_store.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// An outstanding user query in the simulation. `target` is the file the
+/// user actually wants (ground truth used for delivery accounting); the
+/// protocol only ever sees `text`.
+struct Query {
+  QueryId id;
+  NodeId owner;
+  std::string text;
+  FileId target;
+  SimTime issuedAt = 0;
+  Duration ttl = 0;
+
+  [[nodiscard]] SimTime expiresAt() const { return issuedAt + ttl; }
+  [[nodiscard]] bool expired(SimTime now) const { return now >= expiresAt(); }
+};
+
+/// True when every keyword of `queryText` occurs in the metadata keywords.
+/// Empty queries match nothing.
+[[nodiscard]] bool queryMatches(const std::string& queryText,
+                                const Metadata& md);
+
+/// Same, over pre-tokenized query keywords (hot paths tokenize once).
+[[nodiscard]] bool queryTokensMatch(const std::vector<std::string>& queryTokens,
+                                    const Metadata& md);
+
+/// A match with its rank score.
+struct RankedMatch {
+  const Metadata* metadata = nullptr;
+  double score = 0.0;
+};
+
+/// Filters `candidates` by queryMatches and sorts by (score desc, file id
+/// asc). Score is the popularity plus a specificity bonus: records whose
+/// keyword set is smaller (more precisely described by the query) score
+/// slightly higher among equal popularity.
+[[nodiscard]] std::vector<RankedMatch> rankMatches(
+    const std::string& queryText,
+    const std::vector<const Metadata*>& candidates);
+
+/// Convenience: the best match in a store, or nullptr.
+[[nodiscard]] const Metadata* bestMatch(const std::string& queryText,
+                                        const MetadataStore& store);
+
+}  // namespace hdtn::core

@@ -1,0 +1,97 @@
+#include "src/graph/adjacency.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hdtn {
+
+void AdjacencyGraph::addNode(NodeId n) { adj_.try_emplace(n); }
+
+void AdjacencyGraph::addEdge(NodeId a, NodeId b) {
+  if (a == b) return;
+  addNode(a);
+  addNode(b);
+  const bool inserted = adj_[a].insert(b).second;
+  adj_[b].insert(a);
+  if (inserted) ++edgeCount_;
+}
+
+void AdjacencyGraph::removeEdge(NodeId a, NodeId b) {
+  auto itA = adj_.find(a);
+  auto itB = adj_.find(b);
+  if (itA == adj_.end() || itB == adj_.end()) return;
+  if (itA->second.erase(b) > 0) {
+    itB->second.erase(a);
+    --edgeCount_;
+  }
+}
+
+void AdjacencyGraph::removeNode(NodeId n) {
+  auto it = adj_.find(n);
+  if (it == adj_.end()) return;
+  for (NodeId peer : it->second) {
+    adj_[peer].erase(n);
+    --edgeCount_;
+  }
+  adj_.erase(it);
+}
+
+bool AdjacencyGraph::hasNode(NodeId n) const { return adj_.contains(n); }
+
+bool AdjacencyGraph::hasEdge(NodeId a, NodeId b) const {
+  auto it = adj_.find(a);
+  return it != adj_.end() && it->second.contains(b);
+}
+
+std::size_t AdjacencyGraph::degree(NodeId n) const {
+  auto it = adj_.find(n);
+  return it == adj_.end() ? 0 : it->second.size();
+}
+
+std::vector<NodeId> AdjacencyGraph::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(adj_.size());
+  for (const auto& [n, _] : adj_) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> AdjacencyGraph::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  auto it = adj_.find(n);
+  if (it == adj_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::unordered_set<NodeId>* AdjacencyGraph::neighborSet(NodeId n) const {
+  auto it = adj_.find(n);
+  return it == adj_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::vector<NodeId>> AdjacencyGraph::connectedComponents() const {
+  std::vector<std::vector<NodeId>> components;
+  std::unordered_set<NodeId> visited;
+  for (NodeId start : nodes()) {
+    if (visited.contains(start)) continue;
+    std::vector<NodeId> component;
+    std::deque<NodeId> frontier{start};
+    visited.insert(start);
+    while (!frontier.empty()) {
+      NodeId cur = frontier.front();
+      frontier.pop_front();
+      component.push_back(cur);
+      for (NodeId next : adj_.at(cur)) {
+        if (visited.insert(next).second) frontier.push_back(next);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return components;
+}
+
+}  // namespace hdtn

@@ -1,0 +1,131 @@
+#include "src/graph/clique.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hdtn {
+namespace {
+
+// Bron-Kerbosch with pivoting. R: current clique, P: candidates, X: already
+// processed. Sets are kept as sorted vectors; intersections are linear.
+class BronKerbosch {
+ public:
+  explicit BronKerbosch(const AdjacencyGraph& graph) : graph_(graph) {}
+
+  std::vector<std::vector<NodeId>> run() {
+    std::vector<NodeId> r;
+    std::vector<NodeId> p = graph_.nodes();
+    std::vector<NodeId> x;
+    expand(r, p, x);
+    std::sort(out_.begin(), out_.end(), [](const auto& a, const auto& b) {
+      if (a.size() != b.size()) return a.size() > b.size();
+      return a < b;
+    });
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<NodeId> intersectNeighbors(const std::vector<NodeId>& set,
+                                         NodeId v) const {
+    std::vector<NodeId> out;
+    const auto* nbrs = graph_.neighborSet(v);
+    if (nbrs == nullptr) return out;
+    for (NodeId n : set) {
+      if (nbrs->contains(n)) out.push_back(n);
+    }
+    return out;
+  }
+
+  void expand(std::vector<NodeId>& r, std::vector<NodeId> p,
+              std::vector<NodeId> x) {
+    if (p.empty() && x.empty()) {
+      if (!r.empty()) {
+        std::vector<NodeId> clique = r;
+        std::sort(clique.begin(), clique.end());
+        out_.push_back(std::move(clique));
+      }
+      return;
+    }
+    // Pivot: the vertex in P union X with the most neighbors in P minimizes
+    // branching.
+    NodeId pivot;
+    std::size_t best = 0;
+    bool first = true;
+    for (const auto& set : {p, x}) {
+      for (NodeId v : set) {
+        const std::size_t deg = intersectNeighbors(p, v).size();
+        if (first || deg > best) {
+          pivot = v;
+          best = deg;
+          first = false;
+        }
+      }
+    }
+    const auto* pivotNbrs = graph_.neighborSet(pivot);
+    std::vector<NodeId> candidates;
+    for (NodeId v : p) {
+      if (pivotNbrs == nullptr || !pivotNbrs->contains(v)) {
+        candidates.push_back(v);
+      }
+    }
+    for (NodeId v : candidates) {
+      r.push_back(v);
+      expand(r, intersectNeighbors(p, v), intersectNeighbors(x, v));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  const AdjacencyGraph& graph_;
+  std::vector<std::vector<NodeId>> out_;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> maximalCliques(const AdjacencyGraph& graph) {
+  return BronKerbosch(graph).run();
+}
+
+std::vector<std::vector<NodeId>> maximalCliquesContaining(
+    const AdjacencyGraph& graph, NodeId node) {
+  std::vector<std::vector<NodeId>> out;
+  for (auto& clique : maximalCliques(graph)) {
+    if (std::binary_search(clique.begin(), clique.end(), node)) {
+      out.push_back(std::move(clique));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> partitionIntoCliques(
+    const AdjacencyGraph& graph) {
+  AdjacencyGraph work = graph;
+  std::vector<std::vector<NodeId>> out;
+  while (work.nodeCount() > 0) {
+    auto cliques = maximalCliques(work);
+    if (cliques.empty()) break;
+    // maximalCliques sorts by (size desc, members asc), so front() is the
+    // deterministic greedy choice.
+    std::vector<NodeId> chosen = cliques.front();
+    for (NodeId n : chosen) work.removeNode(n);
+    out.push_back(std::move(chosen));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+  return out;
+}
+
+bool isClique(const AdjacencyGraph& graph,
+              const std::vector<NodeId>& members) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!graph.hasEdge(members[i], members[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hdtn

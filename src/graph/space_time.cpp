@@ -1,0 +1,104 @@
+#include "src/graph/space_time.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdtn::graph {
+
+SpaceTimeGraph::SpaceTimeGraph(const trace::ContactTrace& trace)
+    : nodeCount_(trace.nodeCount()),
+      contacts_(trace.contacts().begin(), trace.contacts().end()) {
+  std::sort(contacts_.begin(), contacts_.end(),
+            [](const trace::Contact& a, const trace::Contact& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+}
+
+SpaceTimeGraph::Propagation SpaceTimeGraph::propagate(
+    NodeId source, SimTime startTime) const {
+  Propagation p;
+  p.arrival.assign(nodeCount_, kTimeInfinity);
+  p.from.assign(nodeCount_, NodeId());
+  p.hopTime.assign(nodeCount_, 0);
+  if (source.value >= nodeCount_) return p;
+  p.arrival[source.value] = startTime;
+
+  // Sweep contacts in start order; within a contact, a message held by any
+  // member before the contact ends reaches every member at
+  // max(contact.start, holder arrival). Overlapping contacts can feed each
+  // other in either order, so iterate to a fixpoint; each pass can only
+  // lower arrivals, and arrivals are bounded below, so this terminates (in
+  // practice 2 passes, since a pass resolves all same-pass chains that run
+  // forward in time).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const trace::Contact& c : contacts_) {
+      SimTime best = kTimeInfinity;
+      for (NodeId m : c.members) {
+        const SimTime a = p.arrival[m.value];
+        if (a >= c.end) continue;
+        best = std::min(best, std::max(a, c.start));
+      }
+      if (best >= c.end) continue;
+      // The earliest holder relays; find it for parent tracking.
+      NodeId relay;
+      for (NodeId m : c.members) {
+        const SimTime a = p.arrival[m.value];
+        if (a < c.end && std::max(a, c.start) == best) {
+          relay = m;
+          break;
+        }
+      }
+      for (NodeId m : c.members) {
+        if (p.arrival[m.value] > best) {
+          p.arrival[m.value] = best;
+          p.from[m.value] = relay;
+          p.hopTime[m.value] = best;
+          changed = true;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<SimTime> SpaceTimeGraph::earliestArrivals(
+    NodeId source, SimTime startTime) const {
+  return propagate(source, startTime).arrival;
+}
+
+Journey SpaceTimeGraph::foremostJourney(NodeId source, NodeId destination,
+                                        SimTime startTime) const {
+  Journey journey;
+  if (destination.value >= nodeCount_) return journey;
+  const Propagation p = propagate(source, startTime);
+  if (p.arrival[destination.value] == kTimeInfinity) return journey;
+  journey.reachable = true;
+  journey.arrival = p.arrival[destination.value];
+  // Walk parents back to the source.
+  NodeId cursor = destination;
+  while (cursor != source) {
+    const NodeId parent = p.from[cursor.value];
+    assert(parent.valid());
+    journey.hops.push_back(
+        JourneyHop{p.hopTime[cursor.value], parent, cursor});
+    cursor = parent;
+  }
+  std::reverse(journey.hops.begin(), journey.hops.end());
+  return journey;
+}
+
+double SpaceTimeGraph::reachability(NodeId source, SimTime startTime) const {
+  if (nodeCount_ < 2) return 0.0;
+  const auto arrivals = earliestArrivals(source, startTime);
+  std::size_t reached = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (i != source.value && arrivals[i] != kTimeInfinity) ++reached;
+  }
+  return static_cast<double>(reached) /
+         static_cast<double>(nodeCount_ - 1);
+}
+
+}  // namespace hdtn::graph

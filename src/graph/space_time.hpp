@@ -1,0 +1,70 @@
+// Space-time graph over a contact trace (paper Section II-A: "A DTN can be
+// described abstractly using a space time graph in which each edge
+// corresponds to a contact").
+//
+// The central query is the *foremost journey*: the earliest time a message
+// originating at a source node at a given instant can reach each other
+// node, assuming transmission is free within a contact (every member of a
+// clique contact can hear a broadcast). This is the mobility-limited optimum
+// — no store-carry-forward protocol can beat it — and serves as the oracle
+// baseline for both the routing substrate and file-delivery-delay analyses.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/trace/contact_trace.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::graph {
+
+/// One hop of a journey: at `time`, `from` handed the message to `to`
+/// during some contact.
+struct JourneyHop {
+  SimTime time = 0;
+  NodeId from;
+  NodeId to;
+};
+
+/// A reconstructed foremost journey.
+struct Journey {
+  bool reachable = false;
+  SimTime arrival = kTimeInfinity;
+  std::vector<JourneyHop> hops;  ///< empty when source == destination
+};
+
+class SpaceTimeGraph {
+ public:
+  explicit SpaceTimeGraph(const trace::ContactTrace& trace);
+
+  /// Earliest arrival time at every node for a message available at
+  /// `source` from `startTime` on. Unreachable nodes get kTimeInfinity.
+  /// A node "arrives" at itself at startTime.
+  [[nodiscard]] std::vector<SimTime> earliestArrivals(NodeId source,
+                                                      SimTime startTime) const;
+
+  /// Foremost journey to one destination, with the hop sequence.
+  [[nodiscard]] Journey foremostJourney(NodeId source, NodeId destination,
+                                        SimTime startTime) const;
+
+  /// Fraction of nodes reachable from `source` at `startTime` (excluding
+  /// the source itself). 0 when the trace has fewer than 2 nodes.
+  [[nodiscard]] double reachability(NodeId source, SimTime startTime) const;
+
+  [[nodiscard]] std::size_t nodeCount() const { return nodeCount_; }
+
+ private:
+  struct Propagation {
+    std::vector<SimTime> arrival;
+    // Parent pointers for journey reconstruction.
+    std::vector<NodeId> from;
+    std::vector<SimTime> hopTime;
+  };
+
+  [[nodiscard]] Propagation propagate(NodeId source, SimTime startTime) const;
+
+  std::size_t nodeCount_ = 0;
+  std::vector<trace::Contact> contacts_;  // sorted by start
+};
+
+}  // namespace hdtn::graph

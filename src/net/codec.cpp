@@ -1,0 +1,263 @@
+#include "src/net/codec.hpp"
+
+namespace hdtn::net {
+namespace {
+
+constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+bool writeHeader(Encoder& enc, WireKind kind) {
+  enc.writeVarint(kCodecVersion);
+  enc.writeVarint(static_cast<std::uint64_t>(kind));
+  return true;
+}
+
+// Reads and validates the version + expected kind.
+bool readHeader(Decoder& dec, WireKind expected) {
+  const auto version = dec.readVarint();
+  if (!version || *version != kCodecVersion) return false;
+  const auto kind = dec.readVarint();
+  return kind && *kind == static_cast<std::uint64_t>(expected);
+}
+
+}  // namespace
+
+void Encoder::writeVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void Encoder::writeBytes(std::span<const std::uint8_t> data) {
+  writeVarint(data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Encoder::writeString(std::string_view s) {
+  writeBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Encoder::writeDigest(const Sha1Digest& digest) {
+  buffer_.insert(buffer_.end(), digest.bytes.begin(), digest.bytes.end());
+}
+
+std::optional<std::uint64_t> Decoder::readVarint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (offset_ < data_.size()) {
+    const std::uint8_t byte = data_[offset_++];
+    if (shift >= 63 && (byte & 0x7f) > 1) return std::nullopt;  // overflow
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::string> Decoder::readString(std::size_t maxLength) {
+  const auto length = readVarint();
+  if (!length || *length > maxLength || *length > remaining()) {
+    return std::nullopt;
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + offset_),
+                  static_cast<std::size_t>(*length));
+  offset_ += static_cast<std::size_t>(*length);
+  return out;
+}
+
+std::optional<Bytes> Decoder::readBlob(std::size_t maxLength) {
+  const auto length = readVarint();
+  if (!length || *length > maxLength || *length > remaining()) {
+    return std::nullopt;
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset_) +
+                static_cast<std::ptrdiff_t>(*length));
+  offset_ += static_cast<std::size_t>(*length);
+  return out;
+}
+
+std::optional<Sha1Digest> Decoder::readDigest() {
+  if (remaining() < 20) return std::nullopt;
+  Sha1Digest digest;
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset_) + 20,
+            digest.bytes.begin());
+  offset_ += 20;
+  return digest;
+}
+
+Bytes encodeHello(const HelloMessage& hello) {
+  Encoder enc;
+  writeHeader(enc, WireKind::kHello);
+  enc.writeVarint(hello.sender.value);
+  enc.writeVarint(hello.heardNeighbors.size());
+  for (NodeId n : hello.heardNeighbors) enc.writeVarint(n.value);
+  enc.writeVarint(hello.queries.size());
+  for (const auto& q : hello.queries) enc.writeString(q);
+  enc.writeVarint(hello.wantedUris.size());
+  for (const auto& u : hello.wantedUris) enc.writeString(u);
+  return enc.take();
+}
+
+std::optional<WireKind> peekKind(std::span<const std::uint8_t> frame) {
+  Decoder dec(frame);
+  const auto version = dec.readVarint();
+  if (!version || *version != kCodecVersion) return std::nullopt;
+  const auto kind = dec.readVarint();
+  if (!kind) return std::nullopt;
+  switch (*kind) {
+    case static_cast<std::uint64_t>(WireKind::kHello):
+      return WireKind::kHello;
+    case static_cast<std::uint64_t>(WireKind::kMetadata):
+      return WireKind::kMetadata;
+    case static_cast<std::uint64_t>(WireKind::kPiece):
+      return WireKind::kPiece;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<HelloMessage> decodeHello(std::span<const std::uint8_t> frame) {
+  Decoder dec(frame);
+  if (!readHeader(dec, WireKind::kHello)) return std::nullopt;
+  HelloMessage hello;
+  const auto sender = dec.readVarint();
+  if (!sender || *sender > kInvalidId) return std::nullopt;
+  hello.sender = NodeId(static_cast<std::uint32_t>(*sender));
+  const auto neighborCount = dec.readVarint();
+  if (!neighborCount || *neighborCount > dec.remaining()) {
+    return std::nullopt;
+  }
+  for (std::uint64_t i = 0; i < *neighborCount; ++i) {
+    const auto n = dec.readVarint();
+    if (!n || *n > kInvalidId) return std::nullopt;
+    hello.heardNeighbors.emplace_back(static_cast<std::uint32_t>(*n));
+  }
+  const auto queryCount = dec.readVarint();
+  if (!queryCount || *queryCount > dec.remaining()) return std::nullopt;
+  for (std::uint64_t i = 0; i < *queryCount; ++i) {
+    auto q = dec.readString();
+    if (!q) return std::nullopt;
+    hello.queries.push_back(std::move(*q));
+  }
+  const auto uriCount = dec.readVarint();
+  if (!uriCount || *uriCount > dec.remaining()) return std::nullopt;
+  for (std::uint64_t i = 0; i < *uriCount; ++i) {
+    auto u = dec.readString();
+    if (!u) return std::nullopt;
+    hello.wantedUris.push_back(std::move(*u));
+  }
+  if (!dec.atEnd()) return std::nullopt;  // trailing garbage
+  return hello;
+}
+
+Bytes encodeMetadata(const core::Metadata& metadata) {
+  Encoder enc;
+  writeHeader(enc, WireKind::kMetadata);
+  enc.writeVarint(metadata.file.value);
+  enc.writeString(metadata.name);
+  enc.writeString(metadata.publisher);
+  enc.writeString(metadata.description);
+  enc.writeString(metadata.uri);
+  enc.writeVarint(metadata.sizeBytes);
+  enc.writeVarint(metadata.pieceSizeBytes);
+  enc.writeVarint(metadata.pieceChecksums.size());
+  for (const auto& digest : metadata.pieceChecksums) {
+    enc.writeDigest(digest);
+  }
+  enc.writeDigest(metadata.authTag);
+  // Popularity with fixed 1e-6 resolution; times as varints.
+  enc.writeVarint(
+      static_cast<std::uint64_t>(metadata.popularity * 1'000'000.0 + 0.5));
+  enc.writeVarint(static_cast<std::uint64_t>(metadata.publishedAt));
+  enc.writeVarint(static_cast<std::uint64_t>(metadata.ttl));
+  return enc.take();
+}
+
+std::optional<core::Metadata> decodeMetadata(
+    std::span<const std::uint8_t> frame) {
+  Decoder dec(frame);
+  if (!readHeader(dec, WireKind::kMetadata)) return std::nullopt;
+  core::Metadata md;
+  const auto file = dec.readVarint();
+  if (!file || *file > kInvalidId) return std::nullopt;
+  md.file = FileId(static_cast<std::uint32_t>(*file));
+  auto name = dec.readString();
+  auto publisher = dec.readString();
+  auto description = dec.readString();
+  auto uri = dec.readString();
+  if (!name || !publisher || !description || !uri) return std::nullopt;
+  md.name = std::move(*name);
+  md.publisher = std::move(*publisher);
+  md.description = std::move(*description);
+  md.uri = std::move(*uri);
+  const auto sizeBytes = dec.readVarint();
+  const auto pieceSize = dec.readVarint();
+  if (!sizeBytes || !pieceSize || *pieceSize > 0xffffffffull) {
+    return std::nullopt;
+  }
+  md.sizeBytes = *sizeBytes;
+  md.pieceSizeBytes = static_cast<std::uint32_t>(*pieceSize);
+  const auto checksumCount = dec.readVarint();
+  if (!checksumCount || *checksumCount * 20 > dec.remaining()) {
+    return std::nullopt;
+  }
+  for (std::uint64_t i = 0; i < *checksumCount; ++i) {
+    const auto digest = dec.readDigest();
+    if (!digest) return std::nullopt;
+    md.pieceChecksums.push_back(*digest);
+  }
+  const auto authTag = dec.readDigest();
+  if (!authTag) return std::nullopt;
+  md.authTag = *authTag;
+  const auto popularity = dec.readVarint();
+  const auto publishedAt = dec.readVarint();
+  const auto ttl = dec.readVarint();
+  if (!popularity || !publishedAt || !ttl || *popularity > 1'000'000) {
+    return std::nullopt;
+  }
+  md.popularity = static_cast<double>(*popularity) / 1'000'000.0;
+  md.publishedAt = static_cast<SimTime>(*publishedAt);
+  md.ttl = static_cast<Duration>(*ttl);
+  if (!dec.atEnd()) return std::nullopt;
+  md.rebuildKeywords();  // derived field, not on the wire
+  return md;
+}
+
+Bytes encodePiece(const PieceMessage& piece,
+                  std::span<const std::uint8_t> payload) {
+  Encoder enc;
+  writeHeader(enc, WireKind::kPiece);
+  enc.writeVarint(piece.sender.value);
+  enc.writeVarint(piece.file.value);
+  enc.writeVarint(piece.pieceIndex);
+  enc.writeBytes(payload);
+  return enc.take();
+}
+
+std::optional<DecodedPiece> decodePiece(
+    std::span<const std::uint8_t> frame) {
+  Decoder dec(frame);
+  if (!readHeader(dec, WireKind::kPiece)) return std::nullopt;
+  DecodedPiece out;
+  const auto sender = dec.readVarint();
+  const auto file = dec.readVarint();
+  const auto index = dec.readVarint();
+  if (!sender || !file || !index || *sender > kInvalidId ||
+      *file > kInvalidId || *index > 0xffffffffull) {
+    return std::nullopt;
+  }
+  out.header.sender = NodeId(static_cast<std::uint32_t>(*sender));
+  out.header.file = FileId(static_cast<std::uint32_t>(*file));
+  out.header.pieceIndex = static_cast<std::uint32_t>(*index);
+  auto payload = dec.readBlob();
+  if (!payload || !dec.atEnd()) return std::nullopt;
+  out.payload = std::move(*payload);
+  return out;
+}
+
+}  // namespace hdtn::net

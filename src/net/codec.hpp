@@ -1,0 +1,97 @@
+// Binary wire codec for the protocol messages.
+//
+// A compact, versioned, self-delimiting encoding for hello messages,
+// metadata records, and piece messages, so nodes (or a future on-device
+// deployment) can exchange them over any datagram transport. Integers use
+// LEB128 varints; strings and blobs are length-prefixed. Decoding is
+// defensive: it never reads past the buffer and rejects malformed input —
+// DTN radios deliver garbage more often than not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/metadata.hpp"
+#include "src/net/message.hpp"
+
+namespace hdtn::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only encoder.
+class Encoder {
+ public:
+  void writeVarint(std::uint64_t value);
+  void writeBytes(std::span<const std::uint8_t> data);
+  void writeString(std::string_view s);
+  void writeDigest(const Sha1Digest& digest);
+
+  [[nodiscard]] const Bytes& buffer() const { return buffer_; }
+  [[nodiscard]] Bytes take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked decoder; every read reports failure via std::optional.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint64_t> readVarint();
+  [[nodiscard]] std::optional<std::string> readString(
+      std::size_t maxLength = 1 << 20);
+  [[nodiscard]] std::optional<Bytes> readBlob(
+      std::size_t maxLength = 1 << 20);
+  [[nodiscard]] std::optional<Sha1Digest> readDigest();
+
+  [[nodiscard]] bool atEnd() const { return offset_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - offset_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Message kind tags on the wire.
+enum class WireKind : std::uint8_t {
+  kHello = 1,
+  kMetadata = 2,
+  kPiece = 3,
+};
+
+/// Current codec version, first byte of every frame.
+inline constexpr std::uint8_t kCodecVersion = 1;
+
+// --- frame encoders -------------------------------------------------------
+
+[[nodiscard]] Bytes encodeHello(const HelloMessage& hello);
+[[nodiscard]] Bytes encodeMetadata(const core::Metadata& metadata);
+/// `payload` is the piece content (may be empty for header-only tests).
+[[nodiscard]] Bytes encodePiece(const PieceMessage& piece,
+                                std::span<const std::uint8_t> payload);
+
+// --- frame decoders -------------------------------------------------------
+
+/// Peeks the kind of a frame without consuming it. nullopt on malformed.
+[[nodiscard]] std::optional<WireKind> peekKind(
+    std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::optional<HelloMessage> decodeHello(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<core::Metadata> decodeMetadata(
+    std::span<const std::uint8_t> frame);
+
+struct DecodedPiece {
+  PieceMessage header;
+  Bytes payload;
+};
+[[nodiscard]] std::optional<DecodedPiece> decodePiece(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace hdtn::net

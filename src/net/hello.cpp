@@ -1,0 +1,48 @@
+#include "src/net/hello.hpp"
+
+#include <algorithm>
+
+namespace hdtn::net {
+
+void HelloState::onHello(SimTime now, const HelloMessage& hello) {
+  if (hello.sender == self_) return;
+  auto& entry = heard_[hello.sender];
+  entry.lastHeard = now;
+  entry.lastHello = hello;
+}
+
+void HelloState::expire(SimTime now) {
+  std::erase_if(heard_, [now](const auto& kv) {
+    return now - kv.second.lastHeard > kHelloNeighborWindow;
+  });
+}
+
+std::vector<NodeId> HelloState::activeNeighbors(SimTime now) const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, entry] : heard_) {
+    if (now - entry.lastHeard <= kHelloNeighborWindow) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<HelloMessage> HelloState::latestFrom(SimTime now,
+                                                   NodeId peer) const {
+  auto it = heard_.find(peer);
+  if (it == heard_.end()) return std::nullopt;
+  if (now - it->second.lastHeard > kHelloNeighborWindow) return std::nullopt;
+  return it->second.lastHello;
+}
+
+HelloMessage HelloState::makeHello(SimTime now,
+                                   std::vector<std::string> queries,
+                                   std::vector<Uri> wantedUris) const {
+  HelloMessage hello;
+  hello.sender = self_;
+  hello.heardNeighbors = activeNeighbors(now);
+  hello.queries = std::move(queries);
+  hello.wantedUris = std::move(wantedUris);
+  return hello;
+}
+
+}  // namespace hdtn::net

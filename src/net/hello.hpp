@@ -1,0 +1,54 @@
+// Hello-protocol state machine.
+//
+// Tracks, per node, which neighbors were heard within the 5-second window
+// and the latest hello payload from each. The download layer reads the
+// neighbor sets to build the connectivity graph over which broadcast cliques
+// are computed (paper Sections III-B and V).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/message.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::net {
+
+class HelloState {
+ public:
+  explicit HelloState(NodeId self) : self_(self) {}
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  /// Records a received hello at time `now`.
+  void onHello(SimTime now, const HelloMessage& hello);
+
+  /// Drops neighbors not heard within kHelloNeighborWindow of `now`.
+  void expire(SimTime now);
+
+  /// Neighbors heard within the window as of `now`, sorted ascending.
+  [[nodiscard]] std::vector<NodeId> activeNeighbors(SimTime now) const;
+
+  /// Latest hello payload from a neighbor, if still within the window.
+  [[nodiscard]] std::optional<HelloMessage> latestFrom(SimTime now,
+                                                       NodeId peer) const;
+
+  /// Builds this node's outgoing hello.
+  [[nodiscard]] HelloMessage makeHello(SimTime now,
+                                       std::vector<std::string> queries,
+                                       std::vector<Uri> wantedUris) const;
+
+  void clear() { heard_.clear(); }
+
+ private:
+  struct HeardEntry {
+    SimTime lastHeard = 0;
+    HelloMessage lastHello;
+  };
+
+  NodeId self_;
+  std::unordered_map<NodeId, HeardEntry> heard_;
+};
+
+}  // namespace hdtn::net

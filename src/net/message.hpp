@@ -1,0 +1,46 @@
+// Wire message types exchanged between hybrid-DTN nodes.
+//
+// Paper Section III-B: "Messages exchanged among the nodes include: (a)
+// hello messages, (b) metadata, and (c) file pieces." Hello messages carry
+// the node id, recently heard neighbor ids, the node's query strings, and
+// the URIs of files it is downloading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace hdtn::net {
+
+/// Periodic presence beacon (at least every second per the paper; the
+/// simulation exchanges them at contact start).
+struct HelloMessage {
+  NodeId sender;
+  /// Nodes from which the sender received hellos in the past 5 seconds.
+  std::vector<NodeId> heardNeighbors;
+  /// The sender's own active query strings.
+  std::vector<std::string> queries;
+  /// URIs of the files the sender is currently trying to download.
+  std::vector<Uri> wantedUris;
+};
+
+/// A metadata record in flight (payload identified by file id; the engine
+/// resolves ids against the catalog).
+struct MetadataMessage {
+  NodeId sender;
+  FileId file;
+};
+
+/// One file piece in flight.
+struct PieceMessage {
+  NodeId sender;
+  FileId file;
+  std::uint32_t pieceIndex = 0;
+};
+
+/// How long a heard hello keeps a neighbor in the "recently heard" set.
+inline constexpr Duration kHelloNeighborWindow = 5;  // seconds
+
+}  // namespace hdtn::net

@@ -1,0 +1,346 @@
+#include "src/routing/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "src/graph/space_time.hpp"
+#include "src/util/bloom.hpp"
+
+namespace hdtn::routing {
+
+const char* routingAlgorithmName(RoutingAlgorithm algorithm) {
+  switch (algorithm) {
+    case RoutingAlgorithm::kDirectDelivery: return "direct";
+    case RoutingAlgorithm::kEpidemic: return "epidemic";
+    case RoutingAlgorithm::kSprayAndWait: return "spray-and-wait";
+    case RoutingAlgorithm::kProphet: return "prophet";
+  }
+  return "?";
+}
+
+std::vector<RoutingMessage> makeUniformWorkload(std::size_t count,
+                                                std::size_t nodeCount,
+                                                SimTime horizon, Duration ttl,
+                                                Rng& rng) {
+  assert(nodeCount >= 2);
+  std::vector<RoutingMessage> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RoutingMessage m;
+    m.id = MessageId(static_cast<std::uint32_t>(i));
+    m.source = NodeId(static_cast<std::uint32_t>(rng.pickIndex(nodeCount)));
+    do {
+      m.destination =
+          NodeId(static_cast<std::uint32_t>(rng.pickIndex(nodeCount)));
+    } while (m.destination == m.source);
+    m.createdAt = rng.uniformInt(0, std::max<SimTime>(0, horizon - 1));
+    m.ttl = ttl;
+    out.push_back(m);
+  }
+  return out;
+}
+
+double ProphetTable::aged(const Entry& entry, SimTime now) const {
+  if (now <= entry.updatedAt || params_.prophetAgingUnit <= 0) {
+    return entry.value;
+  }
+  const double steps =
+      static_cast<double>(now - entry.updatedAt) /
+      static_cast<double>(params_.prophetAgingUnit);
+  return entry.value * std::pow(params_.prophetGamma, steps);
+}
+
+double ProphetTable::predictability(NodeId peer, SimTime now) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? 0.0 : aged(it->second, now);
+}
+
+void ProphetTable::onEncounter(NodeId peer, SimTime now) {
+  Entry& e = entries_[peer];
+  const double current = aged(e, now);
+  e.value = current + (1.0 - current) * params_.prophetPInit;
+  e.updatedAt = now;
+}
+
+void ProphetTable::onTransitive(NodeId peer, const ProphetTable& peerTable,
+                                SimTime now) {
+  const double toPeer = predictability(peer, now);
+  if (toPeer <= 0.0) return;
+  for (const auto& [dest, entry] : peerTable.entries_) {
+    if (dest == peer) continue;
+    const double throughPeer =
+        toPeer * peerTable.aged(entry, now) * params_.prophetBeta;
+    Entry& mine = entries_[dest];
+    const double current = aged(mine, now);
+    if (throughPeer > current) {
+      mine.value = throughPeer;
+      mine.updatedAt = now;
+    } else {
+      mine.value = current;
+      mine.updatedAt = now;
+    }
+  }
+}
+
+namespace {
+
+// Per-node routing state during a simulation run.
+struct NodeState {
+  // message id -> remaining copy budget (spray-and-wait; epidemic and
+  // prophet carry "1" as a flag).
+  std::unordered_map<MessageId, int> carried;
+  std::optional<ProphetTable> prophet;
+};
+
+class Run {
+ public:
+  Run(const trace::ContactTrace& trace,
+      const std::vector<RoutingMessage>& workload,
+      const RoutingParams& params)
+      : trace_(trace), workload_(workload), params_(params) {
+    nodes_.resize(trace.nodeCount());
+    if (params_.algorithm == RoutingAlgorithm::kProphet) {
+      for (auto& n : nodes_) n.prophet.emplace(params_);
+    }
+    deliveredAt_.assign(workload.size(), kTimeInfinity);
+  }
+
+  RoutingResult run() {
+    // Merge creations and contacts on the time axis: at each contact,
+    // first inject messages created before it.
+    std::vector<std::size_t> creationOrder(workload_.size());
+    for (std::size_t i = 0; i < workload_.size(); ++i) creationOrder[i] = i;
+    std::sort(creationOrder.begin(), creationOrder.end(),
+              [this](std::size_t a, std::size_t b) {
+                return workload_[a].createdAt < workload_[b].createdAt;
+              });
+    std::size_t nextCreation = 0;
+    for (const trace::Contact& contact : trace_.contacts()) {
+      while (nextCreation < creationOrder.size() &&
+             workload_[creationOrder[nextCreation]].createdAt <=
+                 contact.start) {
+        inject(workload_[creationOrder[nextCreation]]);
+        ++nextCreation;
+      }
+      processContact(contact);
+    }
+
+    RoutingResult result;
+    result.messages = workload_.size();
+    double delaySum = 0.0;
+    for (std::size_t i = 0; i < workload_.size(); ++i) {
+      if (deliveredAt_[i] == kTimeInfinity) continue;
+      ++result.delivered;
+      delaySum += static_cast<double>(deliveredAt_[i] -
+                                      workload_[i].createdAt);
+    }
+    result.forwards = forwards_;
+    if (result.messages > 0) {
+      result.deliveryRatio = static_cast<double>(result.delivered) /
+                             static_cast<double>(result.messages);
+    }
+    if (result.delivered > 0) {
+      result.meanDelay = delaySum / static_cast<double>(result.delivered);
+      result.overheadRatio = static_cast<double>(forwards_) /
+                             static_cast<double>(result.delivered);
+    }
+    return result;
+  }
+
+ private:
+  // Admits a message into a node's buffer, evicting per the drop policy
+  // when full. Returns false when the buffer rejected the message (it was
+  // the eviction victim itself).
+  bool admit(NodeState& node, MessageId id, int copies) {
+    if (params_.bufferCapacity > 0 &&
+        node.carried.size() >= params_.bufferCapacity) {
+      // Pick the victim among current occupants plus the newcomer.
+      MessageId victim = id;
+      SimTime victimCreated = workload_[id.value].createdAt;
+      for (const auto& [held, _] : node.carried) {
+        const SimTime created = workload_[held.value].createdAt;
+        const bool worse = params_.dropPolicy == DropPolicy::kDropOldest
+                               ? created < victimCreated ||
+                                     (created == victimCreated &&
+                                      held < victim)
+                               : created > victimCreated ||
+                                     (created == victimCreated &&
+                                      held > victim);
+        if (worse) {
+          victim = held;
+          victimCreated = created;
+        }
+      }
+      if (victim == id) return false;
+      node.carried.erase(victim);
+    }
+    node.carried[id] = copies;
+    return true;
+  }
+
+  void inject(const RoutingMessage& m) {
+    if (m.source.value >= nodes_.size()) return;
+    const int copies = params_.algorithm == RoutingAlgorithm::kSprayAndWait
+                           ? std::max(1, params_.sprayCopies)
+                           : 1;
+    admit(nodes_[m.source.value], m.id, copies);
+  }
+
+  void expire(NodeState& node, SimTime now) {
+    std::erase_if(node.carried, [&](const auto& kv) {
+      const RoutingMessage& m = workload_[kv.first.value];
+      return now >= m.expiresAt() ||
+             deliveredAt_[kv.first.value] != kTimeInfinity;
+    });
+  }
+
+  void processContact(const trace::Contact& contact) {
+    const SimTime now = contact.start;
+    for (NodeId n : contact.members) {
+      if (n.value < nodes_.size()) expire(nodes_[n.value], now);
+    }
+    // Clique contacts decompose into pairwise exchanges (unicast routing
+    // uses pairwise links; the paper's broadcast insight is specific to
+    // content distribution).
+    for (std::size_t i = 0; i < contact.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < contact.members.size(); ++j) {
+        pairExchange(contact.members[i], contact.members[j], now);
+      }
+    }
+  }
+
+  void pairExchange(NodeId a, NodeId b, SimTime now) {
+    if (a.value >= nodes_.size() || b.value >= nodes_.size()) return;
+    NodeState& na = nodes_[a.value];
+    NodeState& nb = nodes_[b.value];
+    if (params_.algorithm == RoutingAlgorithm::kProphet) {
+      na.prophet->onEncounter(b, now);
+      nb.prophet->onEncounter(a, now);
+      na.prophet->onTransitive(b, *nb.prophet, now);
+      nb.prophet->onTransitive(a, *na.prophet, now);
+    }
+    // Optional summary-vector exchange: each side summarizes its buffer
+    // once; the other side consults the summary instead of ground truth.
+    std::optional<BloomFilter> summaryOfA, summaryOfB;
+    if (params_.summaryVectorFalsePositiveRate > 0.0) {
+      summaryOfA = summarize(na);
+      summaryOfB = summarize(nb);
+    }
+    directionalExchange(a, na, b, nb, now,
+                        summaryOfB ? &*summaryOfB : nullptr);
+    directionalExchange(b, nb, a, na, now,
+                        summaryOfA ? &*summaryOfA : nullptr);
+  }
+
+  BloomFilter summarize(const NodeState& node) const {
+    BloomFilter filter = BloomFilter::forCapacity(
+        std::max<std::size_t>(8, node.carried.size()),
+        params_.summaryVectorFalsePositiveRate);
+    for (const auto& [id, _] : node.carried) filter.insert(id.value);
+    return filter;
+  }
+
+  void directionalExchange(NodeId /*from*/, NodeState& sender, NodeId to,
+                           NodeState& receiver, SimTime now,
+                           const BloomFilter* receiverSummary = nullptr) {
+    std::vector<MessageId> toHandle;
+    for (const auto& [id, copies] : sender.carried) toHandle.push_back(id);
+    std::sort(toHandle.begin(), toHandle.end());
+    for (MessageId id : toHandle) {
+      const RoutingMessage& m = workload_[id.value];
+      if (deliveredAt_[id.value] != kTimeInfinity) continue;
+      if (now >= m.expiresAt()) continue;
+      if (m.destination == to) {
+        deliveredAt_[id.value] = now;
+        ++forwards_;
+        continue;
+      }
+      if (receiverSummary != nullptr) {
+        // The sender only knows the summary; a false positive hides a
+        // genuinely missing message.
+        if (receiverSummary->mayContain(id.value)) continue;
+      } else if (receiver.carried.contains(id)) {
+        continue;
+      }
+      if (receiver.carried.contains(id)) continue;
+      switch (params_.algorithm) {
+        case RoutingAlgorithm::kDirectDelivery:
+          break;  // only delivery hops
+        case RoutingAlgorithm::kEpidemic:
+          if (admit(receiver, id, 1)) ++forwards_;
+          break;
+        case RoutingAlgorithm::kSprayAndWait: {
+          int& copies = sender.carried[id];
+          if (copies > 1) {
+            const int given = copies / 2;  // binary spray
+            if (admit(receiver, id, given)) {
+              copies -= given;
+              ++forwards_;
+            }
+          }
+          break;
+        }
+        case RoutingAlgorithm::kProphet: {
+          const double mine =
+              sender.prophet->predictability(m.destination, now);
+          const double theirs =
+              receiver.prophet->predictability(m.destination, now);
+          if (theirs > mine) {
+            if (admit(receiver, id, 1)) ++forwards_;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  const trace::ContactTrace& trace_;
+  const std::vector<RoutingMessage>& workload_;
+  const RoutingParams& params_;
+  std::vector<NodeState> nodes_;
+  std::vector<SimTime> deliveredAt_;
+  std::uint64_t forwards_ = 0;
+};
+
+}  // namespace
+
+RoutingResult simulateRouting(const trace::ContactTrace& trace,
+                              const std::vector<RoutingMessage>& workload,
+                              const RoutingParams& params) {
+  return Run(trace, workload, params).run();
+}
+
+RoutingResult oracleRouting(const trace::ContactTrace& trace,
+                            const std::vector<RoutingMessage>& workload) {
+  const graph::SpaceTimeGraph stg(trace);
+  RoutingResult result;
+  result.messages = workload.size();
+  double delaySum = 0.0;
+  // Group by (source, createdAt) to reuse propagation when possible.
+  std::map<std::pair<NodeId, SimTime>, std::vector<SimTime>> cache;
+  for (const RoutingMessage& m : workload) {
+    auto key = std::make_pair(m.source, m.createdAt);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, stg.earliestArrivals(m.source, m.createdAt))
+               .first;
+    }
+    const SimTime arrival = it->second[m.destination.value];
+    if (arrival == kTimeInfinity || arrival >= m.expiresAt()) continue;
+    ++result.delivered;
+    delaySum += static_cast<double>(arrival - m.createdAt);
+  }
+  if (result.messages > 0) {
+    result.deliveryRatio = static_cast<double>(result.delivered) /
+                           static_cast<double>(result.messages);
+  }
+  if (result.delivered > 0) {
+    result.meanDelay = delaySum / static_cast<double>(result.delivered);
+  }
+  return result;
+}
+
+}  // namespace hdtn::routing

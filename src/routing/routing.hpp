@@ -1,0 +1,139 @@
+// Store-carry-forward unicast routing over contact traces.
+//
+// The DTN foundation the paper builds on (Section II-A cites the DTNRG
+// architecture and the routing literature): messages travel between mobile
+// nodes by being stored, carried, and forwarded across contacts. This
+// substrate implements the classic protocol family used as baselines
+// throughout that literature —
+//   direct delivery   : the source holds the message until it meets the
+//                       destination (1 copy, minimal overhead),
+//   epidemic          : flood every contact (delay-optimal among protocols,
+//                       maximal overhead),
+//   spray-and-wait    : binary spray of L copies, then direct-deliver
+//                       (Spyropoulos et al.),
+//   PRoPHET           : probabilistic forwarding on delivery
+//                       predictabilities with transitivity and aging
+//                       (Lindgren et al., cited as [10] in the paper).
+// The space-time-graph oracle (graph/space_time.hpp) gives the
+// mobility-limited optimum for the same workload.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/trace/contact_trace.hpp"
+#include "src/util/random.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::routing {
+
+struct MessageTag {};
+using MessageId = Id<MessageTag>;
+
+struct RoutingMessage {
+  MessageId id;
+  NodeId source;
+  NodeId destination;
+  SimTime createdAt = 0;
+  Duration ttl = kTimeInfinity;  ///< relative; kTimeInfinity = no expiry
+
+  [[nodiscard]] SimTime expiresAt() const {
+    return ttl == kTimeInfinity ? kTimeInfinity : createdAt + ttl;
+  }
+};
+
+enum class RoutingAlgorithm {
+  kDirectDelivery,
+  kEpidemic,
+  kSprayAndWait,
+  kProphet,
+};
+
+[[nodiscard]] const char* routingAlgorithmName(RoutingAlgorithm algorithm);
+
+/// What a full buffer evicts to admit a new message.
+enum class DropPolicy {
+  kDropOldest,  ///< evict the message created longest ago (FIFO-ish)
+  kDropYoungest,  ///< evict the most recently created message
+};
+
+struct RoutingParams {
+  RoutingAlgorithm algorithm = RoutingAlgorithm::kEpidemic;
+  /// Spray-and-wait: initial copy budget L (binary spray).
+  int sprayCopies = 8;
+  /// Per-node buffer capacity in messages; 0 = unbounded. A full buffer
+  /// applies dropPolicy; the incoming message always wins over the evicted
+  /// one (standard DTN buffer management semantics).
+  std::size_t bufferCapacity = 0;
+  DropPolicy dropPolicy = DropPolicy::kDropOldest;
+  /// When true, peers exchange Bloom-filter summary vectors before
+  /// transferring (Vahdat-Becker epidemic routing): a false positive makes
+  /// the sender skip a message the receiver actually lacks. 0 disables.
+  double summaryVectorFalsePositiveRate = 0.0;
+  /// PRoPHET constants (defaults from the original paper).
+  double prophetPInit = 0.75;
+  double prophetBeta = 0.25;
+  double prophetGamma = 0.98;       ///< aging base
+  Duration prophetAgingUnit = 600;  ///< seconds per aging step
+};
+
+struct RoutingResult {
+  std::size_t messages = 0;
+  std::size_t delivered = 0;
+  double deliveryRatio = 0.0;
+  /// Mean delay of delivered messages, seconds.
+  double meanDelay = 0.0;
+  /// Total transmissions (copies handed over), including delivery hops.
+  std::uint64_t forwards = 0;
+  /// forwards / delivered; lower is cheaper. 0 when nothing delivered.
+  double overheadRatio = 0.0;
+};
+
+/// Generates a uniform random workload: `count` messages with distinct
+/// random source/destination pairs, creation times uniform in
+/// [0, horizon), and the given TTL.
+[[nodiscard]] std::vector<RoutingMessage> makeUniformWorkload(
+    std::size_t count, std::size_t nodeCount, SimTime horizon, Duration ttl,
+    Rng& rng);
+
+/// Runs one protocol over the trace and workload. Deterministic.
+[[nodiscard]] RoutingResult simulateRouting(
+    const trace::ContactTrace& trace,
+    const std::vector<RoutingMessage>& workload,
+    const RoutingParams& params);
+
+/// The mobility-limited optimum for the same workload, from the space-time
+/// graph: a message is deliverable iff a journey exists within its TTL;
+/// delays are foremost-journey delays.
+[[nodiscard]] RoutingResult oracleRouting(
+    const trace::ContactTrace& trace,
+    const std::vector<RoutingMessage>& workload);
+
+/// PRoPHET delivery-predictability table of one node (exposed for tests).
+class ProphetTable {
+ public:
+  explicit ProphetTable(const RoutingParams& params) : params_(params) {}
+
+  /// P(self, peer), aged to `now`.
+  [[nodiscard]] double predictability(NodeId peer, SimTime now) const;
+
+  /// Direct-encounter update: P += (1 - P) * pInit.
+  void onEncounter(NodeId peer, SimTime now);
+
+  /// Transitive update through an encountered peer's table.
+  void onTransitive(NodeId peer, const ProphetTable& peerTable, SimTime now);
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    SimTime updatedAt = 0;
+  };
+  [[nodiscard]] double aged(const Entry& entry, SimTime now) const;
+
+  const RoutingParams& params_;
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace hdtn::routing

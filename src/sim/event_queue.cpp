@@ -1,0 +1,51 @@
+#include "src/sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace hdtn::sim {
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  assert(fn && "event handler must be callable");
+  const EventId id = handlers_.size();
+  handlers_.push_back(std::move(fn));
+  heap_.push(Entry{when, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= handlers_.size() || !handlers_[id]) return false;
+  handlers_[id] = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::skipCancelled() const {
+  while (!heap_.empty() && !handlers_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  skipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::nextTime() const {
+  skipCancelled();
+  return heap_.empty() ? kTimeInfinity : heap_.top().when;
+}
+
+bool EventQueue::runNext() {
+  skipCancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  EventFn fn = std::move(handlers_[entry.id]);
+  handlers_[entry.id] = nullptr;
+  --live_;
+  fn();
+  return true;
+}
+
+}  // namespace hdtn::sim

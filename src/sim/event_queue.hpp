@@ -1,0 +1,61 @@
+// Stable discrete-event queue.
+//
+// Events at equal times are delivered in insertion order (a strict FIFO
+// tiebreak), which keeps simulations bit-for-bit deterministic regardless of
+// heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace hdtn::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`; returns a handle usable with
+  /// cancel(). `when` must not precede the last popped event's time.
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed. O(1); the slot is dropped lazily on pop.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the next pending event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Pops and runs the next event; returns false when the queue is empty.
+  bool runNext();
+
+  /// Time of the most recently executed (or peeked) event.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  void skipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  std::vector<EventFn> handlers_;  // indexed by EventId; empty == cancelled
+  std::size_t live_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace hdtn::sim

@@ -1,0 +1,46 @@
+// Simulation driver: a clock over an EventQueue with run-until semantics and
+// periodic tasks. The file-sharing engine (core/engine) layers the protocol
+// logic on top of this.
+#pragma once
+
+#include <functional>
+
+#include "src/sim/event_queue.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return queue_.now(); }
+
+  /// Schedules at an absolute time.
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedules `delay` seconds from now.
+  EventId after(Duration delay, EventFn fn);
+
+  /// Schedules `fn(now)` every `period` seconds, starting at `first`, until
+  /// the horizon passed to run(). Returns the id of the first occurrence.
+  EventId every(SimTime first, Duration period,
+                std::function<void(SimTime)> fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the next event is at or after
+  /// `horizon`. The clock finishes at min(horizon, time of last event run).
+  void runUntil(SimTime horizon);
+
+  /// Runs everything.
+  void run() { runUntil(kTimeInfinity); }
+
+  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+  SimTime horizon_ = kTimeInfinity;
+};
+
+}  // namespace hdtn::sim

@@ -1,0 +1,68 @@
+#include "src/trace/cyclic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace hdtn::trace {
+
+ContactTrace generateCyclic(const CyclicParams& params) {
+  assert(params.period > 0);
+  assert(params.cycles >= 1);
+  ContactTrace out("cyclic", 0);
+  Rng rng(params.seed);
+  for (int cycle = 0; cycle < params.cycles; ++cycle) {
+    const SimTime base = static_cast<SimTime>(cycle) * params.period;
+    for (const CyclicSlot& slot : params.slots) {
+      assert(slot.offset >= 0 && slot.offset < params.period);
+      assert(slot.duration > 0);
+      if (!rng.chance(slot.probability)) continue;
+      SimTime start = base + slot.offset;
+      if (params.startJitter > 0) {
+        start += rng.uniformInt(-params.startJitter, params.startJitter);
+        // Clamp inside this cycle.
+        start = std::max(start, base);
+        start = std::min(start, base + params.period - slot.duration);
+      }
+      Contact c;
+      c.start = start;
+      c.end = start + slot.duration;
+      c.members = slot.members;
+      out.addContact(std::move(c));
+    }
+  }
+  out.sortByStart();
+  return out;
+}
+
+std::vector<CyclicSlot> randomCyclicSlots(std::size_t nodes,
+                                          std::size_t count, Duration period,
+                                          std::size_t maxCliqueSize,
+                                          Duration minDuration,
+                                          Duration maxDuration,
+                                          double minProbability, Rng& rng) {
+  assert(nodes >= 2);
+  assert(maxCliqueSize >= 2);
+  assert(maxDuration >= minDuration && minDuration > 0);
+  std::vector<CyclicSlot> slots;
+  slots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CyclicSlot slot;
+    const std::size_t size = static_cast<std::size_t>(
+        rng.uniformInt(2, static_cast<std::int64_t>(
+                              std::min(maxCliqueSize, nodes))));
+    std::set<NodeId> members;
+    while (members.size() < size) {
+      members.insert(NodeId(static_cast<std::uint32_t>(
+          rng.pickIndex(nodes))));
+    }
+    slot.members.assign(members.begin(), members.end());
+    slot.duration = rng.uniformInt(minDuration, maxDuration);
+    slot.offset = rng.uniformInt(0, period - slot.duration);
+    slot.probability = rng.uniform(minProbability, 1.0);
+    slots.push_back(std::move(slot));
+  }
+  return slots;
+}
+
+}  // namespace hdtn::trace

@@ -1,0 +1,51 @@
+// Cyclic MobiSpace trace generator.
+//
+// The authors' companion work ("Routing in a Cyclic MobiSpace", MobiHoc'08,
+// cited as [21]) models DTNs whose contact patterns repeat with a common
+// period T: buses run the same schedule every day, students attend the same
+// classes every week. A cyclic trace is described by *probabilistic contact
+// slots* — (members, offset within the period, duration, probability) —
+// and each cycle independently realizes each slot with its probability.
+// Both of this repository's schedule-driven generators are special cases;
+// this one lets tests and benches express arbitrary periodic structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/contact_trace.hpp"
+#include "src/util/random.hpp"
+
+namespace hdtn::trace {
+
+/// One probabilistic contact opportunity per cycle.
+struct CyclicSlot {
+  std::vector<NodeId> members;  ///< >= 2 distinct nodes
+  SimTime offset = 0;           ///< start within the period
+  Duration duration = 0;
+  double probability = 1.0;  ///< chance the slot materializes each cycle
+};
+
+struct CyclicParams {
+  Duration period = kDay;
+  int cycles = 14;
+  std::vector<CyclicSlot> slots;
+  /// Uniform jitter applied to each realized slot's start, in seconds
+  /// (clamped so the contact stays within its cycle).
+  Duration startJitter = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the trace: slot s of cycle k starts at k*period + offset
+/// (+ jitter) when its probability coin lands heads.
+[[nodiscard]] ContactTrace generateCyclic(const CyclicParams& params);
+
+/// Builds `count` random slots over `nodes` nodes: clique sizes in
+/// [2, maxCliqueSize], offsets uniform in the period, durations uniform in
+/// [minDuration, maxDuration], probabilities uniform in [minProbability, 1].
+[[nodiscard]] std::vector<CyclicSlot> randomCyclicSlots(
+    std::size_t nodes, std::size_t count, Duration period,
+    std::size_t maxCliqueSize, Duration minDuration, Duration maxDuration,
+    double minProbability, Rng& rng);
+
+}  // namespace hdtn::trace

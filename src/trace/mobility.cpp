@@ -1,0 +1,141 @@
+#include "src/trace/mobility.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "src/trace/trace_stats.hpp"
+
+namespace hdtn::trace {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+RandomWaypointWalker::RandomWaypointWalker(const RandomWaypointParams& params,
+                                           Rng rng)
+    : params_(params), rng_(rng) {
+  position_.x = rng_.uniform(0.0, params_.fieldWidth);
+  position_.y = rng_.uniform(0.0, params_.fieldHeight);
+  pickWaypoint();
+}
+
+void RandomWaypointWalker::pickWaypoint() {
+  waypoint_.x = rng_.uniform(0.0, params_.fieldWidth);
+  waypoint_.y = rng_.uniform(0.0, params_.fieldHeight);
+  speed_ = rng_.uniform(params_.minSpeed, params_.maxSpeed);
+  pauseLeft_ = 0;
+}
+
+void RandomWaypointWalker::advance(Duration dt) {
+  double remaining = static_cast<double>(dt);
+  while (remaining > 0.0) {
+    if (pauseLeft_ > 0) {
+      const double pause =
+          std::min(remaining, static_cast<double>(pauseLeft_));
+      pauseLeft_ -= static_cast<Duration>(pause);
+      remaining -= pause;
+      continue;
+    }
+    const double toGo = distance(position_, waypoint_);
+    const double reachTime = speed_ > 0.0 ? toGo / speed_ : 0.0;
+    if (reachTime <= remaining) {
+      position_ = waypoint_;
+      remaining -= reachTime;
+      pauseLeft_ = params_.maxPause > 0
+                       ? rng_.uniformInt(0, params_.maxPause)
+                       : 0;
+      pickWaypoint();
+    } else {
+      const double frac = remaining * speed_ / toGo;
+      position_.x += (waypoint_.x - position_.x) * frac;
+      position_.y += (waypoint_.y - position_.y) * frac;
+      remaining = 0.0;
+    }
+  }
+}
+
+ContactTrace generateRandomWaypoint(const RandomWaypointParams& params) {
+  assert(params.nodes >= 2);
+  assert(params.tick > 0);
+  assert(params.radioRange > 0.0);
+  assert(params.maxSpeed >= params.minSpeed && params.minSpeed >= 0.0);
+
+  ContactTrace out("rwp", static_cast<std::size_t>(params.nodes));
+  Rng master(params.seed);
+  std::vector<RandomWaypointWalker> walkers;
+  walkers.reserve(static_cast<std::size_t>(params.nodes));
+  for (int i = 0; i < params.nodes; ++i) {
+    walkers.emplace_back(params, master.fork(static_cast<std::uint64_t>(i)));
+  }
+
+  // Open contact intervals per pair: pair -> start time.
+  std::map<NodePair, SimTime> open;
+  std::vector<Position> positions(walkers.size());
+
+  // Grid bucketing keeps the per-tick pair scan near-linear.
+  const double cell = params.radioRange;
+  for (SimTime t = 0; t <= params.duration; t += params.tick) {
+    for (std::size_t i = 0; i < walkers.size(); ++i) {
+      positions[i] = walkers[i].position();
+    }
+    std::map<std::pair<int, int>, std::vector<std::size_t>> grid;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      grid[{static_cast<int>(positions[i].x / cell),
+            static_cast<int>(positions[i].y / cell)}]
+          .push_back(i);
+    }
+    std::map<NodePair, bool> near;
+    for (const auto& [cellKey, bucket] : grid) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          const auto neighborIt =
+              grid.find({cellKey.first + dx, cellKey.second + dy});
+          if (neighborIt == grid.end()) continue;
+          for (std::size_t i : bucket) {
+            for (std::size_t j : neighborIt->second) {
+              if (j <= i) continue;
+              if (distance(positions[i], positions[j]) <=
+                  params.radioRange) {
+                near[makePair(NodeId(static_cast<std::uint32_t>(i)),
+                              NodeId(static_cast<std::uint32_t>(j)))] = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    // Close intervals that ended, open ones that began.
+    for (auto it = open.begin(); it != open.end();) {
+      if (near.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      Contact c;
+      c.start = it->second;
+      c.end = t;
+      c.members = {it->first.first, it->first.second};
+      out.addContact(std::move(c));
+      it = open.erase(it);
+    }
+    for (const auto& [pair, _] : near) {
+      open.try_emplace(pair, t);
+    }
+    for (auto& walker : walkers) walker.advance(params.tick);
+  }
+  // Close everything still open at the end of the simulation.
+  for (const auto& [pair, start] : open) {
+    Contact c;
+    c.start = start;
+    c.end = params.duration + params.tick;
+    c.members = {pair.first, pair.second};
+    out.addContact(std::move(c));
+  }
+  out.sortByStart();
+  return out;
+}
+
+}  // namespace hdtn::trace

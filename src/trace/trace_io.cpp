@@ -1,0 +1,145 @@
+#include "src/trace/trace_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/util/string_util.hpp"
+
+namespace hdtn::trace {
+
+void writeTrace(const ContactTrace& trace, std::ostream& os) {
+  os << "# hdtn contact trace\n";
+  os << "trace " << trace.name() << ' ' << trace.nodeCount() << '\n';
+  for (const Contact& c : trace.contacts()) {
+    os << "c " << c.start << ' ' << c.end;
+    for (NodeId m : c.members) os << ' ' << m.value;
+    os << '\n';
+  }
+}
+
+std::optional<ContactTrace> readTrace(std::istream& is, std::string* error) {
+  ContactTrace trace;
+  std::string line;
+  std::size_t lineNo = 0;
+  auto fail = [&](const std::string& why) -> std::optional<ContactTrace> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineNo) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream fields{std::string(body)};
+    std::string kind;
+    fields >> kind;
+    if (kind == "trace") {
+      std::string name;
+      std::size_t nodeCount = 0;
+      if (!(fields >> name >> nodeCount)) {
+        return fail("malformed trace header");
+      }
+      trace = ContactTrace(name, nodeCount);
+    } else if (kind == "c") {
+      Contact c;
+      if (!(fields >> c.start >> c.end)) {
+        return fail("malformed contact times");
+      }
+      std::uint32_t id = 0;
+      while (fields >> id) c.members.emplace_back(id);
+      if (!fields.eof()) return fail("malformed member id");
+      if (!trace.addContact(std::move(c))) {
+        return fail("invalid contact (needs >=2 distinct members, end>start)");
+      }
+    } else {
+      return fail("unknown record kind '" + kind + "'");
+    }
+  }
+  trace.sortByStart();
+  return trace;
+}
+
+bool saveTraceFile(const ContactTrace& trace, const std::string& path,
+                   std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  writeTrace(trace, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<ContactTrace> loadTraceFile(const std::string& path,
+                                          std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return readTrace(is, error);
+}
+
+std::optional<ContactTrace> readOneTrace(std::istream& is,
+                                         std::string* error) {
+  ContactTrace trace("one-import", 0);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> open;
+  std::string line;
+  std::size_t lineNo = 0;
+  SimTime latest = 0;
+  auto fail = [&](const std::string& why) -> std::optional<ContactTrace> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineNo) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream fields{std::string(body)};
+    double time = 0.0;
+    std::string kind;
+    if (!(fields >> time >> kind)) {
+      return fail("malformed ONE event");
+    }
+    if (kind != "CONN") continue;  // other event kinds are skipped
+    std::string state;
+    std::uint32_t a = 0, b = 0;
+    if (!(fields >> a >> b >> state)) {
+      return fail("malformed ONE event");
+    }
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const auto when = static_cast<SimTime>(time);
+    latest = std::max(latest, when);
+    if (state == "up") {
+      open.try_emplace({a, b}, when);
+    } else if (state == "down") {
+      auto it = open.find({a, b});
+      if (it == open.end()) continue;  // truncated log: ignore
+      Contact c;
+      c.start = it->second;
+      c.end = when;
+      c.members = {NodeId(a), NodeId(b)};
+      trace.addContact(std::move(c));  // zero-length contacts rejected
+      open.erase(it);
+    } else {
+      return fail("unknown CONN state '" + state + "'");
+    }
+  }
+  for (const auto& [pair, start] : open) {
+    Contact c;
+    c.start = start;
+    c.end = latest + 1;
+    c.members = {NodeId(pair.first), NodeId(pair.second)};
+    trace.addContact(std::move(c));
+  }
+  trace.sortByStart();
+  return trace;
+}
+
+}  // namespace hdtn::trace

@@ -1,0 +1,40 @@
+// Plain-text contact-trace serialization.
+//
+// Format (one record per line, '#' comments allowed):
+//   trace <name> <node-count>
+//   c <start-seconds> <end-seconds> <id> <id> [<id> ...]
+// The `trace` header is optional; node count is inferred when absent.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/trace/contact_trace.hpp"
+
+namespace hdtn::trace {
+
+/// Serializes the trace. Contacts are written in current order.
+void writeTrace(const ContactTrace& trace, std::ostream& os);
+
+/// Parses a trace; returns std::nullopt and sets `error` on malformed input.
+[[nodiscard]] std::optional<ContactTrace> readTrace(std::istream& is,
+                                                    std::string* error);
+
+/// File convenience wrappers.
+bool saveTraceFile(const ContactTrace& trace, const std::string& path,
+                   std::string* error);
+[[nodiscard]] std::optional<ContactTrace> loadTraceFile(
+    const std::string& path, std::string* error);
+
+/// Parses the ONE simulator's connectivity event format, one event per
+/// line:
+///   <time> CONN <id-a> <id-b> up
+///   <time> CONN <id-a> <id-b> down
+/// A contact opens at the `up` event and closes at the matching `down`;
+/// pairs still up at the end of input are closed at the last event time
+/// plus one second. Unmatched `down` events are ignored (truncated logs).
+[[nodiscard]] std::optional<ContactTrace> readOneTrace(std::istream& is,
+                                                       std::string* error);
+
+}  // namespace hdtn::trace

@@ -1,0 +1,91 @@
+#include "src/util/args.hpp"
+
+#include <cstdlib>
+
+#include "src/util/string_util.hpp"
+
+namespace hdtn {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // bare switch.
+    if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.contains(name);
+}
+
+std::string ArgParser::getString(const std::string& name,
+                                 const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::getInt(const std::string& name,
+                               std::int64_t fallback) {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + ": expected integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return value;
+}
+
+double ArgParser::getDouble(const std::string& name, double fallback) {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + ": expected number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return value;
+}
+
+bool ArgParser::getBool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return !(it->second == "false" || it->second == "0");
+}
+
+std::vector<std::string> ArgParser::unusedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hdtn

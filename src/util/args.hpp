@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the CLI tools.
+//
+// Accepts "--key=value", "--key value", and bare "--switch" forms.
+// Unrecognized positional arguments are collected separately. Typed getters
+// return a default when the flag is absent and record an error when the
+// value does not parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hdtn {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True when the flag appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& name,
+                                    std::int64_t fallback);
+  [[nodiscard]] double getDouble(const std::string& name, double fallback);
+  [[nodiscard]] bool getBool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Parse errors accumulated by the typed getters; empty when clean.
+  [[nodiscard]] const std::vector<std::string>& errors() const {
+    return errors_;
+  }
+
+  /// Flags that were provided but never queried — typo detection. Call
+  /// after all getters.
+  [[nodiscard]] std::vector<std::string> unusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace hdtn

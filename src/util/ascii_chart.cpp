@@ -1,0 +1,111 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hdtn {
+
+AsciiChart::AsciiChart(std::string title, std::vector<double> x)
+    : title_(std::move(title)), x_(std::move(x)) {}
+
+void AsciiChart::addSeries(ChartSeries series) {
+  assert(series.y.size() == x_.size());
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::setYRange(double lo, double hi) {
+  assert(hi > lo);
+  hasYRange_ = true;
+  yLo_ = lo;
+  yHi_ = hi;
+}
+
+std::string AsciiChart::render(int width, int height) const {
+  std::ostringstream out;
+  out << title_ << "\n";
+  if (x_.empty() || series_.empty()) {
+    out << "  (no data)\n";
+    return out.str();
+  }
+
+  double yLo = yLo_, yHi = yHi_;
+  if (!hasYRange_) {
+    yLo = series_[0].y[0];
+    yHi = yLo;
+    for (const auto& s : series_) {
+      for (double v : s.y) {
+        yLo = std::min(yLo, v);
+        yHi = std::max(yHi, v);
+      }
+    }
+    if (yHi - yLo < 1e-12) {
+      yLo -= 0.5;
+      yHi += 0.5;
+    } else {
+      const double pad = 0.05 * (yHi - yLo);
+      yLo -= pad;
+      yHi += pad;
+    }
+  }
+  const double xLo = x_.front();
+  const double xHi = x_.back();
+  const double xSpan = (xHi - xLo) > 1e-12 ? (xHi - xLo) : 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto plot = [&](double xv, double yv, char glyph) {
+    int col = static_cast<int>(std::lround((xv - xLo) / xSpan * (width - 1)));
+    int row = static_cast<int>(
+        std::lround((yv - yLo) / (yHi - yLo) * (height - 1)));
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    // Row 0 is the top of the chart.
+    grid[static_cast<std::size_t>(height - 1 - row)]
+        [static_cast<std::size_t>(col)] = glyph;
+  };
+
+  for (const auto& s : series_) {
+    // Connect consecutive points with linear interpolation so the lines
+    // read as lines, not scatter.
+    for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+      const int steps = std::max(2, width / std::max<int>(1, (int)x_.size()));
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        plot(x_[i] + t * (x_[i + 1] - x_[i]), s.y[i] + t * (s.y[i + 1] - s.y[i]),
+             s.glyph);
+      }
+    }
+    if (x_.size() == 1) plot(x_[0], s.y[0], s.glyph);
+  }
+
+  char label[32];
+  for (int r = 0; r < height; ++r) {
+    const double yv = yHi - (yHi - yLo) * r / (height - 1);
+    if (r % 4 == 0 || r == height - 1) {
+      std::snprintf(label, sizeof(label), "%8.3f |", yv);
+    } else {
+      std::snprintf(label, sizeof(label), "%8s |", "");
+    }
+    out << label << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(9, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << "\n";
+  std::snprintf(label, sizeof(label), "%-10.3g", xLo);
+  std::string axis(10, ' ');
+  axis += label;
+  out << axis;
+  std::snprintf(label, sizeof(label), "%10.3g", xHi);
+  const int rightPad = width - 20;
+  if (rightPad > 0) out << std::string(static_cast<std::size_t>(rightPad), ' ');
+  out << label << "\n";
+  for (const auto& s : series_) {
+    out << "  " << s.glyph << " = " << s.label << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hdtn

@@ -1,0 +1,42 @@
+// ASCII line charts for benchmark output.
+//
+// Each benchmark regenerating a paper figure renders its series as a small
+// terminal chart so the shape (who wins, where lines cross) is visible
+// without external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdtn {
+
+/// One plotted series: a label, a glyph, and y-values aligned with the
+/// chart's shared x-values.
+struct ChartSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> y;
+};
+
+/// Renders several series over shared x positions into a fixed-size ASCII
+/// grid with a y-axis scale and an x-axis label row.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<double> x);
+
+  void addSeries(ChartSeries series);
+
+  /// Fixes the y-range; otherwise it is derived from data (padded).
+  void setYRange(double lo, double hi);
+
+  [[nodiscard]] std::string render(int width = 64, int height = 16) const;
+
+ private:
+  std::string title_;
+  std::vector<double> x_;
+  std::vector<ChartSeries> series_;
+  bool hasYRange_ = false;
+  double yLo_ = 0.0, yHi_ = 1.0;
+};
+
+}  // namespace hdtn

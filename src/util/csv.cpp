@@ -1,0 +1,97 @@
+#include "src/util/csv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hdtn {
+namespace {
+
+bool needsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoteCsv(const std::string& field) {
+  if (!needsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::addRow(std::initializer_list<double> values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(formatDouble(v, precision));
+  addRow(std::move(row));
+}
+
+std::string Table::formatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    // Strip trailing zeros but keep at least one decimal digit.
+    std::size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+void Table::writeCsv(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << quoteCsv(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quoteCsv(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::writeAligned(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? " | " : "");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  writeRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 3 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) writeRow(row);
+}
+
+}  // namespace hdtn

@@ -1,0 +1,47 @@
+// Tabular result output: CSV files for downstream plotting and aligned
+// plain-text tables for terminal reports. Every benchmark prints its series
+// through these helpers so that all tables in bench output share a format.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hdtn {
+
+/// A simple in-memory table of strings with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(std::initializer_list<double> values, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  void writeCsv(std::ostream& os) const;
+
+  /// Writes an aligned, pipe-separated text table.
+  void writeAligned(std::ostream& os) const;
+
+  /// Formats a double without trailing noise.
+  [[nodiscard]] static std::string formatDouble(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdtn

@@ -1,0 +1,52 @@
+#include "src/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "src/util/types.hpp"
+
+namespace hdtn {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logThreshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void setLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void logMessage(LogLevel level, std::string_view message) {
+  if (level < logThreshold()) return;
+  std::fprintf(stderr, "[%s] %.*s\n", levelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+std::string formatTime(SimTime t) {
+  const SimTime day = t / kDay;
+  SimTime rem = t % kDay;
+  if (rem < 0) rem += kDay;
+  const int h = static_cast<int>(rem / kHour);
+  const int m = static_cast<int>((rem % kHour) / kMinute);
+  const int s = static_cast<int>(rem % kMinute);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02d:%02d:%02d",
+                static_cast<long long>(day), h, m, s);
+  return buf;
+}
+
+}  // namespace hdtn

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// Simulations are quiet by default (kWarn); examples raise the level to
+// narrate protocol activity. The logger is process-global because log output
+// interleaving across simulated nodes is exactly what an observer wants.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hdtn {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns/sets the global threshold. Messages below it are dropped.
+LogLevel logThreshold();
+void setLogThreshold(LogLevel level);
+
+/// Emits one line to stderr: "[level] message".
+void logMessage(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace hdtn
+
+// Streaming log macros; the stream expression is only evaluated when the
+// level is enabled.
+#define HDTN_LOG(level)                      \
+  if (::hdtn::logThreshold() > (level)) {    \
+  } else                                     \
+    ::hdtn::detail::LogLine(level)
+
+#define HDTN_TRACE() HDTN_LOG(::hdtn::LogLevel::kTrace)
+#define HDTN_DEBUG() HDTN_LOG(::hdtn::LogLevel::kDebug)
+#define HDTN_INFO() HDTN_LOG(::hdtn::LogLevel::kInfo)
+#define HDTN_WARN() HDTN_LOG(::hdtn::LogLevel::kWarn)
+#define HDTN_ERROR() HDTN_LOG(::hdtn::LogLevel::kError)

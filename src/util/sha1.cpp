@@ -1,0 +1,144 @@
+#include "src/util/sha1.hpp"
+
+#include <cstring>
+
+namespace hdtn {
+namespace {
+
+constexpr std::array<std::uint32_t, 5> kInit = {0x67452301u, 0xefcdab89u,
+                                                0x98badcfeu, 0x10325476u,
+                                                0xc3d2e1f0u};
+
+std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = kInit;
+  bufferLen_ = 0;
+  totalLen_ = 0;
+}
+
+void Sha1::update(std::string_view data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  totalLen_ += data.size();
+  std::size_t offset = 0;
+  if (bufferLen_ > 0) {
+    const std::size_t need = 64 - bufferLen_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + bufferLen_, data.data(), take);
+    bufferLen_ += take;
+    offset += take;
+    if (bufferLen_ == 64) {
+      processBlock(buffer_.data());
+      bufferLen_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    processBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    bufferLen_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::finish() {
+  const std::uint64_t bitLen = totalLen_ * 8;
+  // Append the 0x80 terminator and zero padding up to 56 mod 64.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t padLen =
+      (bufferLen_ < 56) ? (56 - bufferLen_) : (120 - bufferLen_);
+  update(std::span<const std::uint8_t>(pad, padLen));
+  // Append the 64-bit big-endian length.
+  std::uint8_t lenBytes[8];
+  for (int i = 0; i < 8; ++i) {
+    lenBytes[i] = static_cast<std::uint8_t>(bitLen >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(lenBytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    digest.bytes[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    digest.bytes[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    digest.bytes[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+void Sha1::processBlock(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::hash(std::string_view data) {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+}  // namespace hdtn

@@ -1,0 +1,102 @@
+#include "src/core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+TEST(Capacity, AnalyticForms) {
+  EXPECT_DOUBLE_EQ(analyticBroadcastCapacity(2), 0.5);
+  EXPECT_DOUBLE_EQ(analyticBroadcastCapacity(10), 0.9);
+  EXPECT_DOUBLE_EQ(analyticPairwiseCapacity(2), 0.5);
+  EXPECT_DOUBLE_EQ(analyticPairwiseCapacity(10), 0.1);
+  EXPECT_DOUBLE_EQ(analyticBroadcastCapacity(1), 0.0);
+  EXPECT_DOUBLE_EQ(analyticPairwiseCapacity(1), 0.0);
+}
+
+TEST(Capacity, BroadcastIncreasesWithDensity) {
+  for (int n = 2; n < 50; ++n) {
+    EXPECT_GT(analyticBroadcastCapacity(n + 1), analyticBroadcastCapacity(n));
+  }
+}
+
+TEST(Capacity, PairwiseDecreasesWithDensity) {
+  for (int n = 2; n < 50; ++n) {
+    EXPECT_LT(analyticPairwiseCapacity(n + 1), analyticPairwiseCapacity(n));
+  }
+}
+
+TEST(Capacity, BroadcastScheduleMatchesAnalytic) {
+  ContentionParams params;
+  params.nodes = 12;
+  params.slots = 1000;
+  const auto result = simulateBroadcastSchedule(params);
+  EXPECT_DOUBLE_EQ(result.perNodeGoodput, analyticBroadcastCapacity(12));
+  EXPECT_DOUBLE_EQ(result.collisionFraction, 0.0);
+}
+
+TEST(Capacity, PairwiseContentionBelowAnalyticBound) {
+  // Random access cannot beat the perfectly scheduled 1/n bound.
+  for (int n : {2, 5, 10, 20}) {
+    ContentionParams params;
+    params.nodes = n;
+    params.slots = 50000;
+    params.attemptProbability = optimalAttemptProbability(n);
+    params.seed = 3;
+    const auto result = simulatePairwiseContention(params);
+    EXPECT_LT(result.perNodeGoodput, analyticPairwiseCapacity(n));
+    EXPECT_GT(result.perNodeGoodput, 0.0);
+  }
+}
+
+TEST(Capacity, PairwiseSuccessRateNearSlottedAlohaOptimum) {
+  // With p = 1/n, P(success) = n * p * (1-p)^(n-1) -> 1/e for large n.
+  ContentionParams params;
+  params.nodes = 30;
+  params.slots = 400000;
+  params.attemptProbability = optimalAttemptProbability(30);
+  params.seed = 5;
+  const auto result = simulatePairwiseContention(params);
+  const double successRate = result.perNodeGoodput * 30;
+  EXPECT_NEAR(successRate, 0.3678, 0.01);
+}
+
+TEST(Capacity, FractionsSumToOne) {
+  ContentionParams params;
+  params.nodes = 8;
+  params.slots = 20000;
+  params.attemptProbability = 0.3;
+  const auto result = simulatePairwiseContention(params);
+  const double successFraction = result.perNodeGoodput * 8;
+  EXPECT_NEAR(successFraction + result.collisionFraction +
+                  result.idleFraction,
+              1.0, 1e-9);
+}
+
+TEST(Capacity, CrossoverAtTwoNodes) {
+  // The paper's claim in one line: at n = 2 the schemes tie; for any larger
+  // clique broadcast wins, and the gap widens.
+  EXPECT_DOUBLE_EQ(analyticBroadcastCapacity(2), analyticPairwiseCapacity(2));
+  double previousGap = 0.0;
+  for (int n = 3; n <= 50; ++n) {
+    const double gap =
+        analyticBroadcastCapacity(n) - analyticPairwiseCapacity(n);
+    EXPECT_GT(gap, previousGap);
+    previousGap = gap;
+  }
+}
+
+TEST(Capacity, DeterministicInSeed) {
+  ContentionParams params;
+  params.nodes = 6;
+  params.slots = 10000;
+  params.attemptProbability = 0.2;
+  params.seed = 11;
+  const auto a = simulatePairwiseContention(params);
+  const auto b = simulatePairwiseContention(params);
+  EXPECT_DOUBLE_EQ(a.perNodeGoodput, b.perNodeGoodput);
+  EXPECT_DOUBLE_EQ(a.collisionFraction, b.collisionFraction);
+}
+
+}  // namespace
+}  // namespace hdtn::core

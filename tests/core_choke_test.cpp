@@ -1,0 +1,139 @@
+#include "src/core/choke.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.hpp"
+
+namespace hdtn::core {
+namespace {
+
+std::vector<std::uint8_t> samplePlaintext(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  Rng rng(11);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+TEST(Choke, KeyDerivationDeterministicAndDistinct) {
+  const PieceKey a = derivePieceKey("secret", "dtn://fox/f1", 0);
+  const PieceKey b = derivePieceKey("secret", "dtn://fox/f1", 0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, derivePieceKey("secret", "dtn://fox/f1", 1));
+  EXPECT_NE(a, derivePieceKey("secret", "dtn://fox/f2", 0));
+  EXPECT_NE(a, derivePieceKey("other", "dtn://fox/f1", 0));
+}
+
+TEST(Choke, CryptIsInvolution) {
+  const PieceKey key = derivePieceKey("s", "dtn://a/f0", 0);
+  const auto plaintext = samplePlaintext(1000);
+  const auto ciphertext = cryptPiece(key, plaintext);
+  EXPECT_NE(ciphertext, plaintext);
+  EXPECT_EQ(cryptPiece(key, ciphertext), plaintext);
+}
+
+TEST(Choke, WrongKeyDoesNotDecrypt) {
+  const auto plaintext = samplePlaintext(256);
+  const auto ciphertext =
+      cryptPiece(derivePieceKey("s", "dtn://a/f0", 0), plaintext);
+  const auto garbled =
+      cryptPiece(derivePieceKey("s", "dtn://a/f0", 1), ciphertext);
+  EXPECT_NE(garbled, plaintext);
+}
+
+TEST(Choke, EmptyPayload) {
+  const PieceKey key = derivePieceKey("s", "u", 0);
+  EXPECT_TRUE(cryptPiece(key, {}).empty());
+}
+
+TEST(KeyEscrow, ReleasesKeyOnlyAboveThreshold) {
+  KeyEscrow escrow("sender-secret", /*minimumCredit=*/5.0);
+  CreditLedger ledger;
+  ledger.addCredit(NodeId(1), 10.0);  // contributor
+  ledger.addCredit(NodeId(2), 0.5);   // free-rider
+  EXPECT_TRUE(
+      escrow.requestKey(NodeId(1), ledger, "dtn://a/f0", 0).has_value());
+  EXPECT_FALSE(
+      escrow.requestKey(NodeId(2), ledger, "dtn://a/f0", 0).has_value());
+  EXPECT_FALSE(
+      escrow.requestKey(NodeId(3), ledger, "dtn://a/f0", 0).has_value());
+}
+
+TEST(KeyEscrow, ExactThresholdReleases) {
+  KeyEscrow escrow("s", 5.0);
+  CreditLedger ledger;
+  ledger.onReceivedRequested(NodeId(1));  // exactly +5
+  EXPECT_TRUE(escrow.requestKey(NodeId(1), ledger, "u", 0).has_value());
+}
+
+TEST(KeyEscrow, ReleasedKeyDecryptsBroadcast) {
+  KeyEscrow escrow("sender-secret", 1.0);
+  CreditLedger ledger;
+  ledger.addCredit(NodeId(1), 2.0);
+  const auto plaintext = samplePlaintext(512);
+  const auto ciphertext = escrow.encrypt("dtn://a/f0", 3, plaintext);
+  const auto key = escrow.requestKey(NodeId(1), ledger, "dtn://a/f0", 3);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(cryptPiece(*key, ciphertext), plaintext);
+}
+
+TEST(CipherVault, DecryptsWhenBothPartsPresent) {
+  KeyEscrow escrow("secret", 0.0);
+  CreditLedger ledger;
+  const auto plaintext = samplePlaintext(128);
+  const auto ciphertext = escrow.encrypt("dtn://a/f1", 2, plaintext);
+
+  CipherVault vault;
+  EXPECT_FALSE(vault.tryDecrypt("dtn://a/f1", 2).has_value());
+  vault.storeCiphertext("dtn://a/f1", 2, ciphertext);
+  EXPECT_FALSE(vault.tryDecrypt("dtn://a/f1", 2).has_value());  // no key yet
+  EXPECT_EQ(vault.pendingCiphertexts(), 1u);
+
+  vault.storeKey("dtn://a/f1", 2,
+                 *escrow.requestKey(NodeId(1), ledger, "dtn://a/f1", 2));
+  const auto decrypted = vault.tryDecrypt("dtn://a/f1", 2);
+  ASSERT_TRUE(decrypted.has_value());
+  EXPECT_EQ(*decrypted, plaintext);
+  // Consumed.
+  EXPECT_EQ(vault.pendingCiphertexts(), 0u);
+  EXPECT_EQ(vault.heldKeys(), 0u);
+  EXPECT_FALSE(vault.tryDecrypt("dtn://a/f1", 2).has_value());
+}
+
+TEST(CipherVault, SlotsAreIndependent) {
+  CipherVault vault;
+  vault.storeCiphertext("dtn://a/f1", 0, {1, 2, 3});
+  vault.storeKey("dtn://a/f1", 1, derivePieceKey("s", "dtn://a/f1", 1));
+  EXPECT_FALSE(vault.tryDecrypt("dtn://a/f1", 0).has_value());
+  EXPECT_FALSE(vault.tryDecrypt("dtn://a/f1", 1).has_value());
+  EXPECT_EQ(vault.pendingCiphertexts(), 1u);
+  EXPECT_EQ(vault.heldKeys(), 1u);
+}
+
+// End-to-end choking story: a free-rider overhears every broadcast but can
+// decrypt nothing until it contributes.
+TEST(Choke, FreeRiderStarvedUntilContributing) {
+  KeyEscrow escrow("sender", 5.0);
+  CreditLedger senderLedger;  // sender's view of peers
+  const auto piece0 = samplePlaintext(64);
+  const auto piece1 = samplePlaintext(64);
+
+  CipherVault freeRider;
+  freeRider.storeCiphertext("dtn://a/f1", 0,
+                            escrow.encrypt("dtn://a/f1", 0, piece0));
+  freeRider.storeCiphertext("dtn://a/f1", 1,
+                            escrow.encrypt("dtn://a/f1", 1, piece1));
+  // No contribution -> no keys -> nothing readable.
+  EXPECT_FALSE(escrow.requestKey(NodeId(9), senderLedger, "dtn://a/f1", 0)
+                   .has_value());
+  EXPECT_EQ(freeRider.pendingCiphertexts(), 2u);
+
+  // The node starts serving the sender's requests; credit accrues.
+  senderLedger.onReceivedRequested(NodeId(9));
+  auto key0 = escrow.requestKey(NodeId(9), senderLedger, "dtn://a/f1", 0);
+  ASSERT_TRUE(key0.has_value());
+  freeRider.storeKey("dtn://a/f1", 0, *key0);
+  EXPECT_EQ(freeRider.tryDecrypt("dtn://a/f1", 0), piece0);
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,73 @@
+#include "src/core/credit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+TEST(CreditLedger, UnknownPeerHasZeroCredit) {
+  CreditLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(1)), 0.0);
+  EXPECT_EQ(ledger.knownPeers(), 0u);
+}
+
+TEST(CreditLedger, RequestedCreditIsFive) {
+  // Paper Section IV-B: +5 for a requested metadata.
+  CreditLedger ledger;
+  ledger.onReceivedRequested(NodeId(1));
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(1)), 5.0);
+  EXPECT_DOUBLE_EQ(kRequestedCredit, 5.0);
+}
+
+TEST(CreditLedger, UnrequestedCreditIsPopularity) {
+  CreditLedger ledger;
+  ledger.onReceivedUnrequested(NodeId(2), 0.35);
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(2)), 0.35);
+}
+
+TEST(CreditLedger, CreditsAccumulate) {
+  CreditLedger ledger;
+  ledger.onReceivedRequested(NodeId(1));
+  ledger.onReceivedRequested(NodeId(1));
+  ledger.onReceivedUnrequested(NodeId(1), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(1)), 10.5);
+}
+
+TEST(CreditLedger, AddCreditDirect) {
+  CreditLedger ledger;
+  ledger.addCredit(NodeId(3), -2.0);
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(3)), -2.0);
+}
+
+TEST(CreditLedger, DecayScalesAll) {
+  CreditLedger ledger;
+  ledger.addCredit(NodeId(1), 10.0);
+  ledger.addCredit(NodeId(2), 4.0);
+  ledger.decay(0.5);
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(1)), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.credit(NodeId(2)), 2.0);
+}
+
+TEST(CreditLedger, RankingSortedByCreditThenId) {
+  CreditLedger ledger;
+  ledger.addCredit(NodeId(5), 1.0);
+  ledger.addCredit(NodeId(2), 8.0);
+  ledger.addCredit(NodeId(9), 8.0);
+  const auto ranking = ledger.ranking();
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].first, NodeId(2));  // tie broken by smaller id
+  EXPECT_EQ(ranking[1].first, NodeId(9));
+  EXPECT_EQ(ranking[2].first, NodeId(5));
+}
+
+TEST(CreditLedger, ContributorOutranksFreeRider) {
+  // The incentive property in miniature: a peer that sent us requested
+  // items outweighs one that only pushed unpopular extras.
+  CreditLedger ledger;
+  ledger.onReceivedRequested(NodeId(1));           // contributor
+  ledger.onReceivedUnrequested(NodeId(2), 0.05);   // barely contributes
+  EXPECT_GT(ledger.credit(NodeId(1)), ledger.credit(NodeId(2)));
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,194 @@
+#include "src/core/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hdtn::core {
+namespace {
+
+Metadata makeMetadata(std::uint32_t id, const std::string& name,
+                      double popularity) {
+  Metadata md;
+  md.file = FileId(id);
+  md.name = name;
+  md.publisher = "pub";
+  md.uri = "dtn://pub/f" + std::to_string(id);
+  md.popularity = popularity;
+  md.ttl = 1000;
+  md.rebuildKeywords();
+  return md;
+}
+
+struct Fixture {
+  std::vector<MetadataStore> stores;
+  std::vector<CreditLedger> ledgers;
+  std::vector<DiscoveryPeer> peers;
+
+  explicit Fixture(std::size_t n) : stores(n), ledgers(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      DiscoveryPeer peer;
+      peer.id = NodeId(static_cast<std::uint32_t>(i));
+      peer.store = &stores[i];
+      peer.credits = &ledgers[i];
+      peers.push_back(peer);
+    }
+  }
+};
+
+TEST(PlanDiscovery, EmptyWhenBudgetZeroOrLonePeer) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "a", 0.5));
+  EXPECT_TRUE(planDiscovery(f.peers, 0, Scheduling::kCooperative).empty());
+  std::vector<DiscoveryPeer> solo{f.peers[0]};
+  EXPECT_TRUE(planDiscovery(solo, 5, Scheduling::kCooperative).empty());
+}
+
+TEST(PlanDiscovery, RequestedBeforeUnrequested) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "fox news ep1", 0.1));   // peer 1 wants
+  f.stores[0].add(makeMetadata(2, "abc drama ep2", 0.99)); // nobody wants
+  f.peers[1].queries = {"news ep1"};
+  const auto plan = planDiscovery(f.peers, 2, Scheduling::kCooperative);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].metadata->file, FileId(1));  // requested, low popularity
+  EXPECT_EQ(plan[0].phase, 1);
+  EXPECT_EQ(plan[0].requesters, (std::vector<NodeId>{NodeId(1)}));
+  EXPECT_EQ(plan[1].metadata->file, FileId(2));
+  EXPECT_EQ(plan[1].phase, 2);
+}
+
+TEST(PlanDiscovery, MoreRequestersFirst) {
+  Fixture f(4);
+  f.stores[0].add(makeMetadata(1, "fox news ep1", 0.9));
+  f.stores[0].add(makeMetadata(2, "abc drama ep2", 0.1));
+  f.peers[1].queries = {"drama ep2"};
+  f.peers[2].queries = {"drama ep2"};
+  f.peers[3].queries = {"news ep1"};
+  const auto plan = planDiscovery(f.peers, 2, Scheduling::kCooperative);
+  ASSERT_EQ(plan.size(), 2u);
+  // ep2 has two requesters and beats ep1 despite lower popularity.
+  EXPECT_EQ(plan[0].metadata->file, FileId(2));
+  EXPECT_EQ(plan[0].requesters.size(), 2u);
+  EXPECT_EQ(plan[1].metadata->file, FileId(1));
+}
+
+TEST(PlanDiscovery, PopularityOrdersWithinPhase) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "a one", 0.3));
+  f.stores[0].add(makeMetadata(2, "b two", 0.7));
+  f.stores[0].add(makeMetadata(3, "c three", 0.5));
+  const auto plan = planDiscovery(f.peers, 3, Scheduling::kCooperative);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].metadata->file, FileId(2));
+  EXPECT_EQ(plan[1].metadata->file, FileId(3));
+  EXPECT_EQ(plan[2].metadata->file, FileId(1));
+}
+
+TEST(PlanDiscovery, BudgetCapsBroadcasts) {
+  Fixture f(2);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    f.stores[0].add(makeMetadata(i, "file " + std::to_string(i), 0.5));
+  }
+  EXPECT_EQ(planDiscovery(f.peers, 4, Scheduling::kCooperative).size(), 4u);
+}
+
+TEST(PlanDiscovery, SkipsUniversallyHeldRecords) {
+  Fixture f(2);
+  const Metadata md = makeMetadata(1, "shared", 0.5);
+  f.stores[0].add(md);
+  f.stores[1].add(md);
+  EXPECT_TRUE(planDiscovery(f.peers, 5, Scheduling::kCooperative).empty());
+}
+
+TEST(PlanDiscovery, EachRecordBroadcastOnce) {
+  Fixture f(3);
+  const Metadata md = makeMetadata(1, "dup", 0.5);
+  f.stores[0].add(md);
+  f.stores[1].add(md);  // two holders, one lacker
+  const auto plan = planDiscovery(f.peers, 5, Scheduling::kCooperative);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].sender, NodeId(0));  // lowest-id holder sends
+}
+
+TEST(PlanDiscovery, FreeRidersNeverSend) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "only free rider has this", 0.9));
+  f.peers[0].contributes = false;
+  EXPECT_TRUE(planDiscovery(f.peers, 5, Scheduling::kCooperative).empty());
+  EXPECT_TRUE(planDiscovery(f.peers, 5, Scheduling::kTitForTat).empty());
+}
+
+TEST(PlanDiscovery, FreeRidersStillCountAsReceivers) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "payload", 0.5));
+  f.peers[1].contributes = false;
+  const auto plan = planDiscovery(f.peers, 5, Scheduling::kCooperative);
+  ASSERT_EQ(plan.size(), 1u);  // free-rider overhears the broadcast
+}
+
+TEST(PlanDiscovery, TitForTatPrefersHighCreditRequesters) {
+  Fixture f(3);
+  // Sender 0 holds two records, each requested by one distinct peer.
+  f.stores[0].add(makeMetadata(1, "alpha item", 0.5));
+  f.stores[0].add(makeMetadata(2, "beta item", 0.5));
+  f.peers[1].queries = {"alpha item"};
+  f.peers[2].queries = {"beta item"};
+  // Peer 2 has far more credit with sender 0.
+  f.ledgers[0].addCredit(NodeId(2), 50.0);
+  const auto plan = planDiscovery(f.peers, 1, Scheduling::kTitForTat);
+  ASSERT_EQ(plan.size(), 1u);
+  // Whichever node is first in the cyclic order, only node 0 can send.
+  EXPECT_EQ(plan[0].sender, NodeId(0));
+  EXPECT_EQ(plan[0].metadata->file, FileId(2));
+}
+
+TEST(PlanDiscovery, TitForTatRequestedOutranksPopularPush) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "wanted item", 0.01));
+  f.stores[0].add(makeMetadata(2, "popular item", 0.99));
+  f.peers[1].queries = {"wanted item"};
+  const auto plan = planDiscovery(f.peers, 1, Scheduling::kTitForTat);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].metadata->file, FileId(1));
+  EXPECT_EQ(plan[0].phase, 1);
+}
+
+TEST(PlanDiscovery, TitForTatRotatesSenders) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "from zero", 0.5));
+  f.stores[1].add(makeMetadata(2, "from one", 0.5));
+  const auto plan = planDiscovery(f.peers, 2, Scheduling::kTitForTat);
+  ASSERT_EQ(plan.size(), 2u);
+  std::set<NodeId> senders{plan[0].sender, plan[1].sender};
+  EXPECT_EQ(senders.size(), 2u);
+}
+
+TEST(PlanDiscovery, PopularityOnlyIgnoresRequests) {
+  Fixture f(2);
+  f.stores[0].add(makeMetadata(1, "requested", 0.1));
+  f.stores[0].add(makeMetadata(2, "popular", 0.9));
+  f.peers[1].queries = {"requested"};
+  const auto plan = planDiscovery(f.peers, 1, Scheduling::kPopularityOnly);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].metadata->file, FileId(2));
+}
+
+TEST(PlanDiscovery, DeterministicForSameInputs) {
+  Fixture f(3);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    f.stores[i % 2].add(makeMetadata(i, "file " + std::to_string(i),
+                                     0.1 * static_cast<double>(i)));
+  }
+  f.peers[2].queries = {"file 3"};
+  const auto a = planDiscovery(f.peers, 4, Scheduling::kCooperative);
+  const auto b = planDiscovery(f.peers, 4, Scheduling::kCooperative);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sender, b[i].sender);
+    EXPECT_EQ(a[i].metadata->file, b[i].metadata->file);
+  }
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,403 @@
+#include "src/core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/dieselnet.hpp"
+#include "src/trace/nus.hpp"
+#include "src/trace/trace_stats.hpp"
+
+namespace hdtn::core {
+namespace {
+
+trace::ContactTrace smallNusTrace(std::uint64_t seed = 3) {
+  trace::NusParams p;
+  p.students = 40;
+  p.courses = 8;
+  p.coursesPerStudent = 2;
+  p.days = 5;
+  p.attendanceRate = 0.9;
+  p.seed = seed;
+  return trace::generateNus(p);
+}
+
+trace::ContactTrace smallDieselTrace(std::uint64_t seed = 3) {
+  trace::DieselNetParams p;
+  p.buses = 16;
+  p.routes = 4;
+  p.days = 6;
+  p.seed = seed;
+  return trace::generateDieselNet(p);
+}
+
+EngineParams baseParams(ProtocolKind kind) {
+  EngineParams params;
+  params.protocol.kind = kind;
+  params.internetAccessFraction = 0.3;
+  params.newFilesPerDay = 20;
+  params.fileTtlDays = 2;
+  params.seed = 7;
+  params.frequentContactPeriod = kDay;
+  return params;
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  const auto trace = smallNusTrace();
+  const auto a = runSimulation(trace, baseParams(ProtocolKind::kMbt));
+  const auto b = runSimulation(trace, baseParams(ProtocolKind::kMbt));
+  EXPECT_EQ(a.delivery.queries, b.delivery.queries);
+  EXPECT_EQ(a.delivery.metadataDelivered, b.delivery.metadataDelivered);
+  EXPECT_EQ(a.delivery.filesDelivered, b.delivery.filesDelivered);
+  EXPECT_EQ(a.totals.metadataBroadcasts, b.totals.metadataBroadcasts);
+  EXPECT_EQ(a.totals.pieceBroadcasts, b.totals.pieceBroadcasts);
+}
+
+TEST(Engine, DifferentSeedsChangeOutcomes) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  const auto a = runSimulation(trace, params);
+  params.seed = 8;
+  const auto b = runSimulation(trace, params);
+  EXPECT_NE(a.delivery.queries, b.delivery.queries);
+}
+
+TEST(Engine, AccessNodesFullyServed) {
+  const auto trace = smallNusTrace();
+  for (auto kind : {ProtocolKind::kMbt, ProtocolKind::kMbtQ,
+                    ProtocolKind::kMbtQm}) {
+    const auto result = runSimulation(trace, baseParams(kind));
+    ASSERT_GT(result.accessDelivery.queries, 0u);
+    EXPECT_DOUBLE_EQ(result.accessDelivery.metadataRatio, 1.0);
+    EXPECT_DOUBLE_EQ(result.accessDelivery.fileRatio, 1.0);
+  }
+}
+
+TEST(Engine, FilePublicationFollowsParameters) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  const auto result = runSimulation(trace, params);
+  // 5-day trace -> 5 publications of 20 files each at 14:00.
+  EXPECT_EQ(result.totals.filesPublished, 100u);
+  EXPECT_GT(result.totals.queriesGenerated, 0u);
+  EXPECT_EQ(result.totals.queriesGenerated,
+            result.delivery.queries + result.accessDelivery.queries);
+}
+
+TEST(Engine, MbtQmSendsNoMetadata) {
+  const auto trace = smallNusTrace();
+  const auto result = runSimulation(trace, baseParams(ProtocolKind::kMbtQm));
+  EXPECT_EQ(result.totals.metadataBroadcasts, 0u);
+  EXPECT_EQ(result.totals.metadataReceptions, 0u);
+  EXPECT_GT(result.totals.pieceBroadcasts, 0u);
+}
+
+TEST(Engine, MetadataBudgetRespected) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.metadataPerContact = 3;
+  params.filesPerContact = 2;
+  const auto result = runSimulation(trace, params);
+  EXPECT_LE(result.totals.metadataBroadcasts,
+            3 * result.totals.contactsProcessed);
+  EXPECT_LE(result.totals.pieceBroadcasts,
+            2 * result.totals.contactsProcessed);
+}
+
+TEST(Engine, ProtocolOrderingOnNus) {
+  const auto trace = smallNusTrace();
+  const auto mbt = runSimulation(trace, baseParams(ProtocolKind::kMbt));
+  const auto mbtQ = runSimulation(trace, baseParams(ProtocolKind::kMbtQ));
+  const auto mbtQm = runSimulation(trace, baseParams(ProtocolKind::kMbtQm));
+  EXPECT_GE(mbt.delivery.metadataRatio, mbtQ.delivery.metadataRatio);
+  EXPECT_GT(mbtQ.delivery.metadataRatio, mbtQm.delivery.metadataRatio);
+  EXPECT_GE(mbt.delivery.fileRatio, mbtQm.delivery.fileRatio);
+}
+
+TEST(Engine, NoContactsMeansNoNonAccessDelivery) {
+  trace::ContactTrace empty("empty", 10);
+  // Give it a nonzero span so one publication day happens.
+  trace::Contact c;
+  c.start = 20 * kHour;
+  c.end = 20 * kHour + 60;
+  c.members = {NodeId(8), NodeId(9)};
+  empty.addContact(c);
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.explicitAccessNodes = {NodeId(0)};
+  const auto result = runSimulation(empty, params);
+  // Only nodes 8 and 9 ever meet, and neither has Internet access nor meets
+  // an access node, so file delivery among non-access nodes requires luck:
+  // with no path from node 0, nothing can arrive.
+  EXPECT_EQ(result.delivery.filesDelivered, 0u);
+}
+
+TEST(Engine, ExplicitRolesHonored) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.explicitAccessNodes = {NodeId(0), NodeId(1)};
+  params.explicitFreeRiders = {NodeId(2)};
+  Engine engine(trace, params);
+  EXPECT_TRUE(engine.node(NodeId(0)).options().internetAccess);
+  EXPECT_TRUE(engine.node(NodeId(1)).options().internetAccess);
+  EXPECT_FALSE(engine.node(NodeId(2)).options().internetAccess);
+  EXPECT_TRUE(engine.node(NodeId(2)).options().freeRider);
+  EXPECT_FALSE(engine.node(NodeId(3)).options().freeRider);
+  EXPECT_EQ(engine.accessNodes().size(), 2u);
+}
+
+TEST(Engine, AccessFractionSetsRoleCounts) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.internetAccessFraction = 0.25;
+  Engine engine(trace, params);
+  EXPECT_EQ(engine.accessNodes().size(), 10u);  // 25% of 40
+}
+
+TEST(Engine, MetadataNeverDeliveredAfterFile) {
+  const auto trace = smallDieselTrace();
+  const auto params = baseParams(ProtocolKind::kMbt);
+  Engine engine(trace, params);
+  engine.run();
+  for (const auto& record : engine.metrics().records()) {
+    if (record.fileAt.has_value()) {
+      ASSERT_TRUE(record.metadataAt.has_value());
+      EXPECT_LE(*record.metadataAt, *record.fileAt);
+    }
+  }
+}
+
+TEST(Engine, RunsOnPairwiseTraces) {
+  const auto trace = smallDieselTrace();
+  const auto result = runSimulation(trace, baseParams(ProtocolKind::kMbt));
+  EXPECT_GT(result.totals.contactsProcessed, 0u);
+  EXPECT_GT(result.delivery.queries, 0u);
+  EXPECT_GT(result.delivery.fileRatio, 0.0);
+}
+
+TEST(Engine, MultiPieceFilesDeliverable) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.piecesPerFile = 3;
+  params.filesPerContact = 2;  // piece budget 6 per contact
+  const auto result = runSimulation(trace, params);
+  EXPECT_GT(result.delivery.fileRatio, 0.0);
+  EXPECT_DOUBLE_EQ(result.accessDelivery.fileRatio, 1.0);
+}
+
+TEST(Engine, TitForTatSchedulingRuns) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.protocol.scheduling = Scheduling::kTitForTat;
+  const auto result = runSimulation(trace, params);
+  EXPECT_GT(result.delivery.fileRatio, 0.0);
+}
+
+TEST(Engine, TftFavorsContributorsOverFreeRiders) {
+  // Under TFT, contributors' requests carry credit weight and free-riders'
+  // do not. Broadcast overhearing keeps free-riders close (the paper notes
+  // they "cannot be completely inhibited"), so the advantage is
+  // statistical: aggregate over several seeds on a trace large enough for
+  // the classes to be populated, and allow a small noise margin.
+  trace::NusParams tp;
+  tp.students = 120;
+  tp.courses = 24;
+  tp.coursesPerStudent = 4;
+  tp.days = 8;
+  tp.attendanceRate = 0.9;
+  double contributor = 0.0, freeRider = 0.0;
+  for (int seed = 1; seed <= 3; ++seed) {
+    tp.seed = static_cast<std::uint64_t>(seed);
+    const auto trace = trace::generateNus(tp);
+    auto params = baseParams(ProtocolKind::kMbt);
+    params.protocol.scheduling = Scheduling::kTitForTat;
+    params.freeRiderFraction = 0.4;
+    params.fileTtlDays = 3;
+    params.newFilesPerDay = 40;
+    params.seed = static_cast<std::uint64_t>(seed) * 77;
+    const auto result = runSimulation(trace, params);
+    ASSERT_GT(result.freeRiderDelivery.queries, 0u);
+    ASSERT_GT(result.contributorDelivery.queries, 0u);
+    contributor += result.contributorDelivery.fileRatio;
+    freeRider += result.freeRiderDelivery.fileRatio;
+  }
+  EXPECT_GE(contributor / 3.0, freeRider / 3.0 - 0.01);
+}
+
+TEST(Engine, PairwiseDownloadModeRuns) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.downloadMode = DownloadMode::kPairwise;
+  const auto pairwise = runSimulation(trace, params);
+  EXPECT_GT(pairwise.delivery.fileRatio, 0.0);
+  EXPECT_DOUBLE_EQ(pairwise.accessDelivery.fileRatio, 1.0);
+}
+
+TEST(Engine, BroadcastBeatsPairwiseOnCliqueTrace) {
+  // Section V at system level: with classroom cliques, one broadcast serves
+  // the whole room while a pairwise slot serves one node.
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  const auto broadcast = runSimulation(trace, params);
+  params.downloadMode = DownloadMode::kPairwise;
+  const auto pairwise = runSimulation(trace, params);
+  EXPECT_GT(broadcast.delivery.fileRatio, pairwise.delivery.fileRatio);
+  // Broadcast also moves more pieces per transmission.
+  ASSERT_GT(broadcast.totals.pieceBroadcasts, 0u);
+  ASSERT_GT(pairwise.totals.pieceBroadcasts, 0u);
+  const double broadcastFanout =
+      static_cast<double>(broadcast.totals.pieceReceptions) /
+      static_cast<double>(broadcast.totals.pieceBroadcasts);
+  const double pairwiseFanout =
+      static_cast<double>(pairwise.totals.pieceReceptions) /
+      static_cast<double>(pairwise.totals.pieceBroadcasts);
+  EXPECT_GT(broadcastFanout, pairwiseFanout);
+  EXPECT_NEAR(pairwiseFanout, 1.0, 1e-9);
+}
+
+TEST(Engine, RarestFirstPushOrderRuns) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.pushOrder = PushOrder::kRarestFirst;
+  const auto result = runSimulation(trace, params);
+  EXPECT_GT(result.delivery.fileRatio, 0.0);
+  EXPECT_DOUBLE_EQ(result.accessDelivery.fileRatio, 1.0);
+}
+
+TEST(Engine, DurationScaledBudgetsMoveMore) {
+  const auto trace = smallNusTrace();  // 2-hour classroom sessions
+  auto params = baseParams(ProtocolKind::kMbt);
+  const auto fixed = runSimulation(trace, params);
+  params.scaleBudgetsWithDuration = true;  // 2 h vs 10 min reference: x12
+  const auto scaled = runSimulation(trace, params);
+  EXPECT_GT(scaled.totals.pieceBroadcasts, fixed.totals.pieceBroadcasts);
+  EXPECT_GE(scaled.delivery.fileRatio, fixed.delivery.fileRatio);
+}
+
+TEST(Engine, ObservedPopularityModeRuns) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.useObservedPopularity = true;
+  const auto observed = runSimulation(trace, params);
+  params.useObservedPopularity = false;
+  const auto oracle = runSimulation(trace, params);
+  // The estimate is a sample of true interest; delivery stays in a sane
+  // band and query generation (ground truth) is unaffected.
+  EXPECT_EQ(observed.totals.queriesGenerated, oracle.totals.queriesGenerated);
+  EXPECT_GT(observed.delivery.fileRatio, 0.0);
+  EXPECT_DOUBLE_EQ(observed.accessDelivery.fileRatio, 1.0);
+}
+
+TEST(Engine, ObservedPopularityTracksRequests) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.useObservedPopularity = true;
+  Engine engine(trace, params);
+  engine.run();
+  // After the run, alive files' catalog popularity equals the observed
+  // fraction of access nodes that requested them (in [0, 1]).
+  for (FileId id : engine.internet().catalog().allFiles()) {
+    const FileInfo* info = engine.internet().catalog().find(id);
+    ASSERT_NE(info, nullptr);
+    EXPECT_GE(info->popularity, 0.0);
+    EXPECT_LE(info->popularity, 1.0);
+  }
+}
+
+TEST(Engine, ForgersPoisonDiscoveryWithoutVerification) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  const auto clean = runSimulation(trace, params);
+  params.forgerFraction = 0.25;
+  params.verifyMetadata = false;
+  const auto poisoned = runSimulation(trace, params);
+  EXPECT_GT(poisoned.totals.forgeriesCrafted, 0u);
+  EXPECT_GT(poisoned.totals.forgeriesAccepted, 0u);
+  // Victims lock onto fake records whose files do not exist, so file
+  // delivery suffers.
+  EXPECT_LT(poisoned.delivery.fileRatio, clean.delivery.fileRatio);
+}
+
+TEST(Engine, VerificationNeutralizesForgers) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.forgerFraction = 0.25;
+  params.verifyMetadata = true;
+  const auto defended = runSimulation(trace, params);
+  EXPECT_GT(defended.totals.forgeriesCrafted, 0u);
+  EXPECT_EQ(defended.totals.forgeriesAccepted, 0u);
+  EXPECT_GT(defended.totals.forgeriesRejected, 0u);
+  // Compare against the same adversary without the defense.
+  params.verifyMetadata = false;
+  const auto poisoned = runSimulation(trace, params);
+  EXPECT_GT(defended.delivery.fileRatio, poisoned.delivery.fileRatio);
+}
+
+TEST(Engine, RepeatForgersGetDistrusted) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams(ProtocolKind::kMbt);
+  params.forgerFraction = 0.25;
+  params.verifyMetadata = true;
+  Engine engine(trace, params);
+  engine.run();
+  // Some honest node must have blacklisted some forger after repeat
+  // offences (threshold 2).
+  bool someDistrust = false;
+  for (std::uint32_t i = 0; i < engine.nodeCount(); ++i) {
+    const Node& node = engine.node(NodeId(i));
+    if (node.options().forger) continue;
+    for (NodeId suspect : node.distrustedPeers()) {
+      EXPECT_TRUE(engine.node(suspect).options().forger)
+          << "honest node " << suspect.value << " wrongly distrusted";
+      someDistrust = true;
+    }
+  }
+  EXPECT_TRUE(someDistrust);
+}
+
+TEST(Engine, RunTwiceForbidden) {
+  const auto trace = smallNusTrace();
+  Engine engine(trace, baseParams(ProtocolKind::kMbt));
+  engine.run();
+#ifndef NDEBUG
+  EXPECT_DEATH(engine.run(), "run may be called once");
+#endif
+}
+
+// Property sweep: delivery ratios are valid probabilities under any
+// parameter combination.
+struct SweepCase {
+  ProtocolKind kind;
+  int filesPerDay;
+  int ttlDays;
+};
+
+class EngineParamSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EngineParamSweep, RatiosAreValidProbabilities) {
+  const SweepCase c = GetParam();
+  const auto trace = smallNusTrace();
+  auto params = baseParams(c.kind);
+  params.newFilesPerDay = c.filesPerDay;
+  params.fileTtlDays = c.ttlDays;
+  const auto result = runSimulation(trace, params);
+  for (const auto& report :
+       {result.delivery, result.accessDelivery, result.contributorDelivery,
+        result.freeRiderDelivery}) {
+    EXPECT_GE(report.metadataRatio, 0.0);
+    EXPECT_LE(report.metadataRatio, 1.0);
+    EXPECT_GE(report.fileRatio, 0.0);
+    EXPECT_LE(report.fileRatio, 1.0);
+    // File delivery implies metadata delivery (the file subsumes it).
+    EXPECT_LE(report.fileRatio, report.metadataRatio + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineParamSweep,
+    ::testing::Values(SweepCase{ProtocolKind::kMbt, 10, 1},
+                      SweepCase{ProtocolKind::kMbt, 40, 3},
+                      SweepCase{ProtocolKind::kMbtQ, 10, 2},
+                      SweepCase{ProtocolKind::kMbtQ, 40, 1},
+                      SweepCase{ProtocolKind::kMbtQm, 10, 3},
+                      SweepCase{ProtocolKind::kMbtQm, 40, 2}));
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,142 @@
+#include "src/core/file_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+FileCatalog::PublishRequest sampleRequest() {
+  FileCatalog::PublishRequest req;
+  req.name = "fox news daily ep0";
+  req.publisher = "fox";
+  req.description = "poster for the daily news ep0";
+  req.sizeBytes = 2500;
+  req.pieceSizeBytes = 1024;
+  req.popularity = 0.4;
+  req.publishedAt = 100;
+  req.ttl = 3 * kDay;
+  return req;
+}
+
+TEST(FileInfo, PieceArithmetic) {
+  FileInfo info;
+  info.sizeBytes = 2500;
+  info.pieceSizeBytes = 1024;
+  EXPECT_EQ(info.pieceCount(), 3u);
+  EXPECT_EQ(info.pieceLength(0), 1024u);
+  EXPECT_EQ(info.pieceLength(1), 1024u);
+  EXPECT_EQ(info.pieceLength(2), 452u);  // final short piece
+}
+
+TEST(FileInfo, ExactMultipleOfPieceSize) {
+  FileInfo info;
+  info.sizeBytes = 2048;
+  info.pieceSizeBytes = 1024;
+  EXPECT_EQ(info.pieceCount(), 2u);
+  EXPECT_EQ(info.pieceLength(1), 1024u);
+}
+
+TEST(FileInfo, AliveWindow) {
+  FileInfo info;
+  info.publishedAt = 100;
+  info.ttl = 50;
+  EXPECT_FALSE(info.alive(99));
+  EXPECT_TRUE(info.alive(100));
+  EXPECT_TRUE(info.alive(149));
+  EXPECT_FALSE(info.alive(150));
+}
+
+TEST(FileCatalog, PublishAssignsIdsAndUris) {
+  FileCatalog catalog;
+  const FileId a = catalog.publish(sampleRequest());
+  const FileId b = catalog.publish(sampleRequest());
+  EXPECT_EQ(a, FileId(0));
+  EXPECT_EQ(b, FileId(1));
+  EXPECT_EQ(catalog.size(), 2u);
+  const FileInfo* info = catalog.find(a);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->uri, "dtn://fox/f0");
+  EXPECT_EQ(catalog.findByUri("dtn://fox/f1")->id, b);
+  EXPECT_EQ(catalog.findByUri("dtn://fox/f99"), nullptr);
+  EXPECT_EQ(catalog.find(FileId(42)), nullptr);
+  EXPECT_EQ(catalog.find(FileId()), nullptr);  // invalid id
+}
+
+TEST(FileCatalog, MetadataMatchesFileInfo) {
+  FileCatalog catalog;
+  const FileId id = catalog.publish(sampleRequest());
+  const Metadata& md = catalog.metadataFor(id);
+  const FileInfo& info = *catalog.find(id);
+  EXPECT_EQ(md.file, id);
+  EXPECT_EQ(md.name, info.name);
+  EXPECT_EQ(md.uri, info.uri);
+  EXPECT_EQ(md.sizeBytes, info.sizeBytes);
+  EXPECT_EQ(md.pieceCount(), info.pieceCount());
+  EXPECT_EQ(md.popularity, info.popularity);
+  EXPECT_FALSE(md.keywords.empty());
+}
+
+TEST(FileCatalog, PieceBytesDeterministicAndSized) {
+  FileCatalog catalog;
+  const FileId id = catalog.publish(sampleRequest());
+  const FileInfo& info = *catalog.find(id);
+  const auto bytes1 = makePieceBytes(info, 0);
+  const auto bytes2 = makePieceBytes(info, 0);
+  EXPECT_EQ(bytes1, bytes2);
+  EXPECT_EQ(bytes1.size(), 1024u);
+  EXPECT_EQ(makePieceBytes(info, 2).size(), 452u);
+  EXPECT_NE(makePieceBytes(info, 0), makePieceBytes(info, 1));
+}
+
+TEST(FileCatalog, ChecksumsVerifyGeneratedPieces) {
+  FileCatalog catalog;
+  const FileId id = catalog.publish(sampleRequest());
+  const FileInfo& info = *catalog.find(id);
+  for (std::uint32_t p = 0; p < info.pieceCount(); ++p) {
+    const auto bytes = makePieceBytes(info, p);
+    EXPECT_TRUE(catalog.verifyPiece(id, p, bytes));
+    EXPECT_EQ(catalog.pieceDigest(id, p), Sha1::hash(bytes));
+  }
+}
+
+TEST(FileCatalog, VerifyRejectsCorruptPiece) {
+  FileCatalog catalog;
+  const FileId id = catalog.publish(sampleRequest());
+  auto bytes = makePieceBytes(*catalog.find(id), 0);
+  bytes[10] ^= 0xff;
+  EXPECT_FALSE(catalog.verifyPiece(id, 0, bytes));
+  EXPECT_FALSE(catalog.verifyPiece(id, 99, bytes));  // bad index
+}
+
+TEST(FileCatalog, SignsWhenRegistryProvided) {
+  PublisherRegistry registry;
+  registry.registerPublisher("fox", "secret");
+  FileCatalog catalog(&registry);
+  const FileId id = catalog.publish(sampleRequest());
+  EXPECT_TRUE(registry.verify(catalog.metadataFor(id)));
+}
+
+TEST(FileCatalog, AliveFilesFiltersByTime) {
+  FileCatalog catalog;
+  auto req = sampleRequest();
+  req.publishedAt = 0;
+  req.ttl = 100;
+  const FileId early = catalog.publish(req);
+  req.publishedAt = 1000;
+  const FileId late = catalog.publish(req);
+  EXPECT_EQ(catalog.aliveFiles(50), (std::vector<FileId>{early}));
+  EXPECT_EQ(catalog.aliveFiles(1050), (std::vector<FileId>{late}));
+  EXPECT_TRUE(catalog.aliveFiles(500).empty());
+  EXPECT_EQ(catalog.allFiles().size(), 2u);
+}
+
+TEST(FileCatalog, DistinctFilesDistinctChecksums) {
+  FileCatalog catalog;
+  const FileId a = catalog.publish(sampleRequest());
+  const FileId b = catalog.publish(sampleRequest());
+  // Same content parameters but different URIs -> different streams.
+  EXPECT_NE(catalog.pieceDigest(a, 0), catalog.pieceDigest(b, 0));
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,85 @@
+#include "src/core/metadata_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+Metadata makeMetadata(std::uint32_t id, double popularity, SimTime published,
+                      Duration ttl) {
+  Metadata md;
+  md.file = FileId(id);
+  md.name = "file " + std::to_string(id);
+  md.publisher = "pub";
+  md.uri = "dtn://pub/f" + std::to_string(id);
+  md.popularity = popularity;
+  md.publishedAt = published;
+  md.ttl = ttl;
+  md.rebuildKeywords();
+  return md;
+}
+
+TEST(MetadataStore, AddAndGet) {
+  MetadataStore store;
+  EXPECT_TRUE(store.add(makeMetadata(1, 0.5, 0, 100)));
+  EXPECT_FALSE(store.add(makeMetadata(1, 0.5, 0, 100)));  // duplicate
+  EXPECT_TRUE(store.has(FileId(1)));
+  EXPECT_FALSE(store.has(FileId(2)));
+  ASSERT_NE(store.get(FileId(1)), nullptr);
+  EXPECT_EQ(store.get(FileId(1))->popularity, 0.5);
+  EXPECT_EQ(store.get(FileId(9)), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MetadataStore, RefreshKeepsHigherPopularity) {
+  MetadataStore store;
+  store.add(makeMetadata(1, 0.3, 0, 100));
+  store.add(makeMetadata(1, 0.8, 0, 100));  // popularity rose
+  EXPECT_DOUBLE_EQ(store.get(FileId(1))->popularity, 0.8);
+  store.add(makeMetadata(1, 0.1, 0, 100));  // stale snapshot ignored
+  EXPECT_DOUBLE_EQ(store.get(FileId(1))->popularity, 0.8);
+}
+
+TEST(MetadataStore, ExpireDropsOldRecords) {
+  MetadataStore store;
+  store.add(makeMetadata(1, 0.5, 0, 100));
+  store.add(makeMetadata(2, 0.5, 50, 100));
+  EXPECT_EQ(store.expire(100), 1u);  // file 1 expires exactly at 100
+  EXPECT_FALSE(store.has(FileId(1)));
+  EXPECT_TRUE(store.has(FileId(2)));
+  EXPECT_EQ(store.expire(100), 0u);  // idempotent
+}
+
+TEST(MetadataStore, RemoveSpecific) {
+  MetadataStore store;
+  store.add(makeMetadata(1, 0.5, 0, 100));
+  store.remove(FileId(1));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(MetadataStore, AllSortedByFileId) {
+  MetadataStore store;
+  store.add(makeMetadata(5, 0.1, 0, 100));
+  store.add(makeMetadata(1, 0.9, 0, 100));
+  store.add(makeMetadata(3, 0.5, 0, 100));
+  const auto all = store.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->file, FileId(1));
+  EXPECT_EQ(all[1]->file, FileId(3));
+  EXPECT_EQ(all[2]->file, FileId(5));
+}
+
+TEST(MetadataStore, ByPopularityDescendingWithIdTiebreak) {
+  MetadataStore store;
+  store.add(makeMetadata(5, 0.5, 0, 100));
+  store.add(makeMetadata(1, 0.9, 0, 100));
+  store.add(makeMetadata(3, 0.5, 0, 100));
+  const auto sorted = store.byPopularity();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0]->file, FileId(1));
+  EXPECT_EQ(sorted[1]->file, FileId(3));  // tie broken by smaller id
+  EXPECT_EQ(sorted[2]->file, FileId(5));
+}
+
+}  // namespace
+}  // namespace hdtn::core

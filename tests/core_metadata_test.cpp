@@ -1,0 +1,109 @@
+#include "src/core/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+Metadata sampleMetadata() {
+  Metadata md;
+  md.file = FileId(1);
+  md.name = "fox news daily ep1";
+  md.publisher = "fox";
+  md.description = "poster advertisement for the daily news show ep1";
+  md.uri = "dtn://fox/f1";
+  md.sizeBytes = 2048;
+  md.pieceSizeBytes = 1024;
+  md.pieceChecksums = {Sha1::hash("piece0"), Sha1::hash("piece1")};
+  md.popularity = 0.25;
+  md.publishedAt = 100;
+  md.ttl = 1000;
+  md.rebuildKeywords();
+  return md;
+}
+
+TEST(Metadata, ExpiryBoundaries) {
+  const Metadata md = sampleMetadata();
+  EXPECT_EQ(md.expiresAt(), 1100);
+  EXPECT_FALSE(md.expired(100));
+  EXPECT_FALSE(md.expired(1099));
+  EXPECT_TRUE(md.expired(1100));
+}
+
+TEST(Metadata, PieceCount) {
+  EXPECT_EQ(sampleMetadata().pieceCount(), 2u);
+}
+
+TEST(Metadata, KeywordsSortedUniqueLowercase) {
+  Metadata md = sampleMetadata();
+  md.name = "FOX Fox fox NEWS";
+  md.description = "";
+  md.publisher = "fox";
+  md.rebuildKeywords();
+  EXPECT_EQ(md.keywords, (std::vector<std::string>{"fox", "news"}));
+}
+
+TEST(Metadata, AuthPayloadCoversIdentityFields) {
+  const Metadata base = sampleMetadata();
+  Metadata renamed = base;
+  renamed.name = "fake name";
+  EXPECT_NE(base.authPayload(), renamed.authPayload());
+  Metadata rehashed = base;
+  rehashed.pieceChecksums[0] = Sha1::hash("tampered");
+  EXPECT_NE(base.authPayload(), rehashed.authPayload());
+  Metadata repriced = base;
+  repriced.popularity = 0.9;  // popularity is mutable metadata, not identity
+  EXPECT_EQ(base.authPayload(), repriced.authPayload());
+}
+
+TEST(PublisherRegistry, SignAndVerify) {
+  PublisherRegistry registry;
+  registry.registerPublisher("fox", "super-secret");
+  Metadata md = sampleMetadata();
+  const auto tag = registry.sign(md);
+  ASSERT_TRUE(tag.has_value());
+  md.authTag = *tag;
+  EXPECT_TRUE(registry.verify(md));
+}
+
+TEST(PublisherRegistry, RejectsTamperedMetadata) {
+  PublisherRegistry registry;
+  registry.registerPublisher("fox", "super-secret");
+  Metadata md = sampleMetadata();
+  md.authTag = *registry.sign(md);
+  md.name = "fake fox news daily ep1";  // tamper after signing
+  EXPECT_FALSE(registry.verify(md));
+}
+
+TEST(PublisherRegistry, RejectsUnknownPublisher) {
+  PublisherRegistry registry;
+  Metadata md = sampleMetadata();
+  md.publisher = "evil-corp";
+  EXPECT_FALSE(registry.sign(md).has_value());
+  EXPECT_FALSE(registry.verify(md));
+}
+
+TEST(PublisherRegistry, RejectsForgedPublisherName) {
+  // A fake publisher naming itself "fox" cannot produce fox's tag.
+  PublisherRegistry registry;
+  registry.registerPublisher("fox", "real-secret");
+  PublisherRegistry forger;
+  forger.registerPublisher("fox", "guessed-secret");
+  Metadata md = sampleMetadata();
+  md.authTag = *forger.sign(md);
+  EXPECT_FALSE(registry.verify(md));
+}
+
+TEST(PublisherRegistry, ReRegisteringReplacesSecret) {
+  PublisherRegistry registry;
+  registry.registerPublisher("fox", "old");
+  Metadata md = sampleMetadata();
+  const auto oldTag = *registry.sign(md);
+  registry.registerPublisher("fox", "new");
+  EXPECT_NE(*registry.sign(md), oldTag);
+  EXPECT_TRUE(registry.knows("fox"));
+  EXPECT_FALSE(registry.knows("abc"));
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,112 @@
+#include "src/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+TEST(Metrics, RegisterAndReport) {
+  MetricsCollector m;
+  const QueryId a = m.registerQuery(NodeId(1), FileId(10), 0, 100, false,
+                                    false);
+  m.registerQuery(NodeId(2), FileId(11), 0, 100, false, false);
+  m.markMetadataDelivered(a, 10);
+  m.markFileDelivered(a, 20);
+  const auto report = m.report(MetricScope::kNonAccess);
+  EXPECT_EQ(report.queries, 2u);
+  EXPECT_EQ(report.metadataDelivered, 1u);
+  EXPECT_EQ(report.filesDelivered, 1u);
+  EXPECT_DOUBLE_EQ(report.metadataRatio, 0.5);
+  EXPECT_DOUBLE_EQ(report.fileRatio, 0.5);
+  EXPECT_DOUBLE_EQ(report.meanMetadataDelaySeconds, 10.0);
+  EXPECT_DOUBLE_EQ(report.meanFileDelaySeconds, 20.0);
+}
+
+TEST(Metrics, LateDeliveryIgnored) {
+  MetricsCollector m;
+  const QueryId a =
+      m.registerQuery(NodeId(1), FileId(10), 0, 100, false, false);
+  m.markMetadataDelivered(a, 100);  // at expiry: too late
+  m.markFileDelivered(a, 150);
+  const auto report = m.report(MetricScope::kNonAccess);
+  EXPECT_EQ(report.metadataDelivered, 0u);
+  EXPECT_EQ(report.filesDelivered, 0u);
+}
+
+TEST(Metrics, FirstDeliveryWins) {
+  MetricsCollector m;
+  const QueryId a =
+      m.registerQuery(NodeId(1), FileId(10), 0, 100, false, false);
+  m.markMetadataDelivered(a, 10);
+  m.markMetadataDelivered(a, 20);
+  EXPECT_EQ(*m.record(a).metadataAt, 10);
+}
+
+TEST(Metrics, FileDeliveryImpliesMetadataDelivery) {
+  MetricsCollector m;
+  const QueryId a =
+      m.registerQuery(NodeId(1), FileId(10), 0, 100, false, false);
+  m.markFileDelivered(a, 30);
+  EXPECT_EQ(*m.record(a).metadataAt, 30);
+  EXPECT_EQ(*m.record(a).fileAt, 30);
+}
+
+TEST(Metrics, OnNodeEventsMatchOwnerAndTarget) {
+  MetricsCollector m;
+  const QueryId a =
+      m.registerQuery(NodeId(1), FileId(10), 0, 100, false, false);
+  m.registerQuery(NodeId(2), FileId(10), 0, 100, false, false);
+  m.onNodeGotMetadata(NodeId(1), FileId(10), 5);
+  EXPECT_TRUE(m.record(a).metadataAt.has_value());
+  EXPECT_FALSE(m.record(QueryId(1)).metadataAt.has_value());
+  m.onNodeCompletedFile(NodeId(2), FileId(10), 7);
+  EXPECT_TRUE(m.record(QueryId(1)).fileAt.has_value());
+  EXPECT_FALSE(m.record(a).fileAt.has_value());
+  // Events for unknown (owner, target) pairs are safely ignored.
+  m.onNodeGotMetadata(NodeId(9), FileId(99), 5);
+}
+
+TEST(Metrics, DuplicateQuerySameTargetBothMarked) {
+  MetricsCollector m;
+  m.registerQuery(NodeId(1), FileId(10), 0, 100, false, false);
+  m.registerQuery(NodeId(1), FileId(10), 10, 100, false, false);
+  m.onNodeGotMetadata(NodeId(1), FileId(10), 50);
+  EXPECT_TRUE(m.record(QueryId(0)).metadataAt.has_value());
+  EXPECT_TRUE(m.record(QueryId(1)).metadataAt.has_value());
+}
+
+TEST(Metrics, ScopesPartitionQueries) {
+  MetricsCollector m;
+  m.registerQuery(NodeId(1), FileId(1), 0, 100, true, false);   // access
+  m.registerQuery(NodeId(2), FileId(2), 0, 100, false, false);  // contributor
+  m.registerQuery(NodeId(3), FileId(3), 0, 100, false, true);   // free rider
+  EXPECT_EQ(m.report(MetricScope::kAll).queries, 3u);
+  EXPECT_EQ(m.report(MetricScope::kAccess).queries, 1u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccess).queries, 2u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccessContributors).queries, 1u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccessFreeRiders).queries, 1u);
+}
+
+TEST(Metrics, EmptyReportIsZeroed) {
+  MetricsCollector m;
+  const auto report = m.report(MetricScope::kNonAccess);
+  EXPECT_EQ(report.queries, 0u);
+  EXPECT_DOUBLE_EQ(report.metadataRatio, 0.0);
+  EXPECT_DOUBLE_EQ(report.fileRatio, 0.0);
+}
+
+TEST(Metrics, MeanDelaysAverageOnlyDelivered) {
+  MetricsCollector m;
+  const QueryId a =
+      m.registerQuery(NodeId(1), FileId(1), 0, 1000, false, false);
+  const QueryId b =
+      m.registerQuery(NodeId(1), FileId(2), 100, 1000, false, false);
+  m.registerQuery(NodeId(1), FileId(3), 0, 1000, false, false);  // undelivered
+  m.markMetadataDelivered(a, 10);
+  m.markMetadataDelivered(b, 130);  // delay 30
+  const auto report = m.report(MetricScope::kNonAccess);
+  EXPECT_DOUBLE_EQ(report.meanMetadataDelaySeconds, 20.0);
+}
+
+}  // namespace
+}  // namespace hdtn::core

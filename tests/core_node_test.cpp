@@ -1,0 +1,188 @@
+#include "src/core/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+Metadata makeMetadata(std::uint32_t id, const std::string& name,
+                      std::uint32_t pieces, double popularity) {
+  Metadata md;
+  md.file = FileId(id);
+  md.name = name;
+  md.publisher = "pub";
+  md.uri = "dtn://pub/f" + std::to_string(id);
+  md.popularity = popularity;
+  md.publishedAt = 0;
+  md.ttl = 10 * kDay;
+  md.pieceChecksums.assign(pieces, Sha1Digest{});
+  md.rebuildKeywords();
+  return md;
+}
+
+Query makeQuery(std::uint32_t id, std::uint32_t owner,
+                const std::string& text, std::uint32_t target) {
+  Query q;
+  q.id = QueryId(id);
+  q.owner = NodeId(owner);
+  q.text = text;
+  q.target = FileId(target);
+  q.issuedAt = 0;
+  q.ttl = 3 * kDay;
+  return q;
+}
+
+TEST(Node, QueryAdvertisedUntilMetadataFound) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  EXPECT_EQ(node.activeQueryTexts(0),
+            (std::vector<std::string>{"fox news ep1"}));
+  const auto selected =
+      node.acceptMetadata(makeMetadata(10, "fox news ep1", 2, 0.5), 100);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], QueryId(0));
+  EXPECT_TRUE(node.activeQueryTexts(100).empty());
+}
+
+TEST(Node, WantedFilesTrackQueryLifecycle) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  EXPECT_TRUE(node.wantedFiles(0).empty());  // no metadata yet
+  node.acceptMetadata(makeMetadata(10, "fox news ep1", 2, 0.5), 10);
+  EXPECT_EQ(node.wantedFiles(10), (std::vector<FileId>{FileId(10)}));
+  node.acceptPiece(FileId(10), 0, 2, 20);
+  EXPECT_EQ(node.wantedFiles(20), (std::vector<FileId>{FileId(10)}));
+  const auto satisfied = node.acceptPiece(FileId(10), 1, 2, 30);
+  ASSERT_EQ(satisfied.size(), 1u);
+  EXPECT_TRUE(node.wantedFiles(30).empty());
+}
+
+TEST(Node, ExpiredQueriesNeitherAdvertisedNorWanted) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  EXPECT_TRUE(node.activeQueryTexts(4 * kDay).empty());
+  node.acceptMetadata(makeMetadata(10, "fox news ep1", 1, 0.5), 10);
+  EXPECT_TRUE(node.wantedFiles(4 * kDay).empty());
+}
+
+TEST(Node, ExpiredMetadataNotAccepted) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  Metadata md = makeMetadata(10, "fox news ep1", 1, 0.5);
+  const auto selected = node.acceptMetadata(md, md.expiresAt());
+  EXPECT_TRUE(selected.empty());
+  EXPECT_FALSE(node.metadata().has(FileId(10)));
+}
+
+TEST(Node, MultipleQueriesSatisfiedByOneMetadata) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news", 10));
+  node.addQuery(makeQuery(1, 1, "news ep1", 10));
+  const auto selected =
+      node.acceptMetadata(makeMetadata(10, "fox news ep1", 1, 0.5), 5);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(Node, AnyQueryMatchesRespectsState) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  const Metadata md = makeMetadata(10, "fox news ep1", 1, 0.5);
+  EXPECT_TRUE(node.anyQueryMatches(md, 0));
+  node.acceptMetadata(md, 0);
+  EXPECT_FALSE(node.anyQueryMatches(md, 1));  // already satisfied
+}
+
+TEST(Node, AcceptPieceRegistersUnknownFile) {
+  // MBT-QM: pushed pieces arrive without prior metadata.
+  Node node(NodeId(1), {});
+  node.acceptPiece(FileId(7), 0, 3, 10);
+  EXPECT_TRUE(node.pieces().isRegistered(FileId(7)));
+  EXPECT_EQ(node.pieces().piecesHeld(FileId(7)), 1u);
+}
+
+TEST(Node, FrequentContactQueriesStoredOnlyForFrequentPeers) {
+  Node node(NodeId(1), {});
+  node.setFrequentContacts({NodeId(2), NodeId(4)});
+  EXPECT_TRUE(node.isFrequentContact(NodeId(2)));
+  EXPECT_FALSE(node.isFrequentContact(NodeId(3)));
+  node.storePeerQueries(NodeId(2), {"drama ep5"}, 0);
+  node.storePeerQueries(NodeId(3), {"ignored"}, 0);
+  EXPECT_EQ(node.proxiedQueryTexts(0),
+            (std::vector<std::string>{"drama ep5"}));
+}
+
+TEST(Node, ProxiedQueriesDedupedAcrossPeers) {
+  Node node(NodeId(1), {});
+  node.setFrequentContacts({NodeId(2), NodeId(3)});
+  node.storePeerQueries(NodeId(2), {"drama ep5", "news ep1"}, 0);
+  node.storePeerQueries(NodeId(3), {"drama ep5"}, 0);
+  EXPECT_EQ(node.proxiedQueryTexts(0),
+            (std::vector<std::string>{"drama ep5", "news ep1"}));
+}
+
+TEST(Node, ProxiedQueriesExpireWithCooperativeTtl) {
+  Node node(NodeId(1), {});
+  node.setFrequentContacts({NodeId(2)});
+  node.setCooperativeStateTtl(kDay);
+  node.storePeerQueries(NodeId(2), {"drama ep5"}, 0);
+  EXPECT_FALSE(node.proxiedQueryTexts(kDay).empty());
+  EXPECT_TRUE(node.proxiedQueryTexts(kDay + 1).empty());
+}
+
+TEST(Node, ReplacingPeerQueriesKeepsLatest) {
+  Node node(NodeId(1), {});
+  node.setFrequentContacts({NodeId(2)});
+  node.storePeerQueries(NodeId(2), {"old"}, 0);
+  node.storePeerQueries(NodeId(2), {"new"}, 10);
+  EXPECT_EQ(node.proxiedQueryTexts(10), (std::vector<std::string>{"new"}));
+}
+
+TEST(Node, PeerWantsStoredAndExpire) {
+  Node node(NodeId(1), {});
+  node.setCooperativeStateTtl(kDay);
+  node.storePeerWants({"dtn://a/f1", "dtn://a/f2"}, 0);
+  node.storePeerWants({"dtn://a/f1"}, kHour);  // refresh f1
+  EXPECT_EQ(node.peerWantedUris(0).size(), 2u);
+  // After a day, only the refreshed URI survives.
+  const auto fresh = node.peerWantedUris(kDay + kMinute);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], "dtn://a/f1");
+}
+
+TEST(Node, ExpirePurgesMetadataAndCooperativeState) {
+  Node node(NodeId(1), {});
+  node.setFrequentContacts({NodeId(2)});
+  node.setCooperativeStateTtl(kDay);
+  Metadata md = makeMetadata(10, "short lived", 1, 0.5);
+  md.ttl = kHour;
+  node.acceptMetadata(md, 0);
+  node.storePeerQueries(NodeId(2), {"q"}, 0);
+  node.storePeerWants({"dtn://a/f1"}, 0);
+  node.expire(2 * kDay);
+  EXPECT_FALSE(node.metadata().has(FileId(10)));
+  EXPECT_TRUE(node.proxiedQueryTexts(2 * kDay).empty());
+  EXPECT_TRUE(node.peerWantedUris(2 * kDay).empty());
+}
+
+TEST(Node, OptionsAndContributes) {
+  Node rider(NodeId(1), {.internetAccess = false, .freeRider = true});
+  EXPECT_FALSE(rider.contributes());
+  Node normal(NodeId(2), {.internetAccess = true, .freeRider = false});
+  EXPECT_TRUE(normal.contributes());
+  EXPECT_TRUE(normal.options().internetAccess);
+}
+
+TEST(Node, QueryStatesExposeProgress) {
+  Node node(NodeId(1), {});
+  node.addQuery(makeQuery(0, 1, "fox news ep1", 10));
+  node.acceptMetadata(makeMetadata(10, "fox news ep1", 1, 0.5), 5);
+  node.acceptPiece(FileId(10), 0, 1, 6);
+  const auto& states = node.queryStates();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_TRUE(states[0].metadataFound);
+  EXPECT_TRUE(states[0].fileFound);
+  EXPECT_EQ(states[0].chosenFile, FileId(10));
+}
+
+}  // namespace
+}  // namespace hdtn::core

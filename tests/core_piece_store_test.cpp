@@ -1,0 +1,134 @@
+#include "src/core/piece_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+TEST(PieceStore, RegisterAndAdd) {
+  PieceStore store;
+  EXPECT_TRUE(store.registerFile(FileId(1), 3));
+  EXPECT_TRUE(store.isRegistered(FileId(1)));
+  EXPECT_FALSE(store.isRegistered(FileId(2)));
+  EXPECT_TRUE(store.addPiece(FileId(1), 0));
+  EXPECT_FALSE(store.addPiece(FileId(1), 0));  // duplicate
+  EXPECT_TRUE(store.hasPiece(FileId(1), 0));
+  EXPECT_FALSE(store.hasPiece(FileId(1), 1));
+  EXPECT_EQ(store.piecesHeld(FileId(1)), 1u);
+  EXPECT_EQ(store.pieceCount(FileId(1)), 3u);
+  EXPECT_EQ(store.totalPiecesHeld(), 1u);
+}
+
+TEST(PieceStore, RegisterIdempotentSameCount) {
+  PieceStore store;
+  EXPECT_TRUE(store.registerFile(FileId(1), 3));
+  EXPECT_TRUE(store.registerFile(FileId(1), 3));
+  EXPECT_FALSE(store.registerFile(FileId(1), 4));  // conflicting count
+}
+
+TEST(PieceStore, CompletionDetection) {
+  PieceStore store;
+  store.registerFile(FileId(5), 2);
+  EXPECT_FALSE(store.isComplete(FileId(5)));
+  store.addPiece(FileId(5), 1);
+  EXPECT_FALSE(store.isComplete(FileId(5)));
+  store.addPiece(FileId(5), 0);
+  EXPECT_TRUE(store.isComplete(FileId(5)));
+  EXPECT_EQ(store.completeFiles(), (std::vector<FileId>{FileId(5)}));
+}
+
+TEST(PieceStore, MissingPieces) {
+  PieceStore store;
+  store.registerFile(FileId(2), 4);
+  store.addPiece(FileId(2), 1);
+  store.addPiece(FileId(2), 3);
+  EXPECT_EQ(store.missingPieces(FileId(2)),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_TRUE(store.missingPieces(FileId(9)).empty());
+}
+
+TEST(PieceStore, AddWholeFile) {
+  PieceStore store;
+  store.registerFile(FileId(3), 5);
+  store.addPiece(FileId(3), 2);
+  EXPECT_EQ(store.addWholeFile(FileId(3)), 4u);
+  EXPECT_TRUE(store.isComplete(FileId(3)));
+  EXPECT_EQ(store.addWholeFile(FileId(3)), 0u);
+}
+
+TEST(PieceStore, RemoveFile) {
+  PieceStore store;
+  store.registerFile(FileId(1), 2);
+  store.addWholeFile(FileId(1));
+  store.registerFile(FileId(2), 2);
+  store.addPiece(FileId(2), 0);
+  store.removeFile(FileId(1));
+  EXPECT_FALSE(store.isRegistered(FileId(1)));
+  EXPECT_EQ(store.totalPiecesHeld(), 1u);
+  store.removeFile(FileId(42));  // unknown: no-op
+}
+
+TEST(PieceStore, FilesSorted) {
+  PieceStore store;
+  store.registerFile(FileId(9), 1);
+  store.registerFile(FileId(2), 1);
+  store.registerFile(FileId(5), 1);
+  EXPECT_EQ(store.files(),
+            (std::vector<FileId>{FileId(2), FileId(5), FileId(9)}));
+}
+
+TEST(PieceStore, UnregisteredQueriesAreSafe) {
+  PieceStore store;
+  EXPECT_FALSE(store.hasPiece(FileId(1), 0));
+  EXPECT_FALSE(store.isComplete(FileId(1)));
+  EXPECT_EQ(store.piecesHeld(FileId(1)), 0u);
+  EXPECT_EQ(store.pieceCount(FileId(1)), 0u);
+}
+
+TEST(PieceStore, BoundedStoreEvictsLowestPriorityIncomplete) {
+  PieceStore store(2);  // capacity: 2 pieces
+  store.registerFile(FileId(1), 2);
+  store.setPriority(FileId(1), 0.9);
+  store.registerFile(FileId(2), 2);
+  store.setPriority(FileId(2), 0.1);
+  store.addPiece(FileId(1), 0);
+  store.addPiece(FileId(2), 0);
+  EXPECT_EQ(store.totalPiecesHeld(), 2u);
+  // Adding a third piece evicts from the low-priority incomplete file 2.
+  store.addPiece(FileId(1), 1);
+  EXPECT_EQ(store.totalPiecesHeld(), 2u);
+  EXPECT_EQ(store.piecesHeld(FileId(2)), 0u);
+  EXPECT_TRUE(store.isComplete(FileId(1)));
+}
+
+TEST(PieceStore, BoundedStorePrefersEvictingIncompleteOverComplete) {
+  PieceStore store(3);
+  store.registerFile(FileId(1), 2);
+  store.setPriority(FileId(1), 0.05);  // complete but lowest priority
+  store.addWholeFile(FileId(1));
+  store.registerFile(FileId(2), 2);
+  store.setPriority(FileId(2), 0.5);
+  store.addPiece(FileId(2), 0);
+  store.registerFile(FileId(3), 1);
+  store.setPriority(FileId(3), 0.8);
+  store.addPiece(FileId(3), 0);  // store full: evicts incomplete file 2
+  EXPECT_TRUE(store.isComplete(FileId(1)));
+  EXPECT_EQ(store.piecesHeld(FileId(2)), 0u);
+  EXPECT_TRUE(store.hasPiece(FileId(3), 0));
+}
+
+TEST(PieceStore, BoundedStoreFallsBackToCompleteFiles) {
+  PieceStore store(1);
+  store.registerFile(FileId(1), 1);
+  store.setPriority(FileId(1), 0.2);
+  store.addPiece(FileId(1), 0);
+  store.registerFile(FileId(2), 1);
+  store.setPriority(FileId(2), 0.7);
+  store.addPiece(FileId(2), 0);  // only candidate is the complete file 1
+  EXPECT_EQ(store.piecesHeld(FileId(1)), 0u);
+  EXPECT_TRUE(store.isComplete(FileId(2)));
+  EXPECT_EQ(store.totalPiecesHeld(), 1u);
+}
+
+}  // namespace
+}  // namespace hdtn::core

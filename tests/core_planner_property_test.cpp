@@ -1,0 +1,222 @@
+// Property-based tests of the discovery and download planners: invariants
+// that must hold for ANY node state, checked over randomized fixtures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/core/discovery.hpp"
+#include "src/core/download.hpp"
+#include "src/core/internet.hpp"
+#include "src/net/codec.hpp"
+#include "src/util/random.hpp"
+
+namespace hdtn::core {
+namespace {
+
+struct RandomFixture {
+  InternetServices internet;
+  std::vector<MetadataStore> metadataStores;
+  std::vector<PieceStore> pieceStores;
+  std::vector<CreditLedger> ledgers;
+  std::vector<DiscoveryPeer> discoveryPeers;
+  std::vector<DownloadPeer> downloadPeers;
+
+  RandomFixture(std::uint64_t seed, std::size_t members, int files) {
+    Rng rng(seed);
+    SyntheticBatchParams batch;
+    batch.count = files;
+    batch.publishedAt = 0;
+    batch.ttl = 3 * kDay;
+    batch.lambda = files / 2.0;
+    publishSyntheticBatch(internet, batch, rng);
+
+    metadataStores.resize(members);
+    pieceStores.resize(members);
+    ledgers.resize(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      for (FileId f : internet.catalog().allFiles()) {
+        if (rng.chance(0.5)) {
+          metadataStores[i].add(internet.catalog().metadataFor(f));
+        }
+        if (rng.chance(0.4)) {
+          pieceStores[i].registerFile(f, 1);
+          pieceStores[i].addPiece(f, 0);
+        }
+      }
+      DiscoveryPeer dp;
+      dp.id = NodeId(static_cast<std::uint32_t>(i));
+      dp.store = &metadataStores[i];
+      dp.credits = &ledgers[i];
+      dp.contributes = rng.chance(0.8);
+      DownloadPeer lp;
+      lp.id = dp.id;
+      lp.pieces = &pieceStores[i];
+      lp.credits = &ledgers[i];
+      lp.contributes = dp.contributes;
+      // Random queries / wants targeting real files.
+      const int queries = static_cast<int>(rng.uniformInt(0, 3));
+      for (int q = 0; q < queries; ++q) {
+        const FileId target(
+            static_cast<std::uint32_t>(rng.pickIndex(
+                static_cast<std::size_t>(files))));
+        dp.queries.push_back(
+            canonicalQueryText(*internet.catalog().find(target)));
+        lp.wanted.push_back(target);
+      }
+      for (std::size_t p = 0; p < members; ++p) {
+        ledgers[i].addCredit(NodeId(static_cast<std::uint32_t>(p)),
+                             rng.uniform(0.0, 10.0));
+      }
+      discoveryPeers.push_back(std::move(dp));
+      downloadPeers.push_back(std::move(lp));
+    }
+  }
+
+  [[nodiscard]] PopularityFn popularityFn() const {
+    return [this](FileId f) {
+      const FileInfo* info = internet.catalog().find(f);
+      return info == nullptr ? 0.0 : info->popularity;
+    };
+  }
+};
+
+struct PropertyCase {
+  std::uint64_t seed;
+  Scheduling scheduling;
+};
+
+class PlannerPropertySweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PlannerPropertySweep, DiscoveryInvariants) {
+  const PropertyCase param = GetParam();
+  RandomFixture fx(param.seed, 8, 40);
+  const int budget = 12;
+  const auto plan =
+      planDiscovery(fx.discoveryPeers, budget, param.scheduling);
+
+  EXPECT_LE(plan.size(), static_cast<std::size_t>(budget));
+  std::set<FileId> seen;
+  bool sawPhase2 = false;
+  for (const MetadataBroadcast& b : plan) {
+    // Each record at most once.
+    EXPECT_TRUE(seen.insert(b.metadata->file).second);
+    // The sender holds what it sends and contributes.
+    const auto& sender = fx.discoveryPeers[b.sender.value];
+    EXPECT_TRUE(sender.store->has(b.metadata->file));
+    EXPECT_TRUE(sender.contributes);
+    // Some receiver lacks the record.
+    bool someoneLacks = false;
+    for (const auto& peer : fx.discoveryPeers) {
+      if (!peer.store->has(b.metadata->file)) someoneLacks = true;
+    }
+    EXPECT_TRUE(someoneLacks);
+    // Requesters really lack it (they cannot request what they hold).
+    for (NodeId r : b.requesters) {
+      EXPECT_FALSE(fx.discoveryPeers[r.value].store->has(b.metadata->file));
+    }
+    // Phase flags consistent with requesters.
+    EXPECT_EQ(b.phase, b.requesters.empty() ? 2 : 1);
+    // Cooperative scheduling: once the push phase starts, no requested
+    // record may follow.
+    if (param.scheduling == Scheduling::kCooperative) {
+      if (b.phase == 2) sawPhase2 = true;
+      if (sawPhase2) {
+        EXPECT_EQ(b.phase, 2);
+      }
+    }
+  }
+}
+
+TEST_P(PlannerPropertySweep, DownloadInvariants) {
+  const PropertyCase param = GetParam();
+  RandomFixture fx(param.seed, 8, 40);
+  const int budget = 10;
+  const auto plan = planDownload(fx.downloadPeers, fx.popularityFn(), budget,
+                                 param.scheduling);
+
+  EXPECT_LE(plan.size(), static_cast<std::size_t>(budget));
+  std::set<std::pair<FileId, std::uint32_t>> seen;
+  for (const PieceBroadcast& b : plan) {
+    EXPECT_TRUE(seen.insert({b.file, b.piece}).second);
+    const auto& sender = fx.downloadPeers[b.sender.value];
+    EXPECT_TRUE(sender.pieces->hasPiece(b.file, b.piece));
+    EXPECT_TRUE(sender.contributes);
+    for (NodeId r : b.requesters) {
+      const auto& peer = fx.downloadPeers[r.value];
+      EXPECT_FALSE(peer.pieces->hasPiece(b.file, b.piece));
+      EXPECT_NE(std::find(peer.wanted.begin(), peer.wanted.end(), b.file),
+                peer.wanted.end());
+    }
+  }
+}
+
+TEST_P(PlannerPropertySweep, PairwiseInvariants) {
+  const PropertyCase param = GetParam();
+  RandomFixture fx(param.seed, 9, 40);  // odd member count
+  const auto plan =
+      planPairwiseDownload(fx.downloadPeers, fx.popularityFn(), 5);
+  std::map<NodeId, std::set<NodeId>> partners;
+  for (const PieceTransfer& t : plan) {
+    EXPECT_NE(t.sender, t.receiver);
+    const auto& sender = fx.downloadPeers[t.sender.value];
+    const auto& receiver = fx.downloadPeers[t.receiver.value];
+    EXPECT_TRUE(sender.pieces->hasPiece(t.file, t.piece));
+    EXPECT_FALSE(receiver.pieces->hasPiece(t.file, t.piece));
+    partners[t.sender].insert(t.receiver);
+    partners[t.receiver].insert(t.sender);
+  }
+  // Matching is disjoint: every node exchanges with at most one partner.
+  for (const auto& [node, peers] : partners) {
+    EXPECT_LE(peers.size(), 1u) << "node " << node.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, PlannerPropertySweep,
+    ::testing::Values(PropertyCase{1, Scheduling::kCooperative},
+                      PropertyCase{2, Scheduling::kCooperative},
+                      PropertyCase{3, Scheduling::kCooperative},
+                      PropertyCase{4, Scheduling::kTitForTat},
+                      PropertyCase{5, Scheduling::kTitForTat},
+                      PropertyCase{6, Scheduling::kTitForTat},
+                      PropertyCase{7, Scheduling::kPopularityOnly},
+                      PropertyCase{8, Scheduling::kPopularityOnly}));
+
+// Codec round-trip over randomized hello messages.
+class CodecRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTripSweep, RandomHellosSurvive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    net::HelloMessage hello;
+    hello.sender = NodeId(static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 20)));
+    const int neighbors = static_cast<int>(rng.uniformInt(0, 10));
+    for (int i = 0; i < neighbors; ++i) {
+      hello.heardNeighbors.emplace_back(
+          static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 16)));
+    }
+    const int queries = static_cast<int>(rng.uniformInt(0, 5));
+    for (int i = 0; i < queries; ++i) {
+      std::string q;
+      const int len = static_cast<int>(rng.uniformInt(0, 40));
+      for (int c = 0; c < len; ++c) {
+        q.push_back(static_cast<char>(rng.uniformInt(32, 126)));
+      }
+      hello.queries.push_back(std::move(q));
+    }
+    const auto decoded = net::decodeHello(net::encodeHello(hello));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sender, hello.sender);
+    EXPECT_EQ(decoded->heardNeighbors, hello.heardNeighbors);
+    EXPECT_EQ(decoded->queries, hello.queries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTripSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,93 @@
+#include "src/graph/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn {
+namespace {
+
+TEST(AdjacencyGraph, AddNodesAndEdges) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(2));
+  EXPECT_TRUE(g.hasNode(NodeId(1)));
+  EXPECT_TRUE(g.hasNode(NodeId(2)));
+  EXPECT_TRUE(g.hasEdge(NodeId(1), NodeId(2)));
+  EXPECT_TRUE(g.hasEdge(NodeId(2), NodeId(1)));
+  EXPECT_EQ(g.nodeCount(), 2u);
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(AdjacencyGraph, EdgeIdempotent) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(2));
+  g.addEdge(NodeId(2), NodeId(1));
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(AdjacencyGraph, SelfLoopIgnored) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(1));
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_FALSE(g.hasNode(NodeId(1)));
+}
+
+TEST(AdjacencyGraph, RemoveEdge) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(2));
+  g.removeEdge(NodeId(2), NodeId(1));
+  EXPECT_FALSE(g.hasEdge(NodeId(1), NodeId(2)));
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_TRUE(g.hasNode(NodeId(1)));  // nodes survive edge removal
+  g.removeEdge(NodeId(1), NodeId(9));  // no-op on unknown edge
+}
+
+TEST(AdjacencyGraph, RemoveNodeDropsIncidentEdges) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(2));
+  g.addEdge(NodeId(1), NodeId(3));
+  g.addEdge(NodeId(2), NodeId(3));
+  g.removeNode(NodeId(1));
+  EXPECT_FALSE(g.hasNode(NodeId(1)));
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_TRUE(g.hasEdge(NodeId(2), NodeId(3)));
+  EXPECT_EQ(g.degree(NodeId(2)), 1u);
+}
+
+TEST(AdjacencyGraph, NeighborsSorted) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(5), NodeId(9));
+  g.addEdge(NodeId(5), NodeId(2));
+  g.addEdge(NodeId(5), NodeId(7));
+  EXPECT_EQ(g.neighbors(NodeId(5)),
+            (std::vector<NodeId>{NodeId(2), NodeId(7), NodeId(9)}));
+  EXPECT_TRUE(g.neighbors(NodeId(100)).empty());
+}
+
+TEST(AdjacencyGraph, DegreeOfUnknownNodeIsZero) {
+  AdjacencyGraph g;
+  EXPECT_EQ(g.degree(NodeId(4)), 0u);
+}
+
+TEST(AdjacencyGraph, ConnectedComponents) {
+  AdjacencyGraph g;
+  g.addEdge(NodeId(1), NodeId(2));
+  g.addEdge(NodeId(2), NodeId(3));
+  g.addEdge(NodeId(10), NodeId(11));
+  g.addNode(NodeId(20));
+  const auto components = g.connectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0],
+            (std::vector<NodeId>{NodeId(1), NodeId(2), NodeId(3)}));
+  EXPECT_EQ(components[1], (std::vector<NodeId>{NodeId(10), NodeId(11)}));
+  EXPECT_EQ(components[2], (std::vector<NodeId>{NodeId(20)}));
+}
+
+TEST(AdjacencyGraph, NodesSorted) {
+  AdjacencyGraph g;
+  g.addNode(NodeId(9));
+  g.addNode(NodeId(1));
+  g.addNode(NodeId(5));
+  EXPECT_EQ(g.nodes(), (std::vector<NodeId>{NodeId(1), NodeId(5), NodeId(9)}));
+}
+
+}  // namespace
+}  // namespace hdtn

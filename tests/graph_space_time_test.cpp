@@ -1,0 +1,138 @@
+#include "src/graph/space_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::graph {
+namespace {
+
+using trace::Contact;
+using trace::ContactTrace;
+
+Contact makeContact(SimTime start, SimTime end,
+                    std::initializer_list<std::uint32_t> members) {
+  Contact c;
+  c.start = start;
+  c.end = end;
+  for (auto m : members) c.members.emplace_back(m);
+  return c;
+}
+
+// 0 meets 1 at t=[10,20), 1 meets 2 at t=[30,40).
+ContactTrace lineTrace() {
+  ContactTrace t("line", 3);
+  t.addContact(makeContact(10, 20, {0, 1}));
+  t.addContact(makeContact(30, 40, {1, 2}));
+  t.sortByStart();
+  return t;
+}
+
+TEST(SpaceTimeGraph, EarliestArrivalsAlongLine) {
+  SpaceTimeGraph stg(lineTrace());
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 0);
+  EXPECT_EQ(arrivals[0], 0);
+  EXPECT_EQ(arrivals[1], 10);  // hop at contact start
+  EXPECT_EQ(arrivals[2], 30);
+}
+
+TEST(SpaceTimeGraph, StartTimeAfterContactMissesIt) {
+  SpaceTimeGraph stg(lineTrace());
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 25);
+  EXPECT_EQ(arrivals[1], kTimeInfinity);  // 0-1 contact already over
+  EXPECT_EQ(arrivals[2], kTimeInfinity);
+}
+
+TEST(SpaceTimeGraph, StartTimeInsideContactHopsImmediately) {
+  SpaceTimeGraph stg(lineTrace());
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 15);
+  EXPECT_EQ(arrivals[1], 15);  // mid-contact handoff
+}
+
+TEST(SpaceTimeGraph, ReverseDirectionBlockedByTime) {
+  // From node 2: the 1-2 contact is at 30, after which the 0-1 contact is
+  // over, so node 0 is unreachable. Time only flows forward.
+  SpaceTimeGraph stg(lineTrace());
+  const auto arrivals = stg.earliestArrivals(NodeId(2), 0);
+  EXPECT_EQ(arrivals[1], 30);
+  EXPECT_EQ(arrivals[0], kTimeInfinity);
+}
+
+TEST(SpaceTimeGraph, CliqueContactReachesAllMembers) {
+  ContactTrace t("clique", 4);
+  t.addContact(makeContact(100, 200, {0, 1, 2, 3}));
+  SpaceTimeGraph stg(t);
+  const auto arrivals = stg.earliestArrivals(NodeId(2), 0);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(arrivals[n], n == 2 ? 0 : 100);
+  }
+}
+
+TEST(SpaceTimeGraph, OverlappingContactsChainWithinWindow) {
+  // 0-1 during [10, 50); 1-2 during [20, 30): the message can hop 0->1 at
+  // 10 and 1->2 at 20 even though the second contact starts later.
+  ContactTrace t("overlap", 3);
+  t.addContact(makeContact(10, 50, {0, 1}));
+  t.addContact(makeContact(20, 30, {1, 2}));
+  SpaceTimeGraph stg(t);
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 0);
+  EXPECT_EQ(arrivals[2], 20);
+}
+
+TEST(SpaceTimeGraph, BackwardFeedingOverlapNeedsFixpoint) {
+  // 1-2 during [10, 100) starts BEFORE 0-1 during [20, 30): a sweep in
+  // start order sees the 1-2 contact first, but node 1 only obtains the
+  // message at 20, still within the 1-2 window -> node 2 at 20.
+  ContactTrace t("backfeed", 3);
+  t.addContact(makeContact(10, 100, {1, 2}));
+  t.addContact(makeContact(20, 30, {0, 1}));
+  SpaceTimeGraph stg(t);
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 0);
+  EXPECT_EQ(arrivals[1], 20);
+  EXPECT_EQ(arrivals[2], 20);
+}
+
+TEST(SpaceTimeGraph, ForemostJourneyHops) {
+  SpaceTimeGraph stg(lineTrace());
+  const Journey journey = stg.foremostJourney(NodeId(0), NodeId(2), 0);
+  ASSERT_TRUE(journey.reachable);
+  EXPECT_EQ(journey.arrival, 30);
+  ASSERT_EQ(journey.hops.size(), 2u);
+  EXPECT_EQ(journey.hops[0].from, NodeId(0));
+  EXPECT_EQ(journey.hops[0].to, NodeId(1));
+  EXPECT_EQ(journey.hops[0].time, 10);
+  EXPECT_EQ(journey.hops[1].from, NodeId(1));
+  EXPECT_EQ(journey.hops[1].to, NodeId(2));
+  EXPECT_EQ(journey.hops[1].time, 30);
+}
+
+TEST(SpaceTimeGraph, JourneyToSelf) {
+  SpaceTimeGraph stg(lineTrace());
+  const Journey journey = stg.foremostJourney(NodeId(1), NodeId(1), 42);
+  EXPECT_TRUE(journey.reachable);
+  EXPECT_EQ(journey.arrival, 42);
+  EXPECT_TRUE(journey.hops.empty());
+}
+
+TEST(SpaceTimeGraph, UnreachableJourney) {
+  SpaceTimeGraph stg(lineTrace());
+  const Journey journey = stg.foremostJourney(NodeId(2), NodeId(0), 0);
+  EXPECT_FALSE(journey.reachable);
+  EXPECT_EQ(journey.arrival, kTimeInfinity);
+}
+
+TEST(SpaceTimeGraph, Reachability) {
+  SpaceTimeGraph stg(lineTrace());
+  EXPECT_DOUBLE_EQ(stg.reachability(NodeId(0), 0), 1.0);
+  EXPECT_DOUBLE_EQ(stg.reachability(NodeId(2), 0), 0.5);  // reaches only 1
+  EXPECT_DOUBLE_EQ(stg.reachability(NodeId(0), 1000), 0.0);
+}
+
+TEST(SpaceTimeGraph, EmptyTrace) {
+  ContactTrace t("empty", 3);
+  SpaceTimeGraph stg(t);
+  const auto arrivals = stg.earliestArrivals(NodeId(0), 0);
+  EXPECT_EQ(arrivals[0], 0);
+  EXPECT_EQ(arrivals[1], kTimeInfinity);
+}
+
+}  // namespace
+}  // namespace hdtn::graph

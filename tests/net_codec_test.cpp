@@ -1,0 +1,205 @@
+#include "src/net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.hpp"
+
+namespace hdtn::net {
+namespace {
+
+HelloMessage sampleHello() {
+  HelloMessage h;
+  h.sender = NodeId(42);
+  h.heardNeighbors = {NodeId(1), NodeId(7), NodeId(300000)};
+  h.queries = {"fox news ep1", "drama special"};
+  h.wantedUris = {"dtn://fox/f1"};
+  return h;
+}
+
+core::Metadata sampleMetadata() {
+  core::Metadata md;
+  md.file = FileId(9);
+  md.name = "fox news daily ep9";
+  md.publisher = "fox";
+  md.description = "poster for ep9";
+  md.uri = "dtn://fox/f9";
+  md.sizeBytes = 512 * 1024;
+  md.pieceSizeBytes = 256 * 1024;
+  md.pieceChecksums = {Sha1::hash("p0"), Sha1::hash("p1")};
+  md.authTag = Sha1::hash("auth");
+  md.popularity = 0.125;
+  md.publishedAt = 1234567;
+  md.ttl = 3 * kDay;
+  md.rebuildKeywords();
+  return md;
+}
+
+TEST(Codec, VarintRoundTrip) {
+  for (std::uint64_t value :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    Encoder enc;
+    enc.writeVarint(value);
+    Decoder dec(enc.buffer());
+    const auto decoded = dec.readVarint();
+    ASSERT_TRUE(decoded.has_value()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(dec.atEnd());
+  }
+}
+
+TEST(Codec, VarintTruncatedFails) {
+  Encoder enc;
+  enc.writeVarint(0xffffffffull);
+  auto bytes = enc.buffer();
+  bytes.pop_back();
+  Decoder dec(bytes);
+  EXPECT_FALSE(dec.readVarint().has_value());
+}
+
+TEST(Codec, StringRoundTripAndLimit) {
+  Encoder enc;
+  enc.writeString("hello dtn");
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.readString(), "hello dtn");
+  Decoder dec2(enc.buffer());
+  EXPECT_FALSE(dec2.readString(/*maxLength=*/3).has_value());
+}
+
+TEST(Codec, HelloRoundTrip) {
+  const HelloMessage original = sampleHello();
+  const Bytes frame = encodeHello(original);
+  EXPECT_EQ(peekKind(frame), WireKind::kHello);
+  const auto decoded = decodeHello(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, original.sender);
+  EXPECT_EQ(decoded->heardNeighbors, original.heardNeighbors);
+  EXPECT_EQ(decoded->queries, original.queries);
+  EXPECT_EQ(decoded->wantedUris, original.wantedUris);
+}
+
+TEST(Codec, EmptyHelloRoundTrip) {
+  HelloMessage h;
+  h.sender = NodeId(0);
+  const auto decoded = decodeHello(encodeHello(h));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->heardNeighbors.empty());
+  EXPECT_TRUE(decoded->queries.empty());
+}
+
+TEST(Codec, MetadataRoundTrip) {
+  const core::Metadata original = sampleMetadata();
+  const Bytes frame = encodeMetadata(original);
+  EXPECT_EQ(peekKind(frame), WireKind::kMetadata);
+  const auto decoded = decodeMetadata(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->file, original.file);
+  EXPECT_EQ(decoded->name, original.name);
+  EXPECT_EQ(decoded->publisher, original.publisher);
+  EXPECT_EQ(decoded->description, original.description);
+  EXPECT_EQ(decoded->uri, original.uri);
+  EXPECT_EQ(decoded->sizeBytes, original.sizeBytes);
+  EXPECT_EQ(decoded->pieceSizeBytes, original.pieceSizeBytes);
+  EXPECT_EQ(decoded->pieceChecksums, original.pieceChecksums);
+  EXPECT_EQ(decoded->authTag, original.authTag);
+  EXPECT_NEAR(decoded->popularity, original.popularity, 1e-6);
+  EXPECT_EQ(decoded->publishedAt, original.publishedAt);
+  EXPECT_EQ(decoded->ttl, original.ttl);
+  // Derived keywords are rebuilt on decode.
+  EXPECT_EQ(decoded->keywords, original.keywords);
+}
+
+TEST(Codec, PieceRoundTripWithPayload) {
+  PieceMessage header;
+  header.sender = NodeId(5);
+  header.file = FileId(77);
+  header.pieceIndex = 3;
+  Bytes payload(1000);
+  Rng rng(1);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+  const Bytes frame = encodePiece(header, payload);
+  EXPECT_EQ(peekKind(frame), WireKind::kPiece);
+  const auto decoded = decodePiece(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.sender, header.sender);
+  EXPECT_EQ(decoded->header.file, header.file);
+  EXPECT_EQ(decoded->header.pieceIndex, header.pieceIndex);
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST(Codec, KindMismatchRejected) {
+  const Bytes hello = encodeHello(sampleHello());
+  EXPECT_FALSE(decodeMetadata(hello).has_value());
+  EXPECT_FALSE(decodePiece(hello).has_value());
+  const Bytes md = encodeMetadata(sampleMetadata());
+  EXPECT_FALSE(decodeHello(md).has_value());
+}
+
+TEST(Codec, WrongVersionRejected) {
+  Bytes frame = encodeHello(sampleHello());
+  frame[0] = kCodecVersion + 1;
+  EXPECT_FALSE(peekKind(frame).has_value());
+  EXPECT_FALSE(decodeHello(frame).has_value());
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  Bytes frame = encodeHello(sampleHello());
+  frame.push_back(0x00);
+  EXPECT_FALSE(decodeHello(frame).has_value());
+}
+
+TEST(Codec, EmptyFrameRejected) {
+  EXPECT_FALSE(peekKind({}).has_value());
+  EXPECT_FALSE(decodeHello({}).has_value());
+  EXPECT_FALSE(decodeMetadata({}).has_value());
+  EXPECT_FALSE(decodePiece({}).has_value());
+}
+
+// Truncation fuzz: every proper prefix of a valid frame must be rejected,
+// never crash or over-read.
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, AllPrefixesRejected) {
+  const int kind = GetParam();
+  Bytes frame;
+  if (kind == 0) {
+    frame = encodeHello(sampleHello());
+  } else if (kind == 1) {
+    frame = encodeMetadata(sampleMetadata());
+  } else {
+    PieceMessage header;
+    header.sender = NodeId(1);
+    header.file = FileId(2);
+    header.pieceIndex = 0;
+    const Bytes payload = {1, 2, 3, 4, 5};
+    frame = encodePiece(header, payload);
+  }
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(frame.data(), cut);
+    EXPECT_FALSE(decodeHello(prefix).has_value());
+    EXPECT_FALSE(decodeMetadata(prefix).has_value());
+    EXPECT_FALSE(decodePiece(prefix).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, TruncationSweep, ::testing::Values(0, 1, 2));
+
+// Mutation fuzz: random byte flips either decode to something or are
+// rejected — no crashes, and decode(encode(x)) stability is preserved for
+// untouched frames.
+TEST(Codec, RandomMutationNeverCrashes) {
+  Rng rng(99);
+  const Bytes original = encodeMetadata(sampleMetadata());
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = original;
+    const std::size_t pos = rng.pickIndex(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.pickIndex(255));
+    (void)decodeMetadata(mutated);  // must not crash or over-read
+    (void)decodeHello(mutated);
+    (void)decodePiece(mutated);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hdtn::net

@@ -1,0 +1,94 @@
+#include "src/net/hello.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::net {
+namespace {
+
+HelloMessage makeHelloFrom(std::uint32_t sender) {
+  HelloMessage h;
+  h.sender = NodeId(sender);
+  return h;
+}
+
+TEST(HelloState, TracksActiveNeighborsWithinWindow) {
+  HelloState state(NodeId(0));
+  state.onHello(100, makeHelloFrom(1));
+  state.onHello(103, makeHelloFrom(2));
+  EXPECT_EQ(state.activeNeighbors(104),
+            (std::vector<NodeId>{NodeId(1), NodeId(2)}));
+  // Node 1 was last heard at 100; at 106 it is out of the 5 s window.
+  EXPECT_EQ(state.activeNeighbors(106), (std::vector<NodeId>{NodeId(2)}));
+}
+
+TEST(HelloState, IgnoresOwnHello) {
+  HelloState state(NodeId(3));
+  state.onHello(10, makeHelloFrom(3));
+  EXPECT_TRUE(state.activeNeighbors(10).empty());
+}
+
+TEST(HelloState, RefreshExtendsWindow) {
+  HelloState state(NodeId(0));
+  state.onHello(100, makeHelloFrom(1));
+  state.onHello(104, makeHelloFrom(1));
+  EXPECT_EQ(state.activeNeighbors(108), (std::vector<NodeId>{NodeId(1)}));
+}
+
+TEST(HelloState, LatestFromReturnsPayload) {
+  HelloState state(NodeId(0));
+  HelloMessage h = makeHelloFrom(1);
+  h.queries = {"fox ep3"};
+  h.wantedUris = {"dtn://fox/f3"};
+  state.onHello(100, h);
+  const auto latest = state.latestFrom(102, NodeId(1));
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->queries, (std::vector<std::string>{"fox ep3"}));
+  EXPECT_EQ(latest->wantedUris, (std::vector<Uri>{"dtn://fox/f3"}));
+  EXPECT_FALSE(state.latestFrom(110, NodeId(1)).has_value());  // expired
+  EXPECT_FALSE(state.latestFrom(102, NodeId(9)).has_value());  // unknown
+}
+
+TEST(HelloState, LatestPayloadWins) {
+  HelloState state(NodeId(0));
+  HelloMessage first = makeHelloFrom(1);
+  first.queries = {"old"};
+  HelloMessage second = makeHelloFrom(1);
+  second.queries = {"new"};
+  state.onHello(100, first);
+  state.onHello(101, second);
+  EXPECT_EQ(state.latestFrom(102, NodeId(1))->queries,
+            (std::vector<std::string>{"new"}));
+}
+
+TEST(HelloState, ExpireDropsStaleEntries) {
+  HelloState state(NodeId(0));
+  state.onHello(100, makeHelloFrom(1));
+  state.onHello(200, makeHelloFrom(2));
+  state.expire(203);
+  // Node 1 entry physically removed; node 2 still active.
+  EXPECT_EQ(state.activeNeighbors(203), (std::vector<NodeId>{NodeId(2)}));
+  EXPECT_FALSE(state.latestFrom(203, NodeId(1)).has_value());
+}
+
+TEST(HelloState, MakeHelloCarriesNeighborsQueriesWants) {
+  HelloState state(NodeId(7));
+  state.onHello(50, makeHelloFrom(1));
+  state.onHello(52, makeHelloFrom(4));
+  const HelloMessage hello =
+      state.makeHello(53, {"drama ep9"}, {"dtn://abc/f9"});
+  EXPECT_EQ(hello.sender, NodeId(7));
+  EXPECT_EQ(hello.heardNeighbors,
+            (std::vector<NodeId>{NodeId(1), NodeId(4)}));
+  EXPECT_EQ(hello.queries, (std::vector<std::string>{"drama ep9"}));
+  EXPECT_EQ(hello.wantedUris, (std::vector<Uri>{"dtn://abc/f9"}));
+}
+
+TEST(HelloState, ClearForgetsEverything) {
+  HelloState state(NodeId(0));
+  state.onHello(10, makeHelloFrom(1));
+  state.clear();
+  EXPECT_TRUE(state.activeNeighbors(10).empty());
+}
+
+}  // namespace
+}  // namespace hdtn::net

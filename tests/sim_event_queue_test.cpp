@@ -1,0 +1,102 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hdtn::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (q.runNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (q.runNext()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel fails
+  while (q.runNext()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.runNext();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  EXPECT_EQ(q.nextTime(), 5);
+  q.cancel(a);
+  EXPECT_EQ(q.nextTime(), 9);
+}
+
+TEST(EventQueue, NextTimeInfinityWhenEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.nextTime(), kTimeInfinity);
+  EXPECT_FALSE(q.runNext());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule(1, [&] {
+    times.push_back(q.now());
+    q.schedule(5, [&] { times.push_back(q.now()); });
+  });
+  q.schedule(3, [&] { times.push_back(q.now()); });
+  while (q.runNext()) {
+  }
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 3, 5}));
+}
+
+TEST(EventQueue, SameTimeScheduledFromHandlerRunsAfter) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] {
+    order.push_back(1);
+    q.schedule(1, [&] { order.push_back(2); });
+  });
+  while (q.runNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace hdtn::sim

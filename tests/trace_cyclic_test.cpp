@@ -1,0 +1,117 @@
+#include "src/trace/cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hdtn::trace {
+namespace {
+
+CyclicSlot makeSlot(std::initializer_list<std::uint32_t> members,
+                    SimTime offset, Duration duration, double probability) {
+  CyclicSlot slot;
+  for (auto m : members) slot.members.emplace_back(m);
+  slot.offset = offset;
+  slot.duration = duration;
+  slot.probability = probability;
+  return slot;
+}
+
+TEST(Cyclic, DeterministicSlotsRepeatEveryCycle) {
+  CyclicParams params;
+  params.period = kDay;
+  params.cycles = 5;
+  params.slots = {makeSlot({0, 1}, 9 * kHour, kHour, 1.0),
+                  makeSlot({1, 2, 3}, 14 * kHour, 2 * kHour, 1.0)};
+  const auto trace = generateCyclic(params);
+  ASSERT_EQ(trace.contactCount(), 10u);  // 2 slots x 5 cycles
+  for (const Contact& c : trace.contacts()) {
+    const SimTime offset = c.start % kDay;
+    EXPECT_TRUE(offset == 9 * kHour || offset == 14 * kHour);
+  }
+}
+
+TEST(Cyclic, ProbabilityControlsRealizationRate) {
+  CyclicParams params;
+  params.period = kDay;
+  params.cycles = 2000;
+  params.slots = {makeSlot({0, 1}, kHour, 600, 0.3)};
+  params.seed = 9;
+  const auto trace = generateCyclic(params);
+  const double rate =
+      static_cast<double>(trace.contactCount()) / params.cycles;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(Cyclic, ZeroProbabilityNeverRealizes) {
+  CyclicParams params;
+  params.cycles = 50;
+  params.slots = {makeSlot({0, 1}, kHour, 600, 0.0)};
+  EXPECT_EQ(generateCyclic(params).contactCount(), 0u);
+}
+
+TEST(Cyclic, JitterStaysWithinCycle) {
+  CyclicParams params;
+  params.period = kDay;
+  params.cycles = 200;
+  params.startJitter = 2 * kHour;
+  params.slots = {makeSlot({0, 1}, kHour, kHour, 1.0),
+                  makeSlot({2, 3}, 23 * kHour, 30 * kMinute, 1.0)};
+  const auto trace = generateCyclic(params);
+  for (const Contact& c : trace.contacts()) {
+    const SimTime cycleBase = (c.start / kDay) * kDay;
+    EXPECT_GE(c.start, cycleBase);
+    EXPECT_LE(c.end, cycleBase + kDay);
+  }
+}
+
+TEST(Cyclic, DeterministicInSeed) {
+  CyclicParams params;
+  params.cycles = 20;
+  params.slots = {makeSlot({0, 1}, kHour, 600, 0.5)};
+  params.seed = 4;
+  const auto a = generateCyclic(params);
+  const auto b = generateCyclic(params);
+  ASSERT_EQ(a.contactCount(), b.contactCount());
+  for (std::size_t i = 0; i < a.contactCount(); ++i) {
+    EXPECT_EQ(a.contacts()[i], b.contacts()[i]);
+  }
+}
+
+TEST(Cyclic, RandomSlotBuilderRespectsBounds) {
+  Rng rng(7);
+  const auto slots = randomCyclicSlots(/*nodes=*/20, /*count=*/50, kDay,
+                                       /*maxCliqueSize=*/6,
+                                       /*minDuration=*/60,
+                                       /*maxDuration=*/3600,
+                                       /*minProbability=*/0.4, rng);
+  ASSERT_EQ(slots.size(), 50u);
+  for (const CyclicSlot& slot : slots) {
+    EXPECT_GE(slot.members.size(), 2u);
+    EXPECT_LE(slot.members.size(), 6u);
+    std::set<NodeId> unique(slot.members.begin(), slot.members.end());
+    EXPECT_EQ(unique.size(), slot.members.size());
+    for (NodeId m : slot.members) EXPECT_LT(m.value, 20u);
+    EXPECT_GE(slot.duration, 60);
+    EXPECT_LE(slot.duration, 3600);
+    EXPECT_GE(slot.offset, 0);
+    EXPECT_LE(slot.offset + slot.duration, kDay);
+    EXPECT_GE(slot.probability, 0.4);
+    EXPECT_LE(slot.probability, 1.0);
+  }
+}
+
+TEST(Cyclic, RandomSlotsDriveEngineCompatibleTrace) {
+  Rng rng(11);
+  CyclicParams params;
+  params.period = kDay;
+  params.cycles = 4;
+  params.slots = randomCyclicSlots(15, 12, kDay, 5, 600, 7200, 0.6, rng);
+  params.seed = 13;
+  const auto trace = generateCyclic(params);
+  EXPECT_GT(trace.contactCount(), 0u);
+  EXPECT_LE(trace.nodeCount(), 15u);
+}
+
+}  // namespace
+}  // namespace hdtn::trace

@@ -1,0 +1,194 @@
+#include "src/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hdtn::trace {
+namespace {
+
+ContactTrace sampleTrace() {
+  ContactTrace t("campus", 5);
+  Contact a;
+  a.start = 0;
+  a.end = 100;
+  a.members = {NodeId(0), NodeId(1)};
+  t.addContact(a);
+  Contact b;
+  b.start = 50;
+  b.end = 200;
+  b.members = {NodeId(1), NodeId(2), NodeId(4)};
+  t.addContact(b);
+  t.sortByStart();
+  return t;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const ContactTrace original = sampleTrace();
+  std::stringstream stream;
+  writeTrace(original, stream);
+  std::string error;
+  const auto loaded = readTrace(stream, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->name(), "campus");
+  EXPECT_EQ(loaded->nodeCount(), 5u);
+  ASSERT_EQ(loaded->contactCount(), original.contactCount());
+  for (std::size_t i = 0; i < original.contactCount(); ++i) {
+    EXPECT_EQ(loaded->contacts()[i], original.contacts()[i]);
+  }
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "trace t 3\n"
+      "  # indented comment\n"
+      "c 0 10 0 1\n");
+  std::string error;
+  const auto loaded = readTrace(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->contactCount(), 1u);
+}
+
+TEST(TraceIo, HeaderOptionalNodeCountInferred) {
+  std::istringstream in("c 0 10 0 6\n");
+  std::string error;
+  const auto loaded = readTrace(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->nodeCount(), 7u);
+}
+
+TEST(TraceIo, MalformedTimesRejected) {
+  std::istringstream in("c zero 10 0 1\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceIo, UnknownRecordRejected) {
+  std::istringstream in("contact 0 10 0 1\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("unknown record"), std::string::npos);
+}
+
+TEST(TraceIo, InvalidContactRejected) {
+  std::istringstream in("c 10 5 0 1\n");  // end < start
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+}
+
+TEST(TraceIo, MalformedMemberRejected) {
+  std::istringstream in("c 0 10 0 xyz\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+}
+
+TEST(TraceIo, ReadSortsByStart) {
+  std::istringstream in(
+      "c 50 60 0 1\n"
+      "c 0 10 1 2\n");
+  std::string error;
+  const auto loaded = readTrace(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->contacts()[0].start, 0);
+  EXPECT_EQ(loaded->contacts()[1].start, 50);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const ContactTrace original = sampleTrace();
+  const std::string path = ::testing::TempDir() + "/hdtn_trace_io_test.txt";
+  std::string error;
+  ASSERT_TRUE(saveTraceFile(original, path, &error)) << error;
+  const auto loaded = loadTraceFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->contactCount(), original.contactCount());
+  EXPECT_FALSE(loadTraceFile(path + ".missing", &error).has_value());
+}
+
+// --- ONE simulator connectivity import ------------------------------------
+
+TEST(OneImport, PairsOpenAndClose) {
+  std::istringstream in(
+      "10 CONN 0 1 up\n"
+      "25 CONN 0 1 down\n"
+      "30 CONN 2 3 up\n"
+      "31 CONN 2 3 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->contactCount(), 2u);
+  EXPECT_EQ(trace->contacts()[0].start, 10);
+  EXPECT_EQ(trace->contacts()[0].end, 25);
+  EXPECT_EQ(trace->contacts()[1].members,
+            (std::vector<NodeId>{NodeId(2), NodeId(3)}));
+}
+
+TEST(OneImport, StillOpenPairsClosedAtEnd) {
+  std::istringstream in(
+      "5 CONN 0 1 up\n"
+      "50 CONN 2 3 up\n"
+      "60 CONN 2 3 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->contactCount(), 2u);
+  // Pair (0,1) closed at latest event time + 1.
+  EXPECT_EQ(trace->contacts()[0].start, 5);
+  EXPECT_EQ(trace->contacts()[0].end, 61);
+}
+
+TEST(OneImport, ReversedIdsMatch) {
+  std::istringstream in(
+      "10 CONN 5 2 up\n"
+      "20 CONN 2 5 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->contactCount(), 1u);
+  EXPECT_EQ(trace->contacts()[0].members,
+            (std::vector<NodeId>{NodeId(2), NodeId(5)}));
+}
+
+TEST(OneImport, UnmatchedDownIgnored) {
+  std::istringstream in("10 CONN 0 1 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->contactCount(), 0u);
+}
+
+TEST(OneImport, NonConnEventsSkipped) {
+  std::istringstream in(
+      "1 CREATE M1 0 5\n"
+      "10 CONN 0 1 up\n"
+      "20 CONN 0 1 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->contactCount(), 1u);
+}
+
+TEST(OneImport, MalformedRejected) {
+  std::istringstream bad("10 CONN 0 1 sideways\n");
+  std::string error;
+  EXPECT_FALSE(readOneTrace(bad, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  std::istringstream bad2("x CONN 0 1 up\n");
+  EXPECT_FALSE(readOneTrace(bad2, &error).has_value());
+}
+
+TEST(OneImport, FractionalTimesTruncated) {
+  std::istringstream in(
+      "10.75 CONN 0 1 up\n"
+      "20.25 CONN 0 1 down\n");
+  std::string error;
+  const auto trace = readOneTrace(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->contacts()[0].start, 10);
+  EXPECT_EQ(trace->contacts()[0].end, 20);
+}
+
+}  // namespace
+}  // namespace hdtn::trace

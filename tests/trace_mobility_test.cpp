@@ -1,0 +1,108 @@
+#include "src/trace/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_stats.hpp"
+
+namespace hdtn::trace {
+namespace {
+
+RandomWaypointParams smallParams() {
+  RandomWaypointParams p;
+  p.nodes = 20;
+  p.fieldWidth = 400.0;
+  p.fieldHeight = 400.0;
+  p.radioRange = 60.0;
+  p.duration = 2 * kHour;
+  p.tick = 10;
+  p.seed = 5;
+  return p;
+}
+
+TEST(RandomWaypoint, WalkerStaysInField) {
+  RandomWaypointParams p = smallParams();
+  Rng rng(3);
+  RandomWaypointWalker walker(p, rng.fork(1));
+  for (int step = 0; step < 5000; ++step) {
+    walker.advance(7);
+    const Position pos = walker.position();
+    ASSERT_GE(pos.x, 0.0);
+    ASSERT_LE(pos.x, p.fieldWidth);
+    ASSERT_GE(pos.y, 0.0);
+    ASSERT_LE(pos.y, p.fieldHeight);
+  }
+}
+
+TEST(RandomWaypoint, WalkerSpeedBounded) {
+  RandomWaypointParams p = smallParams();
+  p.maxPause = 0;  // so displacement reflects speed directly
+  Rng rng(7);
+  RandomWaypointWalker walker(p, rng.fork(2));
+  Position prev = walker.position();
+  for (int step = 0; step < 1000; ++step) {
+    walker.advance(10);
+    const Position cur = walker.position();
+    // In 10 s, at most maxSpeed * 10 meters (waypoint turns only shorten
+    // the straight-line displacement).
+    EXPECT_LE(distance(prev, cur), p.maxSpeed * 10.0 + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, TraceIsPairwiseAndDeterministic) {
+  const auto a = generateRandomWaypoint(smallParams());
+  const auto b = generateRandomWaypoint(smallParams());
+  EXPECT_TRUE(a.isPairwiseOnly());
+  ASSERT_EQ(a.contactCount(), b.contactCount());
+  for (std::size_t i = 0; i < a.contactCount(); ++i) {
+    EXPECT_EQ(a.contacts()[i], b.contacts()[i]);
+  }
+  EXPECT_GT(a.contactCount(), 0u);
+}
+
+TEST(RandomWaypoint, ContactsAlignedToTicks) {
+  const RandomWaypointParams p = smallParams();
+  const auto trace = generateRandomWaypoint(p);
+  for (const Contact& c : trace.contacts()) {
+    EXPECT_EQ(c.start % p.tick, 0);
+    EXPECT_GE(c.duration(), p.tick);
+  }
+}
+
+TEST(RandomWaypoint, LargerRangeMoreContactTime) {
+  RandomWaypointParams small = smallParams();
+  small.radioRange = 30.0;
+  RandomWaypointParams large = smallParams();
+  large.radioRange = 120.0;
+  const auto smallStats = summarize(generateRandomWaypoint(small));
+  const auto largeStats = summarize(generateRandomWaypoint(large));
+  const double smallTime =
+      smallStats.meanContactDuration * smallStats.contactCount;
+  const double largeTime =
+      largeStats.meanContactDuration * largeStats.contactCount;
+  EXPECT_GT(largeTime, smallTime);
+}
+
+TEST(RandomWaypoint, NoOverlappingIntervalsPerPair) {
+  const auto trace = generateRandomWaypoint(smallParams());
+  std::map<NodePair, SimTime> lastEnd;
+  for (const Contact& c : trace.contacts()) {
+    const NodePair pair = makePair(c.members[0], c.members[1]);
+    auto it = lastEnd.find(pair);
+    if (it != lastEnd.end()) {
+      EXPECT_GE(c.start, it->second) << "overlapping contacts for a pair";
+    }
+    lastEnd[pair] = std::max(lastEnd[pair], c.end);
+  }
+}
+
+TEST(RandomWaypoint, DifferentSeedsDiffer) {
+  RandomWaypointParams p = smallParams();
+  const auto a = generateRandomWaypoint(p);
+  p.seed = 6;
+  const auto b = generateRandomWaypoint(p);
+  EXPECT_NE(a.contactCount(), b.contactCount());
+}
+
+}  // namespace
+}  // namespace hdtn::trace

@@ -1,0 +1,84 @@
+#include "src/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn {
+namespace {
+
+ArgParser parse(std::vector<std::string> tokens) {
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  auto args = parse({"--seed=42", "--name=fox"});
+  EXPECT_EQ(args.getInt("seed", 0), 42);
+  EXPECT_EQ(args.getString("name", ""), "fox");
+}
+
+TEST(ArgParser, SpaceForm) {
+  auto args = parse({"--seed", "42"});
+  EXPECT_EQ(args.getInt("seed", 0), 42);
+}
+
+TEST(ArgParser, BareSwitch) {
+  auto args = parse({"--csv", "--seed=1"});
+  EXPECT_TRUE(args.getBool("csv", false));
+  EXPECT_FALSE(args.getBool("verbose", false));
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, BoolValues) {
+  auto args = parse({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_FALSE(args.getBool("b", true));
+  EXPECT_TRUE(args.getBool("c", false));
+  EXPECT_FALSE(args.getBool("d", true));
+}
+
+TEST(ArgParser, Defaults) {
+  auto args = parse({});
+  EXPECT_EQ(args.getInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+  EXPECT_EQ(args.getString("s", "dflt"), "dflt");
+}
+
+TEST(ArgParser, DoubleParsing) {
+  auto args = parse({"--rate=0.35"});
+  EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 0.35);
+}
+
+TEST(ArgParser, BadNumbersReportErrors) {
+  auto args = parse({"--n=abc", "--x=1.2.3"});
+  EXPECT_EQ(args.getInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 1.0), 1.0);
+  EXPECT_EQ(args.errors().size(), 2u);
+}
+
+TEST(ArgParser, PositionalCollected) {
+  auto args = parse({"input.txt", "--seed=1", "more"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(ArgParser, UnusedFlagsDetected) {
+  auto args = parse({"--seed=1", "--typo=2"});
+  EXPECT_EQ(args.getInt("seed", 0), 1);
+  const auto unused = args.unusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgParser, SwitchFollowedByFlag) {
+  auto args = parse({"--csv", "--seed=3"});
+  EXPECT_TRUE(args.getBool("csv", false));
+  EXPECT_EQ(args.getInt("seed", 0), 3);
+}
+
+}  // namespace
+}  // namespace hdtn

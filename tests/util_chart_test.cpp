@@ -1,0 +1,49 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn {
+namespace {
+
+TEST(AsciiChart, RendersTitleAndLegend) {
+  AsciiChart chart("my chart", {0.0, 1.0, 2.0});
+  chart.addSeries({"rising", '*', {0.0, 0.5, 1.0}});
+  const std::string out = chart.render(40, 10);
+  EXPECT_NE(out.find("my chart"), std::string::npos);
+  EXPECT_NE(out.find("* = rising"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyDataDoesNotCrash) {
+  AsciiChart chart("empty", {});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesGlyphsAppear) {
+  AsciiChart chart("two", {0.0, 1.0});
+  chart.addSeries({"a", 'a', {0.0, 1.0}});
+  chart.addSeries({"b", 'b', {1.0, 0.0}});
+  const std::string out = chart.render(30, 8);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesGetsPaddedRange) {
+  AsciiChart chart("flat", {0.0, 1.0, 2.0});
+  chart.addSeries({"flat", '*', {0.5, 0.5, 0.5}});
+  // Should render without dividing by a zero span.
+  const std::string out = chart.render(30, 8);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, FixedYRangeClampsPoints) {
+  AsciiChart chart("clamped", {0.0, 1.0});
+  chart.addSeries({"spike", '*', {0.5, 100.0}});
+  chart.setYRange(0.0, 1.0);
+  const std::string out = chart.render(30, 8);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdtn

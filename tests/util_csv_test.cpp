@@ -1,0 +1,58 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hdtn {
+namespace {
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.addRow({"plain", "1"});
+  t.addRow({"with,comma", "2"});
+  t.addRow({"with\"quote", "3"});
+  std::ostringstream out;
+  t.writeCsv(out);
+  EXPECT_EQ(out.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+TEST(Table, AlignedOutputHasHeaderRule) {
+  Table t({"x", "longer_header"});
+  t.addRow({"1", "2"});
+  std::ostringstream out;
+  t.writeAligned(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("x | longer_header"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(Table, DoubleRowsFormatting) {
+  Table t({"a", "b"});
+  t.addRow({1.0, 0.12345}, 3);
+  EXPECT_EQ(t.row(0)[0], "1.0");
+  EXPECT_EQ(t.row(0)[1], "0.123");
+}
+
+TEST(Table, FormatDoubleTrimsTrailingZeros) {
+  EXPECT_EQ(Table::formatDouble(1.5000, 4), "1.5");
+  EXPECT_EQ(Table::formatDouble(2.0, 4), "2.0");
+  EXPECT_EQ(Table::formatDouble(0.25, 2), "0.25");
+  EXPECT_EQ(Table::formatDouble(-3.14159, 3), "-3.142");
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[2], "3");
+}
+
+}  // namespace
+}  // namespace hdtn

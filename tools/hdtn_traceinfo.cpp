@@ -1,0 +1,90 @@
+// hdtn_traceinfo — descriptive statistics of a contact trace.
+//
+//   hdtn_traceinfo --trace=nus.trace [--frequent-days=1] [--one]
+//
+// --one parses the ONE simulator connectivity format instead of the hdtn
+// text format. Prints the summary, an inter-contact-time histogram, the
+// frequent-contact relation size, and space-time reachability from a few
+// sample sources.
+#include <cstdio>
+#include <fstream>
+
+#include "src/graph/space_time.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/trace/trace_stats.hpp"
+#include "src/util/args.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hdtn;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string tracePath = args.getString("trace", "");
+  const auto frequentDays = args.getInt("frequent-days", 1);
+  const bool oneFormat = args.getBool("one", false);
+  for (const auto& flag : args.unusedFlags()) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+  if (tracePath.empty()) {
+    std::fprintf(stderr,
+                 "usage: hdtn_traceinfo --trace=PATH [--frequent-days=N] "
+                 "[--one]\n");
+    return 2;
+  }
+
+  std::string error;
+  std::optional<trace::ContactTrace> trace;
+  if (oneFormat) {
+    std::ifstream is(tracePath);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot open %s\n", tracePath.c_str());
+      return 1;
+    }
+    trace = trace::readOneTrace(is, &error);
+  } else {
+    trace = trace::loadTraceFile(tracePath, &error);
+  }
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const trace::TraceSummary s = trace::summarize(*trace);
+  std::printf("trace %s\n", trace->name().c_str());
+  std::printf("  nodes: %zu, contacts: %zu (%s)\n", s.nodeCount,
+              s.contactCount,
+              trace->isPairwiseOnly() ? "pairwise" : "clique");
+  std::printf("  span: %.2f days\n",
+              static_cast<double>(s.span) / static_cast<double>(kDay));
+  std::printf("  mean contact duration: %.1f s, mean clique size: %.2f\n",
+              s.meanContactDuration, s.meanCliqueSize);
+  std::printf("  contacts per node-day: %.2f\n",
+              s.meanContactsPerNodePerDay);
+  std::printf("  mean inter-contact time: %.2f h\n",
+              s.meanInterContactTime / 3600.0);
+
+  const auto frequent =
+      trace::frequentContactPairs(*trace, frequentDays * kDay);
+  std::printf("  frequent pairs (contact every %lld day(s)): %zu\n",
+              static_cast<long long>(frequentDays), frequent.size());
+
+  SampleSet gaps = trace::interContactTimes(*trace);
+  if (gaps.count() > 0) {
+    std::printf("\ninter-contact times (s): p50 %.0f, p90 %.0f, p99 %.0f\n",
+                gaps.quantile(0.5), gaps.quantile(0.9), gaps.quantile(0.99));
+    Histogram hist(0.0, gaps.quantile(0.99) + 1.0, 10);
+    for (double g : gaps.samples()) hist.add(g);
+    std::printf("%s", hist.render(40).c_str());
+  }
+
+  // Space-time reachability from the three lowest node ids at t = 0: the
+  // fraction of the network a message could ever reach.
+  const graph::SpaceTimeGraph stg(*trace);
+  std::printf("\nspace-time reachability from t=0:\n");
+  for (std::uint32_t n = 0; n < 3 && n < trace->nodeCount(); ++n) {
+    std::printf("  node %u reaches %.0f%% of the network\n", n,
+                100.0 * stg.reachability(NodeId(n), 0));
+  }
+  return 0;
+}
