@@ -36,21 +36,45 @@ void BM_Sha1_256KiB(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha1_256KiB);
 
-void BM_MaximalCliques(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng(42);
+AdjacencyGraph randomGraph(std::uint32_t n, double edgeChance,
+                           std::uint64_t seed) {
+  Rng rng(seed);
   AdjacencyGraph graph;
   for (std::uint32_t i = 0; i < n; ++i) graph.addNode(NodeId(i));
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) {
-      if (rng.chance(0.5)) graph.addEdge(NodeId(i), NodeId(j));
+      if (rng.chance(edgeChance)) graph.addEdge(NodeId(i), NodeId(j));
     }
   }
+  return graph;
+}
+
+void BM_MaximalCliques(benchmark::State& state) {
+  const auto graph =
+      randomGraph(static_cast<std::uint32_t>(state.range(0)), 0.5, 42);
   for (auto _ : state) {
     benchmark::DoNotOptimize(maximalCliques(graph));
   }
 }
 BENCHMARK(BM_MaximalCliques)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_MaximalCliquesContaining(benchmark::State& state) {
+  const auto graph =
+      randomGraph(static_cast<std::uint32_t>(state.range(0)), 0.5, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximalCliquesContaining(graph, NodeId(0)));
+  }
+}
+BENCHMARK(BM_MaximalCliquesContaining)->Arg(16)->Arg(24);
+
+void BM_PartitionIntoCliques(benchmark::State& state) {
+  const auto graph =
+      randomGraph(static_cast<std::uint32_t>(state.range(0)), 0.5, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitionIntoCliques(graph));
+  }
+}
+BENCHMARK(BM_PartitionIntoCliques)->Arg(16)->Arg(24);
 
 InternetServices makeCatalog(int files) {
   InternetServices internet;
@@ -75,32 +99,66 @@ void BM_QueryMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryMatch);
 
-void BM_PlanDiscovery(benchmark::State& state) {
-  const auto members = static_cast<std::size_t>(state.range(0));
-  InternetServices internet = makeCatalog(150);
-  Rng rng(9);
-  std::vector<MetadataStore> stores(members);
-  std::vector<CreditLedger> ledgers(members);
+// Shared fixture for the discovery-planning benchmarks.
+struct DiscoveryFixture {
+  InternetServices internet;
+  std::vector<MetadataStore> stores;
+  std::vector<CreditLedger> ledgers;
   std::vector<DiscoveryPeer> peers;
-  for (std::size_t i = 0; i < members; ++i) {
-    for (FileId f : internet.catalog().allFiles()) {
-      if (rng.chance(0.4)) stores[i].add(internet.catalog().metadataFor(f));
+
+  explicit DiscoveryFixture(std::size_t members)
+      : internet(makeCatalog(150)), stores(members), ledgers(members) {
+    Rng rng(9);
+    for (std::size_t i = 0; i < members; ++i) {
+      for (FileId f : internet.catalog().allFiles()) {
+        if (rng.chance(0.4)) stores[i].add(internet.catalog().metadataFor(f));
+      }
+      DiscoveryPeer peer;
+      peer.id = NodeId(static_cast<std::uint32_t>(i));
+      peer.store = &stores[i];
+      const FileId wanted(static_cast<std::uint32_t>(rng.pickIndex(150)));
+      peer.queries = {
+          canonicalQueryText(*internet.catalog().find(wanted))};
+      peer.credits = &ledgers[i];
+      for (std::size_t p = 0; p < members; ++p) {
+        ledgers[i].addCredit(NodeId(static_cast<std::uint32_t>(p)),
+                             rng.uniform(0.0, 10.0));
+      }
+      peers.push_back(std::move(peer));
     }
-    DiscoveryPeer peer;
-    peer.id = NodeId(static_cast<std::uint32_t>(i));
-    peer.store = &stores[i];
-    const FileId wanted(static_cast<std::uint32_t>(rng.pickIndex(150)));
-    peer.queries = {
-        canonicalQueryText(*internet.catalog().find(wanted))};
-    peer.credits = &ledgers[i];
-    peers.push_back(std::move(peer));
   }
+};
+
+void BM_PlanDiscovery(benchmark::State& state) {
+  DiscoveryFixture fx(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planDiscovery(peers, 10,
+    benchmark::DoNotOptimize(planDiscovery(fx.peers, 10,
                                            Scheduling::kCooperative));
   }
 }
 BENCHMARK(BM_PlanDiscovery)->Arg(2)->Arg(8)->Arg(20);
+
+void BM_PlanDiscoveryTft(benchmark::State& state) {
+  DiscoveryFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planDiscovery(fx.peers, 10,
+                                           Scheduling::kTitForTat));
+  }
+}
+BENCHMARK(BM_PlanDiscoveryTft)->Arg(2)->Arg(8)->Arg(20);
+
+void BM_MetadataStoreViews(benchmark::State& state) {
+  InternetServices internet = makeCatalog(200);
+  MetadataStore store;
+  for (FileId f : internet.catalog().allFiles()) {
+    store.add(internet.catalog().metadataFor(f));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.all());
+    benchmark::DoNotOptimize(store.byPopularity());
+  }
+}
+BENCHMARK(BM_MetadataStoreViews);
 
 void BM_PlanDownload(benchmark::State& state) {
   const auto members = static_cast<std::size_t>(state.range(0));
@@ -174,4 +232,24 @@ BENCHMARK(BM_EngineNusRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can ask for machine-readable output with a stable flag:
+// `bench_micro --json` is rewritten to google-benchmark's
+// `--benchmark_format=json` before Initialize sees the arguments.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (auto& arg : args) {
+    if (arg == "--json") arg = "--benchmark_format=json";
+  }
+  std::vector<char*> rewritten;
+  rewritten.reserve(args.size());
+  for (auto& arg : args) rewritten.push_back(arg.data());
+  int rewrittenArgc = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&rewrittenArgc, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(rewrittenArgc,
+                                             rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "bench/harness.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string_view>
@@ -11,6 +13,7 @@
 #include "src/trace/trace_stats.hpp"
 #include "src/util/ascii_chart.hpp"
 #include "src/util/csv.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/string_util.hpp"
 
 namespace hdtn::bench {
@@ -35,6 +38,31 @@ int resolveSeeds(int fallback, int argc, char** argv) {
     return std::max(1, std::atoi(env));
   }
   return fallback;
+}
+
+unsigned resolveThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (hdtn::startsWith(arg, "--threads=")) {
+      return static_cast<unsigned>(
+          std::max(1, std::atoi(arg.substr(10).data())));
+    }
+  }
+  return defaultThreadCount();
+}
+
+/// Empty when --json was not given; otherwise the output path ("--json"
+/// defaults to BENCH_<figure id>.json in the working directory).
+std::string resolveJsonPath(const std::string& figureId, int argc,
+                            char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") return "BENCH_" + figureId + ".json";
+    if (hdtn::startsWith(arg, "--json=")) {
+      return std::string(arg.substr(7));
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -82,52 +110,95 @@ std::vector<double> accessFractionSweep() {
 
 int runFigure(FigureSpec spec, int argc, char** argv) {
   const int seeds = resolveSeeds(spec.seeds, argc, argv);
+  const unsigned threads = resolveThreads(argc, argv);
+  const std::string jsonPath = resolveJsonPath(spec.id, argc, argv);
   std::cout << "=== " << spec.id << ": " << spec.title << " ===\n"
             << "x-axis: " << spec.xLabel << "; " << seeds
-            << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM\n\n";
+            << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
+            << threads << " thread(s)\n\n";
 
-  // Traces cached per (seed, x-if-relevant).
+  const auto startedAt = std::chrono::steady_clock::now();
+
+  // Traces are shared read-only across simulation tasks, so they are
+  // materialized first (in parallel — generation is itself a measurable
+  // slice of the wall clock), keyed by (seed, x-if-relevant).
   std::map<std::pair<int, int>, trace::ContactTrace> traceCache;
-  auto traceFor = [&](std::size_t xi, int seed) -> const trace::ContactTrace& {
-    const int xKey = spec.traceDependsOnX ? static_cast<int>(xi) : -1;
-    auto key = std::make_pair(seed, xKey);
-    auto it = traceCache.find(key);
-    if (it == traceCache.end()) {
-      it = traceCache
-               .emplace(key, spec.makeTrace(spec.xs[xi],
-                                            static_cast<std::uint64_t>(seed)))
-               .first;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    if (spec.traceDependsOnX) {
+      for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+        traceCache.try_emplace({seed, static_cast<int>(xi)});
+      }
+    } else {
+      traceCache.try_emplace({seed, -1});
     }
-    return it->second;
+  }
+  {
+    std::vector<std::map<std::pair<int, int>,
+                         trace::ContactTrace>::iterator> slots;
+    for (auto it = traceCache.begin(); it != traceCache.end(); ++it) {
+      slots.push_back(it);
+    }
+    parallelFor(slots.size(), threads, [&](std::size_t i) {
+      const auto [seed, xKey] = slots[i]->first;
+      const double x = xKey < 0 ? spec.xs.front()
+                                : spec.xs[static_cast<std::size_t>(xKey)];
+      slots[i]->second =
+          spec.makeTrace(x, static_cast<std::uint64_t>(seed));
+    });
+  }
+  const auto traceFor = [&](std::size_t xi,
+                            int seed) -> const trace::ContactTrace& {
+    const int xKey = spec.traceDependsOnX ? static_cast<int>(xi) : -1;
+    return traceCache.at({seed, xKey});
   };
+
+  // One task per (x, protocol, seed); every task writes its own slot, so the
+  // report below is identical for any thread count.
+  const std::size_t points = spec.xs.size();
+  std::vector<double> mdRatio(points * 3 * static_cast<std::size_t>(seeds));
+  std::vector<double> fileRatio(mdRatio.size());
+  parallelFor(mdRatio.size(), threads, [&](std::size_t task) {
+    const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
+    const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
+    const std::size_t pi = rest / static_cast<std::size_t>(seeds);
+    const int seed = static_cast<int>(rest % static_cast<std::size_t>(seeds)) + 1;
+    EngineParams params = spec.base;
+    params.protocol.kind = kProtocols[pi];
+    params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
+    spec.apply(params, spec.xs[xi]);
+    const EngineResult result =
+        core::runSimulation(traceFor(xi, seed), params);
+    mdRatio[task] = result.delivery.metadataRatio;
+    fileRatio[task] = result.delivery.fileRatio;
+  });
+
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    startedAt)
+          .count();
 
   // series[protocol] -> per-x mean ratios.
   std::vector<std::vector<double>> metadataSeries(3), fileSeries(3);
-
   Table table({spec.xLabel, "MBT md", "MBT-Q md", "MBT-QM md", "MBT file",
                "MBT-Q file", "MBT-QM file"});
-  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
-    const double x = spec.xs[xi];
+  for (std::size_t xi = 0; xi < points; ++xi) {
     std::vector<double> mdMeans(3, 0.0), fileMeans(3, 0.0);
     for (std::size_t pi = 0; pi < 3; ++pi) {
       double mdSum = 0.0, fileSum = 0.0;
       for (int seed = 1; seed <= seeds; ++seed) {
-        EngineParams params = spec.base;
-        params.protocol.kind = kProtocols[pi];
-        params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
-        spec.apply(params, x);
-        const EngineResult result =
-            core::runSimulation(traceFor(xi, seed), params);
-        mdSum += result.delivery.metadataRatio;
-        fileSum += result.delivery.fileRatio;
+        const std::size_t task =
+            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
+            static_cast<std::size_t>(seed - 1);
+        mdSum += mdRatio[task];
+        fileSum += fileRatio[task];
       }
       mdMeans[pi] = mdSum / seeds;
       fileMeans[pi] = fileSum / seeds;
       metadataSeries[pi].push_back(mdMeans[pi]);
       fileSeries[pi].push_back(fileMeans[pi]);
     }
-    table.addRow({x, mdMeans[0], mdMeans[1], mdMeans[2], fileMeans[0],
-                  fileMeans[1], fileMeans[2]});
+    table.addRow({spec.xs[xi], mdMeans[0], mdMeans[1], mdMeans[2],
+                  fileMeans[0], fileMeans[1], fileMeans[2]});
   }
 
   table.writeAligned(std::cout);
@@ -146,6 +217,36 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
     fileChart.addSeries({name, glyphs[pi], fileSeries[pi]});
   }
   std::cout << mdChart.render() << "\n" << fileChart.render() << std::endl;
+  std::cout << "wall-clock: " << wallSeconds << " s (" << threads
+            << " thread(s), " << seeds << " seed(s))" << std::endl;
+
+  if (!jsonPath.empty()) {
+    std::ofstream json(jsonPath);
+    if (!json) {
+      std::cerr << "cannot write " << jsonPath << "\n";
+      return 1;
+    }
+    json << "{\n"
+         << "  \"figure\": \"" << spec.id << "\",\n"
+         << "  \"title\": \"" << spec.title << "\",\n"
+         << "  \"x_label\": \"" << spec.xLabel << "\",\n"
+         << "  \"seeds\": " << seeds << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"wall_seconds\": " << wallSeconds << ",\n"
+         << "  \"series\": [\n";
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
+           << "\", \"points\": [";
+      for (std::size_t xi = 0; xi < points; ++xi) {
+        json << (xi == 0 ? "" : ", ") << "{\"x\": " << spec.xs[xi]
+             << ", \"metadata_ratio\": " << metadataSeries[pi][xi]
+             << ", \"file_ratio\": " << fileSeries[pi][xi] << "}";
+      }
+      json << "]}" << (pi + 1 < 3 ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "json written to " << jsonPath << std::endl;
+  }
   return 0;
 }
 

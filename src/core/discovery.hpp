@@ -48,6 +48,11 @@ struct DiscoveryPeer {
   /// Query strings this member wants served: its own plus, under MBT, the
   /// stored queries of its frequent contacts.
   std::vector<std::string> queries;
+  /// Optional pre-tokenized form of `queries` (one token list per query).
+  /// When set, the planner matches against these and never tokenizes (or
+  /// reads) `queries` — the engine points this at Node::contactQueryTokens
+  /// so tokenization happens once per query, not once per contact.
+  const std::vector<std::vector<std::string>>* tokenizedQueries = nullptr;
   /// The member's credit ledger (used when it is the sender under TFT).
   const CreditLedger* credits = nullptr;
   /// Free-riders set this false: they receive but never send.
@@ -68,6 +73,14 @@ struct MetadataBroadcast {
 /// at most once (after a broadcast every member holds it). Deterministic in
 /// its inputs.
 [[nodiscard]] std::vector<MetadataBroadcast> planDiscovery(
+    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling);
+
+/// Naive reference planner, retained for equivalence testing: the direct
+/// transcription of the paper's scheduling rules with no indexing (the
+/// tit-for-tat loop rescans every candidate each turn). Must produce output
+/// byte-identical to planDiscovery on any input; see
+/// core_planner_property_test.cpp.
+[[nodiscard]] std::vector<MetadataBroadcast> planDiscoveryReference(
     std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling);
 
 }  // namespace hdtn::core

@@ -278,8 +278,8 @@ void Engine::syncAccessNode(Node& node, SimTime now) {
   //    epoch: re-searching between publications cannot find anything new.
   std::vector<std::string> texts = node.activeQueryTexts(now);
   if (params_.protocol.distributesQueries()) {
-    for (auto& text : node.proxiedQueryTexts(now)) {
-      texts.push_back(std::move(text));
+    for (const auto& text : node.proxiedQueryTexts(now)) {
+      texts.push_back(text);
     }
   }
   auto& searched = cache.searchCache[node.id().value];
@@ -404,12 +404,11 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
     peer.store = &m->metadata();
     peer.rejected = &m->rejectedMetadata();
     peer.distrustedSenders = &m->distrustedPeers();
-    peer.queries = m->activeQueryTexts(now);
-    if (params_.protocol.distributesQueries()) {
-      for (auto& text : m->proxiedQueryTexts(now)) {
-        peer.queries.push_back(std::move(text));
-      }
-    }
+    // Pre-tokenized own (plus, under MBT, proxied) queries straight from the
+    // node's per-contact cache — no per-contact string copies or
+    // re-tokenization.
+    peer.tokenizedQueries =
+        &m->contactQueryTokens(now, params_.protocol.distributesQueries());
     peer.credits = &m->credits();
     peer.contributes = m->contributes();
     peers.push_back(std::move(peer));
@@ -420,8 +419,6 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
                     params_.protocol.scheduling);
   totals_.metadataBroadcasts += plan.size();
 
-  std::unordered_map<NodeId, Node*> byId;
-  for (Node* m : members) byId[m->id()] = m;
   for (const MetadataBroadcast& b : plan) {
     const Metadata& md = *b.metadata;
     for (Node* m : members) {
@@ -529,11 +526,10 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       if (!any) break;
     }
     totals_.pieceBroadcasts += transfers.size();
-    std::unordered_map<NodeId, Node*> byId;
-    for (Node* m : members) byId[m->id()] = m;
     for (const PieceTransfer& t : transfers) {
       const FileInfo* info = internet_.catalog().find(t.file);
-      Node* receiver = byId.at(t.receiver);
+      // Node ids are dense indices into nodes_; no per-contact map needed.
+      Node* receiver = &node(t.receiver);
       if (info == nullptr ||
           receiver->pieces().hasPiece(t.file, t.piece)) {
         continue;

@@ -6,6 +6,15 @@
 
 namespace hdtn::core {
 
+std::uint64_t keywordHash(std::string_view token) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 void Metadata::rebuildKeywords() {
   keywords.clear();
   for (const std::string& source : {name, publisher, description}) {
@@ -16,6 +25,12 @@ void Metadata::rebuildKeywords() {
   std::sort(keywords.begin(), keywords.end());
   keywords.erase(std::unique(keywords.begin(), keywords.end()),
                  keywords.end());
+  keywordHashes.clear();
+  keywordHashes.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    keywordHashes.push_back(keywordHash(kw));
+  }
+  std::sort(keywordHashes.begin(), keywordHashes.end());
 }
 
 std::string Metadata::authPayload() const {

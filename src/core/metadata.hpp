@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,9 @@
 #include "src/util/types.hpp"
 
 namespace hdtn::core {
+
+/// FNV-1a over the token bytes — the hash behind Metadata::keywordHashes.
+[[nodiscard]] std::uint64_t keywordHash(std::string_view token);
 
 struct Metadata {
   FileId file;
@@ -39,8 +43,12 @@ struct Metadata {
   /// and the catalog fills it at publish time so query matching is a binary
   /// search instead of re-tokenizing.
   std::vector<std::string> keywords;
+  /// Sorted FNV-1a hashes of `keywords` (also derived; rebuilt together).
+  /// Query matching probes these first — a u64 binary search — and only
+  /// falls back to the string keywords to confirm a hash hit.
+  std::vector<std::uint64_t> keywordHashes;
 
-  /// Recomputes `keywords` from the text fields.
+  /// Recomputes `keywords` (and their hashes) from the text fields.
   void rebuildKeywords();
 
   [[nodiscard]] std::uint32_t pieceCount() const {

@@ -6,8 +6,12 @@ namespace hdtn::core {
 
 bool MetadataStore::add(const Metadata& md) {
   auto [it, inserted] = records_.try_emplace(md.file, md);
-  if (!inserted && md.popularity > it->second.popularity) {
+  if (inserted) {
+    ++generation_;
+  } else if (md.popularity > it->second.popularity) {
+    // Popularity refresh reorders byPopularity(): also a mutation.
     it->second.popularity = md.popularity;
+    ++generation_;
   }
   return inserted;
 }
@@ -20,33 +24,46 @@ const Metadata* MetadataStore::get(FileId file) const {
 }
 
 std::size_t MetadataStore::expire(SimTime now) {
-  return std::erase_if(records_, [now](const auto& kv) {
+  const std::size_t dropped = std::erase_if(records_, [now](const auto& kv) {
     return kv.second.expired(now);
   });
+  if (dropped > 0) ++generation_;
+  return dropped;
 }
 
-void MetadataStore::remove(FileId file) { records_.erase(file); }
-
-std::vector<const Metadata*> MetadataStore::all() const {
-  std::vector<const Metadata*> out;
-  out.reserve(records_.size());
-  for (const auto& [_, md] : records_) out.push_back(&md);
-  std::sort(out.begin(), out.end(), [](const Metadata* a, const Metadata* b) {
-    return a->file < b->file;
-  });
-  return out;
+void MetadataStore::remove(FileId file) {
+  if (records_.erase(file) > 0) ++generation_;
 }
 
-std::vector<const Metadata*> MetadataStore::byPopularity() const {
-  std::vector<const Metadata*> out = all();
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Metadata* a, const Metadata* b) {
-                     if (a->popularity != b->popularity) {
-                       return a->popularity > b->popularity;
-                     }
-                     return a->file < b->file;
-                   });
-  return out;
+std::span<const Metadata* const> MetadataStore::all() const {
+  if (allView_.generation != generation_) {
+    allView_.items.clear();
+    allView_.items.reserve(records_.size());
+    for (const auto& [_, md] : records_) allView_.items.push_back(&md);
+    std::sort(allView_.items.begin(), allView_.items.end(),
+              [](const Metadata* a, const Metadata* b) {
+                return a->file < b->file;
+              });
+    allView_.generation = generation_;
+  }
+  return allView_.items;
+}
+
+std::span<const Metadata* const> MetadataStore::byPopularity() const {
+  if (popularityView_.generation != generation_) {
+    const auto sorted = all();
+    popularityView_.items.assign(sorted.begin(), sorted.end());
+    std::stable_sort(popularityView_.items.begin(),
+                     popularityView_.items.end(),
+                     [](const Metadata* a, const Metadata* b) {
+                       if (a->popularity != b->popularity) {
+                         return a->popularity > b->popularity;
+                       }
+                       return a->file < b->file;
+                     });
+    popularityView_.generation = generation_;
+  }
+  return popularityView_.items;
 }
 
 }  // namespace hdtn::core

@@ -4,8 +4,17 @@
 // local storage of the node" (paper Section III-B). Metadata is keyed by
 // FileId (equivalently its URI), expires with its file's TTL, and can be
 // enumerated in popularity order for the push phases of discovery.
+//
+// Enumeration views (all(), byPopularity()) are cached: the store keeps a
+// generation counter bumped on every mutation, and each view is rebuilt
+// lazily only when its cached generation falls behind. The per-contact hot
+// path (every peer's store enumerated once per contact) therefore sorts
+// nothing and allocates nothing in the steady state. Returned spans are
+// invalidated by any non-const call, like iterators of a standard container.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -31,14 +40,28 @@ class MetadataStore {
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] bool empty() const { return records_.empty(); }
 
-  /// All records, file-id ascending.
-  [[nodiscard]] std::vector<const Metadata*> all() const;
+  /// All records, file-id ascending. Valid until the next mutation.
+  [[nodiscard]] std::span<const Metadata* const> all() const;
 
-  /// All records, popularity descending (ties by file id ascending).
-  [[nodiscard]] std::vector<const Metadata*> byPopularity() const;
+  /// All records, popularity descending (ties by file id ascending). Valid
+  /// until the next mutation.
+  [[nodiscard]] std::span<const Metadata* const> byPopularity() const;
+
+  /// Mutation counter, for callers layering their own caches on top.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
  private:
+  struct CachedView {
+    std::uint64_t generation = 0;  // valid when == store generation (> 0)
+    std::vector<const Metadata*> items;
+  };
+
   std::unordered_map<FileId, Metadata> records_;
+  // Generation 0 means "no view built yet"; every mutation bumps it, so a
+  // view stamped with the current generation is exact.
+  std::uint64_t generation_ = 1;
+  mutable CachedView allView_;
+  mutable CachedView popularityView_;
 };
 
 }  // namespace hdtn::core

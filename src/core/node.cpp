@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/util/string_util.hpp"
+
 namespace hdtn::core {
 
 Node::Node(NodeId id, NodeOptions options)
@@ -14,16 +16,49 @@ Node::Node(NodeId id, NodeOptions options)
 void Node::addQuery(const Query& query) {
   QueryState state;
   state.query = query;
+  state.tokens = keywordTokens(query.text);
   queries_.push_back(std::move(state));
+  touch();
 }
 
-std::vector<std::string> Node::activeQueryTexts(SimTime now) const {
-  std::vector<std::string> out;
-  for (const QueryState& qs : queries_) {
-    if (qs.metadataFound || qs.query.expired(now)) continue;
-    out.push_back(qs.query.text);
+const std::vector<std::string>& Node::activeQueryTexts(SimTime now) const {
+  auto& cache = activeTextsCache_;
+  if (cache.generation != stateGen_ || cache.at != now) {
+    cache.value.clear();
+    for (const QueryState& qs : queries_) {
+      if (qs.metadataFound || qs.query.expired(now)) continue;
+      cache.value.push_back(qs.query.text);
+    }
+    cache.generation = stateGen_;
+    cache.at = now;
   }
-  return out;
+  return cache.value;
+}
+
+const std::vector<std::vector<std::string>>& Node::contactQueryTokens(
+    SimTime now, bool includeProxied) const {
+  auto& own = ownTokensCache_;
+  if (own.generation != stateGen_ || own.at != now) {
+    own.value.clear();
+    for (const QueryState& qs : queries_) {
+      if (qs.metadataFound || qs.query.expired(now)) continue;
+      own.value.push_back(qs.tokens);
+    }
+    own.generation = stateGen_;
+    own.at = now;
+  }
+  if (!includeProxied) return own.value;
+
+  auto& combined = combinedTokensCache_;
+  if (combined.generation != stateGen_ || combined.at != now) {
+    combined.value = own.value;
+    for (const std::string& text : proxiedQueryTexts(now)) {
+      combined.value.push_back(keywordTokens(text));
+    }
+    combined.generation = stateGen_;
+    combined.at = now;
+  }
+  return combined.value;
 }
 
 std::vector<FileId> Node::wantedFiles(SimTime now) const {
@@ -40,7 +75,7 @@ bool Node::anyQueryMatches(const Metadata& md, SimTime now) const {
   return std::any_of(queries_.begin(), queries_.end(),
                      [&](const QueryState& qs) {
                        return !qs.metadataFound && !qs.query.expired(now) &&
-                              queryMatches(qs.query.text, md);
+                              queryTokensMatch(qs.tokens, md);
                      });
 }
 
@@ -51,10 +86,11 @@ std::vector<QueryId> Node::acceptMetadata(const Metadata& md, SimTime now) {
     rejectedMetadata_.insert(md.file);
     return selected;
   }
+  touch();
   metadata_.add(md);
   for (QueryState& qs : queries_) {
     if (qs.metadataFound || qs.query.expired(now)) continue;
-    if (!queryMatches(qs.query.text, md)) continue;
+    if (!queryTokensMatch(qs.tokens, md)) continue;
     // The simulated user examines the match and selects it for download.
     qs.metadataFound = true;
     qs.chosenFile = md.file;
@@ -72,6 +108,7 @@ std::vector<QueryId> Node::acceptPiece(FileId file, std::uint32_t piece,
   pieces_.registerFile(file, pieceCount);
   pieces_.addPiece(file, piece);
   if (!pieces_.isComplete(file)) return satisfied;
+  touch();
   for (QueryState& qs : queries_) {
     if (!qs.metadataFound || qs.fileFound || qs.chosenFile != file) continue;
     if (qs.query.expired(now)) continue;
@@ -89,12 +126,13 @@ void Node::noteRejectedFrom(NodeId sender) {
 
 void Node::expire(SimTime now) {
   metadata_.expire(now);
-  std::erase_if(peerQueries_, [&](const auto& kv) {
+  const auto droppedQueries = std::erase_if(peerQueries_, [&](const auto& kv) {
     return now - kv.second.storedAt > cooperativeTtl_;
   });
   std::erase_if(peerWants_, [&](const auto& kv) {
     return now - kv.second > cooperativeTtl_;
   });
+  if (droppedQueries > 0) touch();
 }
 
 void Node::setFrequentContacts(std::vector<NodeId> contacts) {
@@ -111,15 +149,22 @@ void Node::storePeerQueries(NodeId peer, std::vector<std::string> texts,
                             SimTime now) {
   if (!isFrequentContact(peer)) return;
   peerQueries_[peer] = StoredQueries{std::move(texts), now};
+  touch();
 }
 
-std::vector<std::string> Node::proxiedQueryTexts(SimTime now) const {
-  std::set<std::string> out;
-  for (const auto& [peer, stored] : peerQueries_) {
-    if (now - stored.storedAt > cooperativeTtl_) continue;
-    out.insert(stored.texts.begin(), stored.texts.end());
+const std::vector<std::string>& Node::proxiedQueryTexts(SimTime now) const {
+  auto& cache = proxiedTextsCache_;
+  if (cache.generation != stateGen_ || cache.at != now) {
+    std::set<std::string> texts;
+    for (const auto& [peer, stored] : peerQueries_) {
+      if (now - stored.storedAt > cooperativeTtl_) continue;
+      texts.insert(stored.texts.begin(), stored.texts.end());
+    }
+    cache.value.assign(texts.begin(), texts.end());
+    cache.generation = stateGen_;
+    cache.at = now;
   }
-  return {out.begin(), out.end()};
+  return cache.value;
 }
 
 void Node::storePeerWants(const std::vector<Uri>& uris, SimTime now) {

@@ -61,8 +61,19 @@ class Node {
   void addQuery(const Query& query);
 
   /// Texts of queries still searching for metadata at `now` (advertised in
-  /// hellos).
-  [[nodiscard]] std::vector<std::string> activeQueryTexts(SimTime now) const;
+  /// hellos). Cached per (state generation, now): the engine asks several
+  /// times per contact (hello, discovery, download) and only the first call
+  /// does any work. The reference is valid until the node state mutates.
+  [[nodiscard]] const std::vector<std::string>& activeQueryTexts(
+      SimTime now) const;
+
+  /// Tokenized forms of the queries this node wants served during a contact:
+  /// its own active queries plus, when `includeProxied`, the stored queries
+  /// of its frequent contacts (MBT). Query texts are tokenized once when
+  /// first seen, not per contact; the combined list is cached like
+  /// activeQueryTexts. Feed to DiscoveryPeer::tokenizedQueries.
+  [[nodiscard]] const std::vector<std::vector<std::string>>&
+  contactQueryTokens(SimTime now, bool includeProxied) const;
 
   /// Files the node is currently downloading: a metadata was selected for
   /// an unexpired query and the file is not yet complete.
@@ -74,6 +85,9 @@ class Node {
   /// Per-query state, for metrics and tests.
   struct QueryState {
     Query query;
+    /// query.text tokenized once at addQuery time (hot paths match against
+    /// tokens; the text itself is only sent in hellos).
+    std::vector<std::string> tokens;
     bool metadataFound = false;
     FileId chosenFile;  ///< valid once metadataFound
     bool fileFound = false;
@@ -142,8 +156,9 @@ class Node {
                         SimTime now);
 
   /// Stored frequent-contact query texts still fresh at `now` (deduplicated,
-  /// sorted).
-  [[nodiscard]] std::vector<std::string> proxiedQueryTexts(SimTime now) const;
+  /// sorted). Cached like activeQueryTexts; valid until the next mutation.
+  [[nodiscard]] const std::vector<std::string>& proxiedQueryTexts(
+      SimTime now) const;
 
   /// Remembers URIs that peers advertised as wanted ("requesting URIs").
   void storePeerWants(const std::vector<Uri>& uris, SimTime now);
@@ -174,6 +189,28 @@ class Node {
   std::unordered_map<NodeId, StoredQueries> peerQueries_;
   std::unordered_map<Uri, SimTime> peerWants_;
   Duration cooperativeTtl_ = 3 * kDay;
+
+  // --- per-contact caches -------------------------------------------------
+  // The engine asks for the same derived views several times per contact
+  // (hello exchange, discovery planning, access sync), always at the same
+  // `now`. Each cache is valid while (generation, now) both match; any
+  // mutation of query/cooperative state bumps stateGen_ (0 is reserved so
+  // default-constructed caches start stale).
+  template <typename T>
+  struct ContactCache {
+    std::uint64_t generation = 0;
+    SimTime at = 0;
+    T value;
+  };
+  void touch() { ++stateGen_; }
+
+  std::uint64_t stateGen_ = 1;
+  mutable ContactCache<std::vector<std::string>> activeTextsCache_;
+  mutable ContactCache<std::vector<std::string>> proxiedTextsCache_;
+  mutable ContactCache<std::vector<std::vector<std::string>>>
+      ownTokensCache_;
+  mutable ContactCache<std::vector<std::vector<std::string>>>
+      combinedTokensCache_;
 };
 
 }  // namespace hdtn::core

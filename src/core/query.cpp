@@ -1,39 +1,49 @@
 #include "src/core/query.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/util/string_util.hpp"
 
 namespace hdtn::core {
 namespace {
 
-// Uses the precomputed sorted keyword list when present; otherwise builds
-// one on the fly (hand-constructed Metadata in tests).
+// Tokenizes just the searchable text fields of a record into a sorted,
+// deduplicated local vector — the shape rebuildKeywords() produces — without
+// copying the whole Metadata (piece checksums, auth tag) the way a
+// `Metadata scratch = md` fallback would.
+std::vector<std::string> tokenizeTextFields(const Metadata& md) {
+  std::vector<std::string> keywords;
+  for (const std::string* source : {&md.name, &md.publisher, &md.description}) {
+    for (auto& token : keywordTokens(*source)) {
+      keywords.push_back(std::move(token));
+    }
+  }
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+  return keywords;
+}
+
+// Uses the precomputed sorted keyword list when present; otherwise tokenizes
+// the text fields on the fly (hand-constructed Metadata in tests).
 bool containsAllTokens(const std::vector<std::string>& queryTokens,
                        const Metadata& md) {
   if (queryTokens.empty()) return false;
-  if (!md.keywords.empty()) {
+  const auto matchAgainst = [&queryTokens](
+                                const std::vector<std::string>& keywords) {
     return std::all_of(queryTokens.begin(), queryTokens.end(),
-                       [&md](const std::string& kw) {
-                         return std::binary_search(md.keywords.begin(),
-                                                   md.keywords.end(), kw);
+                       [&keywords](const std::string& kw) {
+                         return std::binary_search(keywords.begin(),
+                                                   keywords.end(), kw);
                        });
-  }
-  Metadata scratch = md;
-  scratch.rebuildKeywords();
-  return std::all_of(queryTokens.begin(), queryTokens.end(),
-                     [&scratch](const std::string& kw) {
-                       return std::binary_search(scratch.keywords.begin(),
-                                                 scratch.keywords.end(), kw);
-                     });
+  };
+  if (!md.keywords.empty()) return matchAgainst(md.keywords);
+  return matchAgainst(tokenizeTextFields(md));
 }
 
 std::size_t keywordCountOf(const Metadata& md) {
   if (!md.keywords.empty()) return md.keywords.size();
-  Metadata scratch = md;
-  scratch.rebuildKeywords();
-  return scratch.keywords.size();
+  return tokenizeTextFields(md).size();
 }
 
 }  // namespace
@@ -47,9 +57,34 @@ bool queryTokensMatch(const std::vector<std::string>& queryTokens,
   return containsAllTokens(queryTokens, md);
 }
 
+bool queryTokensMatchPrehashed(const std::vector<std::string>& queryTokens,
+                               const std::vector<std::uint64_t>& queryTokenHashes,
+                               const Metadata& md) {
+  // The hash index only speaks for the record when it covers every keyword
+  // (hand-built Metadata may carry keywords without rebuilt hashes).
+  if (md.keywords.empty() || md.keywordHashes.size() != md.keywords.size() ||
+      queryTokenHashes.size() != queryTokens.size()) {
+    return containsAllTokens(queryTokens, md);
+  }
+  if (queryTokens.empty()) return false;
+  for (std::size_t k = 0; k < queryTokens.size(); ++k) {
+    if (!std::binary_search(md.keywordHashes.begin(), md.keywordHashes.end(),
+                            queryTokenHashes[k])) {
+      return false;
+    }
+    // Hash hit: confirm on the strings so a collision can never flip a
+    // non-match into a match.
+    if (!std::binary_search(md.keywords.begin(), md.keywords.end(),
+                            queryTokens[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<RankedMatch> rankMatches(
     const std::string& queryText,
-    const std::vector<const Metadata*>& candidates) {
+    std::span<const Metadata* const> candidates) {
   std::vector<RankedMatch> out;
   const auto queryTokens = keywordTokens(queryText);
   for (const Metadata* md : candidates) {

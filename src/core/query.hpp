@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,15 @@ struct Query {
 [[nodiscard]] bool queryTokensMatch(const std::vector<std::string>& queryTokens,
                                     const Metadata& md);
 
+/// Same again, with the tokens' keywordHash values precomputed by the caller
+/// (parallel to `queryTokens`). When the record carries its keywordHashes
+/// index the containment test is a u64 binary search per token, confirming
+/// against the string keywords only on a hash hit; otherwise this behaves
+/// exactly like queryTokensMatch.
+[[nodiscard]] bool queryTokensMatchPrehashed(
+    const std::vector<std::string>& queryTokens,
+    const std::vector<std::uint64_t>& queryTokenHashes, const Metadata& md);
+
 /// A match with its rank score.
 struct RankedMatch {
   const Metadata* metadata = nullptr;
@@ -54,7 +64,16 @@ struct RankedMatch {
 /// slightly higher among equal popularity.
 [[nodiscard]] std::vector<RankedMatch> rankMatches(
     const std::string& queryText,
-    const std::vector<const Metadata*>& candidates);
+    std::span<const Metadata* const> candidates);
+
+/// Overload so call sites can pass a braced list of records.
+[[nodiscard]] inline std::vector<RankedMatch> rankMatches(
+    const std::string& queryText,
+    std::initializer_list<const Metadata*> candidates) {
+  return rankMatches(queryText,
+                     std::span<const Metadata* const>(candidates.begin(),
+                                                      candidates.size()));
+}
 
 /// Convenience: the best match in a store, or nullptr.
 [[nodiscard]] const Metadata* bestMatch(const std::string& queryText,

@@ -1,0 +1,43 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace hdtn {
+
+unsigned defaultThreadCount() {
+  if (const char* env = std::getenv("HDTN_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void parallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  const std::size_t workerCount =
+      std::min<std::size_t>(threads, count) - 1;  // caller thread works too
+  std::vector<std::thread> pool;
+  pool.reserve(workerCount);
+  for (std::size_t t = 0; t < workerCount; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace hdtn

@@ -1,0 +1,26 @@
+// Minimal data-parallel helpers for embarrassingly parallel sweeps (the
+// figure benches run seeds x sweep-points x protocols independent
+// simulations). Deliberately tiny: a worker pool pulling task indices off an
+// atomic counter — no futures, no queues, no exceptions crossing threads
+// (tasks must be noexcept in spirit; a throwing task terminates).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hdtn {
+
+/// Number of workers to use by default: the hardware concurrency, or 1 when
+/// unknown. Overridable via the HDTN_THREADS environment variable (clamped
+/// to >= 1), which the bench harness also exposes as --threads=N.
+[[nodiscard]] unsigned defaultThreadCount();
+
+/// Runs fn(0) .. fn(count-1), distributing indices over `threads` workers.
+/// Blocks until all tasks finish. With threads <= 1 (or count <= 1) the
+/// tasks run inline on the calling thread, preserving single-thread
+/// debuggability. Tasks must be independent; result ordering is the
+/// caller's job (write to disjoint slots, not shared state).
+void parallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace hdtn

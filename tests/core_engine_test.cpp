@@ -40,15 +40,52 @@ EngineParams baseParams(ProtocolKind kind) {
   return params;
 }
 
-TEST(Engine, DeterministicForSameSeed) {
-  const auto trace = smallNusTrace();
-  const auto a = runSimulation(trace, baseParams(ProtocolKind::kMbt));
-  const auto b = runSimulation(trace, baseParams(ProtocolKind::kMbt));
-  EXPECT_EQ(a.delivery.queries, b.delivery.queries);
-  EXPECT_EQ(a.delivery.metadataDelivered, b.delivery.metadataDelivered);
-  EXPECT_EQ(a.delivery.filesDelivered, b.delivery.filesDelivered);
+void expectReportsEqual(const DeliveryReport& a, const DeliveryReport& b,
+                        const char* which) {
+  EXPECT_EQ(a.queries, b.queries) << which;
+  EXPECT_EQ(a.metadataDelivered, b.metadataDelivered) << which;
+  EXPECT_EQ(a.filesDelivered, b.filesDelivered) << which;
+  EXPECT_EQ(a.metadataRatio, b.metadataRatio) << which;
+  EXPECT_EQ(a.fileRatio, b.fileRatio) << which;
+  EXPECT_EQ(a.meanMetadataDelaySeconds, b.meanMetadataDelaySeconds) << which;
+  EXPECT_EQ(a.meanFileDelaySeconds, b.meanFileDelaySeconds) << which;
+}
+
+void expectResultsIdentical(const EngineResult& a, const EngineResult& b) {
+  expectReportsEqual(a.delivery, b.delivery, "delivery");
+  expectReportsEqual(a.accessDelivery, b.accessDelivery, "accessDelivery");
+  expectReportsEqual(a.contributorDelivery, b.contributorDelivery,
+                     "contributorDelivery");
+  expectReportsEqual(a.freeRiderDelivery, b.freeRiderDelivery,
+                     "freeRiderDelivery");
+  EXPECT_EQ(a.totals.contactsProcessed, b.totals.contactsProcessed);
+  EXPECT_EQ(a.totals.filesPublished, b.totals.filesPublished);
+  EXPECT_EQ(a.totals.queriesGenerated, b.totals.queriesGenerated);
   EXPECT_EQ(a.totals.metadataBroadcasts, b.totals.metadataBroadcasts);
   EXPECT_EQ(a.totals.pieceBroadcasts, b.totals.pieceBroadcasts);
+  EXPECT_EQ(a.totals.metadataReceptions, b.totals.metadataReceptions);
+  EXPECT_EQ(a.totals.pieceReceptions, b.totals.pieceReceptions);
+  EXPECT_EQ(a.totals.forgeriesCrafted, b.totals.forgeriesCrafted);
+  EXPECT_EQ(a.totals.forgeriesAccepted, b.totals.forgeriesAccepted);
+  EXPECT_EQ(a.totals.forgeriesRejected, b.totals.forgeriesRejected);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  // Same trace + same params must reproduce every counter exactly, for
+  // every protocol and both trace families: the contact-path caches (store
+  // views, tokenized queries, planner indices) may never leak state between
+  // runs or alter behavior.
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm}) {
+    const auto nus = smallNusTrace();
+    expectResultsIdentical(runSimulation(nus, baseParams(kind)),
+                           runSimulation(nus, baseParams(kind)));
+    const auto diesel = smallDieselTrace();
+    auto params = baseParams(kind);
+    params.frequentContactPeriod = 3 * kDay;
+    expectResultsIdentical(runSimulation(diesel, params),
+                           runSimulation(diesel, params));
+  }
 }
 
 TEST(Engine, DifferentSeedsChangeOutcomes) {

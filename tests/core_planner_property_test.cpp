@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "src/core/discovery.hpp"
@@ -184,6 +185,71 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{6, Scheduling::kTitForTat},
                       PropertyCase{7, Scheduling::kPopularityOnly},
                       PropertyCase{8, Scheduling::kPopularityOnly}));
+
+// The optimized discovery planner (indexed candidates, per-sender heaps)
+// must be indistinguishable from the naive reference transcription: same
+// broadcasts, same order, same requester lists, byte for byte.
+void expectPlansIdentical(const std::vector<MetadataBroadcast>& optimized,
+                          const std::vector<MetadataBroadcast>& reference) {
+  ASSERT_EQ(optimized.size(), reference.size());
+  for (std::size_t i = 0; i < optimized.size(); ++i) {
+    EXPECT_EQ(optimized[i].sender, reference[i].sender) << "broadcast " << i;
+    EXPECT_EQ(optimized[i].metadata, reference[i].metadata) << "broadcast "
+                                                            << i;
+    EXPECT_EQ(optimized[i].requesters, reference[i].requesters)
+        << "broadcast " << i;
+    EXPECT_EQ(optimized[i].phase, reference[i].phase) << "broadcast " << i;
+  }
+}
+
+class PlannerEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlannerEquivalenceSweep, OptimizedMatchesReferenceAllSchedulings) {
+  const std::uint64_t seed = GetParam();
+  for (const Scheduling scheduling :
+       {Scheduling::kCooperative, Scheduling::kTitForTat,
+        Scheduling::kPopularityOnly}) {
+    RandomFixture fx(seed, 10, 50);
+    for (const int budget : {1, 5, 12, 1000}) {
+      expectPlansIdentical(
+          planDiscovery(fx.discoveryPeers, budget, scheduling),
+          planDiscoveryReference(fx.discoveryPeers, budget, scheduling));
+    }
+  }
+}
+
+TEST_P(PlannerEquivalenceSweep, OptimizedMatchesReferenceWithRefusals) {
+  const std::uint64_t seed = GetParam();
+  RandomFixture fx(seed, 8, 40);
+  // Random refusals and distrust to exercise the planner's exclusion rules.
+  Rng rng(seed * 977 + 13);
+  std::vector<std::unordered_set<FileId>> rejected(fx.discoveryPeers.size());
+  std::vector<std::unordered_set<NodeId>> distrusted(
+      fx.discoveryPeers.size());
+  for (std::size_t i = 0; i < fx.discoveryPeers.size(); ++i) {
+    for (FileId f : fx.internet.catalog().allFiles()) {
+      if (rng.chance(0.1)) rejected[i].insert(f);
+    }
+    for (std::size_t p = 0; p < fx.discoveryPeers.size(); ++p) {
+      if (rng.chance(0.15)) {
+        distrusted[i].insert(NodeId(static_cast<std::uint32_t>(p)));
+      }
+    }
+    fx.discoveryPeers[i].rejected = &rejected[i];
+    fx.discoveryPeers[i].distrustedSenders = &distrusted[i];
+  }
+  for (const Scheduling scheduling :
+       {Scheduling::kCooperative, Scheduling::kTitForTat,
+        Scheduling::kPopularityOnly}) {
+    expectPlansIdentical(
+        planDiscovery(fx.discoveryPeers, 15, scheduling),
+        planDiscoveryReference(fx.discoveryPeers, 15, scheduling));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerEquivalenceSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // Codec round-trip over randomized hello messages.
 class CodecRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};

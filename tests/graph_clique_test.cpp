@@ -166,5 +166,58 @@ TEST_P(RandomGraphSweep, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+// The dense-bitset implementations must be byte-identical to the retained
+// naive references on random graphs — same cliques, same order.
+class ReferenceEquivalenceSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+AdjacencyGraph randomSweepGraph(std::uint64_t seed, std::uint32_t n,
+                                double edgeChance) {
+  Rng rng(seed);
+  AdjacencyGraph g;
+  // Sparse non-contiguous ids so index mapping is exercised.
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ids.emplace_back(i * 3 + 1);
+    g.addNode(ids.back());
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (rng.chance(edgeChance)) g.addEdge(ids[i], ids[j]);
+    }
+  }
+  return g;
+}
+
+TEST_P(ReferenceEquivalenceSweep, MaximalCliquesMatchReference) {
+  for (const double edgeChance : {0.2, 0.5, 0.8}) {
+    const AdjacencyGraph g =
+        randomSweepGraph(GetParam() * 131 + 7, 18, edgeChance);
+    EXPECT_EQ(maximalCliques(g), maximalCliquesReference(g));
+  }
+}
+
+TEST_P(ReferenceEquivalenceSweep, CliquesContainingMatchReference) {
+  const AdjacencyGraph g = randomSweepGraph(GetParam() * 61 + 3, 16, 0.5);
+  for (NodeId node : g.nodes()) {
+    EXPECT_EQ(maximalCliquesContaining(g, node),
+              maximalCliquesContainingReference(g, node));
+  }
+  // A node absent from the graph yields nothing in both.
+  EXPECT_EQ(maximalCliquesContaining(g, NodeId(999999)),
+            maximalCliquesContainingReference(g, NodeId(999999)));
+}
+
+TEST_P(ReferenceEquivalenceSweep, PartitionMatchesReference) {
+  for (const double edgeChance : {0.25, 0.55}) {
+    const AdjacencyGraph g =
+        randomSweepGraph(GetParam() * 389 + 11, 16, edgeChance);
+    EXPECT_EQ(partitionIntoCliques(g), partitionIntoCliquesReference(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceEquivalenceSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
 }  // namespace
 }  // namespace hdtn
