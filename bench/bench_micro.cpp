@@ -14,6 +14,7 @@
 #include "src/core/query.hpp"
 #include "src/graph/clique.hpp"
 #include "src/net/codec.hpp"
+#include "src/obs/events.hpp"
 #include "src/trace/nus.hpp"
 #include "src/util/bloom.hpp"
 #include "src/util/random.hpp"
@@ -229,6 +230,32 @@ void BM_EngineNusRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineNusRun)->Unit(benchmark::kMillisecond);
+
+// Same run with a counting observer attached: the spread against
+// BM_EngineNusRun is the full cost of the event layer (construction of every
+// SimEvent plus a virtual call per event). BM_EngineNusRun itself is the
+// no-observer baseline — the detached hot path must not regress.
+void BM_EngineNusRunWithObserver(benchmark::State& state) {
+  trace::NusParams tp;
+  tp.students = 80;
+  tp.courses = 16;
+  tp.coursesPerStudent = 3;
+  tp.days = 6;
+  tp.seed = 2;
+  const auto trace = trace::generateNus(tp);
+  for (auto _ : state) {
+    EngineParams params;
+    params.protocol.kind = ProtocolKind::kMbt;
+    params.frequentContactPeriod = kDay;
+    params.seed = 5;
+    Engine engine(trace, params);
+    obs::CountingObserver counter;
+    engine.setObserver(&counter);
+    benchmark::DoNotOptimize(engine.run());
+    benchmark::DoNotOptimize(counter.total());
+  }
+}
+BENCHMARK(BM_EngineNusRunWithObserver)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

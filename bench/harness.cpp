@@ -1,13 +1,16 @@
 #include "bench/harness.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string_view>
 
 #include "src/core/protocol.hpp"
+#include "src/obs/timeseries.hpp"
 #include "src/trace/dieselnet.hpp"
 #include "src/trace/nus.hpp"
 #include "src/trace/trace_stats.hpp"
@@ -27,45 +30,45 @@ namespace {
 constexpr ProtocolKind kProtocols[] = {
     ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm};
 
-int resolveSeeds(int fallback, int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (hdtn::startsWith(arg, "--seeds=")) {
-      return std::max(1, std::atoi(arg.substr(8).data()));
-    }
-  }
-  if (const char* env = std::getenv("HDTN_SEEDS")) {
-    return std::max(1, std::atoi(env));
-  }
-  return fallback;
-}
-
-unsigned resolveThreads(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (hdtn::startsWith(arg, "--threads=")) {
-      return static_cast<unsigned>(
-          std::max(1, std::atoi(arg.substr(10).data())));
-    }
-  }
-  return defaultThreadCount();
-}
-
-/// Empty when --json was not given; otherwise the output path ("--json"
-/// defaults to BENCH_<figure id>.json in the working directory).
-std::string resolveJsonPath(const std::string& figureId, int argc,
-                            char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (arg == "--json") return "BENCH_" + figureId + ".json";
-    if (hdtn::startsWith(arg, "--json=")) {
-      return std::string(arg.substr(7));
-    }
-  }
-  return {};
+/// "x0.35"-style suffix for time-series file names.
+std::string formatX(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", x);
+  return buf;
 }
 
 }  // namespace
+
+CommonArgs parseCommonArgs(const std::string& figureId, int defaultSeeds,
+                           int argc, char** argv) {
+  CommonArgs out;
+  out.seeds = defaultSeeds;
+  if (const char* env = std::getenv("HDTN_SEEDS")) {
+    out.seeds = std::max(1, std::atoi(env));
+  }
+  out.threads = defaultThreadCount();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (hdtn::startsWith(arg, "--seeds=")) {
+      out.seeds = std::max(1, std::atoi(arg.substr(8).data()));
+    } else if (hdtn::startsWith(arg, "--threads=")) {
+      out.threads = static_cast<unsigned>(
+          std::max(1, std::atoi(arg.substr(10).data())));
+    } else if (arg == "--json") {
+      out.jsonPath = "BENCH_" + figureId + ".json";
+    } else if (hdtn::startsWith(arg, "--json=")) {
+      out.jsonPath = std::string(arg.substr(7));
+    } else if (arg == "--timeseries") {
+      out.timeseriesDir = ".";
+    } else if (hdtn::startsWith(arg, "--timeseries=")) {
+      out.timeseriesDir = std::string(arg.substr(13));
+    } else if (hdtn::startsWith(arg, "--sample-every=")) {
+      out.sampleEvery =
+          std::max<Duration>(1, std::atoll(arg.substr(15).data()));
+    }
+  }
+  return out;
+}
 
 trace::ContactTrace defaultDieselNet(std::uint64_t seed) {
   trace::DieselNetParams params;
@@ -109,9 +112,11 @@ std::vector<double> accessFractionSweep() {
 }
 
 int runFigure(FigureSpec spec, int argc, char** argv) {
-  const int seeds = resolveSeeds(spec.seeds, argc, argv);
-  const unsigned threads = resolveThreads(argc, argv);
-  const std::string jsonPath = resolveJsonPath(spec.id, argc, argv);
+  const CommonArgs common = parseCommonArgs(spec.id, spec.seeds, argc, argv);
+  const int seeds = common.seeds;
+  const unsigned threads = common.threads;
+  const std::string& jsonPath = common.jsonPath;
+  const bool wantTimeseries = !common.timeseriesDir.empty();
   std::cout << "=== " << spec.id << ": " << spec.title << " ===\n"
             << "x-axis: " << spec.xLabel << "; " << seeds
             << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
@@ -153,10 +158,14 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
   };
 
   // One task per (x, protocol, seed); every task writes its own slot, so the
-  // report below is identical for any thread count.
+  // report below is identical for any thread count. Under --timeseries the
+  // seed-1 run of each point goes through the sampled stepper instead — the
+  // final result is byte-identical to runSimulation, so the averages are
+  // unchanged — and its samples land in a per-point slot.
   const std::size_t points = spec.xs.size();
   std::vector<double> mdRatio(points * 3 * static_cast<std::size_t>(seeds));
   std::vector<double> fileRatio(mdRatio.size());
+  std::vector<obs::TimeSeries> tsSlots(wantTimeseries ? points * 3 : 0);
   parallelFor(mdRatio.size(), threads, [&](std::size_t task) {
     const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
     const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
@@ -166,11 +175,40 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
     params.protocol.kind = kProtocols[pi];
     params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
     spec.apply(params, spec.xs[xi]);
-    const EngineResult result =
-        core::runSimulation(traceFor(xi, seed), params);
+    EngineResult result;
+    if (wantTimeseries && seed == 1) {
+      core::Engine engine(traceFor(xi, seed), params);
+      result = obs::runSampled(engine, common.sampleEvery,
+                               tsSlots[xi * 3 + pi]);
+    } else {
+      result = core::runSimulation(traceFor(xi, seed), params);
+    }
     mdRatio[task] = result.delivery.metadataRatio;
     fileRatio[task] = result.delivery.fileRatio;
   });
+
+  if (wantTimeseries) {
+    std::error_code ec;
+    std::filesystem::create_directories(common.timeseriesDir, ec);
+    for (std::size_t xi = 0; xi < points; ++xi) {
+      for (std::size_t pi = 0; pi < 3; ++pi) {
+        const std::filesystem::path path =
+            std::filesystem::path(common.timeseriesDir) /
+            ("TS_" + spec.id + "_" +
+             std::string(core::protocolName(kProtocols[pi])) + "_x" +
+             formatX(spec.xs[xi]) + ".csv");
+        std::ofstream csv(path);
+        if (!csv) {
+          std::cerr << "cannot write " << path.string() << "\n";
+          return 1;
+        }
+        tsSlots[xi * 3 + pi].writeCsv(csv);
+      }
+    }
+    std::cout << "time series (" << points * 3 << " files, seed 1, every "
+              << common.sampleEvery << " s) written to "
+              << common.timeseriesDir << "\n\n";
+  }
 
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -15,8 +15,34 @@
 
 #include "src/core/engine.hpp"
 #include "src/trace/contact_trace.hpp"
+#include "src/util/types.hpp"
 
 namespace hdtn::bench {
+
+/// Flags shared by every bench binary, parsed once by parseCommonArgs so
+/// each binary does not re-implement the scanning loop.
+struct CommonArgs {
+  /// Seeds averaged per sweep point (--seeds=N, or the HDTN_SEEDS env var).
+  int seeds = 3;
+  /// Worker threads (--threads=N; defaults to the machine's core count).
+  unsigned threads = 0;
+  /// Empty when --json was not given; "--json" defaults the path to
+  /// BENCH_<figure id>.json in the working directory, "--json=PATH" sets it.
+  std::string jsonPath;
+  /// Empty when --timeseries was not given; "--timeseries" defaults to the
+  /// working directory, "--timeseries=DIR" sets it. When set, runFigure
+  /// re-runs the seed-1 simulation of every (x, protocol) point through the
+  /// sampled stepper and writes TS_<figure>_<protocol>_x<value>.csv files.
+  std::string timeseriesDir;
+  /// Sampling cadence for --timeseries (--sample-every=SECONDS).
+  Duration sampleEvery = 6 * kHour;
+};
+
+/// Parses --seeds/--threads/--json/--timeseries/--sample-every (unknown
+/// arguments are ignored; google-benchmark style binaries pass their own).
+[[nodiscard]] CommonArgs parseCommonArgs(const std::string& figureId,
+                                         int defaultSeeds, int argc,
+                                         char** argv);
 
 using TraceFactory =
     std::function<hdtn::trace::ContactTrace(double x, std::uint64_t seed)>;

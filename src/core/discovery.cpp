@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/core/query.hpp"
+#include "src/obs/events.hpp"
 #include "src/util/random.hpp"
 #include "src/util/string_util.hpp"
 
@@ -401,17 +402,30 @@ std::vector<MetadataBroadcast> planTitForTatReference(
 }  // namespace
 
 std::vector<MetadataBroadcast> planDiscovery(
-    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling) {
+    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling,
+    obs::EngineObserver* observer, SimTime now) {
   if (budget <= 0 || peers.size() < 2) return {};
+  std::vector<MetadataBroadcast> plan;
   switch (scheduling) {
     case Scheduling::kCooperative:
-      return planCooperative(peers, budget, /*useRequestPhase=*/true);
+      plan = planCooperative(peers, budget, /*useRequestPhase=*/true);
+      break;
     case Scheduling::kTitForTat:
-      return planTitForTat(peers, budget);
+      plan = planTitForTat(peers, budget);
+      break;
     case Scheduling::kPopularityOnly:
-      return planCooperative(peers, budget, /*useRequestPhase=*/false);
+      plan = planCooperative(peers, budget, /*useRequestPhase=*/false);
+      break;
   }
-  return {};
+  if (observer != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kDiscoveryPlanned;
+    event.time = now;
+    event.extra = static_cast<std::uint32_t>(plan.size());
+    event.value = static_cast<double>(budget);
+    observer->onEvent(event);
+  }
+  return plan;
 }
 
 std::vector<MetadataBroadcast> planDiscoveryReference(

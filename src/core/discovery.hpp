@@ -25,6 +25,10 @@
 #include "src/core/metadata_store.hpp"
 #include "src/util/types.hpp"
 
+namespace hdtn::obs {
+class EngineObserver;  // src/obs/events.hpp
+}
+
 namespace hdtn::core {
 
 /// Scheduling discipline for a contact.
@@ -71,9 +75,12 @@ struct MetadataBroadcast {
 
 /// Plans up to `budget` broadcasts for one contact. Each record is broadcast
 /// at most once (after a broadcast every member holds it). Deterministic in
-/// its inputs.
+/// its inputs. When an observer is attached, emits one kDiscoveryPlanned
+/// event per invocation timestamped at `now` (extra = planned broadcasts,
+/// value = budget), exposing budget- vs supply-limited contacts.
 [[nodiscard]] std::vector<MetadataBroadcast> planDiscovery(
-    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling);
+    std::span<const DiscoveryPeer> peers, int budget, Scheduling scheduling,
+    obs::EngineObserver* observer = nullptr, SimTime now = 0);
 
 /// Naive reference planner, retained for equivalence testing: the direct
 /// transcription of the paper's scheduling rules with no indexing (the

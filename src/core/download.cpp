@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/obs/events.hpp"
 #include "src/util/random.hpp"
 
 namespace hdtn::core {
@@ -157,28 +158,50 @@ std::vector<PieceBroadcast> planTitForTat(std::span<const DownloadPeer> peers,
 
 }  // namespace
 
+namespace {
+
+void emitPlanned(obs::EngineObserver* observer, SimTime now,
+                 std::size_t planned, int budget) {
+  if (observer == nullptr) return;
+  obs::SimEvent event;
+  event.type = obs::SimEventType::kDownloadPlanned;
+  event.time = now;
+  event.extra = static_cast<std::uint32_t>(planned);
+  event.value = static_cast<double>(budget);
+  observer->onEvent(event);
+}
+
+}  // namespace
+
 std::vector<PieceBroadcast> planDownload(std::span<const DownloadPeer> peers,
                                          const PopularityFn& popularityOf,
                                          int budgetPieces,
                                          Scheduling scheduling,
-                                         PushOrder pushOrder) {
+                                         PushOrder pushOrder,
+                                         obs::EngineObserver* observer,
+                                         SimTime now) {
   if (budgetPieces <= 0 || peers.size() < 2) return {};
+  std::vector<PieceBroadcast> plan;
   switch (scheduling) {
     case Scheduling::kCooperative:
-      return planCooperative(peers, popularityOf, budgetPieces,
+      plan = planCooperative(peers, popularityOf, budgetPieces,
                              /*useRequestPhase=*/true, pushOrder);
+      break;
     case Scheduling::kTitForTat:
-      return planTitForTat(peers, popularityOf, budgetPieces);
+      plan = planTitForTat(peers, popularityOf, budgetPieces);
+      break;
     case Scheduling::kPopularityOnly:
-      return planCooperative(peers, popularityOf, budgetPieces,
+      plan = planCooperative(peers, popularityOf, budgetPieces,
                              /*useRequestPhase=*/false, pushOrder);
+      break;
   }
-  return {};
+  emitPlanned(observer, now, plan.size(), budgetPieces);
+  return plan;
 }
 
 std::vector<PieceTransfer> planPairwiseDownload(
     std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
-    int budgetPerPair) {
+    int budgetPerPair, obs::EngineObserver* observer, SimTime now) {
   std::vector<PieceTransfer> plan;
   if (budgetPerPair <= 0 || peers.size() < 2) return plan;
 
@@ -244,6 +267,7 @@ std::vector<PieceTransfer> planPairwiseDownload(
       plan.push_back(options[static_cast<std::size_t>(k)].transfer);
     }
   }
+  emitPlanned(observer, now, plan.size(), budgetPerPair);
   return plan;
 }
 

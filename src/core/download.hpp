@@ -62,11 +62,14 @@ struct PieceBroadcast {
 };
 
 /// Plans up to `budgetPieces` broadcasts for one contact. Each (file, piece)
-/// is broadcast at most once. Deterministic in its inputs.
+/// is broadcast at most once. Deterministic in its inputs. When an observer
+/// is attached, emits one kDownloadPlanned event per invocation timestamped
+/// at `now` (extra = planned broadcasts, value = budget).
 [[nodiscard]] std::vector<PieceBroadcast> planDownload(
     std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
     int budgetPieces, Scheduling scheduling,
-    PushOrder pushOrder = PushOrder::kPopularity);
+    PushOrder pushOrder = PushOrder::kPopularity,
+    obs::EngineObserver* observer = nullptr, SimTime now = 0);
 
 /// One planned pairwise (unicast) transfer.
 struct PieceTransfer {
@@ -80,9 +83,11 @@ struct PieceTransfer {
 /// Pairwise baseline: members are greedily matched into disjoint pairs
 /// (ascending id order); each pair plans up to `budgetPerPair` transfers,
 /// requested pieces first (then popularity). Models the "exactly one
-/// receiver per transmission" regime the paper argues against.
+/// receiver per transmission" regime the paper argues against. Emits one
+/// kDownloadPlanned event per invocation when an observer is attached.
 [[nodiscard]] std::vector<PieceTransfer> planPairwiseDownload(
     std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
-    int budgetPerPair);
+    int budgetPerPair, obs::EngineObserver* observer = nullptr,
+    SimTime now = 0);
 
 }  // namespace hdtn::core

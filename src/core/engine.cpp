@@ -4,12 +4,15 @@
 #include <cassert>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "src/core/discovery.hpp"
 #include "src/core/download.hpp"
+#include "src/obs/events.hpp"
 #include "src/trace/trace_stats.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/string_util.hpp"
 
 namespace hdtn::core {
 
@@ -39,17 +42,79 @@ EngineCaches& caches(std::unique_ptr<EngineCaches>& holder,
 }
 }  // namespace
 
+std::vector<std::string> EngineParams::validate() const {
+  std::vector<std::string> errors;
+  const auto fraction = [&errors](const char* name, double v) {
+    if (!(v >= 0.0 && v <= 1.0)) {
+      errors.push_back(std::string(name) + " must be in [0, 1], got " +
+                       std::to_string(v));
+    }
+  };
+  fraction("internetAccessFraction", internetAccessFraction);
+  fraction("freeRiderFraction", freeRiderFraction);
+  fraction("forgerFraction", forgerFraction);
+  fraction("accessMetadataSyncFraction", accessMetadataSyncFraction);
+  if (newFilesPerDay < 1) {
+    errors.push_back("newFilesPerDay must be >= 1, got " +
+                     std::to_string(newFilesPerDay));
+  }
+  if (fileTtlDays < 1) {
+    errors.push_back("fileTtlDays must be >= 1, got " +
+                     std::to_string(fileTtlDays));
+  }
+  if (metadataPerContact < 1) {
+    errors.push_back("metadataPerContact must be a positive budget, got " +
+                     std::to_string(metadataPerContact));
+  }
+  if (filesPerContact < 1) {
+    errors.push_back("filesPerContact must be a positive budget, got " +
+                     std::to_string(filesPerContact));
+  }
+  if (piecesPerFile < 1) {
+    errors.push_back("piecesPerFile must be >= 1, got " +
+                     std::to_string(piecesPerFile));
+  }
+  if (pieceSizeBytes < 1) {
+    errors.push_back("pieceSizeBytes must be >= 1, got " +
+                     std::to_string(pieceSizeBytes));
+  }
+  if (forgeriesPerForgerPerDay < 0) {
+    errors.push_back("forgeriesPerForgerPerDay must be >= 0, got " +
+                     std::to_string(forgeriesPerForgerPerDay));
+  }
+  if (frequentContactPeriod <= 0) {
+    errors.push_back("frequentContactPeriod must be positive seconds, got " +
+                     std::to_string(frequentContactPeriod));
+  }
+  if (scaleBudgetsWithDuration && referenceContactDuration <= 0) {
+    errors.push_back(
+        "referenceContactDuration must be positive when "
+        "scaleBudgetsWithDuration is set, got " +
+        std::to_string(referenceContactDuration));
+  }
+  return errors;
+}
+
 Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
     : trace_(trace), params_(params), rng_(params.seed) {
-  assert(params_.internetAccessFraction >= 0.0 &&
-         params_.internetAccessFraction <= 1.0);
-  assert(params_.newFilesPerDay > 0);
-  assert(params_.fileTtlDays > 0);
-  assert(params_.piecesPerFile > 0);
+  const std::vector<std::string> errors = params_.validate();
+  if (!errors.empty()) {
+    throw std::invalid_argument("invalid EngineParams: " +
+                                join(errors, "; "));
+  }
   setupNodes();
 }
 
 Engine::~Engine() = default;
+
+void Engine::setObserver(obs::EngineObserver* observer) {
+  observer_ = observer;
+  internet_.setObserver(observer);
+}
+
+void Engine::emit(const obs::SimEvent& event) {
+  if (observer_ != nullptr) observer_->onEvent(event);
+}
 
 void Engine::setupNodes() {
   const std::size_t n = trace_.nodeCount();
@@ -136,22 +201,52 @@ std::vector<NodeId> Engine::accessNodes() const {
   return out;
 }
 
-EngineResult Engine::run() {
-  assert(!ran_ && "Engine::run may be called once");
-  ran_ = true;
-
-  sim::Simulator sim;
+void Engine::ensureScheduled() {
+  if (scheduled_) return;
+  scheduled_ = true;
   const SimTime end = trace_.endTime();
   // Daily 2 PM publications across the trace span (publishes are scheduled
   // first so that same-instant contacts observe the day's files).
   for (SimTime t = kDailyPublishHour; t < end; t += kDay) {
-    sim.at(t, [this, t] { publishDay(t); });
+    sim_.at(t, [this, t] { publishDay(t); });
   }
   for (const trace::Contact& contact : trace_.contacts()) {
-    sim.at(contact.start, [this, &contact] { processContact(contact); });
+    sim_.at(contact.start, [this, &contact] { processContact(contact); });
   }
-  sim.run();
+}
 
+void Engine::throwIfFinished(const char* what) const {
+  if (finished_) {
+    throw std::logic_error(
+        std::string(what) +
+        ": the simulation already ran to completion and returned its "
+        "result; construct a fresh Engine to run again");
+  }
+}
+
+bool Engine::step() {
+  throwIfFinished("Engine::step");
+  ensureScheduled();
+  return sim_.runOne();
+}
+
+void Engine::runUntil(SimTime horizon) {
+  throwIfFinished("Engine::runUntil");
+  ensureScheduled();
+  sim_.runUntil(horizon);
+}
+
+EngineResult Engine::finish() {
+  throwIfFinished("Engine::finish (or run)");
+  ensureScheduled();
+  sim_.run();
+  finished_ = true;
+  return currentResult();
+}
+
+EngineResult Engine::run() { return finish(); }
+
+EngineResult Engine::currentResult() const {
   EngineResult result;
   result.delivery = metrics_.report(MetricScope::kNonAccess);
   result.accessDelivery = metrics_.report(MetricScope::kAccess);
@@ -164,6 +259,26 @@ EngineResult Engine::run() {
 }
 
 void Engine::publishDay(SimTime now) {
+  // Event out files whose TTL elapsed since the last publish instant (the
+  // alive set only changes at publish instants, so this scan misses
+  // nothing). Skipped entirely when nobody listens.
+  if (observer_ != nullptr) {
+    for (FileId id : internet_.catalog().allFiles()) {
+      const FileInfo* info = internet_.catalog().find(id);
+      if (info == nullptr) continue;
+      const SimTime expiry = info->expiresAt();
+      if (expiry > expiryScanUpTo_ && expiry <= now) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kFileExpired;
+        event.time = expiry;
+        event.file = id;
+        event.value = info->popularity;
+        emit(event);
+      }
+    }
+    expiryScanUpTo_ = now;
+  }
+
   SyntheticBatchParams batch;
   batch.count = params_.newFilesPerDay;
   batch.publishedAt = now;
@@ -246,6 +361,15 @@ void Engine::publishDay(SimTime now) {
         forged.rebuildKeywords();
         nodePtr->metadata().add(forged);
         ++totals_.forgeriesCrafted;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kForgeryCrafted;
+          event.time = now;
+          event.node = nodePtr->id();
+          event.file = forged.file;
+          event.value = forged.popularity;
+          emit(event);
+        }
       }
     }
   }
@@ -336,6 +460,22 @@ void Engine::processContact(const trace::Contact& contact) {
   if (members.size() < 2) return;
   ++totals_.contactsProcessed;
 
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kContactBegin;
+    event.time = now;
+    event.node = members.front()->id();
+    event.extra = static_cast<std::uint32_t>(members.size());
+    event.value = static_cast<double>(contact.duration());
+    emit(event);
+    // A contact *is* the exchange clique in this trace model (classroom
+    // sessions, bus meetings); the dedicated event keeps clique-size
+    // distributions one grep away.
+    event.type = obs::SimEventType::kCliqueFormed;
+    event.value = 0.0;
+    emit(event);
+  }
+
   for (Node* m : members) expireNodeData(*m, now);
   // Access members are online; they arrive at the contact synced.
   for (Node* m : members) {
@@ -392,6 +532,15 @@ void Engine::processContact(const trace::Contact& contact) {
   }
   // --- download phase -----------------------------------------------------
   runDownloadPhase(members, now, budgetMultiplier);
+
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kContactEnd;
+    event.time = contact.end;
+    event.node = members.front()->id();
+    event.extra = static_cast<std::uint32_t>(members.size());
+    emit(event);
+  }
 }
 
 void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
@@ -416,11 +565,21 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
 
   const auto plan =
       planDiscovery(peers, params_.metadataPerContact * budgetMultiplier,
-                    params_.protocol.scheduling);
+                    params_.protocol.scheduling, observer_, now);
   totals_.metadataBroadcasts += plan.size();
 
   for (const MetadataBroadcast& b : plan) {
     const Metadata& md = *b.metadata;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kMetadataBroadcast;
+      event.time = now;
+      event.node = b.sender;
+      event.file = md.file;
+      event.extra = static_cast<std::uint32_t>(b.requesters.size());
+      event.value = md.popularity;
+      emit(event);
+    }
     for (Node* m : members) {
       if (m->id() == b.sender || m->metadata().has(md.file) ||
           m->rejectedMetadata().contains(md.file) ||
@@ -434,17 +593,41 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
       if (m->rejectedMetadata().contains(md.file)) {
         // Failed verification: remember the offender, no credit.
         m->noteRejectedFrom(b.sender);
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kMetadataRejected;
+          event.time = now;
+          event.node = m->id();
+          event.peer = b.sender;
+          event.file = md.file;
+          emit(event);
+        }
         continue;
       }
-      if (md.file.value >= kForgedIdBase && !m->options().forger) {
-        ++totals_.forgeriesAccepted;
-      }
+      const bool forgedAccept =
+          md.file.value >= kForgedIdBase && !m->options().forger;
+      if (forgedAccept) ++totals_.forgeriesAccepted;
       if (requested) {
         m->credits().onReceivedRequested(b.sender);
       } else {
         m->credits().onReceivedUnrequested(b.sender, md.popularity);
       }
       metrics_.onNodeGotMetadata(m->id(), md.file, now);
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kMetadataAccepted;
+        event.time = now;
+        event.node = m->id();
+        event.peer = b.sender;
+        event.file = md.file;
+        event.extra = requested ? 1 : 0;
+        event.value = md.popularity;
+        emit(event);
+        if (forgedAccept) {
+          event.type = obs::SimEventType::kForgeryAccepted;
+          emit(event);
+        }
+      }
     }
   }
 }
@@ -492,7 +675,8 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     // budget is shared across all pairs (round-robin), and each
     // transmission serves exactly one receiver — the inefficiency the
     // paper's broadcast scheme removes.
-    const auto perPair = planPairwiseDownload(peers, popularityOf, budget);
+    const auto perPair =
+        planPairwiseDownload(peers, popularityOf, budget, observer_, now);
     std::vector<std::vector<PieceTransfer>> byPair;
     for (const PieceTransfer& t : perPair) {
       if (byPair.empty() || byPair.back().front().sender != t.sender ||
@@ -528,6 +712,16 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     totals_.pieceBroadcasts += transfers.size();
     for (const PieceTransfer& t : transfers) {
       const FileInfo* info = internet_.catalog().find(t.file);
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kPieceBroadcast;
+        event.time = now;
+        event.node = t.sender;
+        event.peer = t.receiver;
+        event.file = t.file;
+        event.extra = t.piece;
+        emit(event);
+      }
       // Node ids are dense indices into nodes_; no per-contact map needed.
       Node* receiver = &node(t.receiver);
       if (info == nullptr ||
@@ -545,17 +739,38 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       if (receiver->pieces().isComplete(t.file)) {
         metrics_.onNodeCompletedFile(receiver->id(), t.file, now);
       }
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kPieceReceived;
+        event.time = now;
+        event.node = t.receiver;
+        event.peer = t.sender;
+        event.file = t.file;
+        event.extra = t.piece;
+        event.value = info->popularity;
+        emit(event);
+      }
     }
     return;
   }
 
   const auto plan = planDownload(peers, popularityOf, budget,
                                  params_.protocol.scheduling,
-                                 params_.pushOrder);
+                                 params_.pushOrder, observer_, now);
   totals_.pieceBroadcasts += plan.size();
 
   for (const PieceBroadcast& b : plan) {
     const FileInfo* info = internet_.catalog().find(b.file);
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kPieceBroadcast;
+      event.time = now;
+      event.node = b.sender;
+      event.file = b.file;
+      event.extra = b.piece;
+      event.value = info == nullptr ? 0.0 : info->popularity;
+      emit(event);
+    }
     if (info == nullptr) continue;
     for (Node* m : members) {
       if (m->id() == b.sender || m->pieces().hasPiece(b.file, b.piece)) {
@@ -573,6 +788,17 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       }
       if (m->pieces().isComplete(b.file)) {
         metrics_.onNodeCompletedFile(m->id(), b.file, now);
+      }
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kPieceReceived;
+        event.time = now;
+        event.node = m->id();
+        event.peer = b.sender;
+        event.file = b.file;
+        event.extra = b.piece;
+        event.value = info->popularity;
+        emit(event);
       }
     }
   }

@@ -21,6 +21,11 @@
 #include "src/util/random.hpp"
 #include "src/util/types.hpp"
 
+namespace hdtn::obs {
+class EngineObserver;  // src/obs/events.hpp
+struct SimEvent;
+}
+
 namespace hdtn::core {
 
 struct EngineCaches;  // internal per-run caches (engine.cpp)
@@ -100,6 +105,14 @@ struct EngineParams {
   /// Absolute cap on the carry stock.
   std::size_t accessMetadataSyncLimit = 500;
   std::uint64_t seed = 42;
+
+  /// Checks every field for consistency and returns one descriptive message
+  /// per violation (empty when the configuration is valid): fractions must
+  /// lie in [0, 1], per-contact budgets and daily publication count must be
+  /// positive, piecesPerFile >= 1, TTL >= 1 day. Engine's constructor calls
+  /// this and throws std::invalid_argument listing every problem, so a bad
+  /// sweep fails loudly instead of silently misbehaving.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct EngineTotals {
@@ -125,16 +138,67 @@ struct EngineResult {
   EngineTotals totals;
 };
 
+/// Trace-driven simulation engine with incremental execution.
+///
+/// The run can be driven three ways, all producing byte-identical results:
+///   * `run()` — the classic single shot (a thin wrapper over finish()).
+///   * `runUntil(t)` repeatedly, then `finish()` — advance in time slices,
+///     inspecting nodes / metrics / `currentResult()` between slices (this
+///     is how obs::runSampled records delivery-ratio trajectories).
+///   * `step()` in a loop — one simulation event at a time.
+/// `run()` / `finish()` return the final result exactly once; a second call
+/// throws std::logic_error. An optional obs::EngineObserver receives typed
+/// events (see src/obs/events.hpp); with none attached the event hooks cost
+/// one branch.
 class Engine {
  public:
+  /// Throws std::invalid_argument when params.validate() reports errors.
   Engine(const trace::ContactTrace& trace, EngineParams params);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs the whole trace and returns the final metrics. Call once.
+  /// Runs the whole trace and returns the final metrics. Equivalent to
+  /// finish(); throws std::logic_error when the run already finished.
   EngineResult run();
+
+  /// Executes exactly one pending simulation event (a publication instant
+  /// or one contact). Returns false when no events remain. Throws
+  /// std::logic_error after finish().
+  bool step();
+
+  /// Executes every event strictly before `horizon` (same semantics as
+  /// sim::Simulator::runUntil). Throws std::logic_error after finish().
+  void runUntil(SimTime horizon);
+
+  /// Drains the remaining events and returns the final metrics. At most
+  /// one of run()/finish() may complete; a second call throws
+  /// std::logic_error.
+  EngineResult finish();
+
+  /// True once run()/finish() returned the final result.
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// Simulation clock: time of the last executed event.
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+  /// End of the driving trace (the natural horizon of the run).
+  [[nodiscard]] SimTime endTime() const { return trace_.endTime(); }
+
+  /// Events not yet executed; 0 before the first step and after finish().
+  [[nodiscard]] std::size_t pendingEvents() const {
+    return sim_.pendingEvents();
+  }
+
+  /// Snapshot of the metrics as of the current clock — the same structure
+  /// run() returns, computable at any point of a stepped run.
+  [[nodiscard]] EngineResult currentResult() const;
+
+  /// Attaches (or detaches, with nullptr) the event observer. Non-owning;
+  /// the observer must outlive the run. Attach before stepping to see the
+  /// whole stream.
+  void setObserver(obs::EngineObserver* observer);
 
   // Introspection (tests, examples).
   [[nodiscard]] const Node& node(NodeId id) const;
@@ -143,10 +207,16 @@ class Engine {
   [[nodiscard]] const InternetServices& internet() const { return internet_; }
   [[nodiscard]] const MetricsCollector& metrics() const { return metrics_; }
   [[nodiscard]] const EngineParams& params() const { return params_; }
+  [[nodiscard]] const EngineTotals& totals() const { return totals_; }
   [[nodiscard]] std::vector<NodeId> accessNodes() const;
 
  private:
   void setupNodes();
+  /// Builds the event schedule lazily, on the first advance.
+  void ensureScheduled();
+  void throwIfFinished(const char* what) const;
+  /// Forwards to the attached observer; no-op (one branch) when detached.
+  void emit(const obs::SimEvent& event);
   void publishDay(SimTime now);
   void processContact(const trace::Contact& contact);
   void syncAccessNode(Node& node, SimTime now);
@@ -166,7 +236,12 @@ class Engine {
   std::vector<std::unique_ptr<Node>> nodes_;
   EngineTotals totals_;
   std::unique_ptr<EngineCaches> caches_;
-  bool ran_ = false;
+  sim::Simulator sim_;
+  obs::EngineObserver* observer_ = nullptr;
+  /// Files whose expiry was already evented (advanced at publish instants).
+  SimTime expiryScanUpTo_ = 0;
+  bool scheduled_ = false;
+  bool finished_ = false;
 };
 
 /// Convenience: builds, runs, and returns the result in one call.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/obs/events.hpp"
 #include "src/util/string_util.hpp"
 
 namespace hdtn::core {
@@ -49,7 +50,16 @@ FileId InternetServices::publish(const FileCatalog::PublishRequest& request) {
     registry_.registerPublisher(request.publisher,
                                 "secret::" + request.publisher);
   }
-  return catalog_.publish(request);
+  const FileId id = catalog_.publish(request);
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kFilePublished;
+    event.time = request.publishedAt;
+    event.file = id;
+    event.value = request.popularity;
+    observer_->onEvent(event);
+  }
+  return id;
 }
 
 std::vector<RankedMatch> InternetServices::search(

@@ -19,6 +19,10 @@
 #include "src/util/random.hpp"
 #include "src/util/types.hpp"
 
+namespace hdtn::obs {
+class EngineObserver;  // src/obs/events.hpp
+}
+
 namespace hdtn::core {
 
 /// Sliding-window popularity observation: the paper suggests defining
@@ -61,8 +65,13 @@ class InternetServices {
   [[nodiscard]] PopularityTable& popularity() { return popularity_; }
 
   /// Publishes through the catalog (registering the publisher first when
-  /// unknown, with a derived secret).
+  /// unknown, with a derived secret). Emits kFilePublished when an observer
+  /// is attached (time = publishedAt, value = popularity).
   FileId publish(const FileCatalog::PublishRequest& request);
+
+  /// Attaches a non-owning observer notified of publications; nullptr
+  /// detaches. The engine forwards its own observer here.
+  void setObserver(obs::EngineObserver* observer) { observer_ = observer; }
 
   /// Server-side keyword search over metadata of files alive at `now`,
   /// ranked like the node-local search (popularity first).
@@ -79,6 +88,7 @@ class InternetServices {
   PublisherRegistry registry_;
   FileCatalog catalog_;
   PopularityTable popularity_;
+  obs::EngineObserver* observer_ = nullptr;
 };
 
 /// Parameters for one day's synthetic publication batch (Section VI-A: "a

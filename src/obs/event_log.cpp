@@ -1,0 +1,31 @@
+#include "src/obs/event_log.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hdtn::obs {
+
+void JsonlEventSink::onEvent(const SimEvent& event) {
+  // Formatted into a stack buffer and written in one call: the sink sits on
+  // the hot path when attached, and ostream operator chains are slow.
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "{\"t\":%" PRId64 ",\"type\":\"%s\"",
+                        static_cast<std::int64_t>(event.time),
+                        simEventTypeName(event.type));
+  auto append = [&](const char* fmt, auto value) {
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return;
+    const int m = std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                                fmt, value);
+    if (m > 0) n += m;
+  };
+  if (event.node.valid()) append(",\"node\":%u", event.node.value);
+  if (event.peer.valid()) append(",\"peer\":%u", event.peer.value);
+  if (event.file.valid()) append(",\"file\":%u", event.file.value);
+  if (event.extra != 0) append(",\"extra\":%u", event.extra);
+  if (event.value != 0.0) append(",\"value\":%.4f", event.value);
+  append("%s", "}\n");
+  out_.write(buf, n);
+  ++written_;
+}
+
+}  // namespace hdtn::obs

@@ -1,0 +1,35 @@
+// JSONL event-trace sink: one JSON object per event, one event per line.
+//
+// The format is append-only and schema-stable so traces from different runs
+// concatenate and diff cleanly:
+//
+//   {"t":121800,"type":"piece_received","node":17,"peer":4,"file":23,
+//    "extra":0,"value":0.4100}
+//
+// Fields that are not meaningful for an event type are omitted ("peer" and
+// "file" when invalid, "extra"/"value" when zero); "t" and "type" are always
+// present.
+#pragma once
+
+#include <ostream>
+
+#include "src/obs/events.hpp"
+
+namespace hdtn::obs {
+
+class JsonlEventSink final : public EngineObserver {
+ public:
+  /// Writes to `out`, which must outlive the sink. The sink never flushes
+  /// mid-run; the stream's destructor (or an explicit flush) finishes it.
+  explicit JsonlEventSink(std::ostream& out) : out_(out) {}
+
+  void onEvent(const SimEvent& event) override;
+
+  [[nodiscard]] std::uint64_t eventsWritten() const { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace hdtn::obs

@@ -1,0 +1,52 @@
+#include "src/obs/events.hpp"
+
+namespace hdtn::obs {
+
+const char* simEventTypeName(SimEventType type) {
+  switch (type) {
+    case SimEventType::kContactBegin:
+      return "contact_begin";
+    case SimEventType::kContactEnd:
+      return "contact_end";
+    case SimEventType::kCliqueFormed:
+      return "clique_formed";
+    case SimEventType::kFilePublished:
+      return "file_published";
+    case SimEventType::kFileExpired:
+      return "file_expired";
+    case SimEventType::kMetadataBroadcast:
+      return "metadata_broadcast";
+    case SimEventType::kMetadataAccepted:
+      return "metadata_accepted";
+    case SimEventType::kMetadataRejected:
+      return "metadata_rejected";
+    case SimEventType::kPieceBroadcast:
+      return "piece_broadcast";
+    case SimEventType::kPieceReceived:
+      return "piece_received";
+    case SimEventType::kForgeryCrafted:
+      return "forgery_crafted";
+    case SimEventType::kForgeryAccepted:
+      return "forgery_accepted";
+    case SimEventType::kDiscoveryPlanned:
+      return "discovery_planned";
+    case SimEventType::kDownloadPlanned:
+      return "download_planned";
+  }
+  return "unknown";
+}
+
+void CountingObserver::onEvent(const SimEvent& event) {
+  ++counts_[static_cast<std::size_t>(event.type)];
+  ++total_;
+}
+
+void MulticastObserver::add(EngineObserver* observer) {
+  if (observer != nullptr) sinks_.push_back(observer);
+}
+
+void MulticastObserver::onEvent(const SimEvent& event) {
+  for (EngineObserver* sink : sinks_) sink->onEvent(event);
+}
+
+}  // namespace hdtn::obs

@@ -1,0 +1,102 @@
+// Run-time observability: typed simulation events and the observer interface.
+//
+// The engine (and the planners it drives) publish a flat stream of typed
+// events — contact lifecycle, metadata and piece exchange, publications,
+// forgeries — to a single attached EngineObserver. Observers are non-owning
+// and optional: with no observer attached the engine skips event
+// construction entirely, so the hot contact path pays one pointer test.
+//
+// Event semantics:
+//   * Events describe *DTN actions* (what moved inside contacts) plus the
+//     Internet-side publication lifecycle. Instant server-side deliveries to
+//     access nodes are not evented; they are visible in the sampled
+//     DeliveryReport instead (obs/timeseries.hpp).
+//   * Events are emitted in execution order. Timestamps are the simulation
+//     times of the actions; kContactEnd carries the contact's end time, so
+//     the stream is not globally monotone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace hdtn::obs {
+
+enum class SimEventType : std::uint8_t {
+  kContactBegin,       ///< contact started; extra = member count
+  kContactEnd,         ///< contact finished; extra = member count
+  kCliqueFormed,       ///< exchange clique formed; extra = clique size
+  kFilePublished,      ///< Internet published a file; value = popularity
+  kFileExpired,        ///< file TTL elapsed (checked at publish instants)
+  kMetadataBroadcast,  ///< node sent a metadata record to its clique
+  kMetadataAccepted,   ///< receiver stored a record from peer
+  kMetadataRejected,   ///< receiver dropped a record (failed verification)
+  kPieceBroadcast,     ///< node sent a piece; extra = piece index
+  kPieceReceived,      ///< receiver stored a piece; extra = piece index
+  kForgeryCrafted,     ///< forger minted a fake record
+  kForgeryAccepted,    ///< honest node stored a forged record
+  kDiscoveryPlanned,   ///< planner output for one contact; extra = broadcasts
+  kDownloadPlanned,    ///< planner output for one contact; extra = transfers
+};
+
+inline constexpr std::size_t kSimEventTypeCount = 14;
+
+/// Stable snake_case name of an event type (JSONL traces, schemas).
+[[nodiscard]] const char* simEventTypeName(SimEventType type);
+
+/// One typed simulation event. A flat POD: fields not meaningful for a
+/// given type are left at their defaults (invalid ids, zero extra/value).
+struct SimEvent {
+  SimEventType type{};
+  SimTime time = 0;
+  NodeId node{};             ///< primary actor (sender, publisher, receiver)
+  NodeId peer{};             ///< counterpart (sender seen by a receiver)
+  FileId file{};
+  std::uint32_t extra = 0;   ///< piece index, clique size, plan size, ...
+  double value = 0.0;        ///< popularity, budget, contact duration, ...
+};
+
+/// Receives every event of a run. Implementations must not mutate engine
+/// state; they are called synchronously on the simulation thread.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void onEvent(const SimEvent& event) = 0;
+};
+
+/// Explicit no-op sink (attaching it measures pure dispatch overhead).
+class NullObserver final : public EngineObserver {
+ public:
+  void onEvent(const SimEvent&) override {}
+};
+
+/// Counts events per type; the cheapest useful observer (tests, smokes).
+class CountingObserver final : public EngineObserver {
+ public:
+  void onEvent(const SimEvent& event) override;
+
+  [[nodiscard]] std::uint64_t count(SimEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::array<std::uint64_t, kSimEventTypeCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Fans one event stream out to several observers, in attach order.
+class MulticastObserver final : public EngineObserver {
+ public:
+  /// Non-owning; ignores nullptr (so optional sinks compose cleanly).
+  void add(EngineObserver* observer);
+  void onEvent(const SimEvent& event) override;
+  [[nodiscard]] std::size_t sinkCount() const { return sinks_.size(); }
+
+ private:
+  std::vector<EngineObserver*> sinks_;
+};
+
+}  // namespace hdtn::obs

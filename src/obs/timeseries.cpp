@@ -1,0 +1,120 @@
+#include "src/obs/timeseries.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hdtn::obs {
+
+namespace {
+
+void writeReportCsv(std::ostream& out, const core::DeliveryReport& r) {
+  char buf[192];
+  const int n = std::snprintf(
+      buf, sizeof(buf), ",%zu,%zu,%zu,%.6f,%.6f,%.1f,%.1f", r.queries,
+      r.metadataDelivered, r.filesDelivered, r.metadataRatio, r.fileRatio,
+      r.meanMetadataDelaySeconds, r.meanFileDelaySeconds);
+  out.write(buf, n);
+}
+
+void writeReportJson(std::ostream& out, const char* key,
+                     const core::DeliveryReport& r) {
+  char buf[320];
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "\"%s\":{\"queries\":%zu,\"metadata_delivered\":%zu,"
+      "\"files_delivered\":%zu,\"metadata_ratio\":%.6f,\"file_ratio\":%.6f,"
+      "\"mean_metadata_delay_s\":%.1f,\"mean_file_delay_s\":%.1f}",
+      key, r.queries, r.metadataDelivered, r.filesDelivered, r.metadataRatio,
+      r.fileRatio, r.meanMetadataDelaySeconds, r.meanFileDelaySeconds);
+  out.write(buf, n);
+}
+
+}  // namespace
+
+const char* TimeSeries::csvHeader() {
+  return "time_s"
+         ",queries,metadata_delivered,files_delivered,metadata_ratio"
+         ",file_ratio,mean_metadata_delay_s,mean_file_delay_s"
+         ",access_queries,access_metadata_delivered,access_files_delivered"
+         ",access_metadata_ratio,access_file_ratio"
+         ",access_mean_metadata_delay_s,access_mean_file_delay_s"
+         ",contacts_processed,files_published,queries_generated"
+         ",metadata_broadcasts,piece_broadcasts,metadata_receptions"
+         ",piece_receptions,forgeries_crafted,forgeries_accepted"
+         ",forgeries_rejected";
+}
+
+void TimeSeries::writeCsv(std::ostream& out) const {
+  out << csvHeader() << "\n";
+  for (const TimeSeriesSample& s : samples_) {
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "%" PRId64,
+                                static_cast<std::int64_t>(s.time));
+    out.write(buf, n);
+    writeReportCsv(out, s.result.delivery);
+    writeReportCsv(out, s.result.accessDelivery);
+    const core::EngineTotals& t = s.result.totals;
+    const int m = std::snprintf(
+        buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu",
+        static_cast<unsigned long long>(t.contactsProcessed),
+        static_cast<unsigned long long>(t.filesPublished),
+        static_cast<unsigned long long>(t.queriesGenerated),
+        static_cast<unsigned long long>(t.metadataBroadcasts),
+        static_cast<unsigned long long>(t.pieceBroadcasts));
+    out.write(buf, m);
+    const int k = std::snprintf(
+        buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu\n",
+        static_cast<unsigned long long>(t.metadataReceptions),
+        static_cast<unsigned long long>(t.pieceReceptions),
+        static_cast<unsigned long long>(t.forgeriesCrafted),
+        static_cast<unsigned long long>(t.forgeriesAccepted),
+        static_cast<unsigned long long>(t.forgeriesRejected));
+    out.write(buf, k);
+  }
+}
+
+void TimeSeries::writeJson(std::ostream& out) const {
+  out << "{\"samples\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const TimeSeriesSample& s = samples_[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"time_s\":" << s.time << ",";
+    writeReportJson(out, "delivery", s.result.delivery);
+    out << ",";
+    writeReportJson(out, "access_delivery", s.result.accessDelivery);
+    const core::EngineTotals& t = s.result.totals;
+    out << ",\"totals\":{\"contacts_processed\":" << t.contactsProcessed
+        << ",\"files_published\":" << t.filesPublished
+        << ",\"queries_generated\":" << t.queriesGenerated
+        << ",\"metadata_broadcasts\":" << t.metadataBroadcasts
+        << ",\"piece_broadcasts\":" << t.pieceBroadcasts
+        << ",\"metadata_receptions\":" << t.metadataReceptions
+        << ",\"piece_receptions\":" << t.pieceReceptions
+        << ",\"forgeries_crafted\":" << t.forgeriesCrafted
+        << ",\"forgeries_accepted\":" << t.forgeriesAccepted
+        << ",\"forgeries_rejected\":" << t.forgeriesRejected << "}}";
+  }
+  out << "\n]}\n";
+}
+
+core::EngineResult runSampled(core::Engine& engine, Duration cadence,
+                              TimeSeries& out) {
+  if (cadence <= 0) {
+    throw std::invalid_argument(
+        "obs::runSampled: cadence must be positive seconds");
+  }
+  if (engine.finished()) {
+    throw std::logic_error("obs::runSampled: engine already finished");
+  }
+  const SimTime end = engine.endTime();
+  for (SimTime t = cadence; t < end; t += cadence) {
+    engine.runUntil(t);
+    out.addSample(t, engine.currentResult());
+  }
+  const core::EngineResult result = engine.finish();
+  out.addSample(end, result);
+  return result;
+}
+
+}  // namespace hdtn::obs

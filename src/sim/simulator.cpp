@@ -31,6 +31,13 @@ EventId Simulator::every(SimTime first, Duration period,
   return queue_.schedule(first, Recur{this, task, period});
 }
 
+bool Simulator::runOne() {
+  if (queue_.empty()) return false;
+  queue_.runNext();
+  ++executed_;
+  return true;
+}
+
 void Simulator::runUntil(SimTime horizon) {
   horizon_ = horizon;
   while (!queue_.empty() && queue_.nextTime() < horizon) {

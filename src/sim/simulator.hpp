@@ -34,6 +34,11 @@ class Simulator {
   /// Runs everything.
   void run() { runUntil(kTimeInfinity); }
 
+  /// Runs exactly one event. Returns false when the queue is empty (nothing
+  /// ran). Recurring tasks scheduled with every() reschedule against an
+  /// infinite horizon here, as in run().
+  bool runOne();
+
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
 

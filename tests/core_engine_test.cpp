@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/trace/dieselnet.hpp"
 #include "src/trace/nus.hpp"
 #include "src/trace/trace_stats.hpp"
@@ -389,13 +391,63 @@ TEST(Engine, RepeatForgersGetDistrusted) {
   EXPECT_TRUE(someDistrust);
 }
 
-TEST(Engine, RunTwiceForbidden) {
+TEST(Engine, RunTwiceThrows) {
+  // Regression: a second run()/finish() used to be a debug-only assert (a
+  // silent no-op in release builds); it must throw in every build type.
   const auto trace = smallNusTrace();
   Engine engine(trace, baseParams(ProtocolKind::kMbt));
   engine.run();
-#ifndef NDEBUG
-  EXPECT_DEATH(engine.run(), "run may be called once");
-#endif
+  EXPECT_TRUE(engine.finished());
+  EXPECT_THROW(engine.run(), std::logic_error);
+  EXPECT_THROW(engine.finish(), std::logic_error);
+  EXPECT_THROW(engine.step(), std::logic_error);
+  EXPECT_THROW(engine.runUntil(kTimeInfinity), std::logic_error);
+}
+
+TEST(Engine, SteppedExecutionMatchesRun) {
+  // The three drive modes — run(), runUntil slices + finish(), step() loop —
+  // must be byte-identical for every protocol and both trace generators:
+  // the schedule is built once and all randomness lives inside the event
+  // callbacks, so slicing cannot perturb anything.
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm}) {
+    for (const bool diesel : {false, true}) {
+      const auto trace = diesel ? smallDieselTrace() : smallNusTrace();
+      auto params = baseParams(kind);
+      if (diesel) params.frequentContactPeriod = 3 * kDay;
+      const EngineResult whole = runSimulation(trace, params);
+
+      Engine sliced(trace, params);
+      for (SimTime t = kDay; t < sliced.endTime(); t += kDay) {
+        sliced.runUntil(t);
+        EXPECT_LE(sliced.now(), t);
+      }
+      expectResultsIdentical(whole, sliced.finish());
+
+      Engine stepped(trace, params);
+      std::size_t steps = 0;
+      while (stepped.step()) ++steps;
+      EXPECT_GT(steps, 0u);
+      EXPECT_EQ(stepped.pendingEvents(), 0u);
+      expectResultsIdentical(whole, stepped.finish());
+    }
+  }
+}
+
+TEST(Engine, CurrentResultIsMonotoneSnapshot) {
+  const auto trace = smallNusTrace();
+  Engine engine(trace, baseParams(ProtocolKind::kMbtQm));
+  std::uint64_t lastContacts = 0;
+  for (SimTime t = kDay; t < engine.endTime(); t += kDay) {
+    engine.runUntil(t);
+    const EngineResult snap = engine.currentResult();
+    EXPECT_GE(snap.totals.contactsProcessed, lastContacts);
+    lastContacts = snap.totals.contactsProcessed;
+  }
+  const EngineResult fin = engine.finish();
+  EXPECT_GE(fin.totals.contactsProcessed, lastContacts);
+  // currentResult stays callable after finish and equals the final result.
+  expectResultsIdentical(fin, engine.currentResult());
 }
 
 // Property sweep: delivery ratios are valid probabilities under any

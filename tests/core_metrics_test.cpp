@@ -87,6 +87,90 @@ TEST(Metrics, ScopesPartitionQueries) {
   EXPECT_EQ(m.report(MetricScope::kNonAccessFreeRiders).queries, 1u);
 }
 
+TEST(Metrics, ScopeSlicesCountOnlyTheirOwnDeliveries) {
+  // A query matrix over (access, free-rider) with distinct outcomes per
+  // slice, so a mis-scoped record would shift some slice's counters.
+  MetricsCollector m;
+  // Two access queries, both metadata-delivered, one file-delivered.
+  const QueryId acc1 =
+      m.registerQuery(NodeId(1), FileId(1), 0, 1000, true, false);
+  const QueryId acc2 =
+      m.registerQuery(NodeId(1), FileId(2), 0, 1000, true, false);
+  m.markFileDelivered(acc1, 10);
+  m.markMetadataDelivered(acc2, 20);
+  // Three contributor queries: delivered file / delivered metadata / nothing.
+  const QueryId con1 =
+      m.registerQuery(NodeId(2), FileId(3), 0, 1000, false, false);
+  const QueryId con2 =
+      m.registerQuery(NodeId(3), FileId(4), 0, 1000, false, false);
+  m.registerQuery(NodeId(2), FileId(5), 0, 1000, false, false);
+  m.markFileDelivered(con1, 100);
+  m.markMetadataDelivered(con2, 60);
+  // One free-rider query, metadata only.
+  const QueryId fr1 =
+      m.registerQuery(NodeId(4), FileId(6), 0, 1000, false, true);
+  m.markMetadataDelivered(fr1, 40);
+
+  const auto all = m.report(MetricScope::kAll);
+  EXPECT_EQ(all.queries, 6u);
+  EXPECT_EQ(all.metadataDelivered, 5u);
+  EXPECT_EQ(all.filesDelivered, 2u);
+
+  const auto access = m.report(MetricScope::kAccess);
+  EXPECT_EQ(access.queries, 2u);
+  EXPECT_EQ(access.metadataDelivered, 2u);
+  EXPECT_EQ(access.filesDelivered, 1u);
+  EXPECT_DOUBLE_EQ(access.metadataRatio, 1.0);
+  EXPECT_DOUBLE_EQ(access.fileRatio, 0.5);
+  EXPECT_DOUBLE_EQ(access.meanMetadataDelaySeconds, 15.0);  // (10 + 20) / 2
+
+  const auto nonAccess = m.report(MetricScope::kNonAccess);
+  EXPECT_EQ(nonAccess.queries, 4u);
+  EXPECT_EQ(nonAccess.metadataDelivered, 3u);
+  EXPECT_EQ(nonAccess.filesDelivered, 1u);
+  EXPECT_DOUBLE_EQ(nonAccess.fileRatio, 0.25);
+
+  const auto contributors = m.report(MetricScope::kNonAccessContributors);
+  EXPECT_EQ(contributors.queries, 3u);
+  EXPECT_EQ(contributors.metadataDelivered, 2u);
+  EXPECT_EQ(contributors.filesDelivered, 1u);
+  EXPECT_DOUBLE_EQ(contributors.meanMetadataDelaySeconds, 80.0);
+  EXPECT_DOUBLE_EQ(contributors.meanFileDelaySeconds, 100.0);
+
+  const auto freeRiders = m.report(MetricScope::kNonAccessFreeRiders);
+  EXPECT_EQ(freeRiders.queries, 1u);
+  EXPECT_EQ(freeRiders.metadataDelivered, 1u);
+  EXPECT_EQ(freeRiders.filesDelivered, 0u);
+  EXPECT_DOUBLE_EQ(freeRiders.metadataRatio, 1.0);
+  EXPECT_DOUBLE_EQ(freeRiders.fileRatio, 0.0);
+  EXPECT_DOUBLE_EQ(freeRiders.meanMetadataDelaySeconds, 40.0);
+
+  // The two non-access slices partition kNonAccess, and kAccess+kNonAccess
+  // partition kAll — for the delivered counts, not just the query counts.
+  EXPECT_EQ(contributors.queries + freeRiders.queries, nonAccess.queries);
+  EXPECT_EQ(contributors.metadataDelivered + freeRiders.metadataDelivered,
+            nonAccess.metadataDelivered);
+  EXPECT_EQ(contributors.filesDelivered + freeRiders.filesDelivered,
+            nonAccess.filesDelivered);
+  EXPECT_EQ(access.queries + nonAccess.queries, all.queries);
+  EXPECT_EQ(access.metadataDelivered + nonAccess.metadataDelivered,
+            all.metadataDelivered);
+  EXPECT_EQ(access.filesDelivered + nonAccess.filesDelivered,
+            all.filesDelivered);
+}
+
+TEST(Metrics, AccessFreeRiderCombinationStaysOutOfFreeRiderSlice) {
+  // ownerIsFreeRider on an *access* query: the non-access slices must not
+  // pick it up (free-rider reporting is defined over non-access nodes).
+  MetricsCollector m;
+  m.registerQuery(NodeId(1), FileId(1), 0, 100, true, true);
+  EXPECT_EQ(m.report(MetricScope::kAccess).queries, 1u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccess).queries, 0u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccessFreeRiders).queries, 0u);
+  EXPECT_EQ(m.report(MetricScope::kNonAccessContributors).queries, 0u);
+  EXPECT_EQ(m.report(MetricScope::kAll).queries, 1u);
+}
+
 TEST(Metrics, EmptyReportIsZeroed) {
   MetricsCollector m;
   const auto report = m.report(MetricScope::kNonAccess);

@@ -67,6 +67,35 @@ TEST(Simulator, PeriodicTaskEndsAtItsRunHorizon) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(Simulator, RunOneExecutesExactlyOneEvent) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.at(10, [&] { fired.push_back(10); });
+  sim.at(20, [&] { fired.push_back(20); });
+  EXPECT_TRUE(sim.runOne());
+  EXPECT_EQ(fired, (std::vector<SimTime>{10}));
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(sim.executedEvents(), 1u);
+  EXPECT_TRUE(sim.runOne());
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  // Empty queue: nothing runs, clock and counters hold.
+  EXPECT_FALSE(sim.runOne());
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST(Simulator, RunOneKeepsPeriodicTasksAlive) {
+  // Stepping has no horizon, so `every` reschedules indefinitely — matching
+  // run()'s semantics, one event at a time.
+  Simulator sim;
+  int count = 0;
+  sim.every(10, 10, [&](SimTime) { ++count; });
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(sim.runOne());
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 40);
+  EXPECT_EQ(sim.pendingEvents(), 1u);  // the next occurrence is queued
+}
+
 TEST(Simulator, OneShotEventsSurviveAcrossRuns) {
   Simulator sim;
   std::vector<SimTime> fired;

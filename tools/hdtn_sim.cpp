@@ -5,10 +5,16 @@
 //       --files-per-day=40 --ttl-days=3
 //
 // Prints the delivery report; --csv emits a single machine-readable row.
+// --events-out writes a JSONL event trace and --timeseries-out a sampled
+// delivery/totals CSV (see docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "src/core/engine.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/timeseries.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/args.hpp"
 
@@ -27,7 +33,11 @@ int usage() {
       "  --md-per-contact=5 --files-per-contact=2 --pieces-per-file=1\n"
       "  --free-riders=0.0 --frequent-days=3 --seed=42\n"
       "  --observed-popularity         rank by server-observed popularity\n"
-      "  --csv                         one CSV row instead of the report\n");
+      "  --csv                         one CSV row instead of the report\n"
+      "  --events-out=PATH             JSONL event trace "
+      "(docs/OBSERVABILITY.md)\n"
+      "  --timeseries-out=PATH         sampled delivery/totals CSV\n"
+      "  --sample-every=21600          time-series cadence, sim seconds\n");
   return 2;
 }
 
@@ -80,6 +90,10 @@ int main(int argc, char** argv) {
   params.useObservedPopularity = args.getBool("observed-popularity", false);
   params.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const bool csv = args.getBool("csv", false);
+  const std::string eventsOut = args.getString("events-out", "");
+  const std::string timeseriesOut = args.getString("timeseries-out", "");
+  const Duration sampleEvery =
+      static_cast<Duration>(args.getInt("sample-every", 21600));
 
   for (const auto& parseError : args.errors()) {
     std::fprintf(stderr, "error: %s\n", parseError.c_str());
@@ -89,8 +103,52 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
     return 2;
   }
+  const auto paramErrors = params.validate();
+  for (const auto& paramError : paramErrors) {
+    std::fprintf(stderr, "error: invalid parameters: %s\n",
+                 paramError.c_str());
+  }
+  if (!paramErrors.empty()) return 2;
+  if (sampleEvery <= 0) {
+    std::fprintf(stderr, "error: --sample-every must be positive\n");
+    return 2;
+  }
 
-  const core::EngineResult result = core::runSimulation(*trace, params);
+  core::EngineResult result;
+  if (eventsOut.empty() && timeseriesOut.empty()) {
+    result = core::runSimulation(*trace, params);
+  } else {
+    core::Engine engine(*trace, params);
+    std::ofstream eventsFile;
+    std::optional<obs::JsonlEventSink> sink;
+    if (!eventsOut.empty()) {
+      eventsFile.open(eventsOut);
+      if (!eventsFile) {
+        std::fprintf(stderr, "error: cannot write %s\n", eventsOut.c_str());
+        return 1;
+      }
+      sink.emplace(eventsFile);
+      engine.setObserver(&*sink);
+    }
+    if (!timeseriesOut.empty()) {
+      obs::TimeSeries series;
+      result = obs::runSampled(engine, sampleEvery, series);
+      std::ofstream tsFile(timeseriesOut);
+      if (!tsFile) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     timeseriesOut.c_str());
+        return 1;
+      }
+      series.writeCsv(tsFile);
+    } else {
+      result = engine.run();
+    }
+    if (sink) {
+      std::fprintf(stderr, "events: %llu written to %s\n",
+                   static_cast<unsigned long long>(sink->eventsWritten()),
+                   eventsOut.c_str());
+    }
+  }
   if (csv) {
     std::printf(
         "protocol,access,metadata_ratio,file_ratio,mean_md_delay_s,"
