@@ -1,0 +1,182 @@
+// Robustness sweep: delivery ratio AND mean file delay vs the per-message
+// loss rate, for MBT / MBT-Q / MBT-QM on the NUS-style trace.
+//
+// The paper evaluates the protocols over clean traces; this panel asks how
+// gracefully each degrades as the DTN channel gets lossy (faults are drawn
+// from the deterministic fault plan, see docs/FAULTS.md). Unlike the
+// figure benches this one also reports delays — under loss a protocol can
+// hold its delivery ratio while its delay balloons, and the ratio alone
+// would hide that.
+//
+//   bench_robustness [--seeds=N] [--threads=N] [--json[=PATH]]
+//                    [--scenario=FILE]
+//
+// --scenario replaces the base engine parameters and the trace with the
+// scenario's (the loss-rate sweep still overrides the scenario's own
+// loss-rate); by default the run uses the shared NUS stand-in.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "src/core/scenario.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/parallel.hpp"
+
+using namespace hdtn;
+
+namespace {
+
+constexpr core::ProtocolKind kProtocols[] = {core::ProtocolKind::kMbt,
+                                             core::ProtocolKind::kMbtQ,
+                                             core::ProtocolKind::kMbtQm};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::CommonArgs common =
+      bench::parseCommonArgs("robustness", 3, argc, argv);
+  const std::vector<double> lossRates = {0.0,  0.05, 0.1, 0.2,
+                                         0.35, 0.5,  0.7};
+
+  core::EngineParams base = bench::nusBaseParams();
+  core::TraceSpec traceSpec;
+  traceSpec.family = "nus";
+  traceSpec.students = 160;
+  traceSpec.courses = 32;
+  traceSpec.days = 12;
+  if (!common.scenarioPath.empty()) {
+    std::vector<std::string> errors;
+    const auto scenario = core::Scenario::fromFile(common.scenarioPath,
+                                                   &errors);
+    if (!scenario) {
+      for (const std::string& error : errors) {
+        std::cerr << common.scenarioPath << ": " << error << "\n";
+      }
+      return 2;
+    }
+    base = scenario->params;
+    traceSpec = scenario->trace;
+    std::cout << "scenario: " << scenario->name << " ("
+              << common.scenarioPath << ")\n";
+  }
+
+  const int seeds = common.seeds;
+  const unsigned threads = common.threads;
+  std::cout << "=== robustness: delivery and delay vs message loss ===\n"
+            << "x-axis: loss rate; " << seeds
+            << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
+            << threads << " thread(s)\n\n";
+
+  // Traces first (read-only, shared across the sweep), one per seed.
+  std::vector<trace::ContactTrace> traces(
+      static_cast<std::size_t>(seeds));
+  std::vector<std::string> traceErrors(traces.size());
+  parallelFor(traces.size(), threads, [&](std::size_t i) {
+    core::TraceSpec spec = traceSpec;
+    spec.seed = i + 1;
+    if (auto built = spec.build(&traceErrors[i])) traces[i] = *built;
+  });
+  for (const std::string& error : traceErrors) {
+    if (!error.empty()) {
+      std::cerr << "trace: " << error << "\n";
+      return 1;
+    }
+  }
+
+  const std::size_t points = lossRates.size();
+  std::vector<double> fileRatio(points * 3 * static_cast<std::size_t>(seeds));
+  std::vector<double> mdRatio(fileRatio.size());
+  std::vector<double> fileDelayH(fileRatio.size());
+  parallelFor(fileRatio.size(), threads, [&](std::size_t task) {
+    const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
+    const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
+    const std::size_t pi = rest / static_cast<std::size_t>(seeds);
+    const std::size_t seed = rest % static_cast<std::size_t>(seeds);
+    core::EngineParams params = base;
+    params.protocol.kind = kProtocols[pi];
+    params.seed = (seed + 1) * 1000003u;
+    params.faults.messageLossRate = lossRates[xi];
+    const auto result = core::runSimulation(traces[seed], params);
+    fileRatio[task] = result.delivery.fileRatio;
+    mdRatio[task] = result.delivery.metadataRatio;
+    fileDelayH[task] = result.delivery.meanFileDelaySeconds / 3600.0;
+  });
+
+  std::vector<std::vector<double>> ratioSeries(3), delaySeries(3);
+  Table table({"loss rate", "MBT file", "MBT-Q file", "MBT-QM file",
+               "MBT delay h", "MBT-Q delay h", "MBT-QM delay h"});
+  for (std::size_t xi = 0; xi < points; ++xi) {
+    std::vector<double> ratioMeans(3, 0.0), delayMeans(3, 0.0);
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      double ratioSum = 0.0, delaySum = 0.0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        const std::size_t task =
+            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
+            static_cast<std::size_t>(seed);
+        ratioSum += fileRatio[task];
+        delaySum += fileDelayH[task];
+      }
+      ratioMeans[pi] = ratioSum / seeds;
+      delayMeans[pi] = delaySum / seeds;
+      ratioSeries[pi].push_back(ratioMeans[pi]);
+      delaySeries[pi].push_back(delayMeans[pi]);
+    }
+    table.addRow({lossRates[xi], ratioMeans[0], ratioMeans[1], ratioMeans[2],
+                  delayMeans[0], delayMeans[1], delayMeans[2]});
+  }
+
+  table.writeAligned(std::cout);
+  std::cout << "\nCSV:\n";
+  table.writeCsv(std::cout);
+  std::cout << "\n";
+
+  const char glyphs[3] = {'*', 'o', '.'};
+  AsciiChart ratioChart("robustness: file delivery ratio vs loss rate",
+                        lossRates);
+  AsciiChart delayChart("robustness: mean file delay (h) vs loss rate",
+                        lossRates);
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    const char* name = core::protocolName(kProtocols[pi]);
+    ratioChart.addSeries({name, glyphs[pi], ratioSeries[pi]});
+    delayChart.addSeries({name, glyphs[pi], delaySeries[pi]});
+  }
+  std::cout << ratioChart.render() << "\n" << delayChart.render()
+            << std::endl;
+
+  if (!common.jsonPath.empty()) {
+    std::ofstream json(common.jsonPath);
+    if (!json) {
+      std::cerr << "cannot write " << common.jsonPath << "\n";
+      return 1;
+    }
+    json << "{\n"
+         << "  \"figure\": \"robustness\",\n"
+         << "  \"title\": \"delivery and delay vs message loss\",\n"
+         << "  \"x_label\": \"loss rate\",\n"
+         << "  \"seeds\": " << seeds << ",\n"
+         << "  \"series\": [\n";
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
+           << "\", \"points\": [";
+      for (std::size_t xi = 0; xi < points; ++xi) {
+        const std::size_t firstTask =
+            (xi * 3 + pi) * static_cast<std::size_t>(seeds);
+        double mdSum = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          mdSum += mdRatio[firstTask + static_cast<std::size_t>(seed)];
+        }
+        json << (xi == 0 ? "" : ", ") << "{\"x\": " << lossRates[xi]
+             << ", \"metadata_ratio\": " << mdSum / seeds
+             << ", \"file_ratio\": " << ratioSeries[pi][xi]
+             << ", \"mean_file_delay_h\": " << delaySeries[pi][xi] << "}";
+      }
+      json << "]}" << (pi + 1 < 3 ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "json written to " << common.jsonPath << std::endl;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "src/core/protocol.hpp"
+#include "src/core/scenario.hpp"
 #include "src/obs/timeseries.hpp"
 #include "src/trace/dieselnet.hpp"
 #include "src/trace/nus.hpp"
@@ -65,6 +66,8 @@ CommonArgs parseCommonArgs(const std::string& figureId, int defaultSeeds,
     } else if (hdtn::startsWith(arg, "--sample-every=")) {
       out.sampleEvery =
           std::max<Duration>(1, std::atoll(arg.substr(15).data()));
+    } else if (hdtn::startsWith(arg, "--scenario=")) {
+      out.scenarioPath = std::string(arg.substr(11));
     }
   }
   return out;
@@ -113,6 +116,20 @@ std::vector<double> accessFractionSweep() {
 
 int runFigure(FigureSpec spec, int argc, char** argv) {
   const CommonArgs common = parseCommonArgs(spec.id, spec.seeds, argc, argv);
+  if (!common.scenarioPath.empty()) {
+    std::vector<std::string> errors;
+    const auto scenario = core::Scenario::fromFile(common.scenarioPath,
+                                                   &errors);
+    if (!scenario) {
+      for (const std::string& error : errors) {
+        std::cerr << common.scenarioPath << ": " << error << "\n";
+      }
+      return 2;
+    }
+    spec.base = scenario->params;
+    std::cout << "scenario: " << scenario->name << " ("
+              << common.scenarioPath << ")\n";
+  }
   const int seeds = common.seeds;
   const unsigned threads = common.threads;
   const std::string& jsonPath = common.jsonPath;

@@ -36,10 +36,15 @@ struct CommonArgs {
   std::string timeseriesDir;
   /// Sampling cadence for --timeseries (--sample-every=SECONDS).
   Duration sampleEvery = 6 * kHour;
+  /// Scenario file (--scenario=PATH): its engine parameters (protocol
+  /// knobs, fault rates, ...) replace the figure's base params before the
+  /// sweep applies. The figure keeps its own trace and x-axis.
+  std::string scenarioPath;
 };
 
-/// Parses --seeds/--threads/--json/--timeseries/--sample-every (unknown
-/// arguments are ignored; google-benchmark style binaries pass their own).
+/// Parses --seeds/--threads/--json/--timeseries/--sample-every/--scenario
+/// (unknown arguments are ignored; google-benchmark style binaries pass
+/// their own).
 [[nodiscard]] CommonArgs parseCommonArgs(const std::string& figureId,
                                          int defaultSeeds, int argc,
                                          char** argv);

@@ -54,6 +54,20 @@ std::vector<std::string> EngineParams::validate() const {
   fraction("freeRiderFraction", freeRiderFraction);
   fraction("forgerFraction", forgerFraction);
   fraction("accessMetadataSyncFraction", accessMetadataSyncFraction);
+  // Free-riders and forgers are both carved out of the *non-access*
+  // population (a forger must transmit, so it cannot also free-ride):
+  // their fractions must jointly fit into that population, independent of
+  // internetAccessFraction. Checked only when each is individually valid so
+  // out-of-range values keep their own message.
+  if (freeRiderFraction >= 0.0 && freeRiderFraction <= 1.0 &&
+      forgerFraction >= 0.0 && forgerFraction <= 1.0 &&
+      freeRiderFraction + forgerFraction > 1.0) {
+    errors.push_back(
+        "freeRiderFraction + forgerFraction must not exceed 1 (both are "
+        "fractions of the non-access population), got " +
+        std::to_string(freeRiderFraction) + " + " +
+        std::to_string(forgerFraction));
+  }
   if (newFilesPerDay < 1) {
     errors.push_back("newFilesPerDay must be >= 1, got " +
                      std::to_string(newFilesPerDay));
@@ -92,6 +106,9 @@ std::vector<std::string> EngineParams::validate() const {
         "scaleBudgetsWithDuration is set, got " +
         std::to_string(referenceContactDuration));
   }
+  for (std::string& error : faults.validate()) {
+    errors.push_back("faults." + std::move(error));
+  }
   return errors;
 }
 
@@ -101,6 +118,15 @@ Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
   if (!errors.empty()) {
     throw std::invalid_argument("invalid EngineParams: " +
                                 join(errors, "; "));
+  }
+  // Only an enabled fault configuration forks the engine stream (fork
+  // consumes a draw): all-zero fault rates leave every subsequent draw —
+  // node shuffling, publications, queries — byte-identical to a run
+  // without fault support.
+  if (params_.faults.enabled()) {
+    faults_ = std::make_unique<faults::FaultPlan>(
+        params_.faults, rng_.fork(0xfa01), trace_.nodeCount(),
+        trace_.endTime());
   }
   setupNodes();
 }
@@ -212,6 +238,36 @@ void Engine::ensureScheduled() {
   }
   for (const trace::Contact& contact : trace_.contacts()) {
     sim_.at(contact.start, [this, &contact] { processContact(contact); });
+  }
+  // Churn transitions are observational events (isDown() reads the
+  // precomputed interval table, not these), scheduled last so same-instant
+  // ordering of publications and contacts is untouched.
+  if (faults_ != nullptr) {
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      for (const faults::FaultPlan::DownInterval& interval :
+           faults_->downIntervals(NodeId(i))) {
+        sim_.at(interval.start, [this, i, interval] {
+          ++totals_.faultNodeDownIntervals;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kNodeDown;
+            event.time = interval.start;
+            event.node = NodeId(i);
+            event.value = static_cast<double>(interval.end - interval.start);
+            emit(event);
+          }
+        });
+        sim_.at(interval.end, [this, i, interval] {
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kNodeUp;
+            event.time = interval.end;
+            event.node = NodeId(i);
+            emit(event);
+          }
+        });
+      }
+    }
   }
 }
 
@@ -338,9 +394,14 @@ void Engine::publishDay(SimTime now) {
                                        static_cast<double>(alive))));
   caches_->topPopular = internet_.topPopular(now, stock);
 
-  // Access nodes are online: they discover and download instantly.
+  // Access nodes are online: they discover and download instantly. A
+  // churned-off access node is not: it catches up at its next contact (or
+  // publish instant) once back up. Its user still issues queries above —
+  // interest exists whether or not the device is on.
   for (auto& nodePtr : nodes_) {
-    if (nodePtr->options().internetAccess) syncAccessNode(*nodePtr, now);
+    if (!nodePtr->options().internetAccess) continue;
+    if (faults_ != nullptr && faults_->isDown(nodePtr->id(), now)) continue;
+    syncAccessNode(*nodePtr, now);
   }
 
   // Forgers craft fakes of the day's hottest titles: same searchable name,
@@ -455,7 +516,11 @@ void Engine::processContact(const trace::Contact& contact) {
   std::vector<Node*> members;
   members.reserve(contact.members.size());
   for (NodeId id : contact.members) {
-    if (id.value < nodes_.size()) members.push_back(nodes_[id.value].get());
+    if (id.value >= nodes_.size()) continue;
+    // Churned-off members neither transmit nor receive: they simply are
+    // not part of the exchange clique.
+    if (faults_ != nullptr && faults_->isDown(id, now)) continue;
+    members.push_back(nodes_[id.value].get());
   }
   if (members.size() < 2) return;
   ++totals_.contactsProcessed;
@@ -525,13 +590,40 @@ void Engine::processContact(const trace::Contact& contact) {
         1, static_cast<int>(contact.duration() /
                             params_.referenceContactDuration));
   }
+  int metadataBudget = params_.metadataPerContact * budgetMultiplier;
+  int pieceBudget = params_.filesPerContact *
+                    static_cast<int>(params_.piecesPerFile) *
+                    budgetMultiplier;
+
+  // A truncated contact ends early: both phases lose the same tail
+  // fraction of their budgets (possibly down to nothing).
+  if (faults_ != nullptr) {
+    const double keep = faults_->contactKeepFactor();
+    if (keep < 1.0) {
+      ++totals_.faultContactsTruncated;
+      metadataBudget = static_cast<int>(metadataBudget * keep);
+      pieceBudget = static_cast<int>(pieceBudget * keep);
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kFaultInjected;
+        event.time = now;
+        event.node = members.front()->id();
+        event.extra = static_cast<std::uint32_t>(
+            faults::FaultKind::kContactTruncation);
+        event.value = keep;
+        emit(event);
+      }
+    }
+  }
 
   // --- discovery phase (start of the contact, Section V rationale) -------
-  if (params_.protocol.distributesMetadata()) {
-    runDiscoveryPhase(members, now, budgetMultiplier);
+  if (params_.protocol.distributesMetadata() && metadataBudget > 0) {
+    runDiscoveryPhase(members, now, metadataBudget);
   }
   // --- download phase -----------------------------------------------------
-  runDownloadPhase(members, now, budgetMultiplier);
+  if (pieceBudget > 0) {
+    runDownloadPhase(members, now, pieceBudget);
+  }
 
   if (observer_ != nullptr) {
     obs::SimEvent event;
@@ -544,7 +636,7 @@ void Engine::processContact(const trace::Contact& contact) {
 }
 
 void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
-                               int budgetMultiplier) {
+                               int metadataBudget) {
   std::vector<DiscoveryPeer> peers;
   peers.reserve(members.size());
   for (Node* m : members) {
@@ -563,9 +655,8 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
     peers.push_back(std::move(peer));
   }
 
-  const auto plan =
-      planDiscovery(peers, params_.metadataPerContact * budgetMultiplier,
-                    params_.protocol.scheduling, observer_, now);
+  const auto plan = planDiscovery(peers, metadataBudget,
+                                  params_.protocol.scheduling, observer_, now);
   totals_.metadataBroadcasts += plan.size();
 
   for (const MetadataBroadcast& b : plan) {
@@ -584,6 +675,23 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
       if (m->id() == b.sender || m->metadata().has(md.file) ||
           m->rejectedMetadata().contains(md.file) ||
           m->distrusts(b.sender)) {
+        continue;
+      }
+      // Lossy contact: this receiver misses the frame (others may still
+      // hear it — loss is drawn per deliverable message-receiver pair).
+      if (faults_ != nullptr && faults_->dropMessage()) {
+        ++totals_.faultMessagesDropped;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kFaultInjected;
+          event.time = now;
+          event.node = m->id();
+          event.peer = b.sender;
+          event.file = md.file;
+          event.extra =
+              static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
+          emit(event);
+        }
         continue;
       }
       // Credit the sender before the store flips the query state.
@@ -632,8 +740,50 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
   }
 }
 
+bool Engine::pieceReceptionFaulted(NodeId receiver, NodeId sender,
+                                   FileId file, std::uint32_t piece,
+                                   SimTime now) {
+  if (faults_->dropMessage()) {
+    ++totals_.faultMessagesDropped;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kFaultInjected;
+      event.time = now;
+      event.node = receiver;
+      event.peer = sender;
+      event.file = file;
+      event.extra =
+          static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
+      emit(event);
+    }
+    return true;
+  }
+  if (faults_->corruptPiece()) {
+    // The payload arrived damaged; the SHA-1 piece checksum in the held
+    // metadata catches it, so the piece never enters the store and the
+    // receiver re-requests it at a later contact.
+    ++totals_.faultPiecesRejectedCorrupt;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kFaultInjected;
+      event.time = now;
+      event.node = receiver;
+      event.peer = sender;
+      event.file = file;
+      event.extra =
+          static_cast<std::uint32_t>(faults::FaultKind::kPieceCorruption);
+      emit(event);
+      event.type = obs::SimEventType::kPieceRejectedCorrupt;
+      event.extra = piece;
+      emit(event);
+    }
+    return true;
+  }
+  return false;
+}
+
 void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
-                              int budgetMultiplier) {
+                              int pieceBudget) {
   std::vector<DownloadPeer> peers;
   peers.reserve(members.size());
   // Gateway behaviour: an access member is online *during* the contact, so
@@ -661,9 +811,7 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     peers.push_back(std::move(peer));
   }
 
-  const int budget = params_.filesPerContact *
-                     static_cast<int>(params_.piecesPerFile) *
-                     budgetMultiplier;
+  const int budget = pieceBudget;
   const auto popularityOf = [this](FileId file) {
     const FileInfo* info = internet_.catalog().find(file);
     return info == nullptr ? 0.0 : info->popularity;
@@ -728,6 +876,11 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
           receiver->pieces().hasPiece(t.file, t.piece)) {
         continue;
       }
+      if (faults_ != nullptr &&
+          pieceReceptionFaulted(t.receiver, t.sender, t.file, t.piece,
+                                now)) {
+        continue;
+      }
       receiver->acceptPiece(t.file, t.piece, info->pieceCount(), now);
       ++totals_.pieceReceptions;
       if (t.requested) {
@@ -774,6 +927,10 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     if (info == nullptr) continue;
     for (Node* m : members) {
       if (m->id() == b.sender || m->pieces().hasPiece(b.file, b.piece)) {
+        continue;
+      }
+      if (faults_ != nullptr &&
+          pieceReceptionFaulted(m->id(), b.sender, b.file, b.piece, now)) {
         continue;
       }
       const bool requested =

@@ -13,6 +13,7 @@
 
 #include "src/core/download.hpp"
 #include "src/core/internet.hpp"
+#include "src/faults/faults.hpp"
 #include "src/core/metrics.hpp"
 #include "src/core/node.hpp"
 #include "src/core/protocol.hpp"
@@ -104,6 +105,11 @@ struct EngineParams {
   double accessMetadataSyncFraction = 0.25;
   /// Absolute cap on the carry stock.
   std::size_t accessMetadataSyncLimit = 500;
+  /// Fault injection (message loss, contact truncation, piece corruption,
+  /// node churn; see src/faults/faults.hpp). All-zero rates disable the
+  /// subsystem entirely: no plan is constructed, no extra RNG draws happen,
+  /// and the run is byte-identical to one without fault support.
+  faults::FaultParams faults;
   std::uint64_t seed = 42;
 
   /// Checks every field for consistency and returns one descriptive message
@@ -128,6 +134,16 @@ struct EngineTotals {
   std::uint64_t forgeriesAccepted = 0;
   /// Forged records dropped at reception by the verifier.
   std::uint64_t forgeriesRejected = 0;
+  // Fault-injection accounting (all zero when faults are disabled).
+  /// Deliverable messages lost inside contacts (metadata or pieces).
+  std::uint64_t faultMessagesDropped = 0;
+  /// Contacts whose budgets were truncated.
+  std::uint64_t faultContactsTruncated = 0;
+  /// Pieces corrupted in flight and rejected by their SHA-1 checksum
+  /// (never stored; the receiver re-requests at later contacts).
+  std::uint64_t faultPiecesRejectedCorrupt = 0;
+  /// Churn down intervals whose start the run has executed.
+  std::uint64_t faultNodeDownIntervals = 0;
 };
 
 struct EngineResult {
@@ -209,6 +225,10 @@ class Engine {
   [[nodiscard]] const EngineParams& params() const { return params_; }
   [[nodiscard]] const EngineTotals& totals() const { return totals_; }
   [[nodiscard]] std::vector<NodeId> accessNodes() const;
+  /// The run's fault schedule; nullptr when faults are disabled.
+  [[nodiscard]] const faults::FaultPlan* faultPlan() const {
+    return faults_.get();
+  }
 
  private:
   void setupNodes();
@@ -223,9 +243,15 @@ class Engine {
   void deliverWholeFile(Node& node, FileId file, SimTime now);
   void expireNodeData(Node& node, SimTime now);
   void runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
-                         int budgetMultiplier);
+                         int metadataBudget);
   void runDownloadPhase(const std::vector<Node*>& members, SimTime now,
-                        int budgetMultiplier);
+                        int pieceBudget);
+  /// Draws the channel faults for one deliverable piece: returns true when
+  /// the reception must be skipped (frame lost, or payload corrupted and
+  /// rejected by its checksum), updating counters and emitting events.
+  /// Only called when faults_ is non-null.
+  bool pieceReceptionFaulted(NodeId receiver, NodeId sender, FileId file,
+                             std::uint32_t piece, SimTime now);
 
   const trace::ContactTrace& trace_;
   EngineParams params_;
@@ -234,6 +260,9 @@ class Engine {
   InternetServices internet_;
   MetricsCollector metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Null when params_.faults is disabled (the zero-cost clean path: every
+  /// fault site costs one pointer test, like the observer hooks).
+  std::unique_ptr<faults::FaultPlan> faults_;
   EngineTotals totals_;
   std::unique_ptr<EngineCaches> caches_;
   sim::Simulator sim_;

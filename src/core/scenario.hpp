@@ -1,0 +1,168 @@
+// Declarative run configuration: one value type that owns everything a
+// simulation run needs — the trace source, the EngineParams (including
+// fault injection), and the output choices — plus a fluent builder and a
+// `key = value` file format.
+//
+// The Scenario is the preferred entry point for tools, benches, and tests:
+// instead of each binary re-implementing flag parsing, trace loading, and
+// sink plumbing, it configures a Scenario (from a file, from CLI overrides,
+// or through ScenarioBuilder) and calls runScenario(). All three paths
+// funnel through Scenario::apply(key, value), so a scenario-file key and
+// the matching hdtn_sim flag always have identical semantics.
+//
+// File format (see examples/*.scenario):
+//
+//   # comment
+//   name            = nus-paper
+//   trace-family    = nus
+//   trace-students  = 160
+//   protocol        = mbt-qm
+//   access          = 0.3
+//   loss-rate       = 0.05
+//
+// Unknown keys and malformed values are reported with line numbers.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/trace/contact_trace.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// Where the contact trace comes from: a trace file on disk, or one of the
+/// built-in generators with hdtn_tracegen's defaults.
+struct TraceSpec {
+  /// "file", "nus", "dieselnet", or "rwp".
+  std::string family = "file";
+  /// Trace file path (family == "file").
+  std::string path;
+  std::uint64_t seed = 1;
+  /// Generator days; 0 = family default (14 for NUS, 20 for DieselNet).
+  int days = 0;
+  // NUS campus knobs.
+  int students = 200;
+  int courses = 40;
+  int coursesPerStudent = 4;
+  double attendance = 0.85;
+  // DieselNet knobs.
+  int buses = 40;
+  int routes = 8;
+  // Random-waypoint knobs.
+  int nodes = 50;
+  double hours = 12.0;
+  double radioRange = 50.0;
+  double fieldSize = 1000.0;
+
+  /// One message per violation (unknown family, file family without path,
+  /// non-positive sizes); empty when the spec can build a trace.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Builds (or loads) the trace. On failure returns nullopt and stores a
+  /// message in *error.
+  [[nodiscard]] std::optional<trace::ContactTrace> build(
+      std::string* error) const;
+};
+
+/// A complete, self-describing run configuration.
+struct Scenario {
+  std::string name = "scenario";
+  TraceSpec trace;
+  EngineParams params;
+  /// When non-empty, the run writes a JSONL event stream here.
+  std::string eventsOut;
+  /// When non-empty, the run writes a sampled delivery/totals CSV here.
+  std::string timeseriesOut;
+  /// Time-series sampling cadence in simulation seconds.
+  Duration sampleEvery = 21600;
+
+  /// Sets one configuration key (scenario-file key == hdtn_sim flag name).
+  /// For boolean keys an empty value means true (bare --switch form).
+  /// Returns an empty string on success, a descriptive error otherwise.
+  [[nodiscard]] std::string apply(const std::string& key,
+                                  const std::string& value);
+
+  /// Every key apply() accepts, in a stable order (CLI override loops).
+  [[nodiscard]] static const std::vector<std::string>& knownKeys();
+
+  /// Parses a `key = value` stream; collects line-numbered errors. Returns
+  /// nullopt when any line fails.
+  [[nodiscard]] static std::optional<Scenario> parse(
+      std::istream& in, std::vector<std::string>* errors);
+
+  /// parse() on the named file; adds a file-level error when unreadable.
+  [[nodiscard]] static std::optional<Scenario> fromFile(
+      const std::string& path, std::vector<std::string>* errors);
+
+  /// Trace-spec problems + EngineParams::validate() + output sanity, one
+  /// message per violation; empty when the scenario can run.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Fluent scenario construction for tests and embedders:
+///
+///   auto s = ScenarioBuilder()
+///                .name("lossy-nus")
+///                .nusTrace(160, 32, 12)
+///                .protocol(ProtocolKind::kMbtQm)
+///                .messageLossRate(0.1)
+///                .build();  // throws std::invalid_argument when invalid
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& name(std::string value);
+  ScenarioBuilder& traceFile(std::string path);
+  ScenarioBuilder& nusTrace(int students, int courses, int days);
+  ScenarioBuilder& dieselNetTrace(int buses, int routes, int days);
+  ScenarioBuilder& rwpTrace(int nodes, double hours);
+  ScenarioBuilder& traceSeed(std::uint64_t seed);
+  ScenarioBuilder& protocol(ProtocolKind kind);
+  ScenarioBuilder& scheduling(Scheduling scheduling);
+  ScenarioBuilder& accessFraction(double fraction);
+  ScenarioBuilder& filesPerDay(int files);
+  ScenarioBuilder& ttlDays(int days);
+  ScenarioBuilder& piecesPerFile(std::uint32_t pieces);
+  ScenarioBuilder& freeRiderFraction(double fraction);
+  ScenarioBuilder& frequentContactDays(int days);
+  ScenarioBuilder& seed(std::uint64_t value);
+  ScenarioBuilder& faults(faults::FaultParams params);
+  ScenarioBuilder& messageLossRate(double rate);
+  ScenarioBuilder& contactTruncationRate(double rate);
+  ScenarioBuilder& pieceCorruptionRate(double rate);
+  ScenarioBuilder& churn(double downFraction, Duration meanDowntime);
+  ScenarioBuilder& eventsOut(std::string path);
+  ScenarioBuilder& timeseriesOut(std::string path, Duration sampleEvery);
+  /// Generic escape hatch onto Scenario::apply(); errors surface in build().
+  ScenarioBuilder& set(const std::string& key, const std::string& value);
+
+  /// Validates and returns the scenario; throws std::invalid_argument
+  /// listing every problem (set() errors first, then Scenario::validate()).
+  [[nodiscard]] Scenario build() const;
+
+ private:
+  Scenario scenario_;
+  std::vector<std::string> errors_;
+};
+
+/// What one scenario run produced beyond the engine result.
+struct ScenarioOutcome {
+  EngineResult result;
+  /// JSONL events written (0 when eventsOut was empty).
+  std::uint64_t eventsWritten = 0;
+};
+
+/// Runs the scenario over an already-built trace, honoring the scenario's
+/// event/time-series outputs. On failure (unwritable output path) returns
+/// nullopt and stores a message in *error.
+[[nodiscard]] std::optional<ScenarioOutcome> runScenario(
+    const Scenario& scenario, const trace::ContactTrace& trace,
+    std::string* error);
+
+/// Convenience: builds the trace from the spec, then runs.
+[[nodiscard]] std::optional<ScenarioOutcome> runScenario(
+    const Scenario& scenario, std::string* error);
+
+}  // namespace hdtn::core

@@ -19,6 +19,7 @@
 #include "src/core/file_catalog.hpp"
 #include "src/core/metadata.hpp"
 #include "src/core/node.hpp"
+#include "src/faults/faults.hpp"
 #include "src/net/codec.hpp"
 #include "src/util/random.hpp"
 #include "src/util/types.hpp"
@@ -86,6 +87,13 @@ class LossyLink {
  public:
   LossyLink(double dropRate, double corruptRate, Rng rng)
       : dropRate_(dropRate), corruptRate_(corruptRate), rng_(rng) {}
+
+  /// Radio view of a fault configuration: messageLossRate becomes the
+  /// frame drop rate and pieceCorruptionRate the byte-corruption rate, so
+  /// the byte-level device path and the engine's fault plan share one
+  /// vocabulary (scenario files drive both).
+  LossyLink(const faults::FaultParams& faults, Rng rng)
+      : LossyLink(faults.messageLossRate, faults.pieceCorruptionRate, rng) {}
 
   /// Returns the frame as the receiver would see it; nullopt = dropped.
   [[nodiscard]] std::optional<Bytes> transfer(const Bytes& frame);

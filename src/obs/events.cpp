@@ -32,6 +32,14 @@ const char* simEventTypeName(SimEventType type) {
       return "discovery_planned";
     case SimEventType::kDownloadPlanned:
       return "download_planned";
+    case SimEventType::kFaultInjected:
+      return "fault_injected";
+    case SimEventType::kPieceRejectedCorrupt:
+      return "piece_rejected_corrupt";
+    case SimEventType::kNodeDown:
+      return "node_down";
+    case SimEventType::kNodeUp:
+      return "node_up";
   }
   return "unknown";
 }

@@ -39,9 +39,13 @@ enum class SimEventType : std::uint8_t {
   kForgeryAccepted,    ///< honest node stored a forged record
   kDiscoveryPlanned,   ///< planner output for one contact; extra = broadcasts
   kDownloadPlanned,    ///< planner output for one contact; extra = transfers
+  kFaultInjected,      ///< a fault fired; extra = faults::FaultKind
+  kPieceRejectedCorrupt,  ///< piece failed its checksum on reception
+  kNodeDown,           ///< churn: node switched off; value = interval length
+  kNodeUp,             ///< churn: node switched back on
 };
 
-inline constexpr std::size_t kSimEventTypeCount = 14;
+inline constexpr std::size_t kSimEventTypeCount = 18;
 
 /// Stable snake_case name of an event type (JSONL traces, schemas).
 [[nodiscard]] const char* simEventTypeName(SimEventType type);

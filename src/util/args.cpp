@@ -1,10 +1,27 @@
 #include "src/util/args.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/util/string_util.hpp"
 
 namespace hdtn {
+
+std::string formatUsage(const std::string& usageLine,
+                        const std::vector<FlagHelp>& flags) {
+  std::size_t width = 0;
+  for (const FlagHelp& flag : flags) {
+    width = std::max(width, flag.flag.size());
+  }
+  std::string out = "usage: " + usageLine + "\n";
+  for (const FlagHelp& flag : flags) {
+    out += "  --" + flag.flag;
+    out.append(width - flag.flag.size() + 2, ' ');
+    out += flag.text + "\n";
+  }
+  return out;
+}
 
 ArgParser::ArgParser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +103,32 @@ std::vector<std::string> ArgParser::unusedFlags() const {
     if (!queried_.contains(name)) out.push_back(name);
   }
   return out;
+}
+
+bool ArgParser::helpRequested() const {
+  if (flags_.contains("help")) {
+    queried_["help"] = true;
+    return true;
+  }
+  for (const std::string& arg : positional_) {
+    if (arg == "-h") return true;
+  }
+  return false;
+}
+
+bool ArgParser::ok(const std::string& toolName) const {
+  queried_["help"] = true;  // --help is always understood
+  bool clean = true;
+  for (const std::string& error : errors_) {
+    std::fprintf(stderr, "%s: error: %s\n", toolName.c_str(), error.c_str());
+    clean = false;
+  }
+  for (const std::string& flag : unusedFlags()) {
+    std::fprintf(stderr, "%s: error: unknown flag --%s\n", toolName.c_str(),
+                 flag.c_str());
+    clean = false;
+  }
+  return clean;
 }
 
 }  // namespace hdtn

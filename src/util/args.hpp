@@ -13,6 +13,22 @@
 
 namespace hdtn {
 
+/// One entry of a tool's --help text: "--family=nus" / "trace family".
+struct FlagHelp {
+  std::string flag;  ///< flag with its value sketch, without leading dashes
+  std::string text;  ///< one-line description
+};
+
+/// Renders a uniform usage block shared by every tool:
+///
+///   usage: hdtn_tracegen --family=dieselnet|nus|rwp [options]
+///     --seed=N             generator seed
+///     --out=PATH           output trace path (default stdout)
+///
+/// Flags are aligned on the description column.
+[[nodiscard]] std::string formatUsage(const std::string& usageLine,
+                                      const std::vector<FlagHelp>& flags);
+
 class ArgParser {
  public:
   ArgParser(int argc, char** argv);
@@ -39,6 +55,14 @@ class ArgParser {
   /// Flags that were provided but never queried — typo detection. Call
   /// after all getters.
   [[nodiscard]] std::vector<std::string> unusedFlags() const;
+
+  /// True when --help (or -h as a positional) was given.
+  [[nodiscard]] bool helpRequested() const;
+
+  /// The shared end-of-parsing check every tool runs after its getters:
+  /// prints accumulated parse errors and unknown flags to stderr prefixed
+  /// with the tool name. Returns true when the command line was clean.
+  [[nodiscard]] bool ok(const std::string& toolName) const;
 
  private:
   std::map<std::string, std::string> flags_;

@@ -113,6 +113,54 @@ TEST(EngineParamsValidate, RejectsZeroReferenceDurationOnlyWhenScaling) {
   EXPECT_TRUE(singleErrorMentioning(params, "referenceContactDuration"));
 }
 
+TEST(EngineParamsValidate, RejectsMisbehaverFractionsExceedingOne) {
+  // Each fraction is valid alone, but both partition the *same* non-access
+  // population: together they cannot exceed it.
+  auto params = validParams();
+  params.freeRiderFraction = 0.6;
+  params.forgerFraction = 0.6;
+  const auto errors = params.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("freeRiderFraction + forgerFraction"),
+            std::string::npos);
+}
+
+TEST(EngineParamsValidate, AcceptsMisbehaverFractionsSummingToOne) {
+  auto params = validParams();
+  params.freeRiderFraction = 0.5;
+  params.forgerFraction = 0.5;
+  EXPECT_TRUE(params.validate().empty());
+}
+
+TEST(EngineParamsValidate, JointMisbehaverCheckSkippedWhenEitherInvalid) {
+  // An out-of-range fraction already gets its own message; the joint check
+  // must not pile a second (spurious) error on top.
+  auto params = validParams();
+  params.freeRiderFraction = 1.5;
+  params.forgerFraction = 0.9;
+  EXPECT_TRUE(singleErrorMentioning(params, "freeRiderFraction"));
+}
+
+TEST(EngineParamsValidate, RejectsBadFaultRates) {
+  auto params = validParams();
+  params.faults.messageLossRate = 1.5;
+  EXPECT_TRUE(singleErrorMentioning(params, "faults.messageLossRate"));
+  params = validParams();
+  params.faults.pieceCorruptionRate = -0.1;
+  EXPECT_TRUE(singleErrorMentioning(params, "faults.pieceCorruptionRate"));
+  params = validParams();
+  params.faults.churnDownFraction = 1.0;  // 1.0 would never be up
+  EXPECT_TRUE(singleErrorMentioning(params, "faults.churnDownFraction"));
+}
+
+TEST(EngineParamsValidate, RejectsBadTruncationKeepBounds) {
+  auto params = validParams();
+  params.faults.contactTruncationRate = 0.5;
+  params.faults.truncationKeepMin = 0.9;
+  params.faults.truncationKeepMax = 0.1;
+  EXPECT_TRUE(singleErrorMentioning(params, "truncationKeep"));
+}
+
 TEST(EngineParamsValidate, CollectsEveryViolationAtOnce) {
   auto params = validParams();
   params.internetAccessFraction = 7.0;

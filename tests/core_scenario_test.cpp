@@ -1,0 +1,226 @@
+// Scenario: the declarative run configuration. Covers key application
+// (file keys == CLI flags, one semantics), the `key = value` parser with
+// line-numbered errors, the fluent builder, trace building for every
+// family, and runScenario() matching a hand-wired engine run.
+#include "src/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hdtn::core {
+namespace {
+
+TEST(ScenarioApply, SetsEngineAndFaultAndTraceFields) {
+  Scenario s;
+  EXPECT_EQ(s.apply("protocol", "mbt-q"), "");
+  EXPECT_EQ(s.apply("scheduling", "tft"), "");
+  EXPECT_EQ(s.apply("access", "0.5"), "");
+  EXPECT_EQ(s.apply("files-per-day", "10"), "");
+  EXPECT_EQ(s.apply("frequent-days", "1"), "");
+  EXPECT_EQ(s.apply("loss-rate", "0.25"), "");
+  EXPECT_EQ(s.apply("churn-fraction", "0.1"), "");
+  EXPECT_EQ(s.apply("churn-downtime-hours", "2"), "");
+  EXPECT_EQ(s.apply("trace-family", "dieselnet"), "");
+  EXPECT_EQ(s.apply("trace-buses", "12"), "");
+  EXPECT_EQ(s.params.protocol.kind, ProtocolKind::kMbtQ);
+  EXPECT_EQ(s.params.protocol.scheduling, Scheduling::kTitForTat);
+  EXPECT_EQ(s.params.internetAccessFraction, 0.5);
+  EXPECT_EQ(s.params.newFilesPerDay, 10);
+  EXPECT_EQ(s.params.frequentContactPeriod, kDay);
+  EXPECT_EQ(s.params.faults.messageLossRate, 0.25);
+  EXPECT_EQ(s.params.faults.churnDownFraction, 0.1);
+  EXPECT_EQ(s.params.faults.churnMeanDowntime, 2 * kHour);
+  EXPECT_EQ(s.trace.family, "dieselnet");
+  EXPECT_EQ(s.trace.buses, 12);
+}
+
+TEST(ScenarioApply, BareSwitchMeansTrue) {
+  Scenario s;
+  EXPECT_EQ(s.apply("observed-popularity", ""), "");
+  EXPECT_TRUE(s.params.useObservedPopularity);
+  EXPECT_EQ(s.apply("observed-popularity", "false"), "");
+  EXPECT_FALSE(s.params.useObservedPopularity);
+}
+
+TEST(ScenarioApply, RejectsUnknownKeysAndBadValues) {
+  Scenario s;
+  EXPECT_NE(s.apply("no-such-key", "1"), "");
+  EXPECT_NE(s.apply("protocol", "flooding"), "");
+  EXPECT_NE(s.apply("access", "lots"), "");
+  EXPECT_NE(s.apply("files-per-day", "3.5"), "");
+  EXPECT_NE(s.apply("churn-downtime-hours", "-1"), "");
+}
+
+TEST(ScenarioApply, EveryKnownKeyIsAccepted) {
+  // knownKeys() is what the CLI override loop iterates; a key present
+  // there but rejected by apply() would make a valid flag unusable.
+  for (const std::string& key : Scenario::knownKeys()) {
+    Scenario s;
+    const std::string numeric = s.apply(key, "1");
+    const std::string text = s.apply(key, "mbt");
+    EXPECT_TRUE(numeric.empty() || text.empty() || key == "scheduling")
+        << "key '" << key << "' rejects both '1' and 'mbt'";
+  }
+}
+
+TEST(ScenarioParse, ReadsFileFormatWithCommentsAndBlanks) {
+  std::istringstream in(
+      "# lossy campus run\n"
+      "name = lossy-nus   # trailing comment\n"
+      "\n"
+      "trace-family = nus\n"
+      "trace-students = 24\n"
+      "protocol     = mbt-qm\n"
+      "loss-rate    = 0.15\n");
+  std::vector<std::string> errors;
+  const auto scenario = Scenario::parse(in, &errors);
+  ASSERT_TRUE(scenario.has_value()) << (errors.empty() ? "" : errors.front());
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(scenario->name, "lossy-nus");
+  EXPECT_EQ(scenario->trace.family, "nus");
+  EXPECT_EQ(scenario->trace.students, 24);
+  EXPECT_EQ(scenario->params.protocol.kind, ProtocolKind::kMbtQm);
+  EXPECT_EQ(scenario->params.faults.messageLossRate, 0.15);
+}
+
+TEST(ScenarioParse, ReportsLineNumberedErrors) {
+  std::istringstream in(
+      "protocol = mbt\n"
+      "this line has no equals\n"
+      "losss-rate = 0.1\n"
+      "access = high\n");
+  std::vector<std::string> errors;
+  const auto scenario = Scenario::parse(in, &errors);
+  EXPECT_FALSE(scenario.has_value());
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_NE(errors[0].find("line 2"), std::string::npos);
+  EXPECT_NE(errors[1].find("line 3"), std::string::npos);
+  EXPECT_NE(errors[1].find("losss-rate"), std::string::npos);
+  EXPECT_NE(errors[2].find("line 4"), std::string::npos);
+}
+
+TEST(ScenarioFromFile, MissingFileIsAnError) {
+  std::vector<std::string> errors;
+  EXPECT_FALSE(
+      Scenario::fromFile("/nonexistent/p.scenario", &errors).has_value());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("cannot read"), std::string::npos);
+}
+
+TEST(ScenarioValidate, CatchesTraceParamAndOutputProblems) {
+  Scenario s;  // family "file" with no path
+  EXPECT_FALSE(s.validate().empty());
+  s.trace.family = "nus";
+  EXPECT_TRUE(s.validate().empty());
+  s.params.newFilesPerDay = 0;
+  s.sampleEvery = 0;
+  EXPECT_EQ(s.validate().size(), 2u);
+}
+
+TEST(TraceSpec, BuildsEveryFamily) {
+  for (const char* family : {"nus", "dieselnet", "rwp"}) {
+    TraceSpec spec;
+    spec.family = family;
+    spec.days = 2;
+    spec.students = 20;
+    spec.courses = 4;
+    spec.buses = 8;
+    spec.routes = 2;
+    spec.nodes = 10;
+    spec.hours = 2.0;
+    std::string error;
+    const auto trace = spec.build(&error);
+    ASSERT_TRUE(trace.has_value()) << family << ": " << error;
+    EXPECT_GT(trace->nodeCount(), 0u) << family;
+  }
+}
+
+TEST(TraceSpec, RejectsUnknownFamilyAndMissingPath) {
+  TraceSpec spec;
+  spec.family = "warp";
+  std::string error;
+  EXPECT_FALSE(spec.build(&error).has_value());
+  EXPECT_NE(error.find("trace-family"), std::string::npos);
+  spec = TraceSpec{};  // family "file", empty path
+  EXPECT_FALSE(spec.build(&error).has_value());
+}
+
+TEST(ScenarioBuilder, FluentConstructionRoundTrips) {
+  const Scenario s = ScenarioBuilder()
+                         .name("builder-run")
+                         .nusTrace(24, 6, 3)
+                         .traceSeed(9)
+                         .protocol(ProtocolKind::kMbtQ)
+                         .accessFraction(0.4)
+                         .filesPerDay(8)
+                         .ttlDays(2)
+                         .frequentContactDays(1)
+                         .seed(11)
+                         .messageLossRate(0.1)
+                         .churn(0.2, 3 * kHour)
+                         .build();
+  EXPECT_EQ(s.name, "builder-run");
+  EXPECT_EQ(s.trace.family, "nus");
+  EXPECT_EQ(s.trace.students, 24);
+  EXPECT_EQ(s.params.faults.messageLossRate, 0.1);
+  EXPECT_EQ(s.params.faults.churnDownFraction, 0.2);
+}
+
+TEST(ScenarioBuilder, BuildThrowsListingEveryProblem) {
+  ScenarioBuilder builder;
+  builder.nusTrace(24, 6, 3).filesPerDay(0).set("no-such-key", "1");
+  try {
+    (void)builder.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-key"), std::string::npos);
+    EXPECT_NE(what.find("newFilesPerDay"), std::string::npos);
+  }
+}
+
+TEST(RunScenario, MatchesHandWiredEngineRun) {
+  const Scenario s = ScenarioBuilder()
+                         .name("equivalence")
+                         .nusTrace(24, 6, 3)
+                         .protocol(ProtocolKind::kMbtQm)
+                         .frequentContactDays(1)
+                         .messageLossRate(0.2)
+                         .build();
+  std::string error;
+  const auto trace = s.trace.build(&error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  const auto outcome = runScenario(s, *trace, &error);
+  ASSERT_TRUE(outcome.has_value()) << error;
+  const EngineResult direct = runSimulation(*trace, s.params);
+  EXPECT_EQ(outcome->result.delivery.filesDelivered,
+            direct.delivery.filesDelivered);
+  EXPECT_EQ(outcome->result.totals.faultMessagesDropped,
+            direct.totals.faultMessagesDropped);
+}
+
+TEST(RunScenario, ConvenienceOverloadBuildsTheTrace) {
+  const Scenario s = ScenarioBuilder()
+                         .name("one-call")
+                         .nusTrace(20, 4, 2)
+                         .frequentContactDays(1)
+                         .build();
+  std::string error;
+  const auto outcome = runScenario(s, &error);
+  ASSERT_TRUE(outcome.has_value()) << error;
+  EXPECT_GT(outcome->result.totals.contactsProcessed, 0u);
+}
+
+TEST(RunScenario, InvalidScenarioFailsWithMessage) {
+  Scenario s;
+  s.trace.family = "nus";
+  s.params.fileTtlDays = 0;
+  std::string error;
+  EXPECT_FALSE(runScenario(s, &error).has_value());
+  EXPECT_NE(error.find("fileTtlDays"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdtn::core

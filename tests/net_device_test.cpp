@@ -149,6 +149,23 @@ TEST(LossyLink, PerfectLinkIsTransparent) {
   EXPECT_EQ(link.dropped(), 0u);
 }
 
+TEST(LossyLink, BuildsFromFaultParams) {
+  // The radio view of a fault configuration behaves like the explicit-rate
+  // constructor: same rates, same Rng, same decisions.
+  faults::FaultParams faults;
+  faults.messageLossRate = 0.3;
+  faults.pieceCorruptionRate = 0.2;
+  LossyLink fromFaults(faults, Rng(5));
+  LossyLink explicitRates(0.3, 0.2, Rng(5));
+  const Bytes frame(64, 0x17);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(fromFaults.transfer(frame).has_value(),
+              explicitRates.transfer(frame).has_value());
+  }
+  EXPECT_EQ(fromFaults.dropped(), explicitRates.dropped());
+  EXPECT_EQ(fromFaults.corrupted(), explicitRates.corrupted());
+}
+
 // End-to-end: a whole 8-piece file crosses a lossy radio; checksums weed
 // out corruption and retransmission drives the transfer to completion.
 TEST(Device, FileTransferAcrossLossyRadio) {

@@ -80,5 +80,40 @@ TEST(ArgParser, SwitchFollowedByFlag) {
   EXPECT_EQ(args.getInt("seed", 0), 3);
 }
 
+TEST(ArgParser, HelpRequestedByFlagOrShortForm) {
+  EXPECT_TRUE(parse({"--help"}).helpRequested());
+  EXPECT_TRUE(parse({"-h"}).helpRequested());
+  EXPECT_FALSE(parse({"--seed=1"}).helpRequested());
+}
+
+TEST(ArgParser, OkIsTrueOnlyForCleanCommandLines) {
+  auto clean = parse({"--seed=1"});
+  EXPECT_EQ(clean.getInt("seed", 0), 1);
+  EXPECT_TRUE(clean.ok("test"));
+
+  auto typo = parse({"--seed=1", "--sede=2"});
+  EXPECT_EQ(typo.getInt("seed", 0), 1);
+  EXPECT_FALSE(typo.ok("test"));  // --sede never queried
+
+  auto bad = parse({"--seed=abc"});
+  EXPECT_EQ(bad.getInt("seed", 0), 0);
+  EXPECT_FALSE(bad.ok("test"));  // parse error accumulated
+}
+
+TEST(ArgParser, OkTreatsHelpAsKnown) {
+  auto args = parse({"--help", "--seed=1"});
+  EXPECT_EQ(args.getInt("seed", 0), 1);
+  EXPECT_TRUE(args.ok("test"));
+}
+
+TEST(FormatUsage, AlignsFlagDescriptions) {
+  const std::string text = formatUsage(
+      "tool [options]",
+      {{"seed=N", "generator seed"}, {"out=PATH", "output path"}});
+  EXPECT_NE(text.find("usage: tool [options]\n"), std::string::npos);
+  EXPECT_NE(text.find("  --seed=N    generator seed\n"), std::string::npos);
+  EXPECT_NE(text.find("  --out=PATH  output path\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hdtn

@@ -17,12 +17,18 @@ using namespace hdtn;
 namespace {
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: hdtn_route --trace=PATH [options]\n"
-      "  --algorithm=direct|epidemic|spray|prophet   (default epidemic)\n"
-      "  --messages=300 --ttl-hours=24 --seed=1\n"
-      "  --spray-copies=8 --buffer=0 (messages; 0 = unbounded)\n");
+  const std::vector<FlagHelp> flags = {
+      {"trace=PATH", "contact trace file (required)"},
+      {"algorithm=direct|epidemic|spray|prophet",
+       "routing algorithm (default epidemic)"},
+      {"messages=300", "workload size"},
+      {"ttl-hours=24", "message time-to-live"},
+      {"seed=1", "workload seed"},
+      {"spray-copies=8", "spray-and-wait copy budget"},
+      {"buffer=0", "per-node buffer, messages; 0 = unbounded"},
+  };
+  std::fputs(formatUsage("hdtn_route --trace=PATH [options]", flags).c_str(),
+             stderr);
   return 2;
 }
 
@@ -30,6 +36,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  if (args.helpRequested()) return usage();
   const std::string tracePath = args.getString("trace", "");
   if (tracePath.empty()) return usage();
   std::string error;
@@ -60,14 +67,7 @@ int main(int argc, char** argv) {
   const Duration ttl = args.getInt("ttl-hours", 24) * kHour;
   Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 1)));
 
-  for (const auto& parseError : args.errors()) {
-    std::fprintf(stderr, "error: %s\n", parseError.c_str());
-    return 2;
-  }
-  for (const auto& flag : args.unusedFlags()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
-    return 2;
-  }
+  if (!args.ok("hdtn_route")) return 2;
 
   const SimTime horizon =
       std::max<SimTime>(1, trace->endTime() - ttl);

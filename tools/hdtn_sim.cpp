@@ -1,21 +1,23 @@
-// hdtn_sim — run the cooperative file-sharing simulation on a trace file.
+// hdtn_sim — run the cooperative file-sharing simulation.
 //
 //   hdtn_tracegen --family=nus --out=nus.trace
 //   hdtn_sim --trace=nus.trace --protocol=mbt --access=0.3 ...
 //       --files-per-day=40 --ttl-days=3
+//   hdtn_sim --scenario=examples/nus_paper.scenario --seed=7
+//
+// The run is configured by a core::Scenario: either built from the command
+// line alone, or loaded from a scenario file (--scenario) with every other
+// flag applied on top as an override. Scenario keys and flag names are
+// identical (see docs/FAULTS.md for the file format).
 //
 // Prints the delivery report; --csv emits a single machine-readable row.
 // --events-out writes a JSONL event trace and --timeseries-out a sampled
 // delivery/totals CSV (see docs/OBSERVABILITY.md).
 #include <cstdio>
-#include <fstream>
-#include <optional>
 #include <string>
 
-#include "src/core/engine.hpp"
-#include "src/obs/event_log.hpp"
-#include "src/obs/timeseries.hpp"
-#include "src/trace/trace_io.hpp"
+#include "src/core/scenario.hpp"
+#include "src/trace/contact_trace.hpp"
 #include "src/util/args.hpp"
 
 using namespace hdtn;
@@ -23,138 +25,116 @@ using namespace hdtn;
 namespace {
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: hdtn_sim --trace=PATH [options]\n"
-      "  --protocol=mbt|mbt-q|mbt-qm   (default mbt)\n"
-      "  --scheduling=coop|tft         (default coop)\n"
-      "  --access=0.3                  Internet-access fraction\n"
-      "  --files-per-day=40 --ttl-days=3\n"
-      "  --md-per-contact=5 --files-per-contact=2 --pieces-per-file=1\n"
-      "  --free-riders=0.0 --frequent-days=3 --seed=42\n"
-      "  --observed-popularity         rank by server-observed popularity\n"
-      "  --csv                         one CSV row instead of the report\n"
-      "  --events-out=PATH             JSONL event trace "
-      "(docs/OBSERVABILITY.md)\n"
-      "  --timeseries-out=PATH         sampled delivery/totals CSV\n"
-      "  --sample-every=21600          time-series cadence, sim seconds\n");
+  const std::vector<FlagHelp> flags = {
+      {"scenario=PATH", "load a key = value scenario file first"},
+      {"trace=PATH", "contact trace file (or trace-family=nus|dieselnet|rwp)"},
+      {"protocol=mbt|mbt-q|mbt-qm", "protocol variant (default mbt)"},
+      {"scheduling=coop|tft", "download scheduling (default coop)"},
+      {"access=0.3", "Internet-access fraction"},
+      {"files-per-day=40", "files published per day"},
+      {"ttl-days=3", "file/query time-to-live"},
+      {"md-per-contact=5", "metadata budget per contact"},
+      {"files-per-contact=2", "file budget per contact"},
+      {"pieces-per-file=1", "pieces per published file"},
+      {"free-riders=0.0", "free-riding fraction"},
+      {"frequent-days=3", "frequent-contact window, days"},
+      {"seed=42", "simulation seed"},
+      {"observed-popularity", "rank by server-observed popularity"},
+      {"loss-rate=0.0", "fault: per-message loss probability"},
+      {"truncation-rate=0.0", "fault: contact truncation probability"},
+      {"corruption-rate=0.0", "fault: piece corruption probability"},
+      {"churn-fraction=0.0", "fault: long-run down-time fraction"},
+      {"csv", "one CSV row instead of the report"},
+      {"events-out=PATH", "JSONL event trace (docs/OBSERVABILITY.md)"},
+      {"timeseries-out=PATH", "sampled delivery/totals CSV"},
+      {"sample-every=21600", "time-series cadence, sim seconds"},
+  };
+  std::fputs(formatUsage("hdtn_sim --trace=PATH|--scenario=PATH [options]",
+                         flags)
+                 .c_str(),
+             stderr);
   return 2;
+}
+
+/// Flag-style spelling (the CSV row's protocol column, stable since v0).
+const char* protocolFlagName(core::ProtocolKind kind) {
+  switch (kind) {
+    case core::ProtocolKind::kMbt: return "mbt";
+    case core::ProtocolKind::kMbtQ: return "mbt-q";
+    case core::ProtocolKind::kMbtQm: return "mbt-qm";
+  }
+  return "mbt";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
-  const std::string tracePath = args.getString("trace", "");
-  if (tracePath.empty()) return usage();
+  if (args.helpRequested()) return usage();
+
+  core::Scenario scenario;
+  const std::string scenarioPath = args.getString("scenario", "");
+  if (!scenarioPath.empty()) {
+    std::vector<std::string> fileErrors;
+    const auto loaded = core::Scenario::fromFile(scenarioPath, &fileErrors);
+    if (!loaded) {
+      for (const std::string& error : fileErrors) {
+        std::fprintf(stderr, "error: %s: %s\n", scenarioPath.c_str(),
+                     error.c_str());
+      }
+      return 2;
+    }
+    scenario = *loaded;
+  }
+
+  // Every scenario key doubles as a flag; flags override the file.
+  for (const std::string& key : core::Scenario::knownKeys()) {
+    if (!args.has(key)) continue;
+    const std::string error = scenario.apply(key, args.getString(key, ""));
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  const bool csv = args.getBool("csv", false);
+  if (!args.ok("hdtn_sim")) return 2;
+
+  if (scenarioPath.empty() && scenario.trace.family == "file" &&
+      scenario.trace.path.empty()) {
+    return usage();
+  }
+  const auto scenarioErrors = scenario.validate();
+  for (const auto& error : scenarioErrors) {
+    std::fprintf(stderr, "error: invalid parameters: %s\n", error.c_str());
+  }
+  if (!scenarioErrors.empty()) return 2;
 
   std::string error;
-  const auto trace = trace::loadTraceFile(tracePath, &error);
+  const auto trace = scenario.trace.build(&error);
   if (!trace) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
 
-  core::EngineParams params;
-  const std::string protocol = args.getString("protocol", "mbt");
-  if (protocol == "mbt") {
-    params.protocol.kind = core::ProtocolKind::kMbt;
-  } else if (protocol == "mbt-q") {
-    params.protocol.kind = core::ProtocolKind::kMbtQ;
-  } else if (protocol == "mbt-qm") {
-    params.protocol.kind = core::ProtocolKind::kMbtQm;
-  } else {
-    return usage();
+  const auto outcome = core::runScenario(scenario, *trace, &error);
+  if (!outcome) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
   }
-  const std::string scheduling = args.getString("scheduling", "coop");
-  if (scheduling == "coop") {
-    params.protocol.scheduling = core::Scheduling::kCooperative;
-  } else if (scheduling == "tft") {
-    params.protocol.scheduling = core::Scheduling::kTitForTat;
-  } else {
-    return usage();
-  }
-  params.internetAccessFraction = args.getDouble("access", 0.3);
-  params.newFilesPerDay =
-      static_cast<int>(args.getInt("files-per-day", 40));
-  params.fileTtlDays = static_cast<int>(args.getInt("ttl-days", 3));
-  params.metadataPerContact =
-      static_cast<int>(args.getInt("md-per-contact", 5));
-  params.filesPerContact =
-      static_cast<int>(args.getInt("files-per-contact", 2));
-  params.piecesPerFile =
-      static_cast<std::uint32_t>(args.getInt("pieces-per-file", 1));
-  params.freeRiderFraction = args.getDouble("free-riders", 0.0);
-  params.frequentContactPeriod =
-      args.getInt("frequent-days", 3) * kDay;
-  params.useObservedPopularity = args.getBool("observed-popularity", false);
-  params.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
-  const bool csv = args.getBool("csv", false);
-  const std::string eventsOut = args.getString("events-out", "");
-  const std::string timeseriesOut = args.getString("timeseries-out", "");
-  const Duration sampleEvery =
-      static_cast<Duration>(args.getInt("sample-every", 21600));
-
-  for (const auto& parseError : args.errors()) {
-    std::fprintf(stderr, "error: %s\n", parseError.c_str());
-    return 2;
-  }
-  for (const auto& flag : args.unusedFlags()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
-    return 2;
-  }
-  const auto paramErrors = params.validate();
-  for (const auto& paramError : paramErrors) {
-    std::fprintf(stderr, "error: invalid parameters: %s\n",
-                 paramError.c_str());
-  }
-  if (!paramErrors.empty()) return 2;
-  if (sampleEvery <= 0) {
-    std::fprintf(stderr, "error: --sample-every must be positive\n");
-    return 2;
+  const core::EngineResult& result = outcome->result;
+  if (!scenario.eventsOut.empty()) {
+    std::fprintf(stderr, "events: %llu written to %s\n",
+                 static_cast<unsigned long long>(outcome->eventsWritten),
+                 scenario.eventsOut.c_str());
   }
 
-  core::EngineResult result;
-  if (eventsOut.empty() && timeseriesOut.empty()) {
-    result = core::runSimulation(*trace, params);
-  } else {
-    core::Engine engine(*trace, params);
-    std::ofstream eventsFile;
-    std::optional<obs::JsonlEventSink> sink;
-    if (!eventsOut.empty()) {
-      eventsFile.open(eventsOut);
-      if (!eventsFile) {
-        std::fprintf(stderr, "error: cannot write %s\n", eventsOut.c_str());
-        return 1;
-      }
-      sink.emplace(eventsFile);
-      engine.setObserver(&*sink);
-    }
-    if (!timeseriesOut.empty()) {
-      obs::TimeSeries series;
-      result = obs::runSampled(engine, sampleEvery, series);
-      std::ofstream tsFile(timeseriesOut);
-      if (!tsFile) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     timeseriesOut.c_str());
-        return 1;
-      }
-      series.writeCsv(tsFile);
-    } else {
-      result = engine.run();
-    }
-    if (sink) {
-      std::fprintf(stderr, "events: %llu written to %s\n",
-                   static_cast<unsigned long long>(sink->eventsWritten()),
-                   eventsOut.c_str());
-    }
-  }
   if (csv) {
     std::printf(
         "protocol,access,metadata_ratio,file_ratio,mean_md_delay_s,"
         "mean_file_delay_s,queries,contacts\n");
-    std::printf("%s,%.3f,%.4f,%.4f,%.1f,%.1f,%zu,%llu\n", protocol.c_str(),
-                params.internetAccessFraction,
+    std::printf("%s,%.3f,%.4f,%.4f,%.1f,%.1f,%zu,%llu\n",
+                protocolFlagName(scenario.params.protocol.kind),
+                scenario.params.internetAccessFraction,
                 result.delivery.metadataRatio, result.delivery.fileRatio,
                 result.delivery.meanMetadataDelaySeconds,
                 result.delivery.meanFileDelaySeconds,
@@ -164,10 +144,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("trace: %s (%zu nodes, %zu contacts)\n", tracePath.c_str(),
+  const std::string traceLabel = scenario.trace.family == "file"
+                                     ? scenario.trace.path
+                                     : scenario.trace.family;
+  std::printf("trace: %s (%zu nodes, %zu contacts)\n", traceLabel.c_str(),
               trace->nodeCount(), trace->contactCount());
   std::printf("protocol: %s (%s scheduling)\n",
-              core::protocolName(params.protocol.kind), scheduling.c_str());
+              core::protocolName(scenario.params.protocol.kind),
+              scenario.params.protocol.scheduling ==
+                      core::Scheduling::kCooperative
+                  ? "coop"
+                  : "tft");
   std::printf("\nnon-access nodes (%zu queries):\n", result.delivery.queries);
   std::printf("  metadata delivery ratio: %.4f (mean delay %.1f h)\n",
               result.delivery.metadataRatio,
@@ -186,5 +173,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.totals.pieceBroadcasts),
               static_cast<unsigned long long>(
                   result.totals.contactsProcessed));
+  const core::EngineTotals& totals = result.totals;
+  if (totals.faultMessagesDropped != 0 || totals.faultContactsTruncated != 0 ||
+      totals.faultPiecesRejectedCorrupt != 0 ||
+      totals.faultNodeDownIntervals != 0) {
+    std::printf("faults: %llu messages lost, %llu contacts truncated, "
+                "%llu pieces corrupt, %llu down intervals\n",
+                static_cast<unsigned long long>(totals.faultMessagesDropped),
+                static_cast<unsigned long long>(totals.faultContactsTruncated),
+                static_cast<unsigned long long>(
+                    totals.faultPiecesRejectedCorrupt),
+                static_cast<unsigned long long>(
+                    totals.faultNodeDownIntervals));
+  }
   return 0;
 }

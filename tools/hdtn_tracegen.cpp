@@ -23,14 +23,26 @@ using namespace hdtn;
 namespace {
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: hdtn_tracegen --family=dieselnet|nus|rwp [options]\n"
-      "  common:    --seed=N --out=PATH\n"
-      "  dieselnet: --buses=40 --routes=8 --days=20\n"
-      "  nus:       --students=200 --courses=40 --days=14 "
-      "--attendance=0.85\n"
-      "  rwp:       --nodes=50 --hours=12 --range=50 --field=1000\n");
+  const std::vector<FlagHelp> flags = {
+      {"family=dieselnet|nus|rwp", "trace family (required)"},
+      {"seed=1", "generator seed"},
+      {"out=PATH", "output trace path (default stdout)"},
+      {"buses=40", "dieselnet: bus count"},
+      {"routes=8", "dieselnet: route count"},
+      {"days=20", "dieselnet/nus: simulated days"},
+      {"students=200", "nus: student count"},
+      {"courses=40", "nus: course count"},
+      {"courses-per-student=4", "nus: enrollment per student"},
+      {"attendance=0.85", "nus: session attendance probability"},
+      {"nodes=50", "rwp: node count"},
+      {"hours=12", "rwp: simulated hours"},
+      {"range=50", "rwp: radio range, meters"},
+      {"field=1000", "rwp: square field side, meters"},
+  };
+  std::fputs(
+      formatUsage("hdtn_tracegen --family=dieselnet|nus|rwp [options]", flags)
+          .c_str(),
+      stderr);
   return 2;
 }
 
@@ -38,6 +50,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  if (args.helpRequested()) return usage();
   const std::string family = args.getString("family", "");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const std::string out = args.getString("out", "");
@@ -72,14 +85,7 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  for (const auto& error : args.errors()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 2;
-  }
-  for (const auto& flag : args.unusedFlags()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
-    return 2;
-  }
+  if (!args.ok("hdtn_tracegen")) return 2;
 
   if (out.empty()) {
     trace::writeTrace(trace, std::cout);

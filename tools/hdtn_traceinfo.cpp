@@ -17,21 +17,30 @@
 
 using namespace hdtn;
 
+namespace {
+
+int usage() {
+  const std::vector<FlagHelp> flags = {
+      {"trace=PATH", "contact trace file (required)"},
+      {"frequent-days=1", "frequent-contact window, days"},
+      {"one", "parse the ONE simulator connectivity format"},
+  };
+  std::fputs(formatUsage("hdtn_traceinfo --trace=PATH [options]", flags)
+                 .c_str(),
+             stderr);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  if (args.helpRequested()) return usage();
   const std::string tracePath = args.getString("trace", "");
   const auto frequentDays = args.getInt("frequent-days", 1);
   const bool oneFormat = args.getBool("one", false);
-  for (const auto& flag : args.unusedFlags()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
-    return 2;
-  }
-  if (tracePath.empty()) {
-    std::fprintf(stderr,
-                 "usage: hdtn_traceinfo --trace=PATH [--frequent-days=N] "
-                 "[--one]\n");
-    return 2;
-  }
+  if (!args.ok("hdtn_traceinfo")) return 2;
+  if (tracePath.empty()) return usage();
 
   std::string error;
   std::optional<trace::ContactTrace> trace;
