@@ -9,17 +9,25 @@
 // would hide that.
 //
 //   bench_robustness [--seeds=N] [--threads=N] [--json[=PATH]]
-//                    [--scenario=FILE]
+//                    [--scenario=FILE] [--supervise[=JOURNAL]]
+//                    [--point-timeout=S] [--max-attempts=N]
+//                    [--checkpoint-every=S]
 //
 // --scenario replaces the base engine parameters and the trace with the
 // scenario's (the loss-rate sweep still overrides the scenario's own
-// loss-rate); by default the run uses the shared NUS stand-in.
+// loss-rate); by default the run uses the shared NUS stand-in. --supervise
+// runs every point in a crash-isolated child process with retry-with-resume
+// and a completed-point journal (see docs/CHECKPOINT.md).
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "bench/supervisor.hpp"
 #include "src/core/scenario.hpp"
 #include "src/util/ascii_chart.hpp"
 #include "src/util/csv.hpp"
@@ -32,6 +40,131 @@ namespace {
 constexpr core::ProtocolKind kProtocols[] = {core::ProtocolKind::kMbt,
                                              core::ProtocolKind::kMbtQ,
                                              core::ProtocolKind::kMbtQm};
+
+/// Engine parameters for one sweep point, exactly as the in-process task
+/// loop builds them — the supervised child must reproduce them bit for bit.
+/// `seed` is 1-based.
+core::EngineParams paramsForPoint(const core::EngineParams& base,
+                                  const std::vector<double>& lossRates,
+                                  std::size_t xi, std::size_t pi, int seed) {
+  core::EngineParams params = base;
+  params.protocol.kind = kProtocols[pi];
+  params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
+  params.faults.messageLossRate = lossRates[xi];
+  return params;
+}
+
+/// Child mode (--point=robustness:<xi>:<pi>:<seed>): runs one point with
+/// periodic checkpoints and prints its RESULT line
+/// (file ratio, metadata ratio, mean file delay in hours).
+int runPoint(const bench::CommonArgs& common, const core::EngineParams& base,
+             const core::TraceSpec& traceSpec,
+             const std::vector<double>& lossRates) {
+  std::size_t xi = 0, pi = 0;
+  int seed = 0;
+  {
+    std::istringstream in(common.pointKey);
+    std::string figure, xiText, piText, seedText;
+    if (!std::getline(in, figure, ':') || !std::getline(in, xiText, ':') ||
+        !std::getline(in, piText, ':') || !std::getline(in, seedText) ||
+        figure != "robustness") {
+      std::cerr << "bad --point key '" << common.pointKey
+                << "' (expected robustness:<xi>:<pi>:<seed>)\n";
+      return 2;
+    }
+    xi = static_cast<std::size_t>(std::atoll(xiText.c_str()));
+    pi = static_cast<std::size_t>(std::atoll(piText.c_str()));
+    seed = std::atoi(seedText.c_str());
+    if (xi >= lossRates.size() || pi >= 3 || seed < 1) {
+      std::cerr << "--point key '" << common.pointKey
+                << "' is out of range\n";
+      return 2;
+    }
+  }
+  core::TraceSpec spec = traceSpec;
+  spec.seed = static_cast<std::uint64_t>(seed);
+  std::string traceError;
+  const auto trace = spec.build(&traceError);
+  if (!trace) {
+    std::cerr << "trace: " << traceError << "\n";
+    return 1;
+  }
+  const auto result = bench::runWithCheckpoints(
+      *trace, paramsForPoint(base, lossRates, xi, pi, seed),
+      common.pointCheckpoint, common.checkpointEvery);
+  std::cout << bench::formatResultLine(
+      common.pointKey,
+      {result.delivery.fileRatio, result.delivery.metadataRatio,
+       result.delivery.meanFileDelaySeconds / 3600.0});
+  return 0;
+}
+
+/// Parent mode (--supervise): one crash-isolated child per point, with
+/// retry-with-resume and journal skip. Fills the same per-task arrays the
+/// in-process loop produces.
+bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
+                   int seeds, std::size_t points,
+                   std::vector<double>& fileRatio,
+                   std::vector<double>& mdRatio,
+                   std::vector<double>& fileDelayH) {
+  bench::SupervisorOptions options;
+  options.journalPath = common.superviseJournal;
+  options.pointTimeoutSeconds = common.pointTimeoutSeconds;
+  options.maxAttempts = common.maxAttempts;
+  bench::SweepJournal journal(options.journalPath);
+  journal.load();
+  std::cout << "supervised sweep: journal " << journal.path() << " ("
+            << journal.size() << " point(s) already done), timeout "
+            << options.pointTimeoutSeconds << " s, " << options.maxAttempts
+            << " attempt(s) per point\n";
+  const std::size_t total = points * 3 * static_cast<std::size_t>(seeds);
+  std::size_t done = 0;
+  for (std::size_t xi = 0; xi < points; ++xi) {
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        const std::string key = "robustness:" + std::to_string(xi) + ":" +
+                                std::to_string(pi) + ":" +
+                                std::to_string(seed);
+        const bool journaled = journal.contains(key);
+        std::string checkpoint =
+            common.superviseJournal + "." + key + ".ckpt";
+        for (char& c : checkpoint) {
+          if (c == ':') c = '_';
+        }
+        std::vector<std::string> childArgv = {
+            selfPath, "--point=" + key, "--point-checkpoint=" + checkpoint,
+            "--checkpoint-every=" + std::to_string(common.checkpointEvery)};
+        if (!common.scenarioPath.empty()) {
+          childArgv.push_back("--scenario=" + common.scenarioPath);
+        }
+        std::string error;
+        const auto values = bench::superviseOnePoint(
+            options, journal, key, childArgv, checkpoint, &error);
+        if (!values) {
+          std::cerr << "supervise: " << error << "\n";
+          return false;
+        }
+        if (values->size() < 3) {
+          std::cerr << "supervise: point " << key
+                    << " returned a malformed RESULT line\n";
+          return false;
+        }
+        const std::size_t task =
+            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
+            static_cast<std::size_t>(seed - 1);
+        fileRatio[task] = (*values)[0];
+        mdRatio[task] = (*values)[1];
+        fileDelayH[task] = (*values)[2];
+        ++done;
+        std::cout << "  [" << done << "/" << total << "] " << key
+                  << (journaled ? " (journaled)" : " ok") << "\n";
+        std::error_code ec;
+        std::filesystem::remove(checkpoint, ec);
+      }
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -63,47 +196,57 @@ int main(int argc, char** argv) {
               << common.scenarioPath << ")\n";
   }
 
+  if (!common.pointKey.empty()) {
+    return runPoint(common, base, traceSpec, lossRates);
+  }
+
   const int seeds = common.seeds;
   const unsigned threads = common.threads;
+  const bool supervised = !common.superviseJournal.empty();
   std::cout << "=== robustness: delivery and delay vs message loss ===\n"
             << "x-axis: loss rate; " << seeds
             << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
             << threads << " thread(s)\n\n";
 
-  // Traces first (read-only, shared across the sweep), one per seed.
-  std::vector<trace::ContactTrace> traces(
-      static_cast<std::size_t>(seeds));
-  std::vector<std::string> traceErrors(traces.size());
-  parallelFor(traces.size(), threads, [&](std::size_t i) {
-    core::TraceSpec spec = traceSpec;
-    spec.seed = i + 1;
-    if (auto built = spec.build(&traceErrors[i])) traces[i] = *built;
-  });
-  for (const std::string& error : traceErrors) {
-    if (!error.empty()) {
-      std::cerr << "trace: " << error << "\n";
-      return 1;
-    }
-  }
-
   const std::size_t points = lossRates.size();
   std::vector<double> fileRatio(points * 3 * static_cast<std::size_t>(seeds));
   std::vector<double> mdRatio(fileRatio.size());
   std::vector<double> fileDelayH(fileRatio.size());
-  parallelFor(fileRatio.size(), threads, [&](std::size_t task) {
-    const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
-    const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
-    const std::size_t pi = rest / static_cast<std::size_t>(seeds);
-    const std::size_t seed = rest % static_cast<std::size_t>(seeds);
-    core::EngineParams params = base;
-    params.protocol.kind = kProtocols[pi];
-    params.seed = (seed + 1) * 1000003u;
-    params.faults.messageLossRate = lossRates[xi];
-    const auto result = core::runSimulation(traces[seed], params);
-    fileRatio[task] = result.delivery.fileRatio;
-    mdRatio[task] = result.delivery.metadataRatio;
-    fileDelayH[task] = result.delivery.meanFileDelaySeconds / 3600.0;
-  });
+  if (supervised) {
+    if (!runSupervised(common, argv[0], seeds, points, fileRatio, mdRatio,
+                       fileDelayH)) {
+      return 1;
+    }
+  } else {
+    // Traces first (read-only, shared across the sweep), one per seed.
+    std::vector<trace::ContactTrace> traces(
+        static_cast<std::size_t>(seeds));
+    std::vector<std::string> traceErrors(traces.size());
+    parallelFor(traces.size(), threads, [&](std::size_t i) {
+      core::TraceSpec spec = traceSpec;
+      spec.seed = i + 1;
+      if (auto built = spec.build(&traceErrors[i])) traces[i] = *built;
+    });
+    for (const std::string& error : traceErrors) {
+      if (!error.empty()) {
+        std::cerr << "trace: " << error << "\n";
+        return 1;
+      }
+    }
+
+    parallelFor(fileRatio.size(), threads, [&](std::size_t task) {
+      const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
+      const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
+      const std::size_t pi = rest / static_cast<std::size_t>(seeds);
+      const std::size_t seed = rest % static_cast<std::size_t>(seeds);
+      const auto result = core::runSimulation(
+          traces[seed], paramsForPoint(base, lossRates, xi, pi,
+                                       static_cast<int>(seed) + 1));
+      fileRatio[task] = result.delivery.fileRatio;
+      mdRatio[task] = result.delivery.metadataRatio;
+      fileDelayH[task] = result.delivery.meanFileDelaySeconds / 3600.0;
+    });
+  }
 
   std::vector<std::vector<double>> ratioSeries(3), delaySeries(3);
   Table table({"loss rate", "MBT file", "MBT-Q file", "MBT-QM file",

@@ -7,8 +7,10 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string_view>
 
+#include "bench/supervisor.hpp"
 #include "src/core/protocol.hpp"
 #include "src/core/scenario.hpp"
 #include "src/obs/timeseries.hpp"
@@ -36,6 +38,126 @@ std::string formatX(double x) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", x);
   return buf;
+}
+
+/// Supervised-sweep point key: "<figure>:<xi>:<pi>:<seed>".
+std::string pointKeyFor(const std::string& figureId, std::size_t xi,
+                        std::size_t pi, int seed) {
+  return figureId + ":" + std::to_string(xi) + ":" + std::to_string(pi) +
+         ":" + std::to_string(seed);
+}
+
+/// Engine parameters for one sweep point, exactly as the in-process task
+/// loop builds them — the supervised child must reproduce them bit for bit.
+EngineParams paramsForPoint(const FigureSpec& spec, std::size_t xi,
+                            std::size_t pi, int seed) {
+  EngineParams params = spec.base;
+  params.protocol.kind = kProtocols[pi];
+  params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
+  spec.apply(params, spec.xs[xi]);
+  return params;
+}
+
+/// Child mode (--point=KEY): runs exactly one (x, protocol, seed) point —
+/// with periodic checkpoints when --point-checkpoint was given — and prints
+/// its RESULT line for the supervising parent.
+int runFigurePoint(const FigureSpec& spec, const CommonArgs& common) {
+  std::size_t xi = 0, pi = 0;
+  int seed = 0;
+  {
+    std::istringstream in(common.pointKey);
+    std::string figure, xiText, piText, seedText;
+    if (!std::getline(in, figure, ':') || !std::getline(in, xiText, ':') ||
+        !std::getline(in, piText, ':') || !std::getline(in, seedText) ||
+        figure != spec.id) {
+      std::cerr << "bad --point key '" << common.pointKey << "' (expected "
+                << spec.id << ":<xi>:<pi>:<seed>)\n";
+      return 2;
+    }
+    xi = static_cast<std::size_t>(std::atoll(xiText.c_str()));
+    pi = static_cast<std::size_t>(std::atoll(piText.c_str()));
+    seed = std::atoi(seedText.c_str());
+    if (xi >= spec.xs.size() || pi >= 3 || seed < 1) {
+      std::cerr << "--point key '" << common.pointKey
+                << "' is out of range\n";
+      return 2;
+    }
+  }
+  const trace::ContactTrace trace =
+      spec.makeTrace(spec.xs[xi], static_cast<std::uint64_t>(seed));
+  const EngineResult result =
+      runWithCheckpoints(trace, paramsForPoint(spec, xi, pi, seed),
+                         common.pointCheckpoint, common.checkpointEvery);
+  std::cout << formatResultLine(
+      common.pointKey,
+      {result.delivery.metadataRatio, result.delivery.fileRatio});
+  return 0;
+}
+
+/// Parent mode (--supervise): every point runs in a child process under a
+/// timeout with retry-with-resume; completed points land in the journal and
+/// are skipped on re-invocation. Fills the same per-task ratio arrays the
+/// in-process loop produces. Returns false when a point exhausted its
+/// attempt budget.
+bool runSupervised(const FigureSpec& spec, const CommonArgs& common,
+                   const char* selfPath, int seeds,
+                   std::vector<double>& mdRatio,
+                   std::vector<double>& fileRatio) {
+  SupervisorOptions options;
+  options.journalPath = common.superviseJournal;
+  options.pointTimeoutSeconds = common.pointTimeoutSeconds;
+  options.maxAttempts = common.maxAttempts;
+  SweepJournal journal(options.journalPath);
+  journal.load();
+  std::cout << "supervised sweep: journal " << journal.path() << " ("
+            << journal.size() << " point(s) already done), timeout "
+            << options.pointTimeoutSeconds << " s, " << options.maxAttempts
+            << " attempt(s) per point\n";
+  const std::size_t total = spec.xs.size() * 3 * static_cast<std::size_t>(seeds);
+  std::size_t done = 0;
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        const std::string key = pointKeyFor(spec.id, xi, pi, seed);
+        const bool journaled = journal.contains(key);
+        std::string checkpoint = common.superviseJournal + "." + key +
+                                 ".ckpt";
+        for (char& c : checkpoint) {
+          if (c == ':') c = '_';
+        }
+        std::vector<std::string> childArgv = {
+            selfPath, "--point=" + key, "--point-checkpoint=" + checkpoint,
+            "--checkpoint-every=" + std::to_string(common.checkpointEvery)};
+        if (!common.scenarioPath.empty()) {
+          childArgv.push_back("--scenario=" + common.scenarioPath);
+        }
+        std::string error;
+        const auto values = superviseOnePoint(options, journal, key,
+                                              childArgv, checkpoint, &error);
+        if (!values) {
+          std::cerr << "supervise: " << error << "\n";
+          return false;
+        }
+        if (values->size() < 2) {
+          std::cerr << "supervise: point " << key
+                    << " returned a malformed RESULT line\n";
+          return false;
+        }
+        const std::size_t task =
+            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
+            static_cast<std::size_t>(seed - 1);
+        mdRatio[task] = (*values)[0];
+        fileRatio[task] = (*values)[1];
+        ++done;
+        std::cout << "  [" << done << "/" << total << "] " << key
+                  << (journaled ? " (journaled)" : " ok") << "\n";
+        // The point finished; its resume checkpoint has no further use.
+        std::error_code ec;
+        std::filesystem::remove(checkpoint, ec);
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -68,6 +190,22 @@ CommonArgs parseCommonArgs(const std::string& figureId, int defaultSeeds,
           std::max<Duration>(1, std::atoll(arg.substr(15).data()));
     } else if (hdtn::startsWith(arg, "--scenario=")) {
       out.scenarioPath = std::string(arg.substr(11));
+    } else if (arg == "--supervise") {
+      out.superviseJournal = "BENCH_" + figureId + ".journal";
+    } else if (hdtn::startsWith(arg, "--supervise=")) {
+      out.superviseJournal = std::string(arg.substr(12));
+    } else if (hdtn::startsWith(arg, "--point-timeout=")) {
+      out.pointTimeoutSeconds =
+          std::max(0.1, std::atof(arg.substr(16).data()));
+    } else if (hdtn::startsWith(arg, "--max-attempts=")) {
+      out.maxAttempts = std::max(1, std::atoi(arg.substr(15).data()));
+    } else if (hdtn::startsWith(arg, "--checkpoint-every=")) {
+      out.checkpointEvery =
+          std::max<Duration>(1, std::atoll(arg.substr(19).data()));
+    } else if (hdtn::startsWith(arg, "--point=")) {
+      out.pointKey = std::string(arg.substr(8));
+    } else if (hdtn::startsWith(arg, "--point-checkpoint=")) {
+      out.pointCheckpoint = std::string(arg.substr(19));
     }
   }
   return out;
@@ -130,6 +268,8 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
     std::cout << "scenario: " << scenario->name << " ("
               << common.scenarioPath << ")\n";
   }
+  if (!common.pointKey.empty()) return runFigurePoint(spec, common);
+  const bool supervised = !common.superviseJournal.empty();
   const int seeds = common.seeds;
   const unsigned threads = common.threads;
   const std::string& jsonPath = common.jsonPath;
@@ -141,6 +281,22 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
 
   const auto startedAt = std::chrono::steady_clock::now();
 
+  const std::size_t points = spec.xs.size();
+  std::vector<double> mdRatio(points * 3 * static_cast<std::size_t>(seeds));
+  std::vector<double> fileRatio(mdRatio.size());
+  std::vector<obs::TimeSeries> tsSlots(
+      wantTimeseries && !supervised ? points * 3 : 0);
+  if (supervised) {
+    // Every point runs in a child process (crash/timeout isolation); the
+    // children generate their own traces, so nothing is materialized here.
+    if (wantTimeseries) {
+      std::cout << "--timeseries is not supported under --supervise; "
+                   "skipping time-series output\n";
+    }
+    if (!runSupervised(spec, common, argv[0], seeds, mdRatio, fileRatio)) {
+      return 1;
+    }
+  } else {
   // Traces are shared read-only across simulation tasks, so they are
   // materialized first (in parallel — generation is itself a measurable
   // slice of the wall clock), keyed by (seed, x-if-relevant).
@@ -179,19 +335,12 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
   // seed-1 run of each point goes through the sampled stepper instead — the
   // final result is byte-identical to runSimulation, so the averages are
   // unchanged — and its samples land in a per-point slot.
-  const std::size_t points = spec.xs.size();
-  std::vector<double> mdRatio(points * 3 * static_cast<std::size_t>(seeds));
-  std::vector<double> fileRatio(mdRatio.size());
-  std::vector<obs::TimeSeries> tsSlots(wantTimeseries ? points * 3 : 0);
   parallelFor(mdRatio.size(), threads, [&](std::size_t task) {
     const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
     const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
     const std::size_t pi = rest / static_cast<std::size_t>(seeds);
     const int seed = static_cast<int>(rest % static_cast<std::size_t>(seeds)) + 1;
-    EngineParams params = spec.base;
-    params.protocol.kind = kProtocols[pi];
-    params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
-    spec.apply(params, spec.xs[xi]);
+    const EngineParams params = paramsForPoint(spec, xi, pi, seed);
     EngineResult result;
     if (wantTimeseries && seed == 1) {
       core::Engine engine(traceFor(xi, seed), params);
@@ -203,8 +352,9 @@ int runFigure(FigureSpec spec, int argc, char** argv) {
     mdRatio[task] = result.delivery.metadataRatio;
     fileRatio[task] = result.delivery.fileRatio;
   });
+  }  // !supervised
 
-  if (wantTimeseries) {
+  if (wantTimeseries && !supervised) {
     std::error_code ec;
     std::filesystem::create_directories(common.timeseriesDir, ec);
     for (std::size_t xi = 0; xi < points; ++xi) {

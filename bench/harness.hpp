@@ -40,9 +40,29 @@ struct CommonArgs {
   /// knobs, fault rates, ...) replace the figure's base params before the
   /// sweep applies. The figure keeps its own trace and x-axis.
   std::string scenarioPath;
+  /// Non-empty when --supervise was given: run every sweep point in a
+  /// subprocess under bench::superviseOnePoint, journaling completed points
+  /// here ("--supervise" defaults to BENCH_<figure id>.journal,
+  /// "--supervise=PATH" sets it). A re-invoked sweep skips journaled
+  /// points. See docs/CHECKPOINT.md.
+  std::string superviseJournal;
+  /// Wall-clock budget per supervised point (--point-timeout=SECONDS).
+  double pointTimeoutSeconds = 600.0;
+  /// Attempt budget per supervised point (--max-attempts=N).
+  int maxAttempts = 3;
+  /// Checkpoint cadence for supervised points, sim seconds
+  /// (--checkpoint-every=SECONDS).
+  Duration checkpointEvery = 6 * kHour;
+  /// Internal: --point=KEY puts the binary in single-point child mode
+  /// (prints one RESULT line; used by the supervisor, not by hand).
+  std::string pointKey;
+  /// Internal: the child's checkpoint file (--point-checkpoint=PATH).
+  std::string pointCheckpoint;
 };
 
 /// Parses --seeds/--threads/--json/--timeseries/--sample-every/--scenario
+/// plus the supervision flags --supervise/--point-timeout/--max-attempts/
+/// --checkpoint-every and the child-mode --point/--point-checkpoint
 /// (unknown arguments are ignored; google-benchmark style binaries pass
 /// their own).
 [[nodiscard]] CommonArgs parseCommonArgs(const std::string& figureId,

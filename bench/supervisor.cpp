@@ -1,0 +1,264 @@
+#include "bench/supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/core/checkpoint.hpp"
+#include "src/util/serialize.hpp"
+
+namespace hdtn::bench {
+
+namespace {
+
+void sleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+SubprocessResult runSubprocess(const std::vector<std::string>& argv,
+                               double timeoutSeconds) {
+  SubprocessResult result;
+  int pipeFds[2];
+  if (pipe(pipeFds) != 0) return result;
+
+  std::vector<char*> args;
+  args.reserve(argv.size() + 1);
+  for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+  args.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipeFds[0]);
+    close(pipeFds[1]);
+    return result;
+  }
+  if (pid == 0) {
+    // Child: stdout → pipe, then exec. _exit(127) on exec failure keeps the
+    // failure visible as a distinct exit code.
+    close(pipeFds[0]);
+    dup2(pipeFds[1], STDOUT_FILENO);
+    close(pipeFds[1]);
+    execvp(args[0], args.data());
+    _exit(127);
+  }
+  close(pipeFds[1]);
+  // Non-blocking reads so the poll loop can watch the clock while draining
+  // the pipe (a child that fills the pipe buffer would otherwise deadlock
+  // against a parent that only reads after waitpid).
+  fcntl(pipeFds[0], F_SETFL, O_NONBLOCK);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  char buf[4096];
+  int status = 0;
+  bool exited = false;
+  while (!exited) {
+    ssize_t n;
+    while ((n = read(pipeFds[0], buf, sizeof(buf))) > 0) {
+      result.output.append(buf, static_cast<std::size_t>(n));
+    }
+    const pid_t waited = waitpid(pid, &status, WNOHANG);
+    if (waited == pid) {
+      exited = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      result.timedOut = true;
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      exited = true;
+      break;
+    }
+    sleepSeconds(0.01);
+  }
+  // Drain whatever the child managed to write before it stopped.
+  ssize_t n;
+  while ((n = read(pipeFds[0], buf, sizeof(buf))) > 0) {
+    result.output.append(buf, static_cast<std::size_t>(n));
+  }
+  close(pipeFds[0]);
+  if (WIFEXITED(status)) {
+    result.exitCode = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+  }
+  return result;
+}
+
+void SweepJournal::load() {
+  done_.clear();
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    // {"point":"KEY","values":[v1,v2]} — parsed structurally, not with a
+    // JSON library; malformed (half-written) lines are skipped.
+    const std::string pointTag = "\"point\":\"";
+    const std::string valuesTag = "\"values\":[";
+    const std::size_t p = line.find(pointTag);
+    const std::size_t v = line.find(valuesTag);
+    if (p == std::string::npos || v == std::string::npos) continue;
+    const std::size_t keyStart = p + pointTag.size();
+    const std::size_t keyEnd = line.find('"', keyStart);
+    if (keyEnd == std::string::npos) continue;
+    const std::size_t valuesStart = v + valuesTag.size();
+    const std::size_t valuesEnd = line.find(']', valuesStart);
+    if (valuesEnd == std::string::npos) continue;
+    std::vector<double> values;
+    std::stringstream nums(
+        line.substr(valuesStart, valuesEnd - valuesStart));
+    std::string item;
+    bool ok = true;
+    while (std::getline(nums, item, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(item.c_str(), &end);
+      if (end == item.c_str()) {
+        ok = false;
+        break;
+      }
+      values.push_back(value);
+    }
+    if (!ok || values.empty()) continue;
+    done_[line.substr(keyStart, keyEnd - keyStart)] = std::move(values);
+  }
+}
+
+const std::vector<double>* SweepJournal::values(const std::string& key) const {
+  const auto it = done_.find(key);
+  return it == done_.end() ? nullptr : &it->second;
+}
+
+void SweepJournal::record(const std::string& key,
+                          const std::vector<double>& values) {
+  done_[key] = values;
+  std::ofstream out(path_, std::ios::app);
+  out << "{\"point\":\"" << key << "\",\"values\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    out << (i == 0 ? "" : ",") << buf;
+  }
+  out << "]}\n" << std::flush;
+}
+
+std::string formatResultLine(const std::string& key,
+                             const std::vector<double>& values) {
+  std::string line = "RESULT " + key;
+  for (const double value : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.17g", value);
+    line += buf;
+  }
+  line += "\n";
+  return line;
+}
+
+bool parseResultLine(const std::string& output, const std::string& key,
+                     std::vector<double>* values) {
+  std::istringstream lines(output);
+  std::string line;
+  const std::string prefix = "RESULT " + key + " ";
+  while (std::getline(lines, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    std::istringstream nums(line.substr(prefix.size()));
+    std::vector<double> parsed;
+    double value = 0.0;
+    while (nums >> value) parsed.push_back(value);
+    if (parsed.empty()) return false;
+    *values = std::move(parsed);
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<double>> superviseOnePoint(
+    const SupervisorOptions& options, SweepJournal& journal,
+    const std::string& key, const std::vector<std::string>& childArgv,
+    const std::string& checkpointPath, std::string* error) {
+  if (const std::vector<double>* recorded = journal.values(key)) {
+    return *recorded;
+  }
+  std::string lastFailure = "never attempted";
+  for (int attempt = 1; attempt <= options.maxAttempts; ++attempt) {
+    if (attempt > 1) {
+      sleepSeconds(options.backoffBaseSeconds *
+                   static_cast<double>(1 << (attempt - 2)));
+    }
+    if (attempt == options.maxAttempts && !checkpointPath.empty()) {
+      // Last chance: if the checkpoint itself is what keeps killing the
+      // child, a cold start is better than burning the final attempt on it.
+      std::error_code ec;
+      std::filesystem::remove(checkpointPath, ec);
+    }
+    const SubprocessResult run =
+        runSubprocess(childArgv, options.pointTimeoutSeconds);
+    std::vector<double> values;
+    if (run.exitCode == 0 && parseResultLine(run.output, key, &values)) {
+      journal.record(key, values);
+      return values;
+    }
+    if (run.timedOut) {
+      lastFailure = "timed out after " +
+                    std::to_string(options.pointTimeoutSeconds) + " s";
+    } else if (run.signaled) {
+      lastFailure = "killed by a signal";
+    } else if (run.exitCode != 0) {
+      lastFailure = "exit code " + std::to_string(run.exitCode);
+    } else {
+      lastFailure = "no RESULT line in output";
+    }
+  }
+  if (error != nullptr) {
+    *error = "point " + key + " failed after " +
+             std::to_string(options.maxAttempts) +
+             " attempt(s); last failure: " + lastFailure;
+  }
+  return std::nullopt;
+}
+
+core::EngineResult runWithCheckpoints(const trace::ContactTrace& trace,
+                                      const core::EngineParams& params,
+                                      const std::string& path,
+                                      Duration every) {
+  core::Engine engine(trace, params);
+  SimTime next = every;
+  if (!path.empty() && std::filesystem::exists(path)) {
+    try {
+      const core::CheckpointInfo info = core::readCheckpointInfo(path);
+      Deserializer extra(info.extra);
+      const SimTime savedNext = extra.i64();
+      engine.restoreCheckpoint(path);
+      next = savedNext;
+    } catch (const std::exception&) {
+      // Unreadable or mismatched checkpoint: start cold; the retry budget
+      // already covers the recomputation.
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+  const SimTime end = engine.endTime();
+  while (!path.empty() && next < end) {
+    engine.runUntil(next);
+    next += every;
+    Serializer extra;
+    extra.i64(next);
+    engine.saveCheckpoint(path, extra.bytes());
+  }
+  return engine.finish();
+}
+
+}  // namespace hdtn::bench

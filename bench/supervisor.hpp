@@ -1,0 +1,114 @@
+// Crash-tolerant sweep supervision.
+//
+// A supervised sweep (bench --supervise) runs every (x, protocol, seed)
+// point of a figure in a child process — the bench binary re-executing
+// itself with --point=KEY — under a wall-clock timeout. A crashed or hung
+// point is retried with exponential backoff up to a bounded attempt budget,
+// and because each point periodically checkpoints its engine (see
+// src/core/checkpoint.hpp), a retry resumes from the last checkpoint
+// instead of recomputing the whole run. Completed points land in a JSONL
+// journal, so re-invoking the same sweep after a supervisor crash skips
+// straight past everything already done. See docs/CHECKPOINT.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/trace/contact_trace.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::bench {
+
+struct SupervisorOptions {
+  /// JSONL journal of completed points; loaded at startup, appended after
+  /// every completed point (one line per point, flushed immediately).
+  std::string journalPath;
+  /// Wall-clock budget per child attempt; the child is SIGKILLed past it.
+  double pointTimeoutSeconds = 600.0;
+  /// Attempts per point (first run + retries).
+  int maxAttempts = 3;
+  /// Sleep before retry n is backoffBaseSeconds * 2^(n-1).
+  double backoffBaseSeconds = 0.5;
+};
+
+/// What one child attempt did.
+struct SubprocessResult {
+  /// Process exit code; -1 when the child died to a signal or the timeout.
+  int exitCode = -1;
+  bool timedOut = false;
+  /// Terminated by a signal (crash or our timeout kill).
+  bool signaled = false;
+  /// Captured stdout.
+  std::string output;
+};
+
+/// Runs `argv` as a child process, captures its stdout, and SIGKILLs it
+/// when it outlives `timeoutSeconds`.
+[[nodiscard]] SubprocessResult runSubprocess(
+    const std::vector<std::string>& argv, double timeoutSeconds);
+
+/// The completed-point journal: `{"point":"KEY","values":[...]}` JSONL.
+/// load() tolerates a half-written trailing line (the supervisor may have
+/// crashed mid-append); record() appends and flushes one line.
+class SweepJournal {
+ public:
+  explicit SweepJournal(std::string path) : path_(std::move(path)) {}
+
+  /// Reads every well-formed line of the journal file; a missing file is an
+  /// empty journal.
+  void load();
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return done_.count(key) != 0;
+  }
+  /// The recorded values for `key`; nullptr when absent.
+  [[nodiscard]] const std::vector<double>* values(
+      const std::string& key) const;
+  /// Appends one completed point and flushes.
+  void record(const std::string& key, const std::vector<double>& values);
+  [[nodiscard]] std::size_t size() const { return done_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::vector<double>> done_;
+};
+
+/// "RESULT KEY v1 v2 ...\n" — the line a --point child prints on success;
+/// the supervisor greps the captured stdout for it.
+[[nodiscard]] std::string formatResultLine(const std::string& key,
+                                           const std::vector<double>& values);
+
+/// Finds and parses the RESULT line for `key` in a child's output. Returns
+/// false when the line is absent or malformed (crashed children usually die
+/// before printing it).
+[[nodiscard]] bool parseResultLine(const std::string& output,
+                                   const std::string& key,
+                                   std::vector<double>* values);
+
+/// Supervises one sweep point end to end: journal hit → return recorded
+/// values without running anything; otherwise attempt `childArgv` up to
+/// options.maxAttempts times under the timeout, sleeping with exponential
+/// backoff between attempts. Before the final attempt the point's
+/// checkpoint file is deleted, so a checkpoint the child itself cannot load
+/// (or that keeps crashing it) cannot wedge the point forever. On success
+/// the values are journaled. Returns nullopt (with *error set) when the
+/// attempt budget is exhausted.
+[[nodiscard]] std::optional<std::vector<double>> superviseOnePoint(
+    const SupervisorOptions& options, SweepJournal& journal,
+    const std::string& key, const std::vector<std::string>& childArgv,
+    const std::string& checkpointPath, std::string* error);
+
+/// Runs one engine to completion, checkpointing to `path` every `every`
+/// simulation seconds and resuming from `path` when it holds a loadable
+/// checkpoint (an unreadable one is deleted and the run starts cold — the
+/// supervisor's retry already paid for the restart). This is what a
+/// --point child executes.
+[[nodiscard]] core::EngineResult runWithCheckpoints(
+    const trace::ContactTrace& trace, const core::EngineParams& params,
+    const std::string& path, Duration every);
+
+}  // namespace hdtn::bench

@@ -1,0 +1,225 @@
+// Checkpoint file format and Engine save/restore.
+//
+// File layout (all integers little-endian):
+//   [0, 8)    magic "HDTNCKPT"
+//   [8, 12)   u32 format version (kCheckpointVersion)
+//   [12, 20)  u64 payload size in bytes
+//   [20, 40)  SHA-1 digest of the payload
+//   [40, ...) payload
+//
+// Payload layout (written with util/serialize):
+//   u64 executed events, i64 clock, str caller extra blob,
+//   20-byte configuration fingerprint, then the component state
+//   (Engine::saveComponentState, engine.cpp).
+#include "src/core/checkpoint.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+#include "src/core/engine.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/sha1.hpp"
+
+namespace hdtn::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'D', 'T', 'N', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 20;
+
+struct ParsedCheckpoint {
+  CheckpointInfo info;
+  Sha1Digest fingerprint;
+  std::string fileBytes;
+  /// Offset of the component state inside fileBytes.
+  std::size_t stateOffset = 0;
+};
+
+ParsedCheckpoint parseCheckpointFile(const std::string& path) {
+  ParsedCheckpoint parsed;
+  std::string error;
+  if (!readFileBytes(path, &parsed.fileBytes, &error)) {
+    throw CheckpointError("cannot read checkpoint: " + error);
+  }
+  const std::string_view bytes(parsed.fileBytes);
+  if (bytes.size() < kHeaderSize) {
+    throw CheckpointError(path + ": truncated checkpoint (" +
+                          std::to_string(bytes.size()) +
+                          " bytes, shorter than the header)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError(path + ": not a checkpoint file (bad magic)");
+  }
+  Deserializer header(bytes.substr(sizeof(kMagic)));
+  parsed.info.version = header.u32();
+  if (parsed.info.version != kCheckpointVersion) {
+    throw CheckpointError(
+        path + ": unsupported checkpoint version " +
+        std::to_string(parsed.info.version) + " (this build reads version " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t payloadSize = header.u64();
+  Sha1Digest stored;
+  header.raw(stored.bytes.data(), stored.bytes.size());
+  if (bytes.size() - kHeaderSize != payloadSize) {
+    throw CheckpointError(
+        path + ": truncated checkpoint (payload is " +
+        std::to_string(bytes.size() - kHeaderSize) +
+        " bytes, header promises " + std::to_string(payloadSize) + ")");
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (!(Sha1::hash(payload) == stored)) {
+    throw CheckpointError(path +
+                          ": checksum mismatch (corrupt checkpoint file)");
+  }
+  try {
+    Deserializer in(payload);
+    parsed.info.executedEvents = in.u64();
+    parsed.info.clock = in.i64();
+    parsed.info.extra = in.str();
+    in.raw(parsed.fingerprint.bytes.data(), parsed.fingerprint.bytes.size());
+    parsed.stateOffset = kHeaderSize + (payload.size() - in.remaining());
+  } catch (const SerializeError& e) {
+    throw CheckpointError(path + ": malformed checkpoint payload: " +
+                          e.what());
+  }
+  return parsed;
+}
+
+}  // namespace
+
+CheckpointInfo readCheckpointInfo(const std::string& path) {
+  return parseCheckpointFile(path).info;
+}
+
+Sha1Digest Engine::configFingerprint() const {
+  Serializer s;
+  s.u32(static_cast<std::uint32_t>(params_.protocol.kind));
+  s.u32(static_cast<std::uint32_t>(params_.protocol.scheduling));
+  s.u32(static_cast<std::uint32_t>(params_.downloadMode));
+  s.f64(params_.internetAccessFraction);
+  s.i64(params_.newFilesPerDay);
+  s.i64(params_.fileTtlDays);
+  s.i64(params_.metadataPerContact);
+  s.i64(params_.filesPerContact);
+  s.boolean(params_.scaleBudgetsWithDuration);
+  s.i64(params_.referenceContactDuration);
+  s.u32(static_cast<std::uint32_t>(params_.pushOrder));
+  s.u32(params_.piecesPerFile);
+  s.u32(params_.pieceSizeBytes);
+  s.i64(params_.frequentContactPeriod);
+  s.f64(params_.freeRiderFraction);
+  s.boolean(params_.accessFetchesPeerRequests);
+  s.u64(params_.nodePieceCapacity);
+  s.f64(params_.forgerFraction);
+  s.i64(params_.forgeriesPerForgerPerDay);
+  s.boolean(params_.verifyMetadata);
+  s.boolean(params_.useObservedPopularity);
+  s.u64(params_.explicitAccessNodes.size());
+  for (const NodeId id : params_.explicitAccessNodes) s.u32(id.value);
+  s.u64(params_.explicitFreeRiders.size());
+  for (const NodeId id : params_.explicitFreeRiders) s.u32(id.value);
+  s.f64(params_.accessMetadataSyncFraction);
+  s.u64(params_.accessMetadataSyncLimit);
+  s.f64(params_.faults.messageLossRate);
+  s.f64(params_.faults.contactTruncationRate);
+  s.f64(params_.faults.truncationKeepMin);
+  s.f64(params_.faults.truncationKeepMax);
+  s.f64(params_.faults.pieceCorruptionRate);
+  s.f64(params_.faults.churnDownFraction);
+  s.i64(params_.faults.churnMeanDowntime);
+  s.u64(params_.seed);
+  // Trace identity: the schedule replay is only valid against the exact
+  // same contact sequence.
+  s.str(trace_.name());
+  s.u64(trace_.nodeCount());
+  s.u64(trace_.contacts().size());
+  for (const trace::Contact& contact : trace_.contacts()) {
+    s.i64(contact.start);
+    s.i64(contact.end);
+    s.u64(contact.members.size());
+    for (const NodeId member : contact.members) s.u32(member.value);
+  }
+  return Sha1::hash(s.bytes());
+}
+
+void Engine::saveCheckpoint(const std::string& path,
+                            std::string_view extra) const {
+  if (finished_) {
+    throw std::logic_error(
+        "Engine::saveCheckpoint: the run already finished; there is nothing "
+        "left to resume");
+  }
+  Serializer payload;
+  payload.u64(sim_.executedEvents());
+  payload.i64(sim_.now());
+  payload.str(extra);
+  const Sha1Digest fingerprint = configFingerprint();
+  payload.raw(fingerprint.bytes.data(), fingerprint.bytes.size());
+  saveComponentState(payload);
+
+  Serializer file;
+  file.raw(kMagic, sizeof(kMagic));
+  file.u32(kCheckpointVersion);
+  file.u64(payload.bytes().size());
+  const Sha1Digest digest = Sha1::hash(payload.bytes());
+  file.raw(digest.bytes.data(), digest.bytes.size());
+  file.raw(payload.bytes().data(), payload.bytes().size());
+
+  std::string error;
+  if (!writeFileAtomic(path, file.bytes(), &error)) {
+    throw CheckpointError("saveCheckpoint: " + error);
+  }
+}
+
+void Engine::restoreCheckpoint(const std::string& path) {
+  if (scheduled_ || finished_ || sim_.executedEvents() != 0) {
+    throw std::logic_error(
+        "Engine::restoreCheckpoint requires a freshly constructed engine "
+        "(same trace and params, not yet stepped)");
+  }
+  if (observer_ != nullptr) {
+    throw std::logic_error(
+        "Engine::restoreCheckpoint: detach the observer before restoring "
+        "(replayed state must not re-emit events); attach sinks afterwards");
+  }
+  const ParsedCheckpoint parsed = parseCheckpointFile(path);
+  if (!(parsed.fingerprint == configFingerprint())) {
+    throw CheckpointError(
+        path +
+        ": checkpoint was written by a different run configuration "
+        "(params/trace fingerprint mismatch)");
+  }
+  try {
+    Deserializer state(
+        std::string_view(parsed.fileBytes).substr(parsed.stateOffset));
+    loadComponentState(state);
+    if (!state.done()) {
+      throw SerializeError("trailing bytes after the component state");
+    }
+  } catch (const SerializeError& e) {
+    throw CheckpointError(path + ": malformed checkpoint payload: " +
+                          e.what());
+  }
+  // Rebuild the deterministic schedule and discard the prefix the snapshot
+  // already covers, without running it.
+  ensureScheduled();
+  for (std::uint64_t i = 0; i < parsed.info.executedEvents; ++i) {
+    if (!sim_.skipOne()) {
+      throw CheckpointError(
+          path +
+          ": checkpoint records more executed events than the schedule "
+          "holds");
+    }
+  }
+  if (sim_.now() != parsed.info.clock) {
+    throw CheckpointError(
+        path + ": replayed schedule position (t=" +
+        std::to_string(sim_.now()) +
+        ") does not match the checkpoint clock (t=" +
+        std::to_string(parsed.info.clock) + ")");
+  }
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,58 @@
+// Versioned, checksummed engine snapshots.
+//
+// A checkpoint captures the complete mutable state of an Engine at a step
+// boundary — RNG stream positions, per-node stores/credits/queries, the
+// Internet catalog and popularity table, delivery metrics, engine totals,
+// fault-plan cursors, and the simulator position — such that restoring it
+// into a freshly constructed engine (same trace, same params) and finishing
+// produces byte-identical output (report, CSV, JSONL events, time series)
+// to the uninterrupted run.
+//
+// The event queue itself holds closures and is not serialized. Instead the
+// snapshot records how many events had executed; restore rebuilds the
+// engine's deterministic schedule (publications, contacts, churn
+// transitions — fixed at construction, never extended by handlers) and
+// discards exactly that prefix without running it. See docs/CHECKPOINT.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+
+/// Thrown when a checkpoint file cannot be read, fails its checksum, has an
+/// unsupported version, or was written by a different run configuration.
+/// Engine::restoreCheckpoint only mutates the engine after the checksum and
+/// the configuration fingerprint both verify, so a throwing load never
+/// leaves a partial restore behind.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bumped on any incompatible change to the snapshot layout. Loading a file
+/// with a different version fails with CheckpointError.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Header of a checkpoint file, readable without an engine.
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  /// Simulation clock at save time (time of the last executed event).
+  SimTime clock = 0;
+  /// Events executed at save time; restore skips exactly this prefix.
+  std::uint64_t executedEvents = 0;
+  /// The opaque caller blob passed to Engine::saveCheckpoint (resume
+  /// drivers store their own cursors here, e.g. output-file byte offsets).
+  std::string extra;
+};
+
+/// Validates `path` (magic, version, payload checksum) and returns its
+/// header and extra blob without touching any engine. Resume drivers call
+/// this first to recover their own cursors, then construct the engine and
+/// Engine::restoreCheckpoint. Throws CheckpointError on any problem.
+[[nodiscard]] CheckpointInfo readCheckpointInfo(const std::string& path);
+
+}  // namespace hdtn::core

@@ -35,4 +35,24 @@ std::vector<std::pair<NodeId, double>> CreditLedger::ranking() const {
   return out;
 }
 
+void CreditLedger::saveState(Serializer& out) const {
+  std::vector<std::pair<NodeId, double>> sorted(credits_.begin(),
+                                                credits_.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.u64(sorted.size());
+  for (const auto& [peer, credit] : sorted) {
+    out.u32(peer.value);
+    out.f64(credit);
+  }
+}
+
+void CreditLedger::loadState(Deserializer& in) {
+  credits_.clear();
+  const std::size_t count = in.length();
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId peer{in.u32()};
+    credits_[peer] = in.f64();
+  }
+}
+
 }  // namespace hdtn::core

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::core {
@@ -41,6 +42,10 @@ class CreditLedger {
 
   /// (peer, credit) pairs sorted by credit descending, peer ascending.
   [[nodiscard]] std::vector<std::pair<NodeId, double>> ranking() const;
+
+  /// Checkpoints all credits (peer-id ascending for deterministic bytes).
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   std::unordered_map<NodeId, double> credits_;

@@ -382,17 +382,9 @@ void Engine::publishDay(SimTime now) {
     }
   }
 
-  // The popularity/alive set changed: invalidate epoch caches. The carry
-  // stock scales with the alive population so a longer TTL does not dilute
-  // the coverage access nodes provide.
+  // The popularity/alive set changed: invalidate epoch caches.
   caches(caches_, nodes_.size()).lastPublishAt = now;
-  const std::size_t alive = internet_.catalog().aliveFiles(now).size();
-  const auto stock = std::min(
-      params_.accessMetadataSyncLimit,
-      std::max<std::size_t>(
-          10, static_cast<std::size_t>(params_.accessMetadataSyncFraction *
-                                       static_cast<double>(alive))));
-  caches_->topPopular = internet_.topPopular(now, stock);
+  refreshPublishEpochCaches();
 
   // Access nodes are online: they discover and download instantly. A
   // churned-off access node is not: it catches up at its next contact (or
@@ -434,6 +426,22 @@ void Engine::publishDay(SimTime now) {
       }
     }
   }
+}
+
+void Engine::refreshPublishEpochCaches() {
+  // The carry stock scales with the alive population so a longer TTL does
+  // not dilute the coverage access nodes provide. Also recomputed on
+  // checkpoint restore: popularity only changes at publish instants, so the
+  // stock at lastPublishAt is reproducible from the restored catalog.
+  EngineCaches& cache = caches(caches_, nodes_.size());
+  const SimTime now = cache.lastPublishAt;
+  const std::size_t alive = internet_.catalog().aliveFiles(now).size();
+  const auto stock = std::min(
+      params_.accessMetadataSyncLimit,
+      std::max<std::size_t>(
+          10, static_cast<std::size_t>(params_.accessMetadataSyncFraction *
+                                       static_cast<double>(alive))));
+  cache.topPopular = internet_.topPopular(now, stock);
 }
 
 void Engine::deliverWholeFile(Node& node, FileId file, SimTime now) {
@@ -958,6 +966,131 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
         emit(event);
       }
     }
+  }
+}
+
+namespace {
+
+void saveRngState(Serializer& out, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) out.u64(word);
+}
+
+void loadRngState(Deserializer& in, Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = in.u64();
+  rng.setState(state);
+}
+
+void saveTotals(Serializer& out, const EngineTotals& t) {
+  out.u64(t.contactsProcessed);
+  out.u64(t.filesPublished);
+  out.u64(t.queriesGenerated);
+  out.u64(t.metadataBroadcasts);
+  out.u64(t.pieceBroadcasts);
+  out.u64(t.metadataReceptions);
+  out.u64(t.pieceReceptions);
+  out.u64(t.forgeriesCrafted);
+  out.u64(t.forgeriesAccepted);
+  out.u64(t.forgeriesRejected);
+  out.u64(t.faultMessagesDropped);
+  out.u64(t.faultContactsTruncated);
+  out.u64(t.faultPiecesRejectedCorrupt);
+  out.u64(t.faultNodeDownIntervals);
+}
+
+void loadTotals(Deserializer& in, EngineTotals& t) {
+  t.contactsProcessed = in.u64();
+  t.filesPublished = in.u64();
+  t.queriesGenerated = in.u64();
+  t.metadataBroadcasts = in.u64();
+  t.pieceBroadcasts = in.u64();
+  t.metadataReceptions = in.u64();
+  t.pieceReceptions = in.u64();
+  t.forgeriesCrafted = in.u64();
+  t.forgeriesAccepted = in.u64();
+  t.forgeriesRejected = in.u64();
+  t.faultMessagesDropped = in.u64();
+  t.faultContactsTruncated = in.u64();
+  t.faultPiecesRejectedCorrupt = in.u64();
+  t.faultNodeDownIntervals = in.u64();
+}
+
+}  // namespace
+
+void Engine::saveComponentState(Serializer& out) const {
+  saveRngState(out, rng_);
+  saveTotals(out, totals_);
+  out.u32(nextForgedId_);
+  out.i64(expiryScanUpTo_);
+
+  out.boolean(faults_ != nullptr);
+  if (faults_ != nullptr) faults_->saveState(out);
+
+  internet_.saveState(out);
+  metrics_.saveState(out);
+
+  out.u64(nodes_.size());
+  for (const auto& node : nodes_) node->saveState(out);
+
+  out.boolean(caches_ != nullptr);
+  if (caches_ != nullptr) {
+    out.i64(caches_->lastPublishAt);
+    out.u64(caches_->searchCache.size());
+    for (const auto& searched : caches_->searchCache) {
+      std::vector<std::pair<std::string, SimTime>> sorted(searched.begin(),
+                                                          searched.end());
+      std::sort(sorted.begin(), sorted.end());
+      out.u64(sorted.size());
+      for (const auto& [text, at] : sorted) {
+        out.str(text);
+        out.i64(at);
+      }
+    }
+    // topPopular holds pointers into the catalog; restore recomputes it via
+    // refreshPublishEpochCaches().
+  }
+}
+
+void Engine::loadComponentState(Deserializer& in) {
+  loadRngState(in, rng_);
+  loadTotals(in, totals_);
+  nextForgedId_ = in.u32();
+  expiryScanUpTo_ = in.i64();
+
+  const bool hasFaults = in.boolean();
+  if (hasFaults != (faults_ != nullptr)) {
+    throw SerializeError(
+        "corrupt payload: fault-plan presence does not match the engine "
+        "configuration");
+  }
+  if (faults_ != nullptr) faults_->loadState(in);
+
+  internet_.loadState(in);
+  metrics_.loadState(in);
+
+  const std::size_t nodeCount = in.length();
+  if (nodeCount != nodes_.size()) {
+    throw SerializeError("corrupt payload: node count mismatch");
+  }
+  for (auto& node : nodes_) node->loadState(in);
+
+  caches_.reset();
+  if (in.boolean()) {
+    EngineCaches& cache = caches(caches_, nodes_.size());
+    cache.lastPublishAt = in.i64();
+    const std::size_t cacheNodes = in.length();
+    if (cacheNodes != cache.searchCache.size()) {
+      throw SerializeError("corrupt payload: search-cache size mismatch");
+    }
+    for (auto& searched : cache.searchCache) {
+      searched.clear();
+      const std::size_t entries = in.length();
+      for (std::size_t i = 0; i < entries; ++i) {
+        std::string text = in.str();
+        searched[std::move(text)] = in.i64();
+      }
+    }
+    if (cache.lastPublishAt >= 0) refreshPublishEpochCaches();
   }
 }
 

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/download.hpp"
@@ -20,6 +22,8 @@
 #include "src/sim/simulator.hpp"
 #include "src/trace/contact_trace.hpp"
 #include "src/util/random.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/sha1.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::obs {
@@ -230,6 +234,27 @@ class Engine {
     return faults_.get();
   }
 
+  // --- checkpoint/restore (src/core/checkpoint.cpp) -----------------------
+
+  /// Writes a versioned, checksummed snapshot of the complete engine state
+  /// to `path` (atomically, via temp file + rename). Legal at any step
+  /// boundary, including before the first step and after the last event;
+  /// throws std::logic_error after finish(). `extra` is an opaque
+  /// caller-supplied blob stored alongside the state (e.g. output-sink byte
+  /// offsets; see readCheckpointInfo); throws CheckpointError on I/O
+  /// failure. See docs/CHECKPOINT.md for the format and guarantees.
+  void saveCheckpoint(const std::string& path,
+                      std::string_view extra = {}) const;
+
+  /// Restores the state saved by saveCheckpoint into this engine, which
+  /// must be freshly constructed (same trace and params, not yet stepped,
+  /// no observer attached — attach sinks after restoring). Finishing the
+  /// restored run is byte-identical to the uninterrupted run. Throws
+  /// CheckpointError on a corrupt, truncated, version-mismatched, or
+  /// configuration-mismatched file — the engine is only mutated after the
+  /// payload checksum and the configuration fingerprint both verify.
+  void restoreCheckpoint(const std::string& path);
+
  private:
   void setupNodes();
   /// Builds the event schedule lazily, on the first advance.
@@ -252,6 +277,18 @@ class Engine {
   /// Only called when faults_ is non-null.
   bool pieceReceptionFaulted(NodeId receiver, NodeId sender, FileId file,
                              std::uint32_t piece, SimTime now);
+  // Checkpoint internals. Component (de)serialization lives in engine.cpp
+  // (it touches the file-local EngineCaches); the file format, checksum,
+  // fingerprint, and schedule-replay logic live in checkpoint.cpp.
+  void saveComponentState(Serializer& out) const;
+  void loadComponentState(Deserializer& in);
+  /// Recomputes the popularity-ordered carry stock for the current publish
+  /// epoch (caches_->topPopular holds pointers into the catalog, so restore
+  /// recomputes it instead of serializing it).
+  void refreshPublishEpochCaches();
+  /// SHA-1 over the engine configuration (params + trace identity); stored
+  /// in checkpoints so a restore into a different run fails loudly.
+  [[nodiscard]] Sha1Digest configFingerprint() const;
 
   const trace::ContactTrace& trace_;
   EngineParams params_;

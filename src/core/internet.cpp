@@ -41,7 +41,75 @@ std::size_t PopularityTable::totalRequests(FileId file) const {
   return it == events_.end() ? 0 : it->second.size();
 }
 
+void PopularityTable::saveState(Serializer& out) const {
+  std::vector<FileId> sorted;
+  sorted.reserve(events_.size());
+  for (const auto& [file, _] : events_) sorted.push_back(file);
+  std::sort(sorted.begin(), sorted.end());
+  out.u64(sorted.size());
+  for (const FileId file : sorted) {
+    const auto& events = events_.at(file);
+    out.u32(file.value);
+    out.u64(events.size());
+    for (const Event& e : events) {
+      out.i64(e.when);
+      out.u32(e.who.value);
+    }
+  }
+}
+
+void PopularityTable::loadState(Deserializer& in) {
+  events_.clear();
+  const std::size_t fileCount = in.length();
+  for (std::size_t i = 0; i < fileCount; ++i) {
+    const FileId file{in.u32()};
+    auto& events = events_[file];
+    const std::size_t eventCount = in.length();
+    for (std::size_t j = 0; j < eventCount; ++j) {
+      const SimTime when = in.i64();
+      events.push_back(Event{when, NodeId{in.u32()}});
+    }
+  }
+}
+
 InternetServices::InternetServices() : catalog_(&registry_) {}
+
+void InternetServices::saveState(Serializer& out) const {
+  const std::vector<FileId> files = catalog_.allFiles();
+  out.u64(files.size());
+  for (const FileId id : files) {
+    const FileInfo* info = catalog_.find(id);
+    out.str(info->name);
+    out.str(info->publisher);
+    out.str(info->description);
+    out.u64(info->sizeBytes);
+    out.u32(info->pieceSizeBytes);
+    out.f64(info->popularity);
+    out.i64(info->publishedAt);
+    out.i64(info->ttl);
+  }
+  popularity_.saveState(out);
+}
+
+void InternetServices::loadState(Deserializer& in) {
+  if (catalog_.size() != 0) {
+    throw SerializeError("InternetServices::loadState needs an empty catalog");
+  }
+  const std::size_t fileCount = in.length();
+  for (std::size_t i = 0; i < fileCount; ++i) {
+    FileCatalog::PublishRequest req;
+    req.name = in.str();
+    req.publisher = in.str();
+    req.description = in.str();
+    req.sizeBytes = in.u64();
+    req.pieceSizeBytes = in.u32();
+    req.popularity = in.f64();
+    req.publishedAt = in.i64();
+    req.ttl = in.i64();
+    publish(req);
+  }
+  popularity_.loadState(in);
+}
 
 FileId InternetServices::publish(const FileCatalog::PublishRequest& request) {
   if (!registry_.knows(request.publisher)) {

@@ -17,6 +17,7 @@
 #include "src/core/metadata.hpp"
 #include "src/core/query.hpp"
 #include "src/util/random.hpp"
+#include "src/util/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::obs {
@@ -42,6 +43,11 @@ class PopularityTable {
 
   /// Total requests ever recorded for `file`.
   [[nodiscard]] std::size_t totalRequests(FileId file) const;
+
+  /// Checkpoints all request events (file-id ascending; per-file deques
+  /// keep their order).
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   struct Event {
@@ -83,6 +89,15 @@ class InternetServices {
       SimTime now, std::size_t limit) const;
 
   [[nodiscard]] const Metadata* metadataForUri(const Uri& uri) const;
+
+  /// Checkpoints the catalog (as publish requests carrying the *current*
+  /// popularity) and the popularity table. loadState re-publishes every
+  /// file in order on an empty catalog, reproducing identical FileIds,
+  /// URIs, piece checksums, auth tags, and registry secrets (the auth
+  /// payload does not cover popularity). Must be called with no observer
+  /// attached so the replayed publications emit no events.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   PublisherRegistry registry_;

@@ -60,6 +60,43 @@ void PublisherRegistry::registerPublisher(const std::string& publisher,
   secrets_[publisher] = secret;
 }
 
+void Metadata::saveState(Serializer& out) const {
+  out.u32(file.value);
+  out.str(name);
+  out.str(publisher);
+  out.str(description);
+  out.str(uri);
+  out.u64(sizeBytes);
+  out.u32(pieceSizeBytes);
+  out.u64(pieceChecksums.size());
+  for (const Sha1Digest& digest : pieceChecksums) {
+    out.raw(digest.bytes.data(), digest.bytes.size());
+  }
+  out.raw(authTag.bytes.data(), authTag.bytes.size());
+  out.f64(popularity);
+  out.i64(publishedAt);
+  out.i64(ttl);
+}
+
+void Metadata::loadState(Deserializer& in) {
+  file = FileId{in.u32()};
+  name = in.str();
+  publisher = in.str();
+  description = in.str();
+  uri = in.str();
+  sizeBytes = in.u64();
+  pieceSizeBytes = in.u32();
+  pieceChecksums.resize(in.length(sizeof(Sha1Digest::bytes)));
+  for (Sha1Digest& digest : pieceChecksums) {
+    in.raw(digest.bytes.data(), digest.bytes.size());
+  }
+  in.raw(authTag.bytes.data(), authTag.bytes.size());
+  popularity = in.f64();
+  publishedAt = in.i64();
+  ttl = in.i64();
+  rebuildKeywords();
+}
+
 bool PublisherRegistry::knows(const std::string& publisher) const {
   return secrets_.contains(publisher);
 }

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/serialize.hpp"
 #include "src/util/sha1.hpp"
 #include "src/util/types.hpp"
 
@@ -59,6 +60,11 @@ struct Metadata {
 
   /// Canonical byte string covered by the authentication tag.
   [[nodiscard]] std::string authPayload() const;
+
+  /// Checkpoints the authoritative fields; keywords/keywordHashes are
+  /// derived and rebuilt on load.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 };
 
 /// Publisher authentication: a keyed-hash scheme standing in for the

@@ -66,4 +66,21 @@ std::span<const Metadata* const> MetadataStore::byPopularity() const {
   return popularityView_.items;
 }
 
+void MetadataStore::saveState(Serializer& out) const {
+  const auto sorted = all();
+  out.u64(sorted.size());
+  for (const Metadata* md : sorted) md->saveState(out);
+}
+
+void MetadataStore::loadState(Deserializer& in) {
+  records_.clear();
+  ++generation_;
+  const std::size_t count = in.length();
+  for (std::size_t i = 0; i < count; ++i) {
+    Metadata md;
+    md.loadState(in);
+    add(md);
+  }
+}
+
 }  // namespace hdtn::core

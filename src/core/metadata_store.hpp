@@ -50,6 +50,10 @@ class MetadataStore {
   /// Mutation counter, for callers layering their own caches on top.
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
+  /// Checkpoints all records (file-id ascending for deterministic bytes).
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
+
  private:
   struct CachedView {
     std::uint64_t generation = 0;  // valid when == store generation (> 0)

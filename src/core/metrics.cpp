@@ -112,4 +112,46 @@ DeliveryReport MetricsCollector::report(MetricScope scope) const {
   return report;
 }
 
+void MetricsCollector::saveState(Serializer& out) const {
+  out.u64(records_.size());
+  for (const QueryRecord& r : records_) {
+    out.u32(r.id.value);
+    out.u32(r.owner.value);
+    out.u32(r.target.value);
+    out.i64(r.issuedAt);
+    out.i64(r.ttl);
+    out.boolean(r.ownerIsAccess);
+    out.boolean(r.ownerIsFreeRider);
+    out.boolean(r.metadataAt.has_value());
+    out.i64(r.metadataAt.value_or(0));
+    out.boolean(r.fileAt.has_value());
+    out.i64(r.fileAt.value_or(0));
+  }
+}
+
+void MetricsCollector::loadState(Deserializer& in) {
+  records_.clear();
+  byOwnerTarget_.clear();
+  const std::size_t count = in.length();
+  records_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryRecord r;
+    r.id = QueryId{in.u32()};
+    r.owner = NodeId{in.u32()};
+    r.target = FileId{in.u32()};
+    r.issuedAt = in.i64();
+    r.ttl = in.i64();
+    r.ownerIsAccess = in.boolean();
+    r.ownerIsFreeRider = in.boolean();
+    const bool hasMetadataAt = in.boolean();
+    const SimTime metadataAt = in.i64();
+    if (hasMetadataAt) r.metadataAt = metadataAt;
+    const bool hasFileAt = in.boolean();
+    const SimTime fileAt = in.i64();
+    if (hasFileAt) r.fileAt = fileAt;
+    byOwnerTarget_[key(r.owner, r.target)].push_back(records_.size());
+    records_.push_back(r);
+  }
+}
+
 }  // namespace hdtn::core

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::core {
@@ -72,6 +73,11 @@ class MetricsCollector {
   }
 
   [[nodiscard]] DeliveryReport report(MetricScope scope) const;
+
+  /// Checkpoints every query record; the (owner, target) index is rebuilt
+  /// on load.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   [[nodiscard]] bool inScope(const QueryRecord& r, MetricScope scope) const;

@@ -181,4 +181,131 @@ std::vector<Uri> Node::peerWantedUris(SimTime now) const {
   return out;
 }
 
+void Node::saveState(Serializer& out) const {
+  metadata_.saveState(out);
+  pieces_.saveState(out);
+  credits_.saveState(out);
+
+  out.u64(queries_.size());
+  for (const QueryState& qs : queries_) {
+    out.u32(qs.query.id.value);
+    out.u32(qs.query.owner.value);
+    out.str(qs.query.text);
+    out.u32(qs.query.target.value);
+    out.i64(qs.query.issuedAt);
+    out.i64(qs.query.ttl);
+    out.boolean(qs.metadataFound);
+    out.u32(qs.chosenFile.value);
+    out.boolean(qs.fileFound);
+  }
+
+  // Unordered containers are written in sorted order so checkpoint bytes
+  // are deterministic (iteration order is behavior-neutral elsewhere).
+  std::vector<FileId> rejected(rejectedMetadata_.begin(),
+                               rejectedMetadata_.end());
+  std::sort(rejected.begin(), rejected.end());
+  out.u64(rejected.size());
+  for (const FileId file : rejected) out.u32(file.value);
+
+  std::vector<std::pair<NodeId, int>> rejections(rejectionsFrom_.begin(),
+                                                 rejectionsFrom_.end());
+  std::sort(rejections.begin(), rejections.end());
+  out.u64(rejections.size());
+  for (const auto& [peer, count] : rejections) {
+    out.u32(peer.value);
+    out.i64(count);
+  }
+
+  std::vector<NodeId> distrusted(distrustedPeers_.begin(),
+                                 distrustedPeers_.end());
+  std::sort(distrusted.begin(), distrusted.end());
+  out.u64(distrusted.size());
+  for (const NodeId peer : distrusted) out.u32(peer.value);
+
+  std::vector<std::pair<NodeId, const StoredQueries*>> stored;
+  stored.reserve(peerQueries_.size());
+  for (const auto& [peer, sq] : peerQueries_) stored.emplace_back(peer, &sq);
+  std::sort(stored.begin(), stored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(stored.size());
+  for (const auto& [peer, sq] : stored) {
+    out.u32(peer.value);
+    out.u64(sq->texts.size());
+    for (const std::string& text : sq->texts) out.str(text);
+    out.i64(sq->storedAt);
+  }
+
+  std::vector<std::pair<Uri, SimTime>> wants(peerWants_.begin(),
+                                             peerWants_.end());
+  std::sort(wants.begin(), wants.end());
+  out.u64(wants.size());
+  for (const auto& [uri, when] : wants) {
+    out.str(uri);
+    out.i64(when);
+  }
+}
+
+void Node::loadState(Deserializer& in) {
+  metadata_.loadState(in);
+  pieces_.loadState(in);
+  credits_.loadState(in);
+
+  queries_.clear();
+  const std::size_t queryCount = in.length();
+  queries_.reserve(queryCount);
+  for (std::size_t i = 0; i < queryCount; ++i) {
+    QueryState qs;
+    qs.query.id = QueryId{in.u32()};
+    qs.query.owner = NodeId{in.u32()};
+    qs.query.text = in.str();
+    qs.query.target = FileId{in.u32()};
+    qs.query.issuedAt = in.i64();
+    qs.query.ttl = in.i64();
+    qs.tokens = keywordTokens(qs.query.text);
+    qs.metadataFound = in.boolean();
+    qs.chosenFile = FileId{in.u32()};
+    qs.fileFound = in.boolean();
+    queries_.push_back(std::move(qs));
+  }
+
+  rejectedMetadata_.clear();
+  const std::size_t rejectedCount = in.length();
+  for (std::size_t i = 0; i < rejectedCount; ++i) {
+    rejectedMetadata_.insert(FileId{in.u32()});
+  }
+
+  rejectionsFrom_.clear();
+  const std::size_t rejectionCount = in.length();
+  for (std::size_t i = 0; i < rejectionCount; ++i) {
+    const NodeId peer{in.u32()};
+    rejectionsFrom_[peer] = static_cast<int>(in.i64());
+  }
+
+  distrustedPeers_.clear();
+  const std::size_t distrustCount = in.length();
+  for (std::size_t i = 0; i < distrustCount; ++i) {
+    distrustedPeers_.insert(NodeId{in.u32()});
+  }
+
+  peerQueries_.clear();
+  const std::size_t storedCount = in.length();
+  for (std::size_t i = 0; i < storedCount; ++i) {
+    const NodeId peer{in.u32()};
+    StoredQueries sq;
+    sq.texts.resize(in.length());
+    for (std::string& text : sq.texts) text = in.str();
+    sq.storedAt = in.i64();
+    peerQueries_.emplace(peer, std::move(sq));
+  }
+
+  peerWants_.clear();
+  const std::size_t wantCount = in.length();
+  for (std::size_t i = 0; i < wantCount; ++i) {
+    Uri uri = in.str();
+    peerWants_[std::move(uri)] = in.i64();
+  }
+
+  touch();
+}
+
 }  // namespace hdtn::core

@@ -169,6 +169,13 @@ class Node {
   /// Freshness horizon for proxied queries and peer wants.
   void setCooperativeStateTtl(Duration ttl) { cooperativeTtl_ = ttl; }
 
+  /// Checkpoints the node's mutable protocol state: stores, credits, query
+  /// lifecycle, distrust bookkeeping, and cooperative state. Construction
+  /// state (id, options, verifier, frequent contacts, cooperative TTL) is
+  /// reconstructed deterministically by Engine setup and not serialized.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
+
  private:
   NodeId id_;
   NodeOptions options_;

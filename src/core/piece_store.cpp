@@ -144,4 +144,37 @@ void PieceStore::evictOnePiece() {
   }
 }
 
+void PieceStore::saveState(Serializer& out) const {
+  const std::vector<FileId> sorted = files();
+  out.u64(sorted.size());
+  for (const FileId file : sorted) {
+    const Entry& e = entries_.at(file);
+    out.u32(file.value);
+    out.u64(e.have.size());
+    for (std::size_t p = 0; p < e.have.size(); ++p) {
+      out.boolean(e.have[p]);
+    }
+    out.f64(e.priority);
+  }
+}
+
+void PieceStore::loadState(Deserializer& in) {
+  entries_.clear();
+  totalHeld_ = 0;
+  const std::size_t count = in.length();
+  for (std::size_t i = 0; i < count; ++i) {
+    const FileId file{in.u32()};
+    Entry e;
+    e.have.resize(in.length());
+    for (std::size_t p = 0; p < e.have.size(); ++p) {
+      const bool held = in.boolean();
+      e.have[p] = held;
+      if (held) ++e.held;
+    }
+    e.priority = in.f64();
+    totalHeld_ += e.held;
+    entries_.emplace(file, std::move(e));
+  }
+}
+
 }  // namespace hdtn::core

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::core {
@@ -61,6 +62,11 @@ class PieceStore {
   /// Sets the priority used by bounded-store eviction (higher survives
   /// longer). Typically the file's popularity.
   void setPriority(FileId file, double priority);
+
+  /// Checkpoints every registered file's bitmap and priority (file-id
+  /// ascending). The capacity bound is construction state, not serialized.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   struct Entry {

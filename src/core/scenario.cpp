@@ -2,11 +2,13 @@
 
 #include <charconv>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <stdexcept>
 #include <string_view>
 
+#include "src/core/checkpoint.hpp"
 #include "src/obs/event_log.hpp"
 #include "src/obs/timeseries.hpp"
 #include "src/trace/dieselnet.hpp"
@@ -130,7 +132,9 @@ const std::vector<std::string>& Scenario::knownKeys() {
       "truncation-keep-max", "corruption-rate", "churn-fraction",
       "churn-downtime-hours",
       // outputs
-      "events-out", "timeseries-out", "sample-every"};
+      "events-out", "timeseries-out", "sample-every",
+      // checkpoint/resume (docs/CHECKPOINT.md)
+      "checkpoint-out", "checkpoint-every", "resume"};
   return kKeys;
 }
 
@@ -286,6 +290,14 @@ std::string Scenario::apply(const std::string& key, const std::string& value) {
   } else if (key == "sample-every") {
     if (!(err = asInt(&i)).empty()) return err;
     sampleEvery = static_cast<Duration>(i);
+  } else if (key == "checkpoint-out") {
+    checkpointOut = value;
+  } else if (key == "checkpoint-every") {
+    if (!(err = asInt(&i)).empty()) return err;
+    checkpointEvery = static_cast<Duration>(i);
+  } else if (key == "resume") {
+    if (!(err = asBool(&b)).empty()) return err;
+    resume = b;
   } else {
     return "unknown key '" + key + "'";
   }
@@ -353,6 +365,12 @@ std::vector<std::string> Scenario::validate() const {
     errors.push_back(std::move(error));
   }
   if (sampleEvery <= 0) errors.push_back("sample-every must be positive");
+  if (checkpointEvery <= 0) {
+    errors.push_back("checkpoint-every must be positive");
+  }
+  if (resume && checkpointOut.empty()) {
+    errors.push_back("resume requires checkpoint-out");
+  }
   return errors;
 }
 
@@ -483,12 +501,256 @@ Scenario ScenarioBuilder::build() const {
 
 // --- runScenario ------------------------------------------------------------
 
+namespace {
+
+/// The driver state a checkpointing run stores in the checkpoint's extra
+/// blob: how far each output file had gotten (byte offsets, so a resume can
+/// truncate a partially written tail and append byte-identically) and the
+/// next sample/checkpoint boundaries.
+struct ResumeCursor {
+  std::uint64_t eventsWritten = 0;
+  std::uint64_t eventsOffset = 0;
+  std::uint64_t timeseriesOffset = 0;
+  SimTime nextSample = 0;
+  SimTime nextCheckpoint = 0;
+  bool hasEvents = false;
+  bool hasTimeseries = false;
+};
+
+constexpr std::uint8_t kCursorVersion = 1;
+
+std::string packCursor(const ResumeCursor& cursor) {
+  Serializer out;
+  out.u8(kCursorVersion);
+  out.boolean(cursor.hasEvents);
+  out.boolean(cursor.hasTimeseries);
+  out.u64(cursor.eventsWritten);
+  out.u64(cursor.eventsOffset);
+  out.u64(cursor.timeseriesOffset);
+  out.i64(cursor.nextSample);
+  out.i64(cursor.nextCheckpoint);
+  return out.takeBytes();
+}
+
+bool unpackCursor(const std::string& blob, ResumeCursor* cursor,
+                  std::string* error) {
+  try {
+    Deserializer in(blob);
+    if (in.u8() != kCursorVersion) {
+      if (error != nullptr) {
+        *error = "cannot resume: checkpoint carries an unknown driver cursor "
+                 "version";
+      }
+      return false;
+    }
+    cursor->hasEvents = in.boolean();
+    cursor->hasTimeseries = in.boolean();
+    cursor->eventsWritten = in.u64();
+    cursor->eventsOffset = in.u64();
+    cursor->timeseriesOffset = in.u64();
+    cursor->nextSample = in.i64();
+    cursor->nextCheckpoint = in.i64();
+    return true;
+  } catch (const SerializeError& e) {
+    if (error != nullptr) {
+      *error = std::string("cannot resume: corrupt driver cursor: ") +
+               e.what();
+    }
+    return false;
+  }
+}
+
+/// Truncates an output file back to the offset the checkpoint recorded
+/// (dropping any tail written after the checkpoint but before the crash)
+/// and reopens it in append mode. Missing or too-short files fail loudly:
+/// the resume contract is byte identity, and a file that lost bytes before
+/// the recorded offset cannot honor it.
+bool reopenForResume(const std::string& path, std::uint64_t offset,
+                     const char* what, std::ofstream* out,
+                     std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = std::string("cannot resume: ") + what + " output '" + path +
+               "' is missing (" + ec.message() +
+               "); it must survive alongside the checkpoint";
+    }
+    return false;
+  }
+  if (size < offset) {
+    if (error != nullptr) {
+      *error = std::string("cannot resume: ") + what + " output '" + path +
+               "' holds " + std::to_string(size) +
+               " bytes but the checkpoint recorded " + std::to_string(offset);
+    }
+    return false;
+  }
+  fs::resize_file(path, offset, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = std::string("cannot resume: cannot truncate ") + what +
+               " output '" + path + "': " + ec.message();
+    }
+    return false;
+  }
+  out->open(path, std::ios::app);
+  if (!*out) {
+    if (error != nullptr) {
+      *error = std::string("cannot reopen ") + what + " output '" + path +
+               "' for append";
+    }
+    return false;
+  }
+  return true;
+}
+
+/// The checkpointing/resuming driver: advances the engine boundary by
+/// boundary (sample boundaries and checkpoint boundaries, in time order),
+/// writing the time series incrementally so every checkpoint can record the
+/// exact on-disk offsets of both outputs. Event execution is identical to
+/// obs::runSampled — only the bookkeeping between events differs.
+std::optional<ScenarioOutcome> runCheckpointed(
+    const Scenario& scenario, const trace::ContactTrace& trace,
+    std::string* error) {
+  namespace fs = std::filesystem;
+  ScenarioOutcome outcome;
+  Engine engine(trace, scenario.params);
+  const bool wantEvents = !scenario.eventsOut.empty();
+  const bool wantTimeseries = !scenario.timeseriesOut.empty();
+  ResumeCursor cursor;
+  cursor.hasEvents = wantEvents;
+  cursor.hasTimeseries = wantTimeseries;
+  cursor.nextSample = scenario.sampleEvery;
+  cursor.nextCheckpoint = scenario.checkpointEvery;
+  std::uint64_t eventsWrittenBefore = 0;
+  if (scenario.resume && fs::exists(scenario.checkpointOut)) {
+    try {
+      const CheckpointInfo info = readCheckpointInfo(scenario.checkpointOut);
+      if (!unpackCursor(info.extra, &cursor, error)) return std::nullopt;
+      if (cursor.hasEvents != wantEvents ||
+          cursor.hasTimeseries != wantTimeseries) {
+        if (error != nullptr) {
+          *error = "cannot resume: the checkpoint was written with different "
+                   "events-out/timeseries-out settings";
+        }
+        return std::nullopt;
+      }
+      engine.restoreCheckpoint(scenario.checkpointOut);
+    } catch (const CheckpointError& e) {
+      if (error != nullptr) *error = e.what();
+      return std::nullopt;
+    }
+    eventsWrittenBefore = cursor.eventsWritten;
+    outcome.resumed = true;
+  }
+  std::ofstream eventsFile;
+  std::optional<obs::JsonlEventSink> sink;
+  if (wantEvents) {
+    if (outcome.resumed) {
+      if (!reopenForResume(scenario.eventsOut, cursor.eventsOffset, "events",
+                           &eventsFile, error)) {
+        return std::nullopt;
+      }
+    } else {
+      eventsFile.open(scenario.eventsOut);
+      if (!eventsFile) {
+        if (error != nullptr) *error = "cannot write " + scenario.eventsOut;
+        return std::nullopt;
+      }
+    }
+    sink.emplace(eventsFile);
+    engine.setObserver(&*sink);
+  }
+  std::ofstream tsFile;
+  if (wantTimeseries) {
+    if (outcome.resumed) {
+      if (!reopenForResume(scenario.timeseriesOut, cursor.timeseriesOffset,
+                           "timeseries", &tsFile, error)) {
+        return std::nullopt;
+      }
+    } else {
+      tsFile.open(scenario.timeseriesOut);
+      if (!tsFile) {
+        if (error != nullptr) {
+          *error = "cannot write " + scenario.timeseriesOut;
+        }
+        return std::nullopt;
+      }
+      obs::TimeSeries::writeCsvHeader(tsFile);
+    }
+  }
+  const SimTime end = engine.endTime();
+  try {
+    while (true) {
+      SimTime boundary = end;
+      if (wantTimeseries && cursor.nextSample < boundary) {
+        boundary = cursor.nextSample;
+      }
+      if (cursor.nextCheckpoint < boundary) boundary = cursor.nextCheckpoint;
+      if (boundary >= end) break;
+      engine.runUntil(boundary);
+      // Sample before checkpointing so a checkpoint at a shared boundary
+      // covers the row just written.
+      if (wantTimeseries && boundary == cursor.nextSample) {
+        obs::TimeSeries::writeCsvRow(tsFile,
+                                     {boundary, engine.currentResult()});
+        cursor.nextSample += scenario.sampleEvery;
+      }
+      if (boundary == cursor.nextCheckpoint) {
+        cursor.nextCheckpoint += scenario.checkpointEvery;
+        // The on-disk bytes must match the offsets the checkpoint records,
+        // so flush (and verify) both outputs before writing it.
+        if (sink) sink->finish();
+        if (wantTimeseries) {
+          tsFile.flush();
+          if (!tsFile) {
+            throw std::runtime_error("I/O error writing " +
+                                     scenario.timeseriesOut);
+          }
+        }
+        ResumeCursor at = cursor;
+        at.eventsWritten =
+            eventsWrittenBefore + (sink ? sink->eventsWritten() : 0);
+        at.eventsOffset =
+            wantEvents ? static_cast<std::uint64_t>(eventsFile.tellp()) : 0;
+        at.timeseriesOffset =
+            wantTimeseries ? static_cast<std::uint64_t>(tsFile.tellp()) : 0;
+        engine.saveCheckpoint(scenario.checkpointOut, packCursor(at));
+      }
+    }
+    outcome.result = engine.finish();
+    if (wantTimeseries) {
+      obs::TimeSeries::writeCsvRow(tsFile, {end, outcome.result});
+      tsFile.flush();
+      if (!tsFile) {
+        throw std::runtime_error("I/O error writing " +
+                                 scenario.timeseriesOut);
+      }
+    }
+    if (sink) sink->finish();
+  } catch (const std::runtime_error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+  if (sink) {
+    outcome.eventsWritten = eventsWrittenBefore + sink->eventsWritten();
+  }
+  return outcome;
+}
+
+}  // namespace
+
 std::optional<ScenarioOutcome> runScenario(const Scenario& scenario,
                                            const trace::ContactTrace& trace,
                                            std::string* error) {
   for (const std::string& problem : scenario.validate()) {
     if (error != nullptr) *error = problem;
     return std::nullopt;
+  }
+  if (!scenario.checkpointOut.empty()) {
+    return runCheckpointed(scenario, trace, error);
   }
   ScenarioOutcome outcome;
   if (scenario.eventsOut.empty() && scenario.timeseriesOut.empty()) {
@@ -507,17 +769,25 @@ std::optional<ScenarioOutcome> runScenario(const Scenario& scenario,
     sink.emplace(eventsFile);
     engine.setObserver(&*sink);
   }
-  if (!scenario.timeseriesOut.empty()) {
-    obs::TimeSeries series;
-    outcome.result = obs::runSampled(engine, scenario.sampleEvery, series);
-    std::ofstream tsFile(scenario.timeseriesOut);
-    if (!tsFile) {
-      if (error != nullptr) *error = "cannot write " + scenario.timeseriesOut;
-      return std::nullopt;
+  try {
+    if (!scenario.timeseriesOut.empty()) {
+      obs::TimeSeries series;
+      outcome.result = obs::runSampled(engine, scenario.sampleEvery, series);
+      std::ofstream tsFile(scenario.timeseriesOut);
+      if (!tsFile) {
+        if (error != nullptr) {
+          *error = "cannot write " + scenario.timeseriesOut;
+        }
+        return std::nullopt;
+      }
+      series.writeCsv(tsFile);
+    } else {
+      outcome.result = engine.run();
     }
-    series.writeCsv(tsFile);
-  } else {
-    outcome.result = engine.run();
+    if (sink) sink->finish();
+  } catch (const std::runtime_error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
   }
   if (sink) outcome.eventsWritten = sink->eventsWritten();
   return outcome;

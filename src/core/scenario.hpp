@@ -79,6 +79,18 @@ struct Scenario {
   std::string timeseriesOut;
   /// Time-series sampling cadence in simulation seconds.
   Duration sampleEvery = 21600;
+  /// When non-empty, the run writes a checkpoint here every checkpointEvery
+  /// simulation seconds (atomically; see docs/CHECKPOINT.md). The file also
+  /// records the byte offsets of eventsOut/timeseriesOut, so a resumed run
+  /// reproduces them byte-identically.
+  std::string checkpointOut;
+  /// Checkpoint cadence in simulation seconds.
+  Duration checkpointEvery = 21600;
+  /// When true (and checkpointOut names an existing checkpoint), the run
+  /// restores from it instead of starting over: outputs are truncated to
+  /// the recorded offsets and the finished files are byte-identical to an
+  /// uninterrupted run. A missing checkpoint file means a cold start.
+  bool resume = false;
 
   /// Sets one configuration key (scenario-file key == hdtn_sim flag name).
   /// For boolean keys an empty value means true (bare --switch form).
@@ -150,8 +162,11 @@ class ScenarioBuilder {
 /// What one scenario run produced beyond the engine result.
 struct ScenarioOutcome {
   EngineResult result;
-  /// JSONL events written (0 when eventsOut was empty).
+  /// JSONL events written (0 when eventsOut was empty); counts the whole
+  /// run, including events written before the checkpoint a resume loaded.
   std::uint64_t eventsWritten = 0;
+  /// True when the run restored from scenario.checkpointOut.
+  bool resumed = false;
 };
 
 /// Runs the scenario over an already-built trace, honoring the scenario's

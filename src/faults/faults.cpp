@@ -130,6 +130,32 @@ bool FaultPlan::isDown(NodeId node, SimTime now) const {
   return now < it->end;
 }
 
+namespace {
+
+void saveRng(Serializer& out, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) out.u64(word);
+}
+
+void loadRng(Deserializer& in, Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = in.u64();
+  rng.setState(state);
+}
+
+}  // namespace
+
+void FaultPlan::saveState(Serializer& out) const {
+  saveRng(out, truncationRng_);
+  saveRng(out, lossRng_);
+  saveRng(out, corruptionRng_);
+}
+
+void FaultPlan::loadState(Deserializer& in) {
+  loadRng(in, truncationRng_);
+  loadRng(in, lossRng_);
+  loadRng(in, corruptionRng_);
+}
+
 const std::vector<FaultPlan::DownInterval>& FaultPlan::downIntervals(
     NodeId node) const {
   static const std::vector<DownInterval> kEmpty;

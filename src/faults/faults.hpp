@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/util/random.hpp"
+#include "src/util/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace hdtn::faults {
@@ -119,6 +120,12 @@ class FaultPlan {
   [[nodiscard]] std::size_t totalDownIntervals() const {
     return totalDownIntervals_;
   }
+
+  /// Checkpoints the consumable state: the three channel stream positions.
+  /// Params and churn intervals are reconstructed deterministically by the
+  /// constructor and are not serialized.
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
 
  private:
   FaultParams params_;

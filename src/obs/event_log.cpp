@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <stdexcept>
 
 namespace hdtn::obs {
 
@@ -26,6 +27,17 @@ void JsonlEventSink::onEvent(const SimEvent& event) {
   append("%s", "}\n");
   out_.write(buf, n);
   ++written_;
+}
+
+void JsonlEventSink::finish() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error(
+        "JsonlEventSink: event stream entered a failed state after " +
+        std::to_string(written_) +
+        " events (disk full or closed stream?); the trace on disk is "
+        "incomplete");
+  }
 }
 
 }  // namespace hdtn::obs

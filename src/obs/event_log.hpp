@@ -25,6 +25,12 @@ class JsonlEventSink final : public EngineObserver {
 
   void onEvent(const SimEvent& event) override;
 
+  /// Flushes the stream and throws std::runtime_error when it is in a
+  /// failed state (disk full, closed file) — a silently truncated event
+  /// trace is worse than a failed run. Call once after the run completes;
+  /// onEvent itself stays check-free because it sits on the hot path.
+  void finish();
+
   [[nodiscard]] std::uint64_t eventsWritten() const { return written_; }
 
  private:

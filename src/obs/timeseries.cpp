@@ -45,33 +45,54 @@ const char* TimeSeries::csvHeader() {
          ",forgeries_rejected";
 }
 
-void TimeSeries::writeCsv(std::ostream& out) const {
+void TimeSeries::writeCsvHeader(std::ostream& out) {
   out << csvHeader() << "\n";
-  for (const TimeSeriesSample& s : samples_) {
-    char buf[64];
-    const int n = std::snprintf(buf, sizeof(buf), "%" PRId64,
-                                static_cast<std::int64_t>(s.time));
-    out.write(buf, n);
-    writeReportCsv(out, s.result.delivery);
-    writeReportCsv(out, s.result.accessDelivery);
-    const core::EngineTotals& t = s.result.totals;
-    const int m = std::snprintf(
-        buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu",
-        static_cast<unsigned long long>(t.contactsProcessed),
-        static_cast<unsigned long long>(t.filesPublished),
-        static_cast<unsigned long long>(t.queriesGenerated),
-        static_cast<unsigned long long>(t.metadataBroadcasts),
-        static_cast<unsigned long long>(t.pieceBroadcasts));
-    out.write(buf, m);
-    const int k = std::snprintf(
-        buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu\n",
-        static_cast<unsigned long long>(t.metadataReceptions),
-        static_cast<unsigned long long>(t.pieceReceptions),
-        static_cast<unsigned long long>(t.forgeriesCrafted),
-        static_cast<unsigned long long>(t.forgeriesAccepted),
-        static_cast<unsigned long long>(t.forgeriesRejected));
-    out.write(buf, k);
+}
+
+void TimeSeries::writeCsvRow(std::ostream& out, const TimeSeriesSample& s) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRId64,
+                              static_cast<std::int64_t>(s.time));
+  out.write(buf, n);
+  writeReportCsv(out, s.result.delivery);
+  writeReportCsv(out, s.result.accessDelivery);
+  const core::EngineTotals& t = s.result.totals;
+  const int m = std::snprintf(
+      buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu",
+      static_cast<unsigned long long>(t.contactsProcessed),
+      static_cast<unsigned long long>(t.filesPublished),
+      static_cast<unsigned long long>(t.queriesGenerated),
+      static_cast<unsigned long long>(t.metadataBroadcasts),
+      static_cast<unsigned long long>(t.pieceBroadcasts));
+  out.write(buf, m);
+  const int k = std::snprintf(
+      buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu\n",
+      static_cast<unsigned long long>(t.metadataReceptions),
+      static_cast<unsigned long long>(t.pieceReceptions),
+      static_cast<unsigned long long>(t.forgeriesCrafted),
+      static_cast<unsigned long long>(t.forgeriesAccepted),
+      static_cast<unsigned long long>(t.forgeriesRejected));
+  out.write(buf, k);
+}
+
+namespace {
+
+void throwIfFailed(std::ostream& out, const char* what) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error(
+        std::string(what) +
+        ": stream entered a failed state (disk full or closed stream?); "
+        "the series on disk is incomplete");
   }
+}
+
+}  // namespace
+
+void TimeSeries::writeCsv(std::ostream& out) const {
+  writeCsvHeader(out);
+  for (const TimeSeriesSample& s : samples_) writeCsvRow(out, s);
+  throwIfFailed(out, "TimeSeries::writeCsv");
 }
 
 void TimeSeries::writeJson(std::ostream& out) const {
@@ -96,6 +117,7 @@ void TimeSeries::writeJson(std::ostream& out) const {
         << ",\"forgeries_rejected\":" << t.forgeriesRejected << "}}";
   }
   out << "\n]}\n";
+  throwIfFailed(out, "TimeSeries::writeJson");
 }
 
 core::EngineResult runSampled(core::Engine& engine, Duration cadence,

@@ -33,14 +33,25 @@ class TimeSeries {
   }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
-  /// One header row plus one row per sample.
+  /// One header row plus one row per sample. Flushes and throws
+  /// std::runtime_error when the stream ends up in a failed state (disk
+  /// full, closed file) — a silently truncated series must not pass for a
+  /// complete one.
   void writeCsv(std::ostream& out) const;
 
-  /// A single JSON object: {"samples": [...]}.
+  /// A single JSON object: {"samples": [...]}. Same failure contract as
+  /// writeCsv.
   void writeJson(std::ostream& out) const;
 
   /// The stable CSV column list (docs, schema checks).
   [[nodiscard]] static const char* csvHeader();
+
+  /// One CSV data row for `sample`, no trailing flush or check. Resume
+  /// drivers use these two to emit the series incrementally (header once,
+  /// one row per sample boundary) instead of buffering the whole run; the
+  /// bytes equal what writeCsv produces for the same samples.
+  static void writeCsvHeader(std::ostream& out);
+  static void writeCsvRow(std::ostream& out, const TimeSeriesSample& sample);
 
  private:
   std::vector<TimeSeriesSample> samples_;

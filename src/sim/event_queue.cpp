@@ -48,4 +48,15 @@ bool EventQueue::runNext() {
   return true;
 }
 
+bool EventQueue::discardNext() {
+  skipCancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  handlers_[entry.id] = nullptr;
+  --live_;
+  return true;
+}
+
 }  // namespace hdtn::sim

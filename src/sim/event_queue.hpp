@@ -36,6 +36,12 @@ class EventQueue {
   /// Pops and runs the next event; returns false when the queue is empty.
   bool runNext();
 
+  /// Pops the next event and drops its handler without invoking it, still
+  /// advancing now() to the event's time. Checkpoint restore rebuilds the
+  /// deterministic schedule and uses this to skip the prefix the snapshot
+  /// already covers. Returns false when the queue is empty.
+  bool discardNext();
+
   /// Time of the most recently executed (or peeked) event.
   [[nodiscard]] SimTime now() const { return now_; }
 

@@ -38,6 +38,12 @@ bool Simulator::runOne() {
   return true;
 }
 
+bool Simulator::skipOne() {
+  if (!queue_.discardNext()) return false;
+  ++executed_;
+  return true;
+}
+
 void Simulator::runUntil(SimTime horizon) {
   horizon_ = horizon;
   while (!queue_.empty() && queue_.nextTime() < horizon) {

@@ -39,6 +39,12 @@ class Simulator {
   /// infinite horizon here, as in run().
   bool runOne();
 
+  /// Discards the next event without executing it, advancing the clock to
+  /// its scheduled time and counting it as executed. Checkpoint restore
+  /// replays the deterministic schedule and skips the prefix the snapshot
+  /// already covers. Returns false when the queue is empty.
+  bool skipOne();
+
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
 

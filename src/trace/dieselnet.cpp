@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <istream>
+#include <sstream>
+
+#include "src/util/string_util.hpp"
 
 namespace hdtn::trace {
 namespace {
@@ -67,6 +71,49 @@ ContactTrace generateDieselNet(const DieselNetParams& params) {
   }
   out.sortByStart();
   return out;
+}
+
+std::optional<ContactTrace> readDieselNetLog(std::istream& is,
+                                             std::string* error) {
+  ContactTrace trace("dieselnet-import", 0);
+  std::string line;
+  std::size_t lineNo = 0;
+  auto fail = [&](const std::string& why) -> std::optional<ContactTrace> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineNo) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream fields{std::string(body)};
+    std::uint32_t a = 0, b = 0;
+    double start = 0.0, duration = 0.0;
+    if (!(fields >> a >> b >> start >> duration)) {
+      return fail("malformed meeting record (want: <bus-a> <bus-b> "
+                  "<start-seconds> <duration-seconds> [<bytes>])");
+    }
+    double bytes = 0.0;
+    fields >> bytes;  // optional trailing byte count, ignored
+    if (!fields.eof()) {
+      return fail("unexpected trailing field after the byte count");
+    }
+    if (a == b) {
+      return fail("bus " + std::to_string(a) + " cannot meet itself");
+    }
+    if (start < 0.0) return fail("negative meeting start time");
+    if (duration <= 0.0) return fail("non-positive meeting duration");
+    Contact c;
+    c.start = static_cast<SimTime>(start);
+    c.end = static_cast<SimTime>(start + duration);
+    if (c.end <= c.start) c.end = c.start + 1;
+    c.members = {NodeId(a), NodeId(b)};
+    trace.addContact(std::move(c));
+  }
+  trace.sortByStart();
+  return trace;
 }
 
 }  // namespace hdtn::trace

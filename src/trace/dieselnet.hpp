@@ -14,6 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
 
 #include "src/trace/contact_trace.hpp"
 #include "src/util/random.hpp"
@@ -44,5 +47,15 @@ struct DieselNetParams {
 
 /// Route served by a bus under the generator's assignment rule.
 [[nodiscard]] int dieselNetRouteOf(const DieselNetParams& params, NodeId bus);
+
+/// Parses a DieselNet-style meeting log, one pairwise meeting per line
+/// ('#' comments and blank lines allowed):
+///   <bus-a> <bus-b> <start-seconds> <duration-seconds> [<bytes>]
+/// The optional trailing byte count (present in the published UMass logs) is
+/// ignored. Sub-second meetings are rounded up to one second. Malformed
+/// lines — bad fields, a bus meeting itself, negative start, non-positive
+/// duration — fail with a line-numbered error and return std::nullopt.
+[[nodiscard]] std::optional<ContactTrace> readDieselNetLog(
+    std::istream& is, std::string* error);
 
 }  // namespace hdtn::trace

@@ -23,6 +23,9 @@ std::optional<ContactTrace> readTrace(std::istream& is, std::string* error) {
   ContactTrace trace;
   std::string line;
   std::size_t lineNo = 0;
+  bool sawHeader = false;
+  bool sawContact = false;
+  std::size_t declaredNodes = 0;
   auto fail = [&](const std::string& why) -> std::optional<ContactTrace> {
     if (error != nullptr) {
       *error = "line " + std::to_string(lineNo) + ": " + why;
@@ -37,12 +40,22 @@ std::optional<ContactTrace> readTrace(std::istream& is, std::string* error) {
     std::string kind;
     fields >> kind;
     if (kind == "trace") {
+      if (sawHeader) return fail("duplicate trace header");
+      if (sawContact) {
+        return fail("trace header must precede the first contact");
+      }
       std::string name;
       std::size_t nodeCount = 0;
       if (!(fields >> name >> nodeCount)) {
-        return fail("malformed trace header");
+        return fail("malformed trace header (want: trace <name> <node-count>)");
+      }
+      std::string extra;
+      if (fields >> extra) {
+        return fail("unexpected field '" + extra + "' after the node count");
       }
       trace = ContactTrace(name, nodeCount);
+      sawHeader = true;
+      declaredNodes = nodeCount;
     } else if (kind == "c") {
       Contact c;
       if (!(fields >> c.start >> c.end)) {
@@ -51,9 +64,19 @@ std::optional<ContactTrace> readTrace(std::istream& is, std::string* error) {
       std::uint32_t id = 0;
       while (fields >> id) c.members.emplace_back(id);
       if (!fields.eof()) return fail("malformed member id");
+      if (sawHeader) {
+        for (const NodeId m : c.members) {
+          if (m.value >= declaredNodes) {
+            return fail("member id " + std::to_string(m.value) +
+                        " is outside the declared node universe (node count " +
+                        std::to_string(declaredNodes) + ")");
+          }
+        }
+      }
       if (!trace.addContact(std::move(c))) {
         return fail("invalid contact (needs >=2 distinct members, end>start)");
       }
+      sawContact = true;
     } else {
       return fail("unknown record kind '" + kind + "'");
     }

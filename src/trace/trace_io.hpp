@@ -3,7 +3,9 @@
 // Format (one record per line, '#' comments allowed):
 //   trace <name> <node-count>
 //   c <start-seconds> <end-seconds> <id> <id> [<id> ...]
-// The `trace` header is optional; node count is inferred when absent.
+// The `trace` header is optional; node count is inferred when absent. When
+// present it must come first, appear once, and every member id must lie
+// inside the declared universe — violations are line-numbered parse errors.
 #pragma once
 
 #include <iosfwd>

@@ -6,6 +6,7 @@
 // draw in one subsystem does not perturb another.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -59,6 +60,16 @@ class Rng {
       using std::swap;
       swap(v[i - 1], v[j]);
     }
+  }
+
+  /// The raw xoshiro256** state, for checkpointing a stream position.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores a stream position captured with state().
+  void setState(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

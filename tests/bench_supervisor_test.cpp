@@ -1,0 +1,314 @@
+// Crash-tolerant sweep supervision: subprocess execution under a timeout,
+// the completed-point journal (including tolerance of half-written lines),
+// RESULT-line round-trips, retry-with-resume after a mid-run SIGKILL, and
+// runWithCheckpoints producing the same result as an uninterrupted run.
+#include "bench/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/trace/nus.hpp"
+#include "src/util/serialize.hpp"
+
+namespace hdtn::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(tempPath(name)) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  std::string path;
+};
+
+TEST(RunSubprocessTest, CapturesStdoutAndExitCode) {
+  const SubprocessResult run =
+      runSubprocess({"/bin/sh", "-c", "echo hello; exit 0"}, 10.0);
+  EXPECT_EQ(run.exitCode, 0);
+  EXPECT_FALSE(run.timedOut);
+  EXPECT_FALSE(run.signaled);
+  EXPECT_EQ(run.output, "hello\n");
+}
+
+TEST(RunSubprocessTest, ReportsNonZeroExit) {
+  const SubprocessResult run =
+      runSubprocess({"/bin/sh", "-c", "exit 3"}, 10.0);
+  EXPECT_EQ(run.exitCode, 3);
+  EXPECT_FALSE(run.timedOut);
+}
+
+TEST(RunSubprocessTest, KillsAChildPastTheDeadline) {
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult run =
+      runSubprocess({"/bin/sh", "-c", "sleep 30"}, 0.3);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(run.timedOut);
+  EXPECT_TRUE(run.signaled);
+  EXPECT_EQ(run.exitCode, -1);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(RunSubprocessTest, ReportsASignaledChild) {
+  const SubprocessResult run =
+      runSubprocess({"/bin/sh", "-c", "kill -9 $$"}, 10.0);
+  EXPECT_TRUE(run.signaled);
+  EXPECT_FALSE(run.timedOut);
+  EXPECT_EQ(run.exitCode, -1);
+}
+
+TEST(RunSubprocessTest, DrainsOutputLargerThanThePipeBuffer) {
+  // 1 MiB of output would deadlock a parent that reads only after waitpid.
+  const SubprocessResult run = runSubprocess(
+      {"/bin/sh", "-c", "i=0; while [ $i -lt 16384 ]; do"
+                        " echo 0123456789012345678901234567890123456789012345678901234567890123;"
+                        " i=$((i+1)); done"},
+      30.0);
+  EXPECT_EQ(run.exitCode, 0);
+  EXPECT_EQ(run.output.size(), 16384u * 65u);
+}
+
+TEST(ResultLineTest, RoundTripsThroughFormatAndParse) {
+  const std::vector<double> values = {0.123456789012345678, 2.0, -7.5e-12};
+  const std::string line = formatResultLine("fig2a:3:1:2", values);
+  EXPECT_EQ(line.substr(0, 19), "RESULT fig2a:3:1:2 ");
+  std::vector<double> parsed;
+  ASSERT_TRUE(parseResultLine("noise\n" + line + "trailing\n",
+                              "fig2a:3:1:2", &parsed));
+  EXPECT_EQ(parsed, values);
+}
+
+TEST(ResultLineTest, IgnoresOtherKeysAndMalformedLines) {
+  std::vector<double> parsed;
+  EXPECT_FALSE(parseResultLine("RESULT other:0:0:1 1 2\n", "fig:0:0:1",
+                               &parsed));
+  EXPECT_FALSE(parseResultLine("RESULT fig:0:0:1 \n", "fig:0:0:1", &parsed));
+  EXPECT_FALSE(parseResultLine("", "fig:0:0:1", &parsed));
+}
+
+TEST(SweepJournalTest, RoundTripsAndSkipsHalfWrittenLines) {
+  TempFile file("hdtn_supervisor_journal_test.jsonl");
+  {
+    SweepJournal journal(file.path);
+    journal.load();
+    EXPECT_EQ(journal.size(), 0u);
+    journal.record("a:0:0:1", {1.5, 2.5});
+    journal.record("a:0:1:1", {0.25});
+  }
+  // A supervisor crash mid-append leaves a torn trailing line; it must not
+  // poison the rest of the journal.
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << "{\"point\":\"a:1:0:1\",\"values\":[0.7";
+  }
+  SweepJournal reloaded(file.path);
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.contains("a:0:0:1"));
+  EXPECT_FALSE(reloaded.contains("a:1:0:1"));
+  ASSERT_NE(reloaded.values("a:0:0:1"), nullptr);
+  EXPECT_EQ(*reloaded.values("a:0:0:1"), (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(*reloaded.values("a:0:1:1"), (std::vector<double>{0.25}));
+}
+
+TEST(SweepJournalTest, MissingFileIsAnEmptyJournal) {
+  SweepJournal journal(tempPath("hdtn_supervisor_no_such_journal.jsonl"));
+  journal.load();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.values("anything"), nullptr);
+}
+
+SupervisorOptions fastOptions(const std::string& journalPath) {
+  SupervisorOptions options;
+  options.journalPath = journalPath;
+  options.pointTimeoutSeconds = 10.0;
+  options.maxAttempts = 3;
+  options.backoffBaseSeconds = 0.01;
+  return options;
+}
+
+TEST(SuperviseOnePointTest, JournalHitRunsNothing) {
+  TempFile file("hdtn_supervisor_hit_test.jsonl");
+  SweepJournal journal(file.path);
+  journal.load();
+  journal.record("p:0:0:1", {4.0, 5.0});
+  std::string error;
+  // /bin/false as the child: if the supervisor ran it, the point would fail.
+  const auto values =
+      superviseOnePoint(fastOptions(file.path), journal, "p:0:0:1",
+                        {"/bin/false"}, "", &error);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(*values, (std::vector<double>{4.0, 5.0}));
+}
+
+TEST(SuperviseOnePointTest, RecoversACrashedPointWithinTheRetryBudget) {
+  TempFile journalFile("hdtn_supervisor_retry_test.jsonl");
+  TempFile marker("hdtn_supervisor_retry_marker");
+  SweepJournal journal(journalFile.path);
+  journal.load();
+  // First attempt: no marker → create it and die to SIGKILL mid-"run".
+  // Second attempt: marker present → print the RESULT line and succeed.
+  const std::string script = "if [ ! -f '" + marker.path + "' ]; then "
+                             "touch '" + marker.path + "'; kill -9 $$; fi; "
+                             "echo 'RESULT p:1:2:3 0.5 0.25'";
+  std::string error;
+  const auto values =
+      superviseOnePoint(fastOptions(journalFile.path), journal, "p:1:2:3",
+                        {"/bin/sh", "-c", script}, "", &error);
+  ASSERT_TRUE(values.has_value()) << error;
+  EXPECT_EQ(*values, (std::vector<double>{0.5, 0.25}));
+  // Success is journaled, so a re-supervised point skips the child entirely.
+  EXPECT_TRUE(journal.contains("p:1:2:3"));
+}
+
+TEST(SuperviseOnePointTest, ExhaustsTheAttemptBudgetAndReportsWhy) {
+  TempFile journalFile("hdtn_supervisor_budget_test.jsonl");
+  SweepJournal journal(journalFile.path);
+  journal.load();
+  SupervisorOptions options = fastOptions(journalFile.path);
+  options.maxAttempts = 2;
+  std::string error;
+  const auto values = superviseOnePoint(options, journal, "p:0:0:1",
+                                        {"/bin/false"}, "", &error);
+  EXPECT_FALSE(values.has_value());
+  EXPECT_NE(error.find("p:0:0:1"), std::string::npos);
+  EXPECT_NE(error.find("2 attempt(s)"), std::string::npos);
+  EXPECT_NE(error.find("exit code 1"), std::string::npos);
+  EXPECT_FALSE(journal.contains("p:0:0:1"));
+}
+
+TEST(SuperviseOnePointTest, DeletesTheCheckpointBeforeTheFinalAttempt) {
+  TempFile journalFile("hdtn_supervisor_ckpt_test.jsonl");
+  TempFile checkpoint("hdtn_supervisor_ckpt_test.ckpt");
+  {
+    std::ofstream out(checkpoint.path);
+    out << "pretend checkpoint";
+  }
+  SweepJournal journal(journalFile.path);
+  journal.load();
+  SupervisorOptions options = fastOptions(journalFile.path);
+  options.maxAttempts = 2;
+  // The child succeeds only once the checkpoint is gone — exactly the
+  // corrupt-checkpoint-keeps-crashing-the-child situation.
+  const std::string script = "if [ -f '" + checkpoint.path + "' ]; then "
+                             "exit 9; fi; echo 'RESULT p:0:0:2 1'";
+  std::string error;
+  const auto values =
+      superviseOnePoint(options, journal, "p:0:0:2",
+                        {"/bin/sh", "-c", script}, checkpoint.path, &error);
+  ASSERT_TRUE(values.has_value()) << error;
+  EXPECT_EQ(*values, (std::vector<double>{1.0}));
+}
+
+core::EngineParams smallParams() {
+  core::EngineParams params;
+  params.protocol.kind = core::ProtocolKind::kMbtQm;
+  params.internetAccessFraction = 0.3;
+  params.newFilesPerDay = 10;
+  params.fileTtlDays = 2;
+  params.seed = 33;
+  params.frequentContactPeriod = kDay;
+  params.faults.messageLossRate = 0.1;
+  return params;
+}
+
+trace::ContactTrace smallTrace() {
+  trace::NusParams p;
+  p.students = 30;
+  p.courses = 6;
+  p.coursesPerStudent = 2;
+  p.days = 3;
+  p.seed = 7;
+  return trace::generateNus(p);
+}
+
+TEST(RunWithCheckpointsTest, MatchesAnUninterruptedRun) {
+  TempFile checkpoint("hdtn_runwithckpt_plain.ckpt");
+  const trace::ContactTrace trace = smallTrace();
+  const core::EngineParams params = smallParams();
+  const core::EngineResult plain = core::runSimulation(trace, params);
+  const core::EngineResult checkpointed =
+      runWithCheckpoints(trace, params, checkpoint.path, 6 * kHour);
+  EXPECT_EQ(plain.delivery.queries, checkpointed.delivery.queries);
+  EXPECT_EQ(plain.delivery.filesDelivered,
+            checkpointed.delivery.filesDelivered);
+  EXPECT_EQ(plain.delivery.fileRatio, checkpointed.delivery.fileRatio);
+  EXPECT_EQ(plain.delivery.meanFileDelaySeconds,
+            checkpointed.delivery.meanFileDelaySeconds);
+  // The final checkpoint is left behind for the supervisor to clean up.
+  EXPECT_TRUE(fs::exists(checkpoint.path));
+}
+
+TEST(RunWithCheckpointsTest, ResumesFromTheCheckpointLeftByAKilledRun) {
+  TempFile checkpoint("hdtn_runwithckpt_resume.ckpt");
+  const trace::ContactTrace trace = smallTrace();
+  const core::EngineParams params = smallParams();
+  const core::EngineResult plain = core::runSimulation(trace, params);
+  // Simulate the first attempt dying mid-run: run only to the second
+  // checkpoint boundary and save, exactly as the loop in runWithCheckpoints
+  // would have before a SIGKILL.
+  {
+    core::Engine engine(trace, params);
+    engine.runUntil(6 * kHour);
+    engine.runUntil(12 * kHour);
+    Serializer extra;
+    extra.i64(18 * kHour);
+    engine.saveCheckpoint(checkpoint.path, extra.bytes());
+  }
+  const core::EngineResult resumed =
+      runWithCheckpoints(trace, params, checkpoint.path, 6 * kHour);
+  EXPECT_EQ(plain.delivery.queries, resumed.delivery.queries);
+  EXPECT_EQ(plain.delivery.filesDelivered, resumed.delivery.filesDelivered);
+  EXPECT_EQ(plain.delivery.fileRatio, resumed.delivery.fileRatio);
+  EXPECT_EQ(plain.delivery.metadataRatio, resumed.delivery.metadataRatio);
+  EXPECT_EQ(plain.delivery.meanFileDelaySeconds,
+            resumed.delivery.meanFileDelaySeconds);
+  EXPECT_EQ(plain.totals.metadataReceptions, resumed.totals.metadataReceptions);
+  EXPECT_EQ(plain.totals.pieceReceptions, resumed.totals.pieceReceptions);
+}
+
+TEST(RunWithCheckpointsTest, DeletesAnUnreadableCheckpointAndStartsCold) {
+  TempFile checkpoint("hdtn_runwithckpt_corrupt.ckpt");
+  {
+    std::ofstream out(checkpoint.path);
+    out << "this is not a checkpoint";
+  }
+  const trace::ContactTrace trace = smallTrace();
+  const core::EngineParams params = smallParams();
+  const core::EngineResult plain = core::runSimulation(trace, params);
+  const core::EngineResult recovered =
+      runWithCheckpoints(trace, params, checkpoint.path, 6 * kHour);
+  EXPECT_EQ(plain.delivery.fileRatio, recovered.delivery.fileRatio);
+  EXPECT_EQ(plain.delivery.queries, recovered.delivery.queries);
+}
+
+TEST(RunWithCheckpointsTest, EmptyPathRunsWithoutCheckpointing) {
+  const trace::ContactTrace trace = smallTrace();
+  const core::EngineParams params = smallParams();
+  const core::EngineResult plain = core::runSimulation(trace, params);
+  const core::EngineResult bare =
+      runWithCheckpoints(trace, params, "", 6 * kHour);
+  EXPECT_EQ(plain.delivery.fileRatio, bare.delivery.fileRatio);
+  EXPECT_EQ(plain.delivery.queries, bare.delivery.queries);
+}
+
+}  // namespace
+}  // namespace hdtn::bench

@@ -1,0 +1,344 @@
+// Checkpoint/restore: a run restored at any step boundary finishes
+// byte-identical (event stream and final metrics) to the uninterrupted run,
+// across all protocols, both trace families, and with faults on; corrupt,
+// truncated, version-mismatched, or configuration-mismatched files fail with
+// a clear CheckpointError and never leave a partial restore behind.
+#include "src/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/trace/dieselnet.hpp"
+#include "src/trace/nus.hpp"
+
+namespace hdtn::core {
+namespace {
+
+trace::ContactTrace nusTrace() {
+  trace::NusParams p;
+  p.students = 36;
+  p.courses = 8;
+  p.coursesPerStudent = 2;
+  p.days = 4;
+  p.attendanceRate = 0.9;
+  p.seed = 11;
+  return trace::generateNus(p);
+}
+
+trace::ContactTrace dieselTrace() {
+  trace::DieselNetParams p;
+  p.buses = 24;
+  p.routes = 6;
+  p.days = 4;
+  p.seed = 11;
+  return trace::generateDieselNet(p);
+}
+
+EngineParams paramsFor(ProtocolKind kind, bool withFaults) {
+  EngineParams params;
+  params.protocol.kind = kind;
+  params.internetAccessFraction = 0.3;
+  params.newFilesPerDay = 12;
+  params.fileTtlDays = 2;
+  params.seed = 21;
+  params.frequentContactPeriod = kDay;
+  if (withFaults) {
+    params.faults.messageLossRate = 0.15;
+    params.faults.contactTruncationRate = 0.2;
+    params.faults.pieceCorruptionRate = 0.1;
+    params.faults.churnDownFraction = 0.1;
+    params.faults.churnMeanDowntime = 3 * kHour;
+  }
+  return params;
+}
+
+std::string ckptPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".ckpt";
+}
+
+struct FullRun {
+  std::string events;
+  EngineResult result;
+  std::uint64_t steps = 0;
+};
+
+FullRun uninterrupted(const trace::ContactTrace& trace,
+                      const EngineParams& params) {
+  FullRun full;
+  std::ostringstream out;
+  obs::JsonlEventSink sink(out);
+  Engine engine(trace, params);
+  engine.setObserver(&sink);
+  while (engine.step()) ++full.steps;
+  full.result = engine.finish();
+  full.events = out.str();
+  return full;
+}
+
+void expectSameResult(const EngineResult& a, const EngineResult& b) {
+  EXPECT_EQ(a.delivery.queries, b.delivery.queries);
+  EXPECT_EQ(a.delivery.metadataDelivered, b.delivery.metadataDelivered);
+  EXPECT_EQ(a.delivery.filesDelivered, b.delivery.filesDelivered);
+  EXPECT_EQ(a.delivery.metadataRatio, b.delivery.metadataRatio);
+  EXPECT_EQ(a.delivery.fileRatio, b.delivery.fileRatio);
+  EXPECT_EQ(a.delivery.meanFileDelaySeconds, b.delivery.meanFileDelaySeconds);
+  EXPECT_EQ(a.accessDelivery.fileRatio, b.accessDelivery.fileRatio);
+  EXPECT_EQ(a.contributorDelivery.fileRatio, b.contributorDelivery.fileRatio);
+  EXPECT_EQ(a.totals.contactsProcessed, b.totals.contactsProcessed);
+  EXPECT_EQ(a.totals.filesPublished, b.totals.filesPublished);
+  EXPECT_EQ(a.totals.queriesGenerated, b.totals.queriesGenerated);
+  EXPECT_EQ(a.totals.metadataBroadcasts, b.totals.metadataBroadcasts);
+  EXPECT_EQ(a.totals.pieceBroadcasts, b.totals.pieceBroadcasts);
+  EXPECT_EQ(a.totals.metadataReceptions, b.totals.metadataReceptions);
+  EXPECT_EQ(a.totals.pieceReceptions, b.totals.pieceReceptions);
+  EXPECT_EQ(a.totals.faultMessagesDropped, b.totals.faultMessagesDropped);
+  EXPECT_EQ(a.totals.faultContactsTruncated, b.totals.faultContactsTruncated);
+  EXPECT_EQ(a.totals.faultPiecesRejectedCorrupt,
+            b.totals.faultPiecesRejectedCorrupt);
+  EXPECT_EQ(a.totals.faultNodeDownIntervals, b.totals.faultNodeDownIntervals);
+}
+
+/// Saves at step boundary k, restores into a fresh engine, finishes, and
+/// checks that prefix + suffix event streams and the final result equal the
+/// uninterrupted run.
+void checkBoundary(const trace::ContactTrace& trace,
+                   const EngineParams& params, const FullRun& full,
+                   std::uint64_t k, const std::string& path) {
+  SCOPED_TRACE("boundary k=" + std::to_string(k));
+  std::ostringstream prefixOut;
+  {
+    obs::JsonlEventSink sink(prefixOut);
+    Engine engine(trace, params);
+    engine.setObserver(&sink);
+    for (std::uint64_t i = 0; i < k; ++i) ASSERT_TRUE(engine.step());
+    engine.saveCheckpoint(path);
+  }
+  std::ostringstream suffixOut;
+  obs::JsonlEventSink sink(suffixOut);
+  Engine restored(trace, params);
+  restored.restoreCheckpoint(path);
+  restored.setObserver(&sink);
+  const EngineResult result = restored.finish();
+  EXPECT_EQ(prefixOut.str() + suffixOut.str(), full.events);
+  expectSameResult(result, full.result);
+}
+
+void checkAllBoundaries(const trace::ContactTrace& trace,
+                        const EngineParams& params, const char* tag) {
+  const FullRun full = uninterrupted(trace, params);
+  ASSERT_GT(full.steps, 4u);
+  ASSERT_FALSE(full.events.empty());
+  const std::string path = ckptPath(tag);
+  for (const std::uint64_t k :
+       {std::uint64_t{0}, std::uint64_t{1}, full.steps / 2, full.steps}) {
+    checkBoundary(trace, params, full, k, path);
+  }
+}
+
+TEST(Checkpoint, ByteIdenticalNusAllProtocols) {
+  const auto trace = nusTrace();
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbt, false), "nus_mbt");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQ, false), "nus_mbtq");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQm, false),
+                     "nus_mbtqm");
+}
+
+TEST(Checkpoint, ByteIdenticalNusWithFaults) {
+  const auto trace = nusTrace();
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbt, true), "nus_mbt_f");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQ, true),
+                     "nus_mbtq_f");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQm, true),
+                     "nus_mbtqm_f");
+}
+
+TEST(Checkpoint, ByteIdenticalDieselNetAllProtocols) {
+  const auto trace = dieselTrace();
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbt, false), "dn_mbt");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQ, false), "dn_mbtq");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQm, false),
+                     "dn_mbtqm");
+}
+
+TEST(Checkpoint, ByteIdenticalDieselNetWithFaults) {
+  const auto trace = dieselTrace();
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbt, true), "dn_mbt_f");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQ, true), "dn_mbtq_f");
+  checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQm, true),
+                     "dn_mbtqm_f");
+}
+
+TEST(Checkpoint, FileBytesAreDeterministic) {
+  const auto trace = nusTrace();
+  const auto params = paramsFor(ProtocolKind::kMbtQm, true);
+  Engine engine(trace, params);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(engine.step());
+  const std::string pathA = ckptPath("det_a");
+  const std::string pathB = ckptPath("det_b");
+  engine.saveCheckpoint(pathA);
+  engine.saveCheckpoint(pathB);
+  std::ifstream a(pathA, std::ios::binary), b(pathB, std::ios::binary);
+  const std::string bytesA((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  const std::string bytesB((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytesA.empty());
+  EXPECT_EQ(bytesA, bytesB);
+}
+
+TEST(Checkpoint, ReadCheckpointInfoReturnsHeaderAndExtra) {
+  const auto trace = nusTrace();
+  const auto params = paramsFor(ProtocolKind::kMbt, false);
+  Engine engine(trace, params);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(engine.step());
+  const std::string path = ckptPath("info");
+  engine.saveCheckpoint(path, "driver-cursor-blob");
+  const CheckpointInfo info = readCheckpointInfo(path);
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_EQ(info.executedEvents, 10u);
+  EXPECT_EQ(info.clock, engine.now());
+  EXPECT_EQ(info.extra, "driver-cursor-blob");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class CheckpointErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = nusTrace();
+    params_ = paramsFor(ProtocolKind::kMbtQm, false);
+    path_ = ckptPath("errors");
+    Engine engine(trace_, params_);
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(engine.step());
+    engine.saveCheckpoint(path_);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void expectRestoreThrows(const std::string& needle) {
+    Engine engine(trace_, params_);
+    try {
+      engine.restoreCheckpoint(path_);
+      FAIL() << "restoreCheckpoint did not throw";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+    // Never a partial restore: the engine is still fresh and finishes to the
+    // same result as an untouched run.
+    expectSameResult(engine.finish(), runSimulation(trace_, params_));
+  }
+
+  trace::ContactTrace trace_;
+  EngineParams params_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(CheckpointErrors, MissingFile) {
+  Engine engine(trace_, params_);
+  EXPECT_THROW(engine.restoreCheckpoint(testing::TempDir() + "/nope.ckpt"),
+               CheckpointError);
+}
+
+TEST_F(CheckpointErrors, BadMagic) {
+  std::string mutated = bytes_;
+  mutated[0] = 'X';
+  spit(path_, mutated);
+  expectRestoreThrows("bad magic");
+}
+
+TEST_F(CheckpointErrors, TruncatedHeader) {
+  spit(path_, bytes_.substr(0, 16));
+  expectRestoreThrows("truncated checkpoint");
+}
+
+TEST_F(CheckpointErrors, TruncatedPayload) {
+  spit(path_, bytes_.substr(0, bytes_.size() - 7));
+  expectRestoreThrows("truncated checkpoint");
+}
+
+TEST_F(CheckpointErrors, CorruptPayloadFailsChecksum) {
+  std::string mutated = bytes_;
+  mutated[mutated.size() / 2] ^= 0x40;
+  spit(path_, mutated);
+  expectRestoreThrows("checksum mismatch");
+}
+
+TEST_F(CheckpointErrors, VersionMismatch) {
+  std::string mutated = bytes_;
+  mutated[8] = 99;  // u32 version lives at offset 8, little-endian
+  spit(path_, mutated);
+  expectRestoreThrows("unsupported checkpoint version 99");
+}
+
+TEST_F(CheckpointErrors, DifferentSeedFailsFingerprint) {
+  EngineParams other = params_;
+  other.seed += 1;
+  Engine engine(trace_, other);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
+}
+
+TEST_F(CheckpointErrors, DifferentProtocolFailsFingerprint) {
+  EngineParams other = params_;
+  other.protocol.kind = ProtocolKind::kMbt;
+  Engine engine(trace_, other);
+  try {
+    engine.restoreCheckpoint(path_);
+    FAIL() << "restoreCheckpoint did not throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("different run configuration"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CheckpointErrors, DifferentTraceFailsFingerprint) {
+  const auto other = dieselTrace();
+  Engine engine(other, params_);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
+}
+
+TEST_F(CheckpointErrors, RestoreOnSteppedEngineThrowsLogicError) {
+  Engine engine(trace_, params_);
+  ASSERT_TRUE(engine.step());
+  EXPECT_THROW(engine.restoreCheckpoint(path_), std::logic_error);
+}
+
+TEST_F(CheckpointErrors, RestoreWithObserverAttachedThrowsLogicError) {
+  obs::CountingObserver counter;
+  Engine engine(trace_, params_);
+  engine.setObserver(&counter);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), std::logic_error);
+}
+
+TEST_F(CheckpointErrors, SaveAfterFinishThrowsLogicError) {
+  Engine engine(trace_, params_);
+  engine.run();
+  EXPECT_THROW(engine.saveCheckpoint(ckptPath("late")), std::logic_error);
+}
+
+TEST_F(CheckpointErrors, ReadCheckpointInfoRejectsCorruptFiles) {
+  std::string mutated = bytes_;
+  mutated[mutated.size() - 1] ^= 0x01;
+  spit(path_, mutated);
+  EXPECT_THROW(readCheckpointInfo(path_), CheckpointError);
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/core/checkpoint.hpp"
 
 namespace hdtn::core {
 namespace {
@@ -220,6 +224,134 @@ TEST(RunScenario, InvalidScenarioFailsWithMessage) {
   std::string error;
   EXPECT_FALSE(runScenario(s, &error).has_value());
   EXPECT_NE(error.find("fileTtlDays"), std::string::npos);
+}
+
+// --- checkpointed/resumed runs ----------------------------------------------
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// A small checkpointing scenario whose sample and checkpoint cadences are
+/// deliberately misaligned (6 h vs 8 h), so boundaries of all three kinds
+/// (sample-only, checkpoint-only, shared at 24 h) occur.
+Scenario resumableScenario(const std::string& dir, bool resume) {
+  Scenario s = ScenarioBuilder()
+                   .name("resumable")
+                   .nusTrace(30, 6, 3)
+                   .protocol(ProtocolKind::kMbtQm)
+                   .filesPerDay(10)
+                   .frequentContactDays(1)
+                   .messageLossRate(0.1)
+                   .eventsOut(dir + "/events.jsonl")
+                   .timeseriesOut(dir + "/series.csv", 6 * kHour)
+                   .build();
+  s.checkpointOut = dir + "/run.ckpt";
+  s.checkpointEvery = 8 * kHour;
+  s.resume = resume;
+  return s;
+}
+
+TEST(RunScenarioCheckpoint, CheckpointedRunMatchesPlainRun) {
+  const std::string dir = testing::TempDir() + "/sc_plain";
+  std::filesystem::remove_all(dir);  // leftovers from a prior ctest run
+  std::filesystem::create_directories(dir);
+  std::string error;
+  // Reference: same scenario with checkpointing off.
+  Scenario plain = resumableScenario(dir, false);
+  plain.checkpointOut.clear();
+  plain.eventsOut = dir + "/ref_events.jsonl";
+  plain.timeseriesOut = dir + "/ref_series.csv";
+  const auto ref = runScenario(plain, &error);
+  ASSERT_TRUE(ref.has_value()) << error;
+
+  const Scenario ckpt = resumableScenario(dir, false);
+  const auto outcome = runScenario(ckpt, &error);
+  ASSERT_TRUE(outcome.has_value()) << error;
+  EXPECT_FALSE(outcome->resumed);
+  EXPECT_EQ(outcome->eventsWritten, ref->eventsWritten);
+  EXPECT_EQ(readAll(ckpt.eventsOut), readAll(plain.eventsOut));
+  EXPECT_EQ(readAll(ckpt.timeseriesOut), readAll(plain.timeseriesOut));
+  // The last periodic checkpoint is left behind and is a valid file.
+  const CheckpointInfo info = readCheckpointInfo(ckpt.checkpointOut);
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_GT(info.executedEvents, 0u);
+}
+
+TEST(RunScenarioCheckpoint, ResumeReproducesOutputsByteIdentically) {
+  const std::string dir = testing::TempDir() + "/sc_resume";
+  std::filesystem::remove_all(dir);  // leftovers from a prior ctest run
+  std::filesystem::create_directories(dir);
+  std::string error;
+  const Scenario first = resumableScenario(dir, false);
+  const auto full = runScenario(first, &error);
+  ASSERT_TRUE(full.has_value()) << error;
+  const std::string wantEvents = readAll(first.eventsOut);
+  const std::string wantSeries = readAll(first.timeseriesOut);
+
+  // Simulate a crash after the last checkpoint: the outputs carry a garbage
+  // tail the checkpoint knows nothing about. Resume must truncate it back
+  // to the recorded offsets and finish byte-identically.
+  {
+    std::ofstream events(first.eventsOut, std::ios::app);
+    events << "{\"t\":GARBAGE half-written line";
+    std::ofstream series(first.timeseriesOut, std::ios::app);
+    series << "999999,partial row";
+  }
+  const Scenario again = resumableScenario(dir, true);
+  const auto resumed = runScenario(again, &error);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->eventsWritten, full->eventsWritten);
+  EXPECT_EQ(readAll(again.eventsOut), wantEvents);
+  EXPECT_EQ(readAll(again.timeseriesOut), wantSeries);
+  EXPECT_EQ(resumed->result.delivery.filesDelivered,
+            full->result.delivery.filesDelivered);
+  EXPECT_EQ(resumed->result.totals.pieceBroadcasts,
+            full->result.totals.pieceBroadcasts);
+}
+
+TEST(RunScenarioCheckpoint, ResumeWithoutCheckpointColdStarts) {
+  const std::string dir = testing::TempDir() + "/sc_cold";
+  std::filesystem::remove_all(dir);  // leftovers from a prior ctest run
+  std::filesystem::create_directories(dir);
+  std::string error;
+  const Scenario s = resumableScenario(dir, true);  // nothing to resume yet
+  const auto outcome = runScenario(s, &error);
+  ASSERT_TRUE(outcome.has_value()) << error;
+  EXPECT_FALSE(outcome->resumed);
+  EXPECT_GT(outcome->eventsWritten, 0u);
+}
+
+TEST(RunScenarioCheckpoint, ResumeWithMissingOutputFailsLoudly) {
+  const std::string dir = testing::TempDir() + "/sc_missing";
+  std::filesystem::remove_all(dir);  // leftovers from a prior ctest run
+  std::filesystem::create_directories(dir);
+  std::string error;
+  const Scenario first = resumableScenario(dir, false);
+  ASSERT_TRUE(runScenario(first, &error).has_value()) << error;
+  std::filesystem::remove(first.eventsOut);
+  const Scenario again = resumableScenario(dir, true);
+  EXPECT_FALSE(runScenario(again, &error).has_value());
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+}
+
+TEST(RunScenarioCheckpoint, ValidationCatchesBadCheckpointConfig) {
+  Scenario s;
+  s.trace.family = "nus";
+  s.resume = true;  // without checkpoint-out
+  std::string error;
+  EXPECT_FALSE(runScenario(s, &error).has_value());
+  EXPECT_NE(error.find("resume requires checkpoint-out"), std::string::npos);
+
+  Scenario t;
+  t.trace.family = "nus";
+  t.checkpointOut = "x.ckpt";
+  t.checkpointEvery = 0;
+  EXPECT_FALSE(runScenario(t, &error).has_value());
+  EXPECT_NE(error.find("checkpoint-every"), std::string::npos);
 }
 
 }  // namespace

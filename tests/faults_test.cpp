@@ -234,6 +234,108 @@ TEST(EngineFaults, TruncationShrinksTraffic) {
   EXPECT_LT(truncated.totals.pieceBroadcasts, clean.totals.pieceBroadcasts);
 }
 
+// --- boundary rates and degenerate churn -----------------------------------
+
+TEST(FaultParams, BoundaryRatesAreValid) {
+  FaultParams faults;
+  faults.messageLossRate = 1.0;
+  faults.contactTruncationRate = 1.0;
+  faults.pieceCorruptionRate = 1.0;
+  faults.truncationKeepMin = 0.0;
+  faults.truncationKeepMax = 0.0;
+  faults.churnDownFraction = 0.999;
+  EXPECT_TRUE(faults.validate().empty()) << faults.validate().front();
+  faults.truncationKeepMin = 1.0;
+  faults.truncationKeepMax = 1.0;
+  EXPECT_TRUE(faults.validate().empty()) << faults.validate().front();
+}
+
+TEST(FaultPlan, CertainRatesAlwaysFire) {
+  FaultParams faults;
+  faults.messageLossRate = 1.0;
+  faults.pieceCorruptionRate = 1.0;
+  faults.contactTruncationRate = 1.0;
+  faults.truncationKeepMin = 0.5;
+  faults.truncationKeepMax = 0.5;
+  FaultPlan plan(faults, Rng(17), 10, 5 * kDay);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(plan.dropMessage());
+    EXPECT_TRUE(plan.corruptPiece());
+    EXPECT_EQ(plan.contactKeepFactor(), 0.5);
+  }
+}
+
+TEST(FaultPlan, ChurnIntervalsAreClampedOrderedAndNeverZeroLength) {
+  FaultParams faults;
+  // High down fraction + short downtimes make start-at-zero and
+  // clamped-at-horizon intervals near-certain across 1000 nodes, so the
+  // boundary semantics below are exercised, not just vacuously true.
+  faults.churnDownFraction = 0.9;
+  faults.churnMeanDowntime = 600;
+  const SimTime horizon = kDay;
+  const std::uint32_t nodes = 1000;
+  FaultPlan plan(faults, Rng(23), nodes, horizon);
+  bool someStartsAtZero = false;
+  bool someEndsAtHorizon = false;
+  bool someBackToBack = false;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const auto& intervals = plan.downIntervals(NodeId(n));
+    for (std::size_t k = 0; k < intervals.size(); ++k) {
+      const auto& iv = intervals[k];
+      EXPECT_GE(iv.start, 0);
+      EXPECT_GT(iv.end, iv.start);  // zero-length intervals never emitted
+      EXPECT_LE(iv.end, horizon);   // clamped to the run horizon
+      // Ordered and non-overlapping; a sub-second up-gap truncates to zero,
+      // so adjacent intervals may touch (the node goes straight back down).
+      const bool touchesNext =
+          k + 1 < intervals.size() && intervals[k + 1].start == iv.end;
+      if (k + 1 < intervals.size()) {
+        EXPECT_GE(intervals[k + 1].start, iv.end);
+      }
+      someBackToBack = someBackToBack || touchesNext;
+      // isDown matches the table at both edges: start inclusive, end
+      // exclusive — unless the next down interval begins at that instant.
+      EXPECT_TRUE(plan.isDown(NodeId(n), iv.start));
+      EXPECT_EQ(plan.isDown(NodeId(n), iv.end), touchesNext);
+      if (iv.start == 0) someStartsAtZero = true;
+      if (iv.end == horizon) someEndsAtHorizon = true;
+    }
+  }
+  // The parameters above make every boundary shape actually occur: a node
+  // already down at t=0, a node still down at the trace end, and
+  // back-to-back intervals from a truncated-to-zero up gap.
+  EXPECT_TRUE(someStartsAtZero);
+  EXPECT_TRUE(someEndsAtHorizon);
+  EXPECT_TRUE(someBackToBack);
+  EXPECT_FALSE(plan.isDown(NodeId(0), horizon));
+}
+
+TEST(EngineFaults, TotalLossDeliversNothingOverTheDtn) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.messageLossRate = 1.0;
+  const auto result = core::runSimulation(trace, params);
+  EXPECT_EQ(result.totals.metadataReceptions, 0u);
+  EXPECT_EQ(result.totals.pieceReceptions, 0u);
+  EXPECT_GT(result.totals.faultMessagesDropped, 0u);
+  EXPECT_EQ(result.delivery.fileRatio, 0.0);
+}
+
+TEST(EngineFaults, TotalTruncationWithZeroKeepStopsAllContactTraffic) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.contactTruncationRate = 1.0;
+  params.faults.truncationKeepMin = 0.0;
+  params.faults.truncationKeepMax = 0.0;
+  const auto result = core::runSimulation(trace, params);
+  EXPECT_EQ(result.totals.faultContactsTruncated,
+            result.totals.contactsProcessed);
+  EXPECT_EQ(result.totals.metadataBroadcasts, 0u);
+  EXPECT_EQ(result.totals.pieceBroadcasts, 0u);
+  EXPECT_EQ(result.totals.metadataReceptions, 0u);
+  EXPECT_EQ(result.totals.pieceReceptions, 0u);
+}
+
 TEST(EngineFaults, ChurnEventsBalanceAndMatchTotals) {
   const auto trace = smallNusTrace();
   auto params = baseParams();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "src/trace/trace_stats.hpp"
 
@@ -125,6 +126,63 @@ TEST(DieselNet, ZeroBackgroundRateIsolatesUnrelatedPairs) {
     EXPECT_EQ(dieselNetRouteOf(p, c.members[0]),
               dieselNetRouteOf(p, c.members[1]));
   }
+}
+
+// --- native meeting-log import --------------------------------------------
+
+TEST(DieselNetImport, ParsesMeetingsWithOptionalByteCounts) {
+  std::istringstream in(
+      "# bus-a bus-b start duration bytes\n"
+      "0 1 100 50 12345\n"
+      "3 2 10.5 0.25\n"
+      "\n"
+      "1 2 400 90\n");
+  std::string error;
+  const auto trace = readDieselNetLog(in, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->contactCount(), 3u);
+  EXPECT_EQ(trace->nodeCount(), 4u);
+  EXPECT_TRUE(trace->isPairwiseOnly());
+  // Sub-second meeting rounded up to one second, ids sorted.
+  EXPECT_EQ(trace->contacts()[0].start, 10);
+  EXPECT_EQ(trace->contacts()[0].end, 11);
+  EXPECT_EQ(trace->contacts()[0].members,
+            (std::vector<NodeId>{NodeId(2), NodeId(3)}));
+}
+
+TEST(DieselNetImport, MalformedRecordIsALineNumberedError) {
+  std::istringstream in(
+      "0 1 100 50\n"
+      "0 one 200 50\n");
+  std::string error;
+  EXPECT_FALSE(readDieselNetLog(in, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("malformed meeting record"), std::string::npos);
+}
+
+TEST(DieselNetImport, BusMeetingItselfRejected) {
+  std::istringstream in("4 4 100 50\n");
+  std::string error;
+  EXPECT_FALSE(readDieselNetLog(in, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("cannot meet itself"), std::string::npos);
+}
+
+TEST(DieselNetImport, NegativeStartAndNonPositiveDurationRejected) {
+  std::string error;
+  std::istringstream negative("0 1 -5 50\n");
+  EXPECT_FALSE(readDieselNetLog(negative, &error).has_value());
+  EXPECT_NE(error.find("negative meeting start"), std::string::npos);
+  std::istringstream zero("0 1 5 0\n");
+  EXPECT_FALSE(readDieselNetLog(zero, &error).has_value());
+  EXPECT_NE(error.find("non-positive meeting duration"), std::string::npos);
+}
+
+TEST(DieselNetImport, TrailingJunkRejected) {
+  std::istringstream in("0 1 100 50 12345 extra\n");
+  std::string error;
+  EXPECT_FALSE(readDieselNetLog(in, &error).has_value());
+  EXPECT_NE(error.find("trailing field"), std::string::npos);
 }
 
 }  // namespace

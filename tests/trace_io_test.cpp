@@ -107,6 +107,44 @@ TEST(TraceIo, FileRoundTrip) {
   EXPECT_FALSE(loadTraceFile(path + ".missing", &error).has_value());
 }
 
+TEST(TraceIo, DuplicateHeaderRejected) {
+  std::istringstream in(
+      "trace t 3\n"
+      "trace t 4\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("duplicate trace header"), std::string::npos);
+}
+
+TEST(TraceIo, HeaderAfterContactsRejected) {
+  std::istringstream in(
+      "c 0 10 0 1\n"
+      "trace t 3\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("must precede"), std::string::npos);
+}
+
+TEST(TraceIo, MemberOutsideDeclaredUniverseRejected) {
+  std::istringstream in(
+      "trace t 3\n"
+      "c 0 10 0 7\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("member id 7"), std::string::npos);
+  EXPECT_NE(error.find("node count 3"), std::string::npos);
+}
+
+TEST(TraceIo, TrailingJunkInHeaderRejected) {
+  std::istringstream in("trace t 3 junk\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(in, &error).has_value());
+  EXPECT_NE(error.find("unexpected field"), std::string::npos);
+}
+
 // --- ONE simulator connectivity import ------------------------------------
 
 TEST(OneImport, PairsOpenAndClose) {

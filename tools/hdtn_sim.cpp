@@ -48,6 +48,9 @@ int usage() {
       {"events-out=PATH", "JSONL event trace (docs/OBSERVABILITY.md)"},
       {"timeseries-out=PATH", "sampled delivery/totals CSV"},
       {"sample-every=21600", "time-series cadence, sim seconds"},
+      {"checkpoint-out=PATH", "periodic checkpoint (docs/CHECKPOINT.md)"},
+      {"checkpoint-every=21600", "checkpoint cadence, sim seconds"},
+      {"resume", "restore from checkpoint-out if it exists"},
   };
   std::fputs(formatUsage("hdtn_sim --trace=PATH|--scenario=PATH [options]",
                          flags)
@@ -122,6 +125,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const core::EngineResult& result = outcome->result;
+  if (outcome->resumed) {
+    std::fprintf(stderr, "resumed from checkpoint %s\n",
+                 scenario.checkpointOut.c_str());
+  }
   if (!scenario.eventsOut.empty()) {
     std::fprintf(stderr, "events: %llu written to %s\n",
                  static_cast<unsigned long long>(outcome->eventsWritten),
