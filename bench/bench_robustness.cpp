@@ -41,41 +41,56 @@ constexpr core::ProtocolKind kProtocols[] = {core::ProtocolKind::kMbt,
                                              core::ProtocolKind::kMbtQ,
                                              core::ProtocolKind::kMbtQm};
 
+/// The recovery configuration the `ri == 1` half of the sweep turns on:
+/// retransmission, anti-entropy repair, and coordinator failover together
+/// (the self-healing layer as a whole, not one knob at a time).
+core::RecoveryParams sweepRecoveryParams() {
+  core::RecoveryParams recovery;
+  recovery.maxRetries = 2;
+  recovery.retransmitBudget = 16;
+  recovery.repairPerContact = 4;
+  recovery.coordinatorFailover = true;
+  return recovery;
+}
+
 /// Engine parameters for one sweep point, exactly as the in-process task
 /// loop builds them — the supervised child must reproduce them bit for bit.
-/// `seed` is 1-based.
+/// `ri` is the recovery axis (0 = off, 1 = on); `seed` is 1-based.
 core::EngineParams paramsForPoint(const core::EngineParams& base,
                                   const std::vector<double>& lossRates,
-                                  std::size_t xi, std::size_t pi, int seed) {
+                                  std::size_t xi, std::size_t pi,
+                                  std::size_t ri, int seed) {
   core::EngineParams params = base;
   params.protocol.kind = kProtocols[pi];
   params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
   params.faults.messageLossRate = lossRates[xi];
+  params.recovery = ri == 1 ? sweepRecoveryParams() : core::RecoveryParams{};
   return params;
 }
 
-/// Child mode (--point=robustness:<xi>:<pi>:<seed>): runs one point with
-/// periodic checkpoints and prints its RESULT line
+/// Child mode (--point=robustness:<xi>:<pi>:<ri>:<seed>): runs one point
+/// with periodic checkpoints and prints its RESULT line
 /// (file ratio, metadata ratio, mean file delay in hours).
 int runPoint(const bench::CommonArgs& common, const core::EngineParams& base,
              const core::TraceSpec& traceSpec,
              const std::vector<double>& lossRates) {
-  std::size_t xi = 0, pi = 0;
+  std::size_t xi = 0, pi = 0, ri = 0;
   int seed = 0;
   {
     std::istringstream in(common.pointKey);
-    std::string figure, xiText, piText, seedText;
+    std::string figure, xiText, piText, riText, seedText;
     if (!std::getline(in, figure, ':') || !std::getline(in, xiText, ':') ||
-        !std::getline(in, piText, ':') || !std::getline(in, seedText) ||
-        figure != "robustness") {
+        !std::getline(in, piText, ':') || !std::getline(in, riText, ':') ||
+        !std::getline(in, seedText) || figure != "robustness") {
       std::cerr << "bad --point key '" << common.pointKey
-                << "' (expected robustness:<xi>:<pi>:<seed>)\n";
+                << "' (expected robustness:<xi>:<pi>:<ri>:<seed>)\n";
       return 2;
     }
     xi = static_cast<std::size_t>(std::atoll(xiText.c_str()));
     pi = static_cast<std::size_t>(std::atoll(piText.c_str()));
+    ri = static_cast<std::size_t>(std::atoll(riText.c_str()));
     seed = std::atoi(seedText.c_str());
-    if (xi >= lossRates.size() || pi >= 3 || seed < 1) {
+    if (xi >= lossRates.size() || pi >= 3 || ri >= 2 || seed < 1) {
       std::cerr << "--point key '" << common.pointKey
                 << "' is out of range\n";
       return 2;
@@ -90,7 +105,7 @@ int runPoint(const bench::CommonArgs& common, const core::EngineParams& base,
     return 1;
   }
   const auto result = bench::runWithCheckpoints(
-      *trace, paramsForPoint(base, lossRates, xi, pi, seed),
+      *trace, paramsForPoint(base, lossRates, xi, pi, ri, seed),
       common.pointCheckpoint, common.checkpointEvery);
   std::cout << bench::formatResultLine(
       common.pointKey,
@@ -117,49 +132,53 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
             << journal.size() << " point(s) already done), timeout "
             << options.pointTimeoutSeconds << " s, " << options.maxAttempts
             << " attempt(s) per point\n";
-  const std::size_t total = points * 3 * static_cast<std::size_t>(seeds);
+  const std::size_t total =
+      points * 3 * 2 * static_cast<std::size_t>(seeds);
   std::size_t done = 0;
   for (std::size_t xi = 0; xi < points; ++xi) {
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      for (int seed = 1; seed <= seeds; ++seed) {
-        const std::string key = "robustness:" + std::to_string(xi) + ":" +
-                                std::to_string(pi) + ":" +
-                                std::to_string(seed);
-        const bool journaled = journal.contains(key);
-        std::string checkpoint =
-            common.superviseJournal + "." + key + ".ckpt";
-        for (char& c : checkpoint) {
-          if (c == ':') c = '_';
+      for (std::size_t ri = 0; ri < 2; ++ri) {
+        for (int seed = 1; seed <= seeds; ++seed) {
+          const std::string key = "robustness:" + std::to_string(xi) + ":" +
+                                  std::to_string(pi) + ":" +
+                                  std::to_string(ri) + ":" +
+                                  std::to_string(seed);
+          const bool journaled = journal.contains(key);
+          std::string checkpoint =
+              common.superviseJournal + "." + key + ".ckpt";
+          for (char& c : checkpoint) {
+            if (c == ':') c = '_';
+          }
+          std::vector<std::string> childArgv = {
+              selfPath, "--point=" + key, "--point-checkpoint=" + checkpoint,
+              "--checkpoint-every=" + std::to_string(common.checkpointEvery)};
+          if (!common.scenarioPath.empty()) {
+            childArgv.push_back("--scenario=" + common.scenarioPath);
+          }
+          std::string error;
+          const auto values = bench::superviseOnePoint(
+              options, journal, key, childArgv, checkpoint, &error);
+          if (!values) {
+            std::cerr << "supervise: " << error << "\n";
+            return false;
+          }
+          if (values->size() < 3) {
+            std::cerr << "supervise: point " << key
+                      << " returned a malformed RESULT line\n";
+            return false;
+          }
+          const std::size_t task =
+              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds) +
+              static_cast<std::size_t>(seed - 1);
+          fileRatio[task] = (*values)[0];
+          mdRatio[task] = (*values)[1];
+          fileDelayH[task] = (*values)[2];
+          ++done;
+          std::cout << "  [" << done << "/" << total << "] " << key
+                    << (journaled ? " (journaled)" : " ok") << "\n";
+          std::error_code ec;
+          std::filesystem::remove(checkpoint, ec);
         }
-        std::vector<std::string> childArgv = {
-            selfPath, "--point=" + key, "--point-checkpoint=" + checkpoint,
-            "--checkpoint-every=" + std::to_string(common.checkpointEvery)};
-        if (!common.scenarioPath.empty()) {
-          childArgv.push_back("--scenario=" + common.scenarioPath);
-        }
-        std::string error;
-        const auto values = bench::superviseOnePoint(
-            options, journal, key, childArgv, checkpoint, &error);
-        if (!values) {
-          std::cerr << "supervise: " << error << "\n";
-          return false;
-        }
-        if (values->size() < 3) {
-          std::cerr << "supervise: point " << key
-                    << " returned a malformed RESULT line\n";
-          return false;
-        }
-        const std::size_t task =
-            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
-            static_cast<std::size_t>(seed - 1);
-        fileRatio[task] = (*values)[0];
-        mdRatio[task] = (*values)[1];
-        fileDelayH[task] = (*values)[2];
-        ++done;
-        std::cout << "  [" << done << "/" << total << "] " << key
-                  << (journaled ? " (journaled)" : " ok") << "\n";
-        std::error_code ec;
-        std::filesystem::remove(checkpoint, ec);
       }
     }
   }
@@ -171,8 +190,8 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
 int main(int argc, char** argv) {
   const bench::CommonArgs common =
       bench::parseCommonArgs("robustness", 3, argc, argv);
-  const std::vector<double> lossRates = {0.0,  0.05, 0.1, 0.2,
-                                         0.35, 0.5,  0.7};
+  const std::vector<double> lossRates = {0.0, 0.05, 0.1, 0.2,
+                                         0.3, 0.5,  0.7};
 
   core::EngineParams base = bench::nusBaseParams();
   core::TraceSpec traceSpec;
@@ -206,10 +225,11 @@ int main(int argc, char** argv) {
   std::cout << "=== robustness: delivery and delay vs message loss ===\n"
             << "x-axis: loss rate; " << seeds
             << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
-            << threads << " thread(s)\n\n";
+            << "recovery off/on per point; " << threads << " thread(s)\n\n";
 
   const std::size_t points = lossRates.size();
-  std::vector<double> fileRatio(points * 3 * static_cast<std::size_t>(seeds));
+  std::vector<double> fileRatio(points * 3 * 2 *
+                                static_cast<std::size_t>(seeds));
   std::vector<double> mdRatio(fileRatio.size());
   std::vector<double> fileDelayH(fileRatio.size());
   if (supervised) {
@@ -235,12 +255,15 @@ int main(int argc, char** argv) {
     }
 
     parallelFor(fileRatio.size(), threads, [&](std::size_t task) {
-      const std::size_t xi = task / (3 * static_cast<std::size_t>(seeds));
-      const std::size_t rest = task % (3 * static_cast<std::size_t>(seeds));
-      const std::size_t pi = rest / static_cast<std::size_t>(seeds);
+      const std::size_t perPoint = 3 * 2 * static_cast<std::size_t>(seeds);
+      const std::size_t xi = task / perPoint;
+      std::size_t rest = task % perPoint;
+      const std::size_t pi = rest / (2 * static_cast<std::size_t>(seeds));
+      rest %= 2 * static_cast<std::size_t>(seeds);
+      const std::size_t ri = rest / static_cast<std::size_t>(seeds);
       const std::size_t seed = rest % static_cast<std::size_t>(seeds);
       const auto result = core::runSimulation(
-          traces[seed], paramsForPoint(base, lossRates, xi, pi,
+          traces[seed], paramsForPoint(base, lossRates, xi, pi, ri,
                                        static_cast<int>(seed) + 1));
       fileRatio[task] = result.delivery.fileRatio;
       mdRatio[task] = result.delivery.metadataRatio;
@@ -248,43 +271,61 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::vector<std::vector<double>> ratioSeries(3), delaySeries(3);
-  Table table({"loss rate", "MBT file", "MBT-Q file", "MBT-QM file",
-               "MBT delay h", "MBT-Q delay h", "MBT-QM delay h"});
+  // Series index: pi * 2 + ri (protocol-major, recovery off then on).
+  std::vector<std::vector<double>> ratioSeries(6), delaySeries(6);
+  Table ratioTable({"loss rate", "MBT", "MBT+rec", "MBT-Q", "MBT-Q+rec",
+                    "MBT-QM", "MBT-QM+rec"});
+  Table delayTable({"loss rate", "MBT", "MBT+rec", "MBT-Q", "MBT-Q+rec",
+                    "MBT-QM", "MBT-QM+rec"});
   for (std::size_t xi = 0; xi < points; ++xi) {
-    std::vector<double> ratioMeans(3, 0.0), delayMeans(3, 0.0);
+    std::vector<double> ratioMeans(6, 0.0), delayMeans(6, 0.0);
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      double ratioSum = 0.0, delaySum = 0.0;
-      for (int seed = 0; seed < seeds; ++seed) {
-        const std::size_t task =
-            (xi * 3 + pi) * static_cast<std::size_t>(seeds) +
-            static_cast<std::size_t>(seed);
-        ratioSum += fileRatio[task];
-        delaySum += fileDelayH[task];
+      for (std::size_t ri = 0; ri < 2; ++ri) {
+        double ratioSum = 0.0, delaySum = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          const std::size_t task =
+              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds) +
+              static_cast<std::size_t>(seed);
+          ratioSum += fileRatio[task];
+          delaySum += fileDelayH[task];
+        }
+        const std::size_t si = pi * 2 + ri;
+        ratioMeans[si] = ratioSum / seeds;
+        delayMeans[si] = delaySum / seeds;
+        ratioSeries[si].push_back(ratioMeans[si]);
+        delaySeries[si].push_back(delayMeans[si]);
       }
-      ratioMeans[pi] = ratioSum / seeds;
-      delayMeans[pi] = delaySum / seeds;
-      ratioSeries[pi].push_back(ratioMeans[pi]);
-      delaySeries[pi].push_back(delayMeans[pi]);
     }
-    table.addRow({lossRates[xi], ratioMeans[0], ratioMeans[1], ratioMeans[2],
-                  delayMeans[0], delayMeans[1], delayMeans[2]});
+    ratioTable.addRow({lossRates[xi], ratioMeans[0], ratioMeans[1],
+                       ratioMeans[2], ratioMeans[3], ratioMeans[4],
+                       ratioMeans[5]});
+    delayTable.addRow({lossRates[xi], delayMeans[0], delayMeans[1],
+                       delayMeans[2], delayMeans[3], delayMeans[4],
+                       delayMeans[5]});
   }
 
-  table.writeAligned(std::cout);
-  std::cout << "\nCSV:\n";
-  table.writeCsv(std::cout);
+  std::cout << "file delivery ratio:\n";
+  ratioTable.writeAligned(std::cout);
+  std::cout << "\nmean file delay (h):\n";
+  delayTable.writeAligned(std::cout);
+  std::cout << "\nCSV (file delivery ratio):\n";
+  ratioTable.writeCsv(std::cout);
   std::cout << "\n";
 
-  const char glyphs[3] = {'*', 'o', '.'};
+  const char glyphs[6] = {'*', 'A', 'o', 'B', '.', 'C'};
   AsciiChart ratioChart("robustness: file delivery ratio vs loss rate",
                         lossRates);
   AsciiChart delayChart("robustness: mean file delay (h) vs loss rate",
                         lossRates);
   for (std::size_t pi = 0; pi < 3; ++pi) {
-    const char* name = core::protocolName(kProtocols[pi]);
-    ratioChart.addSeries({name, glyphs[pi], ratioSeries[pi]});
-    delayChart.addSeries({name, glyphs[pi], delaySeries[pi]});
+    for (std::size_t ri = 0; ri < 2; ++ri) {
+      const std::size_t si = pi * 2 + ri;
+      const std::string name =
+          std::string(core::protocolName(kProtocols[pi])) +
+          (ri == 1 ? "+rec" : "");
+      ratioChart.addSeries({name, glyphs[si], ratioSeries[si]});
+      delayChart.addSeries({name, glyphs[si], delaySeries[si]});
+    }
   }
   std::cout << ratioChart.render() << "\n" << delayChart.render()
             << std::endl;
@@ -302,21 +343,25 @@ int main(int argc, char** argv) {
          << "  \"seeds\": " << seeds << ",\n"
          << "  \"series\": [\n";
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
-           << "\", \"points\": [";
-      for (std::size_t xi = 0; xi < points; ++xi) {
-        const std::size_t firstTask =
-            (xi * 3 + pi) * static_cast<std::size_t>(seeds);
-        double mdSum = 0.0;
-        for (int seed = 0; seed < seeds; ++seed) {
-          mdSum += mdRatio[firstTask + static_cast<std::size_t>(seed)];
+      for (std::size_t ri = 0; ri < 2; ++ri) {
+        const std::size_t si = pi * 2 + ri;
+        json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
+             << "\", \"recovery\": " << (ri == 1 ? "true" : "false")
+             << ", \"points\": [";
+        for (std::size_t xi = 0; xi < points; ++xi) {
+          const std::size_t firstTask =
+              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds);
+          double mdSum = 0.0;
+          for (int seed = 0; seed < seeds; ++seed) {
+            mdSum += mdRatio[firstTask + static_cast<std::size_t>(seed)];
+          }
+          json << (xi == 0 ? "" : ", ") << "{\"x\": " << lossRates[xi]
+               << ", \"metadata_ratio\": " << mdSum / seeds
+               << ", \"file_ratio\": " << ratioSeries[si][xi]
+               << ", \"mean_file_delay_h\": " << delaySeries[si][xi] << "}";
         }
-        json << (xi == 0 ? "" : ", ") << "{\"x\": " << lossRates[xi]
-             << ", \"metadata_ratio\": " << mdSum / seeds
-             << ", \"file_ratio\": " << ratioSeries[pi][xi]
-             << ", \"mean_file_delay_h\": " << delaySeries[pi][xi] << "}";
+        json << "]}" << (si + 1 < 6 ? "," : "") << "\n";
       }
-      json << "]}" << (pi + 1 < 3 ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "json written to " << common.jsonPath << std::endl;

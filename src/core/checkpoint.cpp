@@ -129,6 +129,12 @@ Sha1Digest Engine::configFingerprint() const {
   s.f64(params_.faults.pieceCorruptionRate);
   s.f64(params_.faults.churnDownFraction);
   s.i64(params_.faults.churnMeanDowntime);
+  s.u64(params_.nodeMetadataCapacity);
+  s.i64(params_.recovery.maxRetries);
+  s.i64(params_.recovery.retransmitBudget);
+  s.i64(params_.recovery.repairPerContact);
+  s.u64(params_.recovery.repairQueueLimit);
+  s.boolean(params_.recovery.coordinatorFailover);
   s.u64(params_.seed);
   // Trace identity: the schedule replay is only valid against the exact
   // same contact sequence.

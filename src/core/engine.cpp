@@ -109,6 +109,9 @@ std::vector<std::string> EngineParams::validate() const {
   for (std::string& error : faults.validate()) {
     errors.push_back("faults." + std::move(error));
   }
+  for (std::string& error : recovery.validate()) {
+    errors.push_back("recovery." + std::move(error));
+  }
   return errors;
 }
 
@@ -127,6 +130,13 @@ Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
     faults_ = std::make_unique<faults::FaultPlan>(
         params_.faults, rng_.fork(0xfa01), trace_.nodeCount(),
         trace_.endTime());
+  }
+  // Recovery draws no randomness of its own (retransmission re-draws reuse
+  // the fault channel streams), so constructing it perturbs nothing; still
+  // gated so disabled runs carry no state at all.
+  if (params_.recovery.enabled()) {
+    recovery_ =
+        std::make_unique<RecoveryState>(params_.recovery.repairQueueLimit);
   }
   setupNodes();
 }
@@ -191,8 +201,24 @@ void Engine::setupNodes() {
     options.internetAccess = access.contains(id);
     options.freeRider = freeRiders.contains(id);
     options.pieceCapacity = params_.nodePieceCapacity;
+    options.metadataCapacity = params_.nodeMetadataCapacity;
     options.forger = forgers.contains(id);
     auto node = std::make_unique<Node>(id, options);
+    if (params_.nodeMetadataCapacity > 0) {
+      Node* raw = node.get();
+      raw->metadata().setEvictionHook([this, raw](const Metadata& md) {
+        ++totals_.metadataEvictions;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kMetadataEvicted;
+          event.time = sim_.now();
+          event.node = raw->id();
+          event.file = md.file;
+          event.value = md.popularity;
+          emit(event);
+        }
+      });
+    }
     if (params_.verifyMetadata && !options.forger) {
       node->setMetadataVerifier([this](const Metadata& md) {
         const bool genuine = internet_.registry().verify(md);
@@ -463,7 +489,10 @@ void Engine::syncAccessNode(Node& node, SimTime now) {
     if (md.expired(now)) return;
     const bool isNew = !node.metadata().has(md.file);
     node.acceptMetadata(md, now);
-    if (isNew) metrics_.onNodeGotMetadata(node.id(), md.file, now);
+    // Re-check has(): a bounded store may have shed the record on admission.
+    if (isNew && node.metadata().has(md.file)) {
+      metrics_.onNodeGotMetadata(node.id(), md.file, now);
+    }
   };
 
   // 1. Search the server for this node's queries (its own, plus the stored
@@ -624,13 +653,84 @@ void Engine::processContact(const trace::Contact& contact) {
     }
   }
 
+  // --- recovery session + cross-contact catch-up --------------------------
+  // The session records this contact's losses; selective acks are modeled
+  // by the engine's ground truth of which receivers missed which frames.
+  RecoverySession session(params_.recovery.maxRetries,
+                          params_.recovery.retransmitBudget);
+  RecoverySession* rsession =
+      (recovery_ != nullptr && params_.recovery.maxRetries > 0) ? &session
+                                                                : nullptr;
+  if (rsession != nullptr && recovery_->pendingCount() > 0) {
+    servePendingRecoveries(members, rsession, now);
+  }
+
   // --- discovery phase (start of the contact, Section V rationale) -------
   if (params_.protocol.distributesMetadata() && metadataBudget > 0) {
-    runDiscoveryPhase(members, now, metadataBudget);
+    runDiscoveryPhase(members, now, metadataBudget, rsession);
   }
+
+  // --- coordinator failover (mid-round churn) -----------------------------
+  // The broadcast round's coordinator is positional: the first member of
+  // the hello order. The baseline model only checks churn at contact start;
+  // the recovery layer also checks mid-contact, when the phase-2 schedule
+  // runs. Without failover the round dies with its coordinator; with it the
+  // survivors elect the next live member of the hello order and resume.
+  const std::vector<Node*>* downloadMembers = &members;
+  std::vector<Node*> survivors;
+  bool abandonDownload = false;
+  if (recovery_ != nullptr && faults_ != nullptr &&
+      params_.faults.churnDownFraction > 0.0) {
+    Node* coordinator = members.front();
+    const SimTime mid = now + contact.duration() / 2;
+    if (faults_->isDown(coordinator->id(), mid)) {
+      if (params_.recovery.coordinatorFailover) {
+        for (Node* m : members) {
+          if (m != coordinator && !faults_->isDown(m->id(), mid)) {
+            survivors.push_back(m);
+          }
+        }
+        if (survivors.size() >= 2) {
+          ++totals_.coordinatorFailovers;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kCoordinatorFailover;
+            event.time = mid;
+            event.node = survivors.front()->id();
+            event.peer = coordinator->id();
+            event.extra = static_cast<std::uint32_t>(survivors.size());
+            emit(event);
+          }
+          downloadMembers = &survivors;
+        } else {
+          abandonDownload = true;
+        }
+      } else {
+        abandonDownload = true;
+      }
+    }
+  }
+
   // --- download phase -----------------------------------------------------
-  if (pieceBudget > 0) {
-    runDownloadPhase(members, now, pieceBudget);
+  if (pieceBudget > 0 && !abandonDownload) {
+    runDownloadPhase(*downloadMembers, now, pieceBudget, rsession);
+  }
+
+  // --- anti-entropy repair -------------------------------------------------
+  if (recovery_ != nullptr && params_.recovery.repairPerContact > 0) {
+    runRepairPhase(*downloadMembers, now, rsession);
+  }
+
+  // --- end-of-contact retransmission rounds + spill ------------------------
+  if (rsession != nullptr) {
+    while (std::optional<LostFrame> frame = session.nextRetry()) {
+      attemptRedelivery(*frame, rsession, now);
+    }
+    // Frames the budget could not afford wait for the next re-contact of
+    // their (sender, receiver) pair.
+    for (const LostFrame& frame : session.drainRemaining()) {
+      recovery_->addPending(frame);
+    }
   }
 
   if (observer_ != nullptr) {
@@ -644,7 +744,8 @@ void Engine::processContact(const trace::Contact& contact) {
 }
 
 void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
-                               int metadataBudget) {
+                               int metadataBudget,
+                               RecoverySession* session) {
   std::vector<DiscoveryPeer> peers;
   peers.reserve(members.size());
   for (Node* m : members) {
@@ -687,72 +788,95 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
       }
       // Lossy contact: this receiver misses the frame (others may still
       // hear it — loss is drawn per deliverable message-receiver pair).
-      if (faults_ != nullptr && faults_->dropMessage()) {
-        ++totals_.faultMessagesDropped;
-        if (observer_ != nullptr) {
-          obs::SimEvent event;
-          event.type = obs::SimEventType::kFaultInjected;
-          event.time = now;
-          event.node = m->id();
-          event.peer = b.sender;
-          event.file = md.file;
-          event.extra =
-              static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
-          emit(event);
+      if (faults_ != nullptr &&
+          metadataReceptionFaulted(m->id(), b.sender, md.file, now)) {
+        if (session != nullptr) {
+          ++totals_.recoveryFramesLost;
+          session->noteLoss({b.sender, m->id(), md.file});
         }
         continue;
       }
-      // Credit the sender before the store flips the query state.
-      const bool requested = m->anyQueryMatches(md, now);
-      m->acceptMetadata(md, now);
-      ++totals_.metadataReceptions;
-      if (m->rejectedMetadata().contains(md.file)) {
-        // Failed verification: remember the offender, no credit.
-        m->noteRejectedFrom(b.sender);
-        if (observer_ != nullptr) {
-          obs::SimEvent event;
-          event.type = obs::SimEventType::kMetadataRejected;
-          event.time = now;
-          event.node = m->id();
-          event.peer = b.sender;
-          event.file = md.file;
-          emit(event);
-        }
-        continue;
-      }
-      const bool forgedAccept =
-          md.file.value >= kForgedIdBase && !m->options().forger;
-      if (forgedAccept) ++totals_.forgeriesAccepted;
-      if (requested) {
-        m->credits().onReceivedRequested(b.sender);
-      } else {
-        m->credits().onReceivedUnrequested(b.sender, md.popularity);
-      }
-      metrics_.onNodeGotMetadata(m->id(), md.file, now);
-      if (observer_ != nullptr) {
-        obs::SimEvent event;
-        event.type = obs::SimEventType::kMetadataAccepted;
-        event.time = now;
-        event.node = m->id();
-        event.peer = b.sender;
-        event.file = md.file;
-        event.extra = requested ? 1 : 0;
-        event.value = md.popularity;
-        emit(event);
-        if (forgedAccept) {
-          event.type = obs::SimEventType::kForgeryAccepted;
-          emit(event);
-        }
-      }
+      deliverMetadataTo(*m, b.sender, md, now);
+    }
+  }
+}
+
+bool Engine::metadataReceptionFaulted(NodeId receiver, NodeId sender,
+                                      FileId file, SimTime now) {
+  if (!faults_->dropMessage()) return false;
+  ++totals_.faultMessagesDropped;
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kFaultInjected;
+    event.time = now;
+    event.node = receiver;
+    event.peer = sender;
+    event.file = file;
+    event.extra = static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
+    emit(event);
+  }
+  return true;
+}
+
+void Engine::deliverMetadataTo(Node& receiver, NodeId sender,
+                               const Metadata& md, SimTime now) {
+  // Credit the sender before the store flips the query state.
+  const bool requested = receiver.anyQueryMatches(md, now);
+  receiver.acceptMetadata(md, now);
+  ++totals_.metadataReceptions;
+  if (receiver.rejectedMetadata().contains(md.file)) {
+    // Failed verification: remember the offender, no credit.
+    receiver.noteRejectedFrom(sender);
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kMetadataRejected;
+      event.time = now;
+      event.node = receiver.id();
+      event.peer = sender;
+      event.file = md.file;
+      emit(event);
+    }
+    return;
+  }
+  // A bounded store may have shed the record on admission: nothing was
+  // stored, so no credit, no metrics, no accept event.
+  if (!receiver.metadata().has(md.file)) return;
+  const bool forgedAccept =
+      md.file.value >= kForgedIdBase && !receiver.options().forger;
+  if (forgedAccept) ++totals_.forgeriesAccepted;
+  if (requested) {
+    receiver.credits().onReceivedRequested(sender);
+  } else {
+    receiver.credits().onReceivedUnrequested(sender, md.popularity);
+  }
+  metrics_.onNodeGotMetadata(receiver.id(), md.file, now);
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kMetadataAccepted;
+    event.time = now;
+    event.node = receiver.id();
+    event.peer = sender;
+    event.file = md.file;
+    event.extra = requested ? 1 : 0;
+    event.value = md.popularity;
+    emit(event);
+    if (forgedAccept) {
+      event.type = obs::SimEventType::kForgeryAccepted;
+      emit(event);
     }
   }
 }
 
 bool Engine::pieceReceptionFaulted(NodeId receiver, NodeId sender,
                                    FileId file, std::uint32_t piece,
-                                   SimTime now) {
+                                   bool requested, SimTime now,
+                                   RecoverySession* session) {
   if (faults_->dropMessage()) {
     ++totals_.faultMessagesDropped;
+    if (session != nullptr) {
+      ++totals_.recoveryFramesLost;
+      session->noteLoss({sender, receiver, file, piece, requested});
+    }
     if (observer_ != nullptr) {
       obs::SimEvent event;
       event.type = obs::SimEventType::kFaultInjected;
@@ -790,8 +914,34 @@ bool Engine::pieceReceptionFaulted(NodeId receiver, NodeId sender,
   return false;
 }
 
+void Engine::deliverPieceTo(Node& receiver, NodeId sender, FileId file,
+                            std::uint32_t piece, const FileInfo& info,
+                            bool requested, SimTime now) {
+  receiver.acceptPiece(file, piece, info.pieceCount(), now);
+  ++totals_.pieceReceptions;
+  if (requested) {
+    receiver.credits().onReceivedRequested(sender);
+  } else {
+    receiver.credits().onReceivedUnrequested(sender, info.popularity);
+  }
+  if (receiver.pieces().isComplete(file)) {
+    metrics_.onNodeCompletedFile(receiver.id(), file, now);
+  }
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kPieceReceived;
+    event.time = now;
+    event.node = receiver.id();
+    event.peer = sender;
+    event.file = file;
+    event.extra = piece;
+    event.value = info.popularity;
+    emit(event);
+  }
+}
+
 void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
-                              int pieceBudget) {
+                              int pieceBudget, RecoverySession* session) {
   std::vector<DownloadPeer> peers;
   peers.reserve(members.size());
   // Gateway behaviour: an access member is online *during* the contact, so
@@ -886,31 +1036,11 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       }
       if (faults_ != nullptr &&
           pieceReceptionFaulted(t.receiver, t.sender, t.file, t.piece,
-                                now)) {
+                                t.requested, now, session)) {
         continue;
       }
-      receiver->acceptPiece(t.file, t.piece, info->pieceCount(), now);
-      ++totals_.pieceReceptions;
-      if (t.requested) {
-        receiver->credits().onReceivedRequested(t.sender);
-      } else {
-        receiver->credits().onReceivedUnrequested(t.sender,
-                                                  info->popularity);
-      }
-      if (receiver->pieces().isComplete(t.file)) {
-        metrics_.onNodeCompletedFile(receiver->id(), t.file, now);
-      }
-      if (observer_ != nullptr) {
-        obs::SimEvent event;
-        event.type = obs::SimEventType::kPieceReceived;
-        event.time = now;
-        event.node = t.receiver;
-        event.peer = t.sender;
-        event.file = t.file;
-        event.extra = t.piece;
-        event.value = info->popularity;
-        emit(event);
-      }
+      deliverPieceTo(*receiver, t.sender, t.file, t.piece, *info,
+                     t.requested, now);
     }
     return;
   }
@@ -937,33 +1067,189 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       if (m->id() == b.sender || m->pieces().hasPiece(b.file, b.piece)) {
         continue;
       }
-      if (faults_ != nullptr &&
-          pieceReceptionFaulted(m->id(), b.sender, b.file, b.piece, now)) {
-        continue;
-      }
       const bool requested =
           std::find(b.requesters.begin(), b.requesters.end(), m->id()) !=
           b.requesters.end();
-      m->acceptPiece(b.file, b.piece, info->pieceCount(), now);
-      ++totals_.pieceReceptions;
-      if (requested) {
-        m->credits().onReceivedRequested(b.sender);
-      } else {
-        m->credits().onReceivedUnrequested(b.sender, info->popularity);
+      if (faults_ != nullptr &&
+          pieceReceptionFaulted(m->id(), b.sender, b.file, b.piece,
+                                requested, now, session)) {
+        continue;
       }
-      if (m->pieces().isComplete(b.file)) {
-        metrics_.onNodeCompletedFile(m->id(), b.file, now);
+      deliverPieceTo(*m, b.sender, b.file, b.piece, *info, requested, now);
+    }
+  }
+}
+
+void Engine::attemptRedelivery(LostFrame frame, RecoverySession* session,
+                               SimTime now) {
+  // The resend is counted (and evented) whether or not the frame is still
+  // needed: the sender retransmits everything its end-of-phase ack pass
+  // reported missing, and a duplicate is simply discarded by the receiver.
+  ++totals_.recoveryRetransmits;
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kRetransmit;
+    event.time = now;
+    event.node = frame.receiver;
+    event.peer = frame.sender;
+    event.file = frame.file;
+    event.extra = frame.piece;
+    emit(event);
+  }
+  Node& sender = node(frame.sender);
+  Node& receiver = node(frame.receiver);
+  if (frame.isMetadata()) {
+    const Metadata* md = sender.metadata().get(frame.file);
+    if (md == nullptr || md->expired(now) ||
+        receiver.metadata().has(frame.file) ||
+        receiver.rejectedMetadata().contains(frame.file) ||
+        receiver.distrusts(frame.sender)) {
+      return;  // no longer deliverable, or no longer needed
+    }
+    if (faults_ != nullptr &&
+        metadataReceptionFaulted(frame.receiver, frame.sender, frame.file,
+                                 now)) {
+      ++frame.attempts;
+      if (session != nullptr) session->requeue(frame);
+      return;
+    }
+    deliverMetadataTo(receiver, frame.sender, *md, now);
+    if (receiver.metadata().has(frame.file)) ++totals_.recoveryRedeliveries;
+    return;
+  }
+  const FileInfo* info = internet_.catalog().find(frame.file);
+  if (info == nullptr || !info->alive(now) ||
+      !sender.pieces().hasPiece(frame.file, frame.piece) ||
+      receiver.pieces().hasPiece(frame.file, frame.piece)) {
+    return;
+  }
+  if (faults_ != nullptr &&
+      pieceReceptionFaulted(frame.receiver, frame.sender, frame.file,
+                            frame.piece, frame.requested, now, nullptr)) {
+    // Lost (or corrupted) again: back to the queue, not noteLoss — a
+    // retransmission loss is a retry, not a fresh frame.
+    ++frame.attempts;
+    if (session != nullptr) session->requeue(frame);
+    return;
+  }
+  deliverPieceTo(receiver, frame.sender, frame.file, frame.piece, *info,
+                 frame.requested, now);
+  ++totals_.recoveryRedeliveries;
+}
+
+void Engine::servePendingRecoveries(const std::vector<Node*>& members,
+                                    RecoverySession* session, SimTime now) {
+  for (Node* s : members) {
+    if (!recovery_->hasPending(s->id())) continue;
+    for (Node* r : members) {
+      if (r == s) continue;
+      for (const LostFrame& frame :
+           recovery_->takePending(s->id(), r->id())) {
+        attemptRedelivery(frame, session, now);
       }
-      if (observer_ != nullptr) {
-        obs::SimEvent event;
-        event.type = obs::SimEventType::kPieceReceived;
-        event.time = now;
-        event.node = m->id();
-        event.peer = b.sender;
-        event.file = b.file;
-        event.extra = b.piece;
-        event.value = info->popularity;
-        emit(event);
+    }
+  }
+}
+
+void Engine::runRepairPhase(const std::vector<Node*>& members, SimTime now,
+                            RecoverySession* session) {
+  int budget = params_.recovery.repairPerContact;
+  for (Node* receiverPtr : members) {
+    if (budget <= 0) break;
+    Node& receiver = *receiverPtr;
+    // The receiver summarises everything it holds. A Bloom filter has no
+    // false negatives, so a negative membership test proves the record is
+    // missing; a false positive (~1%) only makes repair skip a genuinely
+    // missing record.
+    SummaryVector summary(receiver.metadata().size() +
+                          receiver.pieces().totalPiecesHeld());
+    for (const Metadata* md : receiver.metadata().all()) {
+      summary.insert(SummaryVector::metadataKey(md->file));
+    }
+    for (FileId file : receiver.pieces().files()) {
+      const std::uint32_t count = receiver.pieces().pieceCount(file);
+      for (std::uint32_t p = 0; p < count; ++p) {
+        if (receiver.pieces().hasPiece(file, p)) {
+          summary.insert(SummaryVector::pieceKey(file, p));
+        }
+      }
+    }
+    for (Node* senderPtr : members) {
+      if (budget <= 0) break;
+      if (senderPtr == receiverPtr || !senderPtr->contributes()) continue;
+      Node& sender = *senderPtr;
+      // Metadata repair: query-matching records the summary proves missing
+      // (lost to truncation/loss before the receiver ever stored them).
+      if (!receiver.distrusts(sender.id())) {
+        for (const Metadata* md : sender.metadata().byPopularity()) {
+          if (budget <= 0) break;
+          if (md->expired(now) ||
+              summary.mayContain(SummaryVector::metadataKey(md->file)) ||
+              receiver.rejectedMetadata().contains(md->file) ||
+              !receiver.anyQueryMatches(*md, now)) {
+            continue;
+          }
+          --budget;
+          ++totals_.repairRequests;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kRepairRequested;
+            event.time = now;
+            event.node = receiver.id();
+            event.peer = sender.id();
+            event.file = md->file;
+            event.extra = kMetadataFrameIndex;
+            emit(event);
+          }
+          if (faults_ != nullptr &&
+              metadataReceptionFaulted(receiver.id(), sender.id(), md->file,
+                                       now)) {
+            if (session != nullptr) {
+              ++totals_.recoveryFramesLost;
+              session->noteLoss({sender.id(), receiver.id(), md->file});
+            }
+            continue;
+          }
+          deliverMetadataTo(receiver, sender.id(), *md, now);
+          summary.insert(SummaryVector::metadataKey(md->file));
+        }
+      }
+      // Piece repair: pieces of the receiver's wanted files the sender
+      // holds and the summary proves missing (recomputed per sender —
+      // metadata repair above may have selected new downloads).
+      for (FileId file : receiver.wantedFiles(now)) {
+        if (budget <= 0) break;
+        const FileInfo* info = internet_.catalog().find(file);
+        if (info == nullptr || !info->alive(now) ||
+            !sender.pieces().isRegistered(file)) {
+          continue;
+        }
+        for (std::uint32_t p = 0; p < info->pieceCount(); ++p) {
+          if (budget <= 0) break;
+          if (!sender.pieces().hasPiece(file, p) ||
+              summary.mayContain(SummaryVector::pieceKey(file, p))) {
+            continue;
+          }
+          --budget;
+          ++totals_.repairRequests;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kRepairRequested;
+            event.time = now;
+            event.node = receiver.id();
+            event.peer = sender.id();
+            event.file = file;
+            event.extra = p;
+            emit(event);
+          }
+          if (faults_ != nullptr &&
+              pieceReceptionFaulted(receiver.id(), sender.id(), file, p,
+                                    true, now, session)) {
+            continue;
+          }
+          deliverPieceTo(receiver, sender.id(), file, p, *info, true, now);
+          summary.insert(SummaryVector::pieceKey(file, p));
+        }
       }
     }
   }
@@ -996,6 +1282,12 @@ void saveTotals(Serializer& out, const EngineTotals& t) {
   out.u64(t.faultContactsTruncated);
   out.u64(t.faultPiecesRejectedCorrupt);
   out.u64(t.faultNodeDownIntervals);
+  out.u64(t.recoveryFramesLost);
+  out.u64(t.recoveryRetransmits);
+  out.u64(t.recoveryRedeliveries);
+  out.u64(t.coordinatorFailovers);
+  out.u64(t.repairRequests);
+  out.u64(t.metadataEvictions);
 }
 
 void loadTotals(Deserializer& in, EngineTotals& t) {
@@ -1013,6 +1305,12 @@ void loadTotals(Deserializer& in, EngineTotals& t) {
   t.faultContactsTruncated = in.u64();
   t.faultPiecesRejectedCorrupt = in.u64();
   t.faultNodeDownIntervals = in.u64();
+  t.recoveryFramesLost = in.u64();
+  t.recoveryRetransmits = in.u64();
+  t.recoveryRedeliveries = in.u64();
+  t.coordinatorFailovers = in.u64();
+  t.repairRequests = in.u64();
+  t.metadataEvictions = in.u64();
 }
 
 }  // namespace
@@ -1025,6 +1323,9 @@ void Engine::saveComponentState(Serializer& out) const {
 
   out.boolean(faults_ != nullptr);
   if (faults_ != nullptr) faults_->saveState(out);
+
+  out.boolean(recovery_ != nullptr);
+  if (recovery_ != nullptr) recovery_->saveState(out);
 
   internet_.saveState(out);
   metrics_.saveState(out);
@@ -1064,6 +1365,14 @@ void Engine::loadComponentState(Deserializer& in) {
         "configuration");
   }
   if (faults_ != nullptr) faults_->loadState(in);
+
+  const bool hasRecovery = in.boolean();
+  if (hasRecovery != (recovery_ != nullptr)) {
+    throw SerializeError(
+        "corrupt payload: recovery-state presence does not match the engine "
+        "configuration");
+  }
+  if (recovery_ != nullptr) recovery_->loadState(in);
 
   internet_.loadState(in);
   metrics_.loadState(in);

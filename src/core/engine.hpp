@@ -19,6 +19,7 @@
 #include "src/core/metrics.hpp"
 #include "src/core/node.hpp"
 #include "src/core/protocol.hpp"
+#include "src/core/recovery.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/contact_trace.hpp"
 #include "src/util/random.hpp"
@@ -78,6 +79,10 @@ struct EngineParams {
   /// Per-node piece-storage capacity in pieces; 0 = unbounded (the paper's
   /// model). Bounded nodes evict lowest-popularity incomplete files first.
   std::size_t nodePieceCapacity = 0;
+  /// Per-node metadata-record capacity; 0 = unbounded (the paper's model).
+  /// Bounded stores shed the least-popular record (oldest first at ties)
+  /// and report each shed via the metadata_evicted event.
+  std::size_t nodeMetadataCapacity = 0;
   /// Fraction of non-access nodes that are *forgers*: each publication day
   /// they craft fake metadata mimicking the day's most popular files
   /// (copied names, inflated popularity, unverifiable authentication tags)
@@ -114,6 +119,12 @@ struct EngineParams {
   /// subsystem entirely: no plan is constructed, no extra RNG draws happen,
   /// and the run is byte-identical to one without fault support.
   faults::FaultParams faults;
+  /// Self-healing layer (contact-level retransmission, coordinator
+  /// failover, anti-entropy repair; see src/core/recovery.hpp and
+  /// docs/RECOVERY.md). All-zero/false knobs disable the subsystem
+  /// entirely: no state is constructed, no extra RNG draws happen, and the
+  /// run is byte-identical to one without recovery support.
+  RecoveryParams recovery;
   std::uint64_t seed = 42;
 
   /// Checks every field for consistency and returns one descriptive message
@@ -148,6 +159,20 @@ struct EngineTotals {
   std::uint64_t faultPiecesRejectedCorrupt = 0;
   /// Churn down intervals whose start the run has executed.
   std::uint64_t faultNodeDownIntervals = 0;
+  // Recovery accounting (all zero when recovery is disabled).
+  /// Deliverable frames lost while a reliable session was recording (each
+  /// gets at least one retransmission attempt, budget permitting).
+  std::uint64_t recoveryFramesLost = 0;
+  /// Retransmission attempts (in-contact rounds + cross-contact serves).
+  std::uint64_t recoveryRetransmits = 0;
+  /// Retransmitted frames that were stored by their receiver.
+  std::uint64_t recoveryRedeliveries = 0;
+  /// Broadcast rounds resumed under an elected successor coordinator.
+  std::uint64_t coordinatorFailovers = 0;
+  /// Anti-entropy push attempts (metadata or piece).
+  std::uint64_t repairRequests = 0;
+  /// Metadata records shed by bounded stores (capacity pressure).
+  std::uint64_t metadataEvictions = 0;
 };
 
 struct EngineResult {
@@ -233,6 +258,11 @@ class Engine {
   [[nodiscard]] const faults::FaultPlan* faultPlan() const {
     return faults_.get();
   }
+  /// Cross-contact recovery state (pending retransmissions); nullptr when
+  /// recovery is disabled.
+  [[nodiscard]] const RecoveryState* recoveryState() const {
+    return recovery_.get();
+  }
 
   // --- checkpoint/restore (src/core/checkpoint.cpp) -----------------------
 
@@ -268,15 +298,46 @@ class Engine {
   void deliverWholeFile(Node& node, FileId file, SimTime now);
   void expireNodeData(Node& node, SimTime now);
   void runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
-                         int metadataBudget);
+                         int metadataBudget, RecoverySession* session);
   void runDownloadPhase(const std::vector<Node*>& members, SimTime now,
-                        int pieceBudget);
+                        int pieceBudget, RecoverySession* session);
+  /// Draws the channel loss for one deliverable metadata frame: returns
+  /// true when the frame was lost, updating counters and emitting the
+  /// fault event. Only called when faults_ is non-null.
+  bool metadataReceptionFaulted(NodeId receiver, NodeId sender, FileId file,
+                                SimTime now);
   /// Draws the channel faults for one deliverable piece: returns true when
   /// the reception must be skipped (frame lost, or payload corrupted and
   /// rejected by its checksum), updating counters and emitting events.
-  /// Only called when faults_ is non-null.
+  /// A lost (not corrupted) frame is recorded in `session` when one is
+  /// attached. Only called when faults_ is non-null.
   bool pieceReceptionFaulted(NodeId receiver, NodeId sender, FileId file,
-                             std::uint32_t piece, SimTime now);
+                             std::uint32_t piece, bool requested, SimTime now,
+                             RecoverySession* session);
+  /// Stores one metadata record at `receiver` with full accounting
+  /// (reception counter, verification/rejection handling, credits, metrics,
+  /// events). Shared by the discovery, retransmission, and repair paths.
+  void deliverMetadataTo(Node& receiver, NodeId sender, const Metadata& md,
+                         SimTime now);
+  /// Stores one piece at `receiver` with full accounting. Shared by the
+  /// download, retransmission, and repair paths.
+  void deliverPieceTo(Node& receiver, NodeId sender, FileId file,
+                      std::uint32_t piece, const FileInfo& info,
+                      bool requested, SimTime now);
+  /// One retransmission attempt of `frame` (counted + evented): re-draws
+  /// the channel faults and delivers on success; on another loss the frame
+  /// is re-queued into `session` (when attached and retries remain).
+  void attemptRedelivery(LostFrame frame, RecoverySession* session,
+                         SimTime now);
+  /// Serves every cross-contact pending frame whose sender and receiver
+  /// both attend this contact.
+  void servePendingRecoveries(const std::vector<Node*>& members,
+                              RecoverySession* session, SimTime now);
+  /// Anti-entropy repair: receivers summarise their holdings in a Bloom
+  /// summary vector; peers push query-matching metadata and wanted pieces
+  /// the summary proves missing, under params_.recovery.repairPerContact.
+  void runRepairPhase(const std::vector<Node*>& members, SimTime now,
+                      RecoverySession* session);
   // Checkpoint internals. Component (de)serialization lives in engine.cpp
   // (it touches the file-local EngineCaches); the file format, checksum,
   // fingerprint, and schedule-replay logic live in checkpoint.cpp.
@@ -300,6 +361,8 @@ class Engine {
   /// Null when params_.faults is disabled (the zero-cost clean path: every
   /// fault site costs one pointer test, like the observer hooks).
   std::unique_ptr<faults::FaultPlan> faults_;
+  /// Null when params_.recovery is disabled (same zero-cost discipline).
+  std::unique_ptr<RecoveryState> recovery_;
   EngineTotals totals_;
   std::unique_ptr<EngineCaches> caches_;
   sim::Simulator sim_;

@@ -4,16 +4,53 @@
 
 namespace hdtn::core {
 
-bool MetadataStore::add(const Metadata& md) {
-  auto [it, inserted] = records_.try_emplace(md.file, md);
-  if (inserted) {
-    ++generation_;
-  } else if (md.popularity > it->second.popularity) {
-    // Popularity refresh reorders byPopularity(): also a mutation.
-    it->second.popularity = md.popularity;
-    ++generation_;
+std::unordered_map<FileId, Metadata>::iterator
+MetadataStore::evictionVictim() {
+  auto victim = records_.end();
+  std::uint64_t victimSeq = 0;
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    const std::uint64_t seq = seq_.at(it->first);
+    if (victim == records_.end() ||
+        it->second.popularity < victim->second.popularity ||
+        (it->second.popularity == victim->second.popularity &&
+         seq < victimSeq)) {
+      victim = it;
+      victimSeq = seq;
+    }
   }
-  return inserted;
+  return victim;
+}
+
+bool MetadataStore::add(const Metadata& md) {
+  auto it = records_.find(md.file);
+  if (it != records_.end()) {
+    if (md.popularity > it->second.popularity) {
+      // Popularity refresh reorders byPopularity(): also a mutation.
+      it->second.popularity = md.popularity;
+      ++generation_;
+    }
+    return false;
+  }
+  if (capacity_ && records_.size() >= *capacity_) {
+    auto victim = evictionVictim();
+    if (victim != records_.end() &&
+        md.popularity < victim->second.popularity) {
+      // Admission control: the incoming record would be the next victim
+      // itself, so shed it instead of churning the store.
+      if (evictionHook_) evictionHook_(md);
+      return false;
+    }
+    if (victim != records_.end()) {
+      const Metadata evicted = victim->second;
+      seq_.erase(victim->first);
+      records_.erase(victim);
+      if (evictionHook_) evictionHook_(evicted);
+    }
+  }
+  records_.emplace(md.file, md);
+  seq_.emplace(md.file, nextSeq_++);
+  ++generation_;
+  return true;
 }
 
 bool MetadataStore::has(FileId file) const { return records_.contains(file); }
@@ -24,15 +61,25 @@ const Metadata* MetadataStore::get(FileId file) const {
 }
 
 std::size_t MetadataStore::expire(SimTime now) {
-  const std::size_t dropped = std::erase_if(records_, [now](const auto& kv) {
-    return kv.second.expired(now);
-  });
+  std::size_t dropped = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.expired(now)) {
+      seq_.erase(it->first);
+      it = records_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
   if (dropped > 0) ++generation_;
   return dropped;
 }
 
 void MetadataStore::remove(FileId file) {
-  if (records_.erase(file) > 0) ++generation_;
+  if (records_.erase(file) > 0) {
+    seq_.erase(file);
+    ++generation_;
+  }
 }
 
 std::span<const Metadata* const> MetadataStore::all() const {
@@ -69,18 +116,28 @@ std::span<const Metadata* const> MetadataStore::byPopularity() const {
 void MetadataStore::saveState(Serializer& out) const {
   const auto sorted = all();
   out.u64(sorted.size());
-  for (const Metadata* md : sorted) md->saveState(out);
+  for (const Metadata* md : sorted) {
+    md->saveState(out);
+    out.u64(seq_.at(md->file));
+  }
+  out.u64(nextSeq_);
 }
 
 void MetadataStore::loadState(Deserializer& in) {
+  // Raw insertion: a restore must reproduce the saved store exactly, never
+  // re-run capacity eviction or fire the hook.
   records_.clear();
+  seq_.clear();
   ++generation_;
   const std::size_t count = in.length();
   for (std::size_t i = 0; i < count; ++i) {
     Metadata md;
     md.loadState(in);
-    add(md);
+    const std::uint64_t seq = in.u64();
+    seq_.emplace(md.file, seq);
+    records_.emplace(md.file, std::move(md));
   }
+  nextSeq_ = in.u64();
 }
 
 }  // namespace hdtn::core

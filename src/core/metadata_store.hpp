@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -25,8 +27,30 @@ namespace hdtn::core {
 
 class MetadataStore {
  public:
+  /// Unbounded store (the paper's model).
+  MetadataStore() = default;
+
+  /// Bounded store: at most `capacityRecords` records are retained. When
+  /// full, add() sheds the least-popular record (ties broken by insertion
+  /// order, oldest first — the same discipline PieceStore uses) or the
+  /// incoming record itself when it would be the victim, so overload
+  /// degrades gracefully instead of growing without bound.
+  explicit MetadataStore(std::size_t capacityRecords)
+      : capacity_(capacityRecords) {}
+
+  /// Called with every record shed by capacity pressure (stored records
+  /// evicted *and* incoming records refused admission). TTL expiry and
+  /// explicit remove() do not fire it.
+  using EvictionHook = std::function<void(const Metadata&)>;
+  void setEvictionHook(EvictionHook hook) { evictionHook_ = std::move(hook); }
+
+  [[nodiscard]] std::optional<std::size_t> capacity() const {
+    return capacity_;
+  }
+
   /// Inserts (or refreshes) a record. A refresh keeps the higher popularity
-  /// snapshot. Returns true when the record was not present before.
+  /// snapshot. Returns true when the record was not present before and was
+  /// admitted (a bounded store may shed the incoming record instead).
   bool add(const Metadata& md);
 
   [[nodiscard]] bool has(FileId file) const;
@@ -60,7 +84,18 @@ class MetadataStore {
     std::vector<const Metadata*> items;
   };
 
+  /// The stored record with the lowest (popularity, seq) — the next capacity
+  /// victim. end() when empty. Total order: seqs are unique.
+  [[nodiscard]] std::unordered_map<FileId, Metadata>::iterator
+  evictionVictim();
+
   std::unordered_map<FileId, Metadata> records_;
+  /// Insertion order per record (eviction tie-break); kept alongside
+  /// records_ so the cached views stay pointers into records_.
+  std::unordered_map<FileId, std::uint64_t> seq_;
+  std::uint64_t nextSeq_ = 1;
+  std::optional<std::size_t> capacity_;
+  EvictionHook evictionHook_;
   // Generation 0 means "no view built yet"; every mutation bumps it, so a
   // view stamped with the current generation is exact.
   std::uint64_t generation_ = 1;

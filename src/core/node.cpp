@@ -10,6 +10,9 @@ namespace hdtn::core {
 Node::Node(NodeId id, NodeOptions options)
     : id_(id),
       options_(options),
+      metadata_(options.metadataCapacity > 0
+                    ? MetadataStore(options.metadataCapacity)
+                    : MetadataStore()),
       pieces_(options.pieceCapacity > 0 ? PieceStore(options.pieceCapacity)
                                         : PieceStore()) {}
 
@@ -88,6 +91,9 @@ std::vector<QueryId> Node::acceptMetadata(const Metadata& md, SimTime now) {
   }
   touch();
   metadata_.add(md);
+  // A bounded store may shed the incoming record under capacity pressure;
+  // a record that was never stored must not be selected for download.
+  if (!metadata_.has(md.file)) return selected;
   for (QueryState& qs : queries_) {
     if (qs.metadataFound || qs.query.expired(now)) continue;
     if (!queryTokensMatch(qs.tokens, md)) continue;

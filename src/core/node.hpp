@@ -37,6 +37,9 @@ struct NodeOptions {
   /// Piece-storage capacity in pieces; 0 = unbounded (the paper's model).
   /// Bounded stores evict pieces of the lowest-popularity incomplete file.
   std::size_t pieceCapacity = 0;
+  /// Metadata-record capacity; 0 = unbounded. Bounded stores shed the
+  /// least-popular record (oldest first at ties) under capacity pressure.
+  std::size_t metadataCapacity = 0;
   /// Forgers inject fake metadata mimicking popular files (threat model).
   bool forger = false;
 };

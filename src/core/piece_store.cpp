@@ -11,6 +11,7 @@ bool PieceStore::registerFile(FileId file, std::uint32_t pieceCount) {
   auto [it, inserted] = entries_.try_emplace(file);
   if (inserted) {
     it->second.have.assign(pieceCount, false);
+    it->second.seq = nextSeq_++;
     return true;
   }
   return it->second.have.size() == pieceCount;
@@ -113,7 +114,14 @@ void PieceStore::evictOnePiece() {
   const Entry* victimEntry = nullptr;
   FileId victim;
   auto better = [](const Entry& candidate, const Entry* incumbent) {
-    return incumbent == nullptr || candidate.priority < incumbent->priority;
+    if (incumbent == nullptr) return true;
+    if (candidate.priority != incumbent->priority) {
+      return candidate.priority < incumbent->priority;
+    }
+    // Equal priority: evict the oldest registration. The seq tie-break is
+    // total (seqs are unique), so victim choice is independent of hash-map
+    // iteration order — checkpoint determinism depends on this.
+    return candidate.seq < incumbent->seq;
   };
   for (const auto& [file, e] : entries_) {
     if (e.held == 0 || e.held == e.have.size()) continue;
@@ -155,7 +163,9 @@ void PieceStore::saveState(Serializer& out) const {
       out.boolean(e.have[p]);
     }
     out.f64(e.priority);
+    out.u64(e.seq);
   }
+  out.u64(nextSeq_);
 }
 
 void PieceStore::loadState(Deserializer& in) {
@@ -172,9 +182,11 @@ void PieceStore::loadState(Deserializer& in) {
       if (held) ++e.held;
     }
     e.priority = in.f64();
+    e.seq = in.u64();
     totalHeld_ += e.held;
     entries_.emplace(file, std::move(e));
   }
+  nextSeq_ = in.u64();
 }
 
 }  // namespace hdtn::core

@@ -63,8 +63,10 @@ class PieceStore {
   /// longer). Typically the file's popularity.
   void setPriority(FileId file, double priority);
 
-  /// Checkpoints every registered file's bitmap and priority (file-id
-  /// ascending). The capacity bound is construction state, not serialized.
+  /// Checkpoints every registered file's bitmap, priority, and registration
+  /// seq (file-id ascending) — seq included so a restored store picks the
+  /// same eviction victims. The capacity bound is construction state, not
+  /// serialized.
   void saveState(Serializer& out) const;
   void loadState(Deserializer& in);
 
@@ -73,12 +75,17 @@ class PieceStore {
     std::vector<bool> have;
     std::uint32_t held = 0;
     double priority = 0.0;
+    /// Registration order; breaks eviction ties at equal priority
+    /// (insertion-ascending) so victim choice never depends on hash-map
+    /// iteration order.
+    std::uint64_t seq = 0;
   };
 
   void evictOnePiece();
 
   std::unordered_map<FileId, Entry> entries_;
   std::size_t totalHeld_ = 0;
+  std::uint64_t nextSeq_ = 1;
   std::optional<std::size_t> capacity_;
 };
 

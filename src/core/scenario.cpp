@@ -131,6 +131,9 @@ const std::vector<std::string>& Scenario::knownKeys() {
       "loss-rate", "truncation-rate", "truncation-keep-min",
       "truncation-keep-max", "corruption-rate", "churn-fraction",
       "churn-downtime-hours",
+      // recovery layer (docs/RECOVERY.md)
+      "recovery-retries", "recovery-retransmit-budget", "recovery-repair",
+      "recovery-queue-limit", "recovery-failover", "md-capacity",
       // outputs
       "events-out", "timeseries-out", "sample-every",
       // checkpoint/resume (docs/CHECKPOINT.md)
@@ -283,6 +286,26 @@ std::string Scenario::apply(const std::string& key, const std::string& value) {
     if (!(err = asDouble(&d)).empty()) return err;
     if (d <= 0.0) return badValue(key, value, "a positive number of hours");
     params.faults.churnMeanDowntime = static_cast<Duration>(d * kHour);
+  } else if (key == "recovery-retries") {
+    if (!(err = asInt(&i)).empty()) return err;
+    params.recovery.maxRetries = static_cast<int>(i);
+  } else if (key == "recovery-retransmit-budget") {
+    if (!(err = asInt(&i)).empty()) return err;
+    params.recovery.retransmitBudget = static_cast<int>(i);
+  } else if (key == "recovery-repair") {
+    if (!(err = asInt(&i)).empty()) return err;
+    params.recovery.repairPerContact = static_cast<int>(i);
+  } else if (key == "recovery-queue-limit") {
+    if (!(err = asInt(&i)).empty()) return err;
+    if (i < 1) return badValue(key, value, "a positive integer");
+    params.recovery.repairQueueLimit = static_cast<std::size_t>(i);
+  } else if (key == "recovery-failover") {
+    if (!(err = asBool(&b)).empty()) return err;
+    params.recovery.coordinatorFailover = b;
+  } else if (key == "md-capacity") {
+    if (!(err = asInt(&i)).empty()) return err;
+    if (i < 0) return badValue(key, value, "a non-negative integer");
+    params.nodeMetadataCapacity = static_cast<std::size_t>(i);
   } else if (key == "events-out") {
     eventsOut = value;
   } else if (key == "timeseries-out") {
@@ -467,6 +490,26 @@ ScenarioBuilder& ScenarioBuilder::churn(double downFraction,
                                         Duration meanDowntime) {
   scenario_.params.faults.churnDownFraction = downFraction;
   scenario_.params.faults.churnMeanDowntime = meanDowntime;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recovery(RecoveryParams params) {
+  scenario_.params.recovery = params;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recoveryRetries(int maxRetries) {
+  scenario_.params.recovery.maxRetries = maxRetries;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recoveryRepair(int perContact) {
+  scenario_.params.recovery.repairPerContact = perContact;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::recoveryFailover(bool enabled) {
+  scenario_.params.recovery.coordinatorFailover = enabled;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::metadataCapacity(std::size_t records) {
+  scenario_.params.nodeMetadataCapacity = records;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::eventsOut(std::string path) {

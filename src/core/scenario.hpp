@@ -145,6 +145,11 @@ class ScenarioBuilder {
   ScenarioBuilder& contactTruncationRate(double rate);
   ScenarioBuilder& pieceCorruptionRate(double rate);
   ScenarioBuilder& churn(double downFraction, Duration meanDowntime);
+  ScenarioBuilder& recovery(RecoveryParams params);
+  ScenarioBuilder& recoveryRetries(int maxRetries);
+  ScenarioBuilder& recoveryRepair(int perContact);
+  ScenarioBuilder& recoveryFailover(bool enabled);
+  ScenarioBuilder& metadataCapacity(std::size_t records);
   ScenarioBuilder& eventsOut(std::string path);
   ScenarioBuilder& timeseriesOut(std::string path, Duration sampleEvery);
   /// Generic escape hatch onto Scenario::apply(); errors surface in build().

@@ -11,15 +11,34 @@ bool writeHeader(Encoder& enc, WireKind kind) {
   return true;
 }
 
-// Reads and validates the version + expected kind.
-bool readHeader(Decoder& dec, WireKind expected) {
+// Reads and validates the version + expected kind; kNone on success.
+DecodeError readHeader(Decoder& dec, WireKind expected) {
   const auto version = dec.readVarint();
-  if (!version || *version != kCodecVersion) return false;
+  if (!version) return dec.error();
+  if (*version != kCodecVersion) return DecodeError::kBadVersion;
   const auto kind = dec.readVarint();
-  return kind && *kind == static_cast<std::uint64_t>(expected);
+  if (!kind) return dec.error();
+  if (*kind != static_cast<std::uint64_t>(expected)) {
+    return DecodeError::kBadKind;
+  }
+  return DecodeError::kNone;
 }
 
 }  // namespace
+
+const char* decodeErrorName(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone: return "ok";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kBadVersion: return "bad-version";
+    case DecodeError::kBadKind: return "bad-kind";
+    case DecodeError::kOverflow: return "overflow";
+    case DecodeError::kLimitExceeded: return "limit-exceeded";
+    case DecodeError::kTrailingBytes: return "trailing-bytes";
+    case DecodeError::kBadValue: return "bad-value";
+  }
+  return "unknown";
+}
 
 void Encoder::writeVarint(std::uint64_t value) {
   while (value >= 0x80) {
@@ -48,20 +67,22 @@ std::optional<std::uint64_t> Decoder::readVarint() {
   int shift = 0;
   while (offset_ < data_.size()) {
     const std::uint8_t byte = data_[offset_++];
-    if (shift >= 63 && (byte & 0x7f) > 1) return std::nullopt;  // overflow
+    if (shift >= 63 && (byte & 0x7f) > 1) {
+      return fail(DecodeError::kOverflow);
+    }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return value;
     shift += 7;
-    if (shift > 63) return std::nullopt;
+    if (shift > 63) return fail(DecodeError::kOverflow);
   }
-  return std::nullopt;  // truncated
+  return fail(DecodeError::kTruncated);
 }
 
 std::optional<std::string> Decoder::readString(std::size_t maxLength) {
   const auto length = readVarint();
-  if (!length || *length > maxLength || *length > remaining()) {
-    return std::nullopt;
-  }
+  if (!length) return std::nullopt;
+  if (*length > maxLength) return fail(DecodeError::kLimitExceeded);
+  if (*length > remaining()) return fail(DecodeError::kTruncated);
   std::string out(reinterpret_cast<const char*>(data_.data() + offset_),
                   static_cast<std::size_t>(*length));
   offset_ += static_cast<std::size_t>(*length);
@@ -70,9 +91,9 @@ std::optional<std::string> Decoder::readString(std::size_t maxLength) {
 
 std::optional<Bytes> Decoder::readBlob(std::size_t maxLength) {
   const auto length = readVarint();
-  if (!length || *length > maxLength || *length > remaining()) {
-    return std::nullopt;
-  }
+  if (!length) return std::nullopt;
+  if (*length > maxLength) return fail(DecodeError::kLimitExceeded);
+  if (*length > remaining()) return fail(DecodeError::kTruncated);
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
             data_.begin() + static_cast<std::ptrdiff_t>(offset_) +
                 static_cast<std::ptrdiff_t>(*length));
@@ -81,7 +102,7 @@ std::optional<Bytes> Decoder::readBlob(std::size_t maxLength) {
 }
 
 std::optional<Sha1Digest> Decoder::readDigest() {
-  if (remaining() < 20) return std::nullopt;
+  if (remaining() < 20) return fail(DecodeError::kTruncated);
   Sha1Digest digest;
   std::copy(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
             data_.begin() + static_cast<std::ptrdiff_t>(offset_) + 20,
@@ -103,56 +124,73 @@ Bytes encodeHello(const HelloMessage& hello) {
   return enc.take();
 }
 
-std::optional<WireKind> peekKind(std::span<const std::uint8_t> frame) {
+DecodeResult<WireKind> peekKind(std::span<const std::uint8_t> frame) {
   Decoder dec(frame);
   const auto version = dec.readVarint();
-  if (!version || *version != kCodecVersion) return std::nullopt;
+  if (!version) return {std::nullopt, dec.error()};
+  if (*version != kCodecVersion) {
+    return {std::nullopt, DecodeError::kBadVersion};
+  }
   const auto kind = dec.readVarint();
-  if (!kind) return std::nullopt;
+  if (!kind) return {std::nullopt, dec.error()};
   switch (*kind) {
     case static_cast<std::uint64_t>(WireKind::kHello):
-      return WireKind::kHello;
+      return {WireKind::kHello};
     case static_cast<std::uint64_t>(WireKind::kMetadata):
-      return WireKind::kMetadata;
+      return {WireKind::kMetadata};
     case static_cast<std::uint64_t>(WireKind::kPiece):
-      return WireKind::kPiece;
+      return {WireKind::kPiece};
     default:
-      return std::nullopt;
+      return {std::nullopt, DecodeError::kBadKind};
   }
 }
 
-std::optional<HelloMessage> decodeHello(std::span<const std::uint8_t> frame) {
+DecodeResult<HelloMessage> decodeHello(std::span<const std::uint8_t> frame) {
   Decoder dec(frame);
-  if (!readHeader(dec, WireKind::kHello)) return std::nullopt;
+  if (const DecodeError err = readHeader(dec, WireKind::kHello);
+      err != DecodeError::kNone) {
+    return {std::nullopt, err};
+  }
   HelloMessage hello;
   const auto sender = dec.readVarint();
-  if (!sender || *sender > kInvalidId) return std::nullopt;
+  if (!sender) return {std::nullopt, dec.error()};
+  if (*sender > kInvalidId) return {std::nullopt, DecodeError::kBadValue};
   hello.sender = NodeId(static_cast<std::uint32_t>(*sender));
   const auto neighborCount = dec.readVarint();
-  if (!neighborCount || *neighborCount > dec.remaining()) {
-    return std::nullopt;
+  if (!neighborCount) return {std::nullopt, dec.error()};
+  // Every list element costs at least one byte, so a count above the bytes
+  // left proves truncation without allocating for the claimed size.
+  if (*neighborCount > dec.remaining()) {
+    return {std::nullopt, DecodeError::kTruncated};
   }
   for (std::uint64_t i = 0; i < *neighborCount; ++i) {
     const auto n = dec.readVarint();
-    if (!n || *n > kInvalidId) return std::nullopt;
+    if (!n) return {std::nullopt, dec.error()};
+    if (*n > kInvalidId) return {std::nullopt, DecodeError::kBadValue};
     hello.heardNeighbors.emplace_back(static_cast<std::uint32_t>(*n));
   }
   const auto queryCount = dec.readVarint();
-  if (!queryCount || *queryCount > dec.remaining()) return std::nullopt;
+  if (!queryCount) return {std::nullopt, dec.error()};
+  if (*queryCount > dec.remaining()) {
+    return {std::nullopt, DecodeError::kTruncated};
+  }
   for (std::uint64_t i = 0; i < *queryCount; ++i) {
     auto q = dec.readString();
-    if (!q) return std::nullopt;
+    if (!q) return {std::nullopt, dec.error()};
     hello.queries.push_back(std::move(*q));
   }
   const auto uriCount = dec.readVarint();
-  if (!uriCount || *uriCount > dec.remaining()) return std::nullopt;
+  if (!uriCount) return {std::nullopt, dec.error()};
+  if (*uriCount > dec.remaining()) {
+    return {std::nullopt, DecodeError::kTruncated};
+  }
   for (std::uint64_t i = 0; i < *uriCount; ++i) {
     auto u = dec.readString();
-    if (!u) return std::nullopt;
+    if (!u) return {std::nullopt, dec.error()};
     hello.wantedUris.push_back(std::move(*u));
   }
-  if (!dec.atEnd()) return std::nullopt;  // trailing garbage
-  return hello;
+  if (!dec.atEnd()) return {std::nullopt, DecodeError::kTrailingBytes};
+  return {std::move(hello)};
 }
 
 Bytes encodeMetadata(const core::Metadata& metadata) {
@@ -178,54 +216,66 @@ Bytes encodeMetadata(const core::Metadata& metadata) {
   return enc.take();
 }
 
-std::optional<core::Metadata> decodeMetadata(
+DecodeResult<core::Metadata> decodeMetadata(
     std::span<const std::uint8_t> frame) {
   Decoder dec(frame);
-  if (!readHeader(dec, WireKind::kMetadata)) return std::nullopt;
+  if (const DecodeError err = readHeader(dec, WireKind::kMetadata);
+      err != DecodeError::kNone) {
+    return {std::nullopt, err};
+  }
   core::Metadata md;
   const auto file = dec.readVarint();
-  if (!file || *file > kInvalidId) return std::nullopt;
+  if (!file) return {std::nullopt, dec.error()};
+  if (*file > kInvalidId) return {std::nullopt, DecodeError::kBadValue};
   md.file = FileId(static_cast<std::uint32_t>(*file));
   auto name = dec.readString();
   auto publisher = dec.readString();
   auto description = dec.readString();
   auto uri = dec.readString();
-  if (!name || !publisher || !description || !uri) return std::nullopt;
+  if (!name || !publisher || !description || !uri) {
+    return {std::nullopt, dec.error()};
+  }
   md.name = std::move(*name);
   md.publisher = std::move(*publisher);
   md.description = std::move(*description);
   md.uri = std::move(*uri);
   const auto sizeBytes = dec.readVarint();
   const auto pieceSize = dec.readVarint();
-  if (!sizeBytes || !pieceSize || *pieceSize > 0xffffffffull) {
-    return std::nullopt;
+  if (!sizeBytes || !pieceSize) return {std::nullopt, dec.error()};
+  if (*pieceSize > 0xffffffffull) {
+    return {std::nullopt, DecodeError::kBadValue};
   }
   md.sizeBytes = *sizeBytes;
   md.pieceSizeBytes = static_cast<std::uint32_t>(*pieceSize);
   const auto checksumCount = dec.readVarint();
-  if (!checksumCount || *checksumCount * 20 > dec.remaining()) {
-    return std::nullopt;
+  if (!checksumCount) return {std::nullopt, dec.error()};
+  // Digests are fixed 20-byte records; cap the count by the bytes left
+  // before reserving anything (the *20 cannot overflow: count <= 2^64/20
+  // is implied by the remaining() bound on a real buffer).
+  if (*checksumCount > dec.remaining() / 20) {
+    return {std::nullopt, DecodeError::kTruncated};
   }
   for (std::uint64_t i = 0; i < *checksumCount; ++i) {
     const auto digest = dec.readDigest();
-    if (!digest) return std::nullopt;
+    if (!digest) return {std::nullopt, dec.error()};
     md.pieceChecksums.push_back(*digest);
   }
   const auto authTag = dec.readDigest();
-  if (!authTag) return std::nullopt;
+  if (!authTag) return {std::nullopt, dec.error()};
   md.authTag = *authTag;
   const auto popularity = dec.readVarint();
   const auto publishedAt = dec.readVarint();
   const auto ttl = dec.readVarint();
-  if (!popularity || !publishedAt || !ttl || *popularity > 1'000'000) {
-    return std::nullopt;
+  if (!popularity || !publishedAt || !ttl) {
+    return {std::nullopt, dec.error()};
   }
+  if (*popularity > 1'000'000) return {std::nullopt, DecodeError::kBadValue};
   md.popularity = static_cast<double>(*popularity) / 1'000'000.0;
   md.publishedAt = static_cast<SimTime>(*publishedAt);
   md.ttl = static_cast<Duration>(*ttl);
-  if (!dec.atEnd()) return std::nullopt;
+  if (!dec.atEnd()) return {std::nullopt, DecodeError::kTrailingBytes};
   md.rebuildKeywords();  // derived field, not on the wire
-  return md;
+  return {std::move(md)};
 }
 
 Bytes encodePiece(const PieceMessage& piece,
@@ -239,25 +289,30 @@ Bytes encodePiece(const PieceMessage& piece,
   return enc.take();
 }
 
-std::optional<DecodedPiece> decodePiece(
+DecodeResult<DecodedPiece> decodePiece(
     std::span<const std::uint8_t> frame) {
   Decoder dec(frame);
-  if (!readHeader(dec, WireKind::kPiece)) return std::nullopt;
+  if (const DecodeError err = readHeader(dec, WireKind::kPiece);
+      err != DecodeError::kNone) {
+    return {std::nullopt, err};
+  }
   DecodedPiece out;
   const auto sender = dec.readVarint();
   const auto file = dec.readVarint();
   const auto index = dec.readVarint();
-  if (!sender || !file || !index || *sender > kInvalidId ||
-      *file > kInvalidId || *index > 0xffffffffull) {
-    return std::nullopt;
+  if (!sender || !file || !index) return {std::nullopt, dec.error()};
+  if (*sender > kInvalidId || *file > kInvalidId ||
+      *index > 0xffffffffull) {
+    return {std::nullopt, DecodeError::kBadValue};
   }
   out.header.sender = NodeId(static_cast<std::uint32_t>(*sender));
   out.header.file = FileId(static_cast<std::uint32_t>(*file));
   out.header.pieceIndex = static_cast<std::uint32_t>(*index);
   auto payload = dec.readBlob();
-  if (!payload || !dec.atEnd()) return std::nullopt;
+  if (!payload) return {std::nullopt, dec.error()};
+  if (!dec.atEnd()) return {std::nullopt, DecodeError::kTrailingBytes};
   out.payload = std::move(*payload);
-  return out;
+  return {std::move(out)};
 }
 
 }  // namespace hdtn::net

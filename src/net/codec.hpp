@@ -36,7 +36,43 @@ class Encoder {
   Bytes buffer_;
 };
 
-/// Bounds-checked decoder; every read reports failure via std::optional.
+/// Why a decode failed. Every malformed input maps to exactly one typed
+/// cause — decoding never invokes UB and never returns a partial message.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,        ///< success
+  kTruncated,       ///< input ended before the message did
+  kBadVersion,      ///< version byte is not kCodecVersion
+  kBadKind,         ///< kind tag unknown or not the expected message
+  kOverflow,        ///< varint wider than 64 bits
+  kLimitExceeded,   ///< length prefix above the caller's cap
+  kTrailingBytes,   ///< well-formed message followed by garbage
+  kBadValue,        ///< field decoded but out of its legal range
+};
+
+/// Stable lower-case name ("truncated", "bad-version", ...) for logs.
+[[nodiscard]] const char* decodeErrorName(DecodeError error);
+
+/// A decoded message or the typed reason it failed. Optional-compatible
+/// (operator bool / * / -> / has_value) so it reads like the std::optional
+/// it replaced, with `error()` for diagnostics.
+template <typename T>
+struct DecodeResult {
+  std::optional<T> value;
+  DecodeError error = DecodeError::kNone;
+
+  [[nodiscard]] bool has_value() const { return value.has_value(); }
+  explicit operator bool() const { return value.has_value(); }
+  [[nodiscard]] T& operator*() { return *value; }
+  [[nodiscard]] const T& operator*() const { return *value; }
+  [[nodiscard]] T* operator->() { return &*value; }
+  [[nodiscard]] const T* operator->() const { return &*value; }
+  friend bool operator==(const DecodeResult& r, const T& expected) {
+    return r.value == expected;
+  }
+};
+
+/// Bounds-checked decoder; every read reports failure via std::optional and
+/// records the typed cause (error() keeps the first failure).
 class Decoder {
  public:
   explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
@@ -52,10 +88,18 @@ class Decoder {
   [[nodiscard]] std::size_t remaining() const {
     return data_.size() - offset_;
   }
+  /// First failure seen by any read; kNone while all reads succeeded.
+  [[nodiscard]] DecodeError error() const { return error_; }
 
  private:
+  std::nullopt_t fail(DecodeError error) {
+    if (error_ == DecodeError::kNone) error_ = error;
+    return std::nullopt;
+  }
+
   std::span<const std::uint8_t> data_;
   std::size_t offset_ = 0;
+  DecodeError error_ = DecodeError::kNone;
 };
 
 /// Message kind tags on the wire.
@@ -77,21 +121,24 @@ inline constexpr std::uint8_t kCodecVersion = 1;
                                 std::span<const std::uint8_t> payload);
 
 // --- frame decoders -------------------------------------------------------
+//
+// Each decoder returns the message or the typed reason it was rejected;
+// a failed result never carries a partially-populated message.
 
-/// Peeks the kind of a frame without consuming it. nullopt on malformed.
-[[nodiscard]] std::optional<WireKind> peekKind(
+/// Peeks the kind of a frame without consuming it.
+[[nodiscard]] DecodeResult<WireKind> peekKind(
     std::span<const std::uint8_t> frame);
 
-[[nodiscard]] std::optional<HelloMessage> decodeHello(
+[[nodiscard]] DecodeResult<HelloMessage> decodeHello(
     std::span<const std::uint8_t> frame);
-[[nodiscard]] std::optional<core::Metadata> decodeMetadata(
+[[nodiscard]] DecodeResult<core::Metadata> decodeMetadata(
     std::span<const std::uint8_t> frame);
 
 struct DecodedPiece {
   PieceMessage header;
   Bytes payload;
 };
-[[nodiscard]] std::optional<DecodedPiece> decodePiece(
+[[nodiscard]] DecodeResult<DecodedPiece> decodePiece(
     std::span<const std::uint8_t> frame);
 
 }  // namespace hdtn::net

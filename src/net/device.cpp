@@ -63,12 +63,16 @@ RxOutcome Device::receive(std::span<const std::uint8_t> frame, SimTime now) {
     ++counts_[outcomeIndex(outcome)];
     return outcome;
   };
+  const auto malformed = [this, &record](DecodeError error) {
+    lastDecodeError_ = error;
+    return record(RxOutcome::kMalformed);
+  };
   const auto kind = peekKind(frame);
-  if (!kind) return record(RxOutcome::kMalformed);
+  if (!kind) return malformed(kind.error);
   switch (*kind) {
     case WireKind::kHello: {
       const auto hello = decodeHello(frame);
-      if (!hello) return record(RxOutcome::kMalformed);
+      if (!hello) return malformed(hello.error);
       heard_[hello->sender] = now;
       node_.storePeerQueries(hello->sender, hello->queries, now);
       node_.storePeerWants(hello->wantedUris, now);
@@ -76,7 +80,7 @@ RxOutcome Device::receive(std::span<const std::uint8_t> frame, SimTime now) {
     }
     case WireKind::kMetadata: {
       const auto md = decodeMetadata(frame);
-      if (!md) return record(RxOutcome::kMalformed);
+      if (!md) return malformed(md.error);
       if (node_.metadata().has(md->file)) {
         return record(RxOutcome::kMetadataDuplicate);
       }
@@ -89,7 +93,7 @@ RxOutcome Device::receive(std::span<const std::uint8_t> frame, SimTime now) {
     }
     case WireKind::kPiece: {
       const auto piece = decodePiece(frame);
-      if (!piece) return record(RxOutcome::kMalformed);
+      if (!piece) return malformed(piece.error);
       const core::Metadata* md = node_.metadata().get(piece->header.file);
       if (md == nullptr) {
         // Without metadata there is no checksum to verify against; a

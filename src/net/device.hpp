@@ -72,10 +72,18 @@ class Device {
   /// Telemetry counters, indexed by RxOutcome.
   [[nodiscard]] std::uint64_t outcomeCount(RxOutcome outcome) const;
 
+  /// Typed cause of the most recent kMalformed outcome (kNone before the
+  /// first one). Diagnostic only: a radio log can say *why* a frame was
+  /// rejected without the device keeping the frame around.
+  [[nodiscard]] DecodeError lastDecodeError() const {
+    return lastDecodeError_;
+  }
+
  private:
   core::Node node_;
   const core::PublisherRegistry* registry_;
   std::uint64_t counts_[9] = {};
+  DecodeError lastDecodeError_ = DecodeError::kNone;
   // Last-heard times for the hello neighbor window.
   std::unordered_map<NodeId, SimTime> heard_;
 };

@@ -40,6 +40,14 @@ const char* simEventTypeName(SimEventType type) {
       return "node_down";
     case SimEventType::kNodeUp:
       return "node_up";
+    case SimEventType::kRetransmit:
+      return "retransmit";
+    case SimEventType::kCoordinatorFailover:
+      return "coordinator_failover";
+    case SimEventType::kRepairRequested:
+      return "repair_requested";
+    case SimEventType::kMetadataEvicted:
+      return "metadata_evicted";
   }
   return "unknown";
 }

@@ -43,9 +43,16 @@ enum class SimEventType : std::uint8_t {
   kPieceRejectedCorrupt,  ///< piece failed its checksum on reception
   kNodeDown,           ///< churn: node switched off; value = interval length
   kNodeUp,             ///< churn: node switched back on
+  kRetransmit,         ///< recovery resent a lost frame; extra = piece index
+                       ///< (0xffffffff for a metadata frame)
+  kCoordinatorFailover,  ///< clique coordinator churned down mid-round; node
+                         ///< = elected successor, peer = failed coordinator
+  kRepairRequested,    ///< anti-entropy push attempt; extra = piece index
+                       ///< (0xffffffff for a metadata frame)
+  kMetadataEvicted,    ///< bounded store shed a record; value = popularity
 };
 
-inline constexpr std::size_t kSimEventTypeCount = 18;
+inline constexpr std::size_t kSimEventTypeCount = 22;
 
 /// Stable snake_case name of an event type (JSONL traces, schemas).
 [[nodiscard]] const char* simEventTypeName(SimEventType type);

@@ -1,0 +1,135 @@
+// Randomized chaos soak for the self-healing layer: 100 independently
+// seeded fault mixes (loss x truncation x corruption x churn) with random
+// recovery configurations, each run asserting the structural invariants
+// that must hold no matter what the fault plan does:
+//
+//   * churn symmetry     — every node_down is matched by a node_up;
+//   * no double delivery — a (node, file, piece) is stored at most once;
+//   * retransmit cover   — with an ample budget, retransmission attempts
+//                          never undercount the losses that caused them;
+//   * bounded stores     — capped metadata stores never exceed capacity;
+//   * sane ratios        — delivery ratios stay inside [0, 1].
+//
+// The mix parameters are drawn from a dedicated Rng (seeded once), so the
+// whole soak is deterministic and a failure names its mix index and seed.
+// The trace is kept small on purpose: breadth over depth — the sanitizer
+// job runs this same binary under ASan/UBSan, which is where decode and
+// bookkeeping bugs shaken loose by weird mixes actually get caught.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+
+#include "src/core/engine.hpp"
+#include "src/obs/events.hpp"
+#include "src/trace/nus.hpp"
+#include "src/util/random.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+namespace {
+
+// Records every piece delivery so duplicates are attributable.
+class PieceLedger final : public obs::EngineObserver {
+ public:
+  void onEvent(const obs::SimEvent& event) override {
+    if (event.type != obs::SimEventType::kPieceReceived) return;
+    ++received_;
+    const auto key = std::make_tuple(event.node.value, event.file.value,
+                                     event.extra);
+    if (!seen_.insert(key).second) ++duplicates_;
+  }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> seen_;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+TEST(ChaosSoak, HundredRandomFaultMixesKeepInvariants) {
+  trace::NusParams tp;
+  tp.students = 30;
+  tp.courses = 6;
+  tp.coursesPerStudent = 2;
+  tp.days = 3;
+  tp.attendanceRate = 0.9;
+  tp.seed = 11;
+  const auto trace = trace::generateNus(tp);
+
+  Rng mixRng(0xC4A05u);
+  for (int mix = 0; mix < 100; ++mix) {
+    EngineParams params;
+    params.protocol.kind = ProtocolKind::kMbtQm;
+    params.internetAccessFraction = 0.3;
+    params.newFilesPerDay = 10;
+    params.fileTtlDays = 2;
+    params.frequentContactPeriod = kDay;
+    params.seed = 1000 + static_cast<std::uint64_t>(mix);
+
+    params.faults.messageLossRate = 0.5 * mixRng.uniform();
+    params.faults.contactTruncationRate = 0.5 * mixRng.uniform();
+    params.faults.pieceCorruptionRate = 0.3 * mixRng.uniform();
+    params.faults.churnDownFraction = 0.3 * mixRng.uniform();
+    params.faults.churnMeanDowntime = 1 * kHour + static_cast<SimTime>(
+        mixRng.pickIndex(8) * kHour);
+
+    params.recovery.maxRetries = 1 + static_cast<int>(mixRng.pickIndex(3));
+    // Ample budget: the retransmit-cover invariant only holds when budget
+    // exhaustion cannot silently swallow first attempts.
+    params.recovery.retransmitBudget = 1 << 20;
+    params.recovery.repairPerContact = static_cast<int>(mixRng.pickIndex(9));
+    params.recovery.coordinatorFailover = mixRng.chance(0.5);
+    params.nodeMetadataCapacity =
+        mixRng.chance(0.5) ? 0 : 8 + mixRng.pickIndex(24);
+
+    SCOPED_TRACE("mix " + std::to_string(mix) + " seed " +
+                 std::to_string(params.seed) + " loss " +
+                 std::to_string(params.faults.messageLossRate) + " trunc " +
+                 std::to_string(params.faults.contactTruncationRate) +
+                 " corrupt " +
+                 std::to_string(params.faults.pieceCorruptionRate) +
+                 " churn " + std::to_string(params.faults.churnDownFraction));
+
+    obs::CountingObserver counter;
+    PieceLedger ledger;
+    obs::MulticastObserver fanout;
+    fanout.add(&counter);
+    fanout.add(&ledger);
+    Engine engine(trace, params);
+    engine.setObserver(&fanout);
+    const auto result = engine.run();
+
+    // Churn symmetry: the engine closes every down interval it opened.
+    EXPECT_EQ(counter.count(obs::SimEventType::kNodeDown),
+              counter.count(obs::SimEventType::kNodeUp));
+    // No double delivery, even through retransmission + repair paths.
+    EXPECT_EQ(ledger.duplicates(), 0u);
+    EXPECT_EQ(ledger.received(), result.totals.pieceReceptions);
+    // Retransmit cover (ample budget).
+    EXPECT_GE(result.totals.recoveryRetransmits,
+              result.totals.recoveryFramesLost);
+    // Bounded stores stay bounded.
+    if (params.nodeMetadataCapacity > 0) {
+      for (std::size_t i = 0; i < engine.nodeCount(); ++i) {
+        EXPECT_LE(engine.node(NodeId(static_cast<std::uint32_t>(i)))
+                      .metadata()
+                      .size(),
+                  params.nodeMetadataCapacity);
+      }
+    } else {
+      EXPECT_EQ(result.totals.metadataEvictions, 0u);
+    }
+    // Sane ratios.
+    EXPECT_GE(result.delivery.fileRatio, 0.0);
+    EXPECT_LE(result.delivery.fileRatio, 1.0);
+    EXPECT_GE(result.delivery.metadataRatio, 0.0);
+    EXPECT_LE(result.delivery.metadataRatio, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -103,6 +103,12 @@ void expectSameResult(const EngineResult& a, const EngineResult& b) {
   EXPECT_EQ(a.totals.faultPiecesRejectedCorrupt,
             b.totals.faultPiecesRejectedCorrupt);
   EXPECT_EQ(a.totals.faultNodeDownIntervals, b.totals.faultNodeDownIntervals);
+  EXPECT_EQ(a.totals.recoveryFramesLost, b.totals.recoveryFramesLost);
+  EXPECT_EQ(a.totals.recoveryRetransmits, b.totals.recoveryRetransmits);
+  EXPECT_EQ(a.totals.recoveryRedeliveries, b.totals.recoveryRedeliveries);
+  EXPECT_EQ(a.totals.coordinatorFailovers, b.totals.coordinatorFailovers);
+  EXPECT_EQ(a.totals.repairRequests, b.totals.repairRequests);
+  EXPECT_EQ(a.totals.metadataEvictions, b.totals.metadataEvictions);
 }
 
 /// Saves at step boundary k, restores into a fresh engine, finishes, and
@@ -173,6 +179,62 @@ TEST(Checkpoint, ByteIdenticalDieselNetWithFaults) {
   checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQ, true), "dn_mbtq_f");
   checkAllBoundaries(trace, paramsFor(ProtocolKind::kMbtQm, true),
                      "dn_mbtqm_f");
+}
+
+EngineParams paramsWithRecovery() {
+  EngineParams params = paramsFor(ProtocolKind::kMbtQm, true);
+  params.recovery.maxRetries = 2;
+  // Deliberately tiny in-contact budget: most noted losses spill into the
+  // cross-contact pending queue, so checkpoints routinely carry live
+  // retransmission state.
+  params.recovery.retransmitBudget = 2;
+  params.recovery.repairPerContact = 2;
+  params.recovery.coordinatorFailover = true;
+  params.nodeMetadataCapacity = 48;
+  return params;
+}
+
+TEST(Checkpoint, ByteIdenticalWithRecoveryEnabled) {
+  const auto trace = nusTrace();
+  checkAllBoundaries(trace, paramsWithRecovery(), "nus_mbtqm_rec");
+}
+
+TEST(Checkpoint, ResumesMidRetransmissionByteIdentical) {
+  // The hard case: the checkpoint is taken at the first boundary where
+  // frames are *still queued for retransmission* — the restored engine must
+  // serve those exact frames at the exact later contacts the uninterrupted
+  // run did.
+  const auto trace = nusTrace();
+  const auto params = paramsWithRecovery();
+  const FullRun full = uninterrupted(trace, params);
+  const std::string path = ckptPath("mid_retx");
+  std::ostringstream prefixOut;
+  {
+    obs::JsonlEventSink sink(prefixOut);
+    Engine engine(trace, params);
+    engine.setObserver(&sink);
+    ASSERT_NE(engine.recoveryState(), nullptr);
+    bool saved = false;
+    while (engine.step()) {
+      if (engine.recoveryState()->pendingCount() > 0) {
+        engine.saveCheckpoint(path);
+        saved = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(saved) << "no step boundary left retransmissions pending";
+  }
+  std::ostringstream suffixOut;
+  obs::JsonlEventSink sink(suffixOut);
+  Engine restored(trace, params);
+  restored.restoreCheckpoint(path);
+  ASSERT_NE(restored.recoveryState(), nullptr);
+  EXPECT_GT(restored.recoveryState()->pendingCount(), 0u);
+  restored.setObserver(&sink);
+  const EngineResult result = restored.finish();
+  EXPECT_EQ(prefixOut.str() + suffixOut.str(), full.events);
+  expectSameResult(result, full.result);
+  EXPECT_GT(result.totals.recoveryRetransmits, 0u);
 }
 
 TEST(Checkpoint, FileBytesAreDeterministic) {
@@ -306,6 +368,20 @@ TEST_F(CheckpointErrors, DifferentProtocolFailsFingerprint) {
     EXPECT_NE(std::string(e.what()).find("different run configuration"),
               std::string::npos);
   }
+}
+
+TEST_F(CheckpointErrors, DifferentRecoveryParamsFailFingerprint) {
+  EngineParams other = params_;
+  other.recovery.maxRetries = 2;
+  Engine engine(trace_, other);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
+}
+
+TEST_F(CheckpointErrors, DifferentMetadataCapacityFailsFingerprint) {
+  EngineParams other = params_;
+  other.nodeMetadataCapacity = 32;
+  Engine engine(trace_, other);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
 }
 
 TEST_F(CheckpointErrors, DifferentTraceFailsFingerprint) {

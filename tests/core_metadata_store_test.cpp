@@ -81,5 +81,81 @@ TEST(MetadataStore, ByPopularityDescendingWithIdTiebreak) {
   EXPECT_EQ(sorted[2]->file, FileId(5));
 }
 
+TEST(MetadataStore, BoundedStoreEvictsLowestPopularity) {
+  MetadataStore store(2);
+  std::vector<FileId> shed;
+  store.setEvictionHook([&](const Metadata& md) { shed.push_back(md.file); });
+  EXPECT_TRUE(store.add(makeMetadata(1, 0.2, 0, 100)));
+  EXPECT_TRUE(store.add(makeMetadata(2, 0.5, 0, 100)));
+  // A more popular record displaces the least-popular stored one.
+  EXPECT_TRUE(store.add(makeMetadata(3, 0.9, 0, 100)));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.has(FileId(1)));
+  EXPECT_TRUE(store.has(FileId(2)));
+  EXPECT_TRUE(store.has(FileId(3)));
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], FileId(1));
+}
+
+TEST(MetadataStore, BoundedStoreShedsIncomingWhenLeastPopular) {
+  MetadataStore store(2);
+  std::vector<FileId> shed;
+  store.setEvictionHook([&](const Metadata& md) { shed.push_back(md.file); });
+  store.add(makeMetadata(1, 0.5, 0, 100));
+  store.add(makeMetadata(2, 0.7, 0, 100));
+  // The incoming record is the victim: admission refused, store unchanged.
+  EXPECT_FALSE(store.add(makeMetadata(3, 0.1, 0, 100)));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.has(FileId(3)));
+  EXPECT_TRUE(store.has(FileId(1)));
+  EXPECT_TRUE(store.has(FileId(2)));
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], FileId(3));
+}
+
+TEST(MetadataStore, BoundedEvictionTiesBreakOldestFirst) {
+  MetadataStore store(2);
+  std::vector<FileId> shed;
+  store.setEvictionHook([&](const Metadata& md) { shed.push_back(md.file); });
+  store.add(makeMetadata(5, 0.4, 0, 100));  // oldest at the tied popularity
+  store.add(makeMetadata(2, 0.4, 0, 100));
+  store.add(makeMetadata(9, 0.8, 0, 100));
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], FileId(5));  // insertion order, not file id
+  EXPECT_TRUE(store.has(FileId(2)));
+}
+
+TEST(MetadataStore, BoundedRefreshNeverEvicts) {
+  MetadataStore store(2);
+  bool fired = false;
+  store.setEvictionHook([&](const Metadata&) { fired = true; });
+  store.add(makeMetadata(1, 0.3, 0, 100));
+  store.add(makeMetadata(2, 0.6, 0, 100));
+  // Refreshing a held record is not an insertion: no capacity pressure.
+  EXPECT_FALSE(store.add(makeMetadata(1, 0.9, 0, 100)));
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(store.get(FileId(1))->popularity, 0.9);
+}
+
+TEST(MetadataStore, BoundedSaveLoadRoundTripKeepsEvictionOrder) {
+  MetadataStore store(3);
+  store.add(makeMetadata(1, 0.5, 0, 100));
+  store.add(makeMetadata(2, 0.5, 0, 100));
+  store.add(makeMetadata(3, 0.9, 0, 100));
+  Serializer out;
+  store.saveState(out);
+  MetadataStore restored(3);
+  Deserializer in(out.bytes());
+  restored.loadState(in);
+  EXPECT_EQ(restored.size(), 3u);
+  // The restored store must evict the same victim the original would:
+  // insertion seq survives the round trip.
+  std::vector<FileId> shed;
+  restored.setEvictionHook([&](const Metadata& md) { shed.push_back(md.file); });
+  restored.add(makeMetadata(4, 0.8, 0, 100));
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], FileId(1));  // tied with 2 on popularity, but older
+}
+
 }  // namespace
 }  // namespace hdtn::core

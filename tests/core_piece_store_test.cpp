@@ -130,5 +130,47 @@ TEST(PieceStore, BoundedStoreFallsBackToCompleteFiles) {
   EXPECT_EQ(store.totalPiecesHeld(), 1u);
 }
 
+TEST(PieceStore, BoundedEvictionTieBreaksByInsertionOrder) {
+  // At equal priority the victim is the *oldest registration*, regardless
+  // of file id or hash-map iteration order. Register in descending-id
+  // order so an id-based or map-order tie-break would pick differently.
+  PieceStore store(2);
+  store.registerFile(FileId(9), 1);  // oldest
+  store.setPriority(FileId(9), 0.4);
+  store.registerFile(FileId(1), 1);
+  store.setPriority(FileId(1), 0.4);
+  store.addPiece(FileId(9), 0);
+  store.addPiece(FileId(1), 0);
+  store.registerFile(FileId(5), 1);
+  store.setPriority(FileId(5), 0.9);
+  store.addPiece(FileId(5), 0);  // full: evicts the tied pair's oldest
+  EXPECT_EQ(store.piecesHeld(FileId(9)), 0u);
+  EXPECT_TRUE(store.hasPiece(FileId(1), 0));
+  EXPECT_TRUE(store.hasPiece(FileId(5), 0));
+  EXPECT_EQ(store.totalPiecesHeld(), 2u);
+}
+
+TEST(PieceStore, EvictionTieBreakSurvivesSaveLoad) {
+  PieceStore store(2);
+  store.registerFile(FileId(9), 1);
+  store.setPriority(FileId(9), 0.4);
+  store.registerFile(FileId(1), 1);
+  store.setPriority(FileId(1), 0.4);
+  store.addPiece(FileId(9), 0);
+  store.addPiece(FileId(1), 0);
+  Serializer out;
+  store.saveState(out);
+  PieceStore restored(2);
+  Deserializer in(out.bytes());
+  restored.loadState(in);
+  restored.registerFile(FileId(5), 1);
+  restored.setPriority(FileId(5), 0.9);
+  restored.addPiece(FileId(5), 0);
+  // Same victim as the live store would choose: registration order is
+  // checkpoint state, not an accident of the session.
+  EXPECT_EQ(restored.piecesHeld(FileId(9)), 0u);
+  EXPECT_TRUE(restored.hasPiece(FileId(1), 0));
+}
+
 }  // namespace
 }  // namespace hdtn::core

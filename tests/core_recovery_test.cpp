@@ -1,0 +1,393 @@
+// Self-healing layer: RecoveryParams validation, RecoverySession budget
+// arithmetic, RecoveryState bookkeeping, SummaryVector key semantics, and
+// the engine-level guarantees — disabled recovery is byte-identical to the
+// pre-recovery engine, enabled recovery strictly improves lossy delivery,
+// failover fires under clique churn, and bounded metadata stores degrade
+// gracefully instead of wedging.
+#include "src/core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/core/engine.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/events.hpp"
+#include "src/trace/nus.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::core {
+namespace {
+
+trace::ContactTrace smallNusTrace(std::uint64_t seed = 3) {
+  trace::NusParams p;
+  p.students = 40;
+  p.courses = 8;
+  p.coursesPerStudent = 2;
+  p.days = 5;
+  p.attendanceRate = 0.9;
+  p.seed = seed;
+  return trace::generateNus(p);
+}
+
+EngineParams baseParams() {
+  EngineParams params;
+  params.protocol.kind = ProtocolKind::kMbtQm;
+  params.internetAccessFraction = 0.3;
+  params.newFilesPerDay = 20;
+  params.fileTtlDays = 2;
+  params.seed = 7;
+  params.frequentContactPeriod = kDay;
+  return params;
+}
+
+RecoveryParams fullRecovery() {
+  RecoveryParams recovery;
+  recovery.maxRetries = 2;
+  recovery.retransmitBudget = 16;
+  recovery.repairPerContact = 4;
+  recovery.coordinatorFailover = true;
+  return recovery;
+}
+
+// --- params ----------------------------------------------------------------
+
+TEST(RecoveryParams, DefaultsAreDisabledAndValid) {
+  RecoveryParams recovery;
+  EXPECT_FALSE(recovery.enabled());
+  EXPECT_TRUE(recovery.validate().empty());
+}
+
+TEST(RecoveryParams, AnyMechanismEnables) {
+  RecoveryParams retries;
+  retries.maxRetries = 1;
+  EXPECT_TRUE(retries.enabled());
+  RecoveryParams repair;
+  repair.repairPerContact = 1;
+  EXPECT_TRUE(repair.enabled());
+  RecoveryParams failover;
+  failover.coordinatorFailover = true;
+  EXPECT_TRUE(failover.enabled());
+}
+
+TEST(RecoveryParams, ValidateCatchesEachViolation) {
+  RecoveryParams recovery;
+  recovery.maxRetries = -1;
+  recovery.repairPerContact = -2;
+  recovery.repairQueueLimit = 0;
+  EXPECT_EQ(recovery.validate().size(), 3u);
+  RecoveryParams budget;
+  budget.maxRetries = 1;
+  budget.retransmitBudget = 0;
+  EXPECT_EQ(budget.validate().size(), 1u);
+}
+
+TEST(RecoveryParams, EngineValidatePrefixesRecoveryErrors) {
+  auto params = baseParams();
+  params.recovery.maxRetries = -3;
+  const auto errors = params.validate();
+  ASSERT_FALSE(errors.empty());
+  bool found = false;
+  for (const std::string& error : errors) {
+    if (error.rfind("recovery.", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- session ---------------------------------------------------------------
+
+TEST(RecoverySession, AttemptCostDoublesAndSaturates) {
+  EXPECT_EQ(RecoverySession::attemptCost(0), 1);
+  EXPECT_EQ(RecoverySession::attemptCost(1), 2);
+  EXPECT_EQ(RecoverySession::attemptCost(2), 4);
+  EXPECT_EQ(RecoverySession::attemptCost(3), 8);
+  EXPECT_EQ(RecoverySession::attemptCost(9), 8);  // capped backoff
+}
+
+TEST(RecoverySession, FifoReplayChargesBudget) {
+  RecoverySession session(2, 3);
+  session.noteLoss({NodeId(1), NodeId(2), FileId(10)});
+  session.noteLoss({NodeId(1), NodeId(3), FileId(11), 0, true});
+  session.noteLoss({NodeId(1), NodeId(4), FileId(12)});
+  const auto first = session.nextRetry();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->receiver, NodeId(2));
+  EXPECT_EQ(session.budgetLeft(), 2);
+  const auto second = session.nextRetry();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->receiver, NodeId(3));
+  EXPECT_TRUE(second->requested);
+  const auto third = session.nextRetry();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(session.budgetLeft(), 0);
+  EXPECT_FALSE(session.nextRetry().has_value());
+}
+
+TEST(RecoverySession, UnaffordableHeadStopsReplay) {
+  RecoverySession session(5, 3);
+  LostFrame expensive{NodeId(1), NodeId(2), FileId(10)};
+  expensive.attempts = 2;  // costs 4 slots
+  session.noteLoss(expensive);
+  EXPECT_FALSE(session.nextRetry().has_value());
+  // The frame stays queued for the cross-contact spill.
+  EXPECT_EQ(session.drainRemaining().size(), 1u);
+  EXPECT_EQ(session.queued(), 0u);
+}
+
+TEST(RecoverySession, RequeueDropsExhaustedFrames) {
+  RecoverySession session(2, 100);
+  LostFrame frame{NodeId(1), NodeId(2), FileId(10)};
+  frame.attempts = 1;
+  session.requeue(frame);
+  EXPECT_EQ(session.queued(), 1u);
+  frame.attempts = 2;  // == maxRetries: spent
+  session.requeue(frame);
+  EXPECT_EQ(session.queued(), 1u);
+}
+
+TEST(RecoverySession, DisabledRetriesIgnoreLosses) {
+  RecoverySession session(0, 100);
+  session.noteLoss({NodeId(1), NodeId(2), FileId(10)});
+  EXPECT_EQ(session.queued(), 0u);
+  EXPECT_FALSE(session.nextRetry().has_value());
+}
+
+// --- cross-contact state ---------------------------------------------------
+
+TEST(RecoveryState, TakePendingFiltersBySenderAndReceiver) {
+  RecoveryState state(8);
+  state.addPending({NodeId(1), NodeId(2), FileId(10)});
+  state.addPending({NodeId(1), NodeId(3), FileId(11)});
+  state.addPending({NodeId(1), NodeId(2), FileId(12), 4});
+  state.addPending({NodeId(5), NodeId(2), FileId(13)});
+  EXPECT_EQ(state.pendingCount(), 4u);
+  EXPECT_TRUE(state.hasPending(NodeId(1)));
+  const auto taken = state.takePending(NodeId(1), NodeId(2));
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].file, FileId(10));
+  EXPECT_EQ(taken[1].file, FileId(12));
+  EXPECT_EQ(taken[1].piece, 4u);
+  EXPECT_EQ(state.pendingCount(), 2u);
+  // Untouched pairs remain.
+  EXPECT_TRUE(state.hasPending(NodeId(1)));
+  EXPECT_TRUE(state.hasPending(NodeId(5)));
+  EXPECT_TRUE(state.takePending(NodeId(1), NodeId(2)).empty());
+}
+
+TEST(RecoveryState, AttemptsResetAndOldestShedsAtCap) {
+  RecoveryState state(2);
+  LostFrame frame{NodeId(1), NodeId(2), FileId(10)};
+  frame.attempts = 5;
+  state.addPending(frame);
+  state.addPending({NodeId(1), NodeId(2), FileId(11)});
+  state.addPending({NodeId(1), NodeId(2), FileId(12)});  // sheds FileId(10)
+  const auto taken = state.takePending(NodeId(1), NodeId(2));
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].file, FileId(11));
+  EXPECT_EQ(taken[1].file, FileId(12));
+  EXPECT_EQ(taken[0].attempts, 0);  // retries restart across contacts
+  EXPECT_FALSE(state.hasPending(NodeId(1)));
+}
+
+TEST(RecoveryState, SaveLoadRoundTripsExactly) {
+  RecoveryState state(8);
+  state.addPending({NodeId(3), NodeId(2), FileId(10), 7, true});
+  state.addPending({NodeId(1), NodeId(4), FileId(11)});
+  Serializer out;
+  state.saveState(out);
+  RecoveryState restored(8);
+  Deserializer in(out.bytes());
+  restored.loadState(in);
+  EXPECT_EQ(restored.pendingCount(), 2u);
+  const auto taken = restored.takePending(NodeId(3), NodeId(2));
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].file, FileId(10));
+  EXPECT_EQ(taken[0].piece, 7u);
+  EXPECT_TRUE(taken[0].requested);
+  // Canonical bytes: saving the restored state reproduces the original.
+  Serializer again;
+  RecoveryState copy(8);
+  Deserializer in2(out.bytes());
+  copy.loadState(in2);
+  copy.saveState(again);
+  EXPECT_EQ(out.bytes(), again.bytes());
+}
+
+// --- summary vector --------------------------------------------------------
+
+TEST(SummaryVector, NoFalseNegativesAndDistinctKeySpaces) {
+  SummaryVector summary(64);
+  for (std::uint32_t f = 0; f < 32; ++f) {
+    summary.insert(SummaryVector::metadataKey(FileId(f)));
+    summary.insert(SummaryVector::pieceKey(FileId(f), f % 4));
+  }
+  for (std::uint32_t f = 0; f < 32; ++f) {
+    EXPECT_TRUE(summary.mayContain(SummaryVector::metadataKey(FileId(f))));
+    EXPECT_TRUE(summary.mayContain(SummaryVector::pieceKey(FileId(f), f % 4)));
+  }
+  // Metadata and piece keys for the same file never collide; nor do the
+  // pieces of a file with its neighbors.
+  EXPECT_NE(SummaryVector::metadataKey(FileId(7)),
+            SummaryVector::pieceKey(FileId(7), 0));
+  EXPECT_NE(SummaryVector::pieceKey(FileId(7), 0),
+            SummaryVector::pieceKey(FileId(7), 1));
+  EXPECT_NE(SummaryVector::pieceKey(FileId(7), 1),
+            SummaryVector::pieceKey(FileId(8), 1));
+}
+
+// --- engine wiring ---------------------------------------------------------
+
+TEST(EngineRecovery, DisabledRecoveryBuildsNoState) {
+  const auto trace = smallNusTrace();
+  Engine engine(trace, baseParams());
+  EXPECT_EQ(engine.recoveryState(), nullptr);
+}
+
+std::string eventStream(const trace::ContactTrace& trace,
+                        const EngineParams& params, int mode = 0) {
+  std::ostringstream out;
+  obs::JsonlEventSink sink(out);
+  Engine engine(trace, params);
+  engine.setObserver(&sink);
+  if (mode == 0) {
+    engine.run();
+  } else if (mode == 1) {
+    while (engine.step()) {
+    }
+    engine.finish();
+  } else {
+    for (SimTime t = 0; t < engine.endTime(); t += 6 * kHour) {
+      engine.runUntil(t);
+    }
+    engine.finish();
+  }
+  return out.str();
+}
+
+TEST(EngineRecovery, DisabledRecoveryIsByteIdenticalUnderFaults) {
+  // The whole point of the null path: an explicitly default-initialized
+  // RecoveryParams must not perturb a faulty run in any way.
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.messageLossRate = 0.2;
+  params.faults.contactTruncationRate = 0.2;
+  params.faults.pieceCorruptionRate = 0.1;
+  params.faults.churnDownFraction = 0.1;
+  const std::string baseline = eventStream(trace, params);
+  params.recovery = RecoveryParams{};
+  const std::string withStruct = eventStream(trace, params);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, withStruct);
+}
+
+TEST(EngineRecovery, EventStreamIdenticalAcrossDriveModes) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.messageLossRate = 0.3;
+  params.faults.churnDownFraction = 0.15;
+  params.recovery = fullRecovery();
+  const std::string viaRun = eventStream(trace, params, 0);
+  const std::string viaStep = eventStream(trace, params, 1);
+  const std::string viaSlices = eventStream(trace, params, 2);
+  ASSERT_FALSE(viaRun.empty());
+  EXPECT_EQ(viaRun, viaStep);
+  EXPECT_EQ(viaRun, viaSlices);
+  EXPECT_NE(viaRun.find("\"retransmit\""), std::string::npos);
+}
+
+TEST(EngineRecovery, RetransmissionImprovesLossyDelivery) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.messageLossRate = 0.3;
+  const auto lossy = runSimulation(trace, params);
+  params.recovery = fullRecovery();
+  const auto recovered = runSimulation(trace, params);
+  EXPECT_GT(recovered.delivery.fileRatio, lossy.delivery.fileRatio);
+  EXPECT_GT(recovered.totals.recoveryRetransmits, 0u);
+  EXPECT_GT(recovered.totals.recoveryRedeliveries, 0u);
+}
+
+TEST(EngineRecovery, RetransmitsCoverLossesWithAmpleBudget) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.messageLossRate = 0.3;
+  params.recovery.maxRetries = 3;
+  params.recovery.retransmitBudget = 1 << 20;
+  obs::CountingObserver counter;
+  Engine engine(trace, params);
+  engine.setObserver(&counter);
+  const auto result = engine.run();
+  ASSERT_GT(result.totals.recoveryFramesLost, 0u);
+  // Every noted loss gets at least its first resend attempt: retransmits
+  // can never undercount the losses that caused them.
+  EXPECT_GE(result.totals.recoveryRetransmits,
+            result.totals.recoveryFramesLost);
+  EXPECT_EQ(counter.count(obs::SimEventType::kRetransmit),
+            result.totals.recoveryRetransmits);
+}
+
+TEST(EngineRecovery, CoordinatorFailoverFiresUnderChurn) {
+  // A bigger clique trace with heavy churn so coordinators do go down
+  // mid-contact; failover must fire, be counted, and be evented.
+  trace::NusParams p;
+  p.students = 60;
+  p.courses = 12;
+  p.coursesPerStudent = 3;
+  p.days = 10;
+  p.attendanceRate = 0.9;
+  p.seed = 7;
+  const auto trace = trace::generateNus(p);
+  auto params = baseParams();
+  params.faults.churnDownFraction = 0.25;
+  params.faults.churnMeanDowntime = 2 * kHour;
+  params.recovery.coordinatorFailover = true;
+  obs::CountingObserver counter;
+  Engine engine(trace, params);
+  engine.setObserver(&counter);
+  const auto result = engine.run();
+  EXPECT_GT(result.totals.coordinatorFailovers, 0u);
+  EXPECT_EQ(counter.count(obs::SimEventType::kCoordinatorFailover),
+            result.totals.coordinatorFailovers);
+}
+
+TEST(EngineRecovery, RepairRecoversFromTruncation) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.faults.contactTruncationRate = 0.5;
+  params.faults.truncationKeepMin = 0.0;
+  params.faults.truncationKeepMax = 0.3;
+  const auto truncated = runSimulation(trace, params);
+  params.recovery.repairPerContact = 6;
+  obs::CountingObserver counter;
+  Engine engine(trace, params);
+  engine.setObserver(&counter);
+  const auto repaired = engine.run();
+  EXPECT_GT(repaired.totals.repairRequests, 0u);
+  EXPECT_EQ(counter.count(obs::SimEventType::kRepairRequested),
+            repaired.totals.repairRequests);
+  EXPECT_GE(repaired.delivery.fileRatio, truncated.delivery.fileRatio);
+}
+
+TEST(EngineRecovery, BoundedMetadataStoreEvictsAndStaysBounded) {
+  const auto trace = smallNusTrace();
+  auto params = baseParams();
+  params.nodeMetadataCapacity = 4;
+  obs::CountingObserver counter;
+  Engine engine(trace, params);
+  engine.setObserver(&counter);
+  const auto result = engine.run();
+  EXPECT_GT(result.totals.metadataEvictions, 0u);
+  EXPECT_EQ(counter.count(obs::SimEventType::kMetadataEvicted),
+            result.totals.metadataEvictions);
+  for (std::size_t i = 0; i < engine.nodeCount(); ++i) {
+    EXPECT_LE(
+        engine.node(NodeId(static_cast<std::uint32_t>(i))).metadata().size(),
+        4u);
+  }
+  // Degradation, not collapse: queries still get answered.
+  EXPECT_GT(result.delivery.fileRatio, 0.0);
+}
+
+}  // namespace
+}  // namespace hdtn::core

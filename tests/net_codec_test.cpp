@@ -185,8 +185,8 @@ TEST_P(TruncationSweep, AllPrefixesRejected) {
 INSTANTIATE_TEST_SUITE_P(Frames, TruncationSweep, ::testing::Values(0, 1, 2));
 
 // Mutation fuzz: random byte flips either decode to something or are
-// rejected — no crashes, and decode(encode(x)) stability is preserved for
-// untouched frames.
+// rejected with a *typed* error — no crashes, no over-reads, no silent
+// partial decodes (a failed decode always names its cause).
 TEST(Codec, RandomMutationNeverCrashes) {
   Rng rng(99);
   const Bytes original = encodeMetadata(sampleMetadata());
@@ -194,11 +194,98 @@ TEST(Codec, RandomMutationNeverCrashes) {
     Bytes mutated = original;
     const std::size_t pos = rng.pickIndex(mutated.size());
     mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.pickIndex(255));
-    (void)decodeMetadata(mutated);  // must not crash or over-read
-    (void)decodeHello(mutated);
-    (void)decodePiece(mutated);
+    for (const auto& check :
+         {decodeMetadata(mutated).error, decodeHello(mutated).error,
+          decodePiece(mutated).error}) {
+      // Either a clean decode or a named error, never an unnamed failure.
+      SUCCEED();
+      (void)decodeErrorName(check);
+    }
+    const auto md = decodeMetadata(mutated);
+    EXPECT_NE(md.has_value(), md.error != DecodeError::kNone)
+        << "value and error must be mutually exclusive (trial " << trial
+        << ", pos " << pos << ")";
   }
-  SUCCEED();
+}
+
+// --- typed decode errors ----------------------------------------------------
+
+TEST(Codec, ErrorNamesAreStable) {
+  EXPECT_STREQ(decodeErrorName(DecodeError::kNone), "ok");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kTruncated), "truncated");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kBadVersion), "bad-version");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kBadKind), "bad-kind");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kOverflow), "overflow");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kLimitExceeded),
+               "limit-exceeded");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kTrailingBytes),
+               "trailing-bytes");
+  EXPECT_STREQ(decodeErrorName(DecodeError::kBadValue), "bad-value");
+}
+
+TEST(Codec, TruncatedPrefixesReportTruncated) {
+  const Bytes frame = encodeHello(sampleHello());
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(frame.data(), cut);
+    const auto decoded = decodeHello(prefix);
+    ASSERT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoded.error, DecodeError::kTruncated) << "cut " << cut;
+  }
+}
+
+TEST(Codec, WrongVersionReportsBadVersion) {
+  Bytes frame = encodeHello(sampleHello());
+  frame[0] = kCodecVersion + 1;
+  EXPECT_EQ(peekKind(frame).error, DecodeError::kBadVersion);
+  EXPECT_EQ(decodeHello(frame).error, DecodeError::kBadVersion);
+}
+
+TEST(Codec, KindMismatchReportsBadKind) {
+  const Bytes hello = encodeHello(sampleHello());
+  EXPECT_EQ(decodeMetadata(hello).error, DecodeError::kBadKind);
+  EXPECT_EQ(decodePiece(hello).error, DecodeError::kBadKind);
+  // An out-of-range kind value is kBadKind from peekKind too.
+  Encoder enc;
+  enc.writeVarint(kCodecVersion);
+  enc.writeVarint(200);
+  EXPECT_EQ(peekKind(enc.buffer()).error, DecodeError::kBadKind);
+}
+
+TEST(Codec, TrailingByteReportsTrailingBytes) {
+  Bytes frame = encodeHello(sampleHello());
+  frame.push_back(0x00);
+  EXPECT_EQ(decodeHello(frame).error, DecodeError::kTrailingBytes);
+}
+
+TEST(Codec, OverlongVarintReportsOverflow) {
+  const Bytes overlong(11, 0xff);  // 77 significant bits
+  Decoder dec(overlong);
+  EXPECT_FALSE(dec.readVarint().has_value());
+  EXPECT_EQ(dec.error(), DecodeError::kOverflow);
+}
+
+TEST(Codec, StringOverLimitReportsLimitExceeded) {
+  Encoder enc;
+  enc.writeString("hello dtn");
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(dec.readString(/*maxLength=*/3).has_value());
+  EXPECT_EQ(dec.error(), DecodeError::kLimitExceeded);
+}
+
+TEST(Codec, OutOfRangeIdReportsBadValue) {
+  Encoder enc;
+  enc.writeVarint(kCodecVersion);
+  enc.writeVarint(static_cast<std::uint64_t>(WireKind::kHello));
+  enc.writeVarint(0x1'0000'0000ull);  // sender above any representable id
+  EXPECT_EQ(decodeHello(enc.buffer()).error, DecodeError::kBadValue);
+}
+
+TEST(Codec, DecoderKeepsFirstError) {
+  const Bytes overlong(11, 0xff);
+  Decoder dec(overlong);
+  EXPECT_FALSE(dec.readVarint().has_value());
+  EXPECT_FALSE(dec.readVarint().has_value());  // now also truncated
+  EXPECT_EQ(dec.error(), DecodeError::kOverflow);  // first cause wins
 }
 
 }  // namespace

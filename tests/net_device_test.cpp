@@ -121,6 +121,23 @@ TEST(Device, MalformedFrameCounted) {
   EXPECT_EQ(bob.outcomeCount(RxOutcome::kMalformed), 1u);
 }
 
+TEST(Device, LastDecodeErrorNamesTheRejectionCause) {
+  Device bob(NodeId(2), {});
+  EXPECT_EQ(bob.lastDecodeError(), DecodeError::kNone);
+  Bytes frame = encodeHello([] {
+    HelloMessage h;
+    h.sender = NodeId(1);
+    return h;
+  }());
+  frame[0] = kCodecVersion + 1;
+  EXPECT_EQ(bob.receive(frame, 0), RxOutcome::kMalformed);
+  EXPECT_EQ(bob.lastDecodeError(), DecodeError::kBadVersion);
+  frame[0] = kCodecVersion;
+  frame.pop_back();
+  EXPECT_EQ(bob.receive(frame, 1), RxOutcome::kMalformed);
+  EXPECT_EQ(bob.lastDecodeError(), DecodeError::kTruncated);
+}
+
 TEST(Device, SenderCannotFrameUnheldContent) {
   Fixture fx;
   Device alice(NodeId(1), {});

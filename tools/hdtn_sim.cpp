@@ -44,6 +44,11 @@ int usage() {
       {"truncation-rate=0.0", "fault: contact truncation probability"},
       {"corruption-rate=0.0", "fault: piece corruption probability"},
       {"churn-fraction=0.0", "fault: long-run down-time fraction"},
+      {"recovery-retries=0", "recovery: retransmission attempts per frame"},
+      {"recovery-retransmit-budget=16", "recovery: resend slots per contact"},
+      {"recovery-repair=0", "recovery: anti-entropy requests per contact"},
+      {"recovery-failover", "recovery: elect a new clique coordinator"},
+      {"md-capacity=0", "metadata records per node (0 = unbounded)"},
       {"csv", "one CSV row instead of the report"},
       {"events-out=PATH", "JSONL event trace (docs/OBSERVABILITY.md)"},
       {"timeseries-out=PATH", "sampled delivery/totals CSV"},
@@ -192,6 +197,16 @@ int main(int argc, char** argv) {
                     totals.faultPiecesRejectedCorrupt),
                 static_cast<unsigned long long>(
                     totals.faultNodeDownIntervals));
+  }
+  if (totals.recoveryRetransmits != 0 || totals.repairRequests != 0 ||
+      totals.coordinatorFailovers != 0 || totals.metadataEvictions != 0) {
+    std::printf("recovery: %llu retransmits (%llu recovered), %llu repair "
+                "requests, %llu failovers, %llu metadata evictions\n",
+                static_cast<unsigned long long>(totals.recoveryRetransmits),
+                static_cast<unsigned long long>(totals.recoveryRedeliveries),
+                static_cast<unsigned long long>(totals.repairRequests),
+                static_cast<unsigned long long>(totals.coordinatorFailovers),
+                static_cast<unsigned long long>(totals.metadataEvictions));
   }
   return 0;
 }
