@@ -193,8 +193,7 @@ void Engine::setupNodes() {
   const auto frequentLists =
       trace::frequentContactLists(trace_, params_.frequentContactPeriod);
 
-  nodes_.clear();
-  nodes_.reserve(n);
+  nodes_.reset(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const NodeId id(i);
     NodeOptions options;
@@ -203,9 +202,9 @@ void Engine::setupNodes() {
     options.pieceCapacity = params_.nodePieceCapacity;
     options.metadataCapacity = params_.nodeMetadataCapacity;
     options.forger = forgers.contains(id);
-    auto node = std::make_unique<Node>(id, options);
+    Node& node = nodes_.emplace(id, options);
     if (params_.nodeMetadataCapacity > 0) {
-      Node* raw = node.get();
+      Node* raw = &node;
       raw->metadata().setEvictionHook([this, raw](const Metadata& md) {
         ++totals_.metadataEvictions;
         if (observer_ != nullptr) {
@@ -220,51 +219,53 @@ void Engine::setupNodes() {
       });
     }
     if (params_.verifyMetadata && !options.forger) {
-      node->setMetadataVerifier([this](const Metadata& md) {
+      node.setMetadataVerifier([this](const Metadata& md) {
         const bool genuine = internet_.registry().verify(md);
         if (!genuine) ++totals_.forgeriesRejected;
         return genuine;
       });
     }
     if (i < frequentLists.size()) {
-      node->setFrequentContacts(frequentLists[i]);
+      node.setFrequentContacts(frequentLists[i]);
     }
-    node->setCooperativeStateTtl(
+    node.setCooperativeStateTtl(
         static_cast<Duration>(params_.fileTtlDays) * kDay);
-    nodes_.push_back(std::move(node));
   }
 }
 
-const Node& Engine::node(NodeId id) const {
-  assert(id.value < nodes_.size());
-  return *nodes_[id.value];
-}
+const Node& Engine::node(NodeId id) const { return nodes_[id]; }
 
-Node& Engine::node(NodeId id) {
-  assert(id.value < nodes_.size());
-  return *nodes_[id.value];
-}
+Node& Engine::node(NodeId id) { return nodes_[id]; }
 
-std::vector<NodeId> Engine::accessNodes() const {
-  std::vector<NodeId> out;
-  for (const auto& node : nodes_) {
-    if (node->options().internetAccess) out.push_back(node->id());
-  }
-  return out;
-}
+std::vector<NodeId> Engine::accessNodes() const { return nodes_.accessIds(); }
 
 void Engine::ensureScheduled() {
   if (scheduled_) return;
   scheduled_ = true;
-  const SimTime end = trace_.endTime();
-  // Daily 2 PM publications across the trace span (publishes are scheduled
-  // first so that same-instant contacts observe the day's files).
-  for (SimTime t = kDailyPublishHour; t < end; t += kDay) {
-    sim_.at(t, [this, t] { publishDay(t); });
-  }
+  const SimTime end = std::max(trace_.endTime(), publishHorizon_);
+  const std::size_t publishCount =
+      end > kDailyPublishHour
+          ? static_cast<std::size_t>((end - kDailyPublishHour + kDay - 1) /
+                                     kDay)
+          : 0;
+  sim_.reserve(publishCount + trace_.contacts().size());
+  schedulePublications();
   for (const trace::Contact& contact : trace_.contacts()) {
     sim_.at(contact.start, [this, &contact] { processContact(contact); });
   }
+  scheduleChurnEvents();
+}
+
+void Engine::schedulePublications() {
+  // Daily 2 PM publications across the run span (publishes are scheduled
+  // first so that same-instant contacts observe the day's files).
+  const SimTime end = std::max(trace_.endTime(), publishHorizon_);
+  for (SimTime t = kDailyPublishHour; t < end; t += kDay) {
+    sim_.at(t, [this, t] { publishDay(t); });
+  }
+}
+
+void Engine::scheduleChurnEvents() {
   // Churn transitions are observational events (isDown() reads the
   // precomputed interval table, not these), scheduled last so same-instant
   // ordering of publications and contacts is untouched.
@@ -328,6 +329,59 @@ EngineResult Engine::finish() {
 
 EngineResult Engine::run() { return finish(); }
 
+void Engine::usePublishStream(std::uint64_t seed) {
+  if (scheduled_) {
+    throw std::logic_error(
+        "Engine::usePublishStream: must be called before the first advance");
+  }
+  publishRng_ = Rng(seed);
+  hasPublishRng_ = true;
+}
+
+void Engine::setPublishHorizon(SimTime horizon) {
+  if (scheduled_) {
+    throw std::logic_error(
+        "Engine::setPublishHorizon: must be called before the first advance");
+  }
+  publishHorizon_ = horizon;
+}
+
+void Engine::beginFeed() {
+  throwIfFinished("Engine::beginFeed");
+  if (scheduled_) {
+    throw std::logic_error(
+        "Engine::beginFeed: the schedule was already built");
+  }
+  scheduled_ = true;
+  feeding_ = true;
+  schedulePublications();
+  scheduleChurnEvents();
+}
+
+void Engine::feedContact(const trace::Contact& contact, bool replay) {
+  throwIfFinished("Engine::feedContact");
+  if (!feeding_) {
+    throw std::logic_error("Engine::feedContact: beginFeed() was not called");
+  }
+  if (replay) {
+    // The contact's effects are already part of the restored state; only
+    // the schedule position (publications at or before its start) advances.
+    skipReplayUntil(contact.start + 1);
+    return;
+  }
+  // The publication scheduled in beginFeed carries a smaller sequence
+  // number, so at an equal instant it still runs before the contact —
+  // exactly the scheduled-run order.
+  sim_.at(contact.start, [this, contact] { processContact(contact); });
+  sim_.runUntil(contact.start + 1);
+}
+
+void Engine::skipReplayUntil(SimTime horizon) {
+  while (sim_.pendingEvents() > 0 && sim_.nextEventTime() < horizon) {
+    sim_.skipOne();
+  }
+}
+
 EngineResult Engine::currentResult() const {
   EngineResult result;
   result.delivery = metrics_.report(MetricScope::kNonAccess);
@@ -368,8 +422,8 @@ void Engine::publishDay(SimTime now) {
   batch.lambda = popularityLambdaForFilesPerDay(params_.newFilesPerDay);
   batch.piecesPerFile = params_.piecesPerFile;
   batch.pieceSizeBytes = params_.pieceSizeBytes;
-  const std::vector<FileId> files =
-      publishSyntheticBatch(internet_, batch, rng_);
+  const std::vector<FileId> files = publishSyntheticBatch(
+      internet_, batch, hasPublishRng_ ? publishRng_ : rng_);
   totals_.filesPublished += files.size();
 
   // Each node becomes interested in each new file with probability equal to
@@ -377,21 +431,21 @@ void Engine::publishDay(SimTime now) {
   for (FileId fileId : files) {
     const FileInfo& info = *internet_.catalog().find(fileId);
     const std::string queryText = canonicalQueryText(info);
-    for (auto& nodePtr : nodes_) {
+    for (Node& member : nodes_) {
       if (!rng_.chance(info.popularity)) continue;
       Query query;
-      query.owner = nodePtr->id();
+      query.owner = member.id();
       query.text = queryText;
       query.target = fileId;
       query.issuedAt = now;
       query.ttl = info.ttl;
       query.id = metrics_.registerQuery(
           query.owner, fileId, now, info.ttl,
-          nodePtr->options().internetAccess, nodePtr->options().freeRider);
-      nodePtr->addQuery(query);
+          member.options().internetAccess, member.options().freeRider);
+      member.addQuery(query);
       ++totals_.queriesGenerated;
-      if (nodePtr->options().internetAccess) {
-        internet_.popularity().recordRequest(fileId, nodePtr->id(), now);
+      if (member.options().internetAccess) {
+        internet_.popularity().recordRequest(fileId, member.id(), now);
       }
     }
   }
@@ -401,7 +455,7 @@ void Engine::publishDay(SimTime now) {
   // estimate is computed after this batch's instant access-node requests,
   // so new files get a meaningful first estimate.
   if (params_.useObservedPopularity) {
-    const std::size_t accessCount = accessNodes().size();
+    const std::size_t accessCount = nodes_.accessIds().size();
     for (FileId fileId : internet_.catalog().aliveFiles(now)) {
       internet_.catalog().setPopularity(
           fileId, internet_.popularity().observed(fileId, now, accessCount));
@@ -416,10 +470,9 @@ void Engine::publishDay(SimTime now) {
   // churned-off access node is not: it catches up at its next contact (or
   // publish instant) once back up. Its user still issues queries above —
   // interest exists whether or not the device is on.
-  for (auto& nodePtr : nodes_) {
-    if (!nodePtr->options().internetAccess) continue;
-    if (faults_ != nullptr && faults_->isDown(nodePtr->id(), now)) continue;
-    syncAccessNode(*nodePtr, now);
+  for (NodeId id : nodes_.accessIds()) {
+    if (faults_ != nullptr && faults_->isDown(id, now)) continue;
+    syncAccessNode(nodes_[id], now);
   }
 
   // Forgers craft fakes of the day's hottest titles: same searchable name,
@@ -428,8 +481,8 @@ void Engine::publishDay(SimTime now) {
   if (params_.forgerFraction > 0.0) {
     const auto topToday = internet_.topPopular(
         now, static_cast<std::size_t>(params_.forgeriesPerForgerPerDay));
-    for (auto& nodePtr : nodes_) {
-      if (!nodePtr->options().forger) continue;
+    for (NodeId forgerId : nodes_.forgerIds()) {
+      Node& forger = nodes_[forgerId];
       for (const Metadata* genuine : topToday) {
         Metadata forged = *genuine;
         forged.file = FileId(nextForgedId_++);
@@ -438,13 +491,13 @@ void Engine::publishDay(SimTime now) {
         forged.pieceChecksums.assign(1, Sha1::hash("junk"));
         forged.authTag = Sha1::hash("forged" + forged.uri);
         forged.rebuildKeywords();
-        nodePtr->metadata().add(forged);
+        forger.metadata().add(forged);
         ++totals_.forgeriesCrafted;
         if (observer_ != nullptr) {
           obs::SimEvent event;
           event.type = obs::SimEventType::kForgeryCrafted;
           event.time = now;
-          event.node = nodePtr->id();
+          event.node = forger.id();
           event.file = forged.file;
           event.value = forged.popularity;
           emit(event);
@@ -557,7 +610,7 @@ void Engine::processContact(const trace::Contact& contact) {
     // Churned-off members neither transmit nor receive: they simply are
     // not part of the exchange clique.
     if (faults_ != nullptr && faults_->isDown(id, now)) continue;
-    members.push_back(nodes_[id.value].get());
+    members.push_back(&nodes_[id]);
   }
   if (members.size() < 2) return;
   ++totals_.contactsProcessed;
@@ -1317,6 +1370,8 @@ void loadTotals(Deserializer& in, EngineTotals& t) {
 
 void Engine::saveComponentState(Serializer& out) const {
   saveRngState(out, rng_);
+  out.boolean(hasPublishRng_);
+  if (hasPublishRng_) saveRngState(out, publishRng_);
   saveTotals(out, totals_);
   out.u32(nextForgedId_);
   out.i64(expiryScanUpTo_);
@@ -1331,7 +1386,7 @@ void Engine::saveComponentState(Serializer& out) const {
   metrics_.saveState(out);
 
   out.u64(nodes_.size());
-  for (const auto& node : nodes_) node->saveState(out);
+  for (const Node& member : nodes_) member.saveState(out);
 
   out.boolean(caches_ != nullptr);
   if (caches_ != nullptr) {
@@ -1354,6 +1409,13 @@ void Engine::saveComponentState(Serializer& out) const {
 
 void Engine::loadComponentState(Deserializer& in) {
   loadRngState(in, rng_);
+  const bool hasPublishRng = in.boolean();
+  if (hasPublishRng != hasPublishRng_) {
+    throw SerializeError(
+        "corrupt payload: publish-stream presence does not match the engine "
+        "configuration");
+  }
+  if (hasPublishRng_) loadRngState(in, publishRng_);
   loadTotals(in, totals_);
   nextForgedId_ = in.u32();
   expiryScanUpTo_ = in.i64();
@@ -1381,7 +1443,7 @@ void Engine::loadComponentState(Deserializer& in) {
   if (nodeCount != nodes_.size()) {
     throw SerializeError("corrupt payload: node count mismatch");
   }
-  for (auto& node : nodes_) node->loadState(in);
+  for (Node& member : nodes_) member.loadState(in);
 
   caches_.reset();
   if (in.boolean()) {

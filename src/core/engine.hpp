@@ -18,6 +18,7 @@
 #include "src/faults/faults.hpp"
 #include "src/core/metrics.hpp"
 #include "src/core/node.hpp"
+#include "src/core/node_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/core/recovery.hpp"
 #include "src/sim/simulator.hpp"
@@ -285,10 +286,58 @@ class Engine {
   /// payload checksum and the configuration fingerprint both verify.
   void restoreCheckpoint(const std::string& path);
 
+  // --- sharded / streaming support (see core/sharded_engine.hpp) ----------
+  //
+  // A sharded run decomposes the trace into contact-connected components
+  // and runs one Engine per component. These hooks give the component
+  // engines the two properties the decomposition needs: a publication
+  // stream shared by every component (identical daily catalogs) and a
+  // publish horizon independent of the component's own last contact.
+
+  /// Draws publication randomness (the daily synthetic batch) from an
+  /// independent stream seeded with `seed` instead of the engine stream.
+  /// Every component engine of a sharded run receives the same publish
+  /// seed, so all components publish the identical catalog no matter how
+  /// many node/query draws their own streams consumed. Must be called
+  /// before the first advance.
+  void usePublishStream(std::uint64_t seed);
+
+  /// Extends the daily publication schedule through `horizon` when the
+  /// trace (or component sub-trace) ends earlier, so every component
+  /// publishes the same number of days and users keep issuing queries
+  /// through the global horizon. Must be called before the first advance.
+  void setPublishHorizon(SimTime horizon);
+
+  /// Feed mode: schedules publications (and churn observations) only; the
+  /// caller then pushes contacts one at a time in ascending start order
+  /// with feedContact(), and finish() drains the tail. The trace passed to
+  /// the constructor acts as the node universe (typically contact-less);
+  /// consequences: the frequent-contact relation is empty (MBT query
+  /// proxying is inert) and fault churn intervals are empty (the plan
+  /// horizon is the placeholder trace's end). Message loss, truncation,
+  /// and corruption faults still apply per contact.
+  void beginFeed();
+
+  /// Runs every event up to and including the contact's start instant
+  /// (publications first at equal instants, as in a scheduled run), then
+  /// the contact itself. With replay=true the events are skipped, not run
+  /// — checkpoint restore rebuilds the schedule position this way.
+  void feedContact(const trace::Contact& contact, bool replay = false);
+
+  /// Replay companion to runUntil(horizon): discards every remaining
+  /// scheduled event strictly before `horizon` without running it.
+  void skipReplayUntil(SimTime horizon);
+
  private:
+  friend class ShardedEngine;  // component (de)serialization, sim position
+
   void setupNodes();
   /// Builds the event schedule lazily, on the first advance.
   void ensureScheduled();
+  /// Daily 2 PM publication events through max(trace end, publish horizon).
+  void schedulePublications();
+  /// Churn transition observation events (no-op without a fault plan).
+  void scheduleChurnEvents();
   void throwIfFinished(const char* what) const;
   /// Forwards to the attached observer; no-op (one branch) when detached.
   void emit(const obs::SimEvent& event);
@@ -357,7 +406,7 @@ class Engine {
   Rng rng_;
   InternetServices internet_;
   MetricsCollector metrics_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  NodePool nodes_;
   /// Null when params_.faults is disabled (the zero-cost clean path: every
   /// fault site costs one pointer test, like the observer hooks).
   std::unique_ptr<faults::FaultPlan> faults_;
@@ -369,6 +418,15 @@ class Engine {
   obs::EngineObserver* observer_ = nullptr;
   /// Files whose expiry was already evented (advanced at publish instants).
   SimTime expiryScanUpTo_ = 0;
+  /// Independent publication stream; engaged by usePublishStream (sharded
+  /// runs share one publish seed across every component engine).
+  Rng publishRng_{0};
+  bool hasPublishRng_ = false;
+  /// Extends the publication schedule past the trace end; see
+  /// setPublishHorizon.
+  SimTime publishHorizon_ = 0;
+  /// Feed mode: contacts arrive via feedContact instead of the trace.
+  bool feeding_ = false;
   bool scheduled_ = false;
   bool finished_ = false;
 };

@@ -4,18 +4,15 @@
 
 namespace hdtn::core {
 
-std::unordered_map<FileId, Metadata>::iterator
+std::unordered_map<FileId, MetadataStore::Record>::iterator
 MetadataStore::evictionVictim() {
   auto victim = records_.end();
-  std::uint64_t victimSeq = 0;
   for (auto it = records_.begin(); it != records_.end(); ++it) {
-    const std::uint64_t seq = seq_.at(it->first);
     if (victim == records_.end() ||
-        it->second.popularity < victim->second.popularity ||
-        (it->second.popularity == victim->second.popularity &&
-         seq < victimSeq)) {
+        it->second.md.popularity < victim->second.md.popularity ||
+        (it->second.md.popularity == victim->second.md.popularity &&
+         it->second.seq < victim->second.seq)) {
       victim = it;
-      victimSeq = seq;
     }
   }
   return victim;
@@ -24,9 +21,9 @@ MetadataStore::evictionVictim() {
 bool MetadataStore::add(const Metadata& md) {
   auto it = records_.find(md.file);
   if (it != records_.end()) {
-    if (md.popularity > it->second.popularity) {
+    if (md.popularity > it->second.md.popularity) {
       // Popularity refresh reorders byPopularity(): also a mutation.
-      it->second.popularity = md.popularity;
+      it->second.md.popularity = md.popularity;
       ++generation_;
     }
     return false;
@@ -34,21 +31,19 @@ bool MetadataStore::add(const Metadata& md) {
   if (capacity_ && records_.size() >= *capacity_) {
     auto victim = evictionVictim();
     if (victim != records_.end() &&
-        md.popularity < victim->second.popularity) {
+        md.popularity < victim->second.md.popularity) {
       // Admission control: the incoming record would be the next victim
       // itself, so shed it instead of churning the store.
       if (evictionHook_) evictionHook_(md);
       return false;
     }
     if (victim != records_.end()) {
-      const Metadata evicted = victim->second;
-      seq_.erase(victim->first);
+      const Metadata evicted = victim->second.md;
       records_.erase(victim);
       if (evictionHook_) evictionHook_(evicted);
     }
   }
-  records_.emplace(md.file, md);
-  seq_.emplace(md.file, nextSeq_++);
+  records_.emplace(md.file, Record{md, nextSeq_++});
   ++generation_;
   return true;
 }
@@ -57,14 +52,13 @@ bool MetadataStore::has(FileId file) const { return records_.contains(file); }
 
 const Metadata* MetadataStore::get(FileId file) const {
   auto it = records_.find(file);
-  return it == records_.end() ? nullptr : &it->second;
+  return it == records_.end() ? nullptr : &it->second.md;
 }
 
 std::size_t MetadataStore::expire(SimTime now) {
   std::size_t dropped = 0;
   for (auto it = records_.begin(); it != records_.end();) {
-    if (it->second.expired(now)) {
-      seq_.erase(it->first);
+    if (it->second.md.expired(now)) {
       it = records_.erase(it);
       ++dropped;
     } else {
@@ -77,7 +71,6 @@ std::size_t MetadataStore::expire(SimTime now) {
 
 void MetadataStore::remove(FileId file) {
   if (records_.erase(file) > 0) {
-    seq_.erase(file);
     ++generation_;
   }
 }
@@ -86,7 +79,7 @@ std::span<const Metadata* const> MetadataStore::all() const {
   if (allView_.generation != generation_) {
     allView_.items.clear();
     allView_.items.reserve(records_.size());
-    for (const auto& [_, md] : records_) allView_.items.push_back(&md);
+    for (const auto& [_, rec] : records_) allView_.items.push_back(&rec.md);
     std::sort(allView_.items.begin(), allView_.items.end(),
               [](const Metadata* a, const Metadata* b) {
                 return a->file < b->file;
@@ -118,7 +111,7 @@ void MetadataStore::saveState(Serializer& out) const {
   out.u64(sorted.size());
   for (const Metadata* md : sorted) {
     md->saveState(out);
-    out.u64(seq_.at(md->file));
+    out.u64(records_.at(md->file).seq);
   }
   out.u64(nextSeq_);
 }
@@ -127,15 +120,13 @@ void MetadataStore::loadState(Deserializer& in) {
   // Raw insertion: a restore must reproduce the saved store exactly, never
   // re-run capacity eviction or fire the hook.
   records_.clear();
-  seq_.clear();
   ++generation_;
   const std::size_t count = in.length();
   for (std::size_t i = 0; i < count; ++i) {
-    Metadata md;
-    md.loadState(in);
-    const std::uint64_t seq = in.u64();
-    seq_.emplace(md.file, seq);
-    records_.emplace(md.file, std::move(md));
+    Record rec;
+    rec.md.loadState(in);
+    rec.seq = in.u64();
+    records_.emplace(rec.md.file, std::move(rec));
   }
   nextSeq_ = in.u64();
 }

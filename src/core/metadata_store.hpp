@@ -84,15 +84,20 @@ class MetadataStore {
     std::vector<const Metadata*> items;
   };
 
+  /// Stored record plus its insertion order (the eviction tie-break). One
+  /// map entry per record — metadata and seq used to live in two parallel
+  /// maps, which doubled the hash lookups and node allocations on the
+  /// per-contact hot path.
+  struct Record {
+    Metadata md;
+    std::uint64_t seq = 0;
+  };
+
   /// The stored record with the lowest (popularity, seq) — the next capacity
   /// victim. end() when empty. Total order: seqs are unique.
-  [[nodiscard]] std::unordered_map<FileId, Metadata>::iterator
-  evictionVictim();
+  [[nodiscard]] std::unordered_map<FileId, Record>::iterator evictionVictim();
 
-  std::unordered_map<FileId, Metadata> records_;
-  /// Insertion order per record (eviction tie-break); kept alongside
-  /// records_ so the cached views stay pointers into records_.
-  std::unordered_map<FileId, std::uint64_t> seq_;
+  std::unordered_map<FileId, Record> records_;
   std::uint64_t nextSeq_ = 1;
   std::optional<std::size_t> capacity_;
   EvictionHook evictionHook_;

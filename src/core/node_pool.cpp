@@ -1,0 +1,31 @@
+#include "src/core/node_pool.hpp"
+
+namespace hdtn::core {
+
+void NodePool::reset(std::size_t count) {
+  nodes_.clear();
+  nodes_.reserve(count);
+  roleBits_.assign((count * 2 + 63) / 64, 0);
+  accessIds_.clear();
+  forgerIds_.clear();
+  freeRiders_ = 0;
+}
+
+Node& NodePool::emplace(NodeId id, const NodeOptions& options) {
+  assert(id.value == nodes_.size() && "nodes must be emplaced in id order");
+  assert(nodes_.size() < nodes_.capacity() &&
+         "pool is full: reset() fixes capacity so node addresses stay stable");
+  Node& node = nodes_.emplace_back(id, options);
+  if (options.internetAccess) {
+    setRoleBit(id, kAccessBit);
+    accessIds_.push_back(id);
+  }
+  if (options.forger) {
+    setRoleBit(id, kForgerBit);
+    forgerIds_.push_back(id);
+  }
+  if (options.freeRider) ++freeRiders_;
+  return node;
+}
+
+}  // namespace hdtn::core

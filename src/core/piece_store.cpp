@@ -5,26 +5,40 @@
 
 namespace hdtn::core {
 
+std::uint32_t PieceStore::allocWords(std::uint32_t words) {
+  auto freeIt = freeBlocks_.find(words);
+  if (freeIt != freeBlocks_.end() && !freeIt->second.empty()) {
+    const std::uint32_t offset = freeIt->second.back();
+    freeIt->second.pop_back();
+    std::fill_n(arena_.begin() + offset, words, 0);
+    return offset;
+  }
+  const auto offset = static_cast<std::uint32_t>(arena_.size());
+  arena_.resize(arena_.size() + words, 0);
+  return offset;
+}
+
 bool PieceStore::registerFile(FileId file, std::uint32_t pieceCount) {
   assert(file.valid());
   assert(pieceCount > 0);
   auto [it, inserted] = entries_.try_emplace(file);
   if (inserted) {
-    it->second.have.assign(pieceCount, false);
+    it->second.word = allocWords(wordsFor(pieceCount));
+    it->second.pieces = pieceCount;
     it->second.seq = nextSeq_++;
     return true;
   }
-  return it->second.have.size() == pieceCount;
+  return it->second.pieces == pieceCount;
 }
 
 bool PieceStore::addPiece(FileId file, std::uint32_t piece) {
   auto it = entries_.find(file);
   assert(it != entries_.end() && "file must be registered before addPiece");
   Entry& e = it->second;
-  assert(piece < e.have.size());
-  if (e.have[piece]) return false;
+  assert(piece < e.pieces);
+  if (bit(e, piece)) return false;
   if (capacity_ && totalHeld_ >= *capacity_) evictOnePiece();
-  e.have[piece] = true;
+  setBit(e, piece);
   ++e.held;
   ++totalHeld_;
   return true;
@@ -34,7 +48,7 @@ std::uint32_t PieceStore::addWholeFile(FileId file) {
   auto it = entries_.find(file);
   assert(it != entries_.end());
   std::uint32_t added = 0;
-  for (std::uint32_t p = 0; p < it->second.have.size(); ++p) {
+  for (std::uint32_t p = 0; p < it->second.pieces; ++p) {
     if (addPiece(file, p)) ++added;
   }
   return added;
@@ -44,6 +58,7 @@ void PieceStore::removeFile(FileId file) {
   auto it = entries_.find(file);
   if (it == entries_.end()) return;
   totalHeld_ -= it->second.held;
+  freeBlocks_[wordsFor(it->second.pieces)].push_back(it->second.word);
   entries_.erase(it);
 }
 
@@ -54,13 +69,13 @@ bool PieceStore::isRegistered(FileId file) const {
 bool PieceStore::hasPiece(FileId file, std::uint32_t piece) const {
   auto it = entries_.find(file);
   if (it == entries_.end()) return false;
-  return piece < it->second.have.size() && it->second.have[piece];
+  return piece < it->second.pieces && bit(it->second, piece);
 }
 
 bool PieceStore::isComplete(FileId file) const {
   auto it = entries_.find(file);
   if (it == entries_.end()) return false;
-  return it->second.held == it->second.have.size();
+  return it->second.held == it->second.pieces;
 }
 
 std::uint32_t PieceStore::piecesHeld(FileId file) const {
@@ -70,17 +85,15 @@ std::uint32_t PieceStore::piecesHeld(FileId file) const {
 
 std::uint32_t PieceStore::pieceCount(FileId file) const {
   auto it = entries_.find(file);
-  return it == entries_.end()
-             ? 0
-             : static_cast<std::uint32_t>(it->second.have.size());
+  return it == entries_.end() ? 0 : it->second.pieces;
 }
 
 std::vector<std::uint32_t> PieceStore::missingPieces(FileId file) const {
   std::vector<std::uint32_t> out;
   auto it = entries_.find(file);
   if (it == entries_.end()) return out;
-  for (std::uint32_t p = 0; p < it->second.have.size(); ++p) {
-    if (!it->second.have[p]) out.push_back(p);
+  for (std::uint32_t p = 0; p < it->second.pieces; ++p) {
+    if (!bit(it->second, p)) out.push_back(p);
   }
   return out;
 }
@@ -96,7 +109,7 @@ std::vector<FileId> PieceStore::files() const {
 std::vector<FileId> PieceStore::completeFiles() const {
   std::vector<FileId> out;
   for (const auto& [file, e] : entries_) {
-    if (e.held == e.have.size()) out.push_back(file);
+    if (e.held == e.pieces) out.push_back(file);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -124,7 +137,7 @@ void PieceStore::evictOnePiece() {
     return candidate.seq < incumbent->seq;
   };
   for (const auto& [file, e] : entries_) {
-    if (e.held == 0 || e.held == e.have.size()) continue;
+    if (e.held == 0 || e.held == e.pieces) continue;
     if (better(e, victimEntry)) {
       victimEntry = &e;
       victim = file;
@@ -141,10 +154,9 @@ void PieceStore::evictOnePiece() {
   }
   if (victimEntry == nullptr) return;
   Entry& e = entries_[victim];
-  for (std::uint32_t p = static_cast<std::uint32_t>(e.have.size()); p > 0;
-       --p) {
-    if (e.have[p - 1]) {
-      e.have[p - 1] = false;
+  for (std::uint32_t p = e.pieces; p > 0; --p) {
+    if (bit(e, p - 1)) {
+      clearBit(e, p - 1);
       --e.held;
       --totalHeld_;
       return;
@@ -158,9 +170,9 @@ void PieceStore::saveState(Serializer& out) const {
   for (const FileId file : sorted) {
     const Entry& e = entries_.at(file);
     out.u32(file.value);
-    out.u64(e.have.size());
-    for (std::size_t p = 0; p < e.have.size(); ++p) {
-      out.boolean(e.have[p]);
+    out.u64(e.pieces);
+    for (std::uint32_t p = 0; p < e.pieces; ++p) {
+      out.boolean(bit(e, p));
     }
     out.f64(e.priority);
     out.u64(e.seq);
@@ -170,21 +182,25 @@ void PieceStore::saveState(Serializer& out) const {
 
 void PieceStore::loadState(Deserializer& in) {
   entries_.clear();
+  arena_.clear();
+  freeBlocks_.clear();
   totalHeld_ = 0;
   const std::size_t count = in.length();
   for (std::size_t i = 0; i < count; ++i) {
     const FileId file{in.u32()};
     Entry e;
-    e.have.resize(in.length());
-    for (std::size_t p = 0; p < e.have.size(); ++p) {
-      const bool held = in.boolean();
-      e.have[p] = held;
-      if (held) ++e.held;
+    e.pieces = static_cast<std::uint32_t>(in.length());
+    e.word = allocWords(wordsFor(e.pieces));
+    for (std::uint32_t p = 0; p < e.pieces; ++p) {
+      if (in.boolean()) {
+        setBit(e, p);
+        ++e.held;
+      }
     }
     e.priority = in.f64();
     e.seq = in.u64();
     totalHeld_ += e.held;
-    entries_.emplace(file, std::move(e));
+    entries_.emplace(file, e);
   }
   nextSeq_ = in.u64();
 }

@@ -5,6 +5,14 @@
 // reports completion. Storage is unbounded, as in the paper's simulation
 // model; an optional capacity with popularity-aware eviction is provided for
 // constrained deployments.
+//
+// Layout: bitmaps live in one per-store word arena instead of a heap
+// allocation per file. Each registered file owns a span of 64-bit words;
+// removeFile returns the span to a size-keyed free list and registerFile
+// reuses it, so a store that churns files (TTL expiry every contact)
+// settles into a fixed arena with no steady-state allocation. At city scale
+// this is the difference between one contiguous block per node and millions
+// of scattered vector<bool> headers.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +67,10 @@ class PieceStore {
 
   [[nodiscard]] std::size_t totalPiecesHeld() const { return totalHeld_; }
 
+  /// Words currently in the bitmap arena (allocated + free-listed); tests
+  /// assert that churn reuses blocks instead of growing this.
+  [[nodiscard]] std::size_t arenaWords() const { return arena_.size(); }
+
   /// Sets the priority used by bounded-store eviction (higher survives
   /// longer). Typically the file's popularity.
   void setPriority(FileId file, double priority);
@@ -72,7 +84,8 @@ class PieceStore {
 
  private:
   struct Entry {
-    std::vector<bool> have;
+    std::uint32_t word = 0;  ///< first arena word of this file's bitmap
+    std::uint32_t pieces = 0;
     std::uint32_t held = 0;
     double priority = 0.0;
     /// Registration order; breaks eviction ties at equal priority
@@ -81,9 +94,28 @@ class PieceStore {
     std::uint64_t seq = 0;
   };
 
+  static std::uint32_t wordsFor(std::uint32_t pieces) {
+    return (pieces + 63) / 64;
+  }
+  [[nodiscard]] bool bit(const Entry& e, std::uint32_t piece) const {
+    return (arena_[e.word + piece / 64] >> (piece % 64)) & 1u;
+  }
+  void setBit(const Entry& e, std::uint32_t piece) {
+    arena_[e.word + piece / 64] |= std::uint64_t{1} << (piece % 64);
+  }
+  void clearBit(const Entry& e, std::uint32_t piece) {
+    arena_[e.word + piece / 64] &= ~(std::uint64_t{1} << (piece % 64));
+  }
+  /// Allocates a zeroed span of `words`, reusing a freed block when one of
+  /// the exact size exists.
+  std::uint32_t allocWords(std::uint32_t words);
+
   void evictOnePiece();
 
   std::unordered_map<FileId, Entry> entries_;
+  std::vector<std::uint64_t> arena_;
+  /// word-length -> reusable arena offsets (LIFO; deterministic reuse).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> freeBlocks_;
   std::size_t totalHeld_ = 0;
   std::uint64_t nextSeq_ = 1;
   std::optional<std::size_t> capacity_;

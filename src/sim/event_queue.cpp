@@ -1,28 +1,60 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hdtn::sim {
 
+namespace {
+constexpr std::uint64_t kGenShift = 32;
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+}  // namespace
+
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(heap_.size() + events);
+  slots_.reserve(std::max(slots_.size(), live_ + events));
+}
+
 EventId EventQueue::schedule(SimTime when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
   assert(fn && "event handler must be callable");
-  const EventId id = handlers_.size();
-  handlers_.push_back(std::move(fn));
-  heap_.push(Entry{when, id});
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(Entry{when, nextSeq_++, slot, slots_[slot].gen});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_;
-  return id;
+  return (static_cast<EventId>(slots_[slot].gen) << kGenShift) | slot;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id >= handlers_.size() || !handlers_[id]) return false;
-  handlers_[id] = nullptr;
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const auto gen = static_cast<std::uint32_t>(id >> kGenShift);
+  if (slot >= slots_.size() || slots_[slot].gen != gen || !slots_[slot].fn) {
+    return false;
+  }
+  // Recycle the slot immediately; the heap entry goes stale (its generation
+  // no longer matches) and is dropped lazily on pop.
+  slots_[slot].fn = nullptr;
+  ++slots_[slot].gen;
+  freeSlots_.push_back(slot);
   --live_;
   return true;
 }
 
+void EventQueue::popTop() const {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+}
+
 void EventQueue::skipCancelled() const {
-  while (!heap_.empty() && !handlers_[heap_.top().id]) heap_.pop();
+  while (!heap_.empty() && !liveEntry(heap_.front())) popTop();
 }
 
 bool EventQueue::empty() const {
@@ -32,17 +64,25 @@ bool EventQueue::empty() const {
 
 SimTime EventQueue::nextTime() const {
   skipCancelled();
-  return heap_.empty() ? kTimeInfinity : heap_.top().when;
+  return heap_.empty() ? kTimeInfinity : heap_.front().when;
+}
+
+EventFn EventQueue::takeAndRecycle(const Entry& e) {
+  Slot& slot = slots_[e.slot];
+  EventFn fn = std::move(slot.fn);
+  slot.fn = nullptr;
+  ++slot.gen;  // outstanding ids for this tenancy go stale
+  freeSlots_.push_back(e.slot);
+  return fn;
 }
 
 bool EventQueue::runNext() {
   skipCancelled();
   if (heap_.empty()) return false;
-  const Entry entry = heap_.top();
-  heap_.pop();
+  const Entry entry = heap_.front();
+  popTop();
   now_ = entry.when;
-  EventFn fn = std::move(handlers_[entry.id]);
-  handlers_[entry.id] = nullptr;
+  EventFn fn = takeAndRecycle(entry);
   --live_;
   fn();
   return true;
@@ -51,10 +91,10 @@ bool EventQueue::runNext() {
 bool EventQueue::discardNext() {
   skipCancelled();
   if (heap_.empty()) return false;
-  const Entry entry = heap_.top();
-  heap_.pop();
+  const Entry entry = heap_.front();
+  popTop();
   now_ = entry.when;
-  handlers_[entry.id] = nullptr;
+  takeAndRecycle(entry);
   --live_;
   return true;
 }

@@ -14,6 +14,10 @@ class Simulator {
  public:
   [[nodiscard]] SimTime now() const { return queue_.now(); }
 
+  /// Pre-sizes the queue for a known bulk schedule (the engine schedules
+  /// every trace contact up front).
+  void reserve(std::size_t events) { queue_.reserve(events); }
+
   /// Schedules at an absolute time.
   EventId at(SimTime when, EventFn fn);
 
@@ -46,6 +50,8 @@ class Simulator {
   bool skipOne();
 
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+  /// Time of the next pending event; kTimeInfinity when the queue is empty.
+  [[nodiscard]] SimTime nextEventTime() const { return queue_.nextTime(); }
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
 
  private:

@@ -1,0 +1,210 @@
+#include "src/trace/citygen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hdtn::trace {
+namespace {
+
+/// Per-district stream salt: every district forks its own RNG from the base
+/// seed, so districts are independent and a district's sequence does not
+/// depend on how many districts exist before it consumed their draws.
+constexpr std::uint64_t kDistrictSalt = 0xd157000000000000ull;
+
+/// Floor on pairwise encounter durations (radio contacts below a few
+/// seconds carry nothing useful).
+constexpr double kMinEncounterSeconds = 10.0;
+
+}  // namespace
+
+std::vector<std::string> CityParams::validate() const {
+  std::vector<std::string> errors;
+  auto check = [&](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  check(nodes >= 2, "nodes must be at least 2");
+  check(districts >= 1, "districts must be at least 1");
+  check(districts <= nodes, "districts must not exceed nodes");
+  check(days >= 1, "days must be at least 1");
+  check(campusFraction >= 0.0 && campusFraction <= 1.0,
+        "campusFraction must lie in [0, 1]");
+  check(campusCliqueSize >= 2, "campusCliqueSize must be at least 2");
+  check(campusSessionsPerCliquePerDay >= 0,
+        "campusSessionsPerCliquePerDay must be non-negative");
+  check(campusSessionDuration > 0, "campusSessionDuration must be positive");
+  check(campusAttendanceRate >= 0.0 && campusAttendanceRate <= 1.0,
+        "campusAttendanceRate must lie in [0, 1]");
+  check(transitMeetingsPerNodePerDay >= 0.0,
+        "transitMeetingsPerNodePerDay must be non-negative");
+  check(meanTransitContactDuration > 0,
+        "meanTransitContactDuration must be positive");
+  check(walkMeetingsPerNodePerDay >= 0.0,
+        "walkMeetingsPerNodePerDay must be non-negative");
+  check(meanWalkContactDuration > 0,
+        "meanWalkContactDuration must be positive");
+  check(dayStart >= 0 && dayStart < dayEnd && dayEnd <= kDay,
+        "operating window must satisfy 0 <= dayStart < dayEnd <= 86400");
+  check(campusSessionDuration <= dayEnd - dayStart,
+        "campusSessionDuration must fit the operating window");
+  return errors;
+}
+
+CityStream::CityStream(const CityParams& params) : params_(params) {
+  assert(params.validate().empty());
+  const std::uint32_t per = (params_.nodes + params_.districts - 1) /
+                            params_.districts;
+  districtOf_.resize(params_.nodes);
+  districts_.resize(params_.districts);
+  for (std::uint32_t d = 0; d < params_.districts; ++d) {
+    const std::uint32_t first = std::min(d * per, params_.nodes);
+    const std::uint32_t last = std::min(first + per, params_.nodes);
+    districts_[d].firstNode = first;
+    districts_[d].nodes = last - first;
+    for (std::uint32_t n = first; n < last; ++n) districtOf_[n] = d;
+  }
+  reset();
+}
+
+void CityStream::reset() {
+  Rng base(params_.seed);
+  for (std::uint32_t d = 0; d < params_.districts; ++d) {
+    districts_[d].rng = base.fork(kDistrictSalt + d);
+    districts_[d].sessionStarts.clear();
+  }
+  day_ = -1;
+  windowStart_ = 0;
+  window_.clear();
+  pos_ = 0;
+}
+
+void CityStream::startDay(int day) {
+  (void)day;
+  const SimTime lastSlot = params_.dayEnd - params_.campusSessionDuration;
+  const auto slotCount =
+      static_cast<std::int64_t>((lastSlot - params_.dayStart) / kHour) + 1;
+  for (District& d : districts_) {
+    const auto campusCount = static_cast<std::uint32_t>(std::llround(
+        params_.campusFraction * static_cast<double>(d.nodes)));
+    const std::uint32_t cliques = campusCount / params_.campusCliqueSize;
+    d.sessionStarts.assign(cliques, {});
+    for (std::uint32_t c = 0; c < cliques; ++c) {
+      for (int k = 0; k < params_.campusSessionsPerCliquePerDay; ++k) {
+        const auto slot = d.rng.uniformInt(0, slotCount - 1);
+        d.sessionStarts[c].push_back(params_.dayStart + slot * kHour);
+      }
+      std::sort(d.sessionStarts[c].begin(), d.sessionStarts[c].end());
+    }
+  }
+}
+
+void CityStream::fillDistrictWindow(District& d, SimTime from, SimTime to) {
+  if (d.nodes < 2) return;
+  const SimTime dayBase = static_cast<SimTime>(day_) * kDay;
+  const SimTime dayBoundary = dayBase + kDay;
+  const auto windowSeconds = static_cast<double>(to - from);
+  const auto operatingSeconds =
+      static_cast<double>(params_.dayEnd - params_.dayStart);
+
+  // Campus clique sessions whose start falls inside the window.
+  for (std::size_t c = 0; c < d.sessionStarts.size(); ++c) {
+    const std::uint32_t cliqueFirst =
+        d.firstNode + static_cast<std::uint32_t>(c) * params_.campusCliqueSize;
+    for (SimTime startOffset : d.sessionStarts[c]) {
+      const SimTime start = dayBase + startOffset;
+      if (start < from || start >= to) continue;
+      Contact contact;
+      contact.start = start;
+      contact.end = start + params_.campusSessionDuration;
+      for (std::uint32_t m = 0; m < params_.campusCliqueSize; ++m) {
+        if (d.rng.chance(params_.campusAttendanceRate)) {
+          contact.members.emplace_back(cliqueFirst + m);
+        }
+      }
+      if (contact.members.size() >= 2) window_.push_back(std::move(contact));
+    }
+  }
+
+  // Pairwise Poisson encounters, restricted to the window. Restarting the
+  // exponential clock at the window edge is exact for a Poisson process
+  // (memorylessness), so windowing does not change the distribution.
+  auto pairwise = [&](double meetingsPerNodePerDay, Duration meanDuration) {
+    const double meetingsPerSecond = static_cast<double>(d.nodes) *
+                                     meetingsPerNodePerDay / 2.0 /
+                                     operatingSeconds;
+    if (meetingsPerSecond <= 0.0) return;
+    const double meanGap = 1.0 / meetingsPerSecond;
+    double t = d.rng.exponential(meanGap);
+    while (t < windowSeconds) {
+      const SimTime start = from + static_cast<SimTime>(t);
+      const auto duration = static_cast<Duration>(
+          std::max(kMinEncounterSeconds,
+                   d.rng.exponential(static_cast<double>(meanDuration))));
+      auto a = static_cast<std::uint32_t>(
+          d.rng.uniformInt(0, static_cast<std::int64_t>(d.nodes) - 1));
+      auto b = a;
+      while (b == a) {
+        b = static_cast<std::uint32_t>(
+            d.rng.uniformInt(0, static_cast<std::int64_t>(d.nodes) - 1));
+      }
+      if (a > b) std::swap(a, b);
+      Contact contact;
+      contact.start = start;
+      contact.end = std::min(start + duration, dayBoundary);
+      contact.members = {NodeId(d.firstNode + a), NodeId(d.firstNode + b)};
+      window_.push_back(std::move(contact));
+      t += d.rng.exponential(meanGap);
+    }
+  };
+  pairwise(params_.transitMeetingsPerNodePerDay,
+           params_.meanTransitContactDuration);
+  pairwise(params_.walkMeetingsPerNodePerDay,
+           params_.meanWalkContactDuration);
+}
+
+bool CityStream::fillWindow() {
+  window_.clear();
+  pos_ = 0;
+  while (window_.empty()) {
+    if (day_ < 0) {
+      day_ = 0;
+      windowStart_ = params_.dayStart;
+      startDay(day_);
+    } else {
+      windowStart_ += kHour;
+      if (windowStart_ >= params_.dayEnd) {
+        ++day_;
+        if (day_ >= params_.days) return false;
+        windowStart_ = params_.dayStart;
+        startDay(day_);
+      }
+    }
+    const SimTime dayBase = static_cast<SimTime>(day_) * kDay;
+    const SimTime from = dayBase + windowStart_;
+    const SimTime to =
+        dayBase + std::min(windowStart_ + kHour, params_.dayEnd);
+    for (District& d : districts_) fillDistrictWindow(d, from, to);
+    // Every contact's start lies inside the window, so sorting each window
+    // yields the globally sorted sequence.
+    std::sort(window_.begin(), window_.end(),
+              [](const Contact& a, const Contact& b) {
+                if (a.start != b.start) return a.start < b.start;
+                if (a.end != b.end) return a.end < b.end;
+                return a.members < b.members;
+              });
+  }
+  return true;
+}
+
+std::optional<Contact> CityStream::next() {
+  if (pos_ >= window_.size() && !fillWindow()) return std::nullopt;
+  return window_[pos_++];
+}
+
+ContactTrace generateCity(const CityParams& params) {
+  CityStream stream(params);
+  ContactTrace out = materialize(stream);
+  return out;
+}
+
+}  // namespace hdtn::trace

@@ -1,0 +1,126 @@
+// City-scale mixed-mobility trace generator (streaming).
+//
+// The workload that makes the scaling story real: a metropolitan population
+// (10^5–10^6 nodes) split into districts, each mixing the two mobility
+// regimes the paper evaluates plus a pedestrian background:
+//   * campus cliques — NUS-style class sessions: fixed cliques of district
+//     residents meet at on-the-hour slots, every attendee hears every other;
+//   * transit encounters — DieselNet-style pairwise Poisson meetings over
+//     the district's population (bus/metro co-rides);
+//   * pedestrian encounters — a second, slower pairwise Poisson process
+//     approximating random-waypoint walkers (RWP inter-meeting times are
+//     near-exponential at these densities; see trace/mobility.hpp for the
+//     explicit walker used at small scale).
+//
+// Contacts never span districts, so the district labels double as the
+// sharded engine's partition hint: each district is an independent component
+// and the union-find pre-pass is skipped.
+//
+// Streaming: contacts are produced one operating-hour window at a time
+// (every district's processes restricted to the window — exact for Poisson
+// processes, which are memoryless), sorted within the window, and emitted in
+// global (start, end, members) order. Peak memory is one window of contacts,
+// not the day. The sequence is a pure function of the parameters: reset()
+// replays it exactly, and materializing it equals sorting it (tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/contact_trace.hpp"
+#include "src/trace/streaming.hpp"
+#include "src/util/random.hpp"
+#include "src/util/types.hpp"
+
+namespace hdtn::trace {
+
+struct CityParams {
+  /// Total population; ids [0, nodes) split into near-equal contiguous
+  /// district ranges.
+  std::uint32_t nodes = 100000;
+  /// Districts (= partition components). Contacts never span districts.
+  std::uint32_t districts = 64;
+  int days = 1;
+
+  /// Fraction of each district's residents enrolled in campus cliques.
+  double campusFraction = 0.3;
+  /// Residents per campus clique (cliques are fixed contiguous groups).
+  std::uint32_t campusCliqueSize = 25;
+  /// Class sessions each clique holds per day, at on-the-hour slots.
+  int campusSessionsPerCliquePerDay = 3;
+  Duration campusSessionDuration = kHour;
+  /// Probability an enrolled resident attends a given session.
+  double campusAttendanceRate = 0.8;
+
+  /// Expected transit meetings per resident per day (pairwise Poisson).
+  double transitMeetingsPerNodePerDay = 2.0;
+  Duration meanTransitContactDuration = 2 * kMinute;
+
+  /// Expected pedestrian meetings per resident per day (pairwise Poisson,
+  /// RWP-approximated).
+  double walkMeetingsPerNodePerDay = 1.0;
+  Duration meanWalkContactDuration = 4 * kMinute;
+
+  /// All activity happens within these hours each day.
+  SimTime dayStart = 6 * kHour;
+  SimTime dayEnd = 23 * kHour;
+  std::uint64_t seed = 1;
+
+  /// One message per violation; empty when valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Lazily generates the city trace. Memory is one operating-hour window of
+/// contacts across all districts regardless of days or population.
+class CityStream final : public ContactStream {
+ public:
+  /// Asserts params.validate() is empty.
+  explicit CityStream(const CityParams& params);
+
+  std::optional<Contact> next() override;
+  void reset() override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t nodeCount() const override {
+    return params_.nodes;
+  }
+  /// days * 86400: contacts are clamped to their day.
+  [[nodiscard]] SimTime endTime() const override {
+    return static_cast<SimTime>(params_.days) * kDay;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& partitionHint()
+      const override {
+    return districtOf_;
+  }
+
+ private:
+  struct District {
+    std::uint32_t firstNode = 0;
+    std::uint32_t nodes = 0;
+    Rng rng{0};
+    /// This day's campus session start offsets, per clique (drawn at the
+    /// start of each day).
+    std::vector<std::vector<SimTime>> sessionStarts;
+  };
+
+  void startDay(int day);
+  /// Appends one district's contacts for window [from, to) to window_.
+  void fillDistrictWindow(District& d, SimTime from, SimTime to);
+  /// Advances to the next non-empty window; false when the trace ends.
+  bool fillWindow();
+
+  CityParams params_;
+  std::string name_ = "city";
+  std::vector<std::uint32_t> districtOf_;
+  std::vector<District> districts_;
+  int day_ = -1;
+  SimTime windowStart_ = 0;
+  std::vector<Contact> window_;
+  std::size_t pos_ = 0;
+};
+
+/// Materializes the stream into a ContactTrace. Intended for tests and
+/// small configurations; a day-long 10^6-node city is gigabytes.
+[[nodiscard]] ContactTrace generateCity(const CityParams& params);
+
+}  // namespace hdtn::trace

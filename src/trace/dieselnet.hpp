@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/trace/contact_trace.hpp"
 #include "src/util/random.hpp"
@@ -57,5 +58,12 @@ struct DieselNetParams {
 /// duration — fail with a line-numbered error and return std::nullopt.
 [[nodiscard]] std::optional<ContactTrace> readDieselNetLog(
     std::istream& is, std::string* error);
+
+/// Parses one line of the meeting-log format into `out`. The single
+/// building block behind both readDieselNetLog and the streaming reader
+/// (trace/streaming.hpp). On kError, `why` receives the reason (without the
+/// line number).
+[[nodiscard]] LineParse parseDieselNetLine(std::string_view line, Contact* out,
+                                           std::string* why);
 
 }  // namespace hdtn::trace

@@ -19,6 +19,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/trace/contact_trace.hpp"
@@ -78,5 +79,13 @@ struct NusSchedule {
 /// fail with a line-numbered error and return std::nullopt.
 [[nodiscard]] std::optional<ContactTrace> readNusSessions(std::istream& is,
                                                           std::string* error);
+
+/// Parses one line of the session-log format into `out` (members in input
+/// order, not yet normalized). The single building block behind both
+/// readNusSessions and the streaming reader (trace/streaming.hpp), so the
+/// two accept byte-identical input. On kError, `why` receives the reason
+/// (without the line number).
+[[nodiscard]] LineParse parseNusSessionLine(std::string_view line,
+                                            Contact* out, std::string* why);
 
 }  // namespace hdtn::trace

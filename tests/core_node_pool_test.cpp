@@ -1,0 +1,87 @@
+#include "src/core/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdtn::core {
+namespace {
+
+NodeOptions roleOptions(bool access, bool freeRider, bool forger) {
+  NodeOptions options;
+  options.internetAccess = access;
+  options.freeRider = freeRider;
+  options.forger = forger;
+  return options;
+}
+
+TEST(NodePool, EmplaceInOrderAndIndex) {
+  NodePool pool;
+  pool.reset(3);
+  EXPECT_TRUE(pool.empty());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Node& node = pool.emplace(NodeId(i), roleOptions(false, false, false));
+    EXPECT_EQ(node.id().value, i);
+  }
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool[NodeId(2)].id().value, 2u);
+}
+
+TEST(NodePool, AddressesStableAcrossEmplace) {
+  NodePool pool;
+  pool.reset(100);
+  const Node* first = &pool.emplace(NodeId(0), roleOptions(false, false, false));
+  for (std::uint32_t i = 1; i < 100; ++i) {
+    pool.emplace(NodeId(i), roleOptions(false, false, false));
+  }
+  // reset() reserves full capacity up front: hooks capturing raw Node*
+  // depend on no reallocation ever happening.
+  EXPECT_EQ(first, &pool[NodeId(0)]);
+}
+
+TEST(NodePool, RoleViewsMatchOptions) {
+  NodePool pool;
+  pool.reset(6);
+  pool.emplace(NodeId(0), roleOptions(true, false, false));
+  pool.emplace(NodeId(1), roleOptions(false, true, false));
+  pool.emplace(NodeId(2), roleOptions(false, false, true));
+  pool.emplace(NodeId(3), roleOptions(true, false, false));
+  pool.emplace(NodeId(4), roleOptions(false, false, false));
+  pool.emplace(NodeId(5), roleOptions(false, false, true));
+
+  EXPECT_EQ(pool.accessIds(), (std::vector<NodeId>{NodeId(0), NodeId(3)}));
+  EXPECT_EQ(pool.forgerIds(), (std::vector<NodeId>{NodeId(2), NodeId(5)}));
+  EXPECT_EQ(pool.freeRiderCount(), 1u);
+  EXPECT_TRUE(pool.isAccess(NodeId(0)));
+  EXPECT_FALSE(pool.isAccess(NodeId(1)));
+  EXPECT_TRUE(pool.isForger(NodeId(5)));
+  EXPECT_FALSE(pool.isForger(NodeId(4)));
+}
+
+TEST(NodePool, ResetClearsEverything) {
+  NodePool pool;
+  pool.reset(2);
+  pool.emplace(NodeId(0), roleOptions(true, false, false));
+  pool.emplace(NodeId(1), roleOptions(false, false, true));
+  pool.reset(1);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_TRUE(pool.accessIds().empty());
+  EXPECT_TRUE(pool.forgerIds().empty());
+  pool.emplace(NodeId(0), roleOptions(false, false, false));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.isAccess(NodeId(0)));
+}
+
+TEST(NodePool, IterationVisitsIdOrder) {
+  NodePool pool;
+  pool.reset(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    pool.emplace(NodeId(i), roleOptions(false, false, false));
+  }
+  std::uint32_t expected = 0;
+  for (const Node& node : pool) {
+    EXPECT_EQ(node.id().value, expected++);
+  }
+  EXPECT_EQ(expected, 5u);
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -172,5 +172,34 @@ TEST(PieceStore, EvictionTieBreakSurvivesSaveLoad) {
   EXPECT_TRUE(restored.hasPiece(FileId(1), 0));
 }
 
+TEST(PieceStore, ArenaReusesFreedBlocks) {
+  PieceStore store;
+  store.registerFile(FileId(1), 64);
+  store.registerFile(FileId(2), 64);
+  const std::size_t words = store.arenaWords();
+  // Register/remove churn of same-sized bitmaps must recycle arena blocks
+  // instead of growing the arena.
+  for (int round = 0; round < 20; ++round) {
+    store.removeFile(FileId(1));
+    store.registerFile(FileId(1), 64);
+    store.addPiece(FileId(1), 63);
+  }
+  EXPECT_EQ(store.arenaWords(), words);
+  EXPECT_TRUE(store.hasPiece(FileId(1), 63));
+  EXPECT_FALSE(store.hasPiece(FileId(1), 0));  // freed blocks come back zeroed
+}
+
+TEST(PieceStore, ArenaBlocksAreZeroedOnReuse) {
+  PieceStore store;
+  store.registerFile(FileId(1), 128);
+  for (std::uint32_t p = 0; p < 128; ++p) store.addPiece(FileId(1), p);
+  store.removeFile(FileId(1));
+  store.registerFile(FileId(2), 128);  // reuses the freed block
+  EXPECT_EQ(store.piecesHeld(FileId(2)), 0u);
+  for (std::uint32_t p = 0; p < 128; ++p) {
+    EXPECT_FALSE(store.hasPiece(FileId(2), p));
+  }
+}
+
 }  // namespace
 }  // namespace hdtn::core

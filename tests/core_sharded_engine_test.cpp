@@ -1,0 +1,393 @@
+// ShardedEngine: the determinism contract (results byte-identical at every
+// --shards / --threads setting, streaming or materialized), the component
+// decomposition (union-find, explicit partitions, stream hints, isolated-node
+// pooling), and sharded checkpoints restoring across shard counts and modes.
+#include "src/core/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/core/checkpoint.hpp"
+#include "src/trace/citygen.hpp"
+#include "src/trace/dieselnet.hpp"
+#include "src/trace/nus.hpp"
+
+namespace hdtn::core {
+namespace {
+
+trace::ContactTrace smallNusTrace(std::uint64_t seed = 3) {
+  trace::NusParams p;
+  p.students = 40;
+  p.courses = 8;
+  p.coursesPerStudent = 2;
+  p.days = 5;
+  p.attendanceRate = 0.9;
+  p.seed = seed;
+  return trace::generateNus(p);
+}
+
+trace::ContactTrace smallDieselTrace(std::uint64_t seed = 3) {
+  trace::DieselNetParams p;
+  p.buses = 16;
+  p.routes = 4;
+  p.days = 6;
+  p.seed = seed;
+  return trace::generateDieselNet(p);
+}
+
+trace::CityParams smallCity() {
+  trace::CityParams p;
+  p.nodes = 160;
+  p.districts = 4;
+  p.days = 2;
+  p.campusFraction = 0.4;
+  p.campusCliqueSize = 10;
+  p.campusSessionsPerCliquePerDay = 2;
+  p.transitMeetingsPerNodePerDay = 1.0;
+  p.walkMeetingsPerNodePerDay = 0.5;
+  p.seed = 11;
+  return p;
+}
+
+ShardedParams shardedParams(ProtocolKind kind, std::uint32_t shards,
+                            unsigned threads) {
+  ShardedParams params;
+  params.engine.protocol.kind = kind;
+  params.engine.internetAccessFraction = 0.3;
+  params.engine.newFilesPerDay = 20;
+  params.engine.fileTtlDays = 2;
+  params.engine.seed = 7;
+  params.engine.frequentContactPeriod = kDay;
+  params.shards = shards;
+  params.threads = threads;
+  return params;
+}
+
+void expectReportsEqual(const DeliveryReport& a, const DeliveryReport& b,
+                        const char* which) {
+  EXPECT_EQ(a.queries, b.queries) << which;
+  EXPECT_EQ(a.metadataDelivered, b.metadataDelivered) << which;
+  EXPECT_EQ(a.filesDelivered, b.filesDelivered) << which;
+  EXPECT_EQ(a.metadataRatio, b.metadataRatio) << which;
+  EXPECT_EQ(a.fileRatio, b.fileRatio) << which;
+  EXPECT_EQ(a.meanMetadataDelaySeconds, b.meanMetadataDelaySeconds) << which;
+  EXPECT_EQ(a.meanFileDelaySeconds, b.meanFileDelaySeconds) << which;
+}
+
+void expectResultsIdentical(const EngineResult& a, const EngineResult& b) {
+  expectReportsEqual(a.delivery, b.delivery, "delivery");
+  expectReportsEqual(a.accessDelivery, b.accessDelivery, "accessDelivery");
+  expectReportsEqual(a.contributorDelivery, b.contributorDelivery,
+                     "contributorDelivery");
+  expectReportsEqual(a.freeRiderDelivery, b.freeRiderDelivery,
+                     "freeRiderDelivery");
+  EXPECT_EQ(a.totals.contactsProcessed, b.totals.contactsProcessed);
+  EXPECT_EQ(a.totals.filesPublished, b.totals.filesPublished);
+  EXPECT_EQ(a.totals.queriesGenerated, b.totals.queriesGenerated);
+  EXPECT_EQ(a.totals.metadataBroadcasts, b.totals.metadataBroadcasts);
+  EXPECT_EQ(a.totals.pieceBroadcasts, b.totals.pieceBroadcasts);
+  EXPECT_EQ(a.totals.metadataReceptions, b.totals.metadataReceptions);
+  EXPECT_EQ(a.totals.pieceReceptions, b.totals.pieceReceptions);
+}
+
+std::string ckptPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".shard.ckpt";
+}
+
+/// 8 nodes: contacts join {0,1,2} and {4,5}; 3, 6, 7 never appear.
+trace::ContactTrace componentFixture() {
+  trace::ContactTrace t("fixture", 8);
+  t.addContact({100, 200, {NodeId(0), NodeId(1)}});
+  t.addContact({300, 400, {NodeId(1), NodeId(2)}});
+  t.addContact({500, 600, {NodeId(4), NodeId(5)}});
+  t.sortByStart();
+  return t;
+}
+
+TEST(ShardedEngine, ResultsIdenticalAtEveryShardAndThreadSetting) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm}) {
+    const auto nus = smallNusTrace();
+    const EngineResult reference =
+        ShardedEngine(nus, shardedParams(kind, 1, 1)).run();
+    for (const std::uint32_t shards : {2u, 8u}) {
+      for (const unsigned threads : {1u, 4u}) {
+        ShardedEngine sharded(nus, shardedParams(kind, shards, threads));
+        expectResultsIdentical(reference, sharded.run());
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, DieselResultsIdenticalAcrossShards) {
+  const auto diesel = smallDieselTrace();
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMbt, ProtocolKind::kMbtQ, ProtocolKind::kMbtQm}) {
+    auto make = [&](std::uint32_t shards, unsigned threads) {
+      ShardedParams p = shardedParams(kind, shards, threads);
+      p.engine.frequentContactPeriod = 3 * kDay;
+      return ShardedEngine(diesel, p).run();
+    };
+    const EngineResult reference = make(1, 1);
+    expectResultsIdentical(reference, make(8, 4));
+    expectResultsIdentical(reference, make(3, 2));
+  }
+}
+
+TEST(ShardedEngine, ComponentDecompositionIsCanonical) {
+  const auto t = componentFixture();
+  ShardedEngine sharded(t, shardedParams(ProtocolKind::kMbt, 8, 1));
+  // Canonical order: ascending smallest global id. Isolated nodes (3, 6, 7)
+  // pool into one component, first seen at id 3.
+  ASSERT_EQ(sharded.componentCount(), 3u);
+  EXPECT_EQ(sharded.componentNodes(0),
+            (std::vector<NodeId>{NodeId(0), NodeId(1), NodeId(2)}));
+  EXPECT_EQ(sharded.componentNodes(1),
+            (std::vector<NodeId>{NodeId(3), NodeId(6), NodeId(7)}));
+  EXPECT_EQ(sharded.componentNodes(2),
+            (std::vector<NodeId>{NodeId(4), NodeId(5)}));
+  EXPECT_EQ(sharded.componentOf(NodeId(2)), 0u);
+  EXPECT_EQ(sharded.componentOf(NodeId(6)), 1u);
+  EXPECT_EQ(sharded.componentOf(NodeId(5)), 2u);
+  // Only 3 components exist, so only 3 scheduling groups form.
+  EXPECT_EQ(sharded.shardCount(), 3u);
+  EXPECT_EQ(sharded.nodeCount(), 8u);
+}
+
+TEST(ShardedEngine, ExplicitPartitionIsAuthoritative) {
+  trace::ContactTrace t("split", 4);
+  t.addContact({100, 200, {NodeId(0), NodeId(1)}});
+  t.addContact({100, 200, {NodeId(2), NodeId(3)}});
+  t.sortByStart();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 1);
+  params.partition = {7, 7, 9, 9};
+  ShardedEngine sharded(t, params);
+  EXPECT_EQ(sharded.componentCount(), 2u);
+  EXPECT_EQ(sharded.componentNodes(0),
+            (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+  EXPECT_EQ(sharded.componentNodes(1),
+            (std::vector<NodeId>{NodeId(2), NodeId(3)}));
+}
+
+TEST(ShardedEngine, ContactSpanningExplicitPartitionThrows) {
+  trace::ContactTrace t("bad", 4);
+  t.addContact({100, 200, {NodeId(1), NodeId(2)}});
+  t.sortByStart();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 1);
+  params.partition = {0, 0, 1, 1};
+  EXPECT_THROW(ShardedEngine(t, params), std::invalid_argument);
+}
+
+TEST(ShardedEngine, PartitionSizeMismatchThrows) {
+  const auto t = componentFixture();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 1);
+  params.partition = {0, 0, 0};  // 3 labels for 8 nodes
+  EXPECT_THROW(ShardedEngine(t, params), std::invalid_argument);
+}
+
+TEST(ShardedEngine, MergedResultEqualsComponentSum) {
+  const auto diesel = smallDieselTrace();
+  ShardedEngine sharded(diesel, shardedParams(ProtocolKind::kMbtQ, 4, 2));
+  sharded.runUntil(sharded.endTime());
+  EngineTotals sum;
+  std::uint64_t queries = 0;
+  for (std::size_t i = 0; i < sharded.componentCount(); ++i) {
+    const EngineResult part = sharded.component(i).currentResult();
+    sum.contactsProcessed += part.totals.contactsProcessed;
+    sum.filesPublished += part.totals.filesPublished;
+    sum.queriesGenerated += part.totals.queriesGenerated;
+    queries += part.delivery.queries + part.accessDelivery.queries;
+  }
+  const EngineResult merged = sharded.currentResult();
+  EXPECT_EQ(merged.totals.contactsProcessed, sum.contactsProcessed);
+  EXPECT_EQ(merged.totals.filesPublished, sum.filesPublished);
+  EXPECT_EQ(merged.totals.queriesGenerated, sum.queriesGenerated);
+  EXPECT_EQ(merged.delivery.queries + merged.accessDelivery.queries, queries);
+  EXPECT_EQ(merged.totals.contactsProcessed, diesel.contactCount());
+}
+
+TEST(ShardedEngine, SharedPublishStreamKeepsCatalogsAligned) {
+  // Every component publishes the same daily catalog through the shared
+  // publish horizon: merged filesPublished is componentCount * days *
+  // newFilesPerDay even for components whose own contacts end early.
+  const auto nus = smallNusTrace();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 4, 1);
+  params.engine.newFilesPerDay = 5;
+  ShardedEngine sharded(nus, params);
+  const EngineResult result = sharded.run();
+  // 5-day trace: 5 publish days x 5 files x componentCount components.
+  EXPECT_EQ(result.totals.filesPublished, 5u * 5u * sharded.componentCount());
+}
+
+TEST(ShardedEngine, StreamingMatchesMaterialized) {
+  // kMbtQ distributes metadata but not queries: the frequent-contact
+  // relation (empty in feed mode) is inert, so the streamed run must be
+  // byte-identical to the materialized one.
+  auto check = [](const trace::ContactTrace& t, const char* which) {
+    SCOPED_TRACE(which);
+    const ShardedParams params = shardedParams(ProtocolKind::kMbtQ, 2, 2);
+    const EngineResult materialized = ShardedEngine(t, params).run();
+    trace::MaterializedStream stream(t);
+    const EngineResult streamed = ShardedEngine(stream, params).run();
+    expectResultsIdentical(materialized, streamed);
+  };
+  check(smallNusTrace(), "nus");
+  check(smallDieselTrace(), "diesel");
+}
+
+TEST(ShardedEngine, CityStreamIdenticalAcrossShardsAndThreads) {
+  const trace::CityParams city = smallCity();
+  auto runCity = [&](std::uint32_t shards, unsigned threads) {
+    trace::CityStream stream(city);
+    ShardedEngine sharded(stream,
+                          shardedParams(ProtocolKind::kMbtQ, shards, threads));
+    // The district hint skips the union-find pass and fixes the layout.
+    EXPECT_EQ(sharded.componentCount(), city.districts);
+    return sharded.run();
+  };
+  const EngineResult reference = runCity(1, 1);
+  expectResultsIdentical(reference, runCity(4, 4));
+  expectResultsIdentical(reference, runCity(2, 8));
+}
+
+TEST(ShardedEngine, MaterializedCheckpointRoundTrip) {
+  const auto diesel = smallDieselTrace();
+  const ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 2);
+  const std::string path = ckptPath("materialized");
+
+  ShardedEngine full(diesel, params);
+  const EngineResult expected = full.run();
+
+  ShardedEngine saver(diesel, params);
+  saver.runUntil(3 * kDay);
+  saver.saveCheckpoint(path, "resume-me");
+
+  ShardedEngine restored(diesel, params);
+  restored.restoreCheckpoint(path);
+  EXPECT_EQ(restored.now(), 3 * kDay);
+  expectResultsIdentical(expected, restored.run());
+}
+
+TEST(ShardedEngine, CheckpointRestoresAcrossShardAndThreadSettings) {
+  const auto nus = smallNusTrace();
+  const std::string path = ckptPath("reshard");
+
+  ShardedEngine saver(nus, shardedParams(ProtocolKind::kMbtQ, 1, 1));
+  saver.runUntil(2 * kDay);
+  saver.saveCheckpoint(path);
+
+  // Shards/threads are scheduling knobs, not state: the checkpoint restores
+  // at any other setting.
+  ShardedEngine restored(nus, shardedParams(ProtocolKind::kMbtQ, 8, 4));
+  restored.restoreCheckpoint(path);
+  const EngineResult viaCheckpoint = restored.run();
+
+  const EngineResult expected =
+      ShardedEngine(nus, shardedParams(ProtocolKind::kMbtQ, 2, 2)).run();
+  expectResultsIdentical(expected, viaCheckpoint);
+}
+
+TEST(ShardedEngine, StreamingCheckpointRoundTrip) {
+  const trace::CityParams city = smallCity();
+  const ShardedParams params = shardedParams(ProtocolKind::kMbtQ, 4, 2);
+  const std::string path = ckptPath("streaming");
+
+  trace::CityStream fullStream(city);
+  const EngineResult expected = ShardedEngine(fullStream, params).run();
+
+  trace::CityStream saveStream(city);
+  ShardedEngine saver(saveStream, params);
+  saver.runUntil(kDay);
+  saver.saveCheckpoint(path);
+
+  trace::CityStream restoreStream(city);
+  ShardedEngine restored(restoreStream, params);
+  restored.restoreCheckpoint(path);
+  EXPECT_EQ(restored.now(), kDay);
+  expectResultsIdentical(expected, restored.run());
+}
+
+TEST(ShardedEngine, StreamingCheckpointRejectsDifferentStream) {
+  const trace::CityParams city = smallCity();
+  const ShardedParams params = shardedParams(ProtocolKind::kMbtQ, 2, 1);
+  const std::string path = ckptPath("wrong-stream");
+
+  trace::CityStream saveStream(city);
+  ShardedEngine saver(saveStream, params);
+  saver.runUntil(kDay);
+  saver.saveCheckpoint(path);
+
+  // Same params and district layout, different seed: the engine
+  // fingerprints match only on configuration the seed does not reach, so
+  // the replay count check catches the divergent contact sequence... unless
+  // the fingerprint already rejects it (both are CheckpointError).
+  trace::CityParams other = city;
+  other.transitMeetingsPerNodePerDay = 2.0;
+  trace::CityStream otherStream(other);
+  ShardedEngine restored(otherStream, params);
+  EXPECT_THROW(restored.restoreCheckpoint(path), CheckpointError);
+}
+
+TEST(ShardedEngine, RestoreRequiresFreshEngine) {
+  const auto diesel = smallDieselTrace();
+  const ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 1);
+  const std::string path = ckptPath("fresh");
+  ShardedEngine saver(diesel, params);
+  saver.runUntil(kDay);
+  saver.saveCheckpoint(path);
+
+  ShardedEngine advanced(diesel, params);
+  advanced.runUntil(kDay);
+  EXPECT_THROW(advanced.restoreCheckpoint(path), std::logic_error);
+}
+
+TEST(ShardedEngine, CheckpointConfigMismatchThrows) {
+  const auto diesel = smallDieselTrace();
+  const std::string path = ckptPath("config-mismatch");
+  ShardedEngine saver(diesel, shardedParams(ProtocolKind::kMbt, 2, 1));
+  saver.runUntil(kDay);
+  saver.saveCheckpoint(path);
+
+  ShardedParams other = shardedParams(ProtocolKind::kMbt, 2, 1);
+  other.engine.seed = 8;
+  ShardedEngine restored(diesel, other);
+  EXPECT_THROW(restored.restoreCheckpoint(path), CheckpointError);
+}
+
+TEST(ShardedEngine, FinishTwiceThrows) {
+  const auto t = componentFixture();
+  ShardedEngine sharded(t, shardedParams(ProtocolKind::kMbt, 1, 1));
+  (void)sharded.run();
+  EXPECT_TRUE(sharded.finished());
+  EXPECT_THROW(sharded.run(), std::logic_error);
+  EXPECT_THROW(sharded.runUntil(kDay), std::logic_error);
+  EXPECT_THROW(sharded.saveCheckpoint(ckptPath("finished")),
+               std::logic_error);
+}
+
+TEST(ShardedEngine, ZeroShardsRejected) {
+  const auto t = componentFixture();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 0, 1);
+  EXPECT_THROW(ShardedEngine(t, params), std::invalid_argument);
+}
+
+TEST(ShardedEngine, ExplicitRoleListsAreRemappedPerComponent) {
+  const auto t = componentFixture();
+  ShardedParams params = shardedParams(ProtocolKind::kMbt, 2, 1);
+  // Global ids 1 (component 0) and 4 (component 2) have access; the pooled
+  // isolated component names none, and must not fall back to the fraction.
+  params.engine.explicitAccessNodes = {NodeId(1), NodeId(4)};
+  params.engine.internetAccessFraction = 0.9;
+  ShardedEngine sharded(t, params);
+  EXPECT_EQ(sharded.component(0).accessNodes(),
+            (std::vector<NodeId>{NodeId(1)}));
+  EXPECT_TRUE(sharded.component(1).accessNodes().empty());
+  // Global id 4 is component 2's first node, so its local id is 0.
+  EXPECT_EQ(sharded.component(2).accessNodes(),
+            (std::vector<NodeId>{NodeId(0)}));
+}
+
+}  // namespace
+}  // namespace hdtn::core

@@ -1,0 +1,98 @@
+// Scale tests (ctest label: slow). A mid-size city population through the
+// sharded streaming engine: the determinism contract and mid-run checkpoint
+// restore at a node count large enough to exercise the district layout and
+// the worker pool for real. The fast tier-1 lane skips these with
+// `ctest -LE slow`; the full contract at unit scale lives in
+// core_sharded_engine_test.cpp, and bench_scale measures 10^5-10^6 nodes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/sharded_engine.hpp"
+#include "src/trace/citygen.hpp"
+
+namespace hdtn::core {
+namespace {
+
+trace::CityParams scaleCity() {
+  trace::CityParams p;
+  p.nodes = 20000;
+  p.districts = 16;
+  p.days = 1;
+  p.seed = 19;
+  return p;
+}
+
+ShardedParams scaleParams(std::uint32_t shards, unsigned threads) {
+  ShardedParams params;
+  params.engine.protocol.kind = ProtocolKind::kMbtQ;
+  params.engine.internetAccessFraction = 0.3;
+  params.engine.newFilesPerDay = 20;
+  params.engine.fileTtlDays = 2;
+  params.engine.seed = 7;
+  params.shards = shards;
+  params.threads = threads;
+  return params;
+}
+
+void expectReportsEqual(const DeliveryReport& a, const DeliveryReport& b,
+                        const char* which) {
+  EXPECT_EQ(a.queries, b.queries) << which;
+  EXPECT_EQ(a.metadataDelivered, b.metadataDelivered) << which;
+  EXPECT_EQ(a.filesDelivered, b.filesDelivered) << which;
+  EXPECT_EQ(a.metadataRatio, b.metadataRatio) << which;
+  EXPECT_EQ(a.fileRatio, b.fileRatio) << which;
+  EXPECT_EQ(a.meanMetadataDelaySeconds, b.meanMetadataDelaySeconds) << which;
+  EXPECT_EQ(a.meanFileDelaySeconds, b.meanFileDelaySeconds) << which;
+}
+
+void expectResultsIdentical(const EngineResult& a, const EngineResult& b) {
+  expectReportsEqual(a.delivery, b.delivery, "delivery");
+  expectReportsEqual(a.accessDelivery, b.accessDelivery, "accessDelivery");
+  EXPECT_EQ(a.totals.contactsProcessed, b.totals.contactsProcessed);
+  EXPECT_EQ(a.totals.filesPublished, b.totals.filesPublished);
+  EXPECT_EQ(a.totals.queriesGenerated, b.totals.queriesGenerated);
+  EXPECT_EQ(a.totals.metadataBroadcasts, b.totals.metadataBroadcasts);
+  EXPECT_EQ(a.totals.pieceBroadcasts, b.totals.pieceBroadcasts);
+  EXPECT_EQ(a.totals.metadataReceptions, b.totals.metadataReceptions);
+  EXPECT_EQ(a.totals.pieceReceptions, b.totals.pieceReceptions);
+}
+
+TEST(Scale, CityDeterminismAcrossShardsAndThreads) {
+  const trace::CityParams city = scaleCity();
+  auto runCity = [&](std::uint32_t shards, unsigned threads) {
+    trace::CityStream stream(city);
+    ShardedEngine sharded(stream, scaleParams(shards, threads));
+    EXPECT_EQ(sharded.componentCount(), city.districts);
+    return sharded.run();
+  };
+  const EngineResult reference = runCity(1, 1);
+  EXPECT_GT(reference.totals.contactsProcessed, 10000u);
+  EXPECT_GT(reference.delivery.queries, 0u);
+  expectResultsIdentical(reference, runCity(8, 4));
+  expectResultsIdentical(reference, runCity(16, 2));
+}
+
+TEST(Scale, MidRunStreamingCheckpointRestores) {
+  const trace::CityParams city = scaleCity();
+  const ShardedParams params = scaleParams(8, 2);
+  const std::string path = testing::TempDir() + "/scale.shard.ckpt";
+
+  trace::CityStream fullStream(city);
+  const EngineResult expected = ShardedEngine(fullStream, params).run();
+
+  trace::CityStream saveStream(city);
+  ShardedEngine saver(saveStream, params);
+  saver.runUntil(kDay / 2);
+  saver.saveCheckpoint(path, "scale mid-run");
+
+  // Restore at a different shard/thread setting and finish the day.
+  trace::CityStream restoreStream(city);
+  ShardedEngine restored(restoreStream, scaleParams(2, 4));
+  restored.restoreCheckpoint(path);
+  EXPECT_EQ(restored.now(), kDay / 2);
+  expectResultsIdentical(expected, restored.run());
+}
+
+}  // namespace
+}  // namespace hdtn::core

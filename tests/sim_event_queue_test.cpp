@@ -86,6 +86,53 @@ TEST(EventQueue, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(times, (std::vector<SimTime>{1, 3, 5}));
 }
 
+TEST(EventQueue, SlotsAreReusedAcrossPopCycles) {
+  EventQueue q;
+  // Schedule/run in waves: the slot pool must stay at the high-water mark of
+  // *pending* events, not grow by one slot per event ever scheduled.
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      q.schedule(wave * 10 + i, [] {});
+    }
+    while (q.runNext()) {
+    }
+  }
+  EXPECT_EQ(q.slotCapacity(), 10u);
+}
+
+TEST(EventQueue, CancelledSlotsAreReused) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(q.schedule(100 + i, [] {}));
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+  // The cancelled slots back the next schedules without growing the pool.
+  for (int i = 0; i < 8; ++i) q.schedule(200 + i, [] {});
+  EXPECT_EQ(q.slotCapacity(), 8u);
+  EXPECT_EQ(q.size(), 8u);
+}
+
+TEST(EventQueue, StaleIdCannotCancelSlotsNextTenant) {
+  EventQueue q;
+  const EventId stale = q.schedule(1, [] {});
+  ASSERT_TRUE(q.cancel(stale));
+  bool ran = false;
+  q.schedule(2, [&] { ran = true; });  // reuses the recycled slot
+  EXPECT_FALSE(q.cancel(stale));       // generation mismatch
+  while (q.runNext()) {
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ReservePreSizesSlotPool) {
+  EventQueue q;
+  q.reserve(64);
+  for (int i = 0; i < 64; ++i) q.schedule(i, [] {});
+  EXPECT_EQ(q.size(), 64u);
+  while (q.runNext()) {
+  }
+}
+
 TEST(EventQueue, SameTimeScheduledFromHandlerRunsAfter) {
   EventQueue q;
   std::vector<int> order;

@@ -1,0 +1,145 @@
+#include "src/trace/citygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hdtn::trace {
+namespace {
+
+CityParams smallCity() {
+  CityParams p;
+  p.nodes = 240;
+  p.districts = 4;
+  p.days = 2;
+  p.campusFraction = 0.4;
+  p.campusCliqueSize = 10;
+  p.campusSessionsPerCliquePerDay = 2;
+  p.transitMeetingsPerNodePerDay = 1.0;
+  p.walkMeetingsPerNodePerDay = 0.5;
+  p.seed = 11;
+  return p;
+}
+
+std::vector<Contact> drain(ContactStream& stream) {
+  std::vector<Contact> out;
+  stream.reset();
+  while (std::optional<Contact> c = stream.next()) out.push_back(*c);
+  return out;
+}
+
+TEST(CityGen, ValidateCatchesBadParams) {
+  CityParams p = smallCity();
+  EXPECT_TRUE(p.validate().empty());
+  p.nodes = 0;
+  EXPECT_FALSE(p.validate().empty());
+  p = smallCity();
+  p.districts = p.nodes + 1;
+  EXPECT_FALSE(p.validate().empty());
+  p = smallCity();
+  p.campusAttendanceRate = 1.5;
+  EXPECT_FALSE(p.validate().empty());
+  p = smallCity();
+  p.dayEnd = p.dayStart;
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(CityGen, StreamIsSortedAndNonTrivial) {
+  CityParams p = smallCity();
+  CityStream stream(p);
+  const std::vector<Contact> contacts = drain(stream);
+  ASSERT_GT(contacts.size(), 100u);
+  for (std::size_t i = 1; i < contacts.size(); ++i) {
+    const Contact& a = contacts[i - 1];
+    const Contact& b = contacts[i];
+    const bool ordered =
+        a.start < b.start ||
+        (a.start == b.start &&
+         (a.end < b.end || (a.end == b.end && a.members <= b.members)));
+    EXPECT_TRUE(ordered) << "contacts " << i - 1 << " and " << i;
+  }
+  EXPECT_LE(contacts.back().end, stream.endTime());
+  EXPECT_EQ(stream.endTime(), 2 * kDay);
+  EXPECT_EQ(stream.nodeCount(), 240u);
+}
+
+TEST(CityGen, ContactsNeverSpanDistricts) {
+  CityParams p = smallCity();
+  CityStream stream(p);
+  const std::vector<std::uint32_t>& hint = stream.partitionHint();
+  ASSERT_EQ(hint.size(), p.nodes);
+  std::size_t count = 0;
+  stream.reset();
+  while (std::optional<Contact> c = stream.next()) {
+    ++count;
+    const std::uint32_t district = hint[c->members.front().value];
+    for (const NodeId m : c->members) {
+      ASSERT_EQ(hint[m.value], district);
+    }
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(CityGen, ResetReplaysIdenticalSequence) {
+  CityParams p = smallCity();
+  CityStream stream(p);
+  const std::vector<Contact> first = drain(stream);
+  const std::vector<Contact> second = drain(stream);
+  EXPECT_EQ(first, second);
+}
+
+TEST(CityGen, TwoStreamsWithSameParamsAgree) {
+  CityParams p = smallCity();
+  CityStream a(p);
+  CityStream b(p);
+  EXPECT_EQ(drain(a), drain(b));
+}
+
+TEST(CityGen, SeedChangesTheTrace) {
+  CityParams p = smallCity();
+  CityStream a(p);
+  p.seed = 12;
+  CityStream b(p);
+  EXPECT_NE(drain(a), drain(b));
+}
+
+TEST(CityGen, MaterializeMatchesGenerateCity) {
+  const CityParams p = smallCity();
+  CityStream stream(p);
+  const ContactTrace streamed = materialize(stream);
+  const ContactTrace generated = generateCity(p);
+  ASSERT_EQ(streamed.contactCount(), generated.contactCount());
+  for (std::size_t i = 0; i < streamed.contactCount(); ++i) {
+    EXPECT_EQ(streamed.contacts()[i], generated.contacts()[i]) << "contact "
+                                                               << i;
+  }
+  EXPECT_EQ(streamed.nodeCount(), generated.nodeCount());
+}
+
+TEST(CityGen, MixesCliqueAndPairwiseContacts) {
+  CityParams p = smallCity();
+  CityStream stream(p);
+  bool sawClique = false;
+  bool sawPairwise = false;
+  stream.reset();
+  while (std::optional<Contact> c = stream.next()) {
+    if (c->members.size() > 2) sawClique = true;
+    if (c->isPairwise()) sawPairwise = true;
+  }
+  EXPECT_TRUE(sawClique);
+  EXPECT_TRUE(sawPairwise);
+}
+
+TEST(CityGen, DistrictRangesAreContiguous) {
+  CityParams p = smallCity();
+  CityStream stream(p);
+  const std::vector<std::uint32_t>& hint = stream.partitionHint();
+  ASSERT_EQ(hint.size(), p.nodes);
+  EXPECT_TRUE(std::is_sorted(hint.begin(), hint.end()));
+  EXPECT_EQ(hint.front(), 0u);
+  EXPECT_EQ(hint.back(), p.districts - 1);
+}
+
+}  // namespace
+}  // namespace hdtn::trace

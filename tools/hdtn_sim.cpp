@@ -14,9 +14,11 @@
 // --events-out writes a JSONL event trace and --timeseries-out a sampled
 // delivery/totals CSV (see docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "src/core/scenario.hpp"
+#include "src/core/sharded_engine.hpp"
 #include "src/trace/contact_trace.hpp"
 #include "src/util/args.hpp"
 
@@ -49,6 +51,8 @@ int usage() {
       {"recovery-repair=0", "recovery: anti-entropy requests per contact"},
       {"recovery-failover", "recovery: elect a new clique coordinator"},
       {"md-capacity=0", "metadata records per node (0 = unbounded)"},
+      {"shards=0", "run sharded: component scheduling groups (0 = classic)"},
+      {"threads=1", "sharded: worker threads (0 = hardware concurrency)"},
       {"csv", "one CSV row instead of the report"},
       {"events-out=PATH", "JSONL event trace (docs/OBSERVABILITY.md)"},
       {"timeseries-out=PATH", "sampled delivery/totals CSV"},
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
     }
   }
   const bool csv = args.getBool("csv", false);
+  const auto shards = static_cast<std::uint32_t>(args.getInt("shards", 0));
+  const auto threads = static_cast<unsigned>(args.getInt("threads", 1));
   if (!args.ok("hdtn_sim")) return 2;
 
   if (scenarioPath.empty() && scenario.trace.family == "file" &&
@@ -124,20 +130,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto outcome = core::runScenario(scenario, *trace, &error);
-  if (!outcome) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-  const core::EngineResult& result = outcome->result;
-  if (outcome->resumed) {
-    std::fprintf(stderr, "resumed from checkpoint %s\n",
-                 scenario.checkpointOut.c_str());
-  }
-  if (!scenario.eventsOut.empty()) {
-    std::fprintf(stderr, "events: %llu written to %s\n",
-                 static_cast<unsigned long long>(outcome->eventsWritten),
-                 scenario.eventsOut.c_str());
+  core::EngineResult result;
+  if (shards > 0) {
+    // Sharded path: one engine per contact-connected component, stepped on
+    // a worker pool. Results are byte-identical at every shards/threads
+    // setting (docs/SCALING.md); the per-engine observability sinks are not
+    // wired through it.
+    if (!scenario.eventsOut.empty() || !scenario.timeseriesOut.empty() ||
+        !scenario.checkpointOut.empty()) {
+      std::fprintf(stderr,
+                   "error: --shards does not support --events-out, "
+                   "--timeseries-out, or --checkpoint-out\n");
+      return 2;
+    }
+    core::ShardedParams sharded;
+    sharded.engine = scenario.params;
+    sharded.shards = shards;
+    sharded.threads = threads;
+    try {
+      core::ShardedEngine engine(*trace, sharded);
+      std::fprintf(stderr, "sharded: %zu components in %zu groups\n",
+                   engine.componentCount(), engine.shardCount());
+      result = engine.run();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    const auto outcome = core::runScenario(scenario, *trace, &error);
+    if (!outcome) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    result = outcome->result;
+    if (outcome->resumed) {
+      std::fprintf(stderr, "resumed from checkpoint %s\n",
+                   scenario.checkpointOut.c_str());
+    }
+    if (!scenario.eventsOut.empty()) {
+      std::fprintf(stderr, "events: %llu written to %s\n",
+                   static_cast<unsigned long long>(outcome->eventsWritten),
+                   scenario.eventsOut.c_str());
+    }
   }
 
   if (csv) {

@@ -6,12 +6,16 @@
 //       --out=nus.trace
 //   hdtn_tracegen --family=rwp --nodes=50 --hours=12 --range=50 ...
 //       --out=rwp.trace
+//   hdtn_tracegen --family=city --nodes=5000 --districts=8 --out=city.trace
 //
 // Writes the hdtn text trace format (see src/trace/trace_io.hpp); omit
-// --out to write to stdout.
+// --out to write to stdout. The city family materializes the (otherwise
+// streaming) generator, so keep --nodes modest here; city-scale runs should
+// stream instead (docs/SCALING.md).
 #include <cstdio>
 #include <iostream>
 
+#include "src/trace/citygen.hpp"
 #include "src/trace/dieselnet.hpp"
 #include "src/trace/mobility.hpp"
 #include "src/trace/nus.hpp"
@@ -34,13 +38,16 @@ int usage() {
       {"courses=40", "nus: course count"},
       {"courses-per-student=4", "nus: enrollment per student"},
       {"attendance=0.85", "nus: session attendance probability"},
-      {"nodes=50", "rwp: node count"},
+      {"nodes=50", "rwp/city: node count"},
       {"hours=12", "rwp: simulated hours"},
       {"range=50", "rwp: radio range, meters"},
       {"field=1000", "rwp: square field side, meters"},
+      {"districts=64", "city: district count (contacts never span them)"},
+      {"city-days=1", "city: simulated days"},
   };
   std::fputs(
-      formatUsage("hdtn_tracegen --family=dieselnet|nus|rwp [options]", flags)
+      formatUsage(
+          "hdtn_tracegen --family=dieselnet|nus|rwp|city [options]", flags)
           .c_str(),
       stderr);
   return 2;
@@ -81,6 +88,20 @@ int main(int argc, char** argv) {
     p.fieldWidth = p.fieldHeight = args.getDouble("field", 1000.0);
     p.seed = seed;
     trace = trace::generateRandomWaypoint(p);
+  } else if (family == "city") {
+    trace::CityParams p;
+    p.nodes = static_cast<std::uint32_t>(args.getInt("nodes", 5000));
+    p.districts = static_cast<std::uint32_t>(args.getInt("districts", 64));
+    p.days = static_cast<int>(args.getInt("city-days", 1));
+    p.seed = seed;
+    const auto errors = p.validate();
+    if (!errors.empty()) {
+      for (const auto& error : errors) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+      }
+      return 2;
+    }
+    trace = trace::generateCity(p);
   } else {
     return usage();
   }
