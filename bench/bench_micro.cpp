@@ -167,6 +167,8 @@ void BM_PlanDownload(benchmark::State& state) {
   Rng rng(11);
   std::vector<PieceStore> stores(members);
   std::vector<CreditLedger> ledgers(members);
+  // DownloadPeer::wanted is a view; this vector owns the backing storage.
+  std::vector<std::vector<FileId>> wantedStorage(members);
   std::vector<DownloadPeer> peers;
   for (std::size_t i = 0; i < members; ++i) {
     for (FileId f : internet.catalog().allFiles()) {
@@ -177,7 +179,8 @@ void BM_PlanDownload(benchmark::State& state) {
     DownloadPeer peer;
     peer.id = NodeId(static_cast<std::uint32_t>(i));
     peer.pieces = &stores[i];
-    peer.wanted = {FileId(static_cast<std::uint32_t>(rng.pickIndex(150)))};
+    wantedStorage[i] = {FileId(static_cast<std::uint32_t>(rng.pickIndex(150)))};
+    peer.wanted = wantedStorage[i];
     peer.credits = &ledgers[i];
     peers.push_back(std::move(peer));
   }

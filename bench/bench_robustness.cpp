@@ -8,6 +8,15 @@
 // hold its delivery ratio while its delay balloons, and the ratio alone
 // would hide that.
 //
+// Each (loss, protocol) point runs three download configurations:
+//   mi == 0  baseline — selective per-piece broadcast, no recovery
+//   mi == 1  +rec     — baseline plus the PR 5 self-healing layer
+//   mi == 2  +coded   — RLNC coded mode (docs/CODING.md), recovery off, so
+//                       the comparison isolates redundancy vs retransmission
+// Coded points additionally report decode CPU as Gauss-Jordan row
+// operations (EngineTotals::codedDecodeRowOps), the codec's deterministic
+// work proxy.
+//
 //   bench_robustness [--seeds=N] [--threads=N] [--json[=PATH]]
 //                    [--scenario=FILE] [--supervise[=JOURNAL]]
 //                    [--point-timeout=S] [--max-attempts=N]
@@ -28,6 +37,7 @@
 
 #include "bench/harness.hpp"
 #include "bench/supervisor.hpp"
+#include "src/core/download_planner.hpp"
 #include "src/core/scenario.hpp"
 #include "src/util/ascii_chart.hpp"
 #include "src/util/csv.hpp"
@@ -41,7 +51,10 @@ constexpr core::ProtocolKind kProtocols[] = {core::ProtocolKind::kMbt,
                                              core::ProtocolKind::kMbtQ,
                                              core::ProtocolKind::kMbtQm};
 
-/// The recovery configuration the `ri == 1` half of the sweep turns on:
+constexpr std::size_t kModes = 3;
+constexpr const char* kModeSuffix[kModes] = {"", "+rec", "+coded"};
+
+/// The recovery configuration the `mi == 1` third of the sweep turns on:
 /// retransmission, anti-entropy repair, and coordinator failover together
 /// (the self-healing layer as a whole, not one knob at a time).
 core::RecoveryParams sweepRecoveryParams() {
@@ -55,42 +68,44 @@ core::RecoveryParams sweepRecoveryParams() {
 
 /// Engine parameters for one sweep point, exactly as the in-process task
 /// loop builds them — the supervised child must reproduce them bit for bit.
-/// `ri` is the recovery axis (0 = off, 1 = on); `seed` is 1-based.
+/// `mi` is the mode axis (0 = baseline, 1 = +recovery, 2 = coded); `seed`
+/// is 1-based.
 core::EngineParams paramsForPoint(const core::EngineParams& base,
                                   const std::vector<double>& lossRates,
                                   std::size_t xi, std::size_t pi,
-                                  std::size_t ri, int seed) {
+                                  std::size_t mi, int seed) {
   core::EngineParams params = base;
   params.protocol.kind = kProtocols[pi];
   params.seed = static_cast<std::uint64_t>(seed) * 1000003u;
   params.faults.messageLossRate = lossRates[xi];
-  params.recovery = ri == 1 ? sweepRecoveryParams() : core::RecoveryParams{};
+  params.recovery = mi == 1 ? sweepRecoveryParams() : core::RecoveryParams{};
+  if (mi == 2) params.downloadMode = core::DownloadMode::kCoded;
   return params;
 }
 
-/// Child mode (--point=robustness:<xi>:<pi>:<ri>:<seed>): runs one point
-/// with periodic checkpoints and prints its RESULT line
-/// (file ratio, metadata ratio, mean file delay in hours).
+/// Child mode (--point=robustness:<xi>:<pi>:<mi>:<seed>): runs one point
+/// with periodic checkpoints and prints its RESULT line (file ratio,
+/// metadata ratio, mean file delay in hours, decode row operations).
 int runPoint(const bench::CommonArgs& common, const core::EngineParams& base,
              const core::TraceSpec& traceSpec,
              const std::vector<double>& lossRates) {
-  std::size_t xi = 0, pi = 0, ri = 0;
+  std::size_t xi = 0, pi = 0, mi = 0;
   int seed = 0;
   {
     std::istringstream in(common.pointKey);
-    std::string figure, xiText, piText, riText, seedText;
+    std::string figure, xiText, piText, miText, seedText;
     if (!std::getline(in, figure, ':') || !std::getline(in, xiText, ':') ||
-        !std::getline(in, piText, ':') || !std::getline(in, riText, ':') ||
+        !std::getline(in, piText, ':') || !std::getline(in, miText, ':') ||
         !std::getline(in, seedText) || figure != "robustness") {
       std::cerr << "bad --point key '" << common.pointKey
-                << "' (expected robustness:<xi>:<pi>:<ri>:<seed>)\n";
+                << "' (expected robustness:<xi>:<pi>:<mi>:<seed>)\n";
       return 2;
     }
     xi = static_cast<std::size_t>(std::atoll(xiText.c_str()));
     pi = static_cast<std::size_t>(std::atoll(piText.c_str()));
-    ri = static_cast<std::size_t>(std::atoll(riText.c_str()));
+    mi = static_cast<std::size_t>(std::atoll(miText.c_str()));
     seed = std::atoi(seedText.c_str());
-    if (xi >= lossRates.size() || pi >= 3 || ri >= 2 || seed < 1) {
+    if (xi >= lossRates.size() || pi >= 3 || mi >= kModes || seed < 1) {
       std::cerr << "--point key '" << common.pointKey
                 << "' is out of range\n";
       return 2;
@@ -105,12 +120,13 @@ int runPoint(const bench::CommonArgs& common, const core::EngineParams& base,
     return 1;
   }
   const auto result = bench::runWithCheckpoints(
-      *trace, paramsForPoint(base, lossRates, xi, pi, ri, seed),
+      *trace, paramsForPoint(base, lossRates, xi, pi, mi, seed),
       common.pointCheckpoint, common.checkpointEvery);
   std::cout << bench::formatResultLine(
       common.pointKey,
       {result.delivery.fileRatio, result.delivery.metadataRatio,
-       result.delivery.meanFileDelaySeconds / 3600.0});
+       result.delivery.meanFileDelaySeconds / 3600.0,
+       static_cast<double>(result.totals.codedDecodeRowOps)});
   return 0;
 }
 
@@ -121,7 +137,8 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
                    int seeds, std::size_t points,
                    std::vector<double>& fileRatio,
                    std::vector<double>& mdRatio,
-                   std::vector<double>& fileDelayH) {
+                   std::vector<double>& fileDelayH,
+                   std::vector<double>& decodeRowOps) {
   bench::SupervisorOptions options;
   options.journalPath = common.superviseJournal;
   options.pointTimeoutSeconds = common.pointTimeoutSeconds;
@@ -133,15 +150,15 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
             << options.pointTimeoutSeconds << " s, " << options.maxAttempts
             << " attempt(s) per point\n";
   const std::size_t total =
-      points * 3 * 2 * static_cast<std::size_t>(seeds);
+      points * 3 * kModes * static_cast<std::size_t>(seeds);
   std::size_t done = 0;
   for (std::size_t xi = 0; xi < points; ++xi) {
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      for (std::size_t ri = 0; ri < 2; ++ri) {
+      for (std::size_t mi = 0; mi < kModes; ++mi) {
         for (int seed = 1; seed <= seeds; ++seed) {
           const std::string key = "robustness:" + std::to_string(xi) + ":" +
                                   std::to_string(pi) + ":" +
-                                  std::to_string(ri) + ":" +
+                                  std::to_string(mi) + ":" +
                                   std::to_string(seed);
           const bool journaled = journal.contains(key);
           std::string checkpoint =
@@ -168,11 +185,15 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
             return false;
           }
           const std::size_t task =
-              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds) +
+              ((xi * 3 + pi) * kModes + mi) *
+                  static_cast<std::size_t>(seeds) +
               static_cast<std::size_t>(seed - 1);
           fileRatio[task] = (*values)[0];
           mdRatio[task] = (*values)[1];
           fileDelayH[task] = (*values)[2];
+          // Journals written before the coded axis carry 3-value lines;
+          // treat the missing column as zero row ops.
+          decodeRowOps[task] = values->size() >= 4 ? (*values)[3] : 0.0;
           ++done;
           std::cout << "  [" << done << "/" << total << "] " << key
                     << (journaled ? " (journaled)" : " ok") << "\n";
@@ -194,6 +215,9 @@ int main(int argc, char** argv) {
                                          0.3, 0.5,  0.7};
 
   core::EngineParams base = bench::nusBaseParams();
+  // Multi-piece files so the coded axis has real generations to mix —
+  // at one piece per file RLNC degenerates to uncoded broadcast.
+  base.piecesPerFile = 4;
   core::TraceSpec traceSpec;
   traceSpec.family = "nus";
   traceSpec.students = 160;
@@ -225,16 +249,18 @@ int main(int argc, char** argv) {
   std::cout << "=== robustness: delivery and delay vs message loss ===\n"
             << "x-axis: loss rate; " << seeds
             << " seed(s) per point; protocols: MBT, MBT-Q, MBT-QM; "
-            << "recovery off/on per point; " << threads << " thread(s)\n\n";
+            << "modes: baseline / +rec / +coded per point; " << threads
+            << " thread(s)\n\n";
 
   const std::size_t points = lossRates.size();
-  std::vector<double> fileRatio(points * 3 * 2 *
+  std::vector<double> fileRatio(points * 3 * kModes *
                                 static_cast<std::size_t>(seeds));
   std::vector<double> mdRatio(fileRatio.size());
   std::vector<double> fileDelayH(fileRatio.size());
+  std::vector<double> decodeRowOps(fileRatio.size());
   if (supervised) {
     if (!runSupervised(common, argv[0], seeds, points, fileRatio, mdRatio,
-                       fileDelayH)) {
+                       fileDelayH, decodeRowOps)) {
       return 1;
     }
   } else {
@@ -255,53 +281,71 @@ int main(int argc, char** argv) {
     }
 
     parallelFor(fileRatio.size(), threads, [&](std::size_t task) {
-      const std::size_t perPoint = 3 * 2 * static_cast<std::size_t>(seeds);
+      const std::size_t perPoint =
+          3 * kModes * static_cast<std::size_t>(seeds);
       const std::size_t xi = task / perPoint;
       std::size_t rest = task % perPoint;
-      const std::size_t pi = rest / (2 * static_cast<std::size_t>(seeds));
-      rest %= 2 * static_cast<std::size_t>(seeds);
-      const std::size_t ri = rest / static_cast<std::size_t>(seeds);
+      const std::size_t pi =
+          rest / (kModes * static_cast<std::size_t>(seeds));
+      rest %= kModes * static_cast<std::size_t>(seeds);
+      const std::size_t mi = rest / static_cast<std::size_t>(seeds);
       const std::size_t seed = rest % static_cast<std::size_t>(seeds);
       const auto result = core::runSimulation(
-          traces[seed], paramsForPoint(base, lossRates, xi, pi, ri,
+          traces[seed], paramsForPoint(base, lossRates, xi, pi, mi,
                                        static_cast<int>(seed) + 1));
       fileRatio[task] = result.delivery.fileRatio;
       mdRatio[task] = result.delivery.metadataRatio;
       fileDelayH[task] = result.delivery.meanFileDelaySeconds / 3600.0;
+      decodeRowOps[task] =
+          static_cast<double>(result.totals.codedDecodeRowOps);
     });
   }
 
-  // Series index: pi * 2 + ri (protocol-major, recovery off then on).
-  std::vector<std::vector<double>> ratioSeries(6), delaySeries(6);
-  Table ratioTable({"loss rate", "MBT", "MBT+rec", "MBT-Q", "MBT-Q+rec",
-                    "MBT-QM", "MBT-QM+rec"});
-  Table delayTable({"loss rate", "MBT", "MBT+rec", "MBT-Q", "MBT-Q+rec",
-                    "MBT-QM", "MBT-QM+rec"});
+  // Series index: pi * kModes + mi (protocol-major; baseline, +rec,
+  // +coded).
+  const std::size_t seriesCount = 3 * kModes;
+  std::vector<std::vector<double>> ratioSeries(seriesCount),
+      delaySeries(seriesCount), rowOpsSeries(seriesCount);
+  std::vector<std::string> columns = {"loss rate"};
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    for (std::size_t mi = 0; mi < kModes; ++mi) {
+      columns.push_back(std::string(core::protocolName(kProtocols[pi])) +
+                        kModeSuffix[mi]);
+    }
+  }
+  Table ratioTable(columns);
+  Table delayTable(columns);
   for (std::size_t xi = 0; xi < points; ++xi) {
-    std::vector<double> ratioMeans(6, 0.0), delayMeans(6, 0.0);
+    std::vector<double> ratioMeans(seriesCount, 0.0);
+    std::vector<double> delayMeans(seriesCount, 0.0);
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      for (std::size_t ri = 0; ri < 2; ++ri) {
-        double ratioSum = 0.0, delaySum = 0.0;
+      for (std::size_t mi = 0; mi < kModes; ++mi) {
+        double ratioSum = 0.0, delaySum = 0.0, rowOpsSum = 0.0;
         for (int seed = 0; seed < seeds; ++seed) {
           const std::size_t task =
-              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds) +
+              ((xi * 3 + pi) * kModes + mi) *
+                  static_cast<std::size_t>(seeds) +
               static_cast<std::size_t>(seed);
           ratioSum += fileRatio[task];
           delaySum += fileDelayH[task];
+          rowOpsSum += decodeRowOps[task];
         }
-        const std::size_t si = pi * 2 + ri;
+        const std::size_t si = pi * kModes + mi;
         ratioMeans[si] = ratioSum / seeds;
         delayMeans[si] = delaySum / seeds;
         ratioSeries[si].push_back(ratioMeans[si]);
         delaySeries[si].push_back(delayMeans[si]);
+        rowOpsSeries[si].push_back(rowOpsSum / seeds);
       }
     }
     ratioTable.addRow({lossRates[xi], ratioMeans[0], ratioMeans[1],
                        ratioMeans[2], ratioMeans[3], ratioMeans[4],
-                       ratioMeans[5]});
+                       ratioMeans[5], ratioMeans[6], ratioMeans[7],
+                       ratioMeans[8]});
     delayTable.addRow({lossRates[xi], delayMeans[0], delayMeans[1],
                        delayMeans[2], delayMeans[3], delayMeans[4],
-                       delayMeans[5]});
+                       delayMeans[5], delayMeans[6], delayMeans[7],
+                       delayMeans[8]});
   }
 
   std::cout << "file delivery ratio:\n";
@@ -310,19 +354,29 @@ int main(int argc, char** argv) {
   delayTable.writeAligned(std::cout);
   std::cout << "\nCSV (file delivery ratio):\n";
   ratioTable.writeCsv(std::cout);
+  std::cout << "\ndecode CPU (" << core::downloadModeName(
+                   core::DownloadMode::kCoded, base.protocol.scheduling)
+            << " mode, mean Gauss-Jordan row ops per run):\n";
+  Table rowOpsTable({"loss rate", "MBT+coded", "MBT-Q+coded",
+                     "MBT-QM+coded"});
+  for (std::size_t xi = 0; xi < points; ++xi) {
+    rowOpsTable.addRow({lossRates[xi], rowOpsSeries[0 * kModes + 2][xi],
+                        rowOpsSeries[1 * kModes + 2][xi],
+                        rowOpsSeries[2 * kModes + 2][xi]});
+  }
+  rowOpsTable.writeAligned(std::cout);
   std::cout << "\n";
 
-  const char glyphs[6] = {'*', 'A', 'o', 'B', '.', 'C'};
+  const char glyphs[9] = {'*', 'A', 'a', 'o', 'B', 'b', '.', 'C', 'c'};
   AsciiChart ratioChart("robustness: file delivery ratio vs loss rate",
                         lossRates);
   AsciiChart delayChart("robustness: mean file delay (h) vs loss rate",
                         lossRates);
   for (std::size_t pi = 0; pi < 3; ++pi) {
-    for (std::size_t ri = 0; ri < 2; ++ri) {
-      const std::size_t si = pi * 2 + ri;
+    for (std::size_t mi = 0; mi < kModes; ++mi) {
+      const std::size_t si = pi * kModes + mi;
       const std::string name =
-          std::string(core::protocolName(kProtocols[pi])) +
-          (ri == 1 ? "+rec" : "");
+          std::string(core::protocolName(kProtocols[pi])) + kModeSuffix[mi];
       ratioChart.addSeries({name, glyphs[si], ratioSeries[si]});
       delayChart.addSeries({name, glyphs[si], delaySeries[si]});
     }
@@ -343,14 +397,19 @@ int main(int argc, char** argv) {
          << "  \"seeds\": " << seeds << ",\n"
          << "  \"series\": [\n";
     for (std::size_t pi = 0; pi < 3; ++pi) {
-      for (std::size_t ri = 0; ri < 2; ++ri) {
-        const std::size_t si = pi * 2 + ri;
+      for (std::size_t mi = 0; mi < kModes; ++mi) {
+        const std::size_t si = pi * kModes + mi;
+        const char* mode = mi == 0   ? "baseline"
+                           : mi == 1 ? "recovery"
+                                     : "coded";
         json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
-             << "\", \"recovery\": " << (ri == 1 ? "true" : "false")
+             << "\", \"mode\": \"" << mode
+             << "\", \"recovery\": " << (mi == 1 ? "true" : "false")
              << ", \"points\": [";
         for (std::size_t xi = 0; xi < points; ++xi) {
           const std::size_t firstTask =
-              ((xi * 3 + pi) * 2 + ri) * static_cast<std::size_t>(seeds);
+              ((xi * 3 + pi) * kModes + mi) *
+              static_cast<std::size_t>(seeds);
           double mdSum = 0.0;
           for (int seed = 0; seed < seeds; ++seed) {
             mdSum += mdRatio[firstTask + static_cast<std::size_t>(seed)];
@@ -358,9 +417,10 @@ int main(int argc, char** argv) {
           json << (xi == 0 ? "" : ", ") << "{\"x\": " << lossRates[xi]
                << ", \"metadata_ratio\": " << mdSum / seeds
                << ", \"file_ratio\": " << ratioSeries[si][xi]
-               << ", \"mean_file_delay_h\": " << delaySeries[si][xi] << "}";
+               << ", \"mean_file_delay_h\": " << delaySeries[si][xi]
+               << ", \"decode_row_ops\": " << rowOpsSeries[si][xi] << "}";
         }
-        json << "]}" << (si + 1 < 6 ? "," : "") << "\n";
+        json << "]}" << (si + 1 < seriesCount ? "," : "") << "\n";
       }
     }
     json << "  ]\n}\n";

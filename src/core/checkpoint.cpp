@@ -135,6 +135,8 @@ Sha1Digest Engine::configFingerprint() const {
   s.i64(params_.recovery.repairPerContact);
   s.u64(params_.recovery.repairQueueLimit);
   s.boolean(params_.recovery.coordinatorFailover);
+  s.f64(params_.coded.redundancy);
+  s.f64(params_.coded.sparsity);
   s.u64(params_.seed);
   // Trace identity: the schedule replay is only valid against the exact
   // same contact sequence.

@@ -1,0 +1,308 @@
+#include "src/core/coding.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hdtn::core::coding {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+
+struct GfTables {
+  // exp is doubled so gfMul can add logs without a mod-255 reduction.
+  std::uint8_t exp[510];
+  std::uint8_t log[256];
+};
+
+GfTables buildTables() {
+  GfTables t{};
+  std::uint32_t v = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(v);
+    t.exp[i + 255] = static_cast<std::uint8_t>(v);
+    t.log[v] = static_cast<std::uint8_t>(i);
+    v <<= 1;  // multiply by the generator alpha = 2
+    if (v & 0x100) v ^= kPoly;
+  }
+  t.log[0] = 0;  // unused; gfMul never looks up log[0]
+  return t;
+}
+
+const GfTables& tables() {
+  static const GfTables t = buildTables();
+  return t;
+}
+
+/// SplitMix64 — self-contained so coefficient expansion does not depend on
+/// the engine's Rng and can be reproduced from a wire-carried seed alone.
+std::uint64_t splitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t gfMulSlow(std::uint8_t a, std::uint8_t b) {
+  std::uint32_t acc = 0;
+  std::uint32_t aa = a;
+  std::uint32_t bb = b;
+  while (bb != 0) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= kPoly;
+    bb >>= 1;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+std::uint8_t gfInv(std::uint8_t a) {
+  assert(a != 0 && "gfInv(0) is undefined");
+  const GfTables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t gfDiv(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return gfMul(a, gfInv(b));
+}
+
+std::vector<std::uint8_t> sparseCoefficients(std::uint32_t k,
+                                             std::uint64_t seed,
+                                             double sparsity) {
+  if (sparsity <= 0.0 || sparsity > 1.0) sparsity = 1.0;
+  std::vector<std::uint8_t> coeffs(k, 0);
+  if (k == 0) return coeffs;
+  std::uint64_t state = seed;
+  bool anyNonZero = false;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint64_t draw = splitMix64(state);
+    // Top 53 bits -> uniform double in [0, 1); low bits pick the value.
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u < sparsity) {
+      coeffs[i] = static_cast<std::uint8_t>(1 + (draw & 0xff) % 255);
+      anyNonZero = true;
+    }
+  }
+  if (!anyNonZero) {
+    // A zero vector carries no information; force one deterministic entry.
+    coeffs[seed % k] = static_cast<std::uint8_t>(1 + (seed >> 8) % 255);
+  }
+  return coeffs;
+}
+
+GenerationDecoder::GenerationDecoder(std::uint32_t generationSize,
+                                     std::uint32_t payloadBytes)
+    : k_(generationSize),
+      payloadBytes_(payloadBytes),
+      pivot_(generationSize, kNoPivot) {
+  if (generationSize == 0) {
+    throw std::invalid_argument("GenerationDecoder: empty generation");
+  }
+}
+
+bool GenerationDecoder::addFrame(std::span<const std::uint8_t> coefficients,
+                                 std::span<const std::uint8_t> payload) {
+  if (coefficients.size() != k_ || payload.size() != payloadBytes_) {
+    throw std::invalid_argument("GenerationDecoder: frame shape mismatch");
+  }
+  return fold({coefficients.begin(), coefficients.end()},
+              {payload.begin(), payload.end()});
+}
+
+bool GenerationDecoder::addSourcePiece(std::uint32_t piece,
+                                       std::span<const std::uint8_t> payload) {
+  if (piece >= k_ || payload.size() != payloadBytes_) {
+    throw std::invalid_argument("GenerationDecoder: bad source piece");
+  }
+  std::vector<std::uint8_t> unit(k_, 0);
+  unit[piece] = 1;
+  return fold(std::move(unit), {payload.begin(), payload.end()});
+}
+
+bool GenerationDecoder::fold(std::vector<std::uint8_t> coeffs,
+                             std::vector<std::uint8_t> data) {
+  // Forward-eliminate against every existing pivot.
+  for (std::uint32_t col = 0; col < k_; ++col) {
+    const std::uint8_t factor = coeffs[col];
+    if (factor == 0 || pivot_[col] == kNoPivot) continue;
+    const Row& prow = rows_[pivot_[col]];
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      coeffs[j] = gfAdd(coeffs[j], gfMul(factor, prow.coeffs[j]));
+    }
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = gfAdd(data[j], gfMul(factor, prow.payload[j]));
+    }
+    ++rowOps_;
+  }
+  // First surviving nonzero column becomes the pivot.
+  std::uint32_t pivotCol = kNoPivot;
+  for (std::uint32_t col = 0; col < k_; ++col) {
+    if (coeffs[col] != 0) {
+      pivotCol = col;
+      break;
+    }
+  }
+  if (pivotCol == kNoPivot) return false;  // redundant frame
+
+  // Normalize the leading coefficient to 1.
+  const std::uint8_t inv = gfInv(coeffs[pivotCol]);
+  if (inv != 1) {
+    for (std::uint32_t j = 0; j < k_; ++j) coeffs[j] = gfMul(coeffs[j], inv);
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = gfMul(data[j], inv);
+    }
+    ++rowOps_;
+  }
+  // Back-substitute: clear this column from every stored row so the matrix
+  // stays fully reduced (identity at full rank).
+  const std::uint32_t newIndex = static_cast<std::uint32_t>(rows_.size());
+  for (Row& row : rows_) {
+    const std::uint8_t factor = row.coeffs[pivotCol];
+    if (factor == 0) continue;
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      row.coeffs[j] = gfAdd(row.coeffs[j], gfMul(factor, coeffs[j]));
+    }
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      row.payload[j] = gfAdd(row.payload[j], gfMul(factor, data[j]));
+    }
+    ++rowOps_;
+  }
+  rows_.push_back({std::move(coeffs), std::move(data)});
+  pivot_[pivotCol] = newIndex;
+  ++rank_;
+  return true;
+}
+
+std::vector<std::uint8_t> GenerationDecoder::recodeCoefficients(
+    std::uint64_t seed, double sparsity,
+    std::vector<std::uint8_t>* payloadOut) const {
+  std::vector<std::uint8_t> out(k_, 0);
+  if (payloadOut != nullptr) payloadOut->assign(payloadBytes_, 0);
+  if (rank_ == 0) return out;
+  // Mix over the stored (independent) rows: any nonzero mix of independent
+  // rows is itself nonzero, so the recoded frame always carries information
+  // from this node's subspace.
+  const std::vector<std::uint8_t> mix =
+      sparseCoefficients(rank_, seed, sparsity);
+  for (std::uint32_t i = 0; i < rank_; ++i) {
+    const std::uint8_t factor = mix[i];
+    if (factor == 0) continue;
+    const Row& row = rows_[i];
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      out[j] = gfAdd(out[j], gfMul(factor, row.coeffs[j]));
+    }
+    if (payloadOut != nullptr) {
+      for (std::uint32_t j = 0; j < payloadBytes_; ++j) {
+        (*payloadOut)[j] = gfAdd((*payloadOut)[j],
+                                 gfMul(factor, row.payload[j]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> GenerationDecoder::decode() const {
+  if (!complete()) {
+    throw std::logic_error("GenerationDecoder::decode before full rank");
+  }
+  std::vector<std::vector<std::uint8_t>> pieces(k_);
+  // Fully reduced at full rank: the row owning pivot column p is the unit
+  // vector e_p, so its payload is piece p verbatim.
+  for (std::uint32_t col = 0; col < k_; ++col) {
+    pieces[col] = rows_[pivot_[col]].payload;
+  }
+  return pieces;
+}
+
+void GenerationDecoder::saveState(Serializer& out) const {
+  out.u32(k_);
+  out.u32(payloadBytes_);
+  out.u32(rank_);
+  out.u64(rowOps_);
+  out.u64(rows_.size());
+  for (const Row& row : rows_) {
+    out.raw(row.coeffs.data(), row.coeffs.size());
+    out.raw(row.payload.data(), row.payload.size());
+  }
+  for (std::uint32_t col = 0; col < k_; ++col) out.u32(pivot_[col]);
+}
+
+void GenerationDecoder::loadState(Deserializer& in) {
+  k_ = in.u32();
+  payloadBytes_ = in.u32();
+  rank_ = in.u32();
+  rowOps_ = in.u64();
+  if (k_ == 0 || rank_ > k_) {
+    throw SerializeError("GenerationDecoder: corrupt shape");
+  }
+  const std::uint64_t rowCount =
+      in.length(static_cast<std::size_t>(k_) + payloadBytes_);
+  if (rowCount != rank_) {
+    throw SerializeError("GenerationDecoder: row count != rank");
+  }
+  rows_.clear();
+  rows_.reserve(rowCount);
+  for (std::uint64_t i = 0; i < rowCount; ++i) {
+    Row row;
+    row.coeffs.resize(k_);
+    in.raw(row.coeffs.data(), k_);
+    row.payload.resize(payloadBytes_);
+    in.raw(row.payload.data(), payloadBytes_);
+    rows_.push_back(std::move(row));
+  }
+  pivot_.assign(k_, kNoPivot);
+  for (std::uint32_t col = 0; col < k_; ++col) {
+    pivot_[col] = in.u32();
+    if (pivot_[col] != kNoPivot && pivot_[col] >= rows_.size()) {
+      throw SerializeError("GenerationDecoder: pivot out of range");
+    }
+  }
+}
+
+CodedEncoder::CodedEncoder(std::vector<std::vector<std::uint8_t>> pieces)
+    : pieces_(std::move(pieces)) {
+  if (pieces_.empty()) {
+    throw std::invalid_argument("CodedEncoder: empty generation");
+  }
+  for (const auto& piece : pieces_) {
+    if (piece.size() != pieces_.front().size()) {
+      throw std::invalid_argument("CodedEncoder: unequal piece sizes");
+    }
+  }
+}
+
+CodedEncoder::Frame CodedEncoder::frame(std::uint64_t seed,
+                                        double sparsity) const {
+  Frame f;
+  f.coefficients = sparseCoefficients(generationSize(), seed, sparsity);
+  f.payload = payloadFor(f.coefficients);
+  return f;
+}
+
+std::vector<std::uint8_t> CodedEncoder::payloadFor(
+    std::span<const std::uint8_t> coefficients) const {
+  if (coefficients.size() != pieces_.size()) {
+    throw std::invalid_argument("CodedEncoder: coefficient count mismatch");
+  }
+  std::vector<std::uint8_t> payload(payloadBytes(), 0);
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const std::uint8_t factor = coefficients[i];
+    if (factor == 0) continue;
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = gfAdd(payload[j], gfMul(factor, pieces_[i][j]));
+    }
+  }
+  return payload;
+}
+
+}  // namespace hdtn::core::coding

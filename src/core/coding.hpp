@@ -1,0 +1,164 @@
+// Sparse random linear network coding (RLNC) over GF(2^8).
+//
+// The coded download mode (docs/CODING.md) broadcasts random linear
+// combinations of a file's pieces instead of named pieces: a file's pieces
+// form one *generation*, every coded frame carries a coefficient vector
+// over GF(2^8), and any `pieceCount` linearly independent frames decode the
+// whole generation. Losses therefore cost redundancy (one more frame from
+// anybody) instead of a selective-ack replay round-trip.
+//
+// Everything here is deterministic: coefficient vectors are expanded from a
+// 64-bit seed with a self-contained SplitMix64 (so a frame on the wire only
+// needs the seed, and any receiver regenerates the same vector), and the
+// incremental Gauss-Jordan decoder's row layout is a pure function of its
+// frame arrival order — which makes its state checkpointable byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/serialize.hpp"
+
+namespace hdtn::core::coding {
+
+// --- GF(2^8) field arithmetic -------------------------------------------
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the classic
+// Reed-Solomon polynomial 0x11d, with generator alpha = 2. Multiplication
+// and inversion go through log/antilog tables built once at first use.
+
+/// Addition and subtraction coincide (characteristic 2).
+[[nodiscard]] constexpr std::uint8_t gfAdd(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+/// Table-backed product.
+[[nodiscard]] std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+/// Bitwise shift-and-add product (no tables); cross-checks gfMul in tests.
+[[nodiscard]] std::uint8_t gfMulSlow(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; `a` must be nonzero.
+[[nodiscard]] std::uint8_t gfInv(std::uint8_t a);
+
+/// a / b; `b` must be nonzero.
+[[nodiscard]] std::uint8_t gfDiv(std::uint8_t a, std::uint8_t b);
+
+// --- coefficient vectors ------------------------------------------------
+
+/// Expands `seed` into a sparse coefficient vector of length `k`: each
+/// position is nonzero with probability `sparsity` (clamped to (0, 1]), and
+/// the vector is guaranteed to have at least one nonzero entry. The same
+/// (k, seed, sparsity) always yields the same vector on every platform.
+[[nodiscard]] std::vector<std::uint8_t> sparseCoefficients(
+    std::uint32_t k, std::uint64_t seed, double sparsity);
+
+// --- incremental decoder ------------------------------------------------
+
+/// Incremental Gauss-Jordan eliminator over one generation.
+///
+/// Frames are folded in as they arrive; each fold either raises the rank by
+/// one (*innovative*) or reduces to zero and is discarded (*redundant*).
+/// Rows are kept fully reduced (leading 1, the pivot column eliminated from
+/// every other row), so at full rank the rows ARE the unit vectors and the
+/// payloads ARE the decoded pieces — decode() is a table lookup.
+///
+/// Constructed with payloadBytes == 0 the decoder tracks coefficients only
+/// (rank bookkeeping inside the engine, where pieces are abstract); with a
+/// payload size it additionally carries and decodes real piece bytes.
+class GenerationDecoder {
+ public:
+  GenerationDecoder() = default;
+  explicit GenerationDecoder(std::uint32_t generationSize,
+                             std::uint32_t payloadBytes = 0);
+
+  /// Folds one coded frame. `coefficients.size()` must equal the generation
+  /// size; `payload.size()` must equal payloadBytes() (empty when tracking
+  /// coefficients only). Returns true when the frame was innovative.
+  bool addFrame(std::span<const std::uint8_t> coefficients,
+                std::span<const std::uint8_t> payload = {});
+
+  /// Folds source piece `piece` held in the clear (unit coefficient
+  /// vector). Returns true when it raised the rank.
+  bool addSourcePiece(std::uint32_t piece,
+                      std::span<const std::uint8_t> payload = {});
+
+  /// A fresh combination of this decoder's row space — what a partial
+  /// holder re-broadcasts (recoding). Deterministic in (state, seed);
+  /// nonzero whenever rank() > 0. Returns a generation-sized coefficient
+  /// vector; with payloads tracked, `payloadOut` (if non-null) receives the
+  /// matching combined payload.
+  [[nodiscard]] std::vector<std::uint8_t> recodeCoefficients(
+      std::uint64_t seed, double sparsity,
+      std::vector<std::uint8_t>* payloadOut = nullptr) const;
+
+  [[nodiscard]] std::uint32_t generationSize() const { return k_; }
+  [[nodiscard]] std::uint32_t payloadBytes() const { return payloadBytes_; }
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] bool complete() const { return k_ > 0 && rank_ == k_; }
+
+  /// Row operations performed so far (one unit per row-times-scalar fold);
+  /// a deterministic, platform-independent proxy for decode CPU cost.
+  [[nodiscard]] std::uint64_t rowOps() const { return rowOps_; }
+
+  /// The decoded pieces, in piece order. Requires complete() and payload
+  /// tracking.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> decode() const;
+
+  /// Checkpoints the full elimination state; a restored decoder continues
+  /// byte-identically (docs/CHECKPOINT.md, payload v4).
+  void saveState(Serializer& out) const;
+  void loadState(Deserializer& in);
+
+ private:
+  struct Row {
+    std::vector<std::uint8_t> coeffs;
+    std::vector<std::uint8_t> payload;
+  };
+
+  bool fold(std::vector<std::uint8_t> coeffs, std::vector<std::uint8_t> data);
+
+  std::uint32_t k_ = 0;
+  std::uint32_t payloadBytes_ = 0;
+  std::uint32_t rank_ = 0;
+  std::uint64_t rowOps_ = 0;
+  std::vector<Row> rows_;             ///< one per innovative frame, reduced
+  std::vector<std::uint32_t> pivot_;  ///< column -> row index (kNoPivot)
+  static constexpr std::uint32_t kNoPivot = 0xffffffffu;
+};
+
+// --- encoder ------------------------------------------------------------
+
+/// Source-side encoder over a complete generation of real piece bytes
+/// (equal-sized pieces). Frames pair a seed-expanded coefficient vector
+/// with the matching combined payload.
+class CodedEncoder {
+ public:
+  explicit CodedEncoder(std::vector<std::vector<std::uint8_t>> pieces);
+
+  struct Frame {
+    std::vector<std::uint8_t> coefficients;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// The frame for a seed-expanded sparse coefficient vector.
+  [[nodiscard]] Frame frame(std::uint64_t seed, double sparsity) const;
+
+  /// The payload matching an arbitrary coefficient vector.
+  [[nodiscard]] std::vector<std::uint8_t> payloadFor(
+      std::span<const std::uint8_t> coefficients) const;
+
+  [[nodiscard]] std::uint32_t generationSize() const {
+    return static_cast<std::uint32_t>(pieces_.size());
+  }
+  [[nodiscard]] std::uint32_t payloadBytes() const {
+    return pieces_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(pieces_.front().size());
+  }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> pieces_;
+};
+
+}  // namespace hdtn::core::coding

@@ -1,274 +1,42 @@
+// Legacy free-function entry points, kept as thin wrappers so existing
+// call sites and tests keep working; the actual scheduling disciplines live
+// behind the DownloadPlanner registry (download_planner.cpp).
 #include "src/core/download.hpp"
 
-#include <algorithm>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <utility>
 
-#include "src/obs/events.hpp"
-#include "src/util/random.hpp"
+#include "src/core/download_planner.hpp"
 
 namespace hdtn::core {
-namespace {
 
-struct PieceKey {
-  FileId file;
-  std::uint32_t piece = 0;
-  friend auto operator<=>(const PieceKey&, const PieceKey&) = default;
-};
-
-struct Candidate {
-  PieceKey key;
-  Popularity popularity = 0.0;
-  std::vector<NodeId> holders;
-  std::vector<NodeId> lackers;
-  std::vector<NodeId> requesters;
-};
-
-std::vector<Candidate> collectCandidates(std::span<const DownloadPeer> peers,
-                                         const PopularityFn& popularityOf) {
-  // Union of every piece held by a contributing member.
-  std::map<PieceKey, Candidate> byKey;
-  for (const DownloadPeer& peer : peers) {
-    if (peer.pieces == nullptr || !peer.contributes) continue;
-    for (FileId file : peer.pieces->files()) {
-      const std::uint32_t count = peer.pieces->pieceCount(file);
-      for (std::uint32_t p = 0; p < count; ++p) {
-        if (!peer.pieces->hasPiece(file, p)) continue;
-        auto& cand = byKey[PieceKey{file, p}];
-        cand.key = PieceKey{file, p};
-        cand.holders.push_back(peer.id);
-      }
-    }
-  }
-  std::vector<Candidate> out;
-  out.reserve(byKey.size());
-  for (auto& [key, cand] : byKey) {
-    cand.popularity = popularityOf(key.file);
-    for (const DownloadPeer& peer : peers) {
-      if (peer.pieces != nullptr &&
-          peer.pieces->hasPiece(key.file, key.piece)) {
-        continue;
-      }
-      cand.lackers.push_back(peer.id);
-      const bool wants = std::find(peer.wanted.begin(), peer.wanted.end(),
-                                   key.file) != peer.wanted.end();
-      if (wants) cand.requesters.push_back(peer.id);
-    }
-    if (cand.lackers.empty()) continue;
-    out.push_back(std::move(cand));
-  }
-  return out;
-}
-
-std::vector<PieceBroadcast> planCooperative(
-    std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
-    int budget, bool useRequestPhase, PushOrder pushOrder) {
-  std::vector<Candidate> candidates = collectCandidates(peers, popularityOf);
-  std::sort(candidates.begin(), candidates.end(),
-            [useRequestPhase, pushOrder](const Candidate& a,
-                                         const Candidate& b) {
-              if (useRequestPhase &&
-                  a.requesters.size() != b.requesters.size()) {
-                return a.requesters.size() > b.requesters.size();
-              }
-              if (pushOrder == PushOrder::kRarestFirst &&
-                  a.holders.size() != b.holders.size()) {
-                return a.holders.size() < b.holders.size();
-              }
-              if (a.popularity != b.popularity) {
-                return a.popularity > b.popularity;
-              }
-              return a.key < b.key;  // pieces of a file flow in index order
-            });
-  std::vector<PieceBroadcast> plan;
-  for (const Candidate& cand : candidates) {
-    if (static_cast<int>(plan.size()) >= budget) break;
-    PieceBroadcast b;
-    b.sender = *std::min_element(cand.holders.begin(), cand.holders.end());
-    b.file = cand.key.file;
-    b.piece = cand.key.piece;
-    b.requesters = cand.requesters;
-    b.phase = cand.requesters.empty() ? 2 : 1;
-    plan.push_back(std::move(b));
-  }
-  return plan;
-}
-
-std::vector<PieceBroadcast> planTitForTat(std::span<const DownloadPeer> peers,
-                                          const PopularityFn& popularityOf,
-                                          int budget) {
-  std::vector<Candidate> candidates = collectCandidates(peers, popularityOf);
-  std::unordered_map<NodeId, const DownloadPeer*> peerById;
-  std::vector<NodeId> contributorIds;
-  for (const DownloadPeer& peer : peers) {
-    peerById[peer.id] = &peer;
-    if (peer.contributes) contributorIds.push_back(peer.id);
-  }
-  if (contributorIds.empty()) return {};
-  const std::vector<NodeId> order(
-      cyclicOrder(std::span<const NodeId>(contributorIds)));
-
-  std::vector<PieceBroadcast> plan;
-  std::set<PieceKey> sent;
-  std::size_t turn = 0;
-  int idleTurns = 0;
-  while (static_cast<int>(plan.size()) < budget &&
-         idleTurns < static_cast<int>(order.size())) {
-    const NodeId sender = order[turn % order.size()];
-    ++turn;
-    const DownloadPeer& senderPeer = *peerById.at(sender);
-    const Candidate* best = nullptr;
-    double bestWeight = -1.0;
-    for (const Candidate& cand : candidates) {
-      if (sent.contains(cand.key)) continue;
-      if (std::find(cand.holders.begin(), cand.holders.end(), sender) ==
-          cand.holders.end()) {
-        continue;
-      }
-      double weight = cand.popularity;
-      for (NodeId requester : cand.requesters) {
-        weight += 1.0;  // a request always outranks a pure push
-        weight += senderPeer.credits != nullptr
-                      ? senderPeer.credits->credit(requester)
-                      : 0.0;
-      }
-      if (best == nullptr || weight > bestWeight ||
-          (weight == bestWeight && cand.key < best->key)) {
-        best = &cand;
-        bestWeight = weight;
-      }
-    }
-    if (best == nullptr) {
-      ++idleTurns;
-      continue;
-    }
-    idleTurns = 0;
-    sent.insert(best->key);
-    PieceBroadcast b;
-    b.sender = sender;
-    b.file = best->key.file;
-    b.piece = best->key.piece;
-    b.requesters = best->requesters;
-    b.phase = best->requesters.empty() ? 2 : 1;
-    plan.push_back(std::move(b));
-  }
-  return plan;
-}
-
-}  // namespace
-
-namespace {
-
-void emitPlanned(obs::EngineObserver* observer, SimTime now,
-                 std::size_t planned, int budget) {
-  if (observer == nullptr) return;
-  obs::SimEvent event;
-  event.type = obs::SimEventType::kDownloadPlanned;
-  event.time = now;
-  event.extra = static_cast<std::uint32_t>(planned);
-  event.value = static_cast<double>(budget);
-  observer->onEvent(event);
-}
-
-}  // namespace
-
-std::vector<PieceBroadcast> planDownload(std::span<const DownloadPeer> peers,
-                                         const PopularityFn& popularityOf,
-                                         int budgetPieces,
-                                         Scheduling scheduling,
-                                         PushOrder pushOrder,
-                                         obs::EngineObserver* observer,
-                                         SimTime now) {
-  if (budgetPieces <= 0 || peers.size() < 2) return {};
-  std::vector<PieceBroadcast> plan;
-  switch (scheduling) {
-    case Scheduling::kCooperative:
-      plan = planCooperative(peers, popularityOf, budgetPieces,
-                             /*useRequestPhase=*/true, pushOrder);
-      break;
-    case Scheduling::kTitForTat:
-      plan = planTitForTat(peers, popularityOf, budgetPieces);
-      break;
-    case Scheduling::kPopularityOnly:
-      plan = planCooperative(peers, popularityOf, budgetPieces,
-                             /*useRequestPhase=*/false, pushOrder);
-      break;
-  }
-  emitPlanned(observer, now, plan.size(), budgetPieces);
-  return plan;
+DownloadPlan planDownload(std::span<const DownloadPeer> peers,
+                          const PopularityFn& popularityOf, int budgetPieces,
+                          Scheduling scheduling, PushOrder pushOrder,
+                          obs::EngineObserver* observer, SimTime now) {
+  DownloadRequest request;
+  request.peers = peers;
+  request.popularityOf = &popularityOf;
+  request.budgetPieces = budgetPieces;
+  request.pushOrder = pushOrder;
+  request.observer = observer;
+  request.now = now;
+  return downloadModeInfo(DownloadMode::kBroadcast, scheduling)
+      .planner->plan(request);
 }
 
 std::vector<PieceTransfer> planPairwiseDownload(
     std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
     int budgetPerPair, obs::EngineObserver* observer, SimTime now) {
-  std::vector<PieceTransfer> plan;
-  if (budgetPerPair <= 0 || peers.size() < 2) return plan;
-
-  // Greedy matching by ascending id; a leftover odd member idles (it has no
-  // link — the inefficiency the paper's broadcast scheme removes).
-  std::vector<const DownloadPeer*> sorted;
-  for (const DownloadPeer& peer : peers) sorted.push_back(&peer);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const DownloadPeer* a, const DownloadPeer* b) {
-              return a->id < b->id;
-            });
-
-  for (std::size_t i = 0; i + 1 < sorted.size(); i += 2) {
-    const DownloadPeer& a = *sorted[i];
-    const DownloadPeer& b = *sorted[i + 1];
-    struct Option {
-      PieceTransfer transfer;
-      Popularity popularity = 0.0;
-    };
-    std::vector<Option> options;
-    auto addOptions = [&](const DownloadPeer& from, const DownloadPeer& to) {
-      if (!from.contributes || from.pieces == nullptr) return;
-      for (FileId file : from.pieces->files()) {
-        const std::uint32_t count = from.pieces->pieceCount(file);
-        for (std::uint32_t p = 0; p < count; ++p) {
-          if (!from.pieces->hasPiece(file, p)) continue;
-          if (to.pieces != nullptr && to.pieces->hasPiece(file, p)) continue;
-          Option opt;
-          opt.transfer.sender = from.id;
-          opt.transfer.receiver = to.id;
-          opt.transfer.file = file;
-          opt.transfer.piece = p;
-          opt.transfer.requested =
-              std::find(to.wanted.begin(), to.wanted.end(), file) !=
-              to.wanted.end();
-          opt.popularity = popularityOf(file);
-          options.push_back(std::move(opt));
-        }
-      }
-    };
-    addOptions(a, b);
-    addOptions(b, a);
-    std::sort(options.begin(), options.end(),
-              [](const Option& x, const Option& y) {
-                if (x.transfer.requested != y.transfer.requested) {
-                  return x.transfer.requested > y.transfer.requested;
-                }
-                if (x.popularity != y.popularity) {
-                  return x.popularity > y.popularity;
-                }
-                if (x.transfer.file != y.transfer.file) {
-                  return x.transfer.file < y.transfer.file;
-                }
-                if (x.transfer.piece != y.transfer.piece) {
-                  return x.transfer.piece < y.transfer.piece;
-                }
-                return x.transfer.sender < y.transfer.sender;
-              });
-    // The pairwise link carries one piece per slot in either direction.
-    const int take =
-        std::min<int>(budgetPerPair, static_cast<int>(options.size()));
-    for (int k = 0; k < take; ++k) {
-      plan.push_back(options[static_cast<std::size_t>(k)].transfer);
-    }
-  }
-  emitPlanned(observer, now, plan.size(), budgetPerPair);
-  return plan;
+  DownloadRequest request;
+  request.peers = peers;
+  request.popularityOf = &popularityOf;
+  request.budgetPieces = budgetPerPair;
+  request.observer = observer;
+  request.now = now;
+  return std::move(downloadModeInfo(DownloadMode::kPairwise,
+                                    Scheduling::kCooperative)
+                       .planner->plan(request)
+                       .transfers);
 }
 
 }  // namespace hdtn::core

@@ -16,6 +16,14 @@
 // distribution per Section II) is provided for comparison: members are
 // matched into disjoint pairs, and each pair exchanges pieces over a
 // unicast link with a per-pair budget.
+//
+// A network-coded mode (docs/CODING.md) broadcasts RLNC combinations over a
+// file's pieces instead of named pieces; receivers accumulate rank and
+// decode at full rank, so losses cost redundancy instead of replay.
+//
+// The planners behind these modes implement the DownloadPlanner interface
+// (download_planner.hpp) and are resolved from a single mode registry; the
+// free functions below are thin legacy wrappers over that registry.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +38,32 @@
 
 namespace hdtn::core {
 
+/// How pieces move during a contact (one registry entry per mode spelling;
+/// broadcast covers the coop/tft/popularity schedulings).
+enum class DownloadMode {
+  kBroadcast,  ///< the paper's clique broadcasts (Section V)
+  kPairwise,   ///< disjoint-pair unicast baseline (Section II regime)
+  kCoded,      ///< RLNC generation broadcasts (docs/CODING.md)
+};
+
+/// Knobs of the coded download mode (docs/CODING.md).
+struct CodedParams {
+  /// Extra coded frames per unit of receiver deficit: a file k pieces short
+  /// at the worst receiver is granted ceil(k * (1 + redundancy)) frames.
+  double redundancy = 0.5;
+  /// Probability that a coefficient is nonzero (sparse RLNC).
+  double sparsity = 0.5;
+};
+
 /// One clique member's state as seen by the download planner.
 struct DownloadPeer {
   NodeId id;
   const PieceStore* pieces = nullptr;
   /// Files this member is actively downloading (it holds a matching
   /// metadata for an unsatisfied query); advertised as URIs in hellos.
-  std::vector<FileId> wanted;
+  /// A view over node-owned storage (Node::wantedFilesView) — planners
+  /// never copy the list.
+  std::span<const FileId> wanted;
   const CreditLedger* credits = nullptr;
   bool contributes = true;
 };
@@ -55,21 +82,12 @@ struct PieceBroadcast {
   NodeId sender;
   FileId file;
   std::uint32_t piece = 0;
-  /// Members that want the file and lack this piece.
-  std::vector<NodeId> requesters;
+  /// Members that want the file and lack this piece; views the owning
+  /// DownloadPlan's requester pool.
+  std::span<const NodeId> requesters;
   /// 1 = requested phase, 2 = popularity push phase.
   int phase = 1;
 };
-
-/// Plans up to `budgetPieces` broadcasts for one contact. Each (file, piece)
-/// is broadcast at most once. Deterministic in its inputs. When an observer
-/// is attached, emits one kDownloadPlanned event per invocation timestamped
-/// at `now` (extra = planned broadcasts, value = budget).
-[[nodiscard]] std::vector<PieceBroadcast> planDownload(
-    std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
-    int budgetPieces, Scheduling scheduling,
-    PushOrder pushOrder = PushOrder::kPopularity,
-    obs::EngineObserver* observer = nullptr, SimTime now = 0);
 
 /// One planned pairwise (unicast) transfer.
 struct PieceTransfer {
@@ -80,11 +98,65 @@ struct PieceTransfer {
   bool requested = false;
 };
 
+/// One planned run of coded frames: `frames` RLNC combinations over the
+/// file's generation, broadcast by `sender`. Coefficient seeds are drawn at
+/// transmission time from the engine's coded stream.
+struct CodedBroadcast {
+  NodeId sender;
+  FileId file;
+  std::uint32_t generationSize = 0;  ///< k: pieces in the file
+  std::uint32_t frames = 0;          ///< coded frames to transmit
+  Popularity popularity = 0.0;
+  /// Members actively wanting the file; views the requester pool.
+  std::span<const NodeId> requesters;
+};
+
+/// What a DownloadPlanner produced for one contact. Owns the requester
+/// arena its broadcast spans point into, so it is movable but not copyable.
+/// Exactly one of the three lists is populated, by mode.
+class DownloadPlan {
+ public:
+  DownloadPlan() = default;
+  DownloadPlan(const DownloadPlan&) = delete;
+  DownloadPlan& operator=(const DownloadPlan&) = delete;
+  DownloadPlan(DownloadPlan&&) noexcept = default;
+  DownloadPlan& operator=(DownloadPlan&&) noexcept = default;
+
+  std::vector<PieceBroadcast> broadcasts;
+  std::vector<PieceTransfer> transfers;
+  std::vector<CodedBroadcast> coded;
+  /// Arena behind every requesters span above. Appending after the spans
+  /// are finalized would dangle them; planners fill it once, then publish.
+  std::vector<NodeId> requesterPool;
+
+  // Legacy conveniences: existing call sites and tests treat a broadcast
+  // plan as a range of PieceBroadcasts.
+  [[nodiscard]] std::size_t size() const { return broadcasts.size(); }
+  [[nodiscard]] bool empty() const { return broadcasts.empty(); }
+  [[nodiscard]] const PieceBroadcast& operator[](std::size_t i) const {
+    return broadcasts[i];
+  }
+  [[nodiscard]] auto begin() const { return broadcasts.begin(); }
+  [[nodiscard]] auto end() const { return broadcasts.end(); }
+};
+
+/// Plans up to `budgetPieces` broadcasts for one contact. Each (file, piece)
+/// is broadcast at most once. Deterministic in its inputs. When an observer
+/// is attached, emits one kDownloadPlanned event per invocation timestamped
+/// at `now` (extra = planned broadcasts, value = budget). Thin wrapper over
+/// the broadcast planners in the mode registry (download_planner.hpp).
+[[nodiscard]] DownloadPlan planDownload(
+    std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
+    int budgetPieces, Scheduling scheduling,
+    PushOrder pushOrder = PushOrder::kPopularity,
+    obs::EngineObserver* observer = nullptr, SimTime now = 0);
+
 /// Pairwise baseline: members are greedily matched into disjoint pairs
 /// (ascending id order); each pair plans up to `budgetPerPair` transfers,
 /// requested pieces first (then popularity). Models the "exactly one
 /// receiver per transmission" regime the paper argues against. Emits one
 /// kDownloadPlanned event per invocation when an observer is attached.
+/// Thin wrapper over the pairwise registry planner.
 [[nodiscard]] std::vector<PieceTransfer> planPairwiseDownload(
     std::span<const DownloadPeer> peers, const PopularityFn& popularityOf,
     int budgetPerPair, obs::EngineObserver* observer = nullptr,

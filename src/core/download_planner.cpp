@@ -1,0 +1,464 @@
+#include "src/core/download_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/obs/events.hpp"
+#include "src/util/random.hpp"
+
+namespace hdtn::core {
+namespace {
+
+struct PieceKey {
+  FileId file;
+  std::uint32_t piece = 0;
+  friend auto operator<=>(const PieceKey&, const PieceKey&) = default;
+};
+
+struct Candidate {
+  PieceKey key;
+  Popularity popularity = 0.0;
+  std::vector<NodeId> holders;
+  std::vector<NodeId> lackers;
+  std::vector<NodeId> requesters;
+};
+
+std::vector<Candidate> collectCandidates(std::span<const DownloadPeer> peers,
+                                         const PopularityFn& popularityOf) {
+  // Union of every piece held by a contributing member.
+  std::map<PieceKey, Candidate> byKey;
+  for (const DownloadPeer& peer : peers) {
+    if (peer.pieces == nullptr || !peer.contributes) continue;
+    for (FileId file : peer.pieces->files()) {
+      const std::uint32_t count = peer.pieces->pieceCount(file);
+      for (std::uint32_t p = 0; p < count; ++p) {
+        if (!peer.pieces->hasPiece(file, p)) continue;
+        auto& cand = byKey[PieceKey{file, p}];
+        cand.key = PieceKey{file, p};
+        cand.holders.push_back(peer.id);
+      }
+    }
+  }
+  std::vector<Candidate> out;
+  out.reserve(byKey.size());
+  for (auto& [key, cand] : byKey) {
+    cand.popularity = popularityOf(key.file);
+    for (const DownloadPeer& peer : peers) {
+      if (peer.pieces != nullptr &&
+          peer.pieces->hasPiece(key.file, key.piece)) {
+        continue;
+      }
+      cand.lackers.push_back(peer.id);
+      const bool wants = std::find(peer.wanted.begin(), peer.wanted.end(),
+                                   key.file) != peer.wanted.end();
+      if (wants) cand.requesters.push_back(peer.id);
+    }
+    if (cand.lackers.empty()) continue;
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+void emitPlanned(obs::EngineObserver* observer, SimTime now,
+                 std::size_t planned, int budget) {
+  if (observer == nullptr) return;
+  obs::SimEvent event;
+  event.type = obs::SimEventType::kDownloadPlanned;
+  event.time = now;
+  event.extra = static_cast<std::uint32_t>(planned);
+  event.value = static_cast<double>(budget);
+  observer->onEvent(event);
+}
+
+/// Publishes selected candidates as a broadcast plan. The requester arena
+/// is filled completely before any span is cut, so nothing dangles.
+DownloadPlan publishBroadcasts(
+    std::span<const std::pair<NodeId, const Candidate*>> selected) {
+  DownloadPlan plan;
+  std::size_t total = 0;
+  for (const auto& [sender, cand] : selected) {
+    total += cand->requesters.size();
+  }
+  plan.requesterPool.reserve(total);
+  plan.broadcasts.reserve(selected.size());
+  for (const auto& [sender, cand] : selected) {
+    plan.requesterPool.insert(plan.requesterPool.end(),
+                              cand->requesters.begin(),
+                              cand->requesters.end());
+  }
+  std::size_t offset = 0;
+  for (const auto& [sender, cand] : selected) {
+    PieceBroadcast b;
+    b.sender = sender;
+    b.file = cand->key.file;
+    b.piece = cand->key.piece;
+    b.requesters = std::span<const NodeId>(plan.requesterPool)
+                       .subspan(offset, cand->requesters.size());
+    b.phase = cand->requesters.empty() ? 2 : 1;
+    plan.broadcasts.push_back(b);
+    offset += cand->requesters.size();
+  }
+  return plan;
+}
+
+/// Cooperative coordinator scheduling (paper V-A); with the request phase
+/// disabled this is the popularity-only ablation.
+class CooperativePlanner final : public DownloadPlanner {
+ public:
+  explicit CooperativePlanner(bool useRequestPhase)
+      : useRequestPhase_(useRequestPhase) {}
+
+  DownloadPlan plan(const DownloadRequest& request) const override {
+    if (request.budgetPieces <= 0 || request.peers.size() < 2) return {};
+    std::vector<Candidate> candidates =
+        collectCandidates(request.peers, *request.popularityOf);
+    const bool useRequestPhase = useRequestPhase_;
+    const PushOrder pushOrder = request.pushOrder;
+    std::sort(candidates.begin(), candidates.end(),
+              [useRequestPhase, pushOrder](const Candidate& a,
+                                           const Candidate& b) {
+                if (useRequestPhase &&
+                    a.requesters.size() != b.requesters.size()) {
+                  return a.requesters.size() > b.requesters.size();
+                }
+                if (pushOrder == PushOrder::kRarestFirst &&
+                    a.holders.size() != b.holders.size()) {
+                  return a.holders.size() < b.holders.size();
+                }
+                if (a.popularity != b.popularity) {
+                  return a.popularity > b.popularity;
+                }
+                return a.key < b.key;  // pieces of a file flow in index order
+              });
+    std::vector<std::pair<NodeId, const Candidate*>> selected;
+    for (const Candidate& cand : candidates) {
+      if (static_cast<int>(selected.size()) >= request.budgetPieces) break;
+      selected.emplace_back(
+          *std::min_element(cand.holders.begin(), cand.holders.end()),
+          &cand);
+    }
+    DownloadPlan plan = publishBroadcasts(selected);
+    emitPlanned(request.observer, request.now, plan.broadcasts.size(),
+                request.budgetPieces);
+    return plan;
+  }
+
+ private:
+  bool useRequestPhase_;
+};
+
+/// Tit-for-tat turn scheduling (paper V-B).
+class TitForTatPlanner final : public DownloadPlanner {
+ public:
+  DownloadPlan plan(const DownloadRequest& request) const override {
+    if (request.budgetPieces <= 0 || request.peers.size() < 2) return {};
+    const std::vector<Candidate> candidates =
+        collectCandidates(request.peers, *request.popularityOf);
+    std::unordered_map<NodeId, const DownloadPeer*> peerById;
+    std::vector<NodeId> contributorIds;
+    for (const DownloadPeer& peer : request.peers) {
+      peerById[peer.id] = &peer;
+      if (peer.contributes) contributorIds.push_back(peer.id);
+    }
+    if (contributorIds.empty()) {
+      DownloadPlan plan;
+      emitPlanned(request.observer, request.now, 0, request.budgetPieces);
+      return plan;
+    }
+    const std::vector<NodeId> order(
+        cyclicOrder(std::span<const NodeId>(contributorIds)));
+
+    std::vector<std::pair<NodeId, const Candidate*>> selected;
+    std::set<PieceKey> sent;
+    std::size_t turn = 0;
+    int idleTurns = 0;
+    while (static_cast<int>(selected.size()) < request.budgetPieces &&
+           idleTurns < static_cast<int>(order.size())) {
+      const NodeId sender = order[turn % order.size()];
+      ++turn;
+      const DownloadPeer& senderPeer = *peerById.at(sender);
+      const Candidate* best = nullptr;
+      double bestWeight = -1.0;
+      for (const Candidate& cand : candidates) {
+        if (sent.contains(cand.key)) continue;
+        if (std::find(cand.holders.begin(), cand.holders.end(), sender) ==
+            cand.holders.end()) {
+          continue;
+        }
+        double weight = cand.popularity;
+        for (NodeId requester : cand.requesters) {
+          weight += 1.0;  // a request always outranks a pure push
+          weight += senderPeer.credits != nullptr
+                        ? senderPeer.credits->credit(requester)
+                        : 0.0;
+        }
+        if (best == nullptr || weight > bestWeight ||
+            (weight == bestWeight && cand.key < best->key)) {
+          best = &cand;
+          bestWeight = weight;
+        }
+      }
+      if (best == nullptr) {
+        ++idleTurns;
+        continue;
+      }
+      idleTurns = 0;
+      sent.insert(best->key);
+      selected.emplace_back(sender, best);
+    }
+    DownloadPlan plan = publishBroadcasts(selected);
+    emitPlanned(request.observer, request.now, plan.broadcasts.size(),
+                request.budgetPieces);
+    return plan;
+  }
+};
+
+/// Disjoint-pair unicast baseline.
+class PairwisePlanner final : public DownloadPlanner {
+ public:
+  DownloadPlan plan(const DownloadRequest& request) const override {
+    DownloadPlan plan;
+    if (request.budgetPieces <= 0 || request.peers.size() < 2) return plan;
+    const PopularityFn& popularityOf = *request.popularityOf;
+
+    // Greedy matching by ascending id; a leftover odd member idles (it has
+    // no link — the inefficiency the paper's broadcast scheme removes).
+    std::vector<const DownloadPeer*> sorted;
+    for (const DownloadPeer& peer : request.peers) sorted.push_back(&peer);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DownloadPeer* a, const DownloadPeer* b) {
+                return a->id < b->id;
+              });
+
+    for (std::size_t i = 0; i + 1 < sorted.size(); i += 2) {
+      const DownloadPeer& a = *sorted[i];
+      const DownloadPeer& b = *sorted[i + 1];
+      struct Option {
+        PieceTransfer transfer;
+        Popularity popularity = 0.0;
+      };
+      std::vector<Option> options;
+      auto addOptions = [&](const DownloadPeer& from,
+                            const DownloadPeer& to) {
+        if (!from.contributes || from.pieces == nullptr) return;
+        for (FileId file : from.pieces->files()) {
+          const std::uint32_t count = from.pieces->pieceCount(file);
+          for (std::uint32_t p = 0; p < count; ++p) {
+            if (!from.pieces->hasPiece(file, p)) continue;
+            if (to.pieces != nullptr && to.pieces->hasPiece(file, p)) {
+              continue;
+            }
+            Option opt;
+            opt.transfer.sender = from.id;
+            opt.transfer.receiver = to.id;
+            opt.transfer.file = file;
+            opt.transfer.piece = p;
+            opt.transfer.requested =
+                std::find(to.wanted.begin(), to.wanted.end(), file) !=
+                to.wanted.end();
+            opt.popularity = popularityOf(file);
+            options.push_back(std::move(opt));
+          }
+        }
+      };
+      addOptions(a, b);
+      addOptions(b, a);
+      std::sort(options.begin(), options.end(),
+                [](const Option& x, const Option& y) {
+                  if (x.transfer.requested != y.transfer.requested) {
+                    return x.transfer.requested > y.transfer.requested;
+                  }
+                  if (x.popularity != y.popularity) {
+                    return x.popularity > y.popularity;
+                  }
+                  if (x.transfer.file != y.transfer.file) {
+                    return x.transfer.file < y.transfer.file;
+                  }
+                  if (x.transfer.piece != y.transfer.piece) {
+                    return x.transfer.piece < y.transfer.piece;
+                  }
+                  return x.transfer.sender < y.transfer.sender;
+                });
+      // The pairwise link carries one piece per slot in either direction.
+      const int take = std::min<int>(request.budgetPieces,
+                                     static_cast<int>(options.size()));
+      for (int k = 0; k < take; ++k) {
+        plan.transfers.push_back(
+            options[static_cast<std::size_t>(k)].transfer);
+      }
+    }
+    emitPlanned(request.observer, request.now, plan.transfers.size(),
+                request.budgetPieces);
+    return plan;
+  }
+};
+
+/// RLNC generation broadcasts (docs/CODING.md): instead of naming pieces,
+/// grant each incomplete file a run of coded frames sized to the worst
+/// receiver's piece deficit plus redundancy. Coefficient seeds are drawn by
+/// the engine at transmission time. A receiver's decoder rank can only
+/// exceed its held-piece count, so sizing frames off the stores never
+/// undershoots — surplus frames cost redundancy, which is the mode's whole
+/// trade.
+class CodedPlanner final : public DownloadPlanner {
+ public:
+  DownloadPlan plan(const DownloadRequest& request) const override {
+    if (request.budgetPieces <= 0 || request.peers.size() < 2) return {};
+
+    struct FileCand {
+      FileId file;
+      Popularity popularity = 0.0;
+      std::uint32_t generationSize = 0;
+      std::uint32_t maxDeficit = 0;
+      NodeId sender;
+      std::uint32_t senderHeld = 0;
+      bool hasSender = false;
+      std::vector<NodeId> requesters;
+    };
+    std::map<FileId, FileCand> byFile;
+    for (const DownloadPeer& peer : request.peers) {
+      if (peer.pieces == nullptr) continue;
+      for (FileId file : peer.pieces->files()) {
+        const std::uint32_t k = peer.pieces->pieceCount(file);
+        if (k == 0) continue;
+        auto& cand = byFile[file];
+        cand.file = file;
+        cand.generationSize = std::max(cand.generationSize, k);
+      }
+    }
+    for (auto& [file, cand] : byFile) {
+      cand.popularity = (*request.popularityOf)(file);
+      const std::uint32_t k = cand.generationSize;
+      for (const DownloadPeer& peer : request.peers) {
+        const std::uint32_t held =
+            peer.pieces != nullptr ? peer.pieces->piecesHeld(file) : 0;
+        // Sender: the contributing member holding the most pieces (ties go
+        // to the lowest id, the coordinator convention). Partial holders
+        // recode from the subspace they have.
+        if (peer.contributes && peer.pieces != nullptr && held > 0 &&
+            (!cand.hasSender || held > cand.senderHeld)) {
+          cand.sender = peer.id;
+          cand.senderHeld = held;
+          cand.hasSender = true;
+        }
+        if (held >= k) continue;  // complete receivers need nothing
+        cand.maxDeficit = std::max(cand.maxDeficit, k - held);
+        const bool wants = std::find(peer.wanted.begin(), peer.wanted.end(),
+                                     file) != peer.wanted.end();
+        if (wants) cand.requesters.push_back(peer.id);
+      }
+    }
+    std::vector<const FileCand*> order;
+    for (const auto& [file, cand] : byFile) {
+      if (!cand.hasSender || cand.maxDeficit == 0) continue;
+      order.push_back(&cand);
+    }
+    // Requested generations first (more requesters first), then the
+    // popularity push — the coded analogue of the cooperative phases.
+    std::sort(order.begin(), order.end(),
+              [](const FileCand* a, const FileCand* b) {
+                if (a->requesters.size() != b->requesters.size()) {
+                  return a->requesters.size() > b->requesters.size();
+                }
+                if (a->popularity != b->popularity) {
+                  return a->popularity > b->popularity;
+                }
+                return a->file < b->file;
+              });
+
+    DownloadPlan plan;
+    std::size_t totalRequesters = 0;
+    for (const FileCand* cand : order) {
+      totalRequesters += cand->requesters.size();
+    }
+    plan.requesterPool.reserve(totalRequesters);
+    int budget = request.budgetPieces;
+    std::size_t planned = 0;
+    std::size_t offset = 0;
+    for (const FileCand* cand : order) {
+      if (budget <= 0) break;
+      plan.requesterPool.insert(plan.requesterPool.end(),
+                                cand->requesters.begin(),
+                                cand->requesters.end());
+    }
+    // Two-pass budget split: coverage first (each planned generation gets
+    // its worst deficit in frames, matching the selective modes' spend for
+    // the same file), then redundancy only from whatever budget is left —
+    // so extra frames never starve a later file out of the plan entirely.
+    budget = request.budgetPieces;
+    for (const FileCand* cand : order) {
+      if (budget <= 0) break;
+      const int frames =
+          std::min(budget, static_cast<int>(cand->maxDeficit));
+      budget -= frames;
+      CodedBroadcast cb;
+      cb.sender = cand->sender;
+      cb.file = cand->file;
+      cb.generationSize = cand->generationSize;
+      cb.frames = static_cast<std::uint32_t>(frames);
+      cb.popularity = cand->popularity;
+      cb.requesters = std::span<const NodeId>(plan.requesterPool)
+                          .subspan(offset, cand->requesters.size());
+      offset += cand->requesters.size();
+      plan.coded.push_back(cb);
+      planned += static_cast<std::size_t>(frames);
+    }
+    for (std::size_t i = 0; i < plan.coded.size(); ++i) {
+      if (budget <= 0) break;
+      const double deficit = order[i]->maxDeficit;
+      const int extra = std::min(
+          budget,
+          static_cast<int>(std::ceil(deficit * request.coded.redundancy)));
+      plan.coded[i].frames += static_cast<std::uint32_t>(extra);
+      budget -= extra;
+      planned += static_cast<std::size_t>(extra);
+    }
+    emitPlanned(request.observer, request.now, planned,
+                request.budgetPieces);
+    return plan;
+  }
+};
+
+}  // namespace
+
+std::span<const DownloadModeInfo> downloadModeRegistry() {
+  static const CooperativePlanner coop{/*useRequestPhase=*/true};
+  static const CooperativePlanner popularity{/*useRequestPhase=*/false};
+  static const TitForTatPlanner tft;
+  static const PairwisePlanner pairwise;
+  static const CodedPlanner coded;
+  static const DownloadModeInfo entries[] = {
+      {"coop", DownloadMode::kBroadcast, Scheduling::kCooperative, &coop},
+      {"tft", DownloadMode::kBroadcast, Scheduling::kTitForTat, &tft},
+      {"popularity", DownloadMode::kBroadcast, Scheduling::kPopularityOnly,
+       &popularity},
+      {"pairwise", DownloadMode::kPairwise, Scheduling::kCooperative,
+       &pairwise},
+      {"coded", DownloadMode::kCoded, Scheduling::kCooperative, &coded},
+  };
+  return entries;
+}
+
+const DownloadModeInfo* findDownloadMode(std::string_view name) {
+  for (const DownloadModeInfo& info : downloadModeRegistry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const DownloadModeInfo& downloadModeInfo(DownloadMode mode,
+                                         Scheduling scheduling) {
+  const DownloadModeInfo* fallback = nullptr;
+  for (const DownloadModeInfo& info : downloadModeRegistry()) {
+    if (info.mode != mode) continue;
+    if (info.scheduling == scheduling) return info;
+    if (fallback == nullptr) fallback = &info;
+  }
+  // Pairwise/coded have one row each; any scheduling maps onto it.
+  return *fallback;
+}
+
+}  // namespace hdtn::core

@@ -1,0 +1,74 @@
+// The pluggable download-planner API and the single download-mode registry.
+//
+// Every download mode — cooperative, tit-for-tat, popularity-only,
+// pairwise, coded — is one DownloadPlanner implementation plus one registry
+// row. The registry is the only place a mode is spelled out: the engine
+// resolves its planner from it, Scenario::apply and the hdtn_sim flags
+// parse mode names through it, and the benches label series with its
+// canonical names — so the string mapping round-trips by construction and
+// adding a mode is one registration, not a switch per call site.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "src/core/download.hpp"
+
+namespace hdtn::core {
+
+/// Everything a planner may consult for one contact. Planners are pure:
+/// same request, same plan.
+struct DownloadRequest {
+  std::span<const DownloadPeer> peers;
+  const PopularityFn* popularityOf = nullptr;
+  int budgetPieces = 0;
+  PushOrder pushOrder = PushOrder::kPopularity;
+  /// Coded-mode knobs; ignored by the named-piece planners.
+  CodedParams coded;
+  /// When set, the planner emits its kDownloadPlanned event at `now`.
+  obs::EngineObserver* observer = nullptr;
+  SimTime now = 0;
+};
+
+/// One download scheduling discipline. Implementations live behind the
+/// registry; call sites never name a concrete planner type.
+class DownloadPlanner {
+ public:
+  virtual ~DownloadPlanner() = default;
+  [[nodiscard]] virtual DownloadPlan plan(
+      const DownloadRequest& request) const = 0;
+};
+
+/// One registry row: the canonical mode name (scenario files, CLI flags,
+/// bench labels, reports) and how the engine runs it.
+struct DownloadModeInfo {
+  const char* name;
+  DownloadMode mode;
+  /// The scheduling a broadcast-mode row selects; for pairwise/coded rows
+  /// this is the value the name parses back to (cooperative), so that
+  /// parse -> format round-trips for every row.
+  Scheduling scheduling;
+  const DownloadPlanner* planner;
+};
+
+/// All registered modes, in registration order.
+[[nodiscard]] std::span<const DownloadModeInfo> downloadModeRegistry();
+
+/// Row for a canonical name, or nullptr. Names: coop, tft, popularity,
+/// pairwise, coded.
+[[nodiscard]] const DownloadModeInfo* findDownloadMode(std::string_view name);
+
+/// Row for an engine configuration (mode + scheduling). Every valid
+/// configuration has exactly one row.
+[[nodiscard]] const DownloadModeInfo& downloadModeInfo(DownloadMode mode,
+                                                      Scheduling scheduling);
+
+/// Canonical spelling of an engine configuration — the inverse of
+/// findDownloadMode: findDownloadMode(downloadModeName(m, s)) names the
+/// same planner.
+[[nodiscard]] inline const char* downloadModeName(DownloadMode mode,
+                                                 Scheduling scheduling) {
+  return downloadModeInfo(mode, scheduling).name;
+}
+
+}  // namespace hdtn::core

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/core/coding.hpp"
 #include "src/core/discovery.hpp"
 #include "src/core/download.hpp"
+#include "src/core/download_planner.hpp"
 #include "src/obs/events.hpp"
 #include "src/trace/trace_stats.hpp"
 #include "src/util/logging.hpp"
@@ -24,6 +27,14 @@ struct EngineCaches {
   std::vector<const Metadata*> topPopular;
   /// Per node: query text -> publish time at which it was last searched.
   std::vector<std::unordered_map<std::string, SimTime>> searchCache;
+};
+
+// Coded-mode engine state: the dedicated coefficient-seed stream plus one
+// incremental decoder per (receiver, in-flight generation). Ordered maps so
+// checkpoint bytes are deterministic.
+struct CodedEngineState {
+  Rng rng{0};
+  std::map<NodeId, std::map<FileId, coding::GenerationDecoder>> decoders;
 };
 
 namespace {
@@ -112,6 +123,14 @@ std::vector<std::string> EngineParams::validate() const {
   for (std::string& error : recovery.validate()) {
     errors.push_back("recovery." + std::move(error));
   }
+  if (!(coded.redundancy >= 0.0 && coded.redundancy <= 4.0)) {
+    errors.push_back("coded.redundancy must be in [0, 4], got " +
+                     std::to_string(coded.redundancy));
+  }
+  if (!(coded.sparsity > 0.0 && coded.sparsity <= 1.0)) {
+    errors.push_back("coded.sparsity must be in (0, 1], got " +
+                     std::to_string(coded.sparsity));
+  }
   return errors;
 }
 
@@ -138,6 +157,16 @@ Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
     recovery_ =
         std::make_unique<RecoveryState>(params_.recovery.repairQueueLimit);
   }
+  // The coefficient-seed stream is forked only in coded mode (a fork
+  // consumes a draw), so the named-piece modes stay byte-identical to
+  // builds without coding support.
+  if (params_.downloadMode == DownloadMode::kCoded) {
+    coded_ = std::make_unique<CodedEngineState>();
+    coded_->rng = rng_.fork(0xc0de);
+  }
+  planner_ =
+      downloadModeInfo(params_.downloadMode, params_.protocol.scheduling)
+          .planner;
   setupNodes();
 }
 
@@ -578,7 +607,7 @@ void Engine::syncAccessNode(Node& node, SimTime now) {
 
   // 3. Download files this node selected ("enough bandwidth to download the
   //    files they need").
-  for (FileId file : node.wantedFiles(now)) {
+  for (FileId file : node.wantedFilesView(now)) {
     deliverWholeFile(node, file, now);
   }
 
@@ -642,7 +671,7 @@ void Engine::processContact(const trace::Contact& contact) {
   std::vector<std::vector<Uri>> wantedUris(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     texts[i] = members[i]->activeQueryTexts(now);
-    for (FileId file : members[i]->wantedFiles(now)) {
+    for (FileId file : members[i]->wantedFilesView(now)) {
       const FileInfo* info = internet_.catalog().find(file);
       if (info != nullptr) wantedUris[i].push_back(info->uri);
     }
@@ -993,6 +1022,187 @@ void Engine::deliverPieceTo(Node& receiver, NodeId sender, FileId file,
   }
 }
 
+namespace {
+
+// Lazily creates the (receiver, file) decoder, seeding it with unit rows
+// for pieces the node already holds in the clear (delivered by an access
+// gateway, a repair push, or before a mode switch) so those count toward
+// rank and are never re-sent as deficit.
+coding::GenerationDecoder& codedDecoderFor(CodedEngineState& state,
+                                           const Node& member, FileId file,
+                                           std::uint32_t generationSize) {
+  auto& byFile = state.decoders[member.id()];
+  auto it = byFile.find(file);
+  if (it == byFile.end()) {
+    it = byFile.emplace(file, coding::GenerationDecoder(generationSize))
+             .first;
+    for (std::uint32_t p = 0; p < generationSize; ++p) {
+      if (member.pieces().hasPiece(file, p)) it->second.addSourcePiece(p);
+    }
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Engine::codedFrameCoefficients(
+    Node& sender, FileId file, std::uint32_t generationSize,
+    std::uint64_t seed) {
+  if (sender.pieces().isComplete(file)) {
+    return coding::sparseCoefficients(generationSize, seed,
+                                      params_.coded.sparsity);
+  }
+  return codedDecoderFor(*coded_, sender, file, generationSize)
+      .recodeCoefficients(seed, params_.coded.sparsity);
+}
+
+bool Engine::deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
+                                 std::uint32_t generationSize, bool requested,
+                                 std::span<const std::uint8_t> coefficients,
+                                 const FileInfo& info, SimTime now) {
+  coding::GenerationDecoder& decoder =
+      codedDecoderFor(*coded_, receiver, file, generationSize);
+  const std::uint64_t opsBefore = decoder.rowOps();
+  const bool innovative = decoder.addFrame(coefficients);
+  totals_.codedDecodeRowOps += decoder.rowOps() - opsBefore;
+  if (!innovative) {
+    ++totals_.codedRedundantFrames;
+    return false;
+  }
+  ++totals_.codedInnovativeFrames;
+  if (requested) {
+    receiver.credits().onReceivedRequested(sender);
+  } else {
+    receiver.credits().onReceivedUnrequested(sender, info.popularity);
+  }
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kInnovativeFrame;
+    event.time = now;
+    event.node = receiver.id();
+    event.peer = sender;
+    event.file = file;
+    event.extra = decoder.rank();
+    event.value = info.popularity;
+    emit(event);
+  }
+  if (!decoder.complete()) return true;
+  // Full rank: every source piece is a row-space lookup. Store the missing
+  // ones (the reception credit was granted per innovative frame above, so
+  // the decoded pieces carry no extra credit) and retire the decoder.
+  for (std::uint32_t p = 0; p < generationSize; ++p) {
+    if (receiver.pieces().hasPiece(file, p)) continue;
+    receiver.acceptPiece(file, p, generationSize, now);
+    ++totals_.pieceReceptions;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kPieceReceived;
+      event.time = now;
+      event.node = receiver.id();
+      event.peer = sender;
+      event.file = file;
+      event.extra = p;
+      event.value = info.popularity;
+      emit(event);
+    }
+  }
+  if (receiver.pieces().isComplete(file)) {
+    metrics_.onNodeCompletedFile(receiver.id(), file, now);
+  }
+  ++totals_.generationsDecoded;
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kGenerationDecoded;
+    event.time = now;
+    event.node = receiver.id();
+    event.peer = sender;
+    event.file = file;
+    event.extra = generationSize;
+    event.value = info.popularity;
+    emit(event);
+  }
+  coded_->decoders[receiver.id()].erase(file);
+  return true;
+}
+
+void Engine::deliverCodedBroadcast(const CodedBroadcast& cb,
+                                   const std::vector<Node*>& members,
+                                   SimTime now, RecoverySession* session) {
+  const FileInfo* info = internet_.catalog().find(cb.file);
+  totals_.pieceBroadcasts += cb.frames;
+  totals_.codedBroadcasts += cb.frames;
+  Node& sender = node(cb.sender);
+  for (std::uint32_t f = 0; f < cb.frames; ++f) {
+    const std::uint64_t seed = coded_->rng();
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kCodedBroadcast;
+      event.time = now;
+      event.node = cb.sender;
+      event.file = cb.file;
+      event.extra = cb.generationSize;
+      event.value = cb.popularity;
+      emit(event);
+    }
+    if (info == nullptr) continue;
+    const std::vector<std::uint8_t> coefficients =
+        codedFrameCoefficients(sender, cb.file, cb.generationSize, seed);
+    for (Node* m : members) {
+      if (m->id() == cb.sender || m->pieces().isComplete(cb.file)) continue;
+      const bool requested =
+          std::find(cb.requesters.begin(), cb.requesters.end(), m->id()) !=
+          cb.requesters.end();
+      if (faults_ != nullptr) {
+        if (faults_->dropMessage()) {
+          ++totals_.faultMessagesDropped;
+          if (session != nullptr) {
+            ++totals_.recoveryFramesLost;
+            // A lost coded frame is replaceable by ANY fresh combination:
+            // the pending entry records the generation, not the frame.
+            session->noteLoss(
+                {cb.sender, m->id(), cb.file, kCodedFrameIndex, requested});
+          }
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kFaultInjected;
+            event.time = now;
+            event.node = m->id();
+            event.peer = cb.sender;
+            event.file = cb.file;
+            event.extra =
+                static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
+            emit(event);
+          }
+          continue;
+        }
+        if (faults_->corruptPiece()) {
+          // A damaged combination fails its frame checksum; folding it
+          // would poison the whole generation, so it is rejected outright.
+          ++totals_.faultPiecesRejectedCorrupt;
+          ++totals_.codedDecodeFailures;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kFaultInjected;
+            event.time = now;
+            event.node = m->id();
+            event.peer = cb.sender;
+            event.file = cb.file;
+            event.extra = static_cast<std::uint32_t>(
+                faults::FaultKind::kPieceCorruption);
+            emit(event);
+            event.type = obs::SimEventType::kDecodeFailed;
+            event.extra = cb.generationSize;
+            emit(event);
+          }
+          continue;
+        }
+      }
+      deliverCodedFrameTo(*m, cb.sender, cb.file, cb.generationSize,
+                          requested, coefficients, *info, now);
+    }
+  }
+}
+
 void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
                               int pieceBudget, RecoverySession* session) {
   std::vector<DownloadPeer> peers;
@@ -1003,7 +1213,7 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
   // per-contact broadcast budget still gates the DTN side.
   std::vector<FileId> cliqueWants;
   for (Node* m : members) {
-    for (FileId file : m->wantedFiles(now)) cliqueWants.push_back(file);
+    for (FileId file : m->wantedFilesView(now)) cliqueWants.push_back(file);
   }
   for (Node* m : members) {
     if (!m->options().internetAccess) continue;
@@ -1016,17 +1226,27 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     DownloadPeer peer;
     peer.id = m->id();
     peer.pieces = &m->pieces();
-    peer.wanted = m->wantedFiles(now);
+    peer.wanted = m->wantedFilesView(now);
     peer.credits = &m->credits();
     peer.contributes = m->contributes();
     peers.push_back(std::move(peer));
   }
 
   const int budget = pieceBudget;
-  const auto popularityOf = [this](FileId file) {
+  const PopularityFn popularityOf = [this](FileId file) {
     const FileInfo* info = internet_.catalog().find(file);
     return info == nullptr ? 0.0 : info->popularity;
   };
+
+  DownloadRequest request;
+  request.peers = peers;
+  request.popularityOf = &popularityOf;
+  request.budgetPieces = budget;
+  request.pushOrder = params_.pushOrder;
+  request.coded = params_.coded;
+  request.observer = observer_;
+  request.now = now;
+  const DownloadPlan plan = planner_->plan(request);
 
   if (params_.downloadMode == DownloadMode::kPairwise) {
     // Prior-work baseline: members pair off, each pair exchanges over a
@@ -1034,8 +1254,7 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     // budget is shared across all pairs (round-robin), and each
     // transmission serves exactly one receiver — the inefficiency the
     // paper's broadcast scheme removes.
-    const auto perPair =
-        planPairwiseDownload(peers, popularityOf, budget, observer_, now);
+    const auto& perPair = plan.transfers;
     std::vector<std::vector<PieceTransfer>> byPair;
     for (const PieceTransfer& t : perPair) {
       if (byPair.empty() || byPair.back().front().sender != t.sender ||
@@ -1098,12 +1317,16 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     return;
   }
 
-  const auto plan = planDownload(peers, popularityOf, budget,
-                                 params_.protocol.scheduling,
-                                 params_.pushOrder, observer_, now);
-  totals_.pieceBroadcasts += plan.size();
+  if (params_.downloadMode == DownloadMode::kCoded) {
+    for (const CodedBroadcast& cb : plan.coded) {
+      deliverCodedBroadcast(cb, members, now, session);
+    }
+    return;
+  }
 
-  for (const PieceBroadcast& b : plan) {
+  totals_.pieceBroadcasts += plan.broadcasts.size();
+
+  for (const PieceBroadcast& b : plan.broadcasts) {
     const FileInfo* info = internet_.catalog().find(b.file);
     if (observer_ != nullptr) {
       obs::SimEvent event;
@@ -1171,6 +1394,67 @@ void Engine::attemptRedelivery(LostFrame frame, RecoverySession* session,
     return;
   }
   const FileInfo* info = internet_.catalog().find(frame.file);
+  if (coded_ != nullptr && frame.piece == kCodedFrameIndex) {
+    // Coded repair: instead of replaying the lost frame, the sender draws a
+    // *fresh* combination — any independent mix of its row space is exactly
+    // as useful, so nothing needs remembering beyond the generation id.
+    if (info == nullptr || !info->alive(now) ||
+        receiver.pieces().isComplete(frame.file) ||
+        (sender.pieces().piecesHeld(frame.file) == 0 &&
+         !sender.pieces().isComplete(frame.file))) {
+      return;
+    }
+    if (faults_ != nullptr) {
+      if (faults_->dropMessage()) {
+        ++totals_.faultMessagesDropped;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kFaultInjected;
+          event.time = now;
+          event.node = frame.receiver;
+          event.peer = frame.sender;
+          event.file = frame.file;
+          event.extra =
+              static_cast<std::uint32_t>(faults::FaultKind::kMessageLoss);
+          emit(event);
+        }
+        ++frame.attempts;
+        if (session != nullptr) session->requeue(frame);
+        return;
+      }
+      if (faults_->corruptPiece()) {
+        ++totals_.faultPiecesRejectedCorrupt;
+        ++totals_.codedDecodeFailures;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kFaultInjected;
+          event.time = now;
+          event.node = frame.receiver;
+          event.peer = frame.sender;
+          event.file = frame.file;
+          event.extra = static_cast<std::uint32_t>(
+              faults::FaultKind::kPieceCorruption);
+          emit(event);
+          event.type = obs::SimEventType::kDecodeFailed;
+          event.extra = info->pieceCount();
+          emit(event);
+        }
+        ++frame.attempts;
+        if (session != nullptr) session->requeue(frame);
+        return;
+      }
+    }
+    const std::uint32_t generationSize = info->pieceCount();
+    const std::uint64_t seed = coded_->rng();
+    const std::vector<std::uint8_t> coefficients =
+        codedFrameCoefficients(sender, frame.file, generationSize, seed);
+    if (deliverCodedFrameTo(receiver, frame.sender, frame.file,
+                            generationSize, frame.requested, coefficients,
+                            *info, now)) {
+      ++totals_.recoveryRedeliveries;
+    }
+    return;
+  }
   if (info == nullptr || !info->alive(now) ||
       !sender.pieces().hasPiece(frame.file, frame.piece) ||
       receiver.pieces().hasPiece(frame.file, frame.piece)) {
@@ -1270,7 +1554,7 @@ void Engine::runRepairPhase(const std::vector<Node*>& members, SimTime now,
       // Piece repair: pieces of the receiver's wanted files the sender
       // holds and the summary proves missing (recomputed per sender —
       // metadata repair above may have selected new downloads).
-      for (FileId file : receiver.wantedFiles(now)) {
+      for (FileId file : receiver.wantedFilesView(now)) {
         if (budget <= 0) break;
         const FileInfo* info = internet_.catalog().find(file);
         if (info == nullptr || !info->alive(now) ||
@@ -1341,6 +1625,12 @@ void saveTotals(Serializer& out, const EngineTotals& t) {
   out.u64(t.coordinatorFailovers);
   out.u64(t.repairRequests);
   out.u64(t.metadataEvictions);
+  out.u64(t.codedBroadcasts);
+  out.u64(t.codedInnovativeFrames);
+  out.u64(t.codedRedundantFrames);
+  out.u64(t.generationsDecoded);
+  out.u64(t.codedDecodeFailures);
+  out.u64(t.codedDecodeRowOps);
 }
 
 void loadTotals(Deserializer& in, EngineTotals& t) {
@@ -1364,6 +1654,12 @@ void loadTotals(Deserializer& in, EngineTotals& t) {
   t.coordinatorFailovers = in.u64();
   t.repairRequests = in.u64();
   t.metadataEvictions = in.u64();
+  t.codedBroadcasts = in.u64();
+  t.codedInnovativeFrames = in.u64();
+  t.codedRedundantFrames = in.u64();
+  t.generationsDecoded = in.u64();
+  t.codedDecodeFailures = in.u64();
+  t.codedDecodeRowOps = in.u64();
 }
 
 }  // namespace
@@ -1381,6 +1677,20 @@ void Engine::saveComponentState(Serializer& out) const {
 
   out.boolean(recovery_ != nullptr);
   if (recovery_ != nullptr) recovery_->saveState(out);
+
+  out.boolean(coded_ != nullptr);
+  if (coded_ != nullptr) {
+    saveRngState(out, coded_->rng);
+    out.u64(coded_->decoders.size());
+    for (const auto& [member, byFile] : coded_->decoders) {
+      out.u32(member.value);
+      out.u64(byFile.size());
+      for (const auto& [file, decoder] : byFile) {
+        out.u32(file.value);
+        decoder.saveState(out);
+      }
+    }
+  }
 
   internet_.saveState(out);
   metrics_.saveState(out);
@@ -1435,6 +1745,27 @@ void Engine::loadComponentState(Deserializer& in) {
         "configuration");
   }
   if (recovery_ != nullptr) recovery_->loadState(in);
+
+  const bool hasCoded = in.boolean();
+  if (hasCoded != (coded_ != nullptr)) {
+    throw SerializeError(
+        "corrupt payload: coded-state presence does not match the engine "
+        "configuration");
+  }
+  if (coded_ != nullptr) {
+    loadRngState(in, coded_->rng);
+    coded_->decoders.clear();
+    const std::size_t memberCount = in.length();
+    for (std::size_t i = 0; i < memberCount; ++i) {
+      const NodeId member{in.u32()};
+      auto& byFile = coded_->decoders[member];
+      const std::size_t fileCount = in.length();
+      for (std::size_t f = 0; f < fileCount; ++f) {
+        const FileId file{in.u32()};
+        byFile[file].loadState(in);
+      }
+    }
+  }
 
   internet_.loadState(in);
   metrics_.loadState(in);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,13 +36,9 @@ struct SimEvent;
 
 namespace hdtn::core {
 
-struct EngineCaches;  // internal per-run caches (engine.cpp)
-
-/// How file pieces are transmitted inside a contact.
-enum class DownloadMode {
-  kBroadcast,  ///< the paper's scheme: one sender, all members receive
-  kPairwise,   ///< prior-work baseline: disjoint pairs, one receiver each
-};
+struct EngineCaches;     // internal per-run caches (engine.cpp)
+struct CodedEngineState;  // RLNC decoders + coded RNG stream (engine.cpp)
+class DownloadPlanner;    // src/core/download_planner.hpp
 
 struct EngineParams {
   ProtocolConfig protocol;
@@ -126,6 +123,11 @@ struct EngineParams {
   /// entirely: no state is constructed, no extra RNG draws happen, and the
   /// run is byte-identical to one without recovery support.
   RecoveryParams recovery;
+  /// RLNC knobs, consulted only when downloadMode == DownloadMode::kCoded
+  /// (see src/core/coding.hpp and docs/CODING.md). The coded RNG stream is
+  /// forked only in coded mode, so the other modes stay byte-identical to
+  /// builds without coding support.
+  CodedParams coded;
   std::uint64_t seed = 42;
 
   /// Checks every field for consistency and returns one descriptive message
@@ -174,6 +176,20 @@ struct EngineTotals {
   std::uint64_t repairRequests = 0;
   /// Metadata records shed by bounded stores (capacity pressure).
   std::uint64_t metadataEvictions = 0;
+  // Network-coding accounting (all zero outside coded mode).
+  /// Coded frames sent (each reaches every incomplete clique member).
+  std::uint64_t codedBroadcasts = 0;
+  /// Receptions that raised a receiver's decoder rank.
+  std::uint64_t codedInnovativeFrames = 0;
+  /// Receptions whose coefficients were already in the receiver's row space.
+  std::uint64_t codedRedundantFrames = 0;
+  /// Generations decoded to full rank (source pieces recovered).
+  std::uint64_t generationsDecoded = 0;
+  /// Coded frames rejected before folding (corrupted payloads).
+  std::uint64_t codedDecodeFailures = 0;
+  /// Gaussian-elimination row operations performed by receivers — the
+  /// deterministic decode-CPU proxy reported by bench_robustness.
+  std::uint64_t codedDecodeRowOps = 0;
 };
 
 struct EngineResult {
@@ -350,6 +366,26 @@ class Engine {
                          int metadataBudget, RecoverySession* session);
   void runDownloadPhase(const std::vector<Node*>& members, SimTime now,
                         int pieceBudget, RecoverySession* session);
+  /// Delivers one planned coded broadcast: draws a coefficient seed per
+  /// frame, folds the frame into every incomplete member's decoder, credits
+  /// innovative receptions, and converts full-rank decoders into stored
+  /// pieces. Only called in coded mode (coded_ non-null).
+  void deliverCodedBroadcast(const CodedBroadcast& cb,
+                             const std::vector<Node*>& members, SimTime now,
+                             RecoverySession* session);
+  /// Folds one coded frame into `receiver`'s decoder with full accounting
+  /// (innovation counters, credits, decode-at-full-rank). Returns true when
+  /// the frame was innovative. Shared by the broadcast and recovery paths.
+  bool deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
+                           std::uint32_t generationSize, bool requested,
+                           std::span<const std::uint8_t> coefficients,
+                           const FileInfo& info, SimTime now);
+  /// The coefficient vector a sender emits for `seed`: a fresh sparse
+  /// combination from a complete holder, a recoded row-space mix from a
+  /// partial one.
+  [[nodiscard]] std::vector<std::uint8_t> codedFrameCoefficients(
+      Node& sender, FileId file, std::uint32_t generationSize,
+      std::uint64_t seed);
   /// Draws the channel loss for one deliverable metadata frame: returns
   /// true when the frame was lost, updating counters and emitting the
   /// fault event. Only called when faults_ is non-null.
@@ -412,6 +448,12 @@ class Engine {
   std::unique_ptr<faults::FaultPlan> faults_;
   /// Null when params_.recovery is disabled (same zero-cost discipline).
   std::unique_ptr<RecoveryState> recovery_;
+  /// RLNC decoders + dedicated coefficient-seed stream; null outside coded
+  /// mode (same zero-cost discipline as faults_/recovery_).
+  std::unique_ptr<CodedEngineState> coded_;
+  /// Resolved once from the download-mode registry; never null after
+  /// construction.
+  const DownloadPlanner* planner_ = nullptr;
   EngineTotals totals_;
   std::unique_ptr<EngineCaches> caches_;
   sim::Simulator sim_;

@@ -65,13 +65,28 @@ const std::vector<std::vector<std::string>>& Node::contactQueryTokens(
 }
 
 std::vector<FileId> Node::wantedFiles(SimTime now) const {
-  std::set<FileId> wanted;
-  for (const QueryState& qs : queries_) {
-    if (!qs.metadataFound || qs.fileFound || qs.query.expired(now)) continue;
-    if (pieces_.isComplete(qs.chosenFile)) continue;
-    wanted.insert(qs.chosenFile);
+  return wantedFilesView(now);
+}
+
+const std::vector<FileId>& Node::wantedFilesView(SimTime now) const {
+  // Completing a file and selecting metadata both touch(); a piece arriving
+  // without completing the file leaves the wanted set unchanged, so the
+  // (generation, now) key is sound.
+  auto& cache = wantedCache_;
+  if (cache.generation != stateGen_ || cache.at != now) {
+    std::set<FileId> wanted;
+    for (const QueryState& qs : queries_) {
+      if (!qs.metadataFound || qs.fileFound || qs.query.expired(now)) {
+        continue;
+      }
+      if (pieces_.isComplete(qs.chosenFile)) continue;
+      wanted.insert(qs.chosenFile);
+    }
+    cache.value.assign(wanted.begin(), wanted.end());
+    cache.generation = stateGen_;
+    cache.at = now;
   }
-  return {wanted.begin(), wanted.end()};
+  return cache.value;
 }
 
 bool Node::anyQueryMatches(const Metadata& md, SimTime now) const {

@@ -82,6 +82,12 @@ class Node {
   /// an unexpired query and the file is not yet complete.
   [[nodiscard]] std::vector<FileId> wantedFiles(SimTime now) const;
 
+  /// Cached wantedFiles: the engine consults the wanted list several times
+  /// per contact (hellos, planners, repair) and DownloadPeer::wanted views
+  /// this storage instead of copying it. The reference is valid until the
+  /// node state mutates.
+  [[nodiscard]] const std::vector<FileId>& wantedFilesView(SimTime now) const;
+
   /// True if some active (unexpired, metadata-pending) query matches `md`.
   [[nodiscard]] bool anyQueryMatches(const Metadata& md, SimTime now) const;
 
@@ -221,6 +227,7 @@ class Node {
       ownTokensCache_;
   mutable ContactCache<std::vector<std::vector<std::string>>>
       combinedTokensCache_;
+  mutable ContactCache<std::vector<FileId>> wantedCache_;
 };
 
 }  // namespace hdtn::core

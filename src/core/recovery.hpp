@@ -43,6 +43,12 @@ namespace hdtn::core {
 /// Piece index standing in for "the metadata frame" in a LostFrame.
 inline constexpr std::uint32_t kMetadataFrameIndex = 0xffffffffu;
 
+/// Piece index standing in for "one coded frame of the file's generation"
+/// in a LostFrame (coded download mode). Redelivery sends a *fresh* random
+/// combination rather than replaying the lost frame — any independent
+/// combination is equally useful to the receiver's decoder.
+inline constexpr std::uint32_t kCodedFrameIndex = 0xfffffffeu;
+
 struct RecoveryParams {
   /// In-contact retransmission attempts per lost frame; 0 disables
   /// reliable transfer entirely (no sessions, no loss bookkeeping).

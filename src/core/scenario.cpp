@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "src/core/checkpoint.hpp"
+#include "src/core/download_planner.hpp"
 #include "src/obs/event_log.hpp"
 #include "src/obs/timeseries.hpp"
 #include "src/trace/dieselnet.hpp"
@@ -124,7 +125,8 @@ const std::vector<std::string>& Scenario::knownKeys() {
       "trace-attendance", "trace-buses", "trace-routes", "trace-nodes",
       "trace-hours", "trace-range", "trace-field",
       // engine parameters (same names as the hdtn_sim flags)
-      "protocol", "scheduling", "access", "files-per-day", "ttl-days",
+      "protocol", "scheduling", "download-mode", "coded-redundancy",
+      "coded-sparsity", "access", "files-per-day", "ttl-days",
       "md-per-contact", "files-per-contact", "pieces-per-file", "free-riders",
       "frequent-days", "observed-popularity", "seed",
       // fault injection
@@ -233,6 +235,19 @@ std::string Scenario::apply(const std::string& key, const std::string& value) {
     } else {
       return badValue(key, value, "coop|tft");
     }
+  } else if (key == "download-mode") {
+    const DownloadModeInfo* info = findDownloadMode(value);
+    if (info == nullptr) {
+      return badValue(key, value, "coop|tft|popularity|pairwise|coded");
+    }
+    params.downloadMode = info->mode;
+    params.protocol.scheduling = info->scheduling;
+  } else if (key == "coded-redundancy") {
+    if (!(err = asDouble(&d)).empty()) return err;
+    params.coded.redundancy = d;
+  } else if (key == "coded-sparsity") {
+    if (!(err = asDouble(&d)).empty()) return err;
+    params.coded.sparsity = d;
   } else if (key == "access") {
     if (!(err = asDouble(&d)).empty()) return err;
     params.internetAccessFraction = d;
@@ -440,6 +455,17 @@ ScenarioBuilder& ScenarioBuilder::protocol(ProtocolKind kind) {
 }
 ScenarioBuilder& ScenarioBuilder::scheduling(Scheduling scheduling) {
   scenario_.params.protocol.scheduling = scheduling;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::downloadMode(const std::string& name) {
+  return set("download-mode", name);
+}
+ScenarioBuilder& ScenarioBuilder::codedRedundancy(double redundancy) {
+  scenario_.params.coded.redundancy = redundancy;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::codedSparsity(double sparsity) {
+  scenario_.params.coded.sparsity = sparsity;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::accessFraction(double fraction) {

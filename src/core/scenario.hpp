@@ -133,6 +133,12 @@ class ScenarioBuilder {
   ScenarioBuilder& traceSeed(std::uint64_t seed);
   ScenarioBuilder& protocol(ProtocolKind kind);
   ScenarioBuilder& scheduling(Scheduling scheduling);
+  /// Resolves a canonical registry name (coop, tft, popularity, pairwise,
+  /// coded) into downloadMode + scheduling; unknown names surface in
+  /// build().
+  ScenarioBuilder& downloadMode(const std::string& name);
+  ScenarioBuilder& codedRedundancy(double redundancy);
+  ScenarioBuilder& codedSparsity(double sparsity);
   ScenarioBuilder& accessFraction(double fraction);
   ScenarioBuilder& filesPerDay(int files);
   ScenarioBuilder& ttlDays(int days);

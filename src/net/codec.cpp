@@ -140,6 +140,8 @@ DecodeResult<WireKind> peekKind(std::span<const std::uint8_t> frame) {
       return {WireKind::kMetadata};
     case static_cast<std::uint64_t>(WireKind::kPiece):
       return {WireKind::kPiece};
+    case static_cast<std::uint64_t>(WireKind::kCodedPiece):
+      return {WireKind::kCodedPiece};
     default:
       return {std::nullopt, DecodeError::kBadKind};
   }
@@ -308,6 +310,57 @@ DecodeResult<DecodedPiece> decodePiece(
   out.header.sender = NodeId(static_cast<std::uint32_t>(*sender));
   out.header.file = FileId(static_cast<std::uint32_t>(*file));
   out.header.pieceIndex = static_cast<std::uint32_t>(*index);
+  auto payload = dec.readBlob();
+  if (!payload) return {std::nullopt, dec.error()};
+  if (!dec.atEnd()) return {std::nullopt, DecodeError::kTrailingBytes};
+  out.payload = std::move(*payload);
+  return {std::move(out)};
+}
+
+Bytes encodeCodedPiece(const CodedPieceMessage& frame,
+                       std::span<const std::uint8_t> payload) {
+  Encoder enc;
+  writeHeader(enc, WireKind::kCodedPiece);
+  enc.writeVarint(frame.sender.value);
+  enc.writeVarint(frame.file.value);
+  enc.writeVarint(frame.generationSize);
+  enc.writeVarint(frame.seed);
+  enc.writeBytes(frame.coefficients);
+  enc.writeBytes(payload);
+  return enc.take();
+}
+
+DecodeResult<DecodedCodedPiece> decodeCodedPiece(
+    std::span<const std::uint8_t> frame) {
+  Decoder dec(frame);
+  if (const DecodeError err = readHeader(dec, WireKind::kCodedPiece);
+      err != DecodeError::kNone) {
+    return {std::nullopt, err};
+  }
+  DecodedCodedPiece out;
+  const auto sender = dec.readVarint();
+  const auto file = dec.readVarint();
+  const auto generation = dec.readVarint();
+  const auto seed = dec.readVarint();
+  if (!sender || !file || !generation || !seed) {
+    return {std::nullopt, dec.error()};
+  }
+  if (*sender > kInvalidId || *file > kInvalidId) {
+    return {std::nullopt, DecodeError::kBadValue};
+  }
+  if (*generation == 0 || *generation > kMaxGenerationSize) {
+    return {std::nullopt, DecodeError::kBadValue};
+  }
+  out.header.sender = NodeId(static_cast<std::uint32_t>(*sender));
+  out.header.file = FileId(static_cast<std::uint32_t>(*file));
+  out.header.generationSize = static_cast<std::uint32_t>(*generation);
+  out.header.seed = *seed;
+  auto coefficients = dec.readBlob();
+  if (!coefficients) return {std::nullopt, dec.error()};
+  if (coefficients->size() != out.header.generationSize) {
+    return {std::nullopt, DecodeError::kBadValue};
+  }
+  out.header.coefficients = std::move(*coefficients);
   auto payload = dec.readBlob();
   if (!payload) return {std::nullopt, dec.error()};
   if (!dec.atEnd()) return {std::nullopt, DecodeError::kTrailingBytes};

@@ -107,6 +107,7 @@ enum class WireKind : std::uint8_t {
   kHello = 1,
   kMetadata = 2,
   kPiece = 3,
+  kCodedPiece = 4,
 };
 
 /// Current codec version, first byte of every frame.
@@ -119,6 +120,10 @@ inline constexpr std::uint8_t kCodecVersion = 1;
 /// `payload` is the piece content (may be empty for header-only tests).
 [[nodiscard]] Bytes encodePiece(const PieceMessage& piece,
                                 std::span<const std::uint8_t> payload);
+/// `payload` is the combined content (may be empty for header-only tests).
+/// The message's coefficient vector must match its generationSize.
+[[nodiscard]] Bytes encodeCodedPiece(const CodedPieceMessage& frame,
+                                     std::span<const std::uint8_t> payload);
 
 // --- frame decoders -------------------------------------------------------
 //
@@ -140,5 +145,19 @@ struct DecodedPiece {
 };
 [[nodiscard]] DecodeResult<DecodedPiece> decodePiece(
     std::span<const std::uint8_t> frame);
+
+struct DecodedCodedPiece {
+  CodedPieceMessage header;
+  Bytes payload;
+};
+/// Rejects (kBadValue) a zero generation size, a generation above
+/// kMaxGenerationSize, and a coefficient vector whose length does not
+/// match the declared generation size.
+[[nodiscard]] DecodeResult<DecodedCodedPiece> decodeCodedPiece(
+    std::span<const std::uint8_t> frame);
+
+/// Largest generation a coded frame may declare; caps the coefficient
+/// allocation a hostile frame can demand.
+inline constexpr std::uint32_t kMaxGenerationSize = 4096;
 
 }  // namespace hdtn::net

@@ -32,7 +32,7 @@ Bytes Device::makeHelloFrame(SimTime now) {
   std::sort(hello.heardNeighbors.begin(), hello.heardNeighbors.end());
   hello.queries = node_.activeQueryTexts(now);
   // Wanted URIs come from the held metadata of selected files.
-  for (FileId file : node_.wantedFiles(now)) {
+  for (FileId file : node_.wantedFilesView(now)) {
     const core::Metadata* md = node_.metadata().get(file);
     if (md != nullptr) hello.wantedUris.push_back(md->uri);
   }

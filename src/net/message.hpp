@@ -40,6 +40,22 @@ struct PieceMessage {
   std::uint32_t pieceIndex = 0;
 };
 
+/// One network-coded frame in flight (coded download mode, docs/CODING.md):
+/// a random linear combination of the file's generation. The coefficient
+/// vector travels explicitly — recoded frames mix the sender's row space,
+/// so the receiver cannot re-derive them from the seed alone. The seed is
+/// kept for diagnostics (it names the combination in event logs).
+struct CodedPieceMessage {
+  NodeId sender;
+  FileId file;
+  /// Pieces in the generation == length of the coefficient vector.
+  std::uint32_t generationSize = 0;
+  /// The Rng draw that produced (or recoded) the combination.
+  std::uint64_t seed = 0;
+  /// GF(2^8) coefficients, one per piece of the generation.
+  std::vector<std::uint8_t> coefficients;
+};
+
 /// How long a heard hello keeps a neighbor in the "recently heard" set.
 inline constexpr Duration kHelloNeighborWindow = 5;  // seconds
 

@@ -48,6 +48,14 @@ const char* simEventTypeName(SimEventType type) {
       return "repair_requested";
     case SimEventType::kMetadataEvicted:
       return "metadata_evicted";
+    case SimEventType::kCodedBroadcast:
+      return "coded_broadcast";
+    case SimEventType::kInnovativeFrame:
+      return "innovative_frame";
+    case SimEventType::kGenerationDecoded:
+      return "generation_decoded";
+    case SimEventType::kDecodeFailed:
+      return "decode_failed";
   }
   return "unknown";
 }

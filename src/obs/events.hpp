@@ -50,9 +50,13 @@ enum class SimEventType : std::uint8_t {
   kRepairRequested,    ///< anti-entropy push attempt; extra = piece index
                        ///< (0xffffffff for a metadata frame)
   kMetadataEvicted,    ///< bounded store shed a record; value = popularity
+  kCodedBroadcast,     ///< one coded frame sent; extra = generation size
+  kInnovativeFrame,    ///< coded frame raised receiver rank; extra = rank
+  kGenerationDecoded,  ///< receiver hit full rank; extra = generation size
+  kDecodeFailed,       ///< coded frame rejected (corrupt) before folding
 };
 
-inline constexpr std::size_t kSimEventTypeCount = 22;
+inline constexpr std::size_t kSimEventTypeCount = 26;
 
 /// Stable snake_case name of an event type (JSONL traces, schemas).
 [[nodiscard]] const char* simEventTypeName(SimEventType type);

@@ -131,5 +131,102 @@ TEST(ChaosSoak, HundredRandomFaultMixesKeepInvariants) {
   }
 }
 
+// Coded-mode arm of the soak: the same randomized fault mixes with the
+// RLNC download mode (docs/CODING.md) and randomized coding knobs. The
+// decoder adds its own invariants on top of the baseline ones:
+//
+//   * conservation  — every per-receiver coded delivery is either
+//                     innovative or redundant, never both or neither;
+//   * decode gating — pieces only materialize at full rank, so piece
+//                     receptions never exceed what decoded generations
+//                     plus initially-held pieces can account for;
+//   * work accrual  — innovative frames cost Gauss-Jordan row operations.
+TEST(ChaosSoak, CodedModeRandomFaultMixesKeepInvariants) {
+  trace::NusParams tp;
+  tp.students = 30;
+  tp.courses = 6;
+  tp.coursesPerStudent = 2;
+  tp.days = 3;
+  tp.attendanceRate = 0.9;
+  tp.seed = 11;
+  const auto trace = trace::generateNus(tp);
+
+  Rng mixRng(0xC0DEDu);
+  for (int mix = 0; mix < 60; ++mix) {
+    EngineParams params;
+    params.protocol.kind = ProtocolKind::kMbtQm;
+    params.downloadMode = DownloadMode::kCoded;
+    params.internetAccessFraction = 0.3;
+    params.newFilesPerDay = 10;
+    params.fileTtlDays = 2;
+    params.piecesPerFile = 1 + static_cast<std::uint32_t>(mixRng.pickIndex(4));
+    params.frequentContactPeriod = kDay;
+    params.seed = 7000 + static_cast<std::uint64_t>(mix);
+
+    params.coded.redundancy = 1.5 * mixRng.uniform();
+    params.coded.sparsity = 0.3 + 0.7 * mixRng.uniform();
+
+    params.faults.messageLossRate = 0.5 * mixRng.uniform();
+    params.faults.contactTruncationRate = 0.5 * mixRng.uniform();
+    params.faults.pieceCorruptionRate = 0.3 * mixRng.uniform();
+    params.faults.churnDownFraction = 0.3 * mixRng.uniform();
+    params.faults.churnMeanDowntime = 1 * kHour + static_cast<SimTime>(
+        mixRng.pickIndex(8) * kHour);
+
+    params.recovery.maxRetries = static_cast<int>(mixRng.pickIndex(3));
+    params.recovery.retransmitBudget = 1 << 20;
+    params.recovery.repairPerContact = static_cast<int>(mixRng.pickIndex(9));
+    params.recovery.coordinatorFailover = mixRng.chance(0.5);
+
+    SCOPED_TRACE("mix " + std::to_string(mix) + " seed " +
+                 std::to_string(params.seed) + " pieces " +
+                 std::to_string(params.piecesPerFile) + " redundancy " +
+                 std::to_string(params.coded.redundancy) + " loss " +
+                 std::to_string(params.faults.messageLossRate) +
+                 " corrupt " +
+                 std::to_string(params.faults.pieceCorruptionRate));
+
+    obs::CountingObserver counter;
+    PieceLedger ledger;
+    obs::MulticastObserver fanout;
+    fanout.add(&counter);
+    fanout.add(&ledger);
+    Engine engine(trace, params);
+    engine.setObserver(&fanout);
+    const auto result = engine.run();
+
+    // Baseline invariants still hold under coding.
+    EXPECT_EQ(counter.count(obs::SimEventType::kNodeDown),
+              counter.count(obs::SimEventType::kNodeUp));
+    EXPECT_EQ(ledger.duplicates(), 0u);
+    EXPECT_EQ(ledger.received(), result.totals.pieceReceptions);
+    if (params.recovery.maxRetries > 0) {
+      EXPECT_GE(result.totals.recoveryRetransmits,
+                result.totals.recoveryFramesLost);
+    }
+    EXPECT_GE(result.delivery.fileRatio, 0.0);
+    EXPECT_LE(result.delivery.fileRatio, 1.0);
+
+    // Conservation: the observer's per-receiver innovative count matches
+    // the totals, and decoded generations emitted exactly one event each.
+    EXPECT_EQ(counter.count(obs::SimEventType::kInnovativeFrame),
+              result.totals.codedInnovativeFrames);
+    EXPECT_EQ(counter.count(obs::SimEventType::kGenerationDecoded),
+              result.totals.generationsDecoded);
+    EXPECT_EQ(counter.count(obs::SimEventType::kCodedBroadcast),
+              result.totals.codedBroadcasts);
+    // Decode gating: a generation needs at least `generationSize` (>= 1)
+    // innovative frames across its receivers, so decodes cannot outnumber
+    // innovative deliveries.
+    EXPECT_LE(result.totals.generationsDecoded,
+              result.totals.codedInnovativeFrames);
+    // Work accrual: folding an innovative frame performs at least one row
+    // operation.
+    if (result.totals.codedInnovativeFrames > 0) {
+      EXPECT_GT(result.totals.codedDecodeRowOps, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hdtn::core

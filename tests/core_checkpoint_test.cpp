@@ -237,6 +237,71 @@ TEST(Checkpoint, ResumesMidRetransmissionByteIdentical) {
   EXPECT_GT(result.totals.recoveryRetransmits, 0u);
 }
 
+EngineParams paramsCoded() {
+  EngineParams params = paramsFor(ProtocolKind::kMbtQm, true);
+  params.downloadMode = DownloadMode::kCoded;
+  params.piecesPerFile = 4;
+  params.recovery.maxRetries = 2;
+  params.recovery.retransmitBudget = 2;
+  return params;
+}
+
+TEST(Checkpoint, ByteIdenticalCodedMode) {
+  const auto trace = nusTrace();
+  checkAllBoundaries(trace, paramsCoded(), "nus_coded");
+}
+
+TEST(Checkpoint, ResumesMidGenerationByteIdentical) {
+  // The coded hard case: save at the first boundary where some decoder
+  // holds partial rank (innovative frames delivered that no completed
+  // decode accounts for) — the restored engine must carry every decoder's
+  // row space and the coded RNG position byte-for-byte, or the suffix
+  // events diverge.
+  const auto trace = nusTrace();
+  const auto params = paramsCoded();
+  const FullRun full = uninterrupted(trace, params);
+  ASSERT_GT(full.result.totals.generationsDecoded, 0u);
+  const std::string path = ckptPath("mid_gen");
+  std::ostringstream prefixOut;
+  {
+    obs::JsonlEventSink sink(prefixOut);
+    Engine engine(trace, params);
+    engine.setObserver(&sink);
+    bool saved = false;
+    while (engine.step()) {
+      const EngineTotals t = engine.currentResult().totals;
+      // Any innovative frame beyond 4 per decoded generation is rank
+      // parked in a live decoder (each decode consumes at most
+      // piecesPerFile innovative frames at its own receiver).
+      if (t.codedInnovativeFrames >
+          t.generationsDecoded * params.piecesPerFile) {
+        engine.saveCheckpoint(path);
+        saved = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(saved) << "no step boundary left a generation mid-decode";
+  }
+  std::ostringstream suffixOut;
+  obs::JsonlEventSink sink(suffixOut);
+  Engine restored(trace, params);
+  restored.restoreCheckpoint(path);
+  restored.setObserver(&sink);
+  const EngineResult result = restored.finish();
+  EXPECT_EQ(prefixOut.str() + suffixOut.str(), full.events);
+  expectSameResult(result, full.result);
+  EXPECT_EQ(result.totals.codedBroadcasts,
+            full.result.totals.codedBroadcasts);
+  EXPECT_EQ(result.totals.codedInnovativeFrames,
+            full.result.totals.codedInnovativeFrames);
+  EXPECT_EQ(result.totals.codedRedundantFrames,
+            full.result.totals.codedRedundantFrames);
+  EXPECT_EQ(result.totals.generationsDecoded,
+            full.result.totals.generationsDecoded);
+  EXPECT_EQ(result.totals.codedDecodeRowOps,
+            full.result.totals.codedDecodeRowOps);
+}
+
 TEST(Checkpoint, FileBytesAreDeterministic) {
   const auto trace = nusTrace();
   const auto params = paramsFor(ProtocolKind::kMbtQm, true);

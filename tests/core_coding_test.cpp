@@ -1,0 +1,303 @@
+// GF(2^8) field arithmetic and RLNC encoder/decoder tests: exhaustive
+// field laws, table-vs-bitwise cross-check, decoder round-trips under
+// random erasures, rank monotonicity, recoding, and checkpoint state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/coding.hpp"
+#include "src/util/random.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/sha1.hpp"
+
+namespace hdtn::core::coding {
+namespace {
+
+TEST(GfArithmetic, MulMatchesBitwiseForAllPairs) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(gfMul(static_cast<std::uint8_t>(a),
+                      static_cast<std::uint8_t>(b)),
+                gfMulSlow(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(GfArithmetic, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = gfInv(static_cast<std::uint8_t>(a));
+    ASSERT_EQ(gfMul(static_cast<std::uint8_t>(a), inv), 1) << a;
+    ASSERT_EQ(gfDiv(static_cast<std::uint8_t>(a),
+                    static_cast<std::uint8_t>(a)),
+              1);
+  }
+}
+
+TEST(GfArithmetic, IdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gfMul(v, 1), v);
+    EXPECT_EQ(gfMul(v, 0), 0);
+    EXPECT_EQ(gfAdd(v, v), 0);  // characteristic 2
+  }
+}
+
+TEST(GfArithmetic, DistributivityOnSampledTriples) {
+  // a*(b+c) == a*b + a*c, sampled densely (full 256^3 is needlessly slow).
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      for (int c = 0; c < 256; c += 7) {
+        const auto aa = static_cast<std::uint8_t>(a);
+        const auto bb = static_cast<std::uint8_t>(b);
+        const auto cc = static_cast<std::uint8_t>(c);
+        ASSERT_EQ(gfMul(aa, gfAdd(bb, cc)),
+                  gfAdd(gfMul(aa, bb), gfMul(aa, cc)))
+            << a << " " << b << " " << c;
+      }
+    }
+  }
+}
+
+TEST(GfArithmetic, MulIsAssociativeAndCommutativeOnSamples) {
+  for (int a = 1; a < 256; a += 11) {
+    for (int b = 1; b < 256; b += 13) {
+      const auto aa = static_cast<std::uint8_t>(a);
+      const auto bb = static_cast<std::uint8_t>(b);
+      ASSERT_EQ(gfMul(aa, bb), gfMul(bb, aa));
+      for (int c = 1; c < 256; c += 17) {
+        const auto cc = static_cast<std::uint8_t>(c);
+        ASSERT_EQ(gfMul(gfMul(aa, bb), cc), gfMul(aa, gfMul(bb, cc)));
+      }
+    }
+  }
+}
+
+TEST(SparseCoefficients, DeterministicAndNeverAllZero) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto a = sparseCoefficients(8, seed, 0.3);
+    const auto b = sparseCoefficients(8, seed, 0.3);
+    EXPECT_EQ(a, b);
+    bool any = false;
+    for (std::uint8_t c : a) any |= (c != 0);
+    EXPECT_TRUE(any) << "seed " << seed;
+  }
+  // Degenerate sparsity values clamp to dense rather than throwing.
+  const auto dense = sparseCoefficients(4, 7, 0.0);
+  EXPECT_EQ(dense.size(), 4u);
+}
+
+TEST(SparseCoefficients, SparsityControlsDensity) {
+  std::size_t sparseNonZero = 0;
+  std::size_t denseNonZero = 0;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    for (std::uint8_t c : sparseCoefficients(16, seed, 0.2)) {
+      sparseNonZero += (c != 0);
+    }
+    for (std::uint8_t c : sparseCoefficients(16, seed, 0.9)) {
+      denseNonZero += (c != 0);
+    }
+  }
+  EXPECT_LT(sparseNonZero * 2, denseNonZero);
+}
+
+std::vector<std::vector<std::uint8_t>> randomPieces(Rng& rng,
+                                                    std::uint32_t k,
+                                                    std::uint32_t bytes) {
+  std::vector<std::vector<std::uint8_t>> pieces(k);
+  for (auto& piece : pieces) {
+    piece.resize(bytes);
+    for (auto& byte : piece) {
+      byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    }
+  }
+  return pieces;
+}
+
+TEST(GenerationDecoder, RoundTripsUnderRandomErasures) {
+  Rng rng(0xC0DE01u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto k = static_cast<std::uint32_t>(rng.uniformInt(1, 12));
+    const auto bytes = static_cast<std::uint32_t>(rng.uniformInt(1, 64));
+    const double sparsity = rng.uniform(0.2, 1.0);
+    const double lossRate = rng.uniform(0.0, 0.6);
+    const auto pieces = randomPieces(rng, k, bytes);
+    CodedEncoder encoder(pieces);
+    GenerationDecoder decoder(k, bytes);
+    std::uint64_t seed = rng();
+    int sent = 0;
+    // Any k innovative frames decode, no matter which frames the channel
+    // erased; the cap only guards against a broken decoder looping.
+    while (!decoder.complete() && sent < 4000) {
+      const auto frame = encoder.frame(seed++, sparsity);
+      ++sent;
+      if (rng.chance(lossRate)) continue;  // erased on the channel
+      decoder.addFrame(frame.coefficients, frame.payload);
+    }
+    ASSERT_TRUE(decoder.complete())
+        << "trial " << trial << " k=" << k << " loss=" << lossRate;
+    EXPECT_EQ(decoder.decode(), pieces) << "trial " << trial;
+  }
+}
+
+TEST(GenerationDecoder, RankIsMonotoneAndCapped) {
+  Rng rng(0xC0DE02u);
+  const std::uint32_t k = 6;
+  const auto pieces = randomPieces(rng, k, 8);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 8);
+  std::uint32_t lastRank = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto frame = encoder.frame(seed, 0.5);
+    const bool innovative = decoder.addFrame(frame.coefficients,
+                                             frame.payload);
+    if (innovative) {
+      EXPECT_EQ(decoder.rank(), lastRank + 1);
+    } else {
+      EXPECT_EQ(decoder.rank(), lastRank);
+    }
+    lastRank = decoder.rank();
+    ASSERT_LE(decoder.rank(), k);
+  }
+  EXPECT_TRUE(decoder.complete());
+  // Further frames are all redundant at full rank.
+  const auto extra = encoder.frame(999, 0.5);
+  EXPECT_FALSE(decoder.addFrame(extra.coefficients, extra.payload));
+  EXPECT_GT(decoder.rowOps(), 0u);
+}
+
+TEST(GenerationDecoder, SourcePiecesCountTowardRank) {
+  Rng rng(0xC0DE03u);
+  const std::uint32_t k = 5;
+  const auto pieces = randomPieces(rng, k, 16);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 16);
+  EXPECT_TRUE(decoder.addSourcePiece(2, pieces[2]));
+  EXPECT_FALSE(decoder.addSourcePiece(2, pieces[2]));  // duplicate
+  std::uint64_t seed = 10;
+  while (!decoder.complete()) {
+    const auto frame = encoder.frame(seed++, 0.7);
+    decoder.addFrame(frame.coefficients, frame.payload);
+  }
+  EXPECT_EQ(decoder.decode(), pieces);
+}
+
+TEST(GenerationDecoder, RecodedFramesFromPartialHoldersAreUseful) {
+  // Relay topology: source -> relay (partial) -> sink. The relay never
+  // holds a named piece, only rank, yet its recoded frames decode at the
+  // sink — the property that lets partial holders contribute in coded mode.
+  Rng rng(0xC0DE04u);
+  const std::uint32_t k = 6;
+  const auto pieces = randomPieces(rng, k, 24);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder relay(k, 24);
+  std::uint64_t seed = 1;
+  while (relay.rank() < 4) {
+    const auto frame = encoder.frame(seed++, 0.6);
+    relay.addFrame(frame.coefficients, frame.payload);
+  }
+  GenerationDecoder sink(k, 24);
+  std::uint32_t innovativeFromRelay = 0;
+  for (std::uint64_t s = 100; s < 140; ++s) {
+    std::vector<std::uint8_t> payload;
+    const auto coeffs = relay.recodeCoefficients(s, 0.6, &payload);
+    if (sink.addFrame(coeffs, payload)) ++innovativeFromRelay;
+  }
+  // The relay spans a 4-dimensional subspace; the sink extracts all of it.
+  EXPECT_EQ(innovativeFromRelay, 4u);
+  EXPECT_EQ(sink.rank(), 4u);
+  while (!sink.complete()) {
+    const auto frame = encoder.frame(seed++, 0.6);
+    sink.addFrame(frame.coefficients, frame.payload);
+  }
+  EXPECT_EQ(sink.decode(), pieces);
+}
+
+TEST(GenerationDecoder, SaveLoadResumesByteIdentically) {
+  Rng rng(0xC0DE05u);
+  const std::uint32_t k = 7;
+  const auto pieces = randomPieces(rng, k, 12);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 12);
+  std::uint64_t seed = 1;
+  while (decoder.rank() < 4) {
+    const auto frame = encoder.frame(seed++, 0.5);
+    decoder.addFrame(frame.coefficients, frame.payload);
+  }
+  Serializer out;
+  decoder.saveState(out);
+
+  GenerationDecoder restored;
+  Deserializer in(out.bytes());
+  restored.loadState(in);
+  EXPECT_TRUE(in.done());
+  EXPECT_EQ(restored.rank(), decoder.rank());
+  EXPECT_EQ(restored.rowOps(), decoder.rowOps());
+
+  // Both copies must evolve identically from here on.
+  for (std::uint64_t s = seed; s < seed + 32; ++s) {
+    const auto frame = encoder.frame(s, 0.5);
+    EXPECT_EQ(decoder.addFrame(frame.coefficients, frame.payload),
+              restored.addFrame(frame.coefficients, frame.payload));
+    EXPECT_EQ(decoder.rank(), restored.rank());
+    std::vector<std::uint8_t> pa;
+    std::vector<std::uint8_t> pb;
+    EXPECT_EQ(decoder.recodeCoefficients(s, 0.5, &pa),
+              restored.recodeCoefficients(s, 0.5, &pb));
+    EXPECT_EQ(pa, pb);
+  }
+  EXPECT_EQ(decoder.decode(), restored.decode());
+  EXPECT_EQ(restored.decode(), pieces);
+}
+
+TEST(GenerationDecoder, CoefficientOnlyModeTracksRank) {
+  GenerationDecoder decoder(4);  // payloadBytes == 0: rank bookkeeping only
+  EXPECT_TRUE(decoder.addFrame(sparseCoefficients(4, 1, 0.8)));
+  EXPECT_TRUE(decoder.addSourcePiece(0));
+  EXPECT_LE(decoder.rank(), 4u);
+  EXPECT_THROW(decoder.decode(), std::logic_error);
+}
+
+TEST(GenerationDecoder, RejectsMalformedInput) {
+  EXPECT_THROW(GenerationDecoder(0), std::invalid_argument);
+  GenerationDecoder decoder(4, 8);
+  std::vector<std::uint8_t> shortCoeffs(3, 1);
+  std::vector<std::uint8_t> payload(8, 0);
+  EXPECT_THROW(decoder.addFrame(shortCoeffs, payload),
+               std::invalid_argument);
+  std::vector<std::uint8_t> coeffs(4, 1);
+  std::vector<std::uint8_t> shortPayload(5, 0);
+  EXPECT_THROW(decoder.addFrame(coeffs, shortPayload),
+               std::invalid_argument);
+  EXPECT_THROW(decoder.addSourcePiece(4, payload), std::invalid_argument);
+  EXPECT_THROW(CodedEncoder({}), std::invalid_argument);
+  EXPECT_THROW(CodedEncoder({{1, 2}, {1}}), std::invalid_argument);
+}
+
+TEST(GenerationDecoder, DecodedBytesHashMatchSource) {
+  // The chaos-arm invariant at codec level: whatever subset of frames
+  // survives, the decoded generation hashes to the source digest.
+  Rng rng(0xC0DE06u);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto k = static_cast<std::uint32_t>(rng.uniformInt(2, 10));
+    const auto pieces = randomPieces(rng, k, 100);
+    Sha1 source;
+    for (const auto& piece : pieces) source.update(piece);
+    CodedEncoder encoder(pieces);
+    GenerationDecoder decoder(k, 100);
+    std::uint64_t seed = rng();
+    while (!decoder.complete()) {
+      const auto frame = encoder.frame(seed++, 0.4);
+      if (rng.chance(0.5)) continue;
+      decoder.addFrame(frame.coefficients, frame.payload);
+    }
+    Sha1 decoded;
+    for (const auto& piece : decoder.decode()) decoded.update(piece);
+    EXPECT_EQ(decoded.finish(), source.finish()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hdtn::core::coding

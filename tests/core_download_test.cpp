@@ -11,10 +11,11 @@ namespace {
 struct Fixture {
   std::vector<PieceStore> stores;
   std::vector<CreditLedger> ledgers;
+  std::vector<std::vector<FileId>> wantedStorage;
   std::vector<DownloadPeer> peers;
   std::map<FileId, double> popularity;
 
-  explicit Fixture(std::size_t n) : stores(n), ledgers(n) {
+  explicit Fixture(std::size_t n) : stores(n), ledgers(n), wantedStorage(n) {
     for (std::size_t i = 0; i < n; ++i) {
       DownloadPeer peer;
       peer.id = NodeId(static_cast<std::uint32_t>(i));
@@ -29,6 +30,12 @@ struct Fixture {
     stores[peer].registerFile(FileId(file), pieceCount);
     for (auto p : pieces) stores[peer].addPiece(FileId(file), p);
     popularity[FileId(file)] = pop;
+  }
+
+  // DownloadPeer::wanted is a view; the fixture owns the backing storage.
+  void want(std::size_t peer, std::initializer_list<std::uint32_t> files) {
+    for (auto f : files) wantedStorage[peer].push_back(FileId(f));
+    peers[peer].wanted = wantedStorage[peer];
   }
 
   PopularityFn popularityFn() const {
@@ -57,13 +64,15 @@ TEST(PlanDownload, RequestedPiecesFirst) {
   Fixture f(2);
   f.give(0, 1, 1, {0}, 0.05);  // wanted by peer 1
   f.give(0, 2, 1, {0}, 0.95);  // unwanted but popular
-  f.peers[1].wanted = {FileId(1)};
+  f.want(1, {1});
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 2, Scheduling::kCooperative);
   ASSERT_EQ(plan.size(), 2u);
   EXPECT_EQ(plan[0].file, FileId(1));
   EXPECT_EQ(plan[0].phase, 1);
-  EXPECT_EQ(plan[0].requesters, (std::vector<NodeId>{NodeId(1)}));
+  EXPECT_EQ(std::vector<NodeId>(plan[0].requesters.begin(),
+                                plan[0].requesters.end()),
+            (std::vector<NodeId>{NodeId(1)}));
   EXPECT_EQ(plan[1].file, FileId(2));
   EXPECT_EQ(plan[1].phase, 2);
 }
@@ -72,8 +81,8 @@ TEST(PlanDownload, MoreRequestersWinWithinPhaseOne) {
   Fixture f(3);
   f.give(0, 1, 1, {0}, 0.9);
   f.give(0, 2, 1, {0}, 0.1);
-  f.peers[1].wanted = {FileId(2)};
-  f.peers[2].wanted = {FileId(2)};
+  f.want(1, {2});
+  f.want(2, {2});
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 1, Scheduling::kCooperative);
   ASSERT_EQ(plan.size(), 1u);
@@ -83,7 +92,7 @@ TEST(PlanDownload, MoreRequestersWinWithinPhaseOne) {
 TEST(PlanDownload, PiecesOfFileFlowInIndexOrder) {
   Fixture f(2);
   f.give(0, 1, 3, {0, 1, 2}, 0.5);
-  f.peers[1].wanted = {FileId(1)};
+  f.want(1, {1});
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 3, Scheduling::kCooperative);
   ASSERT_EQ(plan.size(), 3u);
@@ -125,8 +134,8 @@ TEST(PlanDownload, TitForTatWeighsRequesterCredit) {
   Fixture f(3);
   f.give(0, 1, 1, {0}, 0.5);
   f.give(0, 2, 1, {0}, 0.5);
-  f.peers[1].wanted = {FileId(1)};
-  f.peers[2].wanted = {FileId(2)};
+  f.want(1, {1});
+  f.want(2, {2});
   f.ledgers[0].addCredit(NodeId(2), 100.0);
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 1, Scheduling::kTitForTat);
@@ -151,7 +160,7 @@ TEST(PlanDownload, PopularityOnlyIgnoresRequests) {
   Fixture f(2);
   f.give(0, 1, 1, {0}, 0.1);
   f.give(0, 2, 1, {0}, 0.9);
-  f.peers[1].wanted = {FileId(1)};
+  f.want(1, {1});
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 1,
                    Scheduling::kPopularityOnly);
@@ -182,7 +191,7 @@ TEST(PlanDownload, RarestFirstDoesNotOverrideRequestPhase) {
   f.give(0, 1, 1, {0}, 0.5);  // requested by peer 2
   f.give(0, 2, 1, {0}, 0.5);  // rarer? same holders; unrequested
   f.give(1, 2, 1, {0}, 0.5);  // file 2 now has MORE holders
-  f.peers[2].wanted = {FileId(1)};
+  f.want(2, {1});
   const auto plan = planDownload(f.peers, f.popularityFn(), 1,
                                  Scheduling::kCooperative,
                                  PushOrder::kRarestFirst);
@@ -207,7 +216,7 @@ TEST(PlanPairwiseDownload, RequestedFirstPerPair) {
   Fixture f(2);
   f.give(0, 1, 1, {0}, 0.05);
   f.give(0, 2, 1, {0}, 0.95);
-  f.peers[1].wanted = {FileId(1)};
+  f.want(1, {1});
   const auto plan = planPairwiseDownload(f.peers, f.popularityFn(), 1);
   ASSERT_EQ(plan.size(), 1u);
   EXPECT_EQ(plan[0].file, FileId(1));
@@ -243,7 +252,7 @@ TEST_P(BroadcastAdvantageSweep, OneTransmissionServesAllReceivers) {
   Fixture f(static_cast<std::size_t>(receivers) + 1);
   f.give(0, 1, 1, {0}, 0.5);
   for (int i = 1; i <= receivers; ++i) {
-    f.peers[static_cast<std::size_t>(i)].wanted = {FileId(1)};
+    f.want(static_cast<std::size_t>(i), {1});
   }
   const auto plan =
       planDownload(f.peers, f.popularityFn(), 100, Scheduling::kCooperative);

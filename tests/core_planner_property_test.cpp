@@ -22,6 +22,7 @@ struct RandomFixture {
   std::vector<MetadataStore> metadataStores;
   std::vector<PieceStore> pieceStores;
   std::vector<CreditLedger> ledgers;
+  std::vector<std::vector<FileId>> wantedStorage;
   std::vector<DiscoveryPeer> discoveryPeers;
   std::vector<DownloadPeer> downloadPeers;
 
@@ -37,6 +38,7 @@ struct RandomFixture {
     metadataStores.resize(members);
     pieceStores.resize(members);
     ledgers.resize(members);
+    wantedStorage.resize(members);
     for (std::size_t i = 0; i < members; ++i) {
       for (FileId f : internet.catalog().allFiles()) {
         if (rng.chance(0.5)) {
@@ -65,8 +67,9 @@ struct RandomFixture {
                 static_cast<std::size_t>(files))));
         dp.queries.push_back(
             canonicalQueryText(*internet.catalog().find(target)));
-        lp.wanted.push_back(target);
+        wantedStorage[i].push_back(target);
       }
+      lp.wanted = wantedStorage[i];
       for (std::size_t p = 0; p < members; ++p) {
         ledgers[i].addCredit(NodeId(static_cast<std::uint32_t>(p)),
                              rng.uniform(0.0, 10.0));

@@ -12,9 +12,56 @@
 #include <stdexcept>
 
 #include "src/core/checkpoint.hpp"
+#include "src/core/download_planner.hpp"
 
 namespace hdtn::core {
 namespace {
+
+TEST(ScenarioApply, DownloadModeRoundTripsThroughRegistry) {
+  // parse -> format must be the identity for every registered mode name:
+  // applying "download-mode" and reading the name back via the registry
+  // returns the exact string that was applied.
+  for (const DownloadModeInfo& info : downloadModeRegistry()) {
+    Scenario s;
+    EXPECT_EQ(s.apply("download-mode", info.name), "") << info.name;
+    EXPECT_EQ(s.params.downloadMode, info.mode) << info.name;
+    EXPECT_EQ(s.params.protocol.scheduling, info.scheduling) << info.name;
+    EXPECT_STREQ(downloadModeName(s.params.downloadMode,
+                                  s.params.protocol.scheduling),
+                 info.name)
+        << info.name;
+  }
+  Scenario s;
+  EXPECT_NE(s.apply("download-mode", "rateless"), "");
+}
+
+TEST(ScenarioApply, CodedKnobsReachEngineParams) {
+  Scenario s;
+  EXPECT_EQ(s.apply("download-mode", "coded"), "");
+  EXPECT_EQ(s.apply("coded-redundancy", "1.25"), "");
+  EXPECT_EQ(s.apply("coded-sparsity", "0.4"), "");
+  EXPECT_EQ(s.params.downloadMode, DownloadMode::kCoded);
+  EXPECT_EQ(s.params.coded.redundancy, 1.25);
+  EXPECT_EQ(s.params.coded.sparsity, 0.4);
+  EXPECT_NE(s.apply("coded-redundancy", "up"), "");
+}
+
+TEST(ScenarioBuilder, DownloadModeMethodsWork) {
+  const Scenario s = ScenarioBuilder()
+                         .nusTrace(30, 6, 3)
+                         .protocol(ProtocolKind::kMbt)
+                         .downloadMode("coded")
+                         .codedRedundancy(0.75)
+                         .codedSparsity(0.5)
+                         .build();
+  EXPECT_EQ(s.params.downloadMode, DownloadMode::kCoded);
+  EXPECT_EQ(s.params.coded.redundancy, 0.75);
+  EXPECT_THROW((void)ScenarioBuilder()
+                   .nusTrace(30, 6, 3)
+                   .downloadMode("bogus")
+                   .build(),
+               std::invalid_argument);
+}
 
 TEST(ScenarioApply, SetsEngineAndFaultAndTraceFields) {
   Scenario s;
@@ -64,8 +111,14 @@ TEST(ScenarioApply, EveryKnownKeyIsAccepted) {
     Scenario s;
     const std::string numeric = s.apply(key, "1");
     const std::string text = s.apply(key, "mbt");
-    EXPECT_TRUE(numeric.empty() || text.empty() || key == "scheduling")
+    // scheduling and download-mode only take their registry names, which
+    // overlap with neither probe value.
+    EXPECT_TRUE(numeric.empty() || text.empty() || key == "scheduling" ||
+                key == "download-mode")
         << "key '" << key << "' rejects both '1' and 'mbt'";
+    if (key == "download-mode") {
+      EXPECT_EQ(s.apply(key, "coop"), "");
+    }
   }
 }
 

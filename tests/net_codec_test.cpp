@@ -127,6 +127,80 @@ TEST(Codec, PieceRoundTripWithPayload) {
   EXPECT_EQ(decoded->payload, payload);
 }
 
+CodedPieceMessage sampleCodedPiece() {
+  CodedPieceMessage frame;
+  frame.sender = NodeId(8);
+  frame.file = FileId(21);
+  frame.generationSize = 4;
+  frame.seed = 0xdeadbeefcafef00dull;
+  frame.coefficients = {0x01, 0x00, 0x9a, 0xff};
+  return frame;
+}
+
+TEST(Codec, CodedPieceRoundTripWithPayload) {
+  const CodedPieceMessage header = sampleCodedPiece();
+  Bytes payload(512);
+  Rng rng(2);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+  const Bytes frame = encodeCodedPiece(header, payload);
+  EXPECT_EQ(peekKind(frame), WireKind::kCodedPiece);
+  const auto decoded = decodeCodedPiece(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.sender, header.sender);
+  EXPECT_EQ(decoded->header.file, header.file);
+  EXPECT_EQ(decoded->header.generationSize, header.generationSize);
+  EXPECT_EQ(decoded->header.seed, header.seed);
+  EXPECT_EQ(decoded->header.coefficients, header.coefficients);
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST(Codec, CodedPieceEmptyPayloadRoundTrip) {
+  const Bytes frame = encodeCodedPiece(sampleCodedPiece(), {});
+  const auto decoded = decodeCodedPiece(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Codec, CodedPieceCoefficientLengthMismatchReportsBadValue) {
+  CodedPieceMessage header = sampleCodedPiece();
+  header.coefficients.push_back(0x33);  // now 5 coefficients, generation 4
+  const auto decoded = decodeCodedPiece(encodeCodedPiece(header, {}));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error, DecodeError::kBadValue);
+}
+
+TEST(Codec, CodedPieceZeroGenerationReportsBadValue) {
+  CodedPieceMessage header = sampleCodedPiece();
+  header.generationSize = 0;
+  header.coefficients.clear();
+  const auto decoded = decodeCodedPiece(encodeCodedPiece(header, {}));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error, DecodeError::kBadValue);
+}
+
+TEST(Codec, CodedPieceHugeGenerationReportsBadValue) {
+  CodedPieceMessage header = sampleCodedPiece();
+  header.generationSize = kMaxGenerationSize + 1;
+  header.coefficients.assign(header.generationSize, 1);
+  const auto decoded = decodeCodedPiece(encodeCodedPiece(header, {}));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error, DecodeError::kBadValue);
+}
+
+TEST(Codec, CodedPieceTrailingGarbageRejected) {
+  const Bytes payload = {1, 2, 3};
+  Bytes frame = encodeCodedPiece(sampleCodedPiece(), payload);
+  frame.push_back(0x7f);
+  EXPECT_EQ(decodeCodedPiece(frame).error, DecodeError::kTrailingBytes);
+}
+
+TEST(Codec, CodedPieceKindMismatchReportsBadKind) {
+  const Bytes hello = encodeHello(sampleHello());
+  EXPECT_EQ(decodeCodedPiece(hello).error, DecodeError::kBadKind);
+  const Bytes coded = encodeCodedPiece(sampleCodedPiece(), {});
+  EXPECT_EQ(decodePiece(coded).error, DecodeError::kBadKind);
+}
+
 TEST(Codec, KindMismatchRejected) {
   const Bytes hello = encodeHello(sampleHello());
   EXPECT_FALSE(decodeMetadata(hello).has_value());
@@ -166,23 +240,28 @@ TEST_P(TruncationSweep, AllPrefixesRejected) {
     frame = encodeHello(sampleHello());
   } else if (kind == 1) {
     frame = encodeMetadata(sampleMetadata());
-  } else {
+  } else if (kind == 2) {
     PieceMessage header;
     header.sender = NodeId(1);
     header.file = FileId(2);
     header.pieceIndex = 0;
     const Bytes payload = {1, 2, 3, 4, 5};
     frame = encodePiece(header, payload);
+  } else {
+    const Bytes payload = {1, 2, 3, 4, 5};
+    frame = encodeCodedPiece(sampleCodedPiece(), payload);
   }
   for (std::size_t cut = 0; cut < frame.size(); ++cut) {
     std::span<const std::uint8_t> prefix(frame.data(), cut);
     EXPECT_FALSE(decodeHello(prefix).has_value());
     EXPECT_FALSE(decodeMetadata(prefix).has_value());
     EXPECT_FALSE(decodePiece(prefix).has_value());
+    EXPECT_FALSE(decodeCodedPiece(prefix).has_value());
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Frames, TruncationSweep, ::testing::Values(0, 1, 2));
+INSTANTIATE_TEST_SUITE_P(Frames, TruncationSweep,
+                         ::testing::Values(0, 1, 2, 3));
 
 // Mutation fuzz: random byte flips either decode to something or are
 // rejected with a *typed* error — no crashes, no over-reads, no silent

@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/core/download_planner.hpp"
 #include "src/core/scenario.hpp"
 #include "src/core/sharded_engine.hpp"
 #include "src/trace/contact_trace.hpp"
@@ -32,6 +33,10 @@ int usage() {
       {"trace=PATH", "contact trace file (or trace-family=nus|dieselnet|rwp)"},
       {"protocol=mbt|mbt-q|mbt-qm", "protocol variant (default mbt)"},
       {"scheduling=coop|tft", "download scheduling (default coop)"},
+      {"download-mode=coop|tft|popularity|pairwise|coded",
+       "download mode (registry name; docs/CODING.md)"},
+      {"coded-redundancy=0.5", "coded: extra frames per deficit fraction"},
+      {"coded-sparsity=0.5", "coded: coefficient-vector density"},
       {"access=0.3", "Internet-access fraction"},
       {"files-per-day=40", "files published per day"},
       {"ttl-days=3", "file/query time-to-live"},
@@ -195,12 +200,10 @@ int main(int argc, char** argv) {
                                      : scenario.trace.family;
   std::printf("trace: %s (%zu nodes, %zu contacts)\n", traceLabel.c_str(),
               trace->nodeCount(), trace->contactCount());
-  std::printf("protocol: %s (%s scheduling)\n",
+  std::printf("protocol: %s (%s download mode)\n",
               core::protocolName(scenario.params.protocol.kind),
-              scenario.params.protocol.scheduling ==
-                      core::Scheduling::kCooperative
-                  ? "coop"
-                  : "tft");
+              core::downloadModeName(scenario.params.downloadMode,
+                                     scenario.params.protocol.scheduling));
   std::printf("\nnon-access nodes (%zu queries):\n", result.delivery.queries);
   std::printf("  metadata delivery ratio: %.4f (mean delay %.1f h)\n",
               result.delivery.metadataRatio,
@@ -231,6 +234,16 @@ int main(int argc, char** argv) {
                     totals.faultPiecesRejectedCorrupt),
                 static_cast<unsigned long long>(
                     totals.faultNodeDownIntervals));
+  }
+  if (totals.codedBroadcasts != 0) {
+    std::printf("coded: %llu frames (%llu innovative, %llu redundant), "
+                "%llu generations decoded, %llu corrupt, %llu row ops\n",
+                static_cast<unsigned long long>(totals.codedBroadcasts),
+                static_cast<unsigned long long>(totals.codedInnovativeFrames),
+                static_cast<unsigned long long>(totals.codedRedundantFrames),
+                static_cast<unsigned long long>(totals.generationsDecoded),
+                static_cast<unsigned long long>(totals.codedDecodeFailures),
+                static_cast<unsigned long long>(totals.codedDecodeRowOps));
   }
   if (totals.recoveryRetransmits != 0 || totals.repairRequests != 0 ||
       totals.coordinatorFailovers != 0 || totals.metadataEvictions != 0) {
