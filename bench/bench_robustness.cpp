@@ -17,6 +17,13 @@
 // operations (EngineTotals::codedDecodeRowOps), the codec's deterministic
 // work proxy.
 //
+// A fourth axis (docs/ADVERSARY.md) sweeps the Byzantine fraction instead
+// of the loss rate: coded mode + the recovery layer, every attack enabled,
+// with the verify-and-quarantine defense off vs on. It always runs
+// in-process in the parent (it is small), so supervised journals keep
+// their 63-point layout; results land in the "adversary_series" JSON
+// section.
+//
 //   bench_robustness [--seeds=N] [--threads=N] [--json[=PATH]]
 //                    [--scenario=FILE] [--supervise[=JOURNAL]]
 //                    [--point-timeout=S] [--max-attempts=N]
@@ -384,6 +391,102 @@ int main(int argc, char** argv) {
   std::cout << ratioChart.render() << "\n" << delayChart.render()
             << std::endl;
 
+  // --- adversary axis: delivery vs Byzantine fraction ----------------------
+  const std::vector<double> advFractions = {0.0, 0.1, 0.2, 0.3};
+  const std::size_t advPoints = advFractions.size();
+  const std::size_t seedsN = static_cast<std::size_t>(seeds);
+  const std::size_t advTaskCount = advPoints * 3 * 2 * seedsN;
+  std::vector<double> advRatio(advTaskCount), advInjected(advTaskCount),
+      advDetected(advTaskCount), advPolluted(advTaskCount),
+      advQuarantined(advTaskCount), advFalseQ(advTaskCount);
+  {
+    std::vector<trace::ContactTrace> advTraces(seedsN);
+    std::vector<std::string> advTraceErrors(seedsN);
+    parallelFor(seedsN, threads, [&](std::size_t i) {
+      core::TraceSpec spec = traceSpec;
+      spec.seed = i + 1;
+      if (auto built = spec.build(&advTraceErrors[i])) {
+        advTraces[i] = *built;
+      }
+    });
+    for (const std::string& error : advTraceErrors) {
+      if (!error.empty()) {
+        std::cerr << "trace: " << error << "\n";
+        return 1;
+      }
+    }
+    parallelFor(advTaskCount, threads, [&](std::size_t task) {
+      const std::size_t perPoint = 3 * 2 * seedsN;
+      const std::size_t fi = task / perPoint;
+      std::size_t rest = task % perPoint;
+      const std::size_t pi = rest / (2 * seedsN);
+      rest %= 2 * seedsN;
+      const std::size_t di = rest / seedsN;
+      const std::size_t seed = rest % seedsN;
+      core::EngineParams params = base;
+      params.protocol.kind = kProtocols[pi];
+      params.seed = static_cast<std::uint64_t>(seed + 1) * 1000003u;
+      params.downloadMode = core::DownloadMode::kCoded;
+      params.recovery = sweepRecoveryParams();
+      params.adversary.byzantineFraction = advFractions[fi];
+      params.adversary.attacks = faults::kAllAttacks;
+      params.reputation.defense = di == 1;
+      const auto result = core::runSimulation(advTraces[seed], params);
+      advRatio[task] = result.delivery.fileRatio;
+      advInjected[task] =
+          static_cast<double>(result.totals.pollutionInjected);
+      advDetected[task] =
+          static_cast<double>(result.totals.pollutionDetected);
+      advPolluted[task] =
+          static_cast<double>(result.totals.pollutedDeliveries);
+      advQuarantined[task] =
+          static_cast<double>(result.totals.nodesQuarantined);
+      advFalseQ[task] = static_cast<double>(result.totals.falseQuarantines);
+    });
+  }
+  const auto advMean = [&](const std::vector<double>& v, std::size_t fi,
+                           std::size_t pi, std::size_t di) {
+    const std::size_t first = ((fi * 3 + pi) * 2 + di) * seedsN;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < seedsN; ++s) sum += v[first + s];
+    return sum / static_cast<double>(seedsN);
+  };
+  std::cout << "adversary axis (coded+rec, all attacks; defense off/on):\n"
+            << "file delivery ratio vs Byzantine fraction:\n";
+  std::vector<std::string> advColumns = {"byz fraction"};
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    for (std::size_t di = 0; di < 2; ++di) {
+      advColumns.push_back(std::string(core::protocolName(kProtocols[pi])) +
+                           (di == 0 ? " undef" : " def"));
+    }
+  }
+  Table advTable(advColumns);
+  std::vector<std::vector<double>> advSeries(6);
+  for (std::size_t fi = 0; fi < advPoints; ++fi) {
+    double m[6];
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      for (std::size_t di = 0; di < 2; ++di) {
+        m[pi * 2 + di] = advMean(advRatio, fi, pi, di);
+        advSeries[pi * 2 + di].push_back(m[pi * 2 + di]);
+      }
+    }
+    advTable.addRow(
+        {advFractions[fi], m[0], m[1], m[2], m[3], m[4], m[5]});
+  }
+  advTable.writeAligned(std::cout);
+  AsciiChart advChart(
+      "robustness: file delivery ratio vs Byzantine fraction", advFractions);
+  const char advGlyphs[6] = {'A', 'a', 'B', 'b', 'C', 'c'};
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    for (std::size_t di = 0; di < 2; ++di) {
+      advChart.addSeries(
+          {std::string(core::protocolName(kProtocols[pi])) +
+               (di == 0 ? " undef" : " def"),
+           advGlyphs[pi * 2 + di], advSeries[pi * 2 + di]});
+    }
+  }
+  std::cout << "\n" << advChart.render() << std::endl;
+
   if (!common.jsonPath.empty()) {
     std::ofstream json(common.jsonPath);
     if (!json) {
@@ -421,6 +524,30 @@ int main(int argc, char** argv) {
                << ", \"decode_row_ops\": " << rowOpsSeries[si][xi] << "}";
         }
         json << "]}" << (si + 1 < seriesCount ? "," : "") << "\n";
+      }
+    }
+    json << "  ],\n"
+         << "  \"adversary_series\": [\n";
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      for (std::size_t di = 0; di < 2; ++di) {
+        json << "    {\"protocol\": \"" << core::protocolName(kProtocols[pi])
+             << "\", \"defense\": " << (di == 1 ? "true" : "false")
+             << ", \"points\": [";
+        for (std::size_t fi = 0; fi < advPoints; ++fi) {
+          json << (fi == 0 ? "" : ", ") << "{\"x\": " << advFractions[fi]
+               << ", \"file_ratio\": " << advMean(advRatio, fi, pi, di)
+               << ", \"pollution_injected\": "
+               << advMean(advInjected, fi, pi, di)
+               << ", \"pollution_detected\": "
+               << advMean(advDetected, fi, pi, di)
+               << ", \"polluted_deliveries\": "
+               << advMean(advPolluted, fi, pi, di)
+               << ", \"nodes_quarantined\": "
+               << advMean(advQuarantined, fi, pi, di)
+               << ", \"false_quarantines\": " << advMean(advFalseQ, fi, pi, di)
+               << "}";
+        }
+        json << "]}" << (pi * 2 + di + 1 < 6 ? "," : "") << "\n";
       }
     }
     json << "  ]\n}\n";

@@ -137,6 +137,11 @@ Sha1Digest Engine::configFingerprint() const {
   s.boolean(params_.recovery.coordinatorFailover);
   s.f64(params_.coded.redundancy);
   s.f64(params_.coded.sparsity);
+  s.f64(params_.adversary.byzantineFraction);
+  s.u32(params_.adversary.attacks);
+  s.boolean(params_.reputation.defense);
+  s.f64(params_.reputation.quarantineThreshold);
+  s.f64(params_.reputation.decayPerDay);
   s.u64(params_.seed);
   // Trace identity: the schedule replay is only valid against the exact
   // same contact sequence.

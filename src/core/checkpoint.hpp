@@ -35,7 +35,7 @@ class CheckpointError : public std::runtime_error {
 
 /// Bumped on any incompatible change to the snapshot layout. Loading a file
 /// with a different version fails with CheckpointError.
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 /// Header of a checkpoint file, readable without an engine.
 struct CheckpointInfo {

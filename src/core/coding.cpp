@@ -1,5 +1,6 @@
 #include "src/core/coding.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -111,12 +112,32 @@ GenerationDecoder::GenerationDecoder(std::uint32_t generationSize,
 }
 
 bool GenerationDecoder::addFrame(std::span<const std::uint8_t> coefficients,
-                                 std::span<const std::uint8_t> payload) {
+                                 std::span<const std::uint8_t> payload,
+                                 bool polluted, std::uint32_t origin) {
+  // Over-length rows are degenerate input (a malformed or hostile encoder),
+  // not a caller bug: reject and count before any row operation.
+  if (coefficients.size() > k_) {
+    ++degenerateFrames_;
+    return false;
+  }
   if (coefficients.size() != k_ || payload.size() != payloadBytes_) {
     throw std::invalid_argument("GenerationDecoder: frame shape mismatch");
   }
+  bool anyNonZero = false;
+  for (std::uint8_t c : coefficients) {
+    if (c != 0) {
+      anyNonZero = true;
+      break;
+    }
+  }
+  if (!anyNonZero) {
+    // A zero vector can never raise the rank; folding it would only burn
+    // rowOps on forward elimination of nothing.
+    ++degenerateFrames_;
+    return false;
+  }
   return fold({coefficients.begin(), coefficients.end()},
-              {payload.begin(), payload.end()});
+              {payload.begin(), payload.end()}, polluted, origin);
 }
 
 bool GenerationDecoder::addSourcePiece(std::uint32_t piece,
@@ -126,16 +147,22 @@ bool GenerationDecoder::addSourcePiece(std::uint32_t piece,
   }
   std::vector<std::uint8_t> unit(k_, 0);
   unit[piece] = 1;
-  return fold(std::move(unit), {payload.begin(), payload.end()});
+  return fold(std::move(unit), {payload.begin(), payload.end()}, false,
+              kNoOrigin);
 }
 
 bool GenerationDecoder::fold(std::vector<std::uint8_t> coeffs,
-                             std::vector<std::uint8_t> data) {
+                             std::vector<std::uint8_t> data, bool polluted,
+                             std::uint32_t origin) {
+  // A frame is tainted when it arrived polluted or when elimination mixes
+  // in a tainted stored row — pollution spreads exactly like information.
+  bool tainted = polluted;
   // Forward-eliminate against every existing pivot.
   for (std::uint32_t col = 0; col < k_; ++col) {
     const std::uint8_t factor = coeffs[col];
     if (factor == 0 || pivot_[col] == kNoPivot) continue;
     const Row& prow = rows_[pivot_[col]];
+    if (prow.tainted) tainted = true;
     for (std::uint32_t j = 0; j < k_; ++j) {
       coeffs[j] = gfAdd(coeffs[j], gfMul(factor, prow.coeffs[j]));
     }
@@ -169,6 +196,7 @@ bool GenerationDecoder::fold(std::vector<std::uint8_t> coeffs,
   for (Row& row : rows_) {
     const std::uint8_t factor = row.coeffs[pivotCol];
     if (factor == 0) continue;
+    if (tainted) row.tainted = true;
     for (std::uint32_t j = 0; j < k_; ++j) {
       row.coeffs[j] = gfAdd(row.coeffs[j], gfMul(factor, coeffs[j]));
     }
@@ -177,17 +205,46 @@ bool GenerationDecoder::fold(std::vector<std::uint8_t> coeffs,
     }
     ++rowOps_;
   }
-  rows_.push_back({std::move(coeffs), std::move(data)});
+  rows_.push_back({std::move(coeffs), std::move(data), tainted, polluted,
+                   polluted ? origin : kNoOrigin});
   pivot_[pivotCol] = newIndex;
   ++rank_;
   return true;
 }
 
+bool GenerationDecoder::tainted() const {
+  for (const Row& row : rows_) {
+    if (row.tainted) return true;
+  }
+  return false;
+}
+
+std::uint32_t GenerationDecoder::pollutedRows() const {
+  std::uint32_t count = 0;
+  for (const Row& row : rows_) {
+    if (row.polluted) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> GenerationDecoder::pollutedOrigins() const {
+  std::vector<std::uint32_t> origins;
+  for (const Row& row : rows_) {
+    if (row.polluted && row.origin != kNoOrigin) {
+      origins.push_back(row.origin);
+    }
+  }
+  std::sort(origins.begin(), origins.end());
+  origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
+  return origins;
+}
+
 std::vector<std::uint8_t> GenerationDecoder::recodeCoefficients(
     std::uint64_t seed, double sparsity,
-    std::vector<std::uint8_t>* payloadOut) const {
+    std::vector<std::uint8_t>* payloadOut, bool* taintedOut) const {
   std::vector<std::uint8_t> out(k_, 0);
   if (payloadOut != nullptr) payloadOut->assign(payloadBytes_, 0);
+  if (taintedOut != nullptr) *taintedOut = false;
   if (rank_ == 0) return out;
   // Mix over the stored (independent) rows: any nonzero mix of independent
   // rows is itself nonzero, so the recoded frame always carries information
@@ -198,6 +255,7 @@ std::vector<std::uint8_t> GenerationDecoder::recodeCoefficients(
     const std::uint8_t factor = mix[i];
     if (factor == 0) continue;
     const Row& row = rows_[i];
+    if (taintedOut != nullptr && row.tainted) *taintedOut = true;
     for (std::uint32_t j = 0; j < k_; ++j) {
       out[j] = gfAdd(out[j], gfMul(factor, row.coeffs[j]));
     }
@@ -229,10 +287,14 @@ void GenerationDecoder::saveState(Serializer& out) const {
   out.u32(payloadBytes_);
   out.u32(rank_);
   out.u64(rowOps_);
+  out.u64(degenerateFrames_);
   out.u64(rows_.size());
   for (const Row& row : rows_) {
     out.raw(row.coeffs.data(), row.coeffs.size());
     out.raw(row.payload.data(), row.payload.size());
+    out.u8(row.tainted ? 1 : 0);
+    out.u8(row.polluted ? 1 : 0);
+    out.u32(row.origin);
   }
   for (std::uint32_t col = 0; col < k_; ++col) out.u32(pivot_[col]);
 }
@@ -242,11 +304,12 @@ void GenerationDecoder::loadState(Deserializer& in) {
   payloadBytes_ = in.u32();
   rank_ = in.u32();
   rowOps_ = in.u64();
+  degenerateFrames_ = in.u64();
   if (k_ == 0 || rank_ > k_) {
     throw SerializeError("GenerationDecoder: corrupt shape");
   }
   const std::uint64_t rowCount =
-      in.length(static_cast<std::size_t>(k_) + payloadBytes_);
+      in.length(static_cast<std::size_t>(k_) + payloadBytes_ + 6);
   if (rowCount != rank_) {
     throw SerializeError("GenerationDecoder: row count != rank");
   }
@@ -258,6 +321,9 @@ void GenerationDecoder::loadState(Deserializer& in) {
     in.raw(row.coeffs.data(), k_);
     row.payload.resize(payloadBytes_);
     in.raw(row.payload.data(), payloadBytes_);
+    row.tainted = in.u8() != 0;
+    row.polluted = in.u8() != 0;
+    row.origin = in.u32();
     rows_.push_back(std::move(row));
   }
   pivot_.assign(k_, kNoPivot);

@@ -72,11 +72,24 @@ class GenerationDecoder {
   explicit GenerationDecoder(std::uint32_t generationSize,
                              std::uint32_t payloadBytes = 0);
 
-  /// Folds one coded frame. `coefficients.size()` must equal the generation
-  /// size; `payload.size()` must equal payloadBytes() (empty when tracking
-  /// coefficients only). Returns true when the frame was innovative.
+  /// Sentinel origin for frames with no attributable source (honest
+  /// traffic, or pollution relayed by an innocent recoder).
+  static constexpr std::uint32_t kNoOrigin = 0xffffffffu;
+
+  /// Folds one coded frame. Truncated frames (`coefficients.size()` under
+  /// the generation size, or a payload that does not match payloadBytes())
+  /// throw; degenerate frames — over-length coefficient vectors or all-zero
+  /// vectors — are rejected *before any row operation* and counted in
+  /// degenerateFrames(), since they can never raise the rank but would
+  /// otherwise burn rowOps. Returns true when the frame was innovative.
+  ///
+  /// `polluted` marks a frame whose payload is known-junk (a Byzantine
+  /// pollution attack, docs/ADVERSARY.md); `origin` is the attacker's node
+  /// id for blame attribution. Folding a polluted frame taints every row it
+  /// touches — see tainted().
   bool addFrame(std::span<const std::uint8_t> coefficients,
-                std::span<const std::uint8_t> payload = {});
+                std::span<const std::uint8_t> payload = {},
+                bool polluted = false, std::uint32_t origin = kNoOrigin);
 
   /// Folds source piece `piece` held in the clear (unit coefficient
   /// vector). Returns true when it raised the rank.
@@ -87,10 +100,13 @@ class GenerationDecoder {
   /// holder re-broadcasts (recoding). Deterministic in (state, seed);
   /// nonzero whenever rank() > 0. Returns a generation-sized coefficient
   /// vector; with payloads tracked, `payloadOut` (if non-null) receives the
-  /// matching combined payload.
+  /// matching combined payload. `taintedOut` (if non-null) is set to
+  /// whether the mix touched any tainted row — i.e. whether the recoded
+  /// frame itself relays pollution.
   [[nodiscard]] std::vector<std::uint8_t> recodeCoefficients(
       std::uint64_t seed, double sparsity,
-      std::vector<std::uint8_t>* payloadOut = nullptr) const;
+      std::vector<std::uint8_t>* payloadOut = nullptr,
+      bool* taintedOut = nullptr) const;
 
   [[nodiscard]] std::uint32_t generationSize() const { return k_; }
   [[nodiscard]] std::uint32_t payloadBytes() const { return payloadBytes_; }
@@ -100,6 +116,25 @@ class GenerationDecoder {
   /// Row operations performed so far (one unit per row-times-scalar fold);
   /// a deterministic, platform-independent proxy for decode CPU cost.
   [[nodiscard]] std::uint64_t rowOps() const { return rowOps_; }
+
+  /// Degenerate frames rejected before any row operation (all-zero
+  /// coefficient vectors, over-length rows).
+  [[nodiscard]] std::uint64_t degenerateFrames() const {
+    return degenerateFrames_;
+  }
+
+  /// True when any stored row mixes in a polluted frame: at full rank the
+  /// "decoded" generation would be garbage and must be rolled back
+  /// (docs/ADVERSARY.md).
+  [[nodiscard]] bool tainted() const;
+
+  /// Stored rows whose frame arrived polluted (not merely contaminated by
+  /// later elimination).
+  [[nodiscard]] std::uint32_t pollutedRows() const;
+
+  /// Sorted, unique origins of the arrival-polluted rows (kNoOrigin
+  /// excluded) — the ground-truth blame list for a rollback.
+  [[nodiscard]] std::vector<std::uint32_t> pollutedOrigins() const;
 
   /// The decoded pieces, in piece order. Requires complete() and payload
   /// tracking.
@@ -114,14 +149,19 @@ class GenerationDecoder {
   struct Row {
     std::vector<std::uint8_t> coeffs;
     std::vector<std::uint8_t> payload;
+    bool tainted = false;    ///< mixes in at least one polluted frame
+    bool polluted = false;   ///< the frame itself arrived polluted
+    std::uint32_t origin = kNoOrigin;  ///< attacker id when polluted
   };
 
-  bool fold(std::vector<std::uint8_t> coeffs, std::vector<std::uint8_t> data);
+  bool fold(std::vector<std::uint8_t> coeffs, std::vector<std::uint8_t> data,
+            bool polluted, std::uint32_t origin);
 
   std::uint32_t k_ = 0;
   std::uint32_t payloadBytes_ = 0;
   std::uint32_t rank_ = 0;
   std::uint64_t rowOps_ = 0;
+  std::uint64_t degenerateFrames_ = 0;
   std::vector<Row> rows_;             ///< one per innovative frame, reduced
   std::vector<std::uint32_t> pivot_;  ///< column -> row index (kNoPivot)
   static constexpr std::uint32_t kNoPivot = 0xffffffffu;

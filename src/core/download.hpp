@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/core/credit.hpp"
@@ -53,6 +54,10 @@ struct CodedParams {
   double redundancy = 0.5;
   /// Probability that a coefficient is nonzero (sparse RLNC).
   double sparsity = 0.5;
+
+  /// One descriptive message per violation (empty when valid): redundancy
+  /// in [0, 4], sparsity in (0, 1].
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// One clique member's state as seen by the download planner.

@@ -123,13 +123,14 @@ std::vector<std::string> EngineParams::validate() const {
   for (std::string& error : recovery.validate()) {
     errors.push_back("recovery." + std::move(error));
   }
-  if (!(coded.redundancy >= 0.0 && coded.redundancy <= 4.0)) {
-    errors.push_back("coded.redundancy must be in [0, 4], got " +
-                     std::to_string(coded.redundancy));
+  for (std::string& error : coded.validate()) {
+    errors.push_back("coded." + std::move(error));
   }
-  if (!(coded.sparsity > 0.0 && coded.sparsity <= 1.0)) {
-    errors.push_back("coded.sparsity must be in (0, 1], got " +
-                     std::to_string(coded.sparsity));
+  for (std::string& error : adversary.validate()) {
+    errors.push_back("adversary." + std::move(error));
+  }
+  for (std::string& error : reputation.validate()) {
+    errors.push_back("reputation." + std::move(error));
   }
   return errors;
 }
@@ -149,6 +150,18 @@ Engine::Engine(const trace::ContactTrace& trace, EngineParams params)
     faults_ = std::make_unique<faults::FaultPlan>(
         params_.faults, rng_.fork(0xfa01), trace_.nodeCount(),
         trace_.endTime());
+  }
+  // The adversary stream follows the same discipline: forked only when the
+  // adversary is enabled, so clean runs stay byte-identical. Byzantine
+  // membership is installed by setupNodes() from the role shuffle.
+  if (params_.adversary.enabled()) {
+    adversary_ = std::make_unique<faults::AdversaryPlan>(params_.adversary,
+                                                         rng_.fork(0xbad1));
+  }
+  // The defense tracker draws no randomness; still gated so disabled runs
+  // carry no state at all.
+  if (params_.reputation.enabled()) {
+    reputation_ = std::make_unique<ReputationTracker>(params_.reputation);
   }
   // Recovery draws no randomness of its own (retransmission re-draws reuse
   // the fault channel streams), so constructing it perturbs nothing; still
@@ -217,6 +230,22 @@ void Engine::setupNodes() {
   for (std::size_t i = access.size();
        i < ids.size() && forgers.size() < forgerCount; ++i) {
     if (!freeRiders.contains(ids[i])) forgers.insert(ids[i]);
+  }
+
+  // Byzantine nodes come from the same shuffled order, skipping the roles
+  // already assigned, so the selection consumes no extra RNG draws and
+  // composes with (instead of overlapping) the paper's misbehavior models.
+  if (adversary_) {
+    std::vector<NodeId> byzantine;
+    const auto byzantineCount = static_cast<std::size_t>(
+        std::llround(params_.adversary.byzantineFraction *
+                     static_cast<double>(n - access.size())));
+    for (std::size_t i = access.size();
+         i < ids.size() && byzantine.size() < byzantineCount; ++i) {
+      if (freeRiders.contains(ids[i]) || forgers.contains(ids[i])) continue;
+      byzantine.push_back(ids[i]);
+    }
+    adversary_->setByzantine(byzantine, n);
   }
 
   const auto frequentLists =
@@ -803,6 +832,45 @@ void Engine::processContact(const trace::Contact& contact) {
     runRepairPhase(*downloadMembers, now, rsession);
   }
 
+  // --- ack spoofing (Byzantine loss reports) ------------------------------
+  // Before the retransmission rounds run, a Byzantine member may inject
+  // bogus loss reports: each claims a metadata frame it demonstrably
+  // received was lost, so the sender burns retransmit budget (and pending
+  // slots at later contacts) redelivering frames nobody lost. One claims
+  // draw per Byzantine member per recovering contact.
+  if (rsession != nullptr && adversary_ != nullptr &&
+      adversary_->attackEnabled(faults::AttackKind::kAckSpoof)) {
+    for (Node* m : members) {
+      if (!adversary_->isByzantine(m->id())) continue;
+      if (isQuarantined(m->id(), now)) continue;
+      std::uint32_t claims = adversary_->spoofedAckClaims();
+      if (claims == 0) continue;
+      for (Node* victim : members) {
+        if (claims == 0) break;
+        if (victim == m) continue;
+        for (const Metadata* md : victim->metadata().byPopularity()) {
+          if (claims == 0) break;
+          if (!m->metadata().has(md->file)) continue;
+          rsession->noteLoss({victim->id(), m->id(), md->file});
+          --claims;
+          ++totals_.acksSpoofed;
+          ++totals_.adversaryAttacks;
+          if (observer_ != nullptr) {
+            obs::SimEvent event;
+            event.type = obs::SimEventType::kAttackInjected;
+            event.time = now;
+            event.node = m->id();
+            event.peer = victim->id();
+            event.file = md->file;
+            event.extra =
+                static_cast<std::uint32_t>(faults::AttackKind::kAckSpoof);
+            emit(event);
+          }
+        }
+      }
+    }
+  }
+
   // --- end-of-contact retransmission rounds + spill ------------------------
   if (rsession != nullptr) {
     while (std::optional<LostFrame> frame = session.nextRetry()) {
@@ -842,7 +910,8 @@ void Engine::runDiscoveryPhase(const std::vector<Node*>& members, SimTime now,
     peer.tokenizedQueries =
         &m->contactQueryTokens(now, params_.protocol.distributesQueries());
     peer.credits = &m->credits();
-    peer.contributes = m->contributes();
+    // Quarantined peers receive but are excluded from sender selection.
+    peer.contributes = m->contributes() && !isQuarantined(m->id(), now);
     peers.push_back(std::move(peer));
   }
 
@@ -1022,6 +1091,94 @@ void Engine::deliverPieceTo(Node& receiver, NodeId sender, FileId file,
   }
 }
 
+void Engine::noteEvidence(NodeId suspect, EvidenceKind kind, SimTime now) {
+  if (reputation_ == nullptr) return;
+  if (!reputation_->addEvidence(suspect, kind, now)) return;
+  ++totals_.nodesQuarantined;
+  // Ground truth the honest nodes cannot see: was the quarantined node
+  // actually Byzantine? Pure-random-fault noise must not quarantine anyone.
+  if (adversary_ == nullptr || !adversary_->isByzantine(suspect)) {
+    ++totals_.falseQuarantines;
+  }
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kNodeQuarantined;
+    event.time = now;
+    event.node = suspect;
+    event.value = reputation_->suspicion(suspect, now);
+    emit(event);
+  }
+}
+
+bool Engine::isQuarantined(NodeId node, SimTime now) {
+  if (reputation_ == nullptr) return false;
+  bool released = false;
+  const bool quarantined = reputation_->isQuarantined(node, now, &released);
+  if (released) {
+    ++totals_.nodesReleased;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kNodeReleased;
+      event.time = now;
+      event.node = node;
+      event.value = reputation_->suspicion(node, now);
+      emit(event);
+    }
+  }
+  return quarantined;
+}
+
+bool Engine::adversaryLiedPiece(NodeId receiver, NodeId sender, FileId file,
+                                std::uint32_t piece, SimTime now) {
+  if (adversary_ == nullptr || !adversary_->isByzantine(sender) ||
+      !adversary_->attackEnabled(faults::AttackKind::kPieceLie)) {
+    return false;
+  }
+  if (!adversary_->liesAboutPiece()) return false;
+  // The forged payload fails the SHA-1 piece checksum in the receiver's
+  // held metadata — same outcome as random corruption, but the slot was
+  // burnt on purpose and (defense on) the sender is charged for it.
+  ++totals_.piecesLied;
+  ++totals_.adversaryAttacks;
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kAttackInjected;
+    event.time = now;
+    event.node = sender;
+    event.peer = receiver;
+    event.file = file;
+    event.extra = static_cast<std::uint32_t>(faults::AttackKind::kPieceLie);
+    emit(event);
+    event.type = obs::SimEventType::kPieceRejectedCorrupt;
+    event.node = receiver;
+    event.peer = sender;
+    event.extra = piece;
+    emit(event);
+  }
+  noteEvidence(sender, EvidenceKind::kFailedVerification, now);
+  return true;
+}
+
+bool Engine::adversaryPollutesFrame(NodeId sender, FileId file, SimTime now) {
+  if (adversary_ == nullptr || !adversary_->isByzantine(sender) ||
+      !adversary_->attackEnabled(faults::AttackKind::kPollution)) {
+    return false;
+  }
+  if (!adversary_->pollutesFrame()) return false;
+  ++totals_.pollutionInjected;
+  ++totals_.adversaryAttacks;
+  if (observer_ != nullptr) {
+    obs::SimEvent event;
+    event.type = obs::SimEventType::kAttackInjected;
+    event.time = now;
+    event.node = sender;
+    event.file = file;
+    event.extra = static_cast<std::uint32_t>(faults::AttackKind::kPollution);
+    emit(event);
+  }
+  return true;
+}
+
 namespace {
 
 // Lazily creates the (receiver, file) decoder, seeding it with unit rows
@@ -1047,24 +1204,29 @@ coding::GenerationDecoder& codedDecoderFor(CodedEngineState& state,
 
 std::vector<std::uint8_t> Engine::codedFrameCoefficients(
     Node& sender, FileId file, std::uint32_t generationSize,
-    std::uint64_t seed) {
+    std::uint64_t seed, bool* taintedOut) {
+  if (taintedOut != nullptr) *taintedOut = false;
   if (sender.pieces().isComplete(file)) {
     return coding::sparseCoefficients(generationSize, seed,
                                       params_.coded.sparsity);
   }
   return codedDecoderFor(*coded_, sender, file, generationSize)
-      .recodeCoefficients(seed, params_.coded.sparsity);
+      .recodeCoefficients(seed, params_.coded.sparsity, nullptr, taintedOut);
 }
 
 bool Engine::deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
                                  std::uint32_t generationSize, bool requested,
                                  std::span<const std::uint8_t> coefficients,
+                                 bool polluted, std::uint32_t origin,
                                  const FileInfo& info, SimTime now) {
   coding::GenerationDecoder& decoder =
       codedDecoderFor(*coded_, receiver, file, generationSize);
   const std::uint64_t opsBefore = decoder.rowOps();
-  const bool innovative = decoder.addFrame(coefficients);
+  const std::uint64_t degenerateBefore = decoder.degenerateFrames();
+  const bool innovative = decoder.addFrame(coefficients, {}, polluted, origin);
   totals_.codedDecodeRowOps += decoder.rowOps() - opsBefore;
+  totals_.codedDegenerateFrames +=
+      decoder.degenerateFrames() - degenerateBefore;
   if (!innovative) {
     ++totals_.codedRedundantFrames;
     return false;
@@ -1087,6 +1249,42 @@ bool Engine::deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
     emit(event);
   }
   if (!decoder.complete()) return true;
+  if (decoder.tainted() && reputation_ != nullptr) {
+    // Defense on: the per-generation piece-hash pass over the decoded
+    // output fails, so the whole generation is rolled back — nothing is
+    // stored, the decoder is retired, and the receiver re-collects from
+    // scratch (clear-held pieces reseed the fresh decoder). Every sender
+    // whose frame arrived polluted is charged.
+    ++totals_.generationsRolledBack;
+    totals_.pollutionDetected += decoder.pollutedRows();
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kPollutionDetected;
+      event.time = now;
+      event.node = receiver.id();
+      event.peer = sender;
+      event.file = file;
+      event.extra = decoder.pollutedRows();
+      event.value = info.popularity;
+      emit(event);
+      event.type = obs::SimEventType::kGenerationRolledBack;
+      event.extra = generationSize;
+      emit(event);
+    }
+    for (std::uint32_t culprit : decoder.pollutedOrigins()) {
+      noteEvidence(NodeId{culprit}, EvidenceKind::kFailedVerification, now);
+    }
+    coded_->decoders[receiver.id()].erase(file);
+    return true;
+  }
+  const bool garbage = decoder.tainted();
+  if (garbage) {
+    // Defense off: the junk decodes "successfully". The receptions are real
+    // traffic (stored pieces, events, counters) but the file's content is
+    // garbage, so it never counts as delivered — the undefended collapse
+    // the bench's adversary axis measures.
+    ++totals_.pollutedDeliveries;
+  }
   // Full rank: every source piece is a row-space lookup. Store the missing
   // ones (the reception credit was granted per innovative frame above, so
   // the decoded pieces carry no extra credit) and retire the decoder.
@@ -1106,20 +1304,22 @@ bool Engine::deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
       emit(event);
     }
   }
-  if (receiver.pieces().isComplete(file)) {
-    metrics_.onNodeCompletedFile(receiver.id(), file, now);
-  }
-  ++totals_.generationsDecoded;
-  if (observer_ != nullptr) {
-    obs::SimEvent event;
-    event.type = obs::SimEventType::kGenerationDecoded;
-    event.time = now;
-    event.node = receiver.id();
-    event.peer = sender;
-    event.file = file;
-    event.extra = generationSize;
-    event.value = info.popularity;
-    emit(event);
+  if (!garbage) {
+    if (receiver.pieces().isComplete(file)) {
+      metrics_.onNodeCompletedFile(receiver.id(), file, now);
+    }
+    ++totals_.generationsDecoded;
+    if (observer_ != nullptr) {
+      obs::SimEvent event;
+      event.type = obs::SimEventType::kGenerationDecoded;
+      event.time = now;
+      event.node = receiver.id();
+      event.peer = sender;
+      event.file = file;
+      event.extra = generationSize;
+      event.value = info.popularity;
+      emit(event);
+    }
   }
   coded_->decoders[receiver.id()].erase(file);
   return true;
@@ -1145,8 +1345,14 @@ void Engine::deliverCodedBroadcast(const CodedBroadcast& cb,
       emit(event);
     }
     if (info == nullptr) continue;
-    const std::vector<std::uint8_t> coefficients =
-        codedFrameCoefficients(sender, cb.file, cb.generationSize, seed);
+    const bool polluted = adversaryPollutesFrame(cb.sender, cb.file, now);
+    bool relayTainted = false;
+    const std::vector<std::uint8_t> coefficients = codedFrameCoefficients(
+        sender, cb.file, cb.generationSize, seed, &relayTainted);
+    // A relayed mix of an already-tainted row space carries the junk along
+    // but the honest relayer is not to blame: no origin is attached.
+    const std::uint32_t origin =
+        polluted ? cb.sender.value : coding::GenerationDecoder::kNoOrigin;
     for (Node* m : members) {
       if (m->id() == cb.sender || m->pieces().isComplete(cb.file)) continue;
       const bool requested =
@@ -1198,7 +1404,8 @@ void Engine::deliverCodedBroadcast(const CodedBroadcast& cb,
         }
       }
       deliverCodedFrameTo(*m, cb.sender, cb.file, cb.generationSize,
-                          requested, coefficients, *info, now);
+                          requested, coefficients, polluted || relayTainted,
+                          origin, *info, now);
     }
   }
 }
@@ -1228,7 +1435,9 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
     peer.pieces = &m->pieces();
     peer.wanted = m->wantedFilesView(now);
     peer.credits = &m->credits();
-    peer.contributes = m->contributes();
+    // Quarantined peers keep receiving (an honest false positive must be
+    // able to catch up) but are excluded from sender selection.
+    peer.contributes = m->contributes() && !isQuarantined(m->id(), now);
     peers.push_back(std::move(peer));
   }
 
@@ -1246,7 +1455,54 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
   request.coded = params_.coded;
   request.observer = observer_;
   request.now = now;
-  const DownloadPlan plan = planner_->plan(request);
+  DownloadPlan plan = planner_->plan(request);
+
+  // Coordinator abuse: the broadcast schedulings with a coordinator (the
+  // paper motivates tit-for-tat precisely because a selfish coordinator
+  // can cheat) elect the first non-quarantined member of the hello order;
+  // a Byzantine coordinator silently drops part of the planned schedule.
+  if (adversary_ != nullptr &&
+      adversary_->attackEnabled(faults::AttackKind::kCoordinator) &&
+      params_.protocol.scheduling != Scheduling::kTitForTat &&
+      params_.downloadMode != DownloadMode::kPairwise) {
+    NodeId coordinator{};
+    bool haveCoordinator = false;
+    for (Node* m : members) {
+      if (!isQuarantined(m->id(), now)) {
+        coordinator = m->id();
+        haveCoordinator = true;
+        break;
+      }
+    }
+    if (haveCoordinator && adversary_->isByzantine(coordinator)) {
+      const auto suppress = [&](NodeId sender, FileId file) {
+        if (!adversary_->dropsPlannedBroadcast()) return false;
+        ++totals_.broadcastsSuppressed;
+        ++totals_.adversaryAttacks;
+        if (observer_ != nullptr) {
+          obs::SimEvent event;
+          event.type = obs::SimEventType::kAttackInjected;
+          event.time = now;
+          event.node = coordinator;
+          event.peer = sender;
+          event.file = file;
+          event.extra =
+              static_cast<std::uint32_t>(faults::AttackKind::kCoordinator);
+          emit(event);
+        }
+        // The scheduled sender saw its slot vanish: observable misbehavior
+        // of whoever ran the round.
+        noteEvidence(coordinator, EvidenceKind::kBroadcastSuppressed, now);
+        return true;
+      };
+      std::erase_if(plan.broadcasts, [&](const PieceBroadcast& b) {
+        return suppress(b.sender, b.file);
+      });
+      std::erase_if(plan.coded, [&](const CodedBroadcast& cb) {
+        return suppress(cb.sender, cb.file);
+      });
+    }
+  }
 
   if (params_.downloadMode == DownloadMode::kPairwise) {
     // Prior-work baseline: members pair off, each pair exchanges over a
@@ -1306,6 +1562,9 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
           receiver->pieces().hasPiece(t.file, t.piece)) {
         continue;
       }
+      if (adversaryLiedPiece(t.receiver, t.sender, t.file, t.piece, now)) {
+        continue;
+      }
       if (faults_ != nullptr &&
           pieceReceptionFaulted(t.receiver, t.sender, t.file, t.piece,
                                 t.requested, now, session)) {
@@ -1346,6 +1605,11 @@ void Engine::runDownloadPhase(const std::vector<Node*>& members, SimTime now,
       const bool requested =
           std::find(b.requesters.begin(), b.requesters.end(), m->id()) !=
           b.requesters.end();
+      // The lie is drawn per deliverable (piece, receiver) pair, the same
+      // discipline as the channel fault draws.
+      if (adversaryLiedPiece(m->id(), b.sender, b.file, b.piece, now)) {
+        continue;
+      }
       if (faults_ != nullptr &&
           pieceReceptionFaulted(m->id(), b.sender, b.file, b.piece,
                                 requested, now, session)) {
@@ -1377,10 +1641,16 @@ void Engine::attemptRedelivery(LostFrame frame, RecoverySession* session,
   if (frame.isMetadata()) {
     const Metadata* md = sender.metadata().get(frame.file);
     if (md == nullptr || md->expired(now) ||
-        receiver.metadata().has(frame.file) ||
         receiver.rejectedMetadata().contains(frame.file) ||
         receiver.distrusts(frame.sender)) {
-      return;  // no longer deliverable, or no longer needed
+      return;  // no longer deliverable
+    }
+    if (receiver.metadata().has(frame.file)) {
+      // The "lost" record is already there: a benign race (another sender
+      // redelivered first), or a spoofed ack that burnt this retransmit
+      // slot on purpose. Weak evidence either way — hence the low weight.
+      noteEvidence(frame.receiver, EvidenceKind::kAckAnomaly, now);
+      return;
     }
     if (faults_ != nullptr &&
         metadataReceptionFaulted(frame.receiver, frame.sender, frame.file,
@@ -1446,10 +1716,15 @@ void Engine::attemptRedelivery(LostFrame frame, RecoverySession* session,
     }
     const std::uint32_t generationSize = info->pieceCount();
     const std::uint64_t seed = coded_->rng();
-    const std::vector<std::uint8_t> coefficients =
-        codedFrameCoefficients(sender, frame.file, generationSize, seed);
+    const bool polluted = adversaryPollutesFrame(frame.sender, frame.file, now);
+    bool relayTainted = false;
+    const std::vector<std::uint8_t> coefficients = codedFrameCoefficients(
+        sender, frame.file, generationSize, seed, &relayTainted);
     if (deliverCodedFrameTo(receiver, frame.sender, frame.file,
                             generationSize, frame.requested, coefficients,
+                            polluted || relayTainted,
+                            polluted ? frame.sender.value
+                                     : coding::GenerationDecoder::kNoOrigin,
                             *info, now)) {
       ++totals_.recoveryRedeliveries;
     }
@@ -1458,6 +1733,13 @@ void Engine::attemptRedelivery(LostFrame frame, RecoverySession* session,
   if (info == nullptr || !info->alive(now) ||
       !sender.pieces().hasPiece(frame.file, frame.piece) ||
       receiver.pieces().hasPiece(frame.file, frame.piece)) {
+    return;
+  }
+  if (adversaryLiedPiece(frame.receiver, frame.sender, frame.file,
+                         frame.piece, now)) {
+    // Rejected by the checksum, exactly like corruption: retry later.
+    ++frame.attempts;
+    if (session != nullptr) session->requeue(frame);
     return;
   }
   if (faults_ != nullptr &&
@@ -1494,26 +1776,51 @@ void Engine::runRepairPhase(const std::vector<Node*>& members, SimTime now,
   for (Node* receiverPtr : members) {
     if (budget <= 0) break;
     Node& receiver = *receiverPtr;
+    // A Byzantine receiver may forge an *empty* summary, soliciting pushes
+    // of data it already holds to burn the shared repair budget. One draw
+    // per Byzantine repair-round participation.
+    bool forgedSummary = false;
+    if (adversary_ != nullptr && adversary_->isByzantine(receiver.id()) &&
+        adversary_->attackEnabled(faults::AttackKind::kFalseSummary) &&
+        adversary_->forgesSummary()) {
+      forgedSummary = true;
+      ++totals_.summariesForged;
+      ++totals_.adversaryAttacks;
+      if (observer_ != nullptr) {
+        obs::SimEvent event;
+        event.type = obs::SimEventType::kAttackInjected;
+        event.time = now;
+        event.node = receiver.id();
+        event.extra =
+            static_cast<std::uint32_t>(faults::AttackKind::kFalseSummary);
+        emit(event);
+      }
+    }
     // The receiver summarises everything it holds. A Bloom filter has no
     // false negatives, so a negative membership test proves the record is
     // missing; a false positive (~1%) only makes repair skip a genuinely
     // missing record.
     SummaryVector summary(receiver.metadata().size() +
                           receiver.pieces().totalPiecesHeld());
-    for (const Metadata* md : receiver.metadata().all()) {
-      summary.insert(SummaryVector::metadataKey(md->file));
-    }
-    for (FileId file : receiver.pieces().files()) {
-      const std::uint32_t count = receiver.pieces().pieceCount(file);
-      for (std::uint32_t p = 0; p < count; ++p) {
-        if (receiver.pieces().hasPiece(file, p)) {
-          summary.insert(SummaryVector::pieceKey(file, p));
+    if (!forgedSummary) {
+      for (const Metadata* md : receiver.metadata().all()) {
+        summary.insert(SummaryVector::metadataKey(md->file));
+      }
+      for (FileId file : receiver.pieces().files()) {
+        const std::uint32_t count = receiver.pieces().pieceCount(file);
+        for (std::uint32_t p = 0; p < count; ++p) {
+          if (receiver.pieces().hasPiece(file, p)) {
+            summary.insert(SummaryVector::pieceKey(file, p));
+          }
         }
       }
     }
     for (Node* senderPtr : members) {
       if (budget <= 0) break;
-      if (senderPtr == receiverPtr || !senderPtr->contributes()) continue;
+      if (senderPtr == receiverPtr || !senderPtr->contributes() ||
+          isQuarantined(senderPtr->id(), now)) {
+        continue;
+      }
       Node& sender = *senderPtr;
       // Metadata repair: query-matching records the summary proves missing
       // (lost to truncation/loss before the receiver ever stored them).
@@ -1537,6 +1844,13 @@ void Engine::runRepairPhase(const std::vector<Node*>& members, SimTime now,
             event.file = md->file;
             event.extra = kMetadataFrameIndex;
             emit(event);
+          }
+          if (receiver.metadata().has(md->file)) {
+            // The summary claimed the record missing but the receiver holds
+            // it. An honest Bloom summary has no false negatives, so the
+            // advertisement was forged; the budget is burnt either way.
+            noteEvidence(receiver.id(), EvidenceKind::kSummaryMismatch, now);
+            continue;
           }
           if (faults_ != nullptr &&
               metadataReceptionFaulted(receiver.id(), sender.id(), md->file,
@@ -1578,6 +1892,14 @@ void Engine::runRepairPhase(const std::vector<Node*>& members, SimTime now,
             event.file = file;
             event.extra = p;
             emit(event);
+          }
+          if (receiver.pieces().hasPiece(file, p)) {
+            // Same forged-summary tell as the metadata path above.
+            noteEvidence(receiver.id(), EvidenceKind::kSummaryMismatch, now);
+            continue;
+          }
+          if (adversaryLiedPiece(receiver.id(), sender.id(), file, p, now)) {
+            continue;
           }
           if (faults_ != nullptr &&
               pieceReceptionFaulted(receiver.id(), sender.id(), file, p,
@@ -1631,6 +1953,19 @@ void saveTotals(Serializer& out, const EngineTotals& t) {
   out.u64(t.generationsDecoded);
   out.u64(t.codedDecodeFailures);
   out.u64(t.codedDecodeRowOps);
+  out.u64(t.codedDegenerateFrames);
+  out.u64(t.adversaryAttacks);
+  out.u64(t.pollutionInjected);
+  out.u64(t.pollutionDetected);
+  out.u64(t.pollutedDeliveries);
+  out.u64(t.generationsRolledBack);
+  out.u64(t.piecesLied);
+  out.u64(t.summariesForged);
+  out.u64(t.acksSpoofed);
+  out.u64(t.broadcastsSuppressed);
+  out.u64(t.nodesQuarantined);
+  out.u64(t.nodesReleased);
+  out.u64(t.falseQuarantines);
 }
 
 void loadTotals(Deserializer& in, EngineTotals& t) {
@@ -1660,6 +1995,19 @@ void loadTotals(Deserializer& in, EngineTotals& t) {
   t.generationsDecoded = in.u64();
   t.codedDecodeFailures = in.u64();
   t.codedDecodeRowOps = in.u64();
+  t.codedDegenerateFrames = in.u64();
+  t.adversaryAttacks = in.u64();
+  t.pollutionInjected = in.u64();
+  t.pollutionDetected = in.u64();
+  t.pollutedDeliveries = in.u64();
+  t.generationsRolledBack = in.u64();
+  t.piecesLied = in.u64();
+  t.summariesForged = in.u64();
+  t.acksSpoofed = in.u64();
+  t.broadcastsSuppressed = in.u64();
+  t.nodesQuarantined = in.u64();
+  t.nodesReleased = in.u64();
+  t.falseQuarantines = in.u64();
 }
 
 }  // namespace
@@ -1677,6 +2025,12 @@ void Engine::saveComponentState(Serializer& out) const {
 
   out.boolean(recovery_ != nullptr);
   if (recovery_ != nullptr) recovery_->saveState(out);
+
+  out.boolean(adversary_ != nullptr);
+  if (adversary_ != nullptr) adversary_->saveState(out);
+
+  out.boolean(reputation_ != nullptr);
+  if (reputation_ != nullptr) reputation_->saveState(out);
 
   out.boolean(coded_ != nullptr);
   if (coded_ != nullptr) {
@@ -1745,6 +2099,22 @@ void Engine::loadComponentState(Deserializer& in) {
         "configuration");
   }
   if (recovery_ != nullptr) recovery_->loadState(in);
+
+  const bool hasAdversary = in.boolean();
+  if (hasAdversary != (adversary_ != nullptr)) {
+    throw SerializeError(
+        "corrupt payload: adversary-plan presence does not match the engine "
+        "configuration");
+  }
+  if (adversary_ != nullptr) adversary_->loadState(in);
+
+  const bool hasReputation = in.boolean();
+  if (hasReputation != (reputation_ != nullptr)) {
+    throw SerializeError(
+        "corrupt payload: reputation-state presence does not match the "
+        "engine configuration");
+  }
+  if (reputation_ != nullptr) reputation_->loadState(in);
 
   const bool hasCoded = in.boolean();
   if (hasCoded != (coded_ != nullptr)) {

@@ -16,12 +16,14 @@
 
 #include "src/core/download.hpp"
 #include "src/core/internet.hpp"
+#include "src/faults/adversary.hpp"
 #include "src/faults/faults.hpp"
 #include "src/core/metrics.hpp"
 #include "src/core/node.hpp"
 #include "src/core/node_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/core/recovery.hpp"
+#include "src/core/reputation.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/contact_trace.hpp"
 #include "src/util/random.hpp"
@@ -128,6 +130,17 @@ struct EngineParams {
   /// forked only in coded mode, so the other modes stay byte-identical to
   /// builds without coding support.
   CodedParams coded;
+  /// Byzantine adversary (coded-frame pollution, piece lies, false
+  /// summaries, ack spoofing, coordinator abuse; see src/faults/adversary.hpp
+  /// and docs/ADVERSARY.md). A zero fraction disables the subsystem
+  /// entirely: no plan is constructed, no extra RNG draws happen, and the
+  /// run is byte-identical to one without adversary support.
+  faults::AdversaryParams adversary;
+  /// Verify-and-quarantine defense layer (src/core/reputation.hpp). Off by
+  /// default; when off, no tracker is constructed, pollution is delivered
+  /// unverified (the undefended baseline), and the run is byte-identical to
+  /// one without defense support.
+  ReputationParams reputation;
   std::uint64_t seed = 42;
 
   /// Checks every field for consistency and returns one descriptive message
@@ -190,6 +203,37 @@ struct EngineTotals {
   /// Gaussian-elimination row operations performed by receivers — the
   /// deterministic decode-CPU proxy reported by bench_robustness.
   std::uint64_t codedDecodeRowOps = 0;
+  /// Degenerate coded frames rejected before any row operation (all-zero
+  /// or over-length coefficient vectors).
+  std::uint64_t codedDegenerateFrames = 0;
+  // Byzantine adversary accounting (all zero when the adversary is off).
+  /// Attack opportunities a Byzantine node acted on (any kind).
+  std::uint64_t adversaryAttacks = 0;
+  /// Polluted coded frames injected by Byzantine senders.
+  std::uint64_t pollutionInjected = 0;
+  /// Polluted rows caught by decode-time verification (defense on).
+  std::uint64_t pollutionDetected = 0;
+  /// Full-rank generations whose decoded output was garbage and was
+  /// delivered anyway (defense off — the undefended collapse).
+  std::uint64_t pollutedDeliveries = 0;
+  /// Tainted generations discarded and re-collected (defense on).
+  std::uint64_t generationsRolledBack = 0;
+  /// Named-piece transfers where a Byzantine sender lied about the payload
+  /// (always caught by the metadata SHA-1 checksum; the slot is burnt).
+  std::uint64_t piecesLied = 0;
+  /// Bloom summaries forged (emptied) by Byzantine repair receivers.
+  std::uint64_t summariesForged = 0;
+  /// Bogus loss reports injected into retransmission queues.
+  std::uint64_t acksSpoofed = 0;
+  /// Planned broadcasts silently dropped by Byzantine coordinators.
+  std::uint64_t broadcastsSuppressed = 0;
+  // Defense accounting (all zero when the defense is off).
+  /// Nodes that entered quarantine (counts entries, not distinct nodes).
+  std::uint64_t nodesQuarantined = 0;
+  /// Quarantines released by suspicion decay.
+  std::uint64_t nodesReleased = 0;
+  /// Quarantine entries whose node was in fact honest (ground truth).
+  std::uint64_t falseQuarantines = 0;
 };
 
 struct EngineResult {
@@ -279,6 +323,14 @@ class Engine {
   /// recovery is disabled.
   [[nodiscard]] const RecoveryState* recoveryState() const {
     return recovery_.get();
+  }
+  /// The run's Byzantine adversary; nullptr when the adversary is off.
+  [[nodiscard]] const faults::AdversaryPlan* adversaryPlan() const {
+    return adversary_.get();
+  }
+  /// The defense layer's suspicion tracker; nullptr when the defense is off.
+  [[nodiscard]] const ReputationTracker* reputationTracker() const {
+    return reputation_.get();
   }
 
   // --- checkpoint/restore (src/core/checkpoint.cpp) -----------------------
@@ -376,16 +428,23 @@ class Engine {
   /// Folds one coded frame into `receiver`'s decoder with full accounting
   /// (innovation counters, credits, decode-at-full-rank). Returns true when
   /// the frame was innovative. Shared by the broadcast and recovery paths.
+  /// `polluted` marks a frame whose payload is Byzantine junk and `origin`
+  /// the attacker's id (GenerationDecoder::kNoOrigin for honest or relayed
+  /// traffic); at full rank a tainted decoder is rolled back (defense on)
+  /// or delivers garbage (defense off).
   bool deliverCodedFrameTo(Node& receiver, NodeId sender, FileId file,
                            std::uint32_t generationSize, bool requested,
                            std::span<const std::uint8_t> coefficients,
+                           bool polluted, std::uint32_t origin,
                            const FileInfo& info, SimTime now);
   /// The coefficient vector a sender emits for `seed`: a fresh sparse
   /// combination from a complete holder, a recoded row-space mix from a
-  /// partial one.
+  /// partial one. `taintedOut` (optional) is set when the emitted mix
+  /// includes a polluted row of the sender's own decoder (relayed
+  /// pollution).
   [[nodiscard]] std::vector<std::uint8_t> codedFrameCoefficients(
       Node& sender, FileId file, std::uint32_t generationSize,
-      std::uint64_t seed);
+      std::uint64_t seed, bool* taintedOut = nullptr);
   /// Draws the channel loss for one deliverable metadata frame: returns
   /// true when the frame was lost, updating counters and emitting the
   /// fault event. Only called when faults_ is non-null.
@@ -423,6 +482,23 @@ class Engine {
   /// the summary proves missing, under params_.recovery.repairPerContact.
   void runRepairPhase(const std::vector<Node*>& members, SimTime now,
                       RecoverySession* session);
+  /// Charges one anomaly against `suspect` (no-op when the defense is off);
+  /// counts/events newly entered quarantines and ground-truth false ones.
+  void noteEvidence(NodeId suspect, EvidenceKind kind, SimTime now);
+  /// True while `node` is quarantined by the defense layer (always false
+  /// when the defense is off). Applies lazy suspicion decay and
+  /// counts/events releases.
+  bool isQuarantined(NodeId node, SimTime now);
+  /// True when a Byzantine `sender` lies about this named-piece transfer:
+  /// the forged payload fails the metadata checksum, the reception is
+  /// dropped, and (defense on) verification evidence accrues. Consumes one
+  /// adversary draw per Byzantine-sent piece.
+  bool adversaryLiedPiece(NodeId receiver, NodeId sender, FileId file,
+                          std::uint32_t piece, SimTime now);
+  /// True when a Byzantine `sender` pollutes the coded frame it is about
+  /// to emit (counts and events the injection). Consumes one adversary
+  /// draw per Byzantine-sent coded frame.
+  bool adversaryPollutesFrame(NodeId sender, FileId file, SimTime now);
   // Checkpoint internals. Component (de)serialization lives in engine.cpp
   // (it touches the file-local EngineCaches); the file format, checksum,
   // fingerprint, and schedule-replay logic live in checkpoint.cpp.
@@ -451,6 +527,10 @@ class Engine {
   /// RLNC decoders + dedicated coefficient-seed stream; null outside coded
   /// mode (same zero-cost discipline as faults_/recovery_).
   std::unique_ptr<CodedEngineState> coded_;
+  /// Null when params_.adversary is disabled (same zero-cost discipline).
+  std::unique_ptr<faults::AdversaryPlan> adversary_;
+  /// Null when params_.reputation (the defense) is disabled.
+  std::unique_ptr<ReputationTracker> reputation_;
   /// Resolved once from the download-mode registry; never null after
   /// construction.
   const DownloadPlanner* planner_ = nullptr;

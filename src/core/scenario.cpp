@@ -136,6 +136,9 @@ const std::vector<std::string>& Scenario::knownKeys() {
       // recovery layer (docs/RECOVERY.md)
       "recovery-retries", "recovery-retransmit-budget", "recovery-repair",
       "recovery-queue-limit", "recovery-failover", "md-capacity",
+      // Byzantine adversary + defense (docs/ADVERSARY.md)
+      "adversary-fraction", "adversary-attacks", "defense",
+      "quarantine-threshold",
       // outputs
       "events-out", "timeseries-out", "sample-every",
       // checkpoint/resume (docs/CHECKPOINT.md)
@@ -317,6 +320,25 @@ std::string Scenario::apply(const std::string& key, const std::string& value) {
   } else if (key == "recovery-failover") {
     if (!(err = asBool(&b)).empty()) return err;
     params.recovery.coordinatorFailover = b;
+  } else if (key == "adversary-fraction") {
+    if (!(err = asDouble(&d)).empty()) return err;
+    params.adversary.byzantineFraction = d;
+  } else if (key == "adversary-attacks") {
+    std::uint32_t mask = 0;
+    std::string offender;
+    if (!faults::parseAttackMask(value, &mask, &offender)) {
+      return badValue(key, offender.empty() ? value : offender,
+                      "a comma-separated attack list "
+                      "(pollution|piece-lie|false-summary|ack-spoof|"
+                      "coordinator), 'all', or 'none'");
+    }
+    params.adversary.attacks = mask;
+  } else if (key == "defense") {
+    if (!(err = asBool(&b)).empty()) return err;
+    params.reputation.defense = b;
+  } else if (key == "quarantine-threshold") {
+    if (!(err = asDouble(&d)).empty()) return err;
+    params.reputation.quarantineThreshold = d;
   } else if (key == "md-capacity") {
     if (!(err = asInt(&i)).empty()) return err;
     if (i < 0) return badValue(key, value, "a non-negative integer");

@@ -360,6 +360,17 @@ DecodeResult<DecodedCodedPiece> decodeCodedPiece(
   if (coefficients->size() != out.header.generationSize) {
     return {std::nullopt, DecodeError::kBadValue};
   }
+  // An all-zero coefficient vector can never raise a decoder's rank; no
+  // honest encoder emits one (sparseCoefficients guarantees a nonzero
+  // entry), so reject the degenerate frame at the wire.
+  bool anyNonZero = false;
+  for (std::uint8_t c : *coefficients) {
+    if (c != 0) {
+      anyNonZero = true;
+      break;
+    }
+  }
+  if (!anyNonZero) return {std::nullopt, DecodeError::kBadValue};
   out.header.coefficients = std::move(*coefficients);
   auto payload = dec.readBlob();
   if (!payload) return {std::nullopt, dec.error()};

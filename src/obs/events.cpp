@@ -56,6 +56,16 @@ const char* simEventTypeName(SimEventType type) {
       return "generation_decoded";
     case SimEventType::kDecodeFailed:
       return "decode_failed";
+    case SimEventType::kAttackInjected:
+      return "attack_injected";
+    case SimEventType::kPollutionDetected:
+      return "pollution_detected";
+    case SimEventType::kGenerationRolledBack:
+      return "generation_rolled_back";
+    case SimEventType::kNodeQuarantined:
+      return "node_quarantined";
+    case SimEventType::kNodeReleased:
+      return "node_released";
   }
   return "unknown";
 }

@@ -54,9 +54,18 @@ enum class SimEventType : std::uint8_t {
   kInnovativeFrame,    ///< coded frame raised receiver rank; extra = rank
   kGenerationDecoded,  ///< receiver hit full rank; extra = generation size
   kDecodeFailed,       ///< coded frame rejected (corrupt) before folding
+  kAttackInjected,     ///< a Byzantine attack fired; extra =
+                       ///< faults::AttackKind, node = attacker
+  kPollutionDetected,  ///< verification caught polluted rows at decode
+                       ///< time; extra = polluted row count
+  kGenerationRolledBack,  ///< a tainted generation was discarded and will
+                          ///< be re-collected; extra = generation size
+  kNodeQuarantined,    ///< suspicion crossed the threshold; value =
+                       ///< suspicion score
+  kNodeReleased,       ///< decay ended a quarantine; value = suspicion
 };
 
-inline constexpr std::size_t kSimEventTypeCount = 26;
+inline constexpr std::size_t kSimEventTypeCount = 31;
 
 /// Stable snake_case name of an event type (JSONL traces, schemas).
 [[nodiscard]] const char* simEventTypeName(SimEventType type);

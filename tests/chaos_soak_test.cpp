@@ -22,6 +22,7 @@
 #include <tuple>
 
 #include "src/core/engine.hpp"
+#include "src/faults/adversary.hpp"
 #include "src/obs/events.hpp"
 #include "src/trace/nus.hpp"
 #include "src/util/random.hpp"
@@ -224,6 +225,123 @@ TEST(ChaosSoak, CodedModeRandomFaultMixesKeepInvariants) {
     // operation.
     if (result.totals.codedInnovativeFrames > 0) {
       EXPECT_GT(result.totals.codedDecodeRowOps, 0u);
+    }
+  }
+}
+
+// Adversarial arm of the soak: random Byzantine fractions and attack-mask
+// subsets on top of random channel faults, defense on. The defense adds
+// its own invariants to the baseline set:
+//
+//   * verified delivery — with the defense armed, no polluted generation
+//                         is ever delivered (rollback catches them all);
+//   * bounded blame     — distinct quarantined nodes never exceed the
+//                         Byzantine population, and under the default
+//                         thresholds no honest node is ever quarantined;
+//   * event accounting  — every attack/quarantine/release counter matches
+//                         its event stream exactly.
+TEST(ChaosSoak, AdversarialMixesKeepDefenseInvariants) {
+  trace::NusParams tp;
+  tp.students = 30;
+  tp.courses = 6;
+  tp.coursesPerStudent = 2;
+  tp.days = 3;
+  tp.attendanceRate = 0.9;
+  tp.seed = 11;
+  const auto trace = trace::generateNus(tp);
+
+  // One bit-subset draw + fraction draw per mix; a zero mask or fraction
+  // simply exercises the disabled-adversary path inside the soak.
+  Rng mixRng(0xBAD50u);
+  for (int mix = 0; mix < 60; ++mix) {
+    EngineParams params;
+    params.protocol.kind = ProtocolKind::kMbtQm;
+    params.downloadMode = DownloadMode::kCoded;
+    params.internetAccessFraction = 0.3;
+    params.newFilesPerDay = 10;
+    params.fileTtlDays = 2;
+    params.piecesPerFile = 1 + static_cast<std::uint32_t>(mixRng.pickIndex(4));
+    params.frequentContactPeriod = kDay;
+    params.seed = 9000 + static_cast<std::uint64_t>(mix);
+
+    params.faults.messageLossRate = 0.4 * mixRng.uniform();
+    params.faults.contactTruncationRate = 0.4 * mixRng.uniform();
+    params.faults.pieceCorruptionRate = 0.2 * mixRng.uniform();
+    params.faults.churnDownFraction = 0.2 * mixRng.uniform();
+    params.faults.churnMeanDowntime = 1 * kHour + static_cast<SimTime>(
+        mixRng.pickIndex(8) * kHour);
+
+    params.recovery.maxRetries = static_cast<int>(mixRng.pickIndex(3));
+    params.recovery.retransmitBudget = 1 << 20;
+    params.recovery.repairPerContact = static_cast<int>(mixRng.pickIndex(9));
+    params.recovery.coordinatorFailover = mixRng.chance(0.5);
+
+    params.adversary.byzantineFraction = 0.4 * mixRng.uniform();
+    params.adversary.attacks = static_cast<std::uint32_t>(
+        mixRng.pickIndex(faults::kAllAttacks + 1));
+    params.reputation.defense = true;
+
+    SCOPED_TRACE("mix " + std::to_string(mix) + " seed " +
+                 std::to_string(params.seed) + " byzantine " +
+                 std::to_string(params.adversary.byzantineFraction) +
+                 " attacks " +
+                 faults::attackMaskName(params.adversary.attacks) + " loss " +
+                 std::to_string(params.faults.messageLossRate));
+
+    obs::CountingObserver counter;
+    PieceLedger ledger;
+    obs::MulticastObserver fanout;
+    fanout.add(&counter);
+    fanout.add(&ledger);
+    Engine engine(trace, params);
+    engine.setObserver(&fanout);
+    const auto result = engine.run();
+    const EngineTotals& t = result.totals;
+
+    // Baseline invariants survive active sabotage.
+    EXPECT_EQ(counter.count(obs::SimEventType::kNodeDown),
+              counter.count(obs::SimEventType::kNodeUp));
+    EXPECT_EQ(ledger.duplicates(), 0u);
+    EXPECT_EQ(ledger.received(), t.pieceReceptions);
+    if (params.recovery.maxRetries > 0) {
+      // Spoofed ack claims are deliberately not counted as lost frames, so
+      // the retransmit-cover invariant keeps its direction under attack.
+      EXPECT_GE(t.recoveryRetransmits, t.recoveryFramesLost);
+    }
+    EXPECT_GE(result.delivery.fileRatio, 0.0);
+    EXPECT_LE(result.delivery.fileRatio, 1.0);
+
+    // Verified delivery: the armed defense never lets a polluted
+    // generation complete as a delivery.
+    EXPECT_EQ(t.pollutedDeliveries, 0u);
+    if (t.pollutionDetected > 0) {
+      EXPECT_GT(t.generationsRolledBack, 0u);
+    }
+
+    // Event accounting matches the totals exactly.
+    EXPECT_EQ(counter.count(obs::SimEventType::kAttackInjected),
+              t.adversaryAttacks);
+    EXPECT_EQ(t.adversaryAttacks,
+              t.pollutionInjected + t.piecesLied + t.summariesForged +
+                  t.acksSpoofed + t.broadcastsSuppressed);
+    EXPECT_EQ(counter.count(obs::SimEventType::kGenerationRolledBack),
+              t.generationsRolledBack);
+    EXPECT_EQ(counter.count(obs::SimEventType::kNodeQuarantined),
+              t.nodesQuarantined);
+    EXPECT_EQ(counter.count(obs::SimEventType::kNodeReleased),
+              t.nodesReleased);
+    EXPECT_LE(t.nodesReleased, t.nodesQuarantined);
+
+    // Bounded blame under the default thresholds.
+    EXPECT_EQ(t.falseQuarantines, 0u);
+    if (engine.adversaryPlan() != nullptr) {
+      EXPECT_LE(engine.reputationTracker()->quarantinedCount(),
+                engine.adversaryPlan()->byzantineCount());
+    } else {
+      // Disabled adversary (zero fraction or empty mask drawn): the run
+      // must look exactly like an honest defended run.
+      EXPECT_EQ(t.adversaryAttacks, 0u);
+      EXPECT_EQ(t.nodesQuarantined, 0u);
     }
   }
 }

@@ -302,6 +302,74 @@ TEST(Checkpoint, ResumesMidGenerationByteIdentical) {
             full.result.totals.codedDecodeRowOps);
 }
 
+EngineParams paramsAdversarial() {
+  // The robustness hard case: coded download under active Byzantine attack
+  // with the full defense armed — the snapshot must carry the adversary's
+  // five attack-stream positions and the reputation ledger exactly.
+  EngineParams params = paramsCoded();
+  params.adversary.byzantineFraction = 0.3;
+  params.reputation.defense = true;
+  params.recovery.repairPerContact = 2;
+  return params;
+}
+
+TEST(Checkpoint, ByteIdenticalUnderAdversaryWithDefense) {
+  const auto trace = nusTrace();
+  checkAllBoundaries(trace, paramsAdversarial(), "nus_adv");
+}
+
+TEST(Checkpoint, ResumesMidAttackByteIdentical) {
+  // Save at the first boundary after attacks have fired and suspicion has
+  // accrued; the resumed run must replay the exact same later attack
+  // decisions, rollbacks, and quarantines as the uninterrupted run.
+  const auto trace = nusTrace();
+  const auto params = paramsAdversarial();
+  const FullRun full = uninterrupted(trace, params);
+  ASSERT_GT(full.result.totals.adversaryAttacks, 0u);
+  ASSERT_GT(full.result.totals.generationsRolledBack, 0u);
+  const std::string path = ckptPath("mid_attack");
+  std::ostringstream prefixOut;
+  {
+    obs::JsonlEventSink sink(prefixOut);
+    Engine engine(trace, params);
+    engine.setObserver(&sink);
+    bool saved = false;
+    while (engine.step()) {
+      const EngineTotals t = engine.currentResult().totals;
+      if (t.adversaryAttacks > 0 &&
+          t.adversaryAttacks < full.result.totals.adversaryAttacks) {
+        engine.saveCheckpoint(path);
+        saved = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(saved) << "no step boundary fell mid-attack";
+  }
+  std::ostringstream suffixOut;
+  obs::JsonlEventSink sink(suffixOut);
+  Engine restored(trace, params);
+  restored.restoreCheckpoint(path);
+  ASSERT_NE(restored.adversaryPlan(), nullptr);
+  ASSERT_NE(restored.reputationTracker(), nullptr);
+  restored.setObserver(&sink);
+  const EngineResult result = restored.finish();
+  EXPECT_EQ(prefixOut.str() + suffixOut.str(), full.events);
+  expectSameResult(result, full.result);
+  EXPECT_EQ(result.totals.adversaryAttacks,
+            full.result.totals.adversaryAttacks);
+  EXPECT_EQ(result.totals.pollutionInjected,
+            full.result.totals.pollutionInjected);
+  EXPECT_EQ(result.totals.pollutionDetected,
+            full.result.totals.pollutionDetected);
+  EXPECT_EQ(result.totals.generationsRolledBack,
+            full.result.totals.generationsRolledBack);
+  EXPECT_EQ(result.totals.nodesQuarantined,
+            full.result.totals.nodesQuarantined);
+  EXPECT_EQ(result.totals.nodesReleased, full.result.totals.nodesReleased);
+  EXPECT_EQ(result.totals.falseQuarantines,
+            full.result.totals.falseQuarantines);
+}
+
 TEST(Checkpoint, FileBytesAreDeterministic) {
   const auto trace = nusTrace();
   const auto params = paramsFor(ProtocolKind::kMbtQm, true);
@@ -438,6 +506,20 @@ TEST_F(CheckpointErrors, DifferentProtocolFailsFingerprint) {
 TEST_F(CheckpointErrors, DifferentRecoveryParamsFailFingerprint) {
   EngineParams other = params_;
   other.recovery.maxRetries = 2;
+  Engine engine(trace_, other);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
+}
+
+TEST_F(CheckpointErrors, DifferentAdversaryParamsFailFingerprint) {
+  EngineParams other = params_;
+  other.adversary.byzantineFraction = 0.2;
+  Engine engine(trace_, other);
+  EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
+}
+
+TEST_F(CheckpointErrors, DifferentDefenseParamsFailFingerprint) {
+  EngineParams other = params_;
+  other.reputation.defense = true;
   Engine engine(trace_, other);
   EXPECT_THROW(engine.restoreCheckpoint(path_), CheckpointError);
 }

@@ -276,6 +276,138 @@ TEST(GenerationDecoder, RejectsMalformedInput) {
   EXPECT_THROW(CodedEncoder({{1, 2}, {1}}), std::invalid_argument);
 }
 
+TEST(GenerationDecoder, DegenerateFramesAreRejectedAndCounted) {
+  GenerationDecoder decoder(4, 8);
+  const std::vector<std::uint8_t> payload(8, 0);
+  // All-zero coefficient vectors can never raise the rank: rejected before
+  // any row operation, counted, never stored.
+  const std::vector<std::uint8_t> zeros(4, 0);
+  EXPECT_FALSE(decoder.addFrame(zeros, payload));
+  EXPECT_EQ(decoder.degenerateFrames(), 1u);
+  // Over-length rows are degenerate input from a malformed or hostile
+  // encoder, not a caller bug.
+  const std::vector<std::uint8_t> overLength(5, 1);
+  EXPECT_FALSE(decoder.addFrame(overLength, payload));
+  EXPECT_EQ(decoder.degenerateFrames(), 2u);
+  EXPECT_EQ(decoder.rank(), 0u);
+  EXPECT_EQ(decoder.rowOps(), 0u);
+  // A valid frame after the junk still works.
+  const std::vector<std::uint8_t> unit = {1, 0, 0, 0};
+  EXPECT_TRUE(decoder.addFrame(unit, payload));
+  EXPECT_EQ(decoder.degenerateFrames(), 2u);
+}
+
+TEST(GenerationDecoder, HonestFullRankIsNeverTainted) {
+  Rng rng(0xC0DE07u);
+  const std::uint32_t k = 5;
+  const auto pieces = randomPieces(rng, k, 12);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 12);
+  std::uint64_t seed = 1;
+  while (!decoder.complete()) {
+    const auto frame = encoder.frame(seed++, 0.6);
+    decoder.addFrame(frame.coefficients, frame.payload);
+  }
+  EXPECT_FALSE(decoder.tainted());
+  EXPECT_EQ(decoder.pollutedRows(), 0u);
+  EXPECT_TRUE(decoder.pollutedOrigins().empty());
+}
+
+TEST(GenerationDecoder, PollutedFramesTaintTheGeneration) {
+  Rng rng(0xC0DE08u);
+  const std::uint32_t k = 4;
+  const auto pieces = randomPieces(rng, k, 8);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 8);
+  // One polluted frame from attacker 7, then honest frames to full rank.
+  const auto bad = encoder.frame(100, 1.0);
+  std::vector<std::uint8_t> junk(8, 0xAB);
+  ASSERT_TRUE(decoder.addFrame(bad.coefficients, junk, true, 7));
+  EXPECT_TRUE(decoder.tainted());
+  EXPECT_EQ(decoder.pollutedRows(), 1u);
+  std::uint64_t seed = 1;
+  while (!decoder.complete()) {
+    const auto frame = encoder.frame(seed++, 0.7);
+    decoder.addFrame(frame.coefficients, frame.payload);
+  }
+  // Full rank does not launder the poison: the generation stays tainted
+  // and blame points at the polluting origin.
+  EXPECT_TRUE(decoder.tainted());
+  EXPECT_EQ(decoder.pollutedRows(), 1u);
+  EXPECT_EQ(decoder.pollutedOrigins(), std::vector<std::uint32_t>{7u});
+}
+
+TEST(GenerationDecoder, PollutedOriginsAreSortedUniqueAndSkipNoOrigin) {
+  Rng rng(0xC0DE09u);
+  const std::uint32_t k = 6;
+  const auto pieces = randomPieces(rng, k, 8);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 8);
+  const std::vector<std::uint8_t> junk(8, 0xEE);
+  std::uint64_t seed = 50;
+  auto addPolluted = [&](std::uint32_t origin) {
+    for (;;) {
+      const auto frame = encoder.frame(seed++, 1.0);
+      if (decoder.addFrame(frame.coefficients, junk, true, origin)) return;
+    }
+  };
+  addPolluted(9);
+  addPolluted(3);
+  addPolluted(9);  // duplicate attacker
+  // A relayed recode of tainted rows arrives polluted without a known
+  // attacker: counted as a polluted row, excluded from blame.
+  addPolluted(GenerationDecoder::kNoOrigin);
+  EXPECT_EQ(decoder.pollutedRows(), 4u);
+  EXPECT_EQ(decoder.pollutedOrigins(), (std::vector<std::uint32_t>{3u, 9u}));
+}
+
+TEST(GenerationDecoder, RecodeReportsTaintedMixes) {
+  Rng rng(0xC0DE0Au);
+  const std::uint32_t k = 4;
+  const auto pieces = randomPieces(rng, k, 8);
+  CodedEncoder encoder(pieces);
+
+  GenerationDecoder honest(k, 8);
+  honest.addFrame(encoder.frame(1, 0.8).coefficients,
+                  encoder.frame(1, 0.8).payload);
+  std::vector<std::uint8_t> payload;
+  bool tainted = true;
+  (void)honest.recodeCoefficients(11, 1.0, &payload, &tainted);
+  EXPECT_FALSE(tainted);
+
+  GenerationDecoder poisoned(k, 8);
+  const auto bad = encoder.frame(2, 1.0);
+  const std::vector<std::uint8_t> junk(8, 0x5A);
+  ASSERT_TRUE(poisoned.addFrame(bad.coefficients, junk, true, 4));
+  tainted = false;
+  // A dense recode over a poisoned row space must flag the output frame.
+  (void)poisoned.recodeCoefficients(12, 1.0, &payload, &tainted);
+  EXPECT_TRUE(tainted);
+}
+
+TEST(GenerationDecoder, SaveLoadPreservesTaintAndDegenerateCounts) {
+  Rng rng(0xC0DE0Bu);
+  const std::uint32_t k = 4;
+  const auto pieces = randomPieces(rng, k, 8);
+  CodedEncoder encoder(pieces);
+  GenerationDecoder decoder(k, 8);
+  const std::vector<std::uint8_t> junk(8, 0x11);
+  const auto bad = encoder.frame(5, 1.0);
+  ASSERT_TRUE(decoder.addFrame(bad.coefficients, junk, true, 2));
+  const std::vector<std::uint8_t> zeros(4, 0);
+  EXPECT_FALSE(decoder.addFrame(zeros, junk));
+
+  Serializer out;
+  decoder.saveState(out);
+  GenerationDecoder restored(k, 8);
+  Deserializer in(out.bytes());
+  restored.loadState(in);
+  EXPECT_EQ(restored.tainted(), decoder.tainted());
+  EXPECT_EQ(restored.pollutedRows(), decoder.pollutedRows());
+  EXPECT_EQ(restored.pollutedOrigins(), decoder.pollutedOrigins());
+  EXPECT_EQ(restored.degenerateFrames(), decoder.degenerateFrames());
+}
+
 TEST(GenerationDecoder, DecodedBytesHashMatchSource) {
   // The chaos-arm invariant at codec level: whatever subset of frames
   // survives, the decoded generation hashes to the source digest.

@@ -161,6 +161,46 @@ TEST(EngineParamsValidate, RejectsBadTruncationKeepBounds) {
   EXPECT_TRUE(singleErrorMentioning(params, "truncationKeep"));
 }
 
+TEST(EngineParamsValidate, RejectsBadCodedKnobs) {
+  auto params = validParams();
+  params.coded.redundancy = 5.0;
+  EXPECT_TRUE(singleErrorMentioning(params, "coded.redundancy"));
+  params = validParams();
+  params.coded.redundancy = -0.5;
+  EXPECT_TRUE(singleErrorMentioning(params, "coded.redundancy"));
+  params = validParams();
+  params.coded.sparsity = 0.0;
+  EXPECT_TRUE(singleErrorMentioning(params, "coded.sparsity"));
+  params = validParams();
+  params.coded.sparsity = 1.5;
+  EXPECT_TRUE(singleErrorMentioning(params, "coded.sparsity"));
+}
+
+TEST(EngineParamsValidate, RejectsBadAdversaryKnobs) {
+  auto params = validParams();
+  params.adversary.byzantineFraction = 1.1;
+  EXPECT_TRUE(singleErrorMentioning(params, "adversary.byzantineFraction"));
+  params = validParams();
+  params.adversary.byzantineFraction = -0.2;
+  EXPECT_TRUE(singleErrorMentioning(params, "adversary.byzantineFraction"));
+  params = validParams();
+  params.adversary.attacks = 1u << 9;
+  EXPECT_TRUE(singleErrorMentioning(params, "adversary.attacks"));
+}
+
+TEST(EngineParamsValidate, RejectsBadReputationKnobs) {
+  auto params = validParams();
+  params.reputation.quarantineThreshold = 0.0;
+  EXPECT_TRUE(
+      singleErrorMentioning(params, "reputation.quarantineThreshold"));
+  params = validParams();
+  params.reputation.ackAnomalyWeight = -0.1;
+  EXPECT_TRUE(singleErrorMentioning(params, "reputation.ackAnomalyWeight"));
+  params = validParams();
+  params.reputation.decayPerDay = -1.0;
+  EXPECT_TRUE(singleErrorMentioning(params, "reputation.decayPerDay"));
+}
+
 TEST(EngineParamsValidate, CollectsEveryViolationAtOnce) {
   auto params = validParams();
   params.internetAccessFraction = 7.0;

@@ -13,6 +13,7 @@
 
 #include "src/core/checkpoint.hpp"
 #include "src/core/download_planner.hpp"
+#include "src/faults/adversary.hpp"
 
 namespace hdtn::core {
 namespace {
@@ -44,6 +45,39 @@ TEST(ScenarioApply, CodedKnobsReachEngineParams) {
   EXPECT_EQ(s.params.coded.redundancy, 1.25);
   EXPECT_EQ(s.params.coded.sparsity, 0.4);
   EXPECT_NE(s.apply("coded-redundancy", "up"), "");
+}
+
+TEST(ScenarioApply, AdversaryKnobsReachEngineParams) {
+  Scenario s;
+  EXPECT_EQ(s.apply("adversary-fraction", "0.2"), "");
+  EXPECT_EQ(s.apply("adversary-attacks", "pollution,ack-spoof"), "");
+  EXPECT_EQ(s.apply("defense", ""), "");  // bare switch
+  EXPECT_EQ(s.apply("quarantine-threshold", "2.5"), "");
+  EXPECT_EQ(s.params.adversary.byzantineFraction, 0.2);
+  EXPECT_EQ(s.params.adversary.attacks,
+            static_cast<std::uint32_t>(faults::AttackKind::kPollution) |
+                static_cast<std::uint32_t>(faults::AttackKind::kAckSpoof));
+  EXPECT_TRUE(s.params.reputation.defense);
+  EXPECT_EQ(s.params.reputation.quarantineThreshold, 2.5);
+  // Every alias the docs promise round-trips.
+  EXPECT_EQ(s.apply("adversary-attacks", "all"), "");
+  EXPECT_EQ(s.params.adversary.attacks, faults::kAllAttacks);
+  EXPECT_EQ(s.apply("adversary-attacks", "none"), "");
+  EXPECT_EQ(s.params.adversary.attacks, 0u);
+  EXPECT_EQ(s.apply("defense", "false"), "");
+  EXPECT_FALSE(s.params.reputation.defense);
+}
+
+TEST(ScenarioApply, AdversaryKnobsRejectBadValues) {
+  Scenario s;
+  EXPECT_NE(s.apply("adversary-fraction", "lots"), "");
+  const std::string maskError = s.apply("adversary-attacks", "rateless");
+  EXPECT_NE(maskError, "");
+  // The rejection names the offending token and the accepted vocabulary.
+  EXPECT_NE(maskError.find("rateless"), std::string::npos);
+  EXPECT_NE(maskError.find("pollution"), std::string::npos);
+  EXPECT_NE(s.apply("defense", "maybe"), "");
+  EXPECT_NE(s.apply("quarantine-threshold", "steep"), "");
 }
 
 TEST(ScenarioBuilder, DownloadModeMethodsWork) {
@@ -111,13 +145,16 @@ TEST(ScenarioApply, EveryKnownKeyIsAccepted) {
     Scenario s;
     const std::string numeric = s.apply(key, "1");
     const std::string text = s.apply(key, "mbt");
-    // scheduling and download-mode only take their registry names, which
-    // overlap with neither probe value.
+    // scheduling, download-mode, and adversary-attacks only take their
+    // registry/attack names, which overlap with neither probe value.
     EXPECT_TRUE(numeric.empty() || text.empty() || key == "scheduling" ||
-                key == "download-mode")
+                key == "download-mode" || key == "adversary-attacks")
         << "key '" << key << "' rejects both '1' and 'mbt'";
     if (key == "download-mode") {
       EXPECT_EQ(s.apply(key, "coop"), "");
+    }
+    if (key == "adversary-attacks") {
+      EXPECT_EQ(s.apply(key, "all"), "");
     }
   }
 }

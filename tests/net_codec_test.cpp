@@ -178,6 +178,16 @@ TEST(Codec, CodedPieceZeroGenerationReportsBadValue) {
   EXPECT_EQ(decoded.error, DecodeError::kBadValue);
 }
 
+TEST(Codec, CodedPieceAllZeroCoefficientsReportBadValue) {
+  // No honest encoder emits a zero vector (it can never raise rank); at
+  // the wire it is a degenerate/hostile frame, not a transport error.
+  CodedPieceMessage header = sampleCodedPiece();
+  header.coefficients.assign(header.coefficients.size(), 0x00);
+  const auto decoded = decodeCodedPiece(encodeCodedPiece(header, {}));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error, DecodeError::kBadValue);
+}
+
 TEST(Codec, CodedPieceHugeGenerationReportsBadValue) {
   CodedPieceMessage header = sampleCodedPiece();
   header.generationSize = kMaxGenerationSize + 1;

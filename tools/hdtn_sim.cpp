@@ -56,6 +56,11 @@ int usage() {
       {"recovery-repair=0", "recovery: anti-entropy requests per contact"},
       {"recovery-failover", "recovery: elect a new clique coordinator"},
       {"md-capacity=0", "metadata records per node (0 = unbounded)"},
+      {"adversary-fraction=0.0", "Byzantine fraction (docs/ADVERSARY.md)"},
+      {"adversary-attacks=all",
+       "attack mask: pollution,piece-lie,false-summary,ack-spoof,coordinator"},
+      {"defense", "enable verification + quarantine defenses"},
+      {"quarantine-threshold=3.0", "suspicion level that quarantines a node"},
       {"shards=0", "run sharded: component scheduling groups (0 = classic)"},
       {"threads=1", "sharded: worker threads (0 = hardware concurrency)"},
       {"csv", "one CSV row instead of the report"},
@@ -254,6 +259,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(totals.repairRequests),
                 static_cast<unsigned long long>(totals.coordinatorFailovers),
                 static_cast<unsigned long long>(totals.metadataEvictions));
+  }
+  if (totals.adversaryAttacks != 0 || totals.nodesQuarantined != 0) {
+    std::printf("adversary: %llu attacks (%llu polluted, %llu lies, "
+                "%llu forged summaries, %llu spoofed acks, %llu suppressed), "
+                "%llu rollbacks, %llu quarantined (%llu released)\n",
+                static_cast<unsigned long long>(totals.adversaryAttacks),
+                static_cast<unsigned long long>(totals.pollutionInjected),
+                static_cast<unsigned long long>(totals.piecesLied),
+                static_cast<unsigned long long>(totals.summariesForged),
+                static_cast<unsigned long long>(totals.acksSpoofed),
+                static_cast<unsigned long long>(totals.broadcastsSuppressed),
+                static_cast<unsigned long long>(totals.generationsRolledBack),
+                static_cast<unsigned long long>(totals.nodesQuarantined),
+                static_cast<unsigned long long>(totals.nodesReleased));
   }
   return 0;
 }
