@@ -152,6 +152,9 @@ bool runSupervised(const bench::CommonArgs& common, const char* selfPath,
   options.maxAttempts = common.maxAttempts;
   bench::SweepJournal journal(options.journalPath);
   journal.load();
+  for (const std::string& issue : journal.issues()) {
+    std::cerr << "journal replay: " << issue << "\n";
+  }
   std::cout << "supervised sweep: journal " << journal.path() << " ("
             << journal.size() << " point(s) already done), timeout "
             << options.pointTimeoutSeconds << " s, " << options.maxAttempts

@@ -109,6 +109,9 @@ bool runSupervised(const FigureSpec& spec, const CommonArgs& common,
   options.maxAttempts = common.maxAttempts;
   SweepJournal journal(options.journalPath);
   journal.load();
+  for (const std::string& issue : journal.issues()) {
+    std::cerr << "journal replay: " << issue << "\n";
+  }
   std::cout << "supervised sweep: journal " << journal.path() << " ("
             << journal.size() << " point(s) already done), timeout "
             << options.pointTimeoutSeconds << " s, " << options.maxAttempts

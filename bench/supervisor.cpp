@@ -1,21 +1,15 @@
 #include "bench/supervisor.hpp"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "src/core/checkpoint.hpp"
+#include "src/service/exec.hpp"
 #include "src/util/serialize.hpp"
 
 namespace hdtn::bench {
@@ -27,113 +21,110 @@ void sleepSeconds(double seconds) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+/// Parses one journal line into (key, values). Returns false with *why set
+/// when the line is not a well-formed entry.
+bool parseJournalLine(const std::string& line, std::string* key,
+                      std::vector<double>* values, std::string* why) {
+  // {"point":"KEY","values":[v1,v2]} — parsed structurally, not with a
+  // JSON library.
+  const std::string pointTag = "\"point\":\"";
+  const std::string valuesTag = "\"values\":[";
+  const std::size_t p = line.find(pointTag);
+  const std::size_t v = line.find(valuesTag);
+  if (p == std::string::npos || v == std::string::npos) {
+    *why = "missing point/values fields";
+    return false;
+  }
+  const std::size_t keyStart = p + pointTag.size();
+  const std::size_t keyEnd = line.find('"', keyStart);
+  if (keyEnd == std::string::npos) {
+    *why = "unterminated point key";
+    return false;
+  }
+  const std::size_t valuesStart = v + valuesTag.size();
+  const std::size_t valuesEnd = line.find(']', valuesStart);
+  if (valuesEnd == std::string::npos) {
+    *why = "unterminated values array";
+    return false;
+  }
+  std::vector<double> parsed;
+  std::stringstream nums(line.substr(valuesStart, valuesEnd - valuesStart));
+  std::string item;
+  while (std::getline(nums, item, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) {
+      *why = "unparseable value '" + item + "'";
+      return false;
+    }
+    parsed.push_back(value);
+  }
+  if (parsed.empty()) {
+    *why = "empty values array";
+    return false;
+  }
+  *key = line.substr(keyStart, keyEnd - keyStart);
+  *values = std::move(parsed);
+  return true;
+}
+
 }  // namespace
 
 SubprocessResult runSubprocess(const std::vector<std::string>& argv,
                                double timeoutSeconds) {
+  const service::ChildOutcome run = service::runChild(argv, timeoutSeconds);
   SubprocessResult result;
-  int pipeFds[2];
-  if (pipe(pipeFds) != 0) return result;
-
-  std::vector<char*> args;
-  args.reserve(argv.size() + 1);
-  for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
-  args.push_back(nullptr);
-
-  const pid_t pid = fork();
-  if (pid < 0) {
-    close(pipeFds[0]);
-    close(pipeFds[1]);
-    return result;
-  }
-  if (pid == 0) {
-    // Child: stdout → pipe, then exec. _exit(127) on exec failure keeps the
-    // failure visible as a distinct exit code.
-    close(pipeFds[0]);
-    dup2(pipeFds[1], STDOUT_FILENO);
-    close(pipeFds[1]);
-    execvp(args[0], args.data());
-    _exit(127);
-  }
-  close(pipeFds[1]);
-  // Non-blocking reads so the poll loop can watch the clock while draining
-  // the pipe (a child that fills the pipe buffer would otherwise deadlock
-  // against a parent that only reads after waitpid).
-  fcntl(pipeFds[0], F_SETFL, O_NONBLOCK);
-
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeoutSeconds);
-  char buf[4096];
-  int status = 0;
-  bool exited = false;
-  while (!exited) {
-    ssize_t n;
-    while ((n = read(pipeFds[0], buf, sizeof(buf))) > 0) {
-      result.output.append(buf, static_cast<std::size_t>(n));
-    }
-    const pid_t waited = waitpid(pid, &status, WNOHANG);
-    if (waited == pid) {
-      exited = true;
+  result.output = run.output;
+  switch (run.cause) {
+    case service::ExitCause::kCleanExit:
+      result.exitCode = run.exitCode;
       break;
-    }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    case service::ExitCause::kSignaled:
+      result.signaled = true;
+      break;
+    case service::ExitCause::kTimedOut:
+      // The deadline kill is a SIGKILL, so a timed-out child is also a
+      // signaled one — callers historically check either flag.
       result.timedOut = true;
-      kill(pid, SIGKILL);
-      waitpid(pid, &status, 0);
-      exited = true;
+      result.signaled = true;
       break;
-    }
-    sleepSeconds(0.01);
-  }
-  // Drain whatever the child managed to write before it stopped.
-  ssize_t n;
-  while ((n = read(pipeFds[0], buf, sizeof(buf))) > 0) {
-    result.output.append(buf, static_cast<std::size_t>(n));
-  }
-  close(pipeFds[0]);
-  if (WIFEXITED(status)) {
-    result.exitCode = WEXITSTATUS(status);
-  } else if (WIFSIGNALED(status)) {
-    result.signaled = true;
   }
   return result;
 }
 
 void SweepJournal::load() {
   done_.clear();
-  std::ifstream in(path_);
+  issues_.clear();
+  std::ifstream in(path_, std::ios::binary);
   if (!in) return;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const bool endsWithNewline =
+      !contents.empty() && contents.back() == '\n';
+  std::istringstream lines(contents);
   std::string line;
-  while (std::getline(in, line)) {
-    // {"point":"KEY","values":[v1,v2]} — parsed structurally, not with a
-    // JSON library; malformed (half-written) lines are skipped.
-    const std::string pointTag = "\"point\":\"";
-    const std::string valuesTag = "\"values\":[";
-    const std::size_t p = line.find(pointTag);
-    const std::size_t v = line.find(valuesTag);
-    if (p == std::string::npos || v == std::string::npos) continue;
-    const std::size_t keyStart = p + pointTag.size();
-    const std::size_t keyEnd = line.find('"', keyStart);
-    if (keyEnd == std::string::npos) continue;
-    const std::size_t valuesStart = v + valuesTag.size();
-    const std::size_t valuesEnd = line.find(']', valuesStart);
-    if (valuesEnd == std::string::npos) continue;
+  int lineNumber = 0;
+  while (std::getline(lines, line)) {
+    ++lineNumber;
+    if (line.empty()) continue;
+    std::string key;
     std::vector<double> values;
-    std::stringstream nums(
-        line.substr(valuesStart, valuesEnd - valuesStart));
-    std::string item;
-    bool ok = true;
-    while (std::getline(nums, item, ',')) {
-      char* end = nullptr;
-      const double value = std::strtod(item.c_str(), &end);
-      if (end == item.c_str()) {
-        ok = false;
-        break;
-      }
-      values.push_back(value);
+    std::string why;
+    if (parseJournalLine(line, &key, &values, &why)) {
+      done_[key] = std::move(values);
+      continue;
     }
-    if (!ok || values.empty()) continue;
-    done_[line.substr(keyStart, keyEnd - keyStart)] = std::move(values);
+    const bool lastLine = lines.peek() == EOF;
+    if (lastLine && !endsWithNewline) {
+      // A crash mid-append leaves exactly one torn line, always at the
+      // tail: drop it, the point simply re-runs.
+      issues_.push_back("dropped truncated final line " +
+                        std::to_string(lineNumber) +
+                        " (crash mid-append): " + why);
+    } else {
+      issues_.push_back("line " + std::to_string(lineNumber) +
+                        ": malformed entry (" + why + ")");
+    }
   }
 }
 
@@ -192,35 +183,42 @@ std::optional<std::vector<double>> superviseOnePoint(
   if (const std::vector<double>* recorded = journal.values(key)) {
     return *recorded;
   }
+  service::RetryPolicy policy;
+  policy.maxAttempts = options.maxAttempts;
+  policy.backoffBaseSeconds = options.backoffBaseSeconds;
   std::string lastFailure = "never attempted";
   for (int attempt = 1; attempt <= options.maxAttempts; ++attempt) {
-    if (attempt > 1) {
-      sleepSeconds(options.backoffBaseSeconds *
-                   static_cast<double>(1 << (attempt - 2)));
-    }
+    if (attempt > 1) sleepSeconds(service::backoffSeconds(policy, attempt));
     if (attempt == options.maxAttempts && !checkpointPath.empty()) {
       // Last chance: if the checkpoint itself is what keeps killing the
       // child, a cold start is better than burning the final attempt on it.
       std::error_code ec;
       std::filesystem::remove(checkpointPath, ec);
     }
-    const SubprocessResult run =
-        runSubprocess(childArgv, options.pointTimeoutSeconds);
+    const service::ChildOutcome run =
+        service::runChild(childArgv, options.pointTimeoutSeconds);
+    const service::RetryDecision decision =
+        service::classifyOutcome(run, policy);
     std::vector<double> values;
-    if (run.exitCode == 0 && parseResultLine(run.output, key, &values)) {
+    if (decision == service::RetryDecision::kSuccess &&
+        parseResultLine(run.output, key, &values)) {
       journal.record(key, values);
       return values;
     }
-    if (run.timedOut) {
-      lastFailure = "timed out after " +
-                    std::to_string(options.pointTimeoutSeconds) + " s";
-    } else if (run.signaled) {
-      lastFailure = "killed by a signal";
-    } else if (run.exitCode != 0) {
-      lastFailure = "exit code " + std::to_string(run.exitCode);
-    } else {
-      lastFailure = "no RESULT line in output";
+    const std::string what =
+        service::describeOutcome(run, options.pointTimeoutSeconds);
+    if (decision == service::RetryDecision::kFailFast) {
+      // Deterministic validation failure: re-running the same command
+      // cannot change the answer, so don't burn the remaining attempts.
+      if (error != nullptr) {
+        *error = "point " + key + ": validation failure (" + what +
+                 "); not retried";
+      }
+      return std::nullopt;
     }
+    lastFailure = decision == service::RetryDecision::kSuccess
+                      ? "no RESULT line in output"
+                      : what;
   }
   if (error != nullptr) {
     *error = "point " + key + " failed after " +

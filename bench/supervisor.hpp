@@ -35,7 +35,9 @@ struct SupervisorOptions {
   double backoffBaseSeconds = 0.5;
 };
 
-/// What one child attempt did.
+/// What one child attempt did. Thin compatibility facade over
+/// service::ChildOutcome — the supervisor and the sweep service share one
+/// execution core (src/service/exec.hpp).
 struct SubprocessResult {
   /// Process exit code; -1 when the child died to a signal or the timeout.
   int exitCode = -1;
@@ -47,7 +49,7 @@ struct SubprocessResult {
 };
 
 /// Runs `argv` as a child process, captures its stdout, and SIGKILLs it
-/// when it outlives `timeoutSeconds`.
+/// when it outlives `timeoutSeconds`. Delegates to service::runChild.
 [[nodiscard]] SubprocessResult runSubprocess(
     const std::vector<std::string>& argv, double timeoutSeconds);
 
@@ -59,7 +61,9 @@ class SweepJournal {
   explicit SweepJournal(std::string path) : path_(std::move(path)) {}
 
   /// Reads every well-formed line of the journal file; a missing file is an
-  /// empty journal.
+  /// empty journal. Replay problems land in issues(): a torn final line
+  /// (crash mid-append) is dropped with a warning, and malformed interior
+  /// entries are reported with their line numbers — neither stops replay.
   void load();
   [[nodiscard]] bool contains(const std::string& key) const {
     return done_.count(key) != 0;
@@ -71,10 +75,15 @@ class SweepJournal {
   void record(const std::string& key, const std::vector<double>& values);
   [[nodiscard]] std::size_t size() const { return done_.size(); }
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// Human-readable replay problems from the last load().
+  [[nodiscard]] const std::vector<std::string>& issues() const {
+    return issues_;
+  }
 
  private:
   std::string path_;
   std::map<std::string, std::vector<double>> done_;
+  std::vector<std::string> issues_;
 };
 
 /// "RESULT KEY v1 v2 ...\n" — the line a --point child prints on success;
@@ -92,11 +101,15 @@ class SweepJournal {
 /// Supervises one sweep point end to end: journal hit → return recorded
 /// values without running anything; otherwise attempt `childArgv` up to
 /// options.maxAttempts times under the timeout, sleeping with exponential
-/// backoff between attempts. Before the final attempt the point's
-/// checkpoint file is deleted, so a checkpoint the child itself cannot load
-/// (or that keeps crashing it) cannot wedge the point forever. On success
-/// the values are journaled. Returns nullopt (with *error set) when the
-/// attempt budget is exhausted.
+/// backoff between attempts. Exit causes are classified the same way the
+/// sweep service classifies them (service::classifyOutcome): crashes and
+/// timeouts retry — resuming from the point's checkpoint — while clean
+/// validation failures (exit 2, exec failure 127) are deterministic and
+/// fail fast without burning the retry budget. Before the final attempt
+/// the point's checkpoint file is deleted, so a checkpoint the child
+/// itself cannot load (or that keeps crashing it) cannot wedge the point
+/// forever. On success the values are journaled. Returns nullopt (with
+/// *error set) on fail-fast or when the attempt budget is exhausted.
 [[nodiscard]] std::optional<std::vector<double>> superviseOnePoint(
     const SupervisorOptions& options, SweepJournal& journal,
     const std::string& key, const std::vector<std::string>& childArgv,

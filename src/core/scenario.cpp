@@ -594,6 +594,21 @@ Scenario ScenarioBuilder::build() const {
 
 namespace {
 
+/// Cooperative preemption flag (setScenarioStopFlag). Checked only at
+/// sample/checkpoint boundaries of checkpointing runs, so the cost on the
+/// simulation hot path is zero.
+const volatile std::sig_atomic_t* g_stopFlag = nullptr;
+
+bool stopRequested() { return g_stopFlag != nullptr && *g_stopFlag != 0; }
+
+}  // namespace
+
+void setScenarioStopFlag(const volatile std::sig_atomic_t* flag) {
+  g_stopFlag = flag;
+}
+
+namespace {
+
 /// The driver state a checkpointing run stores in the checkpoint's extra
 /// blob: how far each output file had gotten (byte offsets, so a resume can
 /// truncate a partially written tail and append byte-identically) and the
@@ -789,8 +804,14 @@ std::optional<ScenarioOutcome> runCheckpointed(
                                      {boundary, engine.currentResult()});
         cursor.nextSample += scenario.sampleEvery;
       }
-      if (boundary == cursor.nextCheckpoint) {
-        cursor.nextCheckpoint += scenario.checkpointEvery;
+      // A preemption request checkpoints at whatever boundary comes next
+      // (sample or checkpoint), so the stop latency is bounded by the
+      // tighter of the two cadences.
+      const bool preempt = stopRequested();
+      if (boundary == cursor.nextCheckpoint || preempt) {
+        if (boundary == cursor.nextCheckpoint) {
+          cursor.nextCheckpoint += scenario.checkpointEvery;
+        }
         // The on-disk bytes must match the offsets the checkpoint records,
         // so flush (and verify) both outputs before writing it.
         if (sink) sink->finish();
@@ -809,6 +830,14 @@ std::optional<ScenarioOutcome> runCheckpointed(
         at.timeseriesOffset =
             wantTimeseries ? static_cast<std::uint64_t>(tsFile.tellp()) : 0;
         engine.saveCheckpoint(scenario.checkpointOut, packCursor(at));
+      }
+      if (preempt) {
+        outcome.preempted = true;
+        outcome.result = engine.currentResult();
+        if (sink) {
+          outcome.eventsWritten = eventsWrittenBefore + sink->eventsWritten();
+        }
+        return outcome;
       }
     }
     outcome.result = engine.finish();

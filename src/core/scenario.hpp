@@ -23,6 +23,7 @@
 // Unknown keys and malformed values are reported with line numbers.
 #pragma once
 
+#include <csignal>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -178,7 +179,20 @@ struct ScenarioOutcome {
   std::uint64_t eventsWritten = 0;
   /// True when the run restored from scenario.checkpointOut.
   bool resumed = false;
+  /// True when the run stopped early on a preemption request (see
+  /// setScenarioStopFlag): a checkpoint was saved and `result` is the
+  /// partial state at the stop boundary, not a finished run.
+  bool preempted = false;
 };
+
+/// Registers a cooperative stop flag for checkpointing runs (nullptr to
+/// clear). When the flag becomes nonzero, runScenario saves a checkpoint at
+/// the next sample/checkpoint boundary and returns with preempted == true —
+/// a later resume=true run finishes byte-identically. The flag type is
+/// sig_atomic_t so a SIGTERM handler can set it directly; this is how
+/// `hdtn_sim --serve` preempts workers for higher-priority jobs
+/// (docs/SERVICE.md). Runs without checkpoint-out ignore the flag.
+void setScenarioStopFlag(const volatile std::sig_atomic_t* flag);
 
 /// Runs the scenario over an already-built trace, honoring the scenario's
 /// event/time-series outputs. On failure (unwritable output path) returns

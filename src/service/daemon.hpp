@@ -1,0 +1,132 @@
+// The resident sweep service behind `hdtn_sim --serve` (docs/SERVICE.md).
+//
+// One long-lived, single-threaded daemon owns a durable WorkQueue and a
+// bounded pool of worker subprocesses. Scenario jobs arrive over a local
+// Unix socket as newline-delimited JSON (submit/status/cancel/drain/
+// shutdown — hdtn_sweepctl is the CLI client); each accepted job is
+// persisted to the write-ahead queue before it is acknowledged, executed
+// as `<workerExe> --scenario=<job dir>/scenario.txt --csv` under a
+// wall-clock timeout, and retried with exponential backoff and
+// resume-from-checkpoint on crashes and timeouts. A strictly
+// higher-priority submission preempts the lowest-priority running job:
+// SIGTERM asks the worker to checkpoint and exit kPreemptedExitCode, and
+// SIGKILL lands after a grace period — either way the job resumes later
+// from its checkpoint, byte-identical to an undisturbed run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/exec.hpp"
+#include "src/service/queue.hpp"
+
+namespace hdtn::service {
+
+struct DaemonConfig {
+  /// Unix-domain socket the daemon listens on. A stale socket file from a
+  /// killed daemon is replaced at start.
+  std::string socketPath;
+  /// Holds the durable queue (queue.wal / queue.snapshot), per-job
+  /// directories (jobs/<id>/), and the periodically rewritten status.json.
+  std::string stateDir;
+  /// Worker binary (hdtn_sim); `--serve` points this at its own
+  /// executable.
+  std::string workerExe;
+  /// Worker subprocess slots.
+  std::size_t workers = 2;
+  /// Backpressure + WAL rotation bounds.
+  QueueLimits queueLimits;
+  /// Wall-clock budget per attempt; the watchdog SIGKILLs past it.
+  double jobTimeoutSeconds = 600.0;
+  /// Attempts/backoff/fail-fast classification (shared with --supervise).
+  RetryPolicy retry;
+  /// Seconds between the preemption SIGTERM and the SIGKILL escalation.
+  double graceSeconds = 5.0;
+  /// checkpoint-every injected into every job, simulation seconds.
+  std::int64_t checkpointEverySimSeconds = 21600;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Opens the queue (replaying the WAL), binds the socket, and starts
+  /// listening. Replay warnings are reported to stderr; only an unusable
+  /// state dir or socket fails.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Serves until shutdown is requested (command or requestShutdown()),
+  /// then stops workers via checkpoint preemption and persists the queue.
+  void runLoop();
+
+  /// One poll/schedule iteration, waiting at most `waitSeconds` for socket
+  /// activity. Returns false once the daemon has fully shut down.
+  [[nodiscard]] bool step(double waitSeconds);
+
+  /// Thread/signal-safe shutdown request; the loop notices on its next
+  /// iteration.
+  void requestShutdown() { externalShutdown_.store(true); }
+
+  /// The queue, for post-shutdown inspection in tests.
+  [[nodiscard]] const WorkQueue* queue() const { return queue_.get(); }
+
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+
+  /// Directory holding one job's scenario, outputs, and checkpoint.
+  [[nodiscard]] std::string jobDir(std::uint64_t id) const;
+
+ private:
+  struct WorkerSlot {
+    std::uint64_t jobId = 0;
+    std::unique_ptr<ChildProcess> child;
+    /// SIGTERM sent (preemption/cancel/shutdown); SIGKILL past the
+    /// deadline.
+    bool stopping = false;
+    /// True when the stop is a cancellation, not a preemption.
+    bool cancelling = false;
+    double stopDeadline = 0.0;
+  };
+
+  struct Client {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    bool closing = false;
+  };
+
+  [[nodiscard]] std::string handleCommand(const std::string& line);
+  [[nodiscard]] std::string statusJson() const;
+  void pollSockets(double waitSeconds);
+  void reapWorkers();
+  void watchdog();
+  void launchEligible();
+  void preemptForPriority();
+  void launch(JobRecord& job);
+  void stopWorker(WorkerSlot& slot, bool cancelling);
+  void writeStatusFile();
+  void finishShutdown();
+  [[nodiscard]] std::uint64_t jobOutputBytes(std::uint64_t id) const;
+  [[nodiscard]] std::int64_t jobProgressSimSeconds(std::uint64_t id) const;
+
+  DaemonConfig config_;
+  std::unique_ptr<WorkQueue> queue_;
+  int listenFd_ = -1;
+  std::vector<Client> clients_;
+  std::vector<WorkerSlot> workers_;
+  bool draining_ = false;
+  bool shuttingDown_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> externalShutdown_{false};
+  double nextStatusWrite_ = 0.0;
+  /// Output bytes of terminal jobs, accumulated at reap time; running
+  /// jobs are measured live in statusJson().
+  std::uint64_t terminalOutputBytes_ = 0;
+};
+
+}  // namespace hdtn::service

@@ -1,0 +1,245 @@
+// Shared plumbing for the sweep-service tests: a daemon-on-a-thread
+// harness, a tiny socket client, and scenario texts sized for tests.
+// The worker binary is the real hdtn_sim (HDTN_SIM_BINARY, injected by
+// tests/CMakeLists.txt).
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/daemon.hpp"
+#include "src/service/jsonio.hpp"
+
+namespace hdtn::service::testutil {
+
+namespace fs = std::filesystem;
+
+inline std::string uniqueTempDir(const std::string& tag) {
+  static int counter = 0;
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("hdtn_service_" + tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  fs::remove_all(path);
+  return path;
+}
+
+inline std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A scenario quick enough to finish in well under a second.
+inline std::string quickScenario(int seed) {
+  return "name = svc-quick\n"
+         "trace-family = nus\n"
+         "trace-students = 30\n"
+         "trace-courses = 6\n"
+         "trace-courses-per-student = 2\n"
+         "trace-days = 3\n"
+         "trace-seed = 7\n"
+         "protocol = mbt-qm\n"
+         "access = 0.3\n"
+         "files-per-day = 10\n"
+         "ttl-days = 2\n"
+         "seed = " + std::to_string(seed) + "\n";
+}
+
+/// A scenario slow enough (a few seconds) that tests can reliably observe
+/// it running and kill or preempt it mid-flight.
+inline std::string slowScenario(int seed) {
+  return "name = svc-slow\n"
+         "trace-family = nus\n"
+         "trace-students = 200\n"
+         "trace-courses = 40\n"
+         "trace-courses-per-student = 4\n"
+         "trace-days = 14\n"
+         "trace-seed = 7\n"
+         "protocol = mbt-qm\n"
+         "access = 0.3\n"
+         "files-per-day = 40\n"
+         "ttl-days = 3\n"
+         "pieces-per-file = 4\n"
+         "seed = " + std::to_string(seed) + "\n";
+}
+
+/// One request/response round trip against a daemon socket. Returns false
+/// on connection trouble (daemon mid-restart, for example).
+inline bool roundTrip(const std::string& socketPath,
+                      const std::string& request, std::string* reply) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return false;
+  }
+  const std::string line = request + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  reply->clear();
+  char buf[4096];
+  while (reply->find('\n') == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      close(fd);
+      return false;
+    }
+    reply->append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  reply->resize(reply->find('\n'));
+  return true;
+}
+
+/// Submits a scenario; returns the job id (0 on shed/reject, with the
+/// daemon's error in *error).
+inline std::uint64_t submitJob(const std::string& socketPath,
+                               const std::string& name, int priority,
+                               const std::string& scenarioText,
+                               std::string* error = nullptr) {
+  std::string reply;
+  const std::string request =
+      "{\"cmd\":\"submit\",\"name\":\"" + jsonEscape(name) +
+      "\",\"priority\":" + std::to_string(priority) + ",\"scenario\":\"" +
+      jsonEscape(scenarioText) + "\"}";
+  if (!roundTrip(socketPath, request, &reply)) {
+    if (error != nullptr) *error = "no daemon";
+    return 0;
+  }
+  FlatObject fields;
+  if (!parseFlatObject(reply, &fields, error)) return 0;
+  if (!getBool(fields, "ok")) {
+    if (error != nullptr) *error = getString(fields, "error");
+    return 0;
+  }
+  return static_cast<std::uint64_t>(getInt(fields, "id"));
+}
+
+/// The parsed per-job rows of a status reply.
+inline std::vector<FlatObject> statusJobs(const std::string& socketPath,
+                                          FlatObject* top = nullptr) {
+  std::string reply;
+  std::vector<FlatObject> jobs;
+  if (!roundTrip(socketPath, "{\"cmd\":\"status\"}", &reply)) return jobs;
+  if (top != nullptr) {
+    (void)parseFlatObject(stripArrayFields(reply), top, nullptr);
+  }
+  for (const std::string& text :
+       splitObjectArray(extractArrayBody(reply, "jobs"))) {
+    FlatObject job;
+    if (parseFlatObject(text, &job, nullptr)) jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+inline FlatObject statusJob(const std::string& socketPath,
+                            std::uint64_t id) {
+  for (FlatObject& job : statusJobs(socketPath)) {
+    if (static_cast<std::uint64_t>(getInt(job, "id")) == id) return job;
+  }
+  return {};
+}
+
+/// Runs a Daemon on its own thread; the test thread talks to it over the
+/// socket only (plus the signal-safe requestShutdown), so there is no
+/// shared mutable state.
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(DaemonConfig config) : config_(std::move(config)) {}
+  ~DaemonHarness() { stop(); }
+
+  /// Starts the daemon; empty string on success, the error otherwise.
+  std::string start() {
+    daemon_ = std::make_unique<Daemon>(config_);
+    std::string error;
+    if (!daemon_->start(&error)) {
+      daemon_.reset();
+      return error.empty() ? "daemon start failed" : error;
+    }
+    thread_ = std::thread([this] { daemon_->runLoop(); });
+    return "";
+  }
+
+  /// Graceful stop: running workers are preempted, the queue is compacted.
+  void stop() {
+    if (daemon_ == nullptr) return;
+    daemon_->requestShutdown();
+    if (thread_.joinable()) thread_.join();
+    daemon_.reset();
+  }
+
+  [[nodiscard]] const std::string& socketPath() const {
+    return config_.socketPath;
+  }
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+  [[nodiscard]] bool running() const { return daemon_ != nullptr; }
+
+  /// Waits until every job is terminal (status "pending" hits zero).
+  /// Returns false on timeout.
+  bool waitForDrain(double timeoutSeconds) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeoutSeconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      FlatObject top;
+      (void)statusJobs(config_.socketPath, &top);
+      if (!top.empty() && getInt(top, "pending", -1) == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+ private:
+  DaemonConfig config_;
+  std::unique_ptr<Daemon> daemon_;
+  std::thread thread_;
+};
+
+/// A test-sized daemon config rooted in a fresh state dir.
+inline DaemonConfig testConfig(const std::string& tag,
+                               std::size_t workers = 2) {
+  DaemonConfig config;
+  config.stateDir = uniqueTempDir(tag);
+  // Unix socket paths are capped at ~107 bytes; the state dir lives in
+  // /tmp, so this stays comfortably under.
+  config.socketPath = config.stateDir + "/daemon.sock";
+  config.workerExe = HDTN_SIM_BINARY;
+  config.workers = workers;
+  config.jobTimeoutSeconds = 90.0;
+  config.retry.maxAttempts = 4;
+  config.retry.backoffBaseSeconds = 0.05;
+  config.graceSeconds = 10.0;
+  // Frequent checkpoints so kills land between boundaries often.
+  config.checkpointEverySimSeconds = 3600;
+  return config;
+}
+
+}  // namespace hdtn::service::testutil

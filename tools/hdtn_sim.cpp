@@ -13,6 +13,16 @@
 // Prints the delivery report; --csv emits a single machine-readable row.
 // --events-out writes a JSONL event trace and --timeseries-out a sampled
 // delivery/totals CSV (see docs/OBSERVABILITY.md).
+//
+// `hdtn_sim --serve --state-dir=DIR` instead runs the resident sweep
+// service: a daemon that accepts scenario jobs over a Unix socket (see
+// hdtn_sweepctl and docs/SERVICE.md) and executes them in worker
+// subprocesses — which are this same binary, run with --scenario. A worker
+// that receives SIGTERM saves a checkpoint at the next boundary and exits
+// with code 75, so the service can preempt and later resume it.
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -20,6 +30,8 @@
 #include "src/core/download_planner.hpp"
 #include "src/core/scenario.hpp"
 #include "src/core/sharded_engine.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/exec.hpp"
 #include "src/trace/contact_trace.hpp"
 #include "src/util/args.hpp"
 
@@ -70,6 +82,17 @@ int usage() {
       {"checkpoint-out=PATH", "periodic checkpoint (docs/CHECKPOINT.md)"},
       {"checkpoint-every=21600", "checkpoint cadence, sim seconds"},
       {"resume", "restore from checkpoint-out if it exists"},
+      {"serve", "run the sweep service instead (docs/SERVICE.md)"},
+      {"state-dir=DIR", "serve: queue + job state directory (required)"},
+      {"socket=PATH", "serve: control socket (default DIR/daemon.sock)"},
+      {"workers=2", "serve: worker subprocess slots"},
+      {"max-queue=256", "serve: backpressure depth; submissions past it shed"},
+      {"job-timeout=600", "serve: wall-clock seconds per attempt"},
+      {"max-attempts=3", "serve: attempts per job"},
+      {"grace=5", "serve: seconds between SIGTERM and SIGKILL"},
+      {"wal-max-bytes=1048576", "serve: queue WAL size before compaction"},
+      {"job-checkpoint-every=21600",
+       "serve: checkpoint cadence injected into jobs, sim seconds"},
   };
   std::fputs(formatUsage("hdtn_sim --trace=PATH|--scenario=PATH [options]",
                          flags)
@@ -88,11 +111,82 @@ const char* protocolFlagName(core::ProtocolKind kind) {
   return "mbt";
 }
 
+// --- worker preemption ------------------------------------------------
+// The service stops a worker with SIGTERM; the handler sets this flag and
+// runScenario saves a checkpoint at the next boundary (scenario.cpp).
+volatile std::sig_atomic_t g_preemptRequested = 0;
+
+void onWorkerSigterm(int) { g_preemptRequested = 1; }
+
+// --- service mode -----------------------------------------------------
+service::Daemon* g_daemon = nullptr;
+
+void onDaemonSignal(int) {
+  if (g_daemon != nullptr) g_daemon->requestShutdown();
+}
+
+/// The worker binary the daemon launches is this very executable.
+std::string selfExecutable(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int runServe(ArgParser& args, const char* argv0) {
+  service::DaemonConfig config;
+  config.stateDir = args.getString("state-dir", "");
+  config.socketPath =
+      args.getString("socket", config.stateDir + "/daemon.sock");
+  config.workerExe = selfExecutable(argv0);
+  config.workers = static_cast<std::size_t>(args.getInt("workers", 2));
+  config.queueLimits.maxDepth =
+      static_cast<std::size_t>(args.getInt("max-queue", 256));
+  config.queueLimits.maxWalBytes =
+      static_cast<std::uint64_t>(args.getInt("wal-max-bytes", 1 << 20));
+  config.jobTimeoutSeconds = args.getDouble("job-timeout", 600.0);
+  config.retry.maxAttempts =
+      static_cast<int>(args.getInt("max-attempts", 3));
+  config.graceSeconds = args.getDouble("grace", 5.0);
+  config.checkpointEverySimSeconds =
+      args.getInt("job-checkpoint-every", 21600);
+  if (!args.ok("hdtn_sim")) return 2;
+  if (config.stateDir.empty()) {
+    std::fprintf(stderr, "error: --serve requires --state-dir=DIR\n");
+    return 2;
+  }
+  if (config.workers == 0) {
+    std::fprintf(stderr, "error: --workers must be at least 1\n");
+    return 2;
+  }
+
+  service::Daemon daemon(std::move(config));
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGTERM, onDaemonSignal);
+  std::signal(SIGINT, onDaemonSignal);
+  std::fprintf(stderr, "serving on %s (state in %s, %zu workers)\n",
+               daemon.config().socketPath.c_str(),
+               daemon.config().stateDir.c_str(), daemon.config().workers);
+  daemon.runLoop();
+  g_daemon = nullptr;
+  std::fprintf(stderr, "service stopped; queue persisted\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   if (args.helpRequested()) return usage();
+  if (args.getBool("serve", false)) return runServe(args, argv[0]);
 
   core::Scenario scenario;
   const std::string scenarioPath = args.getString("scenario", "");
@@ -136,8 +230,11 @@ int main(int argc, char** argv) {
   std::string error;
   const auto trace = scenario.trace.build(&error);
   if (!trace) {
+    // A trace that cannot be built (missing file, bad generator knobs) is a
+    // deterministic input error, not a transient one: exit 2 like the other
+    // validation failures so a supervisor fails fast instead of retrying.
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    return 2;
   }
 
   core::EngineResult result;
@@ -167,10 +264,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   } else {
+    if (!scenario.checkpointOut.empty()) {
+      // Cooperative preemption for checkpointing runs: SIGTERM asks the
+      // engine to save state at the next boundary and stop.
+      core::setScenarioStopFlag(&g_preemptRequested);
+      std::signal(SIGTERM, onWorkerSigterm);
+    }
     const auto outcome = core::runScenario(scenario, *trace, &error);
     if (!outcome) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
+    }
+    if (outcome->preempted) {
+      std::fprintf(stderr, "preempted: checkpoint saved to %s\n",
+                   scenario.checkpointOut.c_str());
+      return service::kPreemptedExitCode;
     }
     result = outcome->result;
     if (outcome->resumed) {

@@ -1,0 +1,300 @@
+// hdtn_sweepctl — control client for the resident sweep service
+// (`hdtn_sim --serve`; docs/SERVICE.md).
+//
+//   hdtn_sweepctl --socket=/run/hdtn.sock submit --name=p30
+//       --priority=1 --scenario=examples/nus_paper.scenario
+//   hdtn_sweepctl --socket=/run/hdtn.sock status
+//   hdtn_sweepctl --socket=/run/hdtn.sock cancel --id=7
+//   hdtn_sweepctl --socket=/run/hdtn.sock wait --timeout=600
+//   hdtn_sweepctl --socket=/run/hdtn.sock drain|shutdown|ping
+//
+// Speaks the daemon's newline-delimited JSON protocol over the Unix
+// socket. Exit code 0 on success, 1 on a daemon-reported error or
+// connection failure, 2 on usage errors.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/exec.hpp"
+#include "src/service/jsonio.hpp"
+#include "src/util/args.hpp"
+
+using namespace hdtn;
+using namespace hdtn::service;
+
+namespace {
+
+int usage() {
+  const std::vector<FlagHelp> flags = {
+      {"socket=PATH", "daemon socket (required)"},
+      {"name=LABEL", "submit: job label (default scenario file name)"},
+      {"priority=N", "submit: higher preempts lower (default 0)"},
+      {"scenario=PATH", "submit: scenario file to run ('-' = stdin)"},
+      {"id=N", "cancel: job id"},
+      {"timeout=SECONDS", "wait: give up after this long (default 600)"},
+      {"json", "status: print the raw JSON reply"},
+  };
+  std::fputs(
+      formatUsage(
+          "hdtn_sweepctl --socket=PATH "
+          "submit|status|cancel|wait|drain|shutdown|ping [options]",
+          flags)
+          .c_str(),
+      stderr);
+  return 2;
+}
+
+/// One request/response round trip; the daemon replies with exactly one
+/// line per command.
+bool roundTrip(const std::string& socketPath, const std::string& request,
+               std::string* reply, std::string* error) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket() failed";
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + socketPath;
+    close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot connect to " + socketPath + ": " + std::strerror(errno);
+    close(fd);
+    return false;
+  }
+  const std::string line = request + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      *error = "send failed";
+      close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  reply->clear();
+  char buf[4096];
+  while (reply->find('\n') == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      *error = "daemon closed the connection mid-reply";
+      close(fd);
+      return false;
+    }
+    reply->append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  reply->resize(reply->find('\n'));
+  return true;
+}
+
+/// Checks a reply's "ok" field; prints the daemon's error when false.
+bool replyOk(const std::string& reply) {
+  FlatObject fields;
+  std::string why;
+  if (!parseFlatObject(stripArrayFields(reply), &fields, &why)) {
+    std::fprintf(stderr, "hdtn_sweepctl: unparseable reply: %s\n",
+                 why.c_str());
+    return false;
+  }
+  if (!getBool(fields, "ok")) {
+    std::fprintf(stderr, "hdtn_sweepctl: %s\n",
+                 getString(fields, "error").c_str());
+    return false;
+  }
+  return true;
+}
+
+void printStatus(const std::string& reply) {
+  FlatObject top;
+  std::string why;
+  if (!parseFlatObject(stripArrayFields(reply), &top, &why)) {
+    std::fprintf(stderr, "hdtn_sweepctl: unparseable status: %s\n",
+                 why.c_str());
+    return;
+  }
+  std::printf(
+      "workers %lld  running %lld  queued %lld  preempted %lld  "
+      "retrying %lld  done %lld  failed %lld  cancelled %lld%s%s\n",
+      static_cast<long long>(getInt(top, "workers")),
+      static_cast<long long>(getInt(top, "running")),
+      static_cast<long long>(getInt(top, "queued")),
+      static_cast<long long>(getInt(top, "preempted")),
+      static_cast<long long>(getInt(top, "retrying")),
+      static_cast<long long>(getInt(top, "done")),
+      static_cast<long long>(getInt(top, "failed")),
+      static_cast<long long>(getInt(top, "cancelled")),
+      getBool(top, "draining") ? "  [draining]" : "",
+      getBool(top, "shutting_down") ? "  [shutting down]" : "");
+  std::printf("journal %lld B (%lld B written, %lld compactions), "
+              "outputs %lld B\n",
+              static_cast<long long>(getInt(top, "wal_bytes")),
+              static_cast<long long>(getInt(top, "journal_bytes_written")),
+              static_cast<long long>(getInt(top, "compactions")),
+              static_cast<long long>(getInt(top, "output_bytes_written")));
+  const std::string jobsBody = extractArrayBody(reply, "jobs");
+  for (const std::string& jobJson : splitObjectArray(jobsBody)) {
+    FlatObject job;
+    if (!parseFlatObject(jobJson, &job, nullptr)) continue;
+    std::printf("  #%-4lld %-20s %-10s prio %-3lld attempts %lld",
+                static_cast<long long>(getInt(job, "id")),
+                getString(job, "name").c_str(),
+                getString(job, "state").c_str(),
+                static_cast<long long>(getInt(job, "priority")),
+                static_cast<long long>(getInt(job, "attempts")));
+    const auto preemptions = getInt(job, "preemptions");
+    if (preemptions > 0) {
+      std::printf(" preemptions %lld", static_cast<long long>(preemptions));
+    }
+    const std::string state = getString(job, "state");
+    if (state == "running") {
+      std::printf(" pid %lld t=%llds",
+                  static_cast<long long>(getInt(job, "pid")),
+                  static_cast<long long>(getInt(job, "progress_t")));
+    }
+    const std::string error = getString(job, "error");
+    if (!error.empty()) std::printf("  %s", error.c_str());
+    std::printf("\n");
+  }
+}
+
+int submitCommand(ArgParser& args, const std::string& socketPath) {
+  const std::string scenarioPath = args.getString("scenario", "");
+  if (scenarioPath.empty()) {
+    std::fprintf(stderr, "hdtn_sweepctl: submit needs --scenario=PATH\n");
+    return 2;
+  }
+  std::string scenarioText;
+  if (scenarioPath == "-") {
+    std::ostringstream body;
+    body << std::cin.rdbuf();
+    scenarioText = body.str();
+  } else {
+    std::ifstream in(scenarioPath);
+    if (!in) {
+      std::fprintf(stderr, "hdtn_sweepctl: cannot read %s\n",
+                   scenarioPath.c_str());
+      return 1;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    scenarioText = body.str();
+  }
+  const std::string name = args.getString("name", scenarioPath);
+  const long long priority = args.getInt("priority", 0);
+  if (!args.ok("hdtn_sweepctl")) return 2;
+  const std::string request =
+      "{\"cmd\":\"submit\",\"name\":\"" + jsonEscape(name) +
+      "\",\"priority\":" + std::to_string(priority) + ",\"scenario\":\"" +
+      jsonEscape(scenarioText) + "\"}";
+  std::string reply;
+  std::string error;
+  if (!roundTrip(socketPath, request, &reply, &error)) {
+    std::fprintf(stderr, "hdtn_sweepctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (!replyOk(reply)) return 1;
+  FlatObject fields;
+  (void)parseFlatObject(reply, &fields, nullptr);
+  std::printf("submitted job %lld\n",
+              static_cast<long long>(getInt(fields, "id")));
+  return 0;
+}
+
+/// Polls status until no job is pending (queued/running/preempted/
+/// retrying), the daemon goes away, or the timeout expires.
+int waitCommand(ArgParser& args, const std::string& socketPath) {
+  const double timeout = args.getDouble("timeout", 600.0);
+  if (!args.ok("hdtn_sweepctl")) return 2;
+  const double deadline = monotonicSeconds() + timeout;
+  while (monotonicSeconds() < deadline) {
+    std::string reply;
+    std::string error;
+    if (!roundTrip(socketPath, "{\"cmd\":\"status\"}", &reply, &error)) {
+      std::fprintf(stderr, "hdtn_sweepctl: %s\n", error.c_str());
+      return 1;
+    }
+    FlatObject top;
+    if (parseFlatObject(stripArrayFields(reply), &top, nullptr) &&
+        getInt(top, "pending") == 0) {
+      printStatus(reply);
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr, "hdtn_sweepctl: timed out after %.0f s\n", timeout);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.helpRequested()) return usage();
+  if (args.positional().size() != 1) return usage();
+  const std::string command = args.positional()[0];
+  const std::string socketPath = args.getString("socket", "");
+  if (socketPath.empty()) {
+    std::fprintf(stderr, "hdtn_sweepctl: --socket=PATH is required\n");
+    return 2;
+  }
+
+  if (command == "submit") return submitCommand(args, socketPath);
+  if (command == "wait") return waitCommand(args, socketPath);
+
+  std::string request;
+  if (command == "status") {
+    request = "{\"cmd\":\"status\"}";
+  } else if (command == "cancel") {
+    const long long id = args.getInt("id", 0);
+    if (id <= 0) {
+      std::fprintf(stderr, "hdtn_sweepctl: cancel needs --id=N\n");
+      return 2;
+    }
+    request = "{\"cmd\":\"cancel\",\"id\":" + std::to_string(id) + "}";
+  } else if (command == "drain" || command == "shutdown" ||
+             command == "ping") {
+    request = "{\"cmd\":\"" + command + "\"}";
+  } else {
+    std::fprintf(stderr, "hdtn_sweepctl: unknown command '%s'\n",
+                 command.c_str());
+    return usage();
+  }
+  const bool rawJson = args.getBool("json", false);
+  if (!args.ok("hdtn_sweepctl")) return 2;
+
+  std::string reply;
+  std::string error;
+  if (!roundTrip(socketPath, request, &reply, &error)) {
+    std::fprintf(stderr, "hdtn_sweepctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (!replyOk(reply)) return 1;
+  if (command == "status") {
+    if (rawJson) {
+      std::printf("%s\n", reply.c_str());
+    } else {
+      printStatus(reply);
+    }
+  } else {
+    std::printf("ok\n");
+  }
+  return 0;
+}
